@@ -1,0 +1,203 @@
+//! Bloom-filter construction (§7.1).
+//!
+//! The unit consumes blocks of 32-bit items and emits a Bloom filter
+//! bitfield per block. Each item is hashed with `K` multiplicative hash
+//! functions; because a BRAM supports one write per virtual cycle, the
+//! `K` bit-sets run in a `while` loop — `K+1` virtual cycles per item,
+//! the paper's "high computational intensity per virtual cycle" case.
+//! At the end of a block the bitfield is emitted byte by byte (and
+//! cleared) through a second `while` loop, like Figure 3's histogram.
+//!
+//! In-memory Bloom filters built this way save disk IOs in key-value
+//! stores (the paper's motivating use).
+
+use fleet_lang::{lit, UnitBuilder, UnitSpec};
+
+/// Items per block.
+pub const BLOCK_ITEMS: u64 = 512;
+/// Bitfield size in bits (must be a power of two).
+pub const FILTER_BITS: u64 = 2048;
+/// Hash functions per item.
+pub const K_HASHES: usize = 8;
+
+/// Knuth-style odd multiplicative constants, one per hash function.
+pub const HASH_CONSTS: [u32; K_HASHES] = [
+    0x9E37_79B1,
+    0x85EB_CA77,
+    0xC2B2_AE3D,
+    0x27D4_EB2F,
+    0x1656_67B1,
+    0xD3A2_646D,
+    0xFD70_46C5,
+    0xB55A_4F09,
+];
+
+const FILTER_WORDS: u64 = FILTER_BITS / 64; // 64-bit BRAM words
+const FILTER_BYTES: u64 = FILTER_BITS / 8;
+
+fn hash(item: u32, k: usize) -> u64 {
+    let prod = item.wrapping_mul(HASH_CONSTS[k]);
+    (prod >> (32 - FILTER_BITS.trailing_zeros())) as u64
+}
+
+/// Builds the Bloom-filter processing unit (32-bit in, 8-bit out).
+pub fn bloom_unit() -> UnitSpec {
+    let mut u = UnitBuilder::new("BloomFilter", 32, 8);
+    let item_cnt = u.reg("itemCounter", 10, 0);
+    let hash_i = u.reg("hashIdx", 4, 0);
+    let flush_idx = u.reg("flushIdx", 9, 0); // 0..FILTER_BYTES
+    let bf = u.bram("bitfield", FILTER_WORDS as usize, 64);
+    let input = u.input();
+
+    let flushing = item_cnt.eq_e(BLOCK_ITEMS);
+
+    // Block flush: emit FILTER_BYTES bytes, clearing each word as its
+    // last byte goes out.
+    u.if_(flushing.clone(), |u| {
+        u.while_(flush_idx.lt_e(FILTER_BYTES), |u| {
+            let word_addr = flush_idx.slice(8, 3); // byte 0..255 -> word 0..31
+            let byte_in_word = flush_idx.slice(2, 0);
+            let word = bf.read(word_addr.clone());
+            u.emit((word.clone() >> (byte_in_word.concat(lit(0, 3)))).slice(7, 0));
+            // Clear the word as its last byte is emitted.
+            u.if_(byte_in_word.eq_e(7u64), |u| {
+                u.write(bf, word_addr, lit(0, 64));
+            });
+            u.set(flush_idx, flush_idx + 1u64);
+        });
+    });
+
+    // Hash loop: set one bit per virtual cycle. Waits for a flush in
+    // progress to complete (its condition requires the flush to be done).
+    let flush_done = flushing.clone().not_b().or_b(flush_idx.ge_e(FILTER_BYTES));
+    let hashing = flush_done.and_b(hash_i.lt_e(K_HASHES as u64));
+    u.while_(hashing, |u| {
+        // h = (input * C[hash_i]) >> (32 - log2(FILTER_BITS)), one
+        // constant selected per iteration.
+        let shift = 32 - FILTER_BITS.trailing_zeros() as u64;
+        let mut h = lit(0, 11);
+        for (k, c) in HASH_CONSTS.iter().enumerate() {
+            let prod = (input.clone() * (*c as u64)).slice(31, 0);
+            let hk = (prod >> shift).slice(10, 0);
+            h = hash_i.eq_e(k as u64).mux(hk, h);
+        }
+        let word_addr = h.slice(10, 6);
+        let bit = h.slice(5, 0);
+        let one = lit(1, 64);
+        u.write(bf, word_addr.clone(), bf.read(word_addr) | (one << bit));
+        u.set(hash_i, hash_i + 1u64);
+    });
+
+    // Final virtual cycle: consume the token.
+    u.set(hash_i, lit(0, 4));
+    u.if_(flushing, |u| {
+        u.set(flush_idx, lit(0, 9));
+        u.set(item_cnt, lit(1, 10));
+    })
+    .else_(|u| {
+        u.set(item_cnt, item_cnt + 1u64);
+    });
+
+    u.build().expect("bloom unit is valid")
+}
+
+/// Reference implementation: Bloom filters per block, concatenated.
+pub fn golden(input: &[u8]) -> Vec<u8> {
+    assert!(input.len() % 4 == 0, "input must be whole 32-bit items");
+    let mut out = Vec::new();
+    let mut filter = vec![0u8; FILTER_BYTES as usize];
+    let mut count = 0u64;
+    for chunk in input.chunks_exact(4) {
+        if count == BLOCK_ITEMS {
+            out.extend_from_slice(&filter);
+            filter.iter_mut().for_each(|b| *b = 0);
+            count = 0;
+        }
+        let item = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        for k in 0..K_HASHES {
+            let h = hash(item, k);
+            filter[(h / 8) as usize] |= 1 << (h % 8);
+        }
+        count += 1;
+    }
+    if count == BLOCK_ITEMS {
+        // Matches the hardware: the cleanup execution flushes only a
+        // complete block (inputs are block-aligned by construction).
+        out.extend_from_slice(&filter);
+    }
+    out
+}
+
+/// Membership test against one emitted filter (no false negatives —
+/// property-tested).
+pub fn filter_contains(filter: &[u8], item: u32) -> bool {
+    (0..K_HASHES).all(|k| {
+        let h = hash(item, k);
+        filter[(h / 8) as usize] & (1 << (h % 8)) != 0
+    })
+}
+
+/// Generates a block-aligned stream of `approx_bytes` of random items.
+pub fn gen_stream(seed: u64, approx_bytes: usize) -> Vec<u8> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let block_bytes = (BLOCK_ITEMS * 4) as usize;
+    let blocks = (approx_bytes / block_bytes).max(1);
+    let mut out = Vec::with_capacity(blocks * block_bytes);
+    for _ in 0..blocks * BLOCK_ITEMS as usize {
+        out.extend_from_slice(&rng.gen::<u32>().to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet_isim::{bytes_to_tokens, tokens_to_bytes, Interpreter};
+
+    #[test]
+    fn unit_matches_golden_one_block() {
+        let spec = bloom_unit();
+        let stream = gen_stream(1, 2048);
+        let tokens = bytes_to_tokens(&stream, 32).unwrap();
+        let out = Interpreter::run_tokens(&spec, &tokens).unwrap();
+        let bytes = tokens_to_bytes(&out.tokens, 8);
+        assert_eq!(bytes, golden(&stream));
+        assert_eq!(bytes.len(), FILTER_BYTES as usize);
+    }
+
+    #[test]
+    fn unit_matches_golden_multi_block() {
+        let spec = bloom_unit();
+        let stream = gen_stream(7, 3 * 2048);
+        let tokens = bytes_to_tokens(&stream, 32).unwrap();
+        let out = Interpreter::run_tokens(&spec, &tokens).unwrap();
+        assert_eq!(tokens_to_bytes(&out.tokens, 8), golden(&stream));
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let stream = gen_stream(3, 2048);
+        let g = golden(&stream);
+        let filter = &g[..FILTER_BYTES as usize];
+        for chunk in stream.chunks_exact(4) {
+            let item = u32::from_le_bytes(chunk.try_into().unwrap());
+            assert!(filter_contains(filter, item));
+        }
+    }
+
+    #[test]
+    fn vcycles_reflect_hash_serialization() {
+        // K+1 virtual cycles per item plus the flush: the paper's
+        // "several cycles per token" behaviour for Bloom filters.
+        let spec = bloom_unit();
+        let stream = gen_stream(5, 2048);
+        let tokens = bytes_to_tokens(&stream, 32).unwrap();
+        let out = Interpreter::run_tokens(&spec, &tokens).unwrap();
+        let per_item = out.vcycles as f64 / tokens.len() as f64;
+        assert!(
+            (8.5..=10.5).contains(&per_item),
+            "expected ~9 virtual cycles per item, got {per_item:.2}"
+        );
+    }
+}

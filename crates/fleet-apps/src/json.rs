@@ -1,0 +1,584 @@
+//! JSON field extraction (§7.1) — the paper's flagship application.
+//!
+//! The unit reads a list of fields to extract (e.g. `a.b`, `a.c`) from
+//! the start of its input stream as a trie transition table, loads it
+//! into a BRAM, and then scans a stream of newline-separated (possibly
+//! nested) JSON records, emitting the raw bytes of every matched field's
+//! value followed by `\n`. A second BRAM holds a per-depth stack of trie
+//! states so nested paths resume matching after `}` — most of the logic
+//! is the state machine handling JSON control characters, exactly as the
+//! paper describes.
+//!
+//! Supported input (documented subset, mirrored by the generator):
+//! compact JSON objects with string/number values and nested objects
+//! (no arrays), `\` escapes inside strings, records separated by
+//! newlines.
+
+use fleet_lang::{lit, UnitBuilder, UnitSpec};
+use rand::{Rng, SeedableRng};
+
+/// Maximum trie states (table is loaded from the stream header;
+/// next-state pointers are 7 bits).
+pub const MAX_STATES: usize = 128;
+/// Maximum nesting depth tracked by the state stack.
+pub const MAX_DEPTH: usize = 32;
+/// Trie root state. State 0 is the dead state.
+pub const ROOT: u8 = 1;
+
+/// Number of outgoing edges per trie entry.
+pub const EDGES: usize = 4;
+
+/// One trie transition-table entry: up to four outgoing edges plus a
+/// leaf flag (a full target path ends here).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrieEntry {
+    /// `(label, target)` pairs; label 0 means the edge is unused.
+    pub edges: [(u8, u8); EDGES],
+    /// Whether a full dotted path ends at this state.
+    pub leaf: bool,
+}
+
+impl TrieEntry {
+    /// Packs into the 61-bit table word: edge *i* occupies bits
+    /// `[15i+14 : 15i]` as `(next << 8) | char` (7-bit next-state
+    /// pointers), and bit 60 is the leaf flag.
+    pub fn pack(self) -> u64 {
+        let mut w = 0u64;
+        for (i, (ch, next)) in self.edges.iter().enumerate() {
+            debug_assert!((*next as usize) < MAX_STATES);
+            w |= (((*next as u64) << 8) | *ch as u64) << (15 * i);
+        }
+        w | ((self.leaf as u64) << 60)
+    }
+
+    /// Inverse of [`TrieEntry::pack`].
+    pub fn unpack(w: u64) -> TrieEntry {
+        let mut edges = [(0u8, 0u8); EDGES];
+        for (i, e) in edges.iter_mut().enumerate() {
+            let f = (w >> (15 * i)) & 0x7FFF;
+            *e = (f as u8, (f >> 8) as u8);
+        }
+        TrieEntry { edges, leaf: w & (1 << 60) != 0 }
+    }
+
+    /// One trie step on character `c` (dead state on no edge).
+    pub fn step(self, c: u8) -> u8 {
+        for (ch, next) in self.edges {
+            if c != 0 && c == ch {
+                return next;
+            }
+        }
+        0
+    }
+}
+
+/// The field trie built from dotted paths.
+#[derive(Debug, Clone)]
+pub struct FieldTrie {
+    /// Transition table, indexed by state.
+    pub table: Vec<TrieEntry>,
+}
+
+impl FieldTrie {
+    /// Builds a trie from dotted paths like `"a.b"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any state would need more than four outgoing
+    /// edges (the hardware entry holds four) or the table overflows.
+    pub fn build(paths: &[&str]) -> Result<FieldTrie, String> {
+        let mut table = vec![TrieEntry::default(); 2]; // 0 dead, 1 root
+        for path in paths {
+            let mut state = ROOT as usize;
+            for (si, seg) in path.split('.').enumerate() {
+                if si > 0 {
+                    // Path separator consumes no character: segment ends
+                    // are delimited by the JSON structure itself; the
+                    // next segment continues from the same state.
+                }
+                for &c in seg.as_bytes() {
+                    let e = table[state];
+                    let next = e.step(c);
+                    if next != 0 {
+                        state = next as usize;
+                        continue;
+                    }
+                    let new_state = table.len();
+                    if new_state >= MAX_STATES {
+                        return Err("trie table overflow".to_string());
+                    }
+                    table.push(TrieEntry::default());
+                    let e = &mut table[state];
+                    match e.edges.iter_mut().find(|(ch, _)| *ch == 0) {
+                        Some(slot) => *slot = (c, new_state as u8),
+                        None => {
+                            return Err(format!(
+                                "state {state} needs a fifth edge for {c:#x}; \
+                                 the hardware entry holds {EDGES}"
+                            ))
+                        }
+                    }
+                    state = new_state;
+                }
+            }
+            table[state].leaf = true;
+        }
+        Ok(FieldTrie { table })
+    }
+
+    /// Serializes the stream header: `[n_states]` then 8 bytes per state.
+    pub fn header_bytes(&self) -> Vec<u8> {
+        let mut out = vec![self.table.len() as u8];
+        for e in &self.table {
+            out.extend_from_slice(&e.pack().to_le_bytes());
+        }
+        out
+    }
+}
+
+/// Builds the JSON field-extraction processing unit (8-bit in/out).
+pub fn json_unit() -> UnitSpec {
+    let mut u = UnitBuilder::new("JsonFields", 8, 8);
+    let c = u.input();
+    let nf = u.stream_finished().not_b();
+
+    // Header loading.
+    let mode = u.reg("mode", 2, 0); // 0 count, 1 table, 2 json
+    let n_states = u.reg("nStates", 8, 0);
+    let load_state = u.reg("loadState", 8, 0);
+    let byte_idx = u.reg("byteIdx", 3, 0);
+    let entry_acc = u.reg("entryAcc", 56, 0);
+    let trie = u.bram("trie", MAX_STATES, 61);
+    let stack = u.bram("stateStack", MAX_DEPTH, 8);
+
+    // JSON machine state.
+    let depth = u.reg("depth", 5, 0);
+    let in_str = u.reg("inString", 1, 0);
+    let esc = u.reg("escape", 1, 0);
+    let is_key = u.reg("isKey", 1, 0);
+    let key_state = u.reg("keyState", 8, 0);
+    let key_leaf = u.reg("keyLeaf", 1, 0);
+    let pending_leaf = u.reg("pendingLeaf", 1, 0);
+    let pending_push = u.reg("pendingPush", 8, 0); // state to push on '{', 0 = dead
+    let expect_key = u.reg("expectKey", 1, 0);
+    let capturing = u.reg("capturing", 1, 0);
+    let cap_str = u.reg("capString", 1, 0);
+
+    u.if_(nf, |u| {
+        u.if_(mode.eq_e(0u64), |u| {
+            u.set(n_states, c.clone());
+            u.set(load_state, lit(0, 8));
+            u.set(byte_idx, lit(0, 3));
+            u.set(mode, c.eq_e(0u64).mux(lit(2, 2), lit(1, 2)));
+        })
+        .elif(mode.eq_e(1u64), |u| {
+            // Accumulate 8 little-endian bytes; write the 61-bit entry on
+            // the last one (the final byte carries the leaf flag).
+            u.if_(byte_idx.eq_e(7u64), |u| {
+                u.write(trie, load_state.e(), c.slice(4, 0).concat(entry_acc.e()));
+                u.set(entry_acc, lit(0, 56));
+                let done = (load_state.e() + 1u64).eq_e(n_states.e());
+                u.set(load_state, load_state + 1u64);
+                u.if_(done, |u| u.set(mode, lit(2, 2)));
+            })
+            .else_(|u| {
+                // entry_acc |= c << (8*byte_idx)
+                let widened = lit(0, 48).concat(c.clone());
+                u.set(entry_acc, entry_acc.e() | (widened << byte_idx.concat(lit(0, 3))));
+            });
+            u.set(
+                byte_idx,
+                byte_idx.eq_e(7u64).mux(lit(0, 3), byte_idx + 1u64),
+            );
+        })
+        .else_(|u| {
+            // ---- JSON scanning. ----
+            let entry = trie.read(key_state.e());
+            let e_leaf = entry.bit(60);
+            // 4-way edge match: priority mux over the entry's edges.
+            let mut stepped = lit(0, 8);
+            for i in (0..EDGES as u16).rev() {
+                let ch = entry.slice(15 * i + 7, 15 * i);
+                let next = entry.slice(15 * i + 14, 15 * i + 8);
+                stepped = c.eq_e(ch).mux(lit(0, 1).concat(next), stepped);
+            }
+
+            let is_quote = c.eq_e(b'"' as u64);
+            let is_bslash = c.eq_e(b'\\' as u64);
+            let is_open = c.eq_e(b'{' as u64);
+            let is_close = c.eq_e(b'}' as u64);
+            let is_colon = c.eq_e(b':' as u64);
+            let is_comma = c.eq_e(b',' as u64);
+            let is_nl = c.eq_e(b'\n' as u64);
+
+            u.if_(capturing.e(), |u| {
+                u.if_(cap_str.e(), |u| {
+                    // String value: emit until the closing quote.
+                    u.if_(esc.e(), |u| {
+                        u.set(esc, lit(0, 1));
+                        u.emit(c.clone());
+                    })
+                    .elif(is_bslash.clone(), |u| {
+                        u.set(esc, lit(1, 1));
+                        u.emit(c.clone());
+                    })
+                    .elif(is_quote.clone(), |u| {
+                        u.set(capturing, lit(0, 1));
+                        u.emit(lit(b'\n' as u64, 8));
+                    })
+                    .else_(|u| u.emit(c.clone()));
+                })
+                .else_(|u| {
+                    // Number/bare value: ends at ',' or '}' (which keep
+                    // their structural meaning) or newline.
+                    u.if_(is_comma.clone().or_b(is_close.clone()).or_b(is_nl.clone()), |u| {
+                        u.set(capturing, lit(0, 1));
+                        u.emit(lit(b'\n' as u64, 8));
+                        u.if_(is_comma.clone(), |u| u.set(expect_key, lit(1, 1)));
+                        u.if_(is_close.clone(), |u| {
+                            u.set(depth, depth - 1u64);
+                            u.set(expect_key, lit(0, 1));
+                        });
+                    })
+                    .else_(|u| u.emit(c.clone()));
+                });
+            })
+            .elif(in_str.e(), |u| {
+                u.if_(esc.e(), |u| u.set(esc, lit(0, 1)))
+                    .elif(is_bslash.clone(), |u| u.set(esc, lit(1, 1)))
+                    .elif(is_quote.clone(), |u| {
+                        u.set(in_str, lit(0, 1));
+                        u.if_(is_key.e(), |u| {
+                            u.set(key_leaf, e_leaf.clone());
+                        });
+                    })
+                    .else_(|u| {
+                        u.if_(is_key.e(), |u| u.set(key_state, stepped.clone()));
+                    });
+            })
+            .else_(|u| {
+                u.if_(is_quote, |u| {
+                    u.if_(expect_key.e(), |u| {
+                        u.set(in_str, lit(1, 1));
+                        u.set(is_key, lit(1, 1));
+                        u.set(key_state, stack.read(depth.e()));
+                        u.set(key_leaf, lit(0, 1));
+                        u.set(expect_key, lit(0, 1));
+                    })
+                    .elif(pending_leaf.e(), |u| {
+                        // Matched field with a string value.
+                        u.set(capturing, lit(1, 1));
+                        u.set(cap_str, lit(1, 1));
+                        u.set(pending_leaf, lit(0, 1));
+                        u.set(pending_push, lit(0, 8));
+                    })
+                    .else_(|u| {
+                        u.set(in_str, lit(1, 1));
+                        u.set(is_key, lit(0, 1));
+                    });
+                })
+                .elif(is_colon, |u| {
+                    u.set(pending_leaf, key_leaf.e());
+                    u.set(pending_push, key_state.e());
+                    u.set(key_leaf, lit(0, 1));
+                })
+                .elif(is_open, |u| {
+                    // Top-level record start pushes the trie root.
+                    let push = depth.eq_e(0u64).mux(lit(ROOT as u64, 8), pending_push.e());
+                    u.write(stack, depth.e() + 1u64, push);
+                    u.set(depth, depth + 1u64);
+                    u.set(expect_key, lit(1, 1));
+                    u.set(pending_leaf, lit(0, 1));
+                    u.set(pending_push, lit(0, 8));
+                })
+                .elif(is_close, |u| {
+                    u.set(depth, depth - 1u64);
+                    u.set(expect_key, lit(0, 1));
+                    u.set(pending_leaf, lit(0, 1));
+                    u.set(pending_push, lit(0, 8));
+                })
+                .elif(is_comma, |u| {
+                    u.set(expect_key, lit(1, 1));
+                })
+                .elif(is_nl, |_u| {
+                    // Record separator.
+                })
+                .else_(|u| {
+                    // First character of a bare (number) value.
+                    u.if_(pending_leaf.e(), |u| {
+                        u.set(capturing, lit(1, 1));
+                        u.set(cap_str, lit(0, 1));
+                        u.set(pending_leaf, lit(0, 1));
+                        u.set(pending_push, lit(0, 8));
+                        u.emit(c.clone());
+                    });
+                });
+            });
+        });
+    });
+
+    u.build().expect("json unit is valid")
+}
+
+/// Reference implementation mirroring the hardware state machine.
+pub fn golden(input: &[u8]) -> Vec<u8> {
+    if input.is_empty() {
+        return Vec::new();
+    }
+    let n_states = input[0] as usize;
+    let mut table = Vec::with_capacity(n_states);
+    let mut pos = 1usize;
+    for _ in 0..n_states {
+        let w = u64::from_le_bytes(input[pos..pos + 8].try_into().expect("8 bytes"));
+        table.push(TrieEntry::unpack(w));
+        pos += 8;
+    }
+    let payload = &input[pos..];
+
+    let mut out = Vec::new();
+    let mut stack = [0u8; MAX_DEPTH];
+    let (mut depth, mut in_str, mut esc, mut is_key) = (0usize, false, false, false);
+    let (mut key_state, mut key_leaf) = (0u8, false);
+    let (mut pending_leaf, mut pending_push) = (false, 0u8);
+    let mut expect_key = false;
+    let (mut capturing, mut cap_str) = (false, false);
+
+    let entry = |table: &[TrieEntry], s: u8| -> TrieEntry {
+        table.get(s as usize).copied().unwrap_or_default()
+    };
+
+    for &c in payload {
+        if capturing {
+            if cap_str {
+                if esc {
+                    esc = false;
+                    out.push(c);
+                } else if c == b'\\' {
+                    esc = true;
+                    out.push(c);
+                } else if c == b'"' {
+                    capturing = false;
+                    out.push(b'\n');
+                } else {
+                    out.push(c);
+                }
+            } else if c == b',' || c == b'}' || c == b'\n' {
+                capturing = false;
+                out.push(b'\n');
+                if c == b',' {
+                    expect_key = true;
+                }
+                if c == b'}' {
+                    depth = depth.wrapping_sub(1) % MAX_DEPTH;
+                    expect_key = false;
+                }
+            } else {
+                out.push(c);
+            }
+        } else if in_str {
+            if esc {
+                esc = false;
+            } else if c == b'\\' {
+                esc = true;
+            } else if c == b'"' {
+                in_str = false;
+                if is_key {
+                    key_leaf = entry(&table, key_state).leaf;
+                }
+            } else if is_key {
+                key_state = entry(&table, key_state).step(c);
+            }
+        } else if c == b'"' {
+            if expect_key {
+                in_str = true;
+                is_key = true;
+                key_state = stack[depth % MAX_DEPTH];
+                key_leaf = false;
+                expect_key = false;
+            } else if pending_leaf {
+                capturing = true;
+                cap_str = true;
+                pending_leaf = false;
+                pending_push = 0;
+            } else {
+                in_str = true;
+                is_key = false;
+            }
+        } else if c == b':' {
+            pending_leaf = key_leaf;
+            pending_push = key_state;
+            key_leaf = false;
+        } else if c == b'{' {
+            let push = if depth == 0 { ROOT } else { pending_push };
+            stack[(depth + 1) % MAX_DEPTH] = push;
+            depth += 1;
+            expect_key = true;
+            pending_leaf = false;
+            pending_push = 0;
+        } else if c == b'}' {
+            depth = depth.wrapping_sub(1) % MAX_DEPTH;
+            expect_key = false;
+            pending_leaf = false;
+            pending_push = 0;
+        } else if c == b',' {
+            expect_key = true;
+        } else if c == b'\n' {
+            // record separator
+        } else if pending_leaf {
+            capturing = true;
+            cap_str = false;
+            pending_leaf = false;
+            pending_push = 0;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Generates a stream: trie header for `paths` plus `approx_bytes` of
+/// compact, newline-separated JSON records over a fixed schema.
+pub fn gen_stream(seed: u64, approx_bytes: usize) -> Vec<u8> {
+    let paths = ["user.id", "user.name", "event", "ts.ms"];
+    gen_stream_with_paths(seed, approx_bytes, &paths)
+}
+
+/// Generator with explicit target paths.
+///
+/// # Panics
+///
+/// Panics if the paths do not fit the two-edge trie entries.
+pub fn gen_stream_with_paths(seed: u64, approx_bytes: usize, paths: &[&str]) -> Vec<u8> {
+    let trie = FieldTrie::build(paths).expect("paths fit the trie");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut out = trie.header_bytes();
+    let words = ["click", "view", "buy", "scroll\\\"deep", "login"];
+    while out.len() < approx_bytes {
+        let id: u32 = rng.gen_range(0..1_000_000);
+        let name = words[rng.gen_range(0..words.len())];
+        let ev = words[rng.gen_range(0..words.len())];
+        let ms: u64 = rng.gen_range(0..10_000_000_000);
+        let extra: u32 = rng.gen();
+        // A fixed nested schema with some non-target fields mixed in.
+        let rec = format!(
+            "{{\"user\":{{\"id\":{id},\"name\":\"{name}\",\"tag\":\"x{extra}\"}},\
+             \"event\":\"{ev}\",\"ts\":{{\"ms\":{ms},\"tz\":\"utc\"}},\"pad\":{extra}}}\n"
+        );
+        out.extend_from_slice(rec.as_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet_isim::{bytes_to_tokens, tokens_to_bytes, Interpreter};
+
+    fn run_unit(stream: &[u8]) -> Vec<u8> {
+        let spec = json_unit();
+        let tokens = bytes_to_tokens(stream, 8).unwrap();
+        let out = Interpreter::run_tokens(&spec, &tokens).unwrap();
+        tokens_to_bytes(&out.tokens, 8)
+    }
+
+    fn with_header(paths: &[&str], json: &str) -> Vec<u8> {
+        let mut v = FieldTrie::build(paths).unwrap().header_bytes();
+        v.extend_from_slice(json.as_bytes());
+        v
+    }
+
+    #[test]
+    fn trie_build_and_step() {
+        let t = FieldTrie::build(&["ab", "ac"]).unwrap();
+        let root = t.table[ROOT as usize];
+        let s_a = root.step(b'a');
+        assert_ne!(s_a, 0);
+        assert_ne!(t.table[s_a as usize].step(b'b'), 0);
+        assert_ne!(t.table[s_a as usize].step(b'c'), 0);
+        assert_eq!(t.table[s_a as usize].step(b'z'), 0);
+    }
+
+    #[test]
+    fn trie_entry_pack_roundtrip() {
+        let e = TrieEntry {
+            edges: [(b'a', 2), (b'b', 127), (b'z', 64), (0, 0)],
+            leaf: true,
+        };
+        assert_eq!(TrieEntry::unpack(e.pack()), e);
+        let none = TrieEntry::default();
+        assert_eq!(TrieEntry::unpack(none.pack()), none);
+    }
+
+    #[test]
+    fn trie_supports_four_way_branch() {
+        assert!(FieldTrie::build(&["ab", "ac", "ad", "ae"]).is_ok());
+    }
+
+    #[test]
+    fn trie_rejects_five_way_branch() {
+        assert!(FieldTrie::build(&["ab", "ac", "ad", "ae", "af"]).is_err());
+    }
+
+    #[test]
+    fn extracts_simple_fields() {
+        let stream = with_header(&["a"], "{\"a\":42,\"b\":7}\n");
+        assert_eq!(golden(&stream), b"42\n");
+        assert_eq!(run_unit(&stream), b"42\n");
+    }
+
+    #[test]
+    fn extracts_string_values() {
+        let stream = with_header(&["name"], "{\"name\":\"bob\",\"x\":1}\n");
+        assert_eq!(golden(&stream), b"bob\n");
+        assert_eq!(run_unit(&stream), b"bob\n");
+    }
+
+    #[test]
+    fn extracts_nested_fields() {
+        let stream = with_header(&["a.b"], "{\"a\":{\"b\":5,\"c\":6},\"b\":9}\n");
+        assert_eq!(golden(&stream), b"5\n");
+        assert_eq!(run_unit(&stream), b"5\n");
+    }
+
+    #[test]
+    fn non_matching_keys_ignored() {
+        let stream = with_header(&["zz"], "{\"a\":1,\"b\":\"x\"}\n");
+        assert_eq!(golden(&stream), b"");
+        assert_eq!(run_unit(&stream), b"");
+    }
+
+    #[test]
+    fn escapes_inside_strings() {
+        let stream = with_header(&["k"], "{\"k\":\"a\\\"b\",\"j\":\"\\\\\"}\n");
+        assert_eq!(run_unit(&stream), golden(&stream));
+        assert_eq!(golden(&stream), b"a\\\"b\n");
+    }
+
+    #[test]
+    fn value_ending_at_close_brace() {
+        let stream = with_header(&["x.y"], "{\"x\":{\"y\":123}}\n{\"x\":{\"y\":4}}\n");
+        assert_eq!(golden(&stream), b"123\n4\n");
+        assert_eq!(run_unit(&stream), golden(&stream));
+    }
+
+    #[test]
+    fn matches_golden_on_generated_workload() {
+        let stream = gen_stream(42, 6000);
+        let got = run_unit(&stream);
+        let expect = golden(&stream);
+        assert_eq!(got, expect);
+        assert!(
+            expect.len() > 200,
+            "workload should extract plenty of values, got {} bytes",
+            expect.len()
+        );
+    }
+
+    #[test]
+    fn one_virtual_cycle_per_character() {
+        let spec = json_unit();
+        let stream = gen_stream(7, 3000);
+        let tokens = bytes_to_tokens(&stream, 8).unwrap();
+        let out = Interpreter::run_tokens(&spec, &tokens).unwrap();
+        assert_eq!(out.vcycles, tokens.len() as u64 + 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Micro processing units used by benchmarks, examples, and the memory
+//! experiments: the drop-everything unit that isolates the input
+//! controller (§7.3), the identity unit that exercises input+output
+//! symmetrically, and a few other one-liners.
+
+use fleet_lang::{lit, UnitBuilder, UnitSpec};
+
+/// Consumes every token and emits nothing — the paper's §7.3 memory
+/// benchmark unit ("a simple processing unit that drops all of the input
+/// tokens and produces no output").
+pub fn drop_all() -> UnitSpec {
+    let mut u = UnitBuilder::new("DropAll", 8, 8);
+    let acc = u.reg("acc", 8, 0);
+    let inp = u.input();
+    u.set(acc, acc ^ inp);
+    u.build().expect("drop-all unit is valid")
+}
+
+/// Emits every token unchanged: output volume equals input volume, the
+/// §7.3 combined input+output benchmark.
+pub fn identity() -> UnitSpec {
+    let mut u = UnitBuilder::new("Identity", 8, 8);
+    let inp = u.input();
+    let nf = u.stream_finished().not_b();
+    u.if_(nf, |u| u.emit(inp.clone()));
+    u.build().expect("identity unit is valid")
+}
+
+/// Sums 32-bit integers and emits the total on stream end — the §7.4
+/// HLS comparison workload.
+pub fn sum32() -> UnitSpec {
+    let mut u = UnitBuilder::new("Sum32", 32, 32);
+    let acc = u.reg("acc", 32, 0);
+    let inp = u.input();
+    let fin = u.stream_finished();
+    u.if_else(
+        fin,
+        |u| u.emit(acc.e()),
+        |u| u.set(acc, acc + inp.clone()),
+    );
+    u.build().expect("sum unit is valid")
+}
+
+/// Uppercases ASCII — the quickstart unit.
+pub fn upper() -> UnitSpec {
+    let mut u = UnitBuilder::new("Upper", 8, 8);
+    let inp = u.input();
+    let nf = u.stream_finished().not_b();
+    let is_lower = inp.ge_e(b'a' as u64).and_b(inp.le_e(b'z' as u64));
+    u.if_(nf, |u| {
+        u.emit(is_lower.mux(inp.clone() - 32u64, inp.clone()));
+    });
+    u.build().expect("upper unit is valid")
+}
+
+/// Emits only tokens strictly below a threshold carried in the first
+/// token — a filter with stream-dependent selectivity (used by the
+/// output-addressing experiment).
+pub fn threshold_filter() -> UnitSpec {
+    let mut u = UnitBuilder::new("Filter", 8, 8);
+    let thr = u.reg("threshold", 8, 0);
+    let loaded = u.reg("loaded", 1, 0);
+    let inp = u.input();
+    let nf = u.stream_finished().not_b();
+    u.if_(nf, |u| {
+        u.if_else(
+            loaded.eq_e(0u64),
+            |u| {
+                u.set(thr, inp.clone());
+                u.set(loaded, lit(1, 1));
+            },
+            |u| {
+                u.if_(inp.lt_e(thr.e()), |u| u.emit(inp.clone()));
+            },
+        );
+    });
+    u.build().expect("filter unit is valid")
+}
+
+/// The Figure 3 frequency-counting unit, exactly as in the paper.
+pub fn block_frequencies(block: u64) -> UnitSpec {
+    let mut u = UnitBuilder::new("BlockFrequencies", 8, 8);
+    let item_counter = u.reg("itemCounter", 7, 0);
+    let frequencies = u.bram("frequencies", 256, 8);
+    let idx = u.reg("frequenciesIdx", 9, 0);
+    let input = u.input();
+    u.if_(item_counter.eq_e(block), |u| {
+        u.while_(idx.lt_e(256u64), |u| {
+            u.emit(frequencies.read(idx));
+            u.write(frequencies, idx, lit(0, 8));
+            u.set(idx, idx + 1u64);
+        });
+        u.set(idx, lit(0, 9));
+    });
+    u.write(frequencies, input.clone(), frequencies.read(input) + 1u64);
+    u.set(
+        item_counter,
+        item_counter.eq_e(block).mux(lit(1, 7), item_counter + 1u64),
+    );
+    u.build().expect("figure 3 unit is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet_isim::Interpreter;
+
+    #[test]
+    fn micro_units_validate_and_run() {
+        for spec in [drop_all(), identity(), upper(), threshold_filter()] {
+            let tokens: Vec<u64> = (0..100).map(|x| x % 256).collect();
+            Interpreter::run_tokens(&spec, &tokens)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        }
+    }
+
+    #[test]
+    fn sum32_sums() {
+        let out = Interpreter::run_tokens(&sum32(), &[5, 10, 1_000_000]).unwrap();
+        assert_eq!(out.tokens, vec![1_000_015]);
+    }
+
+    #[test]
+    fn upper_uppercases() {
+        let tokens: Vec<u64> = b"aZ9z".iter().map(|&b| b as u64).collect();
+        let out = Interpreter::run_tokens(&upper(), &tokens).unwrap();
+        let bytes: Vec<u8> = out.tokens.iter().map(|&t| t as u8).collect();
+        assert_eq!(&bytes, b"AZ9Z");
+    }
+
+    #[test]
+    fn filter_respects_per_stream_threshold() {
+        let mut tokens = vec![100u64];
+        tokens.extend([5, 150, 99, 200, 0]);
+        let out = Interpreter::run_tokens(&threshold_filter(), &tokens).unwrap();
+        assert_eq!(out.tokens, vec![5, 99, 0]);
+    }
+
+    #[test]
+    fn figure3_histogram_counts() {
+        let tokens: Vec<u64> = vec![7; 100];
+        let out = Interpreter::run_tokens(&block_frequencies(100), &tokens).unwrap();
+        assert_eq!(out.tokens.len(), 256);
+        assert_eq!(out.tokens[7], 100);
+    }
+}

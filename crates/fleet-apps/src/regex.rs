@@ -1,0 +1,679 @@
+//! Regular-expression matching (§7.1).
+//!
+//! A compile-time regex is turned into a circuit following the
+//! Sidhu-Prasanna construction the paper cites: the Glushkov NFA of the
+//! pattern, one single-bit register per character position, transitions
+//! as pure boolean logic — no BRAM at all. Whenever the accept signal
+//! fires the unit emits the index of the current character; software can
+//! reconstruct full matches from match-end positions.
+//!
+//! The same Glushkov automaton drives the golden software matcher, so
+//! the hardware and reference cannot diverge on construction details.
+
+use fleet_lang::{lit, E, UnitBuilder, UnitSpec};
+
+/// A character class: set of inclusive byte ranges, possibly negated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharClass {
+    /// Inclusive `(lo, hi)` ranges.
+    pub ranges: Vec<(u8, u8)>,
+    /// Match any byte *not* in the ranges.
+    pub negated: bool,
+}
+
+impl CharClass {
+    /// Single character.
+    pub fn single(c: u8) -> CharClass {
+        CharClass { ranges: vec![(c, c)], negated: false }
+    }
+
+    /// `.` — any byte except newline.
+    pub fn dot() -> CharClass {
+        CharClass { ranges: vec![(b'\n', b'\n')], negated: true }
+    }
+
+    /// Whether the class matches `c`.
+    pub fn matches(&self, c: u8) -> bool {
+        let inside = self.ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+        inside != self.negated
+    }
+}
+
+/// Regex AST after desugaring (`+`, `?`, `{m,n}` are expanded).
+#[derive(Debug, Clone)]
+pub enum Ast {
+    /// Empty string.
+    Empty,
+    /// One character class occurrence (a Glushkov position).
+    Class(CharClass),
+    /// Concatenation.
+    Concat(Box<Ast>, Box<Ast>),
+    /// Alternation.
+    Alt(Box<Ast>, Box<Ast>),
+    /// Kleene star.
+    Star(Box<Ast>),
+}
+
+/// Parses a regex supporting literals, `.`, `[...]` classes (with ranges
+/// and leading `^` negation), `|`, `*`, `+`, `?`, `{m,n}`, `(...)`, and
+/// `\` escapes.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error.
+pub fn parse(pattern: &str) -> Result<Ast, String> {
+    let bytes = pattern.as_bytes();
+    let mut pos = 0usize;
+    let ast = parse_alt(bytes, &mut pos)?;
+    if pos != bytes.len() {
+        return Err(format!("unexpected character at offset {pos}"));
+    }
+    Ok(ast)
+}
+
+fn parse_alt(b: &[u8], pos: &mut usize) -> Result<Ast, String> {
+    let mut lhs = parse_concat(b, pos)?;
+    while *pos < b.len() && b[*pos] == b'|' {
+        *pos += 1;
+        let rhs = parse_concat(b, pos)?;
+        lhs = Ast::Alt(Box::new(lhs), Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn parse_concat(b: &[u8], pos: &mut usize) -> Result<Ast, String> {
+    let mut parts: Vec<Ast> = Vec::new();
+    while *pos < b.len() && b[*pos] != b'|' && b[*pos] != b')' {
+        parts.push(parse_repeat(b, pos)?);
+    }
+    Ok(parts
+        .into_iter()
+        .reduce(|a, c| Ast::Concat(Box::new(a), Box::new(c)))
+        .unwrap_or(Ast::Empty))
+}
+
+fn parse_repeat(b: &[u8], pos: &mut usize) -> Result<Ast, String> {
+    let atom = parse_atom(b, pos)?;
+    let mut ast = atom;
+    loop {
+        if *pos >= b.len() {
+            return Ok(ast);
+        }
+        match b[*pos] {
+            b'*' => {
+                *pos += 1;
+                ast = Ast::Star(Box::new(ast));
+            }
+            b'+' => {
+                *pos += 1;
+                // a+ = a a*
+                ast = Ast::Concat(Box::new(ast.clone()), Box::new(Ast::Star(Box::new(ast))));
+            }
+            b'?' => {
+                *pos += 1;
+                ast = Ast::Alt(Box::new(ast), Box::new(Ast::Empty));
+            }
+            b'{' => {
+                let close = b[*pos..]
+                    .iter()
+                    .position(|&c| c == b'}')
+                    .ok_or("unterminated {m,n}")?
+                    + *pos;
+                let body = std::str::from_utf8(&b[*pos + 1..close]).map_err(|_| "bad {m,n}")?;
+                let (m, n) = match body.split_once(',') {
+                    Some((m, "")) => {
+                        let m: usize = m.parse().map_err(|_| "bad {m,}")?;
+                        (m, usize::MAX)
+                    }
+                    Some((m, n)) => (
+                        m.parse().map_err(|_| "bad {m,n}")?,
+                        n.parse().map_err(|_| "bad {m,n}")?,
+                    ),
+                    None => {
+                        let m: usize = body.parse().map_err(|_| "bad {m}")?;
+                        (m, m)
+                    }
+                };
+                *pos = close + 1;
+                ast = expand_repeat(&ast, m, n)?;
+            }
+            _ => return Ok(ast),
+        }
+    }
+}
+
+fn expand_repeat(ast: &Ast, m: usize, n: usize) -> Result<Ast, String> {
+    if n != usize::MAX && n < m {
+        return Err("{m,n} with n < m".to_string());
+    }
+    // a{m,n} = a^m (a?)^(n-m);  a{m,} = a^m a*
+    let mut parts: Vec<Ast> = Vec::new();
+    for _ in 0..m {
+        parts.push(ast.clone());
+    }
+    if n == usize::MAX {
+        parts.push(Ast::Star(Box::new(ast.clone())));
+    } else {
+        for _ in 0..n - m {
+            parts.push(Ast::Alt(Box::new(ast.clone()), Box::new(Ast::Empty)));
+        }
+    }
+    Ok(parts
+        .into_iter()
+        .reduce(|a, c| Ast::Concat(Box::new(a), Box::new(c)))
+        .unwrap_or(Ast::Empty))
+}
+
+fn parse_atom(b: &[u8], pos: &mut usize) -> Result<Ast, String> {
+    if *pos >= b.len() {
+        return Ok(Ast::Empty);
+    }
+    match b[*pos] {
+        b'(' => {
+            *pos += 1;
+            let inner = parse_alt(b, pos)?;
+            if *pos >= b.len() || b[*pos] != b')' {
+                return Err("unterminated group".to_string());
+            }
+            *pos += 1;
+            Ok(inner)
+        }
+        b'[' => {
+            *pos += 1;
+            let mut negated = false;
+            if *pos < b.len() && b[*pos] == b'^' {
+                negated = true;
+                *pos += 1;
+            }
+            let mut ranges = Vec::new();
+            while *pos < b.len() && b[*pos] != b']' {
+                let lo = if b[*pos] == b'\\' {
+                    *pos += 1;
+                    b[*pos]
+                } else {
+                    b[*pos]
+                };
+                *pos += 1;
+                if *pos + 1 < b.len() && b[*pos] == b'-' && b[*pos + 1] != b']' {
+                    let hi = b[*pos + 1];
+                    *pos += 2;
+                    ranges.push((lo, hi));
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+            if *pos >= b.len() {
+                return Err("unterminated class".to_string());
+            }
+            *pos += 1; // ']'
+            Ok(Ast::Class(CharClass { ranges, negated }))
+        }
+        b'.' => {
+            *pos += 1;
+            Ok(Ast::Class(CharClass::dot()))
+        }
+        b'\\' => {
+            *pos += 1;
+            if *pos >= b.len() {
+                return Err("dangling escape".to_string());
+            }
+            let c = b[*pos];
+            *pos += 1;
+            Ok(Ast::Class(CharClass::single(c)))
+        }
+        b'*' | b'+' | b'?' | b'{' => Err("quantifier with nothing to repeat".to_string()),
+        c => {
+            *pos += 1;
+            Ok(Ast::Class(CharClass::single(c)))
+        }
+    }
+}
+
+/// The Glushkov NFA of a pattern: one state per character-class
+/// occurrence, no epsilon transitions.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// Character class of each position.
+    pub classes: Vec<CharClass>,
+    /// Positions reachable as the first character.
+    pub first: Vec<usize>,
+    /// Accepting positions.
+    pub last: Vec<usize>,
+    /// `follow[q]` = positions reachable right after position `q`.
+    pub follow: Vec<Vec<usize>>,
+    /// Whether the empty string matches.
+    pub nullable: bool,
+}
+
+struct GInfo {
+    nullable: bool,
+    first: Vec<usize>,
+    last: Vec<usize>,
+}
+
+fn glushkov(
+    ast: &Ast,
+    classes: &mut Vec<CharClass>,
+    follow: &mut Vec<Vec<usize>>,
+) -> GInfo {
+    match ast {
+        Ast::Empty => GInfo { nullable: true, first: vec![], last: vec![] },
+        Ast::Class(c) => {
+            let p = classes.len();
+            classes.push(c.clone());
+            follow.push(Vec::new());
+            GInfo { nullable: false, first: vec![p], last: vec![p] }
+        }
+        Ast::Concat(a, b) => {
+            let ia = glushkov(a, classes, follow);
+            let ib = glushkov(b, classes, follow);
+            for &q in &ia.last {
+                for &p in &ib.first {
+                    if !follow[q].contains(&p) {
+                        follow[q].push(p);
+                    }
+                }
+            }
+            let mut first = ia.first.clone();
+            if ia.nullable {
+                first.extend(ib.first.iter().copied());
+            }
+            let mut last = ib.last.clone();
+            if ib.nullable {
+                last.extend(ia.last.iter().copied());
+            }
+            GInfo { nullable: ia.nullable && ib.nullable, first, last }
+        }
+        Ast::Alt(a, b) => {
+            let ia = glushkov(a, classes, follow);
+            let ib = glushkov(b, classes, follow);
+            let mut first = ia.first;
+            first.extend(ib.first);
+            let mut last = ia.last;
+            last.extend(ib.last);
+            GInfo { nullable: ia.nullable || ib.nullable, first, last }
+        }
+        Ast::Star(a) => {
+            let ia = glushkov(a, classes, follow);
+            for &q in &ia.last {
+                for &p in &ia.first {
+                    if !follow[q].contains(&p) {
+                        follow[q].push(p);
+                    }
+                }
+            }
+            GInfo { nullable: true, first: ia.first, last: ia.last }
+        }
+    }
+}
+
+impl Nfa {
+    /// Builds the Glushkov NFA of `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors.
+    pub fn build(pattern: &str) -> Result<Nfa, String> {
+        let ast = parse(pattern)?;
+        let mut classes = Vec::new();
+        let mut follow = Vec::new();
+        let info = glushkov(&ast, &mut classes, &mut follow);
+        Ok(Nfa {
+            classes,
+            first: info.first,
+            last: info.last,
+            follow,
+            nullable: info.nullable,
+        })
+    }
+
+    /// Software simulation: returns the end indices (exclusive) of all
+    /// *unanchored* matches in `text` (match-end semantics, as the
+    /// hardware reports).
+    pub fn match_ends(&self, text: &[u8]) -> Vec<u32> {
+        let mut active = vec![false; self.classes.len()];
+        let mut out = Vec::new();
+        for (i, &c) in text.iter().enumerate() {
+            let mut next = vec![false; self.classes.len()];
+            for p in 0..self.classes.len() {
+                if !self.classes[p].matches(c) {
+                    continue;
+                }
+                // Unanchored: a new attempt can start at every character.
+                let reachable = self.first.contains(&p)
+                    || (0..self.classes.len())
+                        .any(|q| active[q] && self.follow[q].contains(&p));
+                next[p] = reachable;
+            }
+            active = next;
+            if self.last.iter().any(|&p| active[p]) {
+                out.push(i as u32 + 1);
+            }
+        }
+        out
+    }
+}
+
+/// Class-match expression for a byte-wide input.
+fn class_expr(input: &E, class: &CharClass) -> E {
+    let mut inside: E = lit(0, 1);
+    for &(lo, hi) in &class.ranges {
+        let r = if lo == hi {
+            input.eq_e(lo as u64)
+        } else {
+            input.ge_e(lo as u64).and_b(input.le_e(hi as u64))
+        };
+        inside = inside.or_b(r);
+    }
+    if class.negated {
+        inside.not_b()
+    } else {
+        inside
+    }
+}
+
+/// Builds the regex-matching processing unit (8-bit in, 32-bit out) for
+/// `pattern`.
+///
+/// # Panics
+///
+/// Panics on a regex syntax error (patterns are compile-time constants).
+pub fn regex_unit(pattern: &str) -> UnitSpec {
+    let nfa = Nfa::build(pattern).expect("valid pattern");
+    let mut u = UnitBuilder::new("Regex", 8, 32);
+    let input = u.input();
+    let nf = u.stream_finished().not_b();
+    let pos = u.reg("pos", 32, 0);
+
+    let states: Vec<_> = (0..nfa.classes.len())
+        .map(|p| u.reg(format!("s{p}"), 1, 0))
+        .collect();
+
+    u.if_(nf, |u| {
+        let matches: Vec<E> =
+            nfa.classes.iter().map(|c| class_expr(&input, c)).collect();
+        let mut accept: E = lit(0, 1);
+        for p in 0..nfa.classes.len() {
+            // Sources: start-anywhere (unanchored) plus every q with
+            // p ∈ follow(q).
+            let mut src: E = if nfa.first.contains(&p) { lit(1, 1) } else { lit(0, 1) };
+            for q in 0..nfa.classes.len() {
+                if nfa.follow[q].contains(&p) {
+                    src = src.or_b(states[q].e());
+                }
+            }
+            let next = src.and_b(matches[p].clone());
+            u.set(states[p], next.clone());
+            if nfa.last.contains(&p) {
+                accept = accept.or_b(next);
+            }
+        }
+        u.if_(accept, |u| u.emit(pos.e() + 1u64));
+        u.set(pos, pos + 1u64);
+    });
+
+    u.build().expect("regex unit is valid")
+}
+
+/// Builds a *multi-pattern* matching unit: one circuit matching all
+/// `patterns` simultaneously (their NFAs run side by side), emitting a
+/// 32-bit token of `(pattern_index << 28) | match_end` — the multi-rule
+/// string-search setup the paper's introduction motivates, at zero extra
+/// cycles per token.
+///
+/// If several patterns match at the same character, the lowest pattern
+/// index wins (one emit per virtual cycle).
+///
+/// # Panics
+///
+/// Panics on a regex syntax error or more than 16 patterns.
+pub fn multi_regex_unit(patterns: &[&str]) -> UnitSpec {
+    assert!(!patterns.is_empty() && patterns.len() <= 16, "1..=16 patterns");
+    let nfas: Vec<Nfa> = patterns
+        .iter()
+        .map(|p| Nfa::build(p).expect("valid pattern"))
+        .collect();
+    let mut u = UnitBuilder::new("MultiRegex", 8, 32);
+    let input = u.input();
+    let nf = u.stream_finished().not_b();
+    let pos = u.reg("pos", 28, 0);
+
+    // Accept signal per pattern, each with its own state registers.
+    let mut accepts: Vec<E> = Vec::new();
+    for (pi, nfa) in nfas.iter().enumerate() {
+        let states: Vec<_> = (0..nfa.classes.len())
+            .map(|p| u.reg(format!("p{pi}s{p}"), 1, 0))
+            .collect();
+        let mut accept: E = lit(0, 1);
+        let matches: Vec<E> = nfa.classes.iter().map(|c| class_expr(&input, c)).collect();
+        let mut nexts: Vec<(usize, E)> = Vec::new();
+        for p in 0..nfa.classes.len() {
+            let mut src: E = if nfa.first.contains(&p) { lit(1, 1) } else { lit(0, 1) };
+            for q in 0..nfa.classes.len() {
+                if nfa.follow[q].contains(&p) {
+                    src = src.or_b(states[q].e());
+                }
+            }
+            let next = src.and_b(matches[p].clone());
+            nexts.push((p, next.clone()));
+            if nfa.last.contains(&p) {
+                accept = accept.or_b(next);
+            }
+        }
+        // Record the state updates under the processing guard.
+        let states2 = states.clone();
+        u.if_(nf.clone(), move |u| {
+            for (p, next) in nexts {
+                u.set(states2[p], next);
+            }
+        });
+        accepts.push(accept);
+    }
+
+    // Single emit site: priority-select the lowest matching pattern.
+    let mut any: E = lit(0, 1);
+    let mut tag: E = lit(0, 4);
+    for (pi, a) in accepts.iter().enumerate().rev() {
+        tag = a.mux(lit(pi as u64, 4), tag);
+        any = any.or_b(a.clone());
+    }
+    let token = tag.concat(pos.e() + 1u64);
+    u.if_(nf.clone().and_b(any), move |u| u.emit(token));
+    u.if_(nf, |u| u.set(pos, pos + 1u64));
+
+    u.build().expect("multi-regex unit is valid")
+}
+
+/// Reference matcher for [`multi_regex_unit`]: `(index<<28)|end` tokens
+/// as little-endian `u32`s, lowest pattern index winning ties.
+pub fn multi_golden(patterns: &[&str], input: &[u8]) -> Vec<u8> {
+    let nfas: Vec<Nfa> = patterns
+        .iter()
+        .map(|p| Nfa::build(p).expect("valid pattern"))
+        .collect();
+    let ends: Vec<Vec<u32>> = nfas.iter().map(|n| n.match_ends(input)).collect();
+    let mut out = Vec::new();
+    for e in 1..=input.len() as u32 {
+        if let Some(pi) = ends.iter().position(|v| v.contains(&e)) {
+            let token = ((pi as u32) << 28) | (e & 0x0FFF_FFFF);
+            out.extend_from_slice(&token.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// The email pattern used by the paper's regex benchmark suite.
+pub const EMAIL_PATTERN: &str = "[a-zA-Z0-9_.+-]+@[a-zA-Z0-9-]+\\.[a-zA-Z0-9-]{2,4}";
+
+/// Reference matcher over a byte stream: match-end indices as
+/// little-endian `u32`s.
+pub fn golden(pattern: &str, input: &[u8]) -> Vec<u8> {
+    let nfa = Nfa::build(pattern).expect("valid pattern");
+    let mut out = Vec::new();
+    for e in nfa.match_ends(input) {
+        out.extend_from_slice(&e.to_le_bytes());
+    }
+    out
+}
+
+/// Generates log-like text with emails sprinkled in.
+pub fn gen_stream(seed: u64, approx_bytes: usize) -> Vec<u8> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let words = [
+        "error", "warn", "request", "served", "from", "cache", "timeout", "user", "page",
+        "login", "at", "2026-07-06",
+    ];
+    let names = ["alice", "bob.smith", "carol99", "dave_x", "eve+test"];
+    let hosts = ["example.com", "mail.io", "corp.net", "uni.edu"];
+    let mut out = Vec::with_capacity(approx_bytes);
+    while out.len() < approx_bytes {
+        for _ in 0..rng.gen_range(5..15) {
+            out.extend_from_slice(words[rng.gen_range(0..words.len())].as_bytes());
+            out.push(b' ');
+        }
+        if rng.gen_bool(0.4) {
+            out.extend_from_slice(names[rng.gen_range(0..names.len())].as_bytes());
+            out.push(b'@');
+            out.extend_from_slice(hosts[rng.gen_range(0..hosts.len())].as_bytes());
+            out.push(b' ');
+        }
+        out.push(b'\n');
+    }
+    out.truncate(approx_bytes);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet_isim::{bytes_to_tokens, tokens_to_bytes, Interpreter};
+
+    fn run_unit(pattern: &str, text: &[u8]) -> Vec<u8> {
+        let spec = regex_unit(pattern);
+        let tokens = bytes_to_tokens(text, 8).unwrap();
+        let out = Interpreter::run_tokens(&spec, &tokens).unwrap();
+        tokens_to_bytes(&out.tokens, 32)
+    }
+
+    #[test]
+    fn literal_match() {
+        assert_eq!(run_unit("abc", b"xxabcxxabc"), golden("abc", b"xxabcxxabc"));
+        assert!(!golden("abc", b"xxabcxx").is_empty());
+    }
+
+    #[test]
+    fn alternation_and_star() {
+        let pat = "a(b|c)*d";
+        for text in [&b"abcbcbd"[..], b"ad", b"abd", b"acd", b"axd", b"aabbccdd"] {
+            assert_eq!(run_unit(pat, text), golden(pat, text), "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn plus_question_and_counted() {
+        let pat = "ab+c?d{2,3}";
+        for text in [&b"abdd"[..], b"abbbcddd", b"abcd", b"abcdddd", b"add"] {
+            assert_eq!(run_unit(pat, text), golden(pat, text), "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn classes_and_negation() {
+        let pat = "[a-c]+[^0-9]x";
+        for text in [&b"abc!x"[..], b"a1x", b"cc x", b"abcx"] {
+            assert_eq!(run_unit(pat, text), golden(pat, text), "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn email_pattern_on_synthetic_logs() {
+        let text = gen_stream(42, 4000);
+        let got = run_unit(EMAIL_PATTERN, &text);
+        let expect = golden(EMAIL_PATTERN, &text);
+        assert_eq!(got, expect);
+        assert!(
+            expect.len() >= 8,
+            "workload should contain several emails, got {} matches",
+            expect.len() / 4
+        );
+    }
+
+    #[test]
+    fn one_virtual_cycle_per_character() {
+        let spec = regex_unit(EMAIL_PATTERN);
+        let text = gen_stream(1, 1000);
+        let tokens = bytes_to_tokens(&text, 8).unwrap();
+        let out = Interpreter::run_tokens(&spec, &tokens).unwrap();
+        assert_eq!(out.vcycles, tokens.len() as u64 + 1);
+    }
+
+    #[test]
+    fn nested_stars_and_groups() {
+        let pat = "x(y(z|w)*)*q";
+        for text in [&b"xq"[..], b"xyq", b"xyzq", b"xyzwzyq", b"xyzwq", b"xzq", b"xyzw"] {
+            assert_eq!(run_unit(pat, text), golden(pat, text), "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn star_of_alternation() {
+        let pat = "(a|b)*c";
+        for text in [&b"c"[..], b"abababc", b"bbbac", b"ab", b"cc"] {
+            assert_eq!(run_unit(pat, text), golden(pat, text), "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn overlapping_matches_report_every_end() {
+        // "aa" in "aaaa" ends at 2, 3, 4.
+        assert_eq!(golden("aa", b"aaaa"), {
+            let mut v = Vec::new();
+            for e in [2u32, 3, 4] {
+                v.extend_from_slice(&e.to_le_bytes());
+            }
+            v
+        });
+        assert_eq!(run_unit("aa", b"aaaa"), golden("aa", b"aaaa"));
+    }
+
+    #[test]
+    fn class_range_boundaries() {
+        let pat = "[b-d]+";
+        for text in [&b"abcde"[..], b"aaee", b"bd"] {
+            assert_eq!(run_unit(pat, text), golden(pat, text), "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn multi_pattern_unit_matches_reference() {
+        let patterns = ["abc", "[0-9]+x", "q(r|s)*t"];
+        let spec = multi_regex_unit(&patterns);
+        let text = b"zzabc123x__qrsrt_abc9x";
+        let tokens: Vec<u64> = text.iter().map(|&b| b as u64).collect();
+        let out = fleet_isim::Interpreter::run_tokens(&spec, &tokens).unwrap();
+        let got = fleet_isim::tokens_to_bytes(&out.tokens, 32);
+        let expect = multi_golden(&patterns, text);
+        assert_eq!(got, expect);
+        assert!(!expect.is_empty());
+    }
+
+    #[test]
+    fn multi_pattern_lowest_index_wins_ties() {
+        // Both patterns match at the same end; index 0 must win.
+        let patterns = ["ab", "b"];
+        let spec = multi_regex_unit(&patterns);
+        let tokens: Vec<u64> = b"ab".iter().map(|&b| b as u64).collect();
+        let out = fleet_isim::Interpreter::run_tokens(&spec, &tokens).unwrap();
+        // End index 2, pattern 0.
+        assert_eq!(out.tokens, vec![2]);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("a(b").is_err());
+        assert!(parse("*a").is_err());
+        assert!(parse("a{3,1}").is_err());
+        assert!(parse("[ab").is_err());
+    }
+}

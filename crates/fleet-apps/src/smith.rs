@@ -1,0 +1,216 @@
+//! Smith-Waterman fuzzy matching (§7.1).
+//!
+//! The unit holds one row of the local-alignment score matrix in `M`
+//! registers (the paper's key observation: values depend only on the
+//! same and previous row). Each input character updates the whole row in
+//! a single virtual cycle — a deep combinational chain that fuses what
+//! would be dozens of CPU instructions, the paper's main source of
+//! speedup. Whenever any cell reaches the runtime-provided threshold,
+//! the current stream index is emitted; software can reconstruct exact
+//! matches from those positions.
+//!
+//! Stream format: `M` target bytes, then 1 threshold byte, then payload.
+
+use fleet_lang::{lit, E, UnitBuilder, UnitSpec};
+
+/// Target string length (the paper uses m = 16).
+pub const M: usize = 16;
+
+/// Match bonus.
+pub const MATCH: u8 = 2;
+/// Mismatch / gap penalty (subtracted, saturating at zero).
+pub const PENALTY: u8 = 1;
+
+/// Builds the Smith-Waterman processing unit (8-bit in, 32-bit out).
+pub fn smith_unit() -> UnitSpec {
+    let mut u = UnitBuilder::new("SmithWaterman", 8, 32);
+    let input = u.input();
+    let nf = u.stream_finished().not_b();
+
+    // Setup phase: load target chars and threshold.
+    let setup_cnt = u.reg("setupCnt", 6, 0); // 0..=M
+    let threshold = u.reg("threshold", 8, 0);
+    let targets: Vec<_> = (0..M).map(|j| u.reg(format!("target{j}"), 8, 0)).collect();
+    let row: Vec<_> = (0..M).map(|j| u.reg(format!("h{j}"), 8, 0)).collect();
+    let pos = u.reg("pos", 32, 0);
+
+    let in_setup = setup_cnt.le_e(M as u64);
+
+    u.if_(nf, |u| {
+        u.if_(in_setup.clone(), |u| {
+            for (j, t) in targets.iter().enumerate() {
+                u.if_(setup_cnt.eq_e(j as u64), |u| u.set(*t, input.clone()));
+            }
+            u.if_(setup_cnt.eq_e(M as u64), |u| u.set(threshold, input.clone()));
+            u.set(setup_cnt, setup_cnt + 1u64);
+            u.set(pos, pos + 1u64);
+        })
+        .else_(|u| {
+            // One full row update per character.
+            let sat_dec = |x: &E| x.eq_e(0u64).mux(lit(0, 8), x.clone() - PENALTY as u64);
+            let sat_inc = |x: &E| {
+                x.gt_e((255 - MATCH) as u64)
+                    .mux(lit(255, 8), x.clone() + MATCH as u64)
+            };
+            let max2 = |a: &E, b: &E| a.ge_e(b.clone()).mux(a.clone(), b.clone());
+
+            let mut left: E = lit(0, 8); // column boundary H[i][-1] = 0
+            let mut any_hit: E = lit(0, 1);
+            let mut new_vals: Vec<E> = Vec::with_capacity(M);
+            for j in 0..M {
+                let diag: E = if j == 0 { lit(0, 8) } else { row[j - 1].e() };
+                let up: E = row[j].e();
+                let is_match = input.eq_e(targets[j].e());
+                let diag_score = is_match.mux(sat_inc(&diag), sat_dec(&diag));
+                let best = max2(&max2(&diag_score, &sat_dec(&up)), &sat_dec(&left));
+                any_hit = any_hit.or_b(best.ge_e(threshold.e()));
+                new_vals.push(best.clone());
+                left = best;
+            }
+            for (j, v) in new_vals.into_iter().enumerate() {
+                u.set(row[j], v);
+            }
+            // Absolute stream index of the current character.
+            u.if_(any_hit, |u| u.emit(pos.e()));
+            u.set(pos, pos + 1u64);
+        });
+    });
+
+    u.build().expect("smith-waterman unit is valid")
+}
+
+/// Reference implementation over the same stream format: emits the
+/// payload indices whose row contains a cell ≥ threshold, as
+/// little-endian `u32`s.
+pub fn golden(input: &[u8]) -> Vec<u8> {
+    if input.len() < M + 1 {
+        return Vec::new();
+    }
+    let target = &input[..M];
+    let threshold = input[M];
+    let payload = &input[M + 1..];
+    let mut row = [0u8; M];
+    let mut out = Vec::new();
+    for (i, &c) in payload.iter().enumerate() {
+        let mut new_row = [0u8; M];
+        let mut left = 0u8;
+        let mut hit = false;
+        for j in 0..M {
+            let diag = if j == 0 { 0 } else { row[j - 1] };
+            let up = row[j];
+            let diag_score = if c == target[j] {
+                diag.saturating_add(MATCH)
+            } else {
+                diag.saturating_sub(PENALTY)
+            };
+            let best = diag_score
+                .max(up.saturating_sub(PENALTY))
+                .max(left.saturating_sub(PENALTY));
+            hit |= best >= threshold;
+            new_row[j] = best;
+            left = best;
+        }
+        row = new_row;
+        if hit {
+            out.extend_from_slice(&(i as u32 + M as u32 + 1).to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Generates a stream: random DNA-like payload with the target planted
+/// every ~500 bytes (sometimes with one mutation).
+pub fn gen_stream(seed: u64, approx_bytes: usize) -> Vec<u8> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let alphabet = b"ACGT";
+    let target: Vec<u8> = (0..M).map(|_| alphabet[rng.gen_range(0..4)]).collect();
+    let threshold = (M as u8) * MATCH - 6; // allows a couple of mutations
+
+    let mut out = Vec::with_capacity(approx_bytes + M + 1);
+    out.extend_from_slice(&target);
+    out.push(threshold);
+    while out.len() < approx_bytes {
+        for _ in 0..rng.gen_range(300..700) {
+            out.push(alphabet[rng.gen_range(0..4)]);
+        }
+        let mut planted = target.clone();
+        if rng.gen_bool(0.5) {
+            let k = rng.gen_range(0..M);
+            planted[k] = alphabet[rng.gen_range(0..4)];
+        }
+        out.extend_from_slice(&planted);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet_isim::{bytes_to_tokens, tokens_to_bytes, Interpreter};
+
+    fn run_unit(stream: &[u8]) -> Vec<u8> {
+        let spec = smith_unit();
+        let tokens = bytes_to_tokens(stream, 8).unwrap();
+        let out = Interpreter::run_tokens(&spec, &tokens).unwrap();
+        tokens_to_bytes(&out.tokens, 32)
+    }
+
+    #[test]
+    fn exact_match_is_found() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(b"ACGTACGTACGTACGT"); // target
+        stream.push((M as u8) * MATCH); // exact threshold
+        stream.extend_from_slice(b"TTTTACGTACGTACGTACGTTTTT");
+        let got = run_unit(&stream);
+        let expect = golden(&stream);
+        assert_eq!(got, expect);
+        assert!(!expect.is_empty(), "the planted exact match must be reported");
+    }
+
+    #[test]
+    fn matches_golden_on_random_stream() {
+        let stream = gen_stream(11, 4000);
+        assert_eq!(run_unit(&stream), golden(&stream));
+    }
+
+    #[test]
+    fn fuzzy_matches_within_threshold() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(b"AAAACCCCGGGGTTTT");
+        stream.push((M as u8) * MATCH - 3); // one mutation allowed
+        stream.extend_from_slice(b"GGGG");
+        stream.extend_from_slice(b"AAAACCCCGGGGTTTA"); // one mismatch
+        stream.extend_from_slice(b"GGGG");
+        let got = run_unit(&stream);
+        assert!(!got.is_empty(), "single-mutation match must clear the threshold");
+        assert_eq!(got, golden(&stream));
+    }
+
+    #[test]
+    fn empty_payload_matches_nothing() {
+        let mut stream = vec![b'A'; M];
+        stream.push(1);
+        assert_eq!(run_unit(&stream), golden(&stream));
+        assert!(golden(&stream).is_empty());
+    }
+
+    #[test]
+    fn threshold_zero_fires_everywhere() {
+        let mut stream = vec![b'A'; M];
+        stream.push(0);
+        stream.extend_from_slice(b"CGT");
+        let got = run_unit(&stream);
+        assert_eq!(got, golden(&stream));
+        assert_eq!(got.len() / 4, 3, "every payload index reported");
+    }
+
+    #[test]
+    fn one_virtual_cycle_per_character() {
+        let spec = smith_unit();
+        let stream = gen_stream(2, 2000);
+        let tokens = bytes_to_tokens(&stream, 8).unwrap();
+        let out = Interpreter::run_tokens(&spec, &tokens).unwrap();
+        assert_eq!(out.vcycles, tokens.len() as u64 + 1); // +1 cleanup
+    }
+}

@@ -1,0 +1,407 @@
+//! Gradient-boosted decision-tree evaluation (§7.1).
+//!
+//! The ensemble's nodes are loaded from the start of the stream into a
+//! BRAM; the rest of the stream is datapoints of `n_features` 32-bit
+//! integers. Evaluation walks each tree in a `while` loop at two virtual
+//! cycles per level: one cycle registers the node word read from the
+//! node BRAM, the next compares the selected feature against the
+//! threshold and chooses a child — the structure the paper describes as
+//! "only one comparison for each BRAM read", which makes this the one
+//! application bound on aggregate BRAM throughput rather than logic.
+//!
+//! Evaluation of datapoint *k* runs while the first feature of datapoint
+//! *k+1* is pending (exactly like Figure 3's histogram flush), so the
+//! cleanup execution scores the final datapoint.
+//!
+//! ## Stream format (32-bit little-endian tokens)
+//!
+//! `[n_nodes][n_features][n_trees][root_0..root_{t-1}][node words: 2
+//! tokens each (lo, hi)]` then datapoints.
+
+use fleet_lang::{lit, UnitBuilder, UnitSpec};
+use rand::{Rng, SeedableRng};
+
+/// Maximum ensemble size in nodes.
+pub const MAX_NODES: usize = 1024;
+/// Maximum number of trees.
+pub const MAX_TREES: usize = 16;
+/// Maximum features per datapoint.
+pub const MAX_FEATURES: usize = 64;
+
+/// One ensemble node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Node {
+    /// Internal split: go left when `feature < threshold`.
+    Split {
+        /// Feature index.
+        feature: u16,
+        /// Split threshold (unsigned compare).
+        threshold: u32,
+        /// Left child node index.
+        left: u16,
+        /// Right child node index.
+        right: u16,
+    },
+    /// Leaf contribution added to the score.
+    Leaf {
+        /// Value added to the (wrapping) 32-bit score.
+        value: u32,
+    },
+}
+
+impl Node {
+    /// Packs the node into the 63-bit hardware layout:
+    /// `[62]=leaf [61:52]=right [51:42]=left [41:32]=feature [31:0]=threshold/value`.
+    pub fn pack(self) -> u64 {
+        match self {
+            Node::Split { feature, threshold, left, right } => {
+                debug_assert!(feature < 1024 && left < 1024 && right < 1024);
+                ((right as u64) << 52)
+                    | ((left as u64) << 42)
+                    | ((feature as u64) << 32)
+                    | threshold as u64
+            }
+            Node::Leaf { value } => (1u64 << 62) | value as u64,
+        }
+    }
+
+    /// Inverse of [`Node::pack`].
+    pub fn unpack(word: u64) -> Node {
+        if word & (1 << 62) != 0 {
+            Node::Leaf { value: word as u32 }
+        } else {
+            Node::Split {
+                feature: ((word >> 32) & 0x3FF) as u16,
+                threshold: word as u32,
+                left: ((word >> 42) & 0x3FF) as u16,
+                right: ((word >> 52) & 0x3FF) as u16,
+            }
+        }
+    }
+}
+
+/// A gradient-boosted ensemble: shared node arena plus per-tree roots.
+#[derive(Debug, Clone)]
+pub struct Ensemble {
+    /// All nodes of all trees.
+    pub nodes: Vec<Node>,
+    /// Root node index of each tree.
+    pub roots: Vec<u16>,
+    /// Features per datapoint.
+    pub n_features: usize,
+}
+
+impl Ensemble {
+    /// Generates a random complete-ish ensemble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested shape exceeds the hardware limits.
+    pub fn random(seed: u64, n_trees: usize, depth: usize, n_features: usize) -> Ensemble {
+        assert!(n_trees <= MAX_TREES && n_features <= MAX_FEATURES);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut nodes = Vec::new();
+        let mut roots = Vec::new();
+        for _ in 0..n_trees {
+            let root = gen_tree(&mut rng, &mut nodes, depth, n_features);
+            roots.push(root);
+        }
+        assert!(nodes.len() <= MAX_NODES, "ensemble too large");
+        Ensemble { nodes, roots, n_features }
+    }
+
+    /// Scores one datapoint: wrapping sum of the leaf values of every
+    /// tree.
+    pub fn score(&self, features: &[u32]) -> u32 {
+        let mut acc = 0u32;
+        for &root in &self.roots {
+            let mut cur = root as usize;
+            loop {
+                match self.nodes[cur] {
+                    Node::Leaf { value } => {
+                        acc = acc.wrapping_add(value);
+                        break;
+                    }
+                    Node::Split { feature, threshold, left, right } => {
+                        cur = if features[feature as usize] < threshold {
+                            left as usize
+                        } else {
+                            right as usize
+                        };
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    /// Serializes the header tokens of the stream format.
+    pub fn header_tokens(&self) -> Vec<u32> {
+        let mut out = vec![
+            self.nodes.len() as u32,
+            self.n_features as u32,
+            self.roots.len() as u32,
+        ];
+        out.extend(self.roots.iter().map(|&r| r as u32));
+        for n in &self.nodes {
+            let w = n.pack();
+            out.push(w as u32);
+            out.push((w >> 32) as u32);
+        }
+        out
+    }
+}
+
+fn gen_tree(
+    rng: &mut rand::rngs::StdRng,
+    nodes: &mut Vec<Node>,
+    depth: usize,
+    n_features: usize,
+) -> u16 {
+    if depth == 0 {
+        nodes.push(Node::Leaf { value: rng.gen_range(0..1000) });
+        return (nodes.len() - 1) as u16;
+    }
+    let left = gen_tree(rng, nodes, depth - 1, n_features);
+    let right = gen_tree(rng, nodes, depth - 1, n_features);
+    nodes.push(Node::Split {
+        feature: rng.gen_range(0..n_features) as u16,
+        threshold: rng.gen(),
+        left,
+        right,
+    });
+    (nodes.len() - 1) as u16
+}
+
+/// Builds the decision-tree processing unit (32-bit in, 32-bit out).
+pub fn tree_unit() -> UnitSpec {
+    let mut u = UnitBuilder::new("DecisionTree", 32, 32);
+    let input = u.input();
+
+    // Header state.
+    let phase = u.reg("phase", 3, 0); // 0..=4: nNodes,nFeat,nTrees,roots,nodes; 5: run
+    let n_nodes = u.reg("nNodes", 11, 0);
+    let n_feat = u.reg("nFeatures", 7, 0);
+    let n_trees = u.reg("nTrees", 5, 0);
+    let load_idx = u.reg("loadIdx", 12, 0);
+    let word_lo = u.reg("wordLo", 32, 0);
+    let roots = u.vec_reg("roots", MAX_TREES, 10, 0);
+    let nodes = u.bram("nodes", MAX_NODES, 63);
+    let dp = u.bram("datapoint", MAX_FEATURES, 32);
+
+    // Evaluation state.
+    let feat_idx = u.reg("featIdx", 7, 0);
+    let evaluating = u.reg("evaluating", 1, 0);
+    let step = u.reg("step", 1, 0);
+    let cur_node = u.reg("curNode", 10, 0);
+    let node_word = u.reg("nodeWord", 63, 0);
+    let tree_idx = u.reg("treeIdx", 5, 0);
+    let acc = u.reg("acc", 32, 0);
+
+    // ---- Tree walk: two virtual cycles per level. ----
+    u.while_(evaluating.e(), |u| {
+        u.if_(step.eq_e(0u64), |u| {
+            u.set(node_word, nodes.read(cur_node.e()));
+            u.set(step, lit(1, 1));
+        })
+        .else_(|u| {
+            let is_leaf = node_word.bit(62);
+            let value = node_word.slice(31, 0);
+            let feature = node_word.slice(41, 32).slice(6, 0);
+            let left = node_word.slice(51, 42);
+            let right = node_word.slice(61, 52);
+            u.if_(is_leaf, |u| {
+                u.set(acc, acc.e() + value.clone());
+                let last_tree = tree_idx.eq_e(n_trees.e() - 1u64);
+                u.if_(last_tree, |u| {
+                    u.emit(acc.e() + value.clone());
+                    u.set(evaluating, lit(0, 1));
+                    u.set(tree_idx, lit(0, 5));
+                })
+                .else_(|u| {
+                    u.set(tree_idx, tree_idx + 1u64);
+                    u.set(cur_node, roots.read(tree_idx + 1u64));
+                });
+            })
+            .else_(|u| {
+                let x = dp.read(feature);
+                let go_left = x.lt_e(node_word.slice(31, 0));
+                u.set(cur_node, go_left.mux(left, right));
+            });
+            u.set(step, lit(0, 1));
+        });
+    });
+
+    // ---- Final virtual cycle: consume the token. ----
+    u.if_(phase.eq_e(0u64), |u| {
+        u.set(n_nodes, input.slice(10, 0));
+        u.set(phase, lit(1, 3));
+    })
+    .elif(phase.eq_e(1u64), |u| {
+        u.set(n_feat, input.slice(6, 0));
+        u.set(phase, lit(2, 3));
+    })
+    .elif(phase.eq_e(2u64), |u| {
+        u.set(n_trees, input.slice(4, 0));
+        u.set(load_idx, lit(0, 12));
+        u.set(phase, lit(3, 3));
+    })
+    .elif(phase.eq_e(3u64), |u| {
+        // Roots.
+        u.set_vec(roots, load_idx.slice(3, 0), input.slice(9, 0));
+        let done = (load_idx + 1u64).eq_e(n_trees.e());
+        u.set(load_idx, done.clone().mux(lit(0, 12), load_idx + 1u64));
+        u.if_(done, |u| u.set(phase, lit(4, 3)));
+    })
+    .elif(phase.eq_e(4u64), |u| {
+        // Node words, two tokens each.
+        u.if_(load_idx.bit(0).eq_e(0u64), |u| {
+            u.set(word_lo, input.clone());
+        })
+        .else_(|u| {
+            let word = input.slice(30, 0).concat(word_lo.e()); // 63 bits
+            u.write(nodes, load_idx >> 1u64, word);
+        });
+        let done = (load_idx + 1u64).eq_e(n_nodes.e().concat(lit(0, 1))); // 2*n_nodes
+        u.set(load_idx, load_idx + 1u64);
+        u.if_(done, |u| {
+            u.set(phase, lit(5, 3));
+            u.set(feat_idx, lit(0, 7));
+        });
+    })
+    .else_(|u| {
+        // Datapoint collection; evaluation of the previous datapoint has
+        // already run in the while loop above.
+        u.write(dp, feat_idx.e(), input.clone());
+        let last = (feat_idx + 1u64).eq_e(n_feat.e());
+        u.set(feat_idx, last.clone().mux(lit(0, 7), feat_idx + 1u64));
+        u.if_(last, |u| {
+            u.set(evaluating, lit(1, 1));
+            u.set(step, lit(0, 1));
+            u.set(acc, lit(0, 32));
+            u.set(cur_node, roots.read(lit(0, 4)));
+            u.set(tree_idx, lit(0, 5));
+        });
+    });
+
+    u.build().expect("decision tree unit is valid")
+}
+
+/// Reference implementation over the whole stream format.
+pub fn golden(input: &[u8]) -> Vec<u8> {
+    let tokens: Vec<u32> = input
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+    let n_nodes = tokens[0] as usize;
+    let n_features = tokens[1] as usize;
+    let n_trees = tokens[2] as usize;
+    let roots: Vec<u16> = tokens[3..3 + n_trees].iter().map(|&r| r as u16).collect();
+    let mut nodes = Vec::with_capacity(n_nodes);
+    let base = 3 + n_trees;
+    for k in 0..n_nodes {
+        let lo = tokens[base + 2 * k] as u64;
+        let hi = tokens[base + 2 * k + 1] as u64;
+        nodes.push(Node::unpack(((hi & 0x7FFF_FFFF) << 32) | lo));
+    }
+    let ens = Ensemble { nodes, roots, n_features };
+    let mut out = Vec::new();
+    for dp in tokens[base + 2 * n_nodes..].chunks_exact(n_features) {
+        out.extend_from_slice(&ens.score(dp).to_le_bytes());
+    }
+    out
+}
+
+/// Generates a stream: header for a random ensemble plus random
+/// datapoints, roughly `approx_bytes` long.
+pub fn gen_stream(seed: u64, approx_bytes: usize) -> Vec<u8> {
+    gen_stream_shaped(seed, approx_bytes, 8, 6, 8)
+}
+
+/// Generates a stream with an explicit ensemble shape.
+pub fn gen_stream_shaped(
+    seed: u64,
+    approx_bytes: usize,
+    n_trees: usize,
+    depth: usize,
+    n_features: usize,
+) -> Vec<u8> {
+    let ens = Ensemble::random(seed, n_trees, depth, n_features);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let mut tokens = ens.header_tokens();
+    let n_dp = (approx_bytes / 4).saturating_sub(tokens.len()) / n_features;
+    for _ in 0..n_dp.max(1) {
+        for _ in 0..n_features {
+            tokens.push(rng.gen());
+        }
+    }
+    let mut out = Vec::with_capacity(tokens.len() * 4);
+    for t in tokens {
+        out.extend_from_slice(&t.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet_isim::{bytes_to_tokens, tokens_to_bytes, Interpreter};
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let n = Node::Split { feature: 5, threshold: 0xDEADBEEF, left: 100, right: 1023 };
+        assert_eq!(Node::unpack(n.pack()), n);
+        let l = Node::Leaf { value: 0xFFFF_FFFF };
+        assert_eq!(Node::unpack(l.pack()), l);
+    }
+
+    fn run_unit(stream: &[u8]) -> Vec<u8> {
+        let spec = tree_unit();
+        let tokens = bytes_to_tokens(stream, 32).unwrap();
+        let out = Interpreter::run_tokens(&spec, &tokens).unwrap();
+        tokens_to_bytes(&out.tokens, 32)
+    }
+
+    #[test]
+    fn single_stump_matches() {
+        let stream = gen_stream_shaped(1, 800, 1, 1, 2);
+        assert_eq!(run_unit(&stream), golden(&stream));
+    }
+
+    #[test]
+    fn ensemble_matches_golden() {
+        let stream = gen_stream_shaped(7, 6000, 4, 4, 8);
+        let got = run_unit(&stream);
+        let expect = golden(&stream);
+        assert!(!expect.is_empty());
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn default_shape_matches() {
+        let stream = gen_stream(99, 20_000);
+        assert_eq!(run_unit(&stream), golden(&stream));
+    }
+
+    #[test]
+    fn walk_takes_two_vcycles_per_level() {
+        // depth-6 trees, 8 of them: expect ~ (2*(6+1)) * 8 walk virtual
+        // cycles per datapoint on top of the n_features collect cycles.
+        let stream = gen_stream_shaped(3, 30_000, 8, 6, 16);
+        let spec = tree_unit();
+        let tokens = bytes_to_tokens(&stream, 32).unwrap();
+        let out = Interpreter::run_tokens(&spec, &tokens).unwrap();
+        let header = 3 + 8 + 2 * golden_nodes(&stream);
+        let n_dp = (tokens.len() - header) / 16;
+        let walk = out.vcycles as i64 - tokens.len() as i64 - 1;
+        let per_dp = walk as f64 / n_dp as f64;
+        assert!(
+            (100.0..=125.0).contains(&per_dp),
+            "walk cycles per datapoint {per_dp:.1} outside the 2-per-level model"
+        );
+    }
+
+    fn golden_nodes(stream: &[u8]) -> usize {
+        u32::from_le_bytes(stream[0..4].try_into().unwrap()) as usize
+    }
+}

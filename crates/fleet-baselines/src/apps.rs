@@ -1,0 +1,684 @@
+//! The six applications as stream kernels (the paper's CPU/CUDA
+//! baselines, §7.2): same token-based model and algorithms as the Fleet
+//! units, written once in the kernel IR and executed natively (CPU
+//! baseline) or warp-lockstep (GPU model).
+//!
+//! Every kernel's output is asserted byte-identical to the corresponding
+//! `fleet-apps` golden reference, so the three implementations (Fleet
+//! unit, golden, baseline kernel) can never drift apart.
+
+use fleet_apps::regex::Nfa;
+use fleet_apps::{bloom, intcode, smith};
+
+use crate::kernel::kb::*;
+use crate::kernel::{KExpr, KStmt, Kernel};
+
+/// Tiny helper to hand out variable indices.
+struct Vars(usize);
+
+impl Vars {
+    fn new() -> Vars {
+        Vars(0)
+    }
+    fn var(&mut self) -> usize {
+        self.0 += 1;
+        self.0 - 1
+    }
+}
+
+fn read_loop(tok: usize, eof: usize, body: Vec<KStmt>) -> Vec<KStmt> {
+    let mut out = vec![KStmt::Read(tok, eof)];
+    let mut b = body;
+    b.push(KStmt::Read(tok, eof));
+    out.push(KStmt::While(eq(v(eof), c(0)), b));
+    out
+}
+
+/// Bloom-filter kernel (32-bit tokens, byte-array filter).
+pub fn bloom_kernel() -> Kernel {
+    let mut vs = Vars::new();
+    let tok = vs.var();
+    let eof = vs.var();
+    let cnt = vs.var();
+    let k = vs.var();
+    let h = vs.var();
+    let j = vs.var();
+    const FILTER: usize = 0;
+    const CONSTS: usize = 1;
+
+    let shift = 32 - bloom::FILTER_BITS.trailing_zeros() as u64;
+    let mut body = Vec::new();
+    // Flush a full block before processing this token.
+    body.push(KStmt::If(
+        eq(v(cnt), c(bloom::BLOCK_ITEMS)),
+        vec![
+            KStmt::Set(j, c(0)),
+            KStmt::While(lt(v(j), c(bloom::FILTER_BITS / 8)), vec![
+                KStmt::Emit(ld(FILTER, v(j))),
+                KStmt::St(FILTER, v(j), c(0)),
+                KStmt::Set(j, add(v(j), c(1))),
+            ]),
+            KStmt::Set(cnt, c(0)),
+        ],
+        vec![],
+    ));
+    // Eight hashes.
+    body.push(KStmt::Set(k, c(0)));
+    body.push(KStmt::While(lt(v(k), c(bloom::K_HASHES as u64)), vec![
+        KStmt::Set(
+            h,
+            shr(and(mul(v(tok), ld(CONSTS, v(k))), c(0xFFFF_FFFF)), c(shift)),
+        ),
+        KStmt::St(
+            FILTER,
+            shr(v(h), c(3)),
+            or(ld(FILTER, shr(v(h), c(3))), shl(c(1), and(v(h), c(7)))),
+        ),
+        KStmt::Set(k, add(v(k), c(1))),
+    ]));
+    body.push(KStmt::Set(cnt, add(v(cnt), c(1))));
+
+    let mut full = Vec::new();
+    // Preload hash constants.
+    for (i, cst) in bloom::HASH_CONSTS.iter().enumerate() {
+        full.push(KStmt::St(CONSTS, c(i as u64), c(*cst as u64)));
+    }
+    full.extend(read_loop(tok, eof, body));
+    // Final flush of a complete block.
+    full.push(KStmt::If(
+        eq(v(cnt), c(bloom::BLOCK_ITEMS)),
+        vec![
+            KStmt::Set(j, c(0)),
+            KStmt::While(lt(v(j), c(bloom::FILTER_BITS / 8)), vec![
+                KStmt::Emit(ld(FILTER, v(j))),
+                KStmt::Set(j, add(v(j), c(1))),
+            ]),
+        ],
+        vec![],
+    ));
+
+    Kernel {
+        name: "bloom".into(),
+        vars: vs.0,
+        arrays: vec![(bloom::FILTER_BITS / 8) as usize, bloom::K_HASHES],
+        token_bytes: 4,
+        out_token_bytes: 1,
+        body: full,
+    }
+}
+
+/// Smith-Waterman kernel (8-bit tokens).
+pub fn smith_kernel() -> Kernel {
+    let mut vs = Vars::new();
+    let tok = vs.var();
+    let eof = vs.var();
+    let setup = vs.var();
+    let thr = vs.var();
+    let pos = vs.var();
+    let j = vs.var();
+    let left = vs.var();
+    let diag = vs.var();
+    let best = vs.var();
+    let hit = vs.var();
+    let tmp = vs.var();
+    const TARGET: usize = 0;
+    const ROW: usize = 1;
+
+    let m = smith::M as u64;
+    let sat_dec = |x: KExpr| sel(eq(x.clone(), c(0)), c(0), sub(x, c(smith::PENALTY as u64)));
+    let body = vec![
+        KStmt::Set(pos, add(v(pos), c(1))),
+        KStmt::If(
+            lt(v(setup), c(m)),
+            vec![
+                KStmt::St(TARGET, v(setup), v(tok)),
+                KStmt::Set(setup, add(v(setup), c(1))),
+            ],
+            vec![KStmt::If(
+                eq(v(setup), c(m)),
+                vec![KStmt::Set(thr, v(tok)), KStmt::Set(setup, add(v(setup), c(1)))],
+                vec![
+                    // Row update.
+                    KStmt::Set(j, c(0)),
+                    KStmt::Set(left, c(0)),
+                    KStmt::Set(diag, c(0)),
+                    KStmt::Set(hit, c(0)),
+                    KStmt::While(lt(v(j), c(m)), vec![
+                        // diag-score = match ? diag+2 (sat 255) : diag-1 (sat 0)
+                        KStmt::Set(
+                            best,
+                            sel(
+                                eq(v(tok), ld(TARGET, v(j))),
+                                sel(
+                                    gt(v(diag), c(255 - smith::MATCH as u64)),
+                                    c(255),
+                                    add(v(diag), c(smith::MATCH as u64)),
+                                ),
+                                sat_dec(v(diag)),
+                            ),
+                        ),
+                        KStmt::Set(tmp, sat_dec(ld(ROW, v(j)))),
+                        KStmt::Set(best, sel(ge(v(best), v(tmp)), v(best), v(tmp))),
+                        KStmt::Set(tmp, sat_dec(v(left))),
+                        KStmt::Set(best, sel(ge(v(best), v(tmp)), v(best), v(tmp))),
+                        KStmt::Set(hit, or(v(hit), ge(v(best), v(thr)))),
+                        KStmt::Set(diag, ld(ROW, v(j))),
+                        KStmt::St(ROW, v(j), v(best)),
+                        KStmt::Set(left, v(best)),
+                        KStmt::Set(j, add(v(j), c(1))),
+                    ]),
+                    KStmt::If(ne(v(hit), c(0)), vec![KStmt::Emit(sub(v(pos), c(1)))], vec![]),
+                ],
+            )],
+        ),
+    ];
+
+    Kernel {
+        name: "smith-waterman".into(),
+        vars: vs.0,
+        arrays: vec![smith::M, smith::M],
+        token_bytes: 1,
+        out_token_bytes: 4,
+        body: read_loop(tok, eof, body),
+    }
+}
+
+/// Regex kernel for a fixed pattern: the NFA state machine fully
+/// elaborated into bit operations on a state word — like the paper's
+/// hand-written CUDA regex.
+///
+/// # Panics
+///
+/// Panics if the pattern is invalid or has more than 63 positions.
+pub fn regex_kernel(pattern: &str) -> Kernel {
+    let nfa = Nfa::build(pattern).expect("valid pattern");
+    assert!(nfa.classes.len() <= 63, "pattern too large for the 64-bit state word");
+    let mut vs = Vars::new();
+    let tok = vs.var();
+    let eof = vs.var();
+    let state = vs.var();
+    let nextst = vs.var();
+    let pos = vs.var();
+    let mcls = vs.var();
+
+    let mut body = vec![KStmt::Set(pos, add(v(pos), c(1))), KStmt::Set(nextst, c(0))];
+    for (p, class) in nfa.classes.iter().enumerate() {
+        // mcls = does the char match class p?
+        let mut m: KExpr = c(0);
+        for &(lo, hi) in &class.ranges {
+            let r = if lo == hi {
+                eq(v(tok), c(lo as u64))
+            } else {
+                and(ge(v(tok), c(lo as u64)), le(v(tok), c(hi as u64)))
+            };
+            m = or(m, r);
+        }
+        if class.negated {
+            m = eq(m, c(0));
+        }
+        body.push(KStmt::Set(mcls, m));
+        // Sources: start-anywhere or follow().
+        let mut src: KExpr = if nfa.first.contains(&p) { c(1) } else { c(0) };
+        for q in 0..nfa.classes.len() {
+            if nfa.follow[q].contains(&p) {
+                src = or(src, and(shr(v(state), c(q as u64)), c(1)));
+            }
+        }
+        body.push(KStmt::Set(
+            nextst,
+            or(v(nextst), shl(and(v(mcls), src), c(p as u64))),
+        ));
+    }
+    body.push(KStmt::Set(state, v(nextst)));
+    let accept = nfa
+        .last
+        .iter()
+        .fold(c(0), |acc, &p| or(acc, and(shr(v(state), c(p as u64)), c(1))));
+    body.push(KStmt::If(ne(accept, c(0)), vec![KStmt::Emit(v(pos))], vec![]));
+
+    Kernel {
+        name: "regex".into(),
+        vars: vs.0,
+        arrays: vec![],
+        token_bytes: 1,
+        out_token_bytes: 4,
+        body: read_loop(tok, eof, body),
+    }
+}
+
+/// Decision-tree kernel (32-bit tokens; same stream format as the unit).
+pub fn tree_kernel() -> Kernel {
+    let mut vs = Vars::new();
+    let tok = vs.var();
+    let eof = vs.var();
+    let phase = vs.var();
+    let n_nodes = vs.var();
+    let n_feat = vs.var();
+    let n_trees = vs.var();
+    let li = vs.var();
+    let word_lo = vs.var();
+    let fi = vs.var();
+    let ti = vs.var();
+    let cur = vs.var();
+    let word = vs.var();
+    let acc = vs.var();
+    const ROOTS: usize = 0;
+    const NODES: usize = 1; // 64-bit node words
+    const DP: usize = 2;
+
+    let body = vec![
+        KStmt::If(eq(v(phase), c(0)), vec![
+            KStmt::Set(n_nodes, v(tok)),
+            KStmt::Set(phase, c(1)),
+        ], vec![
+        KStmt::If(eq(v(phase), c(1)), vec![
+            KStmt::Set(n_feat, v(tok)),
+            KStmt::Set(phase, c(2)),
+        ], vec![
+        KStmt::If(eq(v(phase), c(2)), vec![
+            KStmt::Set(n_trees, v(tok)),
+            KStmt::Set(li, c(0)),
+            KStmt::Set(phase, c(3)),
+        ], vec![
+        KStmt::If(eq(v(phase), c(3)), vec![
+            KStmt::St(ROOTS, v(li), v(tok)),
+            KStmt::Set(li, add(v(li), c(1))),
+            KStmt::If(eq(v(li), v(n_trees)), vec![
+                KStmt::Set(li, c(0)),
+                KStmt::Set(phase, c(4)),
+            ], vec![]),
+        ], vec![
+        KStmt::If(eq(v(phase), c(4)), vec![
+            KStmt::If(eq(and(v(li), c(1)), c(0)),
+                vec![KStmt::Set(word_lo, v(tok))],
+                vec![KStmt::St(NODES, shr(v(li), c(1)),
+                    or(v(word_lo), shl(and(v(tok), c(0x7FFF_FFFF)), c(32))))],
+            ),
+            KStmt::Set(li, add(v(li), c(1))),
+            KStmt::If(eq(v(li), mul(v(n_nodes), c(2))), vec![
+                KStmt::Set(phase, c(5)),
+                KStmt::Set(fi, c(0)),
+            ], vec![]),
+        ], vec![
+            // phase 5: datapoints.
+            KStmt::St(DP, v(fi), v(tok)),
+            KStmt::Set(fi, add(v(fi), c(1))),
+            KStmt::If(eq(v(fi), v(n_feat)), vec![
+                KStmt::Set(fi, c(0)),
+                KStmt::Set(acc, c(0)),
+                KStmt::Set(ti, c(0)),
+                KStmt::While(lt(v(ti), v(n_trees)), vec![
+                    KStmt::Set(cur, ld(ROOTS, v(ti))),
+                    KStmt::Set(word, ld(NODES, v(cur))),
+                    KStmt::While(eq(and(shr(v(word), c(62)), c(1)), c(0)), vec![
+                        // internal: cur = dp[feature] < threshold ? left : right
+                        KStmt::Set(cur, sel(
+                            lt(ld(DP, and(shr(v(word), c(32)), c(0x3FF))),
+                               and(v(word), c(0xFFFF_FFFF))),
+                            and(shr(v(word), c(42)), c(0x3FF)),
+                            and(shr(v(word), c(52)), c(0x3FF)),
+                        )),
+                        KStmt::Set(word, ld(NODES, v(cur))),
+                    ]),
+                    KStmt::Set(acc, and(add(v(acc), and(v(word), c(0xFFFF_FFFF))), c(0xFFFF_FFFF))),
+                    KStmt::Set(ti, add(v(ti), c(1))),
+                ]),
+                KStmt::Emit(v(acc)),
+            ], vec![]),
+        ])])])])]),
+    ];
+
+    Kernel {
+        name: "decision-tree".into(),
+        vars: vs.0,
+        arrays: vec![
+            fleet_apps::tree::MAX_TREES,
+            fleet_apps::tree::MAX_NODES,
+            fleet_apps::tree::MAX_FEATURES,
+        ],
+        token_bytes: 4,
+        out_token_bytes: 4,
+        body: read_loop(tok, eof, body),
+    }
+}
+
+/// Integer-coding kernel (32-bit tokens in, bytes out; same format as
+/// the unit).
+pub fn intcode_kernel() -> Kernel {
+    let mut vs = Vars::new();
+    let tok = vs.var();
+    let eof = vs.var();
+    let bi = vs.var();
+    let wi = vs.var();
+    let cost = vs.var();
+    let best = vs.var();
+    let best_cost = vs.var();
+    let bm = vs.var();
+    let best_bm = vs.var();
+    let k = vs.var();
+    let w = vs.var();
+    let val = vs.var();
+    let bitbuf = vs.var();
+    let nbits = vs.var();
+    const BLOCK: usize = 0;
+    const WIDTHS: usize = 1;
+
+    // varbyte length via Sel chain.
+    let vb_len = |x: KExpr| {
+        sel(
+            le(x.clone(), c(0x7F)),
+            c(1),
+            sel(
+                le(x.clone(), c(0x3FFF)),
+                c(2),
+                sel(le(x.clone(), c(0x1F_FFFF)), c(3), sel(le(x, c(0xFFF_FFFF)), c(4), c(5))),
+            ),
+        )
+    };
+    let fits = |x: KExpr, wexp: KExpr| lt(x, shl(c(1), wexp));
+
+    let encode_block = vec![
+        // Choose the best width.
+        KStmt::Set(best_cost, c(u64::MAX >> 1)),
+        KStmt::Set(wi, c(0)),
+        KStmt::While(lt(v(wi), c(16)), vec![
+            KStmt::Set(w, ld(WIDTHS, v(wi))),
+            // cost = 1 + ceil(4w/8) + exceptions
+            KStmt::Set(cost, add(c(1), shr(add(mul(c(4), v(w)), c(7)), c(3)))),
+            KStmt::Set(bm, c(0)),
+            KStmt::Set(k, c(0)),
+            KStmt::While(lt(v(k), c(4)), vec![
+                KStmt::Set(val, ld(BLOCK, v(k))),
+                KStmt::If(fits(v(val), v(w)), vec![], vec![
+                    KStmt::Set(cost, add(v(cost), vb_len(v(val)))),
+                    KStmt::Set(bm, or(v(bm), shl(c(1), v(k)))),
+                ]),
+                KStmt::Set(k, add(v(k), c(1))),
+            ]),
+            KStmt::If(lt(v(cost), v(best_cost)), vec![
+                KStmt::Set(best_cost, v(cost)),
+                KStmt::Set(best, v(wi)),
+                KStmt::Set(best_bm, v(bm)),
+            ], vec![]),
+            KStmt::Set(wi, add(v(wi), c(1))),
+        ]),
+        // Header.
+        KStmt::Emit(or(v(best), shl(v(best_bm), c(4)))),
+        // Main section.
+        KStmt::Set(w, ld(WIDTHS, v(best))),
+        KStmt::Set(bitbuf, c(0)),
+        KStmt::Set(nbits, c(0)),
+        KStmt::Set(k, c(0)),
+        KStmt::While(lt(v(k), c(4)), vec![
+            KStmt::Set(val, sel(
+                ne(and(shr(v(best_bm), v(k)), c(1)), c(0)),
+                c(0),
+                and(ld(BLOCK, v(k)), sub(shl(c(1), v(w)), c(1))),
+            )),
+            KStmt::Set(bitbuf, or(v(bitbuf), shl(v(val), v(nbits)))),
+            KStmt::Set(nbits, add(v(nbits), v(w))),
+            KStmt::While(ge(v(nbits), c(8)), vec![
+                KStmt::Emit(and(v(bitbuf), c(0xFF))),
+                KStmt::Set(bitbuf, shr(v(bitbuf), c(8))),
+                KStmt::Set(nbits, sub(v(nbits), c(8))),
+            ]),
+            KStmt::Set(k, add(v(k), c(1))),
+        ]),
+        KStmt::If(gt(v(nbits), c(0)), vec![KStmt::Emit(and(v(bitbuf), c(0xFF)))], vec![]),
+        // Exceptions.
+        KStmt::Set(k, c(0)),
+        KStmt::While(lt(v(k), c(4)), vec![
+            KStmt::If(ne(and(shr(v(best_bm), v(k)), c(1)), c(0)), vec![
+                KStmt::Set(val, ld(BLOCK, v(k))),
+                KStmt::While(ge(v(val), c(128)), vec![
+                    KStmt::Emit(or(and(v(val), c(0x7F)), c(0x80))),
+                    KStmt::Set(val, shr(v(val), c(7))),
+                ]),
+                KStmt::Emit(v(val)),
+            ], vec![]),
+            KStmt::Set(k, add(v(k), c(1))),
+        ]),
+    ];
+
+    let mut body = vec![
+        KStmt::St(BLOCK, v(bi), v(tok)),
+        KStmt::Set(bi, add(v(bi), c(1))),
+    ];
+    body.push(KStmt::If(eq(v(bi), c(4)), {
+        let mut blk = encode_block;
+        blk.push(KStmt::Set(bi, c(0)));
+        blk
+    }, vec![]));
+
+    let mut full = Vec::new();
+    for (i, wd) in intcode::WIDTHS.iter().enumerate() {
+        full.push(KStmt::St(WIDTHS, c(i as u64), c(*wd as u64)));
+    }
+    full.extend(read_loop(tok, eof, body));
+
+    Kernel {
+        name: "integer-coding".into(),
+        vars: vs.0,
+        arrays: vec![4, 16],
+        token_bytes: 4,
+        out_token_bytes: 1,
+        body: full,
+    }
+}
+
+/// JSON field-extraction kernel (same stream format as the unit,
+/// including the trie-table header).
+pub fn json_kernel() -> Kernel {
+    let mut vs = Vars::new();
+    let tok = vs.var();
+    let eof = vs.var();
+    let mode = vs.var();
+    let n_states = vs.var();
+    let ls = vs.var(); // state being loaded
+    let bidx = vs.var();
+    let acc = vs.var();
+    let depth = vs.var();
+    let in_str = vs.var();
+    let esc = vs.var();
+    let is_key = vs.var();
+    let key_state = vs.var();
+    let key_leaf = vs.var();
+    let pend_leaf = vs.var();
+    let pend_push = vs.var();
+    let expect_key = vs.var();
+    let capturing = vs.var();
+    let cap_str = vs.var();
+    let entry = vs.var();
+    const TRIE: usize = 0; // packed entries
+    const STACK: usize = 1;
+
+    let is = |ch: u8| eq(v(tok), c(ch as u64));
+    let step = |entry_e: KExpr, tok_e: KExpr| {
+        // Four (char, next) edges at 15-bit stride; first match wins.
+        let mut out = c(0);
+        for i in (0..fleet_apps::json::EDGES as u64).rev() {
+            let ch = and(shr(entry_e.clone(), c(15 * i)), c(0xFF));
+            let next = and(shr(entry_e.clone(), c(15 * i + 8)), c(0x7F));
+            out = sel(eq(tok_e.clone(), ch), next, out);
+        }
+        out
+    };
+
+    let json_logic = vec![
+        KStmt::Set(entry, ld(TRIE, v(key_state))),
+        KStmt::If(ne(v(capturing), c(0)), vec![
+            KStmt::If(ne(v(cap_str), c(0)), vec![
+                KStmt::If(ne(v(esc), c(0)), vec![
+                    KStmt::Set(esc, c(0)),
+                    KStmt::Emit(v(tok)),
+                ], vec![
+                KStmt::If(is(b'\\'), vec![
+                    KStmt::Set(esc, c(1)),
+                    KStmt::Emit(v(tok)),
+                ], vec![
+                KStmt::If(is(b'"'), vec![
+                    KStmt::Set(capturing, c(0)),
+                    KStmt::Emit(c(b'\n' as u64)),
+                ], vec![
+                    KStmt::Emit(v(tok)),
+                ])])]),
+            ], vec![
+                KStmt::If(or(or(is(b','), is(b'}')), is(b'\n')), vec![
+                    KStmt::Set(capturing, c(0)),
+                    KStmt::Emit(c(b'\n' as u64)),
+                    KStmt::If(is(b','), vec![KStmt::Set(expect_key, c(1))], vec![]),
+                    KStmt::If(is(b'}'), vec![
+                        KStmt::Set(depth, sub(v(depth), c(1))),
+                        KStmt::Set(expect_key, c(0)),
+                    ], vec![]),
+                ], vec![KStmt::Emit(v(tok))]),
+            ]),
+        ], vec![
+        KStmt::If(ne(v(in_str), c(0)), vec![
+            KStmt::If(ne(v(esc), c(0)), vec![KStmt::Set(esc, c(0))], vec![
+            KStmt::If(is(b'\\'), vec![KStmt::Set(esc, c(1))], vec![
+            KStmt::If(is(b'"'), vec![
+                KStmt::Set(in_str, c(0)),
+                KStmt::If(ne(v(is_key), c(0)), vec![
+                    KStmt::Set(key_leaf, and(shr(v(entry), c(60)), c(1))),
+                ], vec![]),
+            ], vec![
+                KStmt::If(ne(v(is_key), c(0)), vec![
+                    KStmt::Set(key_state, step(v(entry), v(tok))),
+                ], vec![]),
+            ])])]),
+        ], vec![
+        KStmt::If(is(b'"'), vec![
+            KStmt::If(ne(v(expect_key), c(0)), vec![
+                KStmt::Set(in_str, c(1)),
+                KStmt::Set(is_key, c(1)),
+                KStmt::Set(key_state, ld(STACK, v(depth))),
+                KStmt::Set(key_leaf, c(0)),
+                KStmt::Set(expect_key, c(0)),
+            ], vec![
+            KStmt::If(ne(v(pend_leaf), c(0)), vec![
+                KStmt::Set(capturing, c(1)),
+                KStmt::Set(cap_str, c(1)),
+                KStmt::Set(pend_leaf, c(0)),
+                KStmt::Set(pend_push, c(0)),
+            ], vec![
+                KStmt::Set(in_str, c(1)),
+                KStmt::Set(is_key, c(0)),
+            ])]),
+        ], vec![
+        KStmt::If(is(b':'), vec![
+            KStmt::Set(pend_leaf, v(key_leaf)),
+            KStmt::Set(pend_push, v(key_state)),
+            KStmt::Set(key_leaf, c(0)),
+        ], vec![
+        KStmt::If(is(b'{'), vec![
+            KStmt::St(STACK, add(v(depth), c(1)),
+                sel(eq(v(depth), c(0)), c(fleet_apps::json::ROOT as u64), v(pend_push))),
+            KStmt::Set(depth, add(v(depth), c(1))),
+            KStmt::Set(expect_key, c(1)),
+            KStmt::Set(pend_leaf, c(0)),
+            KStmt::Set(pend_push, c(0)),
+        ], vec![
+        KStmt::If(is(b'}'), vec![
+            KStmt::Set(depth, sub(v(depth), c(1))),
+            KStmt::Set(expect_key, c(0)),
+            KStmt::Set(pend_leaf, c(0)),
+            KStmt::Set(pend_push, c(0)),
+        ], vec![
+        KStmt::If(is(b','), vec![
+            KStmt::Set(expect_key, c(1)),
+        ], vec![
+        KStmt::If(is(b'\n'), vec![], vec![
+            KStmt::If(ne(v(pend_leaf), c(0)), vec![
+                KStmt::Set(capturing, c(1)),
+                KStmt::Set(cap_str, c(0)),
+                KStmt::Set(pend_leaf, c(0)),
+                KStmt::Set(pend_push, c(0)),
+                KStmt::Emit(v(tok)),
+            ], vec![]),
+        ])])])])])])]),
+        ]),
+    ];
+
+    let body = vec![
+        KStmt::If(eq(v(mode), c(0)), vec![
+            KStmt::Set(n_states, v(tok)),
+            KStmt::Set(mode, sel(eq(v(tok), c(0)), c(2), c(1))),
+        ], vec![
+        KStmt::If(eq(v(mode), c(1)), vec![
+            KStmt::Set(acc, or(v(acc), shl(v(tok), mul(v(bidx), c(8))))),
+            KStmt::If(eq(v(bidx), c(7)), vec![
+                // acc now includes byte 7 (the leaf flag bits).
+                KStmt::St(TRIE, v(ls), v(acc)),
+                KStmt::Set(acc, c(0)),
+                KStmt::Set(bidx, c(0)),
+                KStmt::Set(ls, add(v(ls), c(1))),
+                KStmt::If(eq(v(ls), v(n_states)), vec![KStmt::Set(mode, c(2))], vec![]),
+            ], vec![
+                KStmt::Set(bidx, add(v(bidx), c(1))),
+            ]),
+        ],
+        json_logic,
+        )]),
+    ];
+
+    Kernel {
+        name: "json".into(),
+        vars: vs.0,
+        arrays: vec![fleet_apps::json::MAX_STATES, fleet_apps::json::MAX_DEPTH],
+        token_bytes: 1,
+        out_token_bytes: 1,
+        body: read_loop(tok, eof, body),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::run_single;
+    use fleet_apps::{bloom, intcode, json, regex, smith, tree};
+
+    #[test]
+    fn bloom_kernel_matches_golden() {
+        let stream = bloom::gen_stream(9, 3 * 2048);
+        let (out, _) = run_single(&bloom_kernel(), &stream);
+        assert_eq!(out, bloom::golden(&stream));
+    }
+
+    #[test]
+    fn smith_kernel_matches_golden() {
+        let stream = smith::gen_stream(9, 5000);
+        let (out, _) = run_single(&smith_kernel(), &stream);
+        assert_eq!(out, smith::golden(&stream));
+    }
+
+    #[test]
+    fn regex_kernel_matches_golden() {
+        let text = regex::gen_stream(9, 4000);
+        let (out, _) = run_single(&regex_kernel(regex::EMAIL_PATTERN), &text);
+        assert_eq!(out, regex::golden(regex::EMAIL_PATTERN, &text));
+    }
+
+    #[test]
+    fn tree_kernel_matches_golden() {
+        let stream = tree::gen_stream(9, 20_000);
+        let (out, _) = run_single(&tree_kernel(), &stream);
+        assert_eq!(out, tree::golden(&stream));
+    }
+
+    #[test]
+    fn intcode_kernel_matches_golden() {
+        for bits in [5, 15, 25, 32] {
+            let stream = intcode::gen_stream(9 + bits as u64, 2048, bits);
+            let (out, _) = run_single(&intcode_kernel(), &stream);
+            assert_eq!(out, intcode::golden(&stream), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn json_kernel_matches_golden() {
+        let stream = json::gen_stream(9, 5000);
+        let (out, _) = run_single(&json_kernel(), &stream);
+        assert_eq!(out, json::golden(&stream));
+    }
+}

@@ -1,0 +1,235 @@
+//! Cost model of the commercial HLS tool compared in §7.4.
+//!
+//! Two mechanisms drive the paper's HLS results, and both are modelled
+//! directly rather than curve-fit:
+//!
+//! 1. **Worst-case BRAM-conflict scheduling.** Without whole-program
+//!    mutual-exclusivity proofs, the tool must assume every syntactic
+//!    access to a single-ported memory may conflict, so the initiation
+//!    interval (cycles per token) becomes the maximum syntactic port
+//!    pressure across memories — including the output buffer that every
+//!    `emit` writes. The Fleet language makes exclusivity a language
+//!    *requirement*, so its compiler always achieves II = 1 per virtual
+//!    cycle (§4). [`initiation_interval`] computes the HLS II for any
+//!    Fleet program.
+//!
+//! 2. **Serial per-stream memory transfers.** The tool fills one
+//!    stream's local array at a time through its two 32-bit BRAM ports
+//!    (64 bits/cycle ceiling), leaving DRAM latency unhidden at loop
+//!    boundaries, instead of filling multiple streams in parallel like
+//!    Fleet's burst registers. [`hls_memory_gbps`] models the §7.4
+//!    16-stream benchmark.
+
+use fleet_lang::{ExprNode, Stmt, UnitSpec};
+
+/// Per-resource syntactic port pressure of a unit.
+#[derive(Debug, Clone)]
+pub struct PortPressure {
+    /// `(bram name, read sites, write sites)`.
+    pub brams: Vec<(String, usize, usize)>,
+    /// Emit sites (writes to the single-ported output buffer).
+    pub emits: usize,
+}
+
+/// Counts the syntactic access sites the HLS scheduler must serialize.
+pub fn port_pressure(spec: &UnitSpec) -> PortPressure {
+    let mut reads = vec![0usize; spec.brams.len()];
+    let mut writes = vec![0usize; spec.brams.len()];
+    let mut emits = 0usize;
+    for s in &spec.body {
+        s.visit(&mut |stmt| match stmt {
+            Stmt::BramWrite(b, _, _) => writes[b.index()] += 1,
+            Stmt::Emit(_) => emits += 1,
+            _ => {}
+        });
+        s.visit_exprs(&mut |e| {
+            e.visit(&mut |n| {
+                if let ExprNode::BramRead(b, _) = n.node() {
+                    reads[b.index()] += 1;
+                }
+            });
+        });
+    }
+    PortPressure {
+        brams: spec
+            .brams
+            .iter()
+            .zip(reads.iter().zip(writes.iter()))
+            .map(|(b, (&r, &w))| (b.name.clone(), r, w))
+            .collect(),
+        emits,
+    }
+}
+
+/// The initiation interval the HLS tool schedules for this program:
+/// the worst syntactic pressure on any single-ported resource
+/// (1 read port and 1 write port per BRAM; 1 write port on the output
+/// buffer).
+pub fn initiation_interval(spec: &UnitSpec) -> usize {
+    let p = port_pressure(spec);
+    let mut ii = 1usize;
+    for (_, r, w) in &p.brams {
+        ii = ii.max(*r).max(*w);
+    }
+    ii.max(p.emits)
+}
+
+/// HLS processing-unit throughput in tokens per cycle (`1 / II`).
+pub fn pu_tokens_per_cycle(spec: &UnitSpec) -> f64 {
+    1.0 / initiation_interval(spec) as f64
+}
+
+/// Memory-transfer model for the §7.4 16-stream benchmark.
+///
+/// Each 1024-bit chunk is written into one stream's local array through
+/// two 32-bit ports (16 cycles minimum), streams strictly in sequence.
+/// `unhidden_latency` is the DRAM latency left exposed at each loop
+/// iteration boundary: the pipelined loop hides less (the tool schedules
+/// the next global read after the array write completes its II chain)
+/// than the unrolled one.
+#[derive(Debug, Clone, Copy)]
+pub struct HlsMemConfig {
+    /// Chunk size in bytes per stream per iteration (1024 bits).
+    pub chunk_bytes: usize,
+    /// Local-array write bandwidth in bits per cycle (two 32-bit ports).
+    pub port_bits_per_cycle: usize,
+    /// DRAM latency cycles not overlapped per chunk.
+    pub unhidden_latency: f64,
+    /// Clock in Hz.
+    pub clock_hz: f64,
+}
+
+impl HlsMemConfig {
+    /// The pipelined-loop variant (more latency exposed; the tool's II
+    /// chain serializes consecutive chunk fills).
+    pub fn pipelined() -> HlsMemConfig {
+        HlsMemConfig {
+            chunk_bytes: 128,
+            port_bits_per_cycle: 64,
+            unhidden_latency: 14.0,
+            clock_hz: 125.0e6,
+        }
+    }
+
+    /// The unrolled-loop variant (somewhat better overlap).
+    pub fn unrolled() -> HlsMemConfig {
+        HlsMemConfig { unhidden_latency: 7.0, ..HlsMemConfig::pipelined() }
+    }
+
+    /// The hard ceiling: local arrays accept 64 bits per cycle, so
+    /// 1 GB/s at 125 MHz regardless of optimization (§7.4).
+    pub fn ceiling_gbps(&self) -> f64 {
+        self.port_bits_per_cycle as f64 / 8.0 * self.clock_hz / 1e9
+    }
+}
+
+/// Modelled single-channel HLS input throughput in GB/s.
+pub fn hls_memory_gbps(cfg: &HlsMemConfig) -> f64 {
+    let fill_cycles = (cfg.chunk_bytes * 8) as f64 / cfg.port_bits_per_cycle as f64;
+    let cycles_per_chunk = fill_cycles + cfg.unhidden_latency;
+    cfg.chunk_bytes as f64 / cycles_per_chunk * cfg.clock_hz / 1e9
+}
+
+/// HLS area model: the Fleet unit's logic inflated by (a) bit widening —
+/// OpenCL `uint`/`uchar` types round every register and operator up to
+/// 8/16/32 bits — and (b) deeper pipelines, proportional to the II.
+#[derive(Debug, Clone, Copy)]
+pub struct HlsAreaModel {
+    /// Extra logic per II step (pipeline registers and control).
+    pub pipeline_factor_per_ii: f64,
+}
+
+impl Default for HlsAreaModel {
+    fn default() -> Self {
+        HlsAreaModel { pipeline_factor_per_ii: 0.08 }
+    }
+}
+
+fn widen(w: u16) -> u16 {
+    match w {
+        0..=8 => 8,
+        9..=16 => 16,
+        17..=32 => 32,
+        _ => 64,
+    }
+}
+
+/// Average width-inflation ratio over the unit's registers and BRAMs —
+/// the "conservative estimation of bitwidths from OpenCL types" of §7.4.
+pub fn width_inflation(spec: &UnitSpec) -> f64 {
+    let mut orig = 0u64;
+    let mut wide = 0u64;
+    for r in &spec.regs {
+        orig += r.width as u64;
+        wide += widen(r.width) as u64;
+    }
+    for v in &spec.vec_regs {
+        orig += v.width as u64 * v.elements as u64;
+        wide += widen(v.width) as u64 * v.elements as u64;
+    }
+    if orig == 0 {
+        1.0
+    } else {
+        wide as f64 / orig as f64
+    }
+}
+
+/// Modelled HLS logic-cell count relative to the Fleet implementation.
+pub fn hls_area_ratio(spec: &UnitSpec, model: &HlsAreaModel) -> f64 {
+    let ii = initiation_interval(spec) as f64;
+    width_inflation(spec) * (1.0 + model.pipeline_factor_per_ii * ii)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet_lang::{lit, UnitBuilder};
+
+    #[test]
+    fn exclusive_writes_still_count_for_ii() {
+        // The paper's §7.4 example: two mutually exclusive output-buffer
+        // writes get II = 2 from the HLS tool.
+        let mut u = UnitBuilder::new("TwoEmits", 8, 8);
+        let state = u.reg("state", 1, 0);
+        u.if_else(
+            state.eq_e(0u64),
+            |u| u.emit(lit(0, 8)),
+            |u| u.emit(lit(1, 8)),
+        );
+        let spec = u.build().unwrap();
+        assert_eq!(initiation_interval(&spec), 2);
+    }
+
+    #[test]
+    fn single_access_program_gets_ii_one() {
+        let mut u = UnitBuilder::new("One", 8, 8);
+        let inp = u.input();
+        u.emit(inp);
+        let spec = u.build().unwrap();
+        assert_eq!(initiation_interval(&spec), 1);
+    }
+
+    #[test]
+    fn memory_model_matches_paper_shape() {
+        let pipelined = hls_memory_gbps(&HlsMemConfig::pipelined());
+        let unrolled = hls_memory_gbps(&HlsMemConfig::unrolled());
+        let ceiling = HlsMemConfig::pipelined().ceiling_gbps();
+        assert!(pipelined < unrolled, "unrolling helps ({pipelined} vs {unrolled})");
+        assert!(unrolled < ceiling, "both stay under the 64-bit port ceiling");
+        // Paper: 0.52 and 0.68 GB/s against a 1 GB/s ceiling.
+        assert!((0.4..0.6).contains(&pipelined), "pipelined {pipelined:.3}");
+        assert!((0.6..0.8).contains(&unrolled), "unrolled {unrolled:.3}");
+        assert!((ceiling - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn width_inflation_favors_narrow_designs() {
+        let mut u = UnitBuilder::new("Narrow", 8, 8);
+        let a = u.reg("a", 1, 0);
+        let b = u.reg("b", 3, 0);
+        u.set(a, b.e().bit(0));
+        u.set(b, b + 1u64);
+        let spec = u.build().unwrap();
+        assert!(width_inflation(&spec) > 2.0);
+    }
+}

@@ -1,0 +1,390 @@
+//! The stream-kernel IR: a small imperative language for the CPU/GPU
+//! baseline implementations.
+//!
+//! The paper's CPU (C) and GPU (CUDA) baselines "use the same token-based
+//! processing model and algorithms" as the Fleet units, with one
+//! sequential kernel per stream. This IR captures exactly that: a kernel
+//! reads tokens from its own stream, keeps scalar variables and local
+//! arrays (registers / shared memory), and emits output tokens. The same
+//! kernel runs in two ways:
+//!
+//! * single-thread reference execution ([`run_single`]) — used by the
+//!   CPU baseline and to cross-check against the Fleet golden outputs;
+//! * warp-lockstep SIMT execution (`simt` module) — used by the GPU
+//!   model, where divergence costs are what the paper measures.
+
+use std::fmt;
+
+/// Variable index.
+pub type Var = usize;
+/// Local array index.
+pub type Arr = usize;
+
+/// Binary operators (all on `u64`, wrapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KOp {
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Wrapping multiply.
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Equality (1/0).
+    Eq,
+    /// Inequality (1/0).
+    Ne,
+    /// Unsigned less-than (1/0).
+    Lt,
+    /// Unsigned less-or-equal (1/0).
+    Le,
+    /// Unsigned greater-than (1/0).
+    Gt,
+    /// Unsigned greater-or-equal (1/0).
+    Ge,
+}
+
+/// Expressions.
+#[derive(Debug, Clone)]
+pub enum KExpr {
+    /// Constant.
+    C(u64),
+    /// Variable read.
+    V(Var),
+    /// Local-array element read.
+    Ld(Arr, Box<KExpr>),
+    /// Binary operation.
+    B(KOp, Box<KExpr>, Box<KExpr>),
+    /// Two-way select: `cond != 0 ? a : b` (predicated — no divergence).
+    Sel(Box<KExpr>, Box<KExpr>, Box<KExpr>),
+}
+
+impl KExpr {
+    /// Operation count of the expression (instruction-cost model).
+    pub fn ops(&self) -> u64 {
+        match self {
+            KExpr::C(_) | KExpr::V(_) => 0,
+            KExpr::Ld(_, i) => 1 + i.ops(),
+            KExpr::B(_, a, b) => 1 + a.ops() + b.ops(),
+            KExpr::Sel(c, a, b) => 1 + c.ops() + a.ops() + b.ops(),
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone)]
+pub enum KStmt {
+    /// `var = expr`
+    Set(Var, KExpr),
+    /// `arr[idx] = expr`
+    St(Arr, KExpr, KExpr),
+    /// Append a token to the output stream.
+    Emit(KExpr),
+    /// Read the next input token into `var`; sets `eof_var` to 1 when the
+    /// stream is exhausted (the token is 0 in that case).
+    Read(Var, Var),
+    /// Conditional (a *divergent branch* on the GPU).
+    If(KExpr, Vec<KStmt>, Vec<KStmt>),
+    /// Loop while the condition holds (divergent on the GPU).
+    While(KExpr, Vec<KStmt>),
+}
+
+/// A complete kernel.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of scalar variables.
+    pub vars: usize,
+    /// Sizes of local arrays.
+    pub arrays: Vec<usize>,
+    /// Input token size in bytes (1 or 4).
+    pub token_bytes: usize,
+    /// Output token size in bytes (1 or 4).
+    pub out_token_bytes: usize,
+    /// Body, executed once (kernels loop internally via `While`).
+    pub body: Vec<KStmt>,
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kernel {} ({} vars, {} arrays)", self.name, self.vars, self.arrays.len())
+    }
+}
+
+/// Counts the source lines of a kernel (Figure 8's LoC metric for the
+/// CUDA side): one line per statement, plus 2 per block construct.
+pub fn kernel_loc(body: &[KStmt]) -> usize {
+    body.iter()
+        .map(|s| match s {
+            KStmt::If(_, t, e) => {
+                2 + kernel_loc(t) + if e.is_empty() { 0 } else { 1 + kernel_loc(e) }
+            }
+            KStmt::While(_, b) => 2 + kernel_loc(b),
+            _ => 1,
+        })
+        .sum()
+}
+
+/// Per-thread execution state.
+#[derive(Debug, Clone)]
+pub struct ThreadState<'a> {
+    /// Scalar variables.
+    pub vars: Vec<u64>,
+    /// Local arrays.
+    pub arrays: Vec<Vec<u64>>,
+    /// Input stream.
+    pub input: &'a [u8],
+    /// Read cursor in bytes.
+    pub cursor: usize,
+    /// Output bytes.
+    pub output: Vec<u8>,
+    token_bytes: usize,
+    out_token_bytes: usize,
+}
+
+impl<'a> ThreadState<'a> {
+    /// Fresh state over an input stream.
+    pub fn new(k: &Kernel, input: &'a [u8]) -> ThreadState<'a> {
+        ThreadState {
+            vars: vec![0; k.vars],
+            arrays: k.arrays.iter().map(|&n| vec![0u64; n]).collect(),
+            input,
+            cursor: 0,
+            output: Vec::new(),
+            token_bytes: k.token_bytes,
+            out_token_bytes: k.out_token_bytes,
+        }
+    }
+
+    /// Reads the next token; returns `(token, eof)`.
+    pub fn read_token(&mut self) -> (u64, bool) {
+        if self.cursor + self.token_bytes > self.input.len() {
+            return (0, true);
+        }
+        let mut v = 0u64;
+        for k in 0..self.token_bytes {
+            v |= (self.input[self.cursor + k] as u64) << (8 * k);
+        }
+        self.cursor += self.token_bytes;
+        (v, false)
+    }
+
+    /// Appends an output token.
+    pub fn emit(&mut self, v: u64) {
+        for k in 0..self.out_token_bytes {
+            self.output.push((v >> (8 * k)) as u8);
+        }
+    }
+
+    /// Evaluates an expression.
+    pub fn eval(&self, e: &KExpr) -> u64 {
+        match e {
+            KExpr::C(v) => *v,
+            KExpr::V(v) => self.vars[*v],
+            KExpr::Ld(a, i) => {
+                let idx = self.eval(i) as usize;
+                let arr = &self.arrays[*a];
+                arr[idx % arr.len()]
+            }
+            KExpr::B(op, a, b) => {
+                let x = self.eval(a);
+                let y = self.eval(b);
+                match op {
+                    KOp::Add => x.wrapping_add(y),
+                    KOp::Sub => x.wrapping_sub(y),
+                    KOp::Mul => x.wrapping_mul(y),
+                    KOp::And => x & y,
+                    KOp::Or => x | y,
+                    KOp::Xor => x ^ y,
+                    KOp::Shl => {
+                        if y >= 64 {
+                            0
+                        } else {
+                            x << y
+                        }
+                    }
+                    KOp::Shr => {
+                        if y >= 64 {
+                            0
+                        } else {
+                            x >> y
+                        }
+                    }
+                    KOp::Eq => (x == y) as u64,
+                    KOp::Ne => (x != y) as u64,
+                    KOp::Lt => (x < y) as u64,
+                    KOp::Le => (x <= y) as u64,
+                    KOp::Gt => (x > y) as u64,
+                    KOp::Ge => (x >= y) as u64,
+                }
+            }
+            KExpr::Sel(c, a, b) => {
+                if self.eval(c) != 0 {
+                    self.eval(a)
+                } else {
+                    self.eval(b)
+                }
+            }
+        }
+    }
+}
+
+/// Runs a kernel on one stream, returning its output bytes and the total
+/// executed instruction count (cost-model units).
+pub fn run_single(k: &Kernel, input: &[u8]) -> (Vec<u8>, u64) {
+    let mut st = ThreadState::new(k, input);
+    let mut instrs = 0u64;
+    exec_block(&k.body, &mut st, &mut instrs);
+    (st.output, instrs)
+}
+
+fn exec_block(body: &[KStmt], st: &mut ThreadState<'_>, instrs: &mut u64) {
+    for s in body {
+        match s {
+            KStmt::Set(v, e) => {
+                *instrs += 1 + e.ops();
+                st.vars[*v] = st.eval(e);
+            }
+            KStmt::St(a, i, e) => {
+                *instrs += 2 + i.ops() + e.ops();
+                let idx = st.eval(i) as usize;
+                let val = st.eval(e);
+                let arr = &mut st.arrays[*a];
+                let n = arr.len();
+                arr[idx % n] = val;
+            }
+            KStmt::Emit(e) => {
+                *instrs += 2 + e.ops();
+                let v = st.eval(e);
+                st.emit(v);
+            }
+            KStmt::Read(v, eof) => {
+                *instrs += 2;
+                let (tok, end) = st.read_token();
+                st.vars[*v] = tok;
+                st.vars[*eof] = end as u64;
+            }
+            KStmt::If(c, t, e) => {
+                *instrs += 1 + c.ops();
+                if st.eval(c) != 0 {
+                    exec_block(t, st, instrs);
+                } else {
+                    exec_block(e, st, instrs);
+                }
+            }
+            KStmt::While(c, b) => loop {
+                *instrs += 1 + c.ops();
+                if st.eval(c) == 0 {
+                    break;
+                }
+                exec_block(b, st, instrs);
+            },
+        }
+    }
+}
+
+/// Expression-building helpers used by the kernel definitions.
+pub mod kb {
+    use super::{KExpr, KOp};
+
+    /// Constant.
+    pub fn c(v: u64) -> KExpr {
+        KExpr::C(v)
+    }
+    /// Variable.
+    pub fn v(i: super::Var) -> KExpr {
+        KExpr::V(i)
+    }
+    /// Array load.
+    pub fn ld(a: super::Arr, i: KExpr) -> KExpr {
+        KExpr::Ld(a, Box::new(i))
+    }
+    /// Binary op.
+    pub fn b(op: KOp, x: KExpr, y: KExpr) -> KExpr {
+        KExpr::B(op, Box::new(x), Box::new(y))
+    }
+    /// Select.
+    pub fn sel(cnd: KExpr, t: KExpr, f: KExpr) -> KExpr {
+        KExpr::Sel(Box::new(cnd), Box::new(t), Box::new(f))
+    }
+    macro_rules! binops {
+        ($($name:ident => $op:ident),*) => {
+            $(
+                /// Shorthand binary operator.
+                pub fn $name(x: KExpr, y: KExpr) -> KExpr {
+                    b(KOp::$op, x, y)
+                }
+            )*
+        };
+    }
+    binops!(add => Add, sub => Sub, mul => Mul, and => And, or => Or, xor => Xor,
+            shl => Shl, shr => Shr, eq => Eq, ne => Ne, lt => Lt, le => Le,
+            gt => Gt, ge => Ge);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::kb::*;
+    use super::*;
+
+    /// Identity kernel: emit every byte.
+    fn identity_kernel() -> Kernel {
+        const TOK: Var = 0;
+        const EOF: Var = 1;
+        Kernel {
+            name: "identity".into(),
+            vars: 2,
+            arrays: vec![],
+            token_bytes: 1,
+            out_token_bytes: 1,
+            body: vec![
+                KStmt::Read(TOK, EOF),
+                KStmt::While(eq(v(EOF), c(0)), vec![
+                    KStmt::Emit(v(TOK)),
+                    KStmt::Read(TOK, EOF),
+                ]),
+            ],
+        }
+    }
+
+    #[test]
+    fn identity_roundtrips() {
+        let k = identity_kernel();
+        let input = [1u8, 2, 250, 0, 7];
+        let (out, instrs) = run_single(&k, &input);
+        assert_eq!(out, input);
+        assert!(instrs > 0);
+    }
+
+    #[test]
+    fn instruction_count_scales_with_input() {
+        let k = identity_kernel();
+        let (_, i1) = run_single(&k, &vec![0u8; 100]);
+        let (_, i2) = run_single(&k, &vec![0u8; 200]);
+        assert!(i2 > i1 + 90 * 4, "i1={i1} i2={i2}");
+    }
+
+    #[test]
+    fn loc_counts_nested_blocks() {
+        let k = identity_kernel();
+        assert_eq!(kernel_loc(&k.body), 1 + 2 + 2);
+    }
+
+    #[test]
+    fn sel_is_predicated() {
+        let mut st = ThreadState::new(&identity_kernel(), &[]);
+        st.vars[0] = 5;
+        assert_eq!(st.eval(&sel(gt(v(0), c(3)), c(10), c(20))), 10);
+        assert_eq!(st.eval(&sel(gt(v(0), c(9)), c(10), c(20))), 20);
+    }
+}

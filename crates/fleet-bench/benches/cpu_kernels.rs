@@ -1,0 +1,39 @@
+//! Criterion benches of the native CPU baseline kernels — the measured
+//! side of Figure 7's CPU column. Throughput is reported per input byte.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fleet_apps::{App, AppKind};
+
+fn bench_cpu_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu_kernels");
+    for kind in AppKind::all() {
+        let app = App::new(kind);
+        let stream = app.gen_stream(1, 256 * 1024);
+        g.throughput(Throughput::Bytes(stream.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(app.name()), &stream, |b, s| {
+            b.iter(|| app.golden(std::hint::black_box(s)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_bloom_vectorization(c: &mut Criterion) {
+    use fleet_baselines::cpu::{bloom_cpu_scalar, bloom_cpu_vectorized};
+    let stream = fleet_apps::bloom::gen_stream(3, 256 * 1024);
+    let mut g = c.benchmark_group("bloom_vectorization");
+    g.throughput(Throughput::Bytes(stream.len() as u64));
+    g.bench_function("vectorized", |b| {
+        b.iter(|| bloom_cpu_vectorized(std::hint::black_box(&stream)))
+    });
+    g.bench_function("scalar", |b| {
+        b.iter(|| bloom_cpu_scalar(std::hint::black_box(&stream)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cpu_kernels, bench_bloom_vectorization
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benches of the three execution paths over the same unit:
+//! software simulator (isim), fast executor (PuExec), and full netlist
+//! simulation — quantifying why `fleet-system` uses PuExec for
+//! hundred-unit runs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fleet_compiler::{compile, NetDriver, PuExec};
+use fleet_isim::Interpreter;
+
+fn bench_simulators(c: &mut Criterion) {
+    let spec = fleet_apps::micro::block_frequencies(100);
+    let tokens: Vec<u64> = (0..4000u64).map(|x| x % 256).collect();
+    let mut g = c.benchmark_group("simulators");
+    g.throughput(Throughput::Elements(tokens.len() as u64));
+
+    g.bench_function("isim_interpreter", |b| {
+        b.iter(|| Interpreter::run_tokens(&spec, std::hint::black_box(&tokens)).unwrap())
+    });
+    g.bench_function("pu_exec", |b| {
+        b.iter(|| PuExec::run_stream(&spec, std::hint::black_box(&tokens)))
+    });
+    let netlist = compile(&spec).expect("compiles");
+    g.bench_function("netlist_sim", |b| {
+        b.iter(|| {
+            NetDriver::run_stream(netlist.clone(), std::hint::black_box(&tokens), 1_000_000)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulators
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion benches of full-system simulation: cycles simulated per
+//! wall-clock second for a memory-bound fleet, at increasing unit
+//! counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fleet_system::{run_replicated, SystemConfig};
+
+fn bench_system(c: &mut Criterion) {
+    let spec = fleet_apps::micro::drop_all();
+    let stream = vec![0xABu8; 2048];
+    let mut g = c.benchmark_group("full_system");
+    for n in [32usize, 128, 512] {
+        g.throughput(Throughput::Bytes((n * stream.len()) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                run_replicated(&spec, &stream, n, &SystemConfig::f1(64)).expect("run")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_system
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! §5 prose — blocking vs nonblocking output addressing.
+//!
+//! Units that filter emit output at dramatically different rates, so a
+//! blocking output addressing unit stalls the round-robin behind slow
+//! producers; the paper therefore defaults the *output* unit to
+//! nonblocking (and the input unit to blocking, since consumption rates
+//! are similar). Reproduced with a threshold filter whose pass rate
+//! varies per stream.
+
+use fleet_bench::{print_table, scale};
+use fleet_memctl::{Addressing, MemCtlConfig};
+use fleet_system::{run_system, SystemConfig};
+
+fn main() {
+    let spec = fleet_apps::micro::threshold_filter();
+    let per_pu = (2048.0 * scale()) as usize;
+    let pus = 32;
+
+    // Skewed pass rates: a few streams pass nearly everything, most pass
+    // nearly nothing.
+    let streams: Vec<Vec<u8>> = (0..pus)
+        .map(|p| {
+            let threshold: u8 = if p % 8 == 0 { 250 } else { 8 };
+            let mut s = vec![threshold];
+            s.extend((0..per_pu).map(|i| ((i * 37 + p * 11) % 256) as u8));
+            s
+        })
+        .collect();
+
+    println!("# §5 output addressing-unit policy under skewed emit rates ({pus} units)\n");
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("Blocking", Addressing::Blocking),
+        ("Nonblocking (paper default)", Addressing::Nonblocking),
+    ] {
+        let mut cfg = SystemConfig::f1(per_pu + 1024);
+        cfg.memctl = MemCtlConfig { output_addressing: policy, ..MemCtlConfig::default() };
+        cfg.max_cycles = 4_000_000_000;
+        let report = run_system(&spec, &streams, &cfg).expect("run");
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", report.cycles),
+            format!("{:.2}", report.input_gbps()),
+        ]);
+        eprintln!("{name}: {} cycles", report.cycles);
+    }
+    print_table(&["Output addressing", "Cycles", "Input GB/s"], &rows);
+}

@@ -1,0 +1,42 @@
+//! §5 prose — the burst-size tradeoff: larger bursts improve DRAM
+//! efficiency but burn burst-register area that could hold processing
+//! units. The paper picks 1024 bits (two 512-bit transfers) as the knee.
+
+use fleet_bench::{print_table, scale};
+use fleet_memctl::MemCtlConfig;
+use fleet_system::{controller_area, run_replicated, Platform, SystemConfig};
+
+fn main() {
+    let spec = fleet_apps::micro::drop_all();
+    let per_pu = (8192.0 * scale()) as usize;
+    let stream = vec![0x77u8; per_pu];
+    let platform = Platform::f1();
+
+    println!("# §5 burst-size sweep (512 drop-all units)\n");
+    let mut rows = Vec::new();
+    for burst in [64usize, 128, 256, 512, 1024] {
+        let memctl = MemCtlConfig {
+            burst_bytes: burst,
+            input_buffer_bytes: burst,
+            output_buffer_bytes: burst,
+            ..MemCtlConfig::default()
+        };
+        let mut cfg = SystemConfig::f1(64);
+        cfg.memctl = memctl;
+        cfg.max_cycles = 4_000_000_000;
+        let report = run_replicated(&spec, &stream, 512, &cfg).expect("run");
+        let area = controller_area(&memctl, platform.channels, 512);
+        rows.push(vec![
+            format!("{} bits", burst * 8),
+            format!("{:.2}", report.input_gbps()),
+            format!("{}", area.ffs),
+            format!("{:.1}%", 100.0 * area.luts as f64 / 1_182_000.0),
+        ]);
+        eprintln!("burst {burst}B done");
+    }
+    print_table(
+        &["Burst size", "Input GB/s", "Burst-register FFs", "Controller LUT share"],
+        &rows,
+    );
+    println!("\nThe paper picks 1024 bits: near-peak bandwidth at ~1/10 of the F1's logic.");
+}

@@ -1,0 +1,71 @@
+//! §7.2 — divergence ablations.
+//!
+//! * GPU: running JSON parsing with *identical* data in every stream
+//!   removes warp divergence (paper: +2.33× throughput); integer coding
+//!   improves by +1.25×. Reproduced through the SIMT mask mechanics.
+//! * CPU: disabling vectorization of the Bloom filter's eight per-item
+//!   hashes costs the paper 3.79×. Reproduced by measuring the
+//!   auto-vectorizable kernel against a variant with vectorization
+//!   defeated.
+
+use fleet_apps::{App, AppKind};
+use fleet_baselines::cpu::{bloom_cpu_scalar, bloom_cpu_vectorized, measure, CpuModel};
+use fleet_baselines::simt::run_warp;
+use fleet_bench::{kernel_for, print_table};
+
+fn gpu_identical_speedup(kind: AppKind) -> (f64, f64, f64) {
+    let app = App::new(kind);
+    let kernel = kernel_for(kind);
+    let bytes = 16 * 1024;
+    let divergent: Vec<Vec<u8>> = (0..32).map(|s| app.gen_stream(s, bytes)).collect();
+    let identical: Vec<Vec<u8>> = (0..32).map(|_| app.gen_stream(0, bytes)).collect();
+    let rd = {
+        let refs: Vec<&[u8]> = divergent.iter().map(|s| s.as_slice()).collect();
+        run_warp(&kernel, &refs)
+    };
+    let ri = {
+        let refs: Vec<&[u8]> = identical.iter().map(|s| s.as_slice()).collect();
+        run_warp(&kernel, &refs)
+    };
+    // Throughput ∝ bytes / warp-instructions; same bytes, so the speedup
+    // is the instruction ratio.
+    let div_bytes: u64 = divergent.iter().map(|s| s.len() as u64).sum();
+    let id_bytes: u64 = identical.iter().map(|s| s.len() as u64).sum();
+    let t_div = div_bytes as f64 / rd.warp_instructions as f64;
+    let t_id = id_bytes as f64 / ri.warp_instructions as f64;
+    (t_id / t_div, rd.warp_instructions as f64, ri.warp_instructions as f64)
+}
+
+fn main() {
+    println!("# §7.2 divergence ablations\n");
+
+    let mut rows = Vec::new();
+    for (kind, paper) in [(AppKind::Json, 2.33), (AppKind::IntCode, 1.25)] {
+        let app = App::new(kind);
+        let (speedup, wi_div, wi_id) = gpu_identical_speedup(kind);
+        rows.push(vec![
+            format!("GPU {} identical-data speedup", app.name()),
+            format!("{speedup:.2}x"),
+            format!("{paper:.2}x"),
+            format!("warp instrs {wi_div:.2e} -> {wi_id:.2e}"),
+        ]);
+    }
+
+    // CPU Bloom vectorization ablation (measured natively).
+    let streams: Vec<Vec<u8>> =
+        (0..4).map(|s| fleet_apps::bloom::gen_stream(s, 128 * 1024)).collect();
+    let model = CpuModel::c4_8xlarge();
+    let vec = measure(bloom_cpu_vectorized, &streams, &model, 0.4);
+    let scalar = measure(bloom_cpu_scalar, &streams, &model, 0.4);
+    rows.push(vec![
+        "CPU Bloom Filter vectorization win".to_string(),
+        format!("{:.2}x", vec.single_thread_gbps / scalar.single_thread_gbps),
+        "3.79x".to_string(),
+        format!(
+            "{:.2} vs {:.2} GB/s single-thread",
+            vec.single_thread_gbps, scalar.single_thread_gbps
+        ),
+    ]);
+
+    print_table(&["Ablation", "Measured", "Paper", "Detail"], &rows);
+}

@@ -1,0 +1,37 @@
+//! Figure 9 — impact of the memory-controller optimizations (§5).
+//!
+//! A drop-all unit isolates the input controller, as in the paper. The
+//! three rows are: no optimizations (synchronous address supply, one
+//! burst register), asynchronous address supply only, and the full
+//! controller with 16 burst registers. Paper: 0.98 → 1.88 → 27.24 GB/s.
+
+use fleet_bench::{print_table, scale};
+use fleet_memctl::MemCtlConfig;
+use fleet_system::{run_replicated, SystemConfig};
+
+fn main() {
+    let spec = fleet_apps::micro::drop_all();
+    let per_pu = (4096.0 * scale()) as usize;
+    let stream = vec![0xA5u8; per_pu];
+    let pus = 512;
+
+    println!("# Figure 9: memory controller optimizations ({pus} units, {per_pu} B each)\n");
+    let mut rows = Vec::new();
+    for (name, memctl, paper) in [
+        ("None", MemCtlConfig::unoptimized(), 0.98),
+        ("Async. Addr. Supply", MemCtlConfig::async_only(), 1.88),
+        ("Async. Addr. Supply & Burst Regs.", MemCtlConfig::default(), 27.24),
+    ] {
+        let mut cfg = SystemConfig::f1(64);
+        cfg.memctl = memctl;
+        cfg.max_cycles = 4_000_000_000;
+        let report = run_replicated(&spec, &stream, pus, &cfg).expect("run succeeds");
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2}", report.input_gbps()),
+            format!("{paper:.2}"),
+        ]);
+        eprintln!("{name}: {:.2} GB/s ({} cycles)", report.input_gbps(), report.cycles);
+    }
+    print_table(&["Memory Controller Optimizations", "Perf GB/s", "Paper GB/s"], &rows);
+}

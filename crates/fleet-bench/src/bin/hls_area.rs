@@ -1,0 +1,46 @@
+//! §7.4 — HLS area: logic cells of the OpenCL implementations relative
+//! to the Fleet versions.
+//!
+//! Two modelled mechanisms (see `fleet_baselines::hls`): OpenCL types
+//! round registers up to 8/16/32 bits, and deeper worst-case pipelines
+//! add control and pipeline registers proportional to the II. Paper:
+//! JSON ≈4.6×, integer coding ≈2.8× more logic cells than Fleet.
+
+use fleet_apps::{App, AppKind};
+use fleet_baselines::hls::{hls_area_ratio, initiation_interval, width_inflation, HlsAreaModel};
+use fleet_bench::print_table;
+use fleet_compiler::compile;
+use fleet_rtl::estimate;
+
+fn main() {
+    println!("# §7.4 HLS area model (logic cells relative to Fleet)\n");
+    let model = HlsAreaModel::default();
+    let mut rows = Vec::new();
+    for kind in AppKind::all() {
+        let app = App::new(kind);
+        let spec = app.spec();
+        let netlist = compile(&spec).expect("compiles");
+        let fleet_area = estimate(&netlist);
+        let ratio = hls_area_ratio(&spec, &model);
+        rows.push(vec![
+            app.name().to_string(),
+            format!("{}", fleet_area.logic_cells()),
+            format!("{:.0}", fleet_area.logic_cells() as f64 * ratio),
+            format!("{:.2}", width_inflation(&spec)),
+            format!("{}", initiation_interval(&spec)),
+            format!("{ratio:.2}x"),
+        ]);
+    }
+    print_table(
+        &[
+            "App",
+            "Fleet logic cells",
+            "HLS logic cells (modelled)",
+            "width inflation",
+            "II",
+            "HLS/Fleet",
+        ],
+        &rows,
+    );
+    println!("\nPaper: JSON Parsing ≈4.6x, Integer Coding ≈2.8x (excluding AXI logic).");
+}

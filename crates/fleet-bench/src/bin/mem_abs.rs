@@ -1,0 +1,78 @@
+//! §7.3 — absolute memory-system performance.
+//!
+//! Three measurements, as in the paper's prose:
+//!
+//! 1. Input controller throughput vs the 32 GB/s theoretical peak
+//!    (paper: 27.24 GB/s = 85%).
+//! 2. The "measured peak": raw streaming from every channel with the
+//!    maximum 64-beat burst, no processing units (paper: 30.1 GB/s;
+//!    input controller = 91% of it).
+//! 3. Input+output combined with an identity unit producing as much
+//!    output as input (paper: 11.38 GB/s).
+
+use fleet_axi::{DramChannel, DramConfig};
+use fleet_bench::scale;
+use fleet_system::{run_replicated, Platform, SystemConfig};
+
+/// Raw streaming peak: issue max-burst reads back to back on every
+/// channel and count beats, with no controller in the way.
+fn measured_peak(platform: &Platform) -> f64 {
+    let mem = 8 << 20;
+    let cycles = 50_000u64;
+    let mut total_beats = 0u64;
+    for _ in 0..platform.channels {
+        let mut ch = DramChannel::new(DramConfig::default(), mem);
+        let mut addr = 0usize;
+        let mut tag = 0u32;
+        for _ in 0..cycles {
+            while ch.can_accept_read() && addr + 64 * 64 <= mem {
+                ch.push_read(tag, addr, 64);
+                tag = tag.wrapping_add(1);
+                addr = (addr + 64 * 64) % (mem - 64 * 64);
+            }
+            if ch.pop_read_beat().is_some() {
+                total_beats += 1;
+            }
+            ch.tick();
+        }
+    }
+    total_beats as f64 * 64.0 / (cycles as f64 / platform.clock_hz) / 1e9
+}
+
+fn main() {
+    let platform = Platform::f1();
+    let peak = platform.peak_bandwidth_bytes_per_sec() / 1e9;
+    println!("# §7.3 absolute memory-system performance\n");
+    println!("theoretical peak: {peak:.1} GB/s (512 bits/cycle × {} channels at 125 MHz)", platform.channels);
+
+    let measured = measured_peak(&platform);
+    println!("measured peak (64-beat bursts, no units): {measured:.2} GB/s  [paper: 30.1]");
+
+    let per_pu = (4096.0 * scale()) as usize;
+    let input_only = run_replicated(
+        &fleet_apps::micro::drop_all(),
+        &vec![0x5Au8; per_pu],
+        512,
+        &SystemConfig::f1(64),
+    )
+    .expect("input-only run");
+    let in_gbps = input_only.input_gbps();
+    println!(
+        "input controller (512 drop-all units): {in_gbps:.2} GB/s = {:.0}% of theoretical, \
+         {:.0}% of measured peak  [paper: 27.24, 85%, 91%]",
+        100.0 * in_gbps / peak,
+        100.0 * in_gbps / measured
+    );
+
+    let both = run_replicated(
+        &fleet_apps::micro::identity(),
+        &vec![0xC3u8; per_pu],
+        512,
+        &SystemConfig::f1(per_pu + 256),
+    )
+    .expect("input+output run");
+    println!(
+        "input+output (512 identity units, output == input): {:.2} GB/s input-side  [paper: 11.38]",
+        both.input_gbps()
+    );
+}

@@ -1,0 +1,42 @@
+//! Unit-count scaling study (§1/§7 headline: "fit hundreds of stream
+//! processing units on the F1 and saturate its memory bandwidth").
+//!
+//! Sweeps the number of replicated units for a compute-light and a
+//! compute-heavy application and reports aggregate throughput, showing
+//! the linear-scaling region and the memory-bandwidth knee.
+
+use fleet_apps::{App, AppKind};
+use fleet_bench::{print_table, scale};
+use fleet_system::{run_system, SystemConfig};
+
+fn main() {
+    let per_pu = (4096.0 * scale()) as usize;
+    println!("# Unit-count scaling ({per_pu} B per unit)\n");
+
+    let mut rows = Vec::new();
+    for kind in [AppKind::Regex, AppKind::Bloom] {
+        let app = App::new(kind);
+        let spec = app.spec();
+        for n in [16usize, 64, 256, 512] {
+            let streams: Vec<Vec<u8>> =
+                (0..n).map(|p| app.gen_stream(p as u64, per_pu)).collect();
+            let cap = app.out_capacity(per_pu * 2);
+            let report =
+                run_system(&spec, &streams, &SystemConfig::f1(cap)).expect("run");
+            rows.push(vec![
+                app.name().to_string(),
+                n.to_string(),
+                format!("{:.2}", report.input_gbps()),
+                format!("{:.3}", report.input_gbps() / n as f64),
+            ]);
+            eprintln!("{} n={n} done", app.name());
+        }
+    }
+    print_table(&["App", "Units", "Aggregate GB/s", "GB/s per unit"], &rows);
+    println!(
+        "\nRegex (1 token/cycle) saturates the 4-channel memory system by a few \
+         hundred units; Bloom (9 cycles/item) needs more units per GB/s, so its \
+         knee sits further right — the reason Figure 7 uses different unit \
+         counts per application."
+    );
+}

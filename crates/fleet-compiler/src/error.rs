@@ -1,0 +1,50 @@
+//! Compilation errors.
+
+use std::error::Error;
+use std::fmt;
+
+use fleet_lang::ValidateError;
+
+/// Errors raised while lowering a Fleet unit to RTL.
+#[derive(Debug, Clone)]
+pub enum CompileError {
+    /// The unit failed language validation.
+    Invalid(ValidateError),
+    /// A BRAM read appears inside an `if`/`while` condition that gates
+    /// other BRAM reads, so the read-address multiplexer for the next
+    /// virtual cycle would depend on a BRAM output — a dependent read
+    /// that cannot be scheduled in the two-stage pipeline (§4).
+    BramReadInCondition {
+        /// Name of the BRAM read inside the condition.
+        bram: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Invalid(e) => write!(f, "unit failed validation: {e}"),
+            CompileError::BramReadInCondition { bram } => write!(
+                f,
+                "BRAM {bram} is read inside a condition; condition-gated BRAM reads \
+                 are dependent reads and cannot be pipelined — register the read \
+                 result in a previous virtual cycle instead"
+            ),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Invalid(e) => Some(e),
+            CompileError::BramReadInCondition { .. } => None,
+        }
+    }
+}
+
+impl From<ValidateError> for CompileError {
+    fn from(e: ValidateError) -> Self {
+        CompileError::Invalid(e)
+    }
+}

@@ -1,0 +1,426 @@
+//! `PuExec`: a fast, cycle-exact executor for compiled processing units.
+//!
+//! Full-system simulation replicates a unit hundreds of times; evaluating
+//! every netlist node per copy per cycle would dominate run time, so this
+//! executor interprets the *program* once per virtual cycle while
+//! reproducing the exact external behaviour of the netlist produced by
+//! [`compile`](crate::compile): the same ready-valid handshakes on the
+//! same cycles, the same priority semantics for multiple writes/emits,
+//! and the same `stream_finished` cleanup execution. Equivalence is
+//! enforced by the cross-check integration tests (the paper's §6
+//! infrastructure).
+//!
+//! The split [`PuExec::comb`] / [`PuExec::clock`] API mirrors a clocked
+//! circuit: `comb` computes outputs from pre-edge state, `clock` commits.
+//! Handshake inputs must be computed from the *caller's* pre-edge state
+//! (registered handshakes), which is how the memory controller operates.
+
+use fleet_isim::{PendingWrites, SsaOp, SsaProg, UnitState};
+use fleet_lang::{mask, UnitSpec};
+
+/// Input port values for one cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PuIn {
+    /// Current input token (must be 0 when `input_valid` is false).
+    pub input_token: u64,
+    /// Token valid.
+    pub input_valid: bool,
+    /// Asserted from the cycle after the last token handshake, forever.
+    pub input_finished: bool,
+    /// Downstream ready to accept an output token.
+    pub output_ready: bool,
+}
+
+/// Output port values for one cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PuOut {
+    /// Unit ready to accept a token this cycle.
+    pub input_ready: bool,
+    /// Emitted token (0 when `output_valid` is false).
+    pub output_token: u64,
+    /// Token emission valid.
+    pub output_valid: bool,
+    /// Asserted once processing is fully complete.
+    pub output_finished: bool,
+}
+
+/// One virtual cycle's evaluation, cached across stall cycles.
+#[derive(Debug, Clone)]
+struct VcycleEval {
+    loop_active: bool,
+    emit: Option<u64>,
+    pending: PendingWrites,
+}
+
+/// Fast executor with the compiled unit's cycle-level interface.
+///
+/// The program is compiled once into a linear SSA node vector
+/// ([`SsaProg`]) and swept per virtual cycle — the same evaluation shape
+/// as the netlist simulator, without per-node hashing.
+#[derive(Debug, Clone)]
+pub struct PuExec {
+    ssa: SsaProg,
+    vals: Vec<u64>,
+    state: UnitState,
+    i: u64,
+    v: bool,
+    f: bool,
+    cached: Option<VcycleEval>,
+    cycles: u64,
+    vcycles: u64,
+}
+
+impl PuExec {
+    /// Creates an executor with reset state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit fails validation; validate with
+    /// [`fleet_lang::validate`] (or build via `UnitBuilder`) first.
+    pub fn new(spec: &UnitSpec) -> PuExec {
+        fleet_lang::validate(spec).expect("PuExec requires a validated unit");
+        let ssa = SsaProg::build(spec);
+        PuExec {
+            vals: vec![0u64; ssa.slots()],
+            ssa,
+            state: UnitState::reset(spec),
+            i: 0,
+            v: false,
+            f: false,
+            cached: None,
+            cycles: 0,
+            vcycles: 0,
+        }
+    }
+
+    /// Clock cycles elapsed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Virtual cycles completed.
+    pub fn vcycles(&self) -> u64 {
+        self.vcycles
+    }
+
+    /// Unit state (testing/inspection).
+    pub fn state(&self) -> &UnitState {
+        &self.state
+    }
+
+    fn eval_vcycle(&mut self) -> &VcycleEval {
+        if self.cached.is_none() {
+            self.ssa.eval(&self.state, self.i, self.f, &mut self.vals);
+            let loop_active = self.ssa.any_loop(&self.vals);
+            let vals = &self.vals;
+            let mut pending = PendingWrites::default();
+            let mut emit = None;
+            for op in &self.ssa.ops {
+                if op.in_loop != loop_active
+                    || op.guards.iter().any(|&g| vals[g as usize] == 0)
+                {
+                    continue;
+                }
+                match &op.op {
+                    SsaOp::SetReg { reg, width, val } => {
+                        // Priority: the first active assignment wins, like
+                        // the compiled priority mux.
+                        let r = *reg as usize;
+                        if !pending.regs.iter().any(|(idx, _)| *idx == r) {
+                            pending.regs.push((r, mask(vals[*val as usize], *width)));
+                        }
+                    }
+                    SsaOp::SetVecReg { vr, width, idx, val } => {
+                        let v = *vr as usize;
+                        let elements = self.state.vec_regs[v].len();
+                        let i = vals[*idx as usize] as usize;
+                        if i >= elements {
+                            // Out-of-range index selects no element, like
+                            // the compiled per-element write decoders.
+                            continue;
+                        }
+                        if !pending
+                            .vec_regs
+                            .iter()
+                            .any(|(w, e, _)| *w == v && *e == i)
+                        {
+                            pending.vec_regs.push((v, i, mask(vals[*val as usize], *width)));
+                        }
+                    }
+                    SsaOp::BramWrite { bram, aw, dw, addr, val } => {
+                        let b = *bram as usize;
+                        if !pending.brams.iter().any(|(idx, _, _)| *idx == b) {
+                            pending.brams.push((
+                                b,
+                                mask(vals[*addr as usize], *aw),
+                                mask(vals[*val as usize], *dw),
+                            ));
+                        }
+                    }
+                    SsaOp::Emit { val, width } => {
+                        if emit.is_none() {
+                            emit = Some(mask(vals[*val as usize], *width));
+                        }
+                    }
+                }
+            }
+            self.cached = Some(VcycleEval { loop_active, emit, pending });
+        }
+        self.cached.as_ref().expect("just filled")
+    }
+
+    /// Combinational outputs for this cycle (no state change besides the
+    /// internal evaluation cache).
+    pub fn comb(&mut self, pins: &PuIn) -> PuOut {
+        if !self.v {
+            return PuOut {
+                input_ready: true,
+                output_token: 0,
+                output_valid: false,
+                output_finished: !self.v && self.f,
+            };
+        }
+        let out_ready = pins.output_ready;
+        let ev = self.eval_vcycle();
+        let output_valid = ev.emit.is_some();
+        let while_done = !ev.loop_active;
+        let handshake_ok = !output_valid || out_ready;
+        PuOut {
+            input_ready: while_done && handshake_ok,
+            output_token: ev.emit.unwrap_or(0),
+            output_valid,
+            output_finished: false,
+        }
+    }
+
+    /// Clock edge: commits the virtual cycle when it finishes and latches
+    /// a new token / the finish flag when `input_ready`.
+    pub fn clock(&mut self, pins: &PuIn) {
+        self.cycles += 1;
+        if self.v {
+            let (handshake_ok, while_done) = {
+                let ev = self.eval_vcycle();
+                (ev.emit.is_none() || pins.output_ready, !ev.loop_active)
+            };
+            let v_done = handshake_ok;
+            if v_done {
+                let ev = self.cached.take().expect("evaluated in this cycle");
+                ev.pending.commit(&mut self.state);
+                self.vcycles += 1;
+                if while_done {
+                    // input_ready was asserted: accept next token or start
+                    // the cleanup execution.
+                    let new_v = pins.input_valid || (!self.f && pins.input_finished);
+                    self.f = self.f || pins.input_finished;
+                    self.i = if pins.input_valid { pins.input_token } else { 0 };
+                    self.v = new_v;
+                }
+                // Loop continuing: state committed, next loop virtual
+                // cycle re-evaluates (cache already cleared by take()).
+            }
+        } else {
+            // Idle: input_ready is high.
+            let new_v = pins.input_valid || (!self.f && pins.input_finished);
+            self.f = self.f || pins.input_finished;
+            self.i = if pins.input_valid { pins.input_token } else { 0 };
+            self.v = new_v;
+            self.cached = None;
+        }
+    }
+
+    /// Convenience: `comb` then `clock`, returning the outputs.
+    pub fn tick(&mut self, pins: &PuIn) -> PuOut {
+        let out = self.comb(pins);
+        self.clock(pins);
+        out
+    }
+
+    /// Whether the unit has fully finished (output side).
+    pub fn finished(&self) -> bool {
+        !self.v && self.f
+    }
+
+    /// Drives the executor over a whole token stream with no stalls,
+    /// returning the emitted tokens and total cycles. Used by tests and
+    /// single-unit benchmarks.
+    pub fn run_stream(spec: &UnitSpec, tokens: &[u64]) -> (Vec<u64>, u64) {
+        let mut pu = PuExec::new(spec);
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        let mut guard = 0u64;
+        let limit = 1_000_000_000u64;
+        while !pu.finished() {
+            let pins = PuIn {
+                input_token: if pos < tokens.len() { tokens[pos] } else { 0 },
+                input_valid: pos < tokens.len(),
+                input_finished: pos >= tokens.len(),
+                output_ready: true,
+            };
+            let o = pu.tick(&pins);
+            if o.output_valid {
+                out.push(o.output_token);
+            }
+            if o.input_ready && pins.input_valid {
+                pos += 1;
+            }
+            guard += 1;
+            assert!(guard < limit, "run_stream did not terminate");
+        }
+        (out, pu.cycles())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet_isim::Interpreter;
+    use fleet_lang::{lit, UnitBuilder};
+
+    fn identity_spec() -> UnitSpec {
+        let mut u = UnitBuilder::new("Identity", 8, 8);
+        let inp = u.input();
+        let nf = u.stream_finished().not_b();
+        u.if_(nf, |u| u.emit(inp.clone()));
+        u.build().unwrap()
+    }
+
+    #[test]
+    fn identity_passes_tokens_through() {
+        let spec = identity_spec();
+        let (out, cycles) = PuExec::run_stream(&spec, &[5, 6, 7]);
+        assert_eq!(out, vec![5, 6, 7]);
+        // 1 cycle latency to accept, 3 virtual cycles, 1 cleanup cycle,
+        // plus idle detection.
+        assert!(cycles >= 5 && cycles <= 8, "cycles = {cycles}");
+    }
+
+    #[test]
+    fn sustains_one_token_per_cycle() {
+        // With no stalls, an identity unit must consume one token per
+        // cycle in steady state (the §4 throughput guarantee).
+        let spec = identity_spec();
+        let n = 1000;
+        let tokens: Vec<u64> = (0..n).map(|x| (x % 256) as u64).collect();
+        let (out, cycles) = PuExec::run_stream(&spec, &tokens);
+        assert_eq!(out.len(), n as usize);
+        assert!(
+            cycles <= n + 5,
+            "throughput below 1 token/cycle: {cycles} cycles for {n} tokens"
+        );
+    }
+
+    #[test]
+    fn output_stall_preserves_tokens() {
+        // Accept output only every 3rd cycle; the stream must still come
+        // out complete and in order.
+        let spec = identity_spec();
+        let tokens: Vec<u64> = (0..50).map(|x| (x * 7 % 256) as u64).collect();
+        let mut pu = PuExec::new(&spec);
+        let mut out = Vec::new();
+        let mut pos = 0;
+        let mut cyc = 0u64;
+        while !pu.finished() {
+            let ready = cyc % 3 == 0;
+            let pins = PuIn {
+                input_token: if pos < tokens.len() { tokens[pos] } else { 0 },
+                input_valid: pos < tokens.len(),
+                input_finished: pos >= tokens.len(),
+                output_ready: ready,
+            };
+            let o = pu.tick(&pins);
+            if o.output_valid && ready {
+                out.push(o.output_token);
+            }
+            if o.input_ready && pins.input_valid {
+                pos += 1;
+            }
+            cyc += 1;
+            assert!(cyc < 10_000);
+        }
+        assert_eq!(out, tokens);
+    }
+
+    #[test]
+    fn matches_interpreter_on_histogram() {
+        let mut u = UnitBuilder::new("BlockFrequencies", 8, 8);
+        let item_counter = u.reg("itemCounter", 7, 0);
+        let frequencies = u.bram("frequencies", 256, 8);
+        let idx = u.reg("frequenciesIdx", 9, 0);
+        let input = u.input();
+        u.if_(item_counter.eq_e(100u64), |u| {
+            u.while_(idx.lt_e(256u64), |u| {
+                u.emit(frequencies.read(idx));
+                u.write(frequencies, idx, lit(0, 8));
+                u.set(idx, idx + 1u64);
+            });
+            u.set(idx, lit(0, 9));
+        });
+        u.write(frequencies, input.clone(), frequencies.read(input) + 1u64);
+        u.set(
+            item_counter,
+            item_counter.eq_e(100u64).mux(lit(1, 7), item_counter + 1u64),
+        );
+        let spec = u.build().unwrap();
+
+        let tokens: Vec<u64> = (0..300).map(|x| (x * 13 % 256) as u64).collect();
+        let isim = Interpreter::run_tokens(&spec, &tokens).unwrap();
+        let (out, _) = PuExec::run_stream(&spec, &tokens);
+        assert_eq!(out, isim.tokens);
+    }
+
+    #[test]
+    fn input_starvation_mid_stream() {
+        // Gaps in input_valid must not corrupt the stream (this exercises
+        // the idle re-entry path that naive Fig. 4 RTL gets wrong).
+        let mut u = UnitBuilder::new("AddrSum", 8, 8);
+        let b = u.bram("tbl", 16, 8);
+        let warm = u.reg("warm", 5, 0);
+        let input = u.input();
+        let nf = u.stream_finished().not_b();
+        // Warm-up: write token t at address t for the first 16 tokens,
+        // then emit tbl[input & 15] for later tokens — a read whose
+        // address depends on the *current* token, the starvation-sensitive
+        // case.
+        u.if_(nf, |u| {
+            u.if_else(
+                warm.lt_e(16u64),
+                |u| {
+                    u.write(b, input.slice(3, 0), input.clone());
+                    u.set(warm, warm + 1u64);
+                },
+                |u| u.emit(b.read(input.slice(3, 0))),
+            );
+        });
+        let spec = u.build().unwrap();
+
+        let mut tokens: Vec<u64> = (0..16).collect();
+        tokens.extend([3u64, 7, 15, 0, 9]);
+        let isim = Interpreter::run_tokens(&spec, &tokens).unwrap();
+
+        // Drive with valid low on a pseudo-random pattern.
+        let mut pu = PuExec::new(&spec);
+        let mut out = Vec::new();
+        let mut pos = 0;
+        let mut cyc = 0u64;
+        while !pu.finished() {
+            let starved = (cyc * 2654435761) % 7 < 3;
+            let have = pos < tokens.len() && !starved;
+            let pins = PuIn {
+                input_token: if have { tokens[pos] } else { 0 },
+                input_valid: have,
+                input_finished: pos >= tokens.len(),
+                output_ready: true,
+            };
+            let o = pu.tick(&pins);
+            if o.output_valid {
+                out.push(o.output_token);
+            }
+            if o.input_ready && pins.input_valid {
+                pos += 1;
+            }
+            cyc += 1;
+            assert!(cyc < 10_000);
+        }
+        assert_eq!(out, isim.tokens);
+    }
+}

@@ -1,0 +1,93 @@
+//! Test harness that drives a compiled netlist through the §4 interface.
+//!
+//! [`NetDriver`] adapts [`NetSim`] to the same [`PuIn`]/[`PuOut`] cycle
+//! API as [`PuExec`](crate::PuExec), so the cross-check infrastructure
+//! (§6 of the paper) can drive full RTL simulation and the fast executor
+//! with identical stimulus and compare them cycle by cycle.
+
+use fleet_rtl::{NetSim, Netlist};
+
+use crate::exec::{PuIn, PuOut};
+
+/// Cycle-level driver for a compiled processing-unit netlist.
+#[derive(Debug, Clone)]
+pub struct NetDriver {
+    sim: NetSim,
+}
+
+impl NetDriver {
+    /// Wraps a compiled netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is incomplete (see [`NetSim::new`]).
+    pub fn new(netlist: Netlist) -> NetDriver {
+        NetDriver { sim: NetSim::new(netlist) }
+    }
+
+    /// Evaluates combinational outputs for this cycle.
+    pub fn comb(&mut self, pins: &PuIn) -> PuOut {
+        self.sim.set_input("input_token", pins.input_token);
+        self.sim.set_input("input_valid", pins.input_valid as u64);
+        self.sim.set_input("input_finished", pins.input_finished as u64);
+        self.sim.set_input("output_ready", pins.output_ready as u64);
+        self.sim.comb();
+        PuOut {
+            input_ready: self.sim.output("input_ready") != 0,
+            output_token: self.sim.output("output_token"),
+            output_valid: self.sim.output("output_valid") != 0,
+            output_finished: self.sim.output("output_finished") != 0,
+        }
+    }
+
+    /// Advances the clock (inputs must match the preceding [`comb`]).
+    ///
+    /// [`comb`]: NetDriver::comb
+    pub fn clock(&mut self) {
+        self.sim.clock();
+    }
+
+    /// Convenience: `comb` then `clock`.
+    pub fn tick(&mut self, pins: &PuIn) -> PuOut {
+        let out = self.comb(pins);
+        self.clock();
+        out
+    }
+
+    /// Underlying netlist simulator (inspection).
+    pub fn sim(&self) -> &NetSim {
+        &self.sim
+    }
+
+    /// Drives the netlist over a whole token stream with no stalls.
+    ///
+    /// Returns emitted tokens and cycles elapsed. Panics after
+    /// `max_cycles` as a hang guard.
+    pub fn run_stream(netlist: Netlist, tokens: &[u64], max_cycles: u64) -> (Vec<u64>, u64) {
+        let mut d = NetDriver::new(netlist);
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        let mut cycles = 0u64;
+        loop {
+            let pins = PuIn {
+                input_token: if pos < tokens.len() { tokens[pos] } else { 0 },
+                input_valid: pos < tokens.len(),
+                input_finished: pos >= tokens.len(),
+                output_ready: true,
+            };
+            let o = d.tick(&pins);
+            cycles += 1;
+            if o.output_valid {
+                out.push(o.output_token);
+            }
+            if o.input_ready && pins.input_valid {
+                pos += 1;
+            }
+            if o.output_finished {
+                break;
+            }
+            assert!(cycles < max_cycles, "netlist run did not terminate");
+        }
+        (out, cycles)
+    }
+}

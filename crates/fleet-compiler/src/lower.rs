@@ -1,0 +1,641 @@
+//! Lowering of Fleet programs to the two-stage virtual-cycle pipeline.
+//!
+//! This is the compilation scheme of §4 of the paper, generalized from
+//! Figure 4's worked example:
+//!
+//! * For every register, all assignments are gathered with their guard
+//!   conditions into a priority multiplexer producing the *next value*
+//!   `r_n`; assignments outside `while` bodies additionally require
+//!   `while_done`.
+//! * BRAM reads are pipelined: the read address for the *next* virtual
+//!   cycle is computed from next-state values and supplied one cycle
+//!   early; a `(lastAddr, lastData)` forwarding register pair hides the
+//!   read-old-value semantics of same-address write→read across
+//!   consecutive virtual cycles.
+//! * `while` loops contribute `while_done`; `input_ready` is held low
+//!   while loops run so the same token is observed across loop cycles.
+//! * Input/output stalls gate all state commits on `v_done`
+//!   (a virtual cycle finishes only when any emitted token is accepted),
+//!   and the read address is *held* during a stall so BRAM outputs stay
+//!   stable.
+//!
+//! The generated module has the exact ready-valid interface of §4 and is
+//! guaranteed to sustain one virtual cycle per real cycle in the absence
+//! of stalls.
+//!
+//! **Protocol note:** the environment must drive `input_token` to 0 when
+//! `input_valid` is low; the cleanup execution then observes a zero dummy
+//! token, matching the software simulator. The memory controller in
+//! `fleet-memctl` follows this convention.
+
+use std::collections::HashMap;
+
+use fleet_lang::{
+    BinOp, E, ExprNode, FlatProgram, OpKind, UnaryOp, UnitSpec, Width,
+};
+use fleet_rtl::{Netlist, NodeId, RtlBramId, RtlRegId};
+
+use crate::error::CompileError;
+
+/// Translation context: current-cycle values or next-cycle values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Ctx {
+    /// State as observed by the executing virtual cycle.
+    Cur,
+    /// State as it will be after this clock edge (used for the
+    /// asynchronously supplied read address of the next virtual cycle).
+    Next,
+}
+
+/// A BRAM read site: one syntactic occurrence of `bram[addr]`.
+#[derive(Clone)]
+struct ReadSite {
+    addr: E,
+    guard: Vec<E>,
+    in_loop: bool,
+}
+
+struct Lower<'a> {
+    spec: &'a UnitSpec,
+    flat: &'a FlatProgram,
+    nl: Netlist,
+    memo: HashMap<(usize, Ctx), NodeId>,
+
+    // Ports.
+    input_token: NodeId,
+    input_valid: NodeId,
+    input_finished: NodeId,
+    output_ready: NodeId,
+
+    // Control registers.
+    i_reg: RtlRegId,
+    i_cur: NodeId,
+    v_reg: RtlRegId,
+    v_cur: NodeId,
+    f_reg: RtlRegId,
+    f_cur: NodeId,
+
+    // User state.
+    reg_rtl: Vec<RtlRegId>,
+    reg_cur: Vec<NodeId>,
+    vec_rtl: Vec<Vec<RtlRegId>>,
+    vec_cur: Vec<Vec<NodeId>>,
+    bram_rtl: Vec<RtlBramId>,
+    bram_rd_raw: Vec<NodeId>,
+    last_addr: Vec<(RtlRegId, NodeId)>,
+    last_data: Vec<(RtlRegId, NodeId)>,
+
+    // Filled in during lowering.
+    bram_fwd: Vec<Option<NodeId>>,
+    reg_next: Vec<Option<NodeId>>,
+    vec_next: Vec<Vec<NodeId>>,
+    i_next: Option<NodeId>,
+    f_next: Option<NodeId>,
+}
+
+/// Compiles a validated unit into an RTL netlist with the §4 interface.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Invalid`] if the unit fails validation, or
+/// [`CompileError::BramReadInCondition`] for condition-gated reads that
+/// would make the next read address depend on a BRAM output.
+pub fn compile(spec: &UnitSpec) -> Result<Netlist, CompileError> {
+    fleet_lang::validate(spec)?;
+    let flat = FlatProgram::build(&spec.body);
+
+    // Conditions (guards and loop conditions) may not contain BRAM reads:
+    // they select the next-cycle read address, so a read inside them is a
+    // dependent read.
+    for op in &flat.ops {
+        for g in &op.guard {
+            check_no_read_in_cond(spec, g)?;
+        }
+    }
+    for c in &flat.loop_conds {
+        check_no_read_in_cond(spec, c)?;
+    }
+
+    let mut nl = Netlist::new(&spec.name);
+
+    // Ports (§4 interface).
+    let input_token = nl.input("input_token", spec.input_token_bits);
+    let input_valid = nl.input("input_valid", 1);
+    let input_finished = nl.input("input_finished", 1);
+    let output_ready = nl.input("output_ready", 1);
+
+    // Control registers.
+    let (i_reg, i_cur) = nl.reg("i", spec.input_token_bits, 0);
+    let (v_reg, v_cur) = nl.reg("v", 1, 0);
+    let (f_reg, f_cur) = nl.reg("f", 1, 0);
+
+    // User registers.
+    let mut reg_rtl = Vec::new();
+    let mut reg_cur = Vec::new();
+    for r in &spec.regs {
+        let (id, out) = nl.reg(&r.name, r.width, r.init);
+        reg_rtl.push(id);
+        reg_cur.push(out);
+    }
+
+    // Vector registers: one RTL register per element.
+    let mut vec_rtl = Vec::new();
+    let mut vec_cur = Vec::new();
+    for v in &spec.vec_regs {
+        let mut ids = Vec::new();
+        let mut outs = Vec::new();
+        for e in 0..v.elements {
+            let (id, out) = nl.reg(format!("{}_{e}", v.name), v.width, v.init);
+            ids.push(id);
+            outs.push(out);
+        }
+        vec_rtl.push(ids);
+        vec_cur.push(outs);
+    }
+
+    // BRAMs with forwarding registers (Fig. 4 lines 9-11).
+    let mut bram_rtl = Vec::new();
+    let mut bram_rd_raw = Vec::new();
+    let mut last_addr = Vec::new();
+    let mut last_data = Vec::new();
+    for b in &spec.brams {
+        let (id, rd) = nl.bram(&b.name, b.data_width, b.addr_width);
+        bram_rtl.push(id);
+        bram_rd_raw.push(rd);
+        // Sentinel init: all ones in (addr_width + 1) bits can never equal
+        // a zero-extended address.
+        let sentinel = fleet_lang::mask(u64::MAX, b.addr_width + 1);
+        let (la, la_out) = nl.reg(format!("{}_lastAddr", b.name), b.addr_width + 1, sentinel);
+        let (ld, ld_out) = nl.reg(format!("{}_lastData", b.name), b.data_width, 0);
+        last_addr.push((la, la_out));
+        last_data.push((ld, ld_out));
+    }
+
+    let n_vec = spec.vec_regs.len();
+    let n_regs = spec.regs.len();
+    let n_brams = spec.brams.len();
+    let mut lo = Lower {
+        spec,
+        flat: &flat,
+        nl,
+        memo: HashMap::new(),
+        input_token,
+        input_valid,
+        input_finished,
+        output_ready,
+        i_reg,
+        i_cur,
+        v_reg,
+        v_cur,
+        f_reg,
+        f_cur,
+        reg_rtl,
+        reg_cur,
+        vec_rtl,
+        vec_cur,
+        bram_rtl,
+        bram_rd_raw,
+        last_addr,
+        last_data,
+        bram_fwd: vec![None; n_brams],
+        reg_next: vec![None; n_regs],
+        vec_next: vec![Vec::new(); n_vec],
+        i_next: None,
+        f_next: None,
+    };
+    lo.run()?;
+    Ok(lo.nl)
+}
+
+fn check_no_read_in_cond(spec: &UnitSpec, e: &E) -> Result<(), CompileError> {
+    if e.contains_bram_read() {
+        let mut name = String::from("<bram>");
+        e.visit(&mut |n| {
+            if let ExprNode::BramRead(id, _) = n.node() {
+                if let Some(d) = spec.brams.get(id.index()) {
+                    name = d.name.clone();
+                }
+            }
+        });
+        return Err(CompileError::BramReadInCondition { bram: name });
+    }
+    Ok(())
+}
+
+impl<'a> Lower<'a> {
+    fn run(&mut self) -> Result<(), CompileError> {
+        // ---- Collect BRAM read sites (one mux per BRAM read port). ----
+        let mut read_sites: Vec<Vec<ReadSite>> = vec![Vec::new(); self.spec.brams.len()];
+        for op in self.flat.ops.iter() {
+            let exprs: Vec<&E> = match &op.op {
+                OpKind::SetReg(_, v) => vec![v],
+                OpKind::SetVecReg(_, i, v) => vec![i, v],
+                OpKind::BramWrite(_, a, v) => vec![a, v],
+                OpKind::Emit(v) => vec![v],
+            };
+            for e in exprs {
+                e.visit(&mut |n| {
+                    if let ExprNode::BramRead(id, addr) = n.node() {
+                        let sites = &mut read_sites[id.index()];
+                        let dup = sites.iter().any(|s| {
+                            std::ptr::eq(s.addr.node(), addr.node())
+                                && s.guard.len() == op.guard.len()
+                                && s.in_loop == op.in_loop
+                        });
+                        if !dup {
+                            sites.push(ReadSite {
+                                addr: addr.clone(),
+                                guard: op.guard.clone(),
+                                in_loop: op.in_loop,
+                            });
+                        }
+                    }
+                });
+            }
+        }
+
+        // ---- while_done (current values), Fig. 4 line 15. ----
+        let loop_conds_cur: Vec<NodeId> = self
+            .flat
+            .loop_conds
+            .iter()
+            .map(|c| self.xlate(c, Ctx::Cur))
+            .collect::<Result<_, _>>()?;
+        let while_done_cur = self.nor_all(&loop_conds_cur);
+
+        // ---- Current read address per BRAM (Fig. 4 line 28). ----
+        let mut cur_rd_addr: Vec<NodeId> = Vec::new();
+        for (b, sites) in read_sites.iter().enumerate() {
+            let aw = self.spec.brams[b].addr_width;
+            let node = self.read_addr_mux(sites, Ctx::Cur, while_done_cur, aw)?;
+            cur_rd_addr.push(node);
+        }
+
+        // ---- Forwarded read data (Fig. 4 line 31). ----
+        for b in 0..self.spec.brams.len() {
+            let aw = self.spec.brams[b].addr_width;
+            let ext = self.zext(cur_rd_addr[b], aw + 1);
+            let (_, la_out) = self.last_addr[b];
+            let (_, ld_out) = self.last_data[b];
+            let hit = self.nl.binary(BinOp::Eq, ext, la_out);
+            let fwd = self.nl.mux(hit, ld_out, self.bram_rd_raw[b]);
+            self.bram_fwd[b] = Some(fwd);
+        }
+
+        // ---- Emits: output_valid / output_token (Fig. 4 lines 38-39). --
+        let emit_ops: Vec<_> = self.flat.emits().cloned().collect();
+        let mut emit_guard_nodes = Vec::new();
+        let mut emit_values = Vec::new();
+        for op in &emit_ops {
+            let g = self.op_guard(&op.guard, op.in_loop, Ctx::Cur, while_done_cur)?;
+            let OpKind::Emit(v) = &op.op else { unreachable!() };
+            let val = self.xlate(v, Ctx::Cur)?;
+            emit_guard_nodes.push(g);
+            emit_values.push(self.resize(val, self.spec.output_token_bits));
+        }
+        let emit_any = self.or_all(&emit_guard_nodes);
+        let output_valid = self.nl.and_b(self.v_cur, emit_any);
+        let zero_out = self.nl.constant(0, self.spec.output_token_bits);
+        let token_mux = self.priority_mux(&emit_guard_nodes, &emit_values, zero_out);
+        // Gate the token on validity so the bus carries 0 between
+        // handshakes (the protocol convention the whole system follows).
+        let output_token = self.nl.mux(output_valid, token_mux, zero_out);
+
+        // ---- v_done (Fig. 4 line 14). ----
+        let not_ov = self.nl.not_b(output_valid);
+        let ov_or_ready = self.nl.or_b(not_ov, self.output_ready);
+        let v_done = self.nl.and_b(self.v_cur, ov_or_ready);
+
+        // ---- input_ready (Fig. 4 line 37). ----
+        let not_v = self.nl.not_b(self.v_cur);
+        let wd_and_ok = self.nl.and_b(while_done_cur, ov_or_ready);
+        let input_ready = self.nl.or_b(not_v, wd_and_ok);
+
+        // ---- Register next values r_n (Fig. 4 lines 17-18). ----
+        for r in 0..self.spec.regs.len() {
+            let rid = self.spec.reg_id(r);
+            let ops: Vec<_> = self.flat.reg_ops(rid).cloned().collect();
+            let mut guards = Vec::new();
+            let mut values = Vec::new();
+            for op in &ops {
+                let g = self.op_guard(&op.guard, op.in_loop, Ctx::Cur, while_done_cur)?;
+                let OpKind::SetReg(_, v) = &op.op else { unreachable!() };
+                let val = self.xlate(v, Ctx::Cur)?;
+                guards.push(g);
+                values.push(self.resize(val, rid.width()));
+            }
+            let r_n = self.priority_mux(&guards, &values, self.reg_cur[r]);
+            // Commit gating (Fig. 4 lines 19-21).
+            let next = self.nl.mux(v_done, r_n, self.reg_cur[r]);
+            self.reg_next[r] = Some(next);
+            self.nl.set_reg_next(self.reg_rtl[r], next);
+        }
+
+        // ---- Vector-register element next values. ----
+        for vr in 0..self.spec.vec_regs.len() {
+            let vrid = self.spec.vec_reg_id(vr);
+            let ops: Vec<_> = self
+                .flat
+                .ops
+                .iter()
+                .filter(|g| matches!(&g.op, OpKind::SetVecReg(id, _, _) if *id == vrid))
+                .cloned()
+                .collect();
+            let elements = self.spec.vec_regs[vr].elements;
+            let mut elem_next = Vec::with_capacity(elements);
+            for e in 0..elements {
+                let mut guards = Vec::new();
+                let mut values = Vec::new();
+                for op in &ops {
+                    let OpKind::SetVecReg(_, idx, v) = &op.op else { unreachable!() };
+                    let g0 =
+                        self.op_guard(&op.guard, op.in_loop, Ctx::Cur, while_done_cur)?;
+                    let idx_n = self.xlate(idx, Ctx::Cur)?;
+                    let e_const = self.nl.constant(e as u64, self.nl.width(idx_n).max(1));
+                    let idx_r = self.resize(idx_n, self.nl.width(e_const));
+                    let sel = self.nl.binary(BinOp::Eq, idx_r, e_const);
+                    let g = self.nl.and_b(g0, sel);
+                    let val = self.xlate(v, Ctx::Cur)?;
+                    guards.push(g);
+                    values.push(self.resize(val, vrid.width()));
+                }
+                let v_n = self.priority_mux(&guards, &values, self.vec_cur[vr][e]);
+                let next = self.nl.mux(v_done, v_n, self.vec_cur[vr][e]);
+                self.nl.set_reg_next(self.vec_rtl[vr][e], next);
+                elem_next.push(next);
+            }
+            self.vec_next[vr] = elem_next;
+        }
+
+        // ---- Control register next values (Fig. 4 lines 40-44). ----
+        let i_next = self.nl.mux(input_ready, self.input_token, self.i_cur);
+        self.i_next = Some(i_next);
+        self.nl.set_reg_next(self.i_reg, i_next);
+
+        let not_f = self.nl.not_b(self.f_cur);
+        let fin_start = self.nl.and_b(not_f, self.input_finished);
+        let v_new = self.nl.or_b(self.input_valid, fin_start);
+        let v_next = self.nl.mux(input_ready, v_new, self.v_cur);
+        self.nl.set_reg_next(self.v_reg, v_next);
+
+        let f_new = self.nl.or_b(self.f_cur, self.input_finished);
+        let f_next = self.nl.mux(input_ready, f_new, self.f_cur);
+        self.f_next = Some(f_next);
+        self.nl.set_reg_next(self.f_reg, f_next);
+
+        // ---- BRAM write ports (Fig. 4 lines 33-35) + forwarding regs. --
+        for b in 0..self.spec.brams.len() {
+            let bid = self.spec.bram_id(b);
+            let ops: Vec<_> = self.flat.bram_writes(bid).cloned().collect();
+            let mut guards = Vec::new();
+            let mut addrs = Vec::new();
+            let mut datas = Vec::new();
+            for op in &ops {
+                let g = self.op_guard(&op.guard, op.in_loop, Ctx::Cur, while_done_cur)?;
+                let OpKind::BramWrite(_, a, v) = &op.op else { unreachable!() };
+                let an = self.xlate(a, Ctx::Cur)?;
+                let vn = self.xlate(v, Ctx::Cur)?;
+                guards.push(g);
+                addrs.push(self.resize(an, bid.addr_width()));
+                datas.push(self.resize(vn, bid.data_width()));
+            }
+            let any_write = self.or_all(&guards);
+            let wr_en = self.nl.and_b(v_done, any_write);
+            let zero_a = self.nl.constant(0, bid.addr_width());
+            let zero_d = self.nl.constant(0, bid.data_width());
+            let wr_addr = self.priority_mux(&guards, &addrs, zero_a);
+            let wr_data = self.priority_mux(&guards, &datas, zero_d);
+
+            // Forwarding registers (Fig. 4 lines 22-25).
+            let ext = self.zext(wr_addr, bid.addr_width() + 1);
+            let (la_reg, la_out) = self.last_addr[b];
+            let (ld_reg, ld_out) = self.last_data[b];
+            let la_next = self.nl.mux(wr_en, ext, la_out);
+            let ld_next = self.nl.mux(wr_en, wr_data, ld_out);
+            self.nl.set_reg_next(la_reg, la_next);
+            self.nl.set_reg_next(ld_reg, ld_next);
+
+            // ---- Next-cycle read address (Fig. 4 line 29), generalized:
+            // supplied whenever this cycle is not a mid-virtual-cycle
+            // stall, using next-state values.
+            let loop_conds_next: Vec<NodeId> = self
+                .flat
+                .loop_conds
+                .iter()
+                .map(|c| self.xlate(c, Ctx::Next))
+                .collect::<Result<_, _>>()?;
+            let while_done_next = self.nor_all(&loop_conds_next);
+            let next_rd_addr = self.read_addr_mux(
+                &read_sites[b],
+                Ctx::Next,
+                while_done_next,
+                bid.addr_width(),
+            )?;
+
+            // rd_addr = (v && !v_done) ? hold current : next (Fig. 4 line 30).
+            let not_vdone = self.nl.not_b(v_done);
+            let stalled = self.nl.and_b(self.v_cur, not_vdone);
+            let rd_addr = self.nl.mux(stalled, cur_rd_addr[b], next_rd_addr);
+            self.nl
+                .set_bram_ports(self.bram_rtl[b], rd_addr, wr_en, wr_addr, wr_data);
+        }
+
+        // ---- output_finished (Fig. 4 line 45) and ports. ----
+        let output_finished = self.nl.and_b(not_v, self.f_cur);
+        self.nl.output("input_ready", input_ready);
+        self.nl.output("output_token", output_token);
+        self.nl.output("output_valid", output_valid);
+        self.nl.output("output_finished", output_finished);
+
+        Ok(())
+    }
+
+    /// Priority multiplexer: first true guard wins; `default` otherwise.
+    fn priority_mux(&mut self, guards: &[NodeId], values: &[NodeId], default: NodeId) -> NodeId {
+        let mut acc = default;
+        for k in (0..guards.len()).rev() {
+            acc = self.nl.mux(guards[k], values[k], acc);
+        }
+        acc
+    }
+
+    /// Read-address mux for one BRAM in a given context.
+    fn read_addr_mux(
+        &mut self,
+        sites: &[ReadSite],
+        ctx: Ctx,
+        while_done: NodeId,
+        addr_width: Width,
+    ) -> Result<NodeId, CompileError> {
+        if sites.is_empty() {
+            return Ok(self.nl.constant(0, addr_width));
+        }
+        let mut guards = Vec::new();
+        let mut addrs = Vec::new();
+        for s in sites {
+            let g = self.op_guard(&s.guard, s.in_loop, ctx, while_done)?;
+            let a = self.xlate(&s.addr, ctx)?;
+            guards.push(g);
+            addrs.push(self.resize(a, addr_width));
+        }
+        // Default to the last site's address so a two-site program
+        // matches Fig. 4's `cond ? a : b` shape.
+        let default = *addrs.last().expect("nonempty");
+        Ok(self.priority_mux(&guards[..guards.len() - 1], &addrs[..addrs.len() - 1], default))
+    }
+
+    /// Translates an op guard: conjunction of guard expressions, plus
+    /// `while_done` for operations outside loop bodies (§4).
+    fn op_guard(
+        &mut self,
+        guard: &[E],
+        in_loop: bool,
+        ctx: Ctx,
+        while_done: NodeId,
+    ) -> Result<NodeId, CompileError> {
+        let mut acc = if in_loop {
+            None
+        } else {
+            Some(while_done)
+        };
+        for g in guard {
+            let n = self.xlate(g, ctx)?;
+            acc = Some(match acc {
+                None => {
+                    let r = self.nl.unary(UnaryOp::ReduceOr, n);
+                    r
+                }
+                Some(a) => self.nl.and_b(a, n),
+            });
+        }
+        Ok(match acc {
+            Some(a) => a,
+            None => self.nl.constant(1, 1),
+        })
+    }
+
+    fn or_all(&mut self, nodes: &[NodeId]) -> NodeId {
+        match nodes.split_first() {
+            None => self.nl.constant(0, 1),
+            Some((&first, rest)) => {
+                let mut acc = self.nl.unary(UnaryOp::ReduceOr, first);
+                for &n in rest {
+                    acc = self.nl.or_b(acc, n);
+                }
+                acc
+            }
+        }
+    }
+
+    /// NOR of all nodes: `while_done` shape (constant 1 when empty).
+    fn nor_all(&mut self, nodes: &[NodeId]) -> NodeId {
+        if nodes.is_empty() {
+            self.nl.constant(1, 1)
+        } else {
+            let any = self.or_all(nodes);
+            self.nl.not_b(any)
+        }
+    }
+
+    fn zext(&mut self, n: NodeId, w: Width) -> NodeId {
+        let cur = self.nl.width(n);
+        debug_assert!(w >= cur);
+        if w == cur {
+            n
+        } else {
+            let z = self.nl.constant(0, w - cur);
+            self.nl.concat(z, n)
+        }
+    }
+
+    fn resize(&mut self, n: NodeId, w: Width) -> NodeId {
+        let cur = self.nl.width(n);
+        if cur == w {
+            n
+        } else if cur > w {
+            self.nl.slice(n, w - 1, 0)
+        } else {
+            self.zext(n, w)
+        }
+    }
+
+    /// Expression translation with memoization on the shared subtree
+    /// pointer.
+    fn xlate(&mut self, e: &E, ctx: Ctx) -> Result<NodeId, CompileError> {
+        let key = (e.node() as *const ExprNode as usize, ctx);
+        if let Some(&n) = self.memo.get(&key) {
+            return Ok(n);
+        }
+        let node = match e.node() {
+            ExprNode::Const { value, width } => self.nl.constant(*value, *width),
+            ExprNode::Input(_) => match ctx {
+                Ctx::Cur => self.i_cur,
+                Ctx::Next => self.i_next.expect("i_next built before next-ctx use"),
+            },
+            ExprNode::StreamFinished => match ctx {
+                Ctx::Cur => self.f_cur,
+                Ctx::Next => self.f_next.expect("f_next built before next-ctx use"),
+            },
+            ExprNode::Reg(id) => match ctx {
+                Ctx::Cur => self.reg_cur[id.index()],
+                Ctx::Next => {
+                    self.reg_next[id.index()].expect("reg next built before next-ctx use")
+                }
+            },
+            ExprNode::VecReg(id, idx) => {
+                let idx_n = self.xlate(idx, ctx)?;
+                let elems: Vec<NodeId> = match ctx {
+                    Ctx::Cur => self.vec_cur[id.index()].clone(),
+                    Ctx::Next => self.vec_next[id.index()].clone(),
+                };
+                // Linear select chain; element 0 is the default.
+                let mut acc = elems[0];
+                let iw = self.nl.width(idx_n);
+                for (e_i, &val) in elems.iter().enumerate().skip(1) {
+                    let c = self.nl.constant(
+                        fleet_lang::mask(e_i as u64, iw),
+                        iw,
+                    );
+                    let sel = self.nl.binary(BinOp::Eq, idx_n, c);
+                    acc = self.nl.mux(sel, val, acc);
+                }
+                acc
+            }
+            ExprNode::BramRead(id, _) => match ctx {
+                Ctx::Cur => self.bram_fwd[id.index()]
+                    .expect("forwarded read data built before use"),
+                Ctx::Next => {
+                    return Err(CompileError::BramReadInCondition {
+                        bram: self.spec.brams[id.index()].name.clone(),
+                    })
+                }
+            },
+            ExprNode::Unary(op, a) => {
+                let an = self.xlate(a, ctx)?;
+                self.nl.unary(*op, an)
+            }
+            ExprNode::Binary(op, a, b) => {
+                let an = self.xlate(a, ctx)?;
+                let bn = self.xlate(b, ctx)?;
+                self.nl.binary(*op, an, bn)
+            }
+            ExprNode::Slice { arg, hi, lo } => {
+                let an = self.xlate(arg, ctx)?;
+                self.nl.slice(an, *hi, *lo)
+            }
+            ExprNode::Concat { hi, lo } => {
+                let hn = self.xlate(hi, ctx)?;
+                let ln = self.xlate(lo, ctx)?;
+                self.nl.concat(hn, ln)
+            }
+            ExprNode::Mux { cond, on_true, on_false } => {
+                let cn = self.xlate(cond, ctx)?;
+                let tn = self.xlate(on_true, ctx)?;
+                let fn_ = self.xlate(on_false, ctx)?;
+                self.nl.mux(cn, tn, fn_)
+            }
+        };
+        self.memo.insert(key, node);
+        Ok(node)
+    }
+}

@@ -1,0 +1,153 @@
+//! Cross-checks full RTL netlist simulation against the fast executor and
+//! the software simulator — the paper's §6 testing infrastructure.
+
+use fleet_compiler::{compile, NetDriver, PuExec, PuIn};
+use fleet_isim::Interpreter;
+use fleet_lang::{lit, UnitBuilder, UnitSpec};
+
+fn histogram_spec() -> UnitSpec {
+    let mut u = UnitBuilder::new("BlockFrequencies", 8, 8);
+    let item_counter = u.reg("itemCounter", 7, 0);
+    let frequencies = u.bram("frequencies", 256, 8);
+    let idx = u.reg("frequenciesIdx", 9, 0);
+    let input = u.input();
+    u.if_(item_counter.eq_e(100u64), |u| {
+        u.while_(idx.lt_e(256u64), |u| {
+            u.emit(frequencies.read(idx));
+            u.write(frequencies, idx, lit(0, 8));
+            u.set(idx, idx + 1u64);
+        });
+        u.set(idx, lit(0, 9));
+    });
+    u.write(frequencies, input.clone(), frequencies.read(input) + 1u64);
+    u.set(
+        item_counter,
+        item_counter.eq_e(100u64).mux(lit(1, 7), item_counter + 1u64),
+    );
+    u.build().unwrap()
+}
+
+/// Drives netlist and executor with identical stimulus (including stalls
+/// and starvation from a deterministic PRNG) and asserts cycle-exact
+/// equality of all output pins.
+fn lockstep_compare(spec: &UnitSpec, tokens: &[u64], seed: u64, max_cycles: u64) -> Vec<u64> {
+    let netlist = compile(spec).expect("compiles");
+    let mut rtl = NetDriver::new(netlist);
+    let mut fast = PuExec::new(spec);
+
+    let mut rng = seed | 1;
+    let mut next_rand = move || {
+        // xorshift64
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    for cycle in 0..max_cycles {
+        let starve = next_rand() % 4 == 0;
+        let stall = next_rand() % 4 == 0;
+        let have = pos < tokens.len() && !starve;
+        let pins = PuIn {
+            input_token: if have { tokens[pos] } else { 0 },
+            input_valid: have,
+            input_finished: pos >= tokens.len(),
+            output_ready: !stall,
+        };
+        let ro = rtl.comb(&pins);
+        let fo = fast.comb(&pins);
+        assert_eq!(ro, fo, "pin mismatch at cycle {cycle} (seed {seed})");
+        rtl.clock();
+        fast.clock(&pins);
+        if ro.output_valid && pins.output_ready {
+            out.push(ro.output_token);
+        }
+        if ro.input_ready && pins.input_valid {
+            pos += 1;
+        }
+        if ro.output_finished {
+            return out;
+        }
+    }
+    panic!("did not finish within {max_cycles} cycles");
+}
+
+#[test]
+fn histogram_netlist_matches_executor_and_interpreter() {
+    let spec = histogram_spec();
+    let tokens: Vec<u64> = (0..250).map(|x| (x * 31 + 7) % 256).collect();
+    let golden = Interpreter::run_tokens(&spec, &tokens).unwrap();
+    for seed in [1u64, 42, 12345] {
+        let out = lockstep_compare(&spec, &tokens, seed, 50_000);
+        assert_eq!(out, golden.tokens, "stream mismatch for seed {seed}");
+    }
+}
+
+#[test]
+fn identity_netlist_matches() {
+    let mut u = UnitBuilder::new("Identity", 8, 8);
+    let inp = u.input();
+    let nf = u.stream_finished().not_b();
+    u.if_(nf, |u| u.emit(inp.clone()));
+    let spec = u.build().unwrap();
+    let tokens: Vec<u64> = (0..100).map(|x| x % 256).collect();
+    let golden = Interpreter::run_tokens(&spec, &tokens).unwrap();
+    let out = lockstep_compare(&spec, &tokens, 7, 10_000);
+    assert_eq!(out, golden.tokens);
+}
+
+#[test]
+fn vec_reg_unit_matches() {
+    // Rolling 4-token XOR window over the stream using a vector register.
+    let mut u = UnitBuilder::new("Window", 8, 8);
+    let v = u.vec_reg("win", 4, 8, 0);
+    let wi = u.reg("wi", 2, 0);
+    let input = u.input();
+    let nf = u.stream_finished().not_b();
+    u.if_(nf, |u| {
+        let x = v.read(lit(0, 2)) ^ v.read(lit(1, 2)) ^ v.read(lit(2, 2)) ^ v.read(lit(3, 2));
+        u.emit(x ^ input.clone());
+        u.set_vec(v, wi.e(), input.clone());
+        u.set(wi, wi + 1u64);
+    });
+    let spec = u.build().unwrap();
+    let tokens: Vec<u64> = (0..64).map(|x| (x * 37 + 11) % 256).collect();
+    let golden = Interpreter::run_tokens(&spec, &tokens).unwrap();
+    let out = lockstep_compare(&spec, &tokens, 99, 10_000);
+    assert_eq!(out, golden.tokens);
+}
+
+#[test]
+fn no_stall_throughput_is_one_vcycle_per_cycle() {
+    // §4 guarantee: with no IO stalls, the compiled histogram unit runs
+    // one virtual cycle per real cycle. The netlist cycle count must be
+    // within a constant of the interpreter's virtual-cycle count.
+    let spec = histogram_spec();
+    let tokens: Vec<u64> = (0..300).map(|x| x % 256).collect();
+    let golden = Interpreter::run_tokens(&spec, &tokens).unwrap();
+    let netlist = compile(&spec).unwrap();
+    let (out, cycles) = NetDriver::run_stream(netlist, &tokens, 100_000);
+    assert_eq!(out, golden.tokens);
+    assert!(
+        cycles <= golden.vcycles + 4,
+        "netlist took {cycles} cycles for {} virtual cycles",
+        golden.vcycles
+    );
+}
+
+#[test]
+fn generated_verilog_has_expected_structure() {
+    // Figure 4 structural landmarks in the emitted RTL.
+    let spec = histogram_spec();
+    let netlist = compile(&spec).unwrap();
+    let v = fleet_rtl::verilog::emit(&netlist);
+    assert!(v.contains("module BlockFrequencies ("));
+    assert!(v.contains("input wire [7:0] input_token"));
+    assert!(v.contains("output wire input_ready"));
+    assert!(v.contains("reg [7:0] frequencies_mem [0:255];"));
+    assert!(v.contains("frequencies_lastAddr"));
+    assert!(v.contains("frequencies_lastData"));
+    assert!(v.contains("output wire output_finished"));
+}

@@ -1,0 +1,78 @@
+//! The netlist optimizer must preserve behaviour exactly: optimized and
+//! unoptimized netlists are driven in lockstep over full streams.
+
+use fleet_compiler::{compile, NetDriver};
+use fleet_isim::Interpreter;
+use fleet_lang::{lit, UnitBuilder, UnitSpec};
+use fleet_rtl::{estimate, optimize};
+
+fn histogram() -> UnitSpec {
+    let mut u = UnitBuilder::new("BlockFrequencies", 8, 8);
+    let item_counter = u.reg("itemCounter", 7, 0);
+    let frequencies = u.bram("frequencies", 256, 8);
+    let idx = u.reg("frequenciesIdx", 9, 0);
+    let input = u.input();
+    u.if_(item_counter.eq_e(100u64), |u| {
+        u.while_(idx.lt_e(256u64), |u| {
+            u.emit(frequencies.read(idx));
+            u.write(frequencies, idx, lit(0, 8));
+            u.set(idx, idx + 1u64);
+        });
+        u.set(idx, lit(0, 9));
+    });
+    u.write(frequencies, input.clone(), frequencies.read(input) + 1u64);
+    u.set(
+        item_counter,
+        item_counter.eq_e(100u64).mux(lit(1, 7), item_counter + 1u64),
+    );
+    u.build().unwrap()
+}
+
+#[test]
+fn optimizer_preserves_histogram_behaviour_and_shrinks() {
+    let spec = histogram();
+    let netlist = compile(&spec).unwrap();
+    let (opt, stats) = optimize(&netlist);
+    assert!(
+        stats.nodes_after < stats.nodes_before,
+        "optimizer should remove something: {stats:?}"
+    );
+    let tokens: Vec<u64> = (0..300).map(|x| (x * 13) % 256).collect();
+    let golden = Interpreter::run_tokens(&spec, &tokens).unwrap();
+    let (a, ca) = NetDriver::run_stream(netlist, &tokens, 100_000);
+    let (b, cb) = NetDriver::run_stream(opt, &tokens, 100_000);
+    assert_eq!(a, golden.tokens);
+    assert_eq!(b, golden.tokens);
+    assert_eq!(ca, cb, "optimization must not change timing");
+}
+
+#[test]
+fn optimizer_preserves_all_app_netlists() {
+    use fleet_apps::{App, AppKind};
+    for kind in AppKind::all() {
+        let app = App::new(kind);
+        let spec = app.spec();
+        let stream = match kind {
+            AppKind::Bloom => app.gen_stream(2, 2048),
+            AppKind::Tree => app.gen_stream(2, 10_000),
+            _ => app.gen_stream(2, 1500),
+        };
+        let tokens =
+            fleet_isim::bytes_to_tokens(&stream, spec.input_token_bits).expect("aligned");
+        let golden = Interpreter::run_tokens(&spec, &tokens).expect("runs");
+
+        let netlist = compile(&spec).expect("compiles");
+        let before = estimate(&netlist);
+        let (opt, stats) = optimize(&netlist);
+        let after = estimate(&opt);
+        assert!(
+            after.luts <= before.luts,
+            "{}: optimization should not grow area",
+            app.name()
+        );
+        assert!(stats.nodes_after <= stats.nodes_before, "{}", app.name());
+
+        let (out, _) = NetDriver::run_stream(opt, &tokens, golden.vcycles * 4 + 10_000);
+        assert_eq!(out, golden.tokens, "{}: optimized netlist output", app.name());
+    }
+}

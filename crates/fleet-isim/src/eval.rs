@@ -1,0 +1,216 @@
+//! Expression evaluation over concrete unit state.
+
+use std::collections::HashMap;
+
+use fleet_lang::{mask, BinOp, E, ExprNode, UnaryOp};
+
+use crate::error::SimError;
+use crate::state::UnitState;
+
+/// Evaluation context for one virtual cycle.
+///
+/// Records every BRAM read performed so the caller can enforce the
+/// one-address-per-BRAM-per-virtual-cycle restriction.
+///
+/// Shared subexpressions (the expression type is a reference-counted
+/// DAG) are evaluated once per virtual cycle via an internal memo table,
+/// mirroring how the compiled netlist evaluates each node exactly once
+/// per cycle — without it, elaborated selection networks (e.g. a 16-way
+/// argmin) would cost exponential time to interpret.
+pub struct EvalCtx<'a> {
+    /// State observed by the virtual cycle (pre-commit values).
+    pub state: &'a UnitState,
+    /// Current input token value.
+    pub input: u64,
+    /// Whether this is the cleanup execution after the final token.
+    pub stream_finished: bool,
+    /// Distinct `(bram index, address)` pairs read so far this cycle.
+    pub bram_reads: Vec<(usize, u64)>,
+    // The stored clone keeps the node alive so its address cannot be
+    // reused by a different expression within this context's lifetime.
+    memo: HashMap<usize, (E, u64)>,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Creates a context for one virtual cycle.
+    pub fn new(state: &'a UnitState, input: u64, stream_finished: bool) -> Self {
+        EvalCtx {
+            state,
+            input,
+            stream_finished,
+            bram_reads: Vec::new(),
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Evaluates an expression to a masked value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::VecRegIndexOutOfRange`] when a vector-register
+    /// index exceeds the element count.
+    pub fn eval(&mut self, e: &E) -> Result<u64, SimError> {
+        let key = e.node() as *const ExprNode as usize;
+        if let Some((_, v)) = self.memo.get(&key) {
+            return Ok(*v);
+        }
+        let v = self.eval_uncached(e)?;
+        self.memo.insert(key, (e.clone(), v));
+        Ok(v)
+    }
+
+    fn eval_uncached(&mut self, e: &E) -> Result<u64, SimError> {
+        let w = e.width();
+        let raw = match e.node() {
+            ExprNode::Const { value, .. } => *value,
+            ExprNode::Input(_) => self.input,
+            ExprNode::StreamFinished => self.stream_finished as u64,
+            ExprNode::Reg(id) => self.state.regs[id.index()],
+            ExprNode::VecReg(id, idx) => {
+                let i = self.eval(idx)? as usize;
+                let elems = &self.state.vec_regs[id.index()];
+                if i >= elems.len() {
+                    return Err(SimError::VecRegIndexOutOfRange {
+                        vec_reg: id.index(),
+                        index: i,
+                        elements: elems.len(),
+                    });
+                }
+                elems[i]
+            }
+            ExprNode::BramRead(id, addr) => {
+                let a = mask(self.eval(addr)?, id.addr_width());
+                if !self.bram_reads.contains(&(id.index(), a)) {
+                    self.bram_reads.push((id.index(), a));
+                }
+                self.state.brams[id.index()][a as usize]
+            }
+            ExprNode::Unary(op, a) => {
+                let av = self.eval(a)?;
+                match op {
+                    UnaryOp::Not => !av,
+                    UnaryOp::ReduceOr => (av != 0) as u64,
+                    UnaryOp::ReduceAnd => {
+                        (av == mask(u64::MAX, a.width())) as u64
+                    }
+                }
+            }
+            ExprNode::Binary(op, a, b) => {
+                let av = self.eval(a)?;
+                let bv = self.eval(b)?;
+                match op {
+                    BinOp::Add => av.wrapping_add(bv),
+                    BinOp::Sub => av.wrapping_sub(bv),
+                    BinOp::Mul => av.wrapping_mul(bv),
+                    BinOp::And => av & bv,
+                    BinOp::Or => av | bv,
+                    BinOp::Xor => av ^ bv,
+                    BinOp::Shl => {
+                        if bv >= 64 {
+                            0
+                        } else {
+                            av << bv
+                        }
+                    }
+                    BinOp::Shr => {
+                        if bv >= 64 {
+                            0
+                        } else {
+                            av >> bv
+                        }
+                    }
+                    BinOp::Eq => (av == bv) as u64,
+                    BinOp::Ne => (av != bv) as u64,
+                    BinOp::Lt => (av < bv) as u64,
+                    BinOp::Le => (av <= bv) as u64,
+                    BinOp::Gt => (av > bv) as u64,
+                    BinOp::Ge => (av >= bv) as u64,
+                }
+            }
+            ExprNode::Slice { arg, hi, lo } => {
+                let av = self.eval(arg)?;
+                (av >> lo) & mask(u64::MAX, hi - lo + 1)
+            }
+            ExprNode::Concat { hi, lo } => {
+                let hv = self.eval(hi)?;
+                let lv = self.eval(lo)?;
+                (hv << lo.width().min(63)) | lv
+            }
+            ExprNode::Mux { cond, on_true, on_false } => {
+                // Hardware evaluates both arms; so do we, so that BRAM
+                // port usage is accounted faithfully.
+                let c = self.eval(cond)?;
+                let t = self.eval(on_true)?;
+                let f = self.eval(on_false)?;
+                if c != 0 {
+                    t
+                } else {
+                    f
+                }
+            }
+        };
+        Ok(mask(raw, w))
+    }
+
+    /// Evaluates an expression as a Boolean (nonzero = true).
+    pub fn eval_bool(&mut self, e: &E) -> Result<bool, SimError> {
+        Ok(self.eval(e)? != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet_lang::lit;
+
+    fn empty_state() -> UnitState {
+        UnitState { regs: vec![], vec_regs: vec![], brams: vec![] }
+    }
+
+    #[test]
+    fn arithmetic_wraps_to_width() {
+        let st = empty_state();
+        let mut ctx = EvalCtx::new(&st, 0, false);
+        let e = lit(255, 8) + lit(1, 8);
+        assert_eq!(ctx.eval(&e).unwrap(), 0);
+        let e = lit(0, 8) - lit(1, 8);
+        assert_eq!(ctx.eval(&e).unwrap(), 255);
+    }
+
+    #[test]
+    fn comparisons_are_unsigned() {
+        let st = empty_state();
+        let mut ctx = EvalCtx::new(&st, 0, false);
+        assert_eq!(ctx.eval(&lit(200, 8).lt_e(lit(100, 8))).unwrap(), 0);
+        assert_eq!(ctx.eval(&lit(100, 8).lt_e(lit(200, 8))).unwrap(), 1);
+    }
+
+    #[test]
+    fn slice_concat_roundtrip() {
+        let st = empty_state();
+        let mut ctx = EvalCtx::new(&st, 0, false);
+        let v = lit(0xAB, 8);
+        let hi = v.slice(7, 4);
+        let lo = v.slice(3, 0);
+        let back = hi.concat(lo);
+        assert_eq!(ctx.eval(&back).unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn reduce_ops() {
+        let st = empty_state();
+        let mut ctx = EvalCtx::new(&st, 0, false);
+        assert_eq!(ctx.eval(&lit(0, 8).any()).unwrap(), 0);
+        assert_eq!(ctx.eval(&lit(4, 8).any()).unwrap(), 1);
+        assert_eq!(ctx.eval(&lit(0xFF, 8).all()).unwrap(), 1);
+        assert_eq!(ctx.eval(&lit(0xFE, 8).all()).unwrap(), 0);
+    }
+
+    #[test]
+    fn shift_by_large_amount_is_zero() {
+        let st = empty_state();
+        let mut ctx = EvalCtx::new(&st, 0, false);
+        assert_eq!(ctx.eval(&(lit(1, 8) << 100u64)).unwrap(), 0);
+        assert_eq!(ctx.eval(&(lit(128, 8) >> 100u64)).unwrap(), 0);
+    }
+}

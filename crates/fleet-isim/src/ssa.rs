@@ -1,0 +1,431 @@
+//! Compiled SSA form of a Fleet program for fast repeated evaluation.
+//!
+//! The expression layer is a reference-counted DAG; interpreting it per
+//! virtual cycle costs a hash-map memo lookup per shared node. For
+//! full-system simulation (hundreds of units × millions of virtual
+//! cycles) that overhead dominates, so [`SsaProg`] flattens every
+//! expression reachable from a program — loop conditions, operation
+//! guards, addresses, values — into one topologically-ordered vector of
+//! nodes evaluated linearly into a scratch buffer, exactly like the
+//! netlist simulator sweeps its combinational nodes.
+//!
+//! Semantics match the compiled hardware: every node is evaluated every
+//! virtual cycle (no short-circuiting), out-of-range vector-register
+//! reads select element 0 (the compiled mux chain's default), and
+//! multiple writes resolve by first-guard-wins priority in the consumer.
+
+use std::collections::HashMap;
+
+use fleet_lang::{
+    mask, BinOp, E, ExprNode, FlatProgram, OpKind, UnaryOp, UnitSpec, Width,
+};
+
+use crate::state::UnitState;
+
+/// Index of a value slot in the evaluation buffer.
+pub type Slot = u32;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Const(u64),
+    Input,
+    StreamFinished,
+    Reg(u32),
+    VecReg { vr: u32, idx: Slot },
+    BramRead { bram: u32, addr: Slot, aw: Width },
+    Unary { op: UnaryOp, a: Slot, aw: Width, w: Width },
+    Binary { op: BinOp, a: Slot, b: Slot, w: Width },
+    Mux { c: Slot, t: Slot, f: Slot, w: Width },
+    Slice { a: Slot, hi: u16, lo: u16 },
+    Concat { hi: Slot, lo: Slot, low_w: Width, w: Width },
+}
+
+/// One primitive operation with pre-resolved slots.
+#[derive(Debug, Clone)]
+pub enum SsaOp {
+    /// Register write.
+    SetReg {
+        /// Register index.
+        reg: u32,
+        /// Register width.
+        width: Width,
+        /// Value slot.
+        val: Slot,
+    },
+    /// Vector-register element write.
+    SetVecReg {
+        /// Vector register index.
+        vr: u32,
+        /// Element width.
+        width: Width,
+        /// Index slot.
+        idx: Slot,
+        /// Value slot.
+        val: Slot,
+    },
+    /// BRAM write.
+    BramWrite {
+        /// BRAM index.
+        bram: u32,
+        /// Address width.
+        aw: Width,
+        /// Data width.
+        dw: Width,
+        /// Address slot.
+        addr: Slot,
+        /// Value slot.
+        val: Slot,
+    },
+    /// Output-token emission.
+    Emit {
+        /// Value slot.
+        val: Slot,
+        /// Output token width.
+        width: Width,
+    },
+}
+
+/// A guarded operation: executes when every guard slot is nonzero.
+#[derive(Debug, Clone)]
+pub struct SsaGuardedOp {
+    /// Guard slots (conjunction).
+    pub guards: Vec<Slot>,
+    /// Loop-phase operation (vs final virtual cycle).
+    pub in_loop: bool,
+    /// The operation.
+    pub op: SsaOp,
+}
+
+/// A compiled program: evaluate [`SsaProg::eval`] once per virtual
+/// cycle, then walk [`SsaProg::ops`].
+#[derive(Debug, Clone)]
+pub struct SsaProg {
+    nodes: Vec<Node>,
+    /// Slots of the effective `while` conditions.
+    pub loop_conds: Vec<Slot>,
+    /// All primitive operations in source order.
+    pub ops: Vec<SsaGuardedOp>,
+    /// Output token width (for emit masking).
+    pub out_width: Width,
+}
+
+struct Builder<'a> {
+    memo: HashMap<*const ExprNode, Slot>,
+    nodes: Vec<Node>,
+    spec: &'a UnitSpec,
+}
+
+impl<'a> Builder<'a> {
+    fn slot(&mut self, e: &E) -> Slot {
+        let key = e.node() as *const ExprNode;
+        if let Some(&s) = self.memo.get(&key) {
+            return s;
+        }
+        let node = match e.node() {
+            ExprNode::Const { value, .. } => Node::Const(*value),
+            ExprNode::Input(_) => Node::Input,
+            ExprNode::StreamFinished => Node::StreamFinished,
+            ExprNode::Reg(id) => Node::Reg(id.index() as u32),
+            ExprNode::VecReg(id, idx) => {
+                let i = self.slot(idx);
+                Node::VecReg { vr: id.index() as u32, idx: i }
+            }
+            ExprNode::BramRead(id, addr) => {
+                let a = self.slot(addr);
+                Node::BramRead { bram: id.index() as u32, addr: a, aw: id.addr_width() }
+            }
+            ExprNode::Unary(op, a) => {
+                let aw = a.width();
+                let s = self.slot(a);
+                Node::Unary { op: *op, a: s, aw, w: e.width() }
+            }
+            ExprNode::Binary(op, a, b) => {
+                let sa = self.slot(a);
+                let sb = self.slot(b);
+                Node::Binary { op: *op, a: sa, b: sb, w: e.width() }
+            }
+            ExprNode::Mux { cond, on_true, on_false } => {
+                let c = self.slot(cond);
+                let t = self.slot(on_true);
+                let f = self.slot(on_false);
+                Node::Mux { c, t, f, w: e.width() }
+            }
+            ExprNode::Slice { arg, hi, lo } => {
+                let a = self.slot(arg);
+                Node::Slice { a, hi: *hi, lo: *lo }
+            }
+            ExprNode::Concat { hi, lo } => {
+                let low_w = lo.width();
+                let h = self.slot(hi);
+                let l = self.slot(lo);
+                Node::Concat { hi: h, lo: l, low_w, w: e.width() }
+            }
+        };
+        let s = self.nodes.len() as Slot;
+        self.nodes.push(node);
+        self.memo.insert(key, s);
+        s
+    }
+}
+
+impl SsaProg {
+    /// Compiles a validated unit.
+    pub fn build(spec: &UnitSpec) -> SsaProg {
+        let flat = FlatProgram::build(&spec.body);
+        let mut b = Builder { memo: HashMap::new(), nodes: Vec::new(), spec };
+        let loop_conds: Vec<Slot> = flat.loop_conds.iter().map(|c| b.slot(c)).collect();
+        let mut ops = Vec::with_capacity(flat.ops.len());
+        for g in &flat.ops {
+            let guards: Vec<Slot> = g.guard.iter().map(|c| b.slot(c)).collect();
+            let op = match &g.op {
+                OpKind::SetReg(r, v) => SsaOp::SetReg {
+                    reg: r.index() as u32,
+                    width: r.width(),
+                    val: b.slot(v),
+                },
+                OpKind::SetVecReg(vr, i, v) => SsaOp::SetVecReg {
+                    vr: vr.index() as u32,
+                    width: vr.width(),
+                    idx: b.slot(i),
+                    val: b.slot(v),
+                },
+                OpKind::BramWrite(br, a, v) => SsaOp::BramWrite {
+                    bram: br.index() as u32,
+                    aw: br.addr_width(),
+                    dw: br.data_width(),
+                    addr: b.slot(a),
+                    val: b.slot(v),
+                },
+                OpKind::Emit(v) => SsaOp::Emit {
+                    val: b.slot(v),
+                    width: spec.output_token_bits,
+                },
+            };
+            ops.push(SsaGuardedOp { guards, in_loop: g.in_loop, op });
+        }
+        let _ = &b.spec;
+        SsaProg {
+            nodes: b.nodes,
+            loop_conds,
+            ops,
+            out_width: spec.output_token_bits,
+        }
+    }
+
+    /// Number of value slots; size the scratch buffer to this.
+    pub fn slots(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Evaluates every node for one virtual cycle into `vals`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` is shorter than [`SsaProg::slots`].
+    pub fn eval(&self, state: &UnitState, input: u64, finished: bool, vals: &mut [u64]) {
+        for (i, n) in self.nodes.iter().enumerate() {
+            vals[i] = match n {
+                Node::Const(v) => *v,
+                Node::Input => input,
+                Node::StreamFinished => finished as u64,
+                Node::Reg(r) => state.regs[*r as usize],
+                Node::VecReg { vr, idx } => {
+                    let elems = &state.vec_regs[*vr as usize];
+                    let i = vals[*idx as usize] as usize;
+                    // Compiled select chains default to element 0 when
+                    // the index exceeds the element count.
+                    if i < elems.len() {
+                        elems[i]
+                    } else {
+                        elems[0]
+                    }
+                }
+                Node::BramRead { bram, addr, aw } => {
+                    let a = mask(vals[*addr as usize], *aw) as usize;
+                    state.brams[*bram as usize][a]
+                }
+                Node::Unary { op, a, aw, w } => {
+                    let av = vals[*a as usize];
+                    let raw = match op {
+                        UnaryOp::Not => !av,
+                        UnaryOp::ReduceOr => (av != 0) as u64,
+                        UnaryOp::ReduceAnd => (av == mask(u64::MAX, *aw)) as u64,
+                    };
+                    mask(raw, *w)
+                }
+                Node::Binary { op, a, b, w } => {
+                    let x = vals[*a as usize];
+                    let y = vals[*b as usize];
+                    let raw = match op {
+                        BinOp::Add => x.wrapping_add(y),
+                        BinOp::Sub => x.wrapping_sub(y),
+                        BinOp::Mul => x.wrapping_mul(y),
+                        BinOp::And => x & y,
+                        BinOp::Or => x | y,
+                        BinOp::Xor => x ^ y,
+                        BinOp::Shl => {
+                            if y >= 64 {
+                                0
+                            } else {
+                                x << y
+                            }
+                        }
+                        BinOp::Shr => {
+                            if y >= 64 {
+                                0
+                            } else {
+                                x >> y
+                            }
+                        }
+                        BinOp::Eq => (x == y) as u64,
+                        BinOp::Ne => (x != y) as u64,
+                        BinOp::Lt => (x < y) as u64,
+                        BinOp::Le => (x <= y) as u64,
+                        BinOp::Gt => (x > y) as u64,
+                        BinOp::Ge => (x >= y) as u64,
+                    };
+                    mask(raw, *w)
+                }
+                Node::Mux { c, t, f, w } => {
+                    let v = if vals[*c as usize] != 0 {
+                        vals[*t as usize]
+                    } else {
+                        vals[*f as usize]
+                    };
+                    mask(v, *w)
+                }
+                Node::Slice { a, hi, lo } => {
+                    (vals[*a as usize] >> lo) & mask(u64::MAX, hi - lo + 1)
+                }
+                Node::Concat { hi, lo, low_w, w } => {
+                    mask((vals[*hi as usize] << low_w) | vals[*lo as usize], *w)
+                }
+            };
+        }
+    }
+
+    /// Whether any loop condition holds given evaluated `vals`.
+    pub fn any_loop(&self, vals: &[u64]) -> bool {
+        self.loop_conds.iter().any(|&s| vals[s as usize] != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use crate::state::PendingWrites;
+    use fleet_lang::{lit, UnitBuilder};
+
+    /// Minimal SSA-driven virtual-cycle stepper used to differential-test
+    /// the compiled form against the checking interpreter.
+    fn run_ssa(spec: &UnitSpec, tokens: &[u64]) -> Vec<u64> {
+        let prog = SsaProg::build(spec);
+        let mut state = UnitState::reset(spec);
+        let mut vals = vec![0u64; prog.slots()];
+        let mut out = Vec::new();
+        let mut step = |state: &mut UnitState, token: u64, fin: bool, out: &mut Vec<u64>| loop {
+            prog.eval(state, token, fin, &mut vals);
+            let in_loop = prog.any_loop(&vals);
+            let mut pending = PendingWrites::default();
+            let mut emitted = false;
+            for op in &prog.ops {
+                if op.in_loop != in_loop
+                    || op.guards.iter().any(|&g| vals[g as usize] == 0)
+                {
+                    continue;
+                }
+                match &op.op {
+                    SsaOp::SetReg { reg, width, val } => {
+                        if !pending.regs.iter().any(|(r, _)| *r == *reg as usize) {
+                            pending
+                                .regs
+                                .push((*reg as usize, mask(vals[*val as usize], *width)));
+                        }
+                    }
+                    SsaOp::SetVecReg { vr, width, idx, val } => {
+                        let i = vals[*idx as usize] as usize;
+                        if i < state.vec_regs[*vr as usize].len()
+                            && !pending
+                                .vec_regs
+                                .iter()
+                                .any(|(v, e, _)| *v == *vr as usize && *e == i)
+                        {
+                            pending.vec_regs.push((
+                                *vr as usize,
+                                i,
+                                mask(vals[*val as usize], *width),
+                            ));
+                        }
+                    }
+                    SsaOp::BramWrite { bram, aw, dw, addr, val } => {
+                        if !pending.brams.iter().any(|(b, _, _)| *b == *bram as usize) {
+                            pending.brams.push((
+                                *bram as usize,
+                                mask(vals[*addr as usize], *aw),
+                                mask(vals[*val as usize], *dw),
+                            ));
+                        }
+                    }
+                    SsaOp::Emit { val, width } => {
+                        if !emitted {
+                            out.push(mask(vals[*val as usize], *width));
+                            emitted = true;
+                        }
+                    }
+                }
+            }
+            pending.commit(state);
+            if !in_loop {
+                break;
+            }
+        };
+        for &t in tokens {
+            step(&mut state, mask(t, spec.input_token_bits), false, &mut out);
+        }
+        step(&mut state, 0, true, &mut out);
+        out
+    }
+
+    #[test]
+    fn ssa_matches_interpreter_on_histogram() {
+        let mut u = UnitBuilder::new("BlockFrequencies", 8, 8);
+        let item_counter = u.reg("itemCounter", 7, 0);
+        let frequencies = u.bram("frequencies", 256, 8);
+        let idx = u.reg("frequenciesIdx", 9, 0);
+        let input = u.input();
+        u.if_(item_counter.eq_e(100u64), |u| {
+            u.while_(idx.lt_e(256u64), |u| {
+                u.emit(frequencies.read(idx));
+                u.write(frequencies, idx, lit(0, 8));
+                u.set(idx, idx + 1u64);
+            });
+            u.set(idx, lit(0, 9));
+        });
+        u.write(frequencies, input.clone(), frequencies.read(input) + 1u64);
+        u.set(
+            item_counter,
+            item_counter.eq_e(100u64).mux(lit(1, 7), item_counter + 1u64),
+        );
+        let spec = u.build().unwrap();
+
+        let tokens: Vec<u64> = (0..300).map(|x| (x * 13 + 5) % 256).collect();
+        let golden = Interpreter::run_tokens(&spec, &tokens).unwrap();
+        assert_eq!(run_ssa(&spec, &tokens), golden.tokens);
+    }
+
+    #[test]
+    fn ssa_shares_subexpressions() {
+        // A deep shared chain must stay linear in slots.
+        let mut u = UnitBuilder::new("Chain", 8, 8);
+        let r = u.reg("r", 8, 0);
+        let mut e = r.e();
+        for _ in 0..40 {
+            e = e.clone() + e.clone();
+        }
+        u.set(r, e);
+        let spec = u.build().unwrap();
+        let prog = SsaProg::build(&spec);
+        assert!(prog.slots() < 100, "slots = {}", prog.slots());
+    }
+}

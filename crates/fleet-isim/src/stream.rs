@@ -1,0 +1,87 @@
+//! Byte-stream ↔ token conversions.
+//!
+//! Fleet streams live in DRAM as byte buffers; processing units consume
+//! and produce fixed-size tokens. Tokens whose size is a multiple of 8
+//! bits map to little-endian byte groups, matching how the memory
+//! controller slices the data bus.
+
+use crate::error::SimError;
+
+/// Splits a byte stream into little-endian tokens of `token_bits` bits.
+///
+/// # Errors
+///
+/// Returns [`SimError::RaggedInput`] if `token_bits` is not a multiple of
+/// 8 or the stream length is not a whole number of tokens.
+pub fn bytes_to_tokens(bytes: &[u8], token_bits: u16) -> Result<Vec<u64>, SimError> {
+    if token_bits % 8 != 0 || token_bits == 0 || token_bits > 64 {
+        return Err(SimError::RaggedInput { stream_bits: bytes.len() * 8, token_bits });
+    }
+    let tb = (token_bits / 8) as usize;
+    if bytes.len() % tb != 0 {
+        return Err(SimError::RaggedInput { stream_bits: bytes.len() * 8, token_bits });
+    }
+    Ok(bytes
+        .chunks_exact(tb)
+        .map(|c| {
+            let mut v = 0u64;
+            for (i, &b) in c.iter().enumerate() {
+                v |= (b as u64) << (8 * i);
+            }
+            v
+        })
+        .collect())
+}
+
+/// Packs tokens into a little-endian byte stream.
+///
+/// # Panics
+///
+/// Panics if `token_bits` is not a multiple of 8 in `8..=64`.
+pub fn tokens_to_bytes(tokens: &[u64], token_bits: u16) -> Vec<u8> {
+    assert!(
+        token_bits % 8 == 0 && (8..=64).contains(&token_bits),
+        "token size must be a whole number of bytes"
+    );
+    let tb = (token_bits / 8) as usize;
+    let mut out = Vec::with_capacity(tokens.len() * tb);
+    for &t in tokens {
+        for i in 0..tb {
+            out.push((t >> (8 * i)) as u8);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_8_bit() {
+        let bytes = vec![1u8, 2, 3, 255];
+        let tokens = bytes_to_tokens(&bytes, 8).unwrap();
+        assert_eq!(tokens, vec![1, 2, 3, 255]);
+        assert_eq!(tokens_to_bytes(&tokens, 8), bytes);
+    }
+
+    #[test]
+    fn roundtrip_32_bit_little_endian() {
+        let bytes = vec![0x78, 0x56, 0x34, 0x12];
+        let tokens = bytes_to_tokens(&bytes, 32).unwrap();
+        assert_eq!(tokens, vec![0x12345678]);
+        assert_eq!(tokens_to_bytes(&tokens, 32), bytes);
+    }
+
+    #[test]
+    fn ragged_input_rejected() {
+        assert!(matches!(
+            bytes_to_tokens(&[1, 2, 3], 32),
+            Err(SimError::RaggedInput { .. })
+        ));
+        assert!(matches!(
+            bytes_to_tokens(&[1], 12),
+            Err(SimError::RaggedInput { .. })
+        ));
+    }
+}

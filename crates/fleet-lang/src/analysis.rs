@@ -1,0 +1,296 @@
+//! Static mutual-exclusivity analysis of the Fleet restrictions.
+//!
+//! §3 of the paper checks the one-read/one-write/one-emit restrictions
+//! dynamically in the software simulator and notes that "a static
+//! analyzer could also guarantee that certain well-structured programs
+//! do not violate the restrictions". This module is that analyzer: it
+//! proves, for the common well-structured cases, that at most one of a
+//! set of conflicting operations can execute in any virtual cycle.
+//!
+//! The proof technique is syntactic arm exclusivity: two operations are
+//! *exclusive* when their paths through the program diverge at different
+//! arms of the same `if`/`else if`/`else` chain, or when exactly one of
+//! them lives inside a `while` body (loop virtual cycles and the final
+//! virtual cycle are disjoint). BRAM reads additionally count as
+//! compatible when they share one syntactic address expression. Programs
+//! the analyzer cannot prove safe are still checked dynamically by the
+//! software simulator — the analyzer never rejects a program, it only
+//! upgrades confidence.
+
+use std::collections::HashMap;
+
+use crate::expr::{E, ExprNode};
+use crate::stmt::{Block, Stmt};
+use crate::unit::UnitSpec;
+
+/// Identity of an `if` chain within the body (by traversal order).
+type IfId = u32;
+
+/// Path of one operation: which arm it took at each enclosing `if`
+/// (`usize::MAX` = the else arm), plus whether it is inside a loop body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct OpPath {
+    arms: Vec<(IfId, usize)>,
+    in_loop: bool,
+}
+
+impl OpPath {
+    /// Whether two operations can never execute in the same virtual
+    /// cycle.
+    fn exclusive_with(&self, other: &OpPath) -> bool {
+        if self.in_loop != other.in_loop {
+            // Loop virtual cycles execute only loop bodies; the final
+            // virtual cycle executes only non-loop statements.
+            return true;
+        }
+        for &(i, a) in &self.arms {
+            for &(j, b) in &other.arms {
+                if i == j && a != b {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// One potentially conflicting operation site.
+#[derive(Debug, Clone)]
+struct Site {
+    path: OpPath,
+    /// For BRAM reads: the address expression (pointer identity used for
+    /// same-address compatibility).
+    addr: Option<E>,
+}
+
+/// Verdict for one restriction on one resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// At most one site exists, or all pairs are provably exclusive —
+    /// the restriction can never be violated.
+    StaticallySafe,
+    /// Exclusivity could not be proven; the software simulator's dynamic
+    /// checks remain authoritative.
+    NeedsDynamicCheck,
+}
+
+/// Full static-analysis report for a unit.
+#[derive(Debug, Clone)]
+pub struct StaticReport {
+    /// Per-BRAM read-port verdicts, indexed like `spec.brams`.
+    pub bram_reads: Vec<Verdict>,
+    /// Per-BRAM write-port verdicts.
+    pub bram_writes: Vec<Verdict>,
+    /// Emit verdict.
+    pub emits: Verdict,
+}
+
+impl StaticReport {
+    /// Whether every restriction is statically safe (dynamic checking
+    /// could be disabled for this program, as the paper suggests).
+    pub fn fully_safe(&self) -> bool {
+        self.emits == Verdict::StaticallySafe
+            && self
+                .bram_reads
+                .iter()
+                .chain(self.bram_writes.iter())
+                .all(|v| *v == Verdict::StaticallySafe)
+    }
+}
+
+fn pairwise_safe(sites: &[Site]) -> Verdict {
+    for (i, a) in sites.iter().enumerate() {
+        for b in &sites[i + 1..] {
+            let same_addr = match (&a.addr, &b.addr) {
+                (Some(x), Some(y)) => std::ptr::eq(x.node(), y.node()),
+                _ => false,
+            };
+            if !same_addr && !a.path.exclusive_with(&b.path) {
+                return Verdict::NeedsDynamicCheck;
+            }
+        }
+    }
+    Verdict::StaticallySafe
+}
+
+struct Collector {
+    next_if: IfId,
+    reads: HashMap<usize, Vec<Site>>,
+    writes: HashMap<usize, Vec<Site>>,
+    emits: Vec<Site>,
+}
+
+impl Collector {
+    fn collect_reads(&mut self, e: &E, path: &OpPath) {
+        e.visit(&mut |n| {
+            if let ExprNode::BramRead(id, addr) = n.node() {
+                self.reads
+                    .entry(id.index())
+                    .or_default()
+                    .push(Site { path: path.clone(), addr: Some(addr.clone()) });
+            }
+        });
+    }
+
+    fn walk(&mut self, body: &Block, path: &OpPath) {
+        for s in body {
+            match s {
+                Stmt::SetReg(_, v) => self.collect_reads(v, path),
+                Stmt::SetVecReg(_, i, v) => {
+                    self.collect_reads(i, path);
+                    self.collect_reads(v, path);
+                }
+                Stmt::BramWrite(b, a, v) => {
+                    self.collect_reads(a, path);
+                    self.collect_reads(v, path);
+                    self.writes
+                        .entry(b.index())
+                        .or_default()
+                        .push(Site { path: path.clone(), addr: None });
+                }
+                Stmt::Emit(v) => {
+                    self.collect_reads(v, path);
+                    self.emits.push(Site { path: path.clone(), addr: None });
+                }
+                Stmt::If { arms, else_body } => {
+                    let id = self.next_if;
+                    self.next_if += 1;
+                    for (k, (cond, arm)) in arms.iter().enumerate() {
+                        // Reads in conditions execute unconditionally.
+                        self.collect_reads(cond, path);
+                        let mut p = path.clone();
+                        p.arms.push((id, k));
+                        self.walk(arm, &p);
+                    }
+                    let mut p = path.clone();
+                    p.arms.push((id, usize::MAX));
+                    self.walk(else_body, &p);
+                }
+                Stmt::While { cond, body } => {
+                    self.collect_reads(cond, path);
+                    let p = OpPath { arms: path.arms.clone(), in_loop: true };
+                    self.walk(body, &p);
+                }
+            }
+        }
+    }
+}
+
+/// Runs the static analyzer over a unit.
+pub fn analyze(spec: &UnitSpec) -> StaticReport {
+    let mut c = Collector {
+        next_if: 0,
+        reads: HashMap::new(),
+        writes: HashMap::new(),
+        emits: Vec::new(),
+    };
+    let root = OpPath { arms: Vec::new(), in_loop: false };
+    c.walk(&spec.body, &root);
+
+    let empty: Vec<Site> = Vec::new();
+    StaticReport {
+        bram_reads: (0..spec.brams.len())
+            .map(|b| pairwise_safe(c.reads.get(&b).unwrap_or(&empty)))
+            .collect(),
+        bram_writes: (0..spec.brams.len())
+            .map(|b| pairwise_safe(c.writes.get(&b).unwrap_or(&empty)))
+            .collect(),
+        emits: pairwise_safe(&c.emits),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::UnitBuilder;
+    use crate::expr::lit;
+
+    #[test]
+    fn single_emit_is_safe() {
+        let mut u = UnitBuilder::new("One", 8, 8);
+        let inp = u.input();
+        u.emit(inp);
+        let spec = u.build().unwrap();
+        assert_eq!(analyze(&spec).emits, Verdict::StaticallySafe);
+    }
+
+    #[test]
+    fn if_else_emits_are_safe() {
+        // The §7.4 OpenCL example the HLS tool cannot schedule at II=1:
+        // the analyzer proves the arms exclusive.
+        let mut u = UnitBuilder::new("TwoArms", 8, 8);
+        let st = u.reg("state", 1, 0);
+        u.if_else(
+            st.eq_e(0u64),
+            |u| u.emit(lit(0, 8)),
+            |u| u.emit(lit(1, 8)),
+        );
+        let spec = u.build().unwrap();
+        assert_eq!(analyze(&spec).emits, Verdict::StaticallySafe);
+    }
+
+    #[test]
+    fn sibling_ifs_need_dynamic_checks() {
+        // Two separate `if`s whose conditions might both hold.
+        let mut u = UnitBuilder::new("TwoIfs", 8, 8);
+        let a = u.reg("a", 1, 0);
+        let b = u.reg("b", 1, 0);
+        u.if_(a.e(), |u| u.emit(lit(0, 8)));
+        u.if_(b.e(), |u| u.emit(lit(1, 8)));
+        let spec = u.build().unwrap();
+        assert_eq!(analyze(&spec).emits, Verdict::NeedsDynamicCheck);
+    }
+
+    #[test]
+    fn loop_vs_final_cycle_is_exclusive() {
+        // Figure 3's structure: an emit inside the while body and a BRAM
+        // write both inside and outside — provably exclusive per cycle.
+        let mut u = UnitBuilder::new("LoopSplit", 8, 8);
+        let b = u.bram("m", 16, 8);
+        let idx = u.reg("i", 5, 0);
+        let input = u.input();
+        u.while_(idx.lt_e(16u64), |u| {
+            u.emit(b.read(idx.slice(3, 0)));
+            u.write(b, idx.slice(3, 0), lit(0, 8));
+            u.set(idx, idx + 1u64);
+        });
+        u.write(b, input.slice(3, 0), input.clone());
+        let spec = u.build().unwrap();
+        let r = analyze(&spec);
+        assert_eq!(r.emits, Verdict::StaticallySafe);
+        assert_eq!(r.bram_writes[0], Verdict::StaticallySafe);
+    }
+
+    #[test]
+    fn same_address_reads_are_compatible() {
+        let mut u = UnitBuilder::new("SameAddr", 8, 8);
+        let b = u.bram("m", 16, 8);
+        let input = u.input();
+        let addr = input.slice(3, 0);
+        // Same syntactic address expression used twice (shared node).
+        u.emit(b.read(addr.clone()) ^ b.read(addr));
+        let spec = u.build().unwrap();
+        assert_eq!(analyze(&spec).bram_reads[0], Verdict::StaticallySafe);
+    }
+
+    #[test]
+    fn different_address_reads_same_arm_need_dynamic() {
+        let mut u = UnitBuilder::new("DiffAddr", 8, 8);
+        let b = u.bram("m", 16, 8);
+        let input = u.input();
+        u.emit(b.read(input.slice(3, 0)) ^ b.read(input.slice(7, 4)));
+        let spec = u.build().unwrap();
+        assert_eq!(analyze(&spec).bram_reads[0], Verdict::NeedsDynamicCheck);
+    }
+
+    #[test]
+    fn elif_chain_arms_are_mutually_exclusive() {
+        let mut u = UnitBuilder::new("Chain", 8, 8);
+        let st = u.reg("s", 2, 0);
+        u.if_(st.eq_e(0u64), |u| u.emit(lit(0, 8)))
+            .elif(st.eq_e(1u64), |u| u.emit(lit(1, 8)))
+            .else_(|u| u.emit(lit(2, 8)));
+        let spec = u.build().unwrap();
+        assert_eq!(analyze(&spec).emits, Verdict::StaticallySafe);
+    }
+}

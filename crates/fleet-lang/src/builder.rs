@@ -1,0 +1,517 @@
+//! Ergonomic construction of [`UnitSpec`] programs.
+//!
+//! [`UnitBuilder`] plays the role of the Scala embedding in the paper:
+//! ordinary Rust code runs at "elaboration time" and records Fleet
+//! statements, so loops, helper functions, and compile-time parameters
+//! can generate parameterized processing units.
+//!
+//! # Examples
+//!
+//! The identity unit from §3 of the paper:
+//!
+//! ```
+//! use fleet_lang::UnitBuilder;
+//!
+//! let mut u = UnitBuilder::new("Identity", 8, 8);
+//! let input = u.input();
+//! let not_finished = u.stream_finished().not_b();
+//! u.if_(not_finished, |u| {
+//!     u.emit(input);
+//! });
+//! let spec = u.build().unwrap();
+//! assert_eq!(spec.name, "Identity");
+//! ```
+
+use crate::expr::{E, ExprNode, IntoE};
+use crate::stmt::{Block, Stmt};
+use crate::types::{clog2, BramId, RegId, VecRegId, Width};
+use crate::unit::{BramDef, RegDef, UnitSpec, VecRegDef};
+use crate::validate::{self, ValidateError};
+
+/// Handle to a scalar register declared on a [`UnitBuilder`].
+///
+/// `Reg` is `Copy` and converts into an expression reading the register's
+/// current value; the arithmetic and comparison operators work on it
+/// directly.
+#[derive(Debug, Clone, Copy)]
+pub struct Reg {
+    id: RegId,
+}
+
+impl Reg {
+    /// The register's id.
+    pub fn id(self) -> RegId {
+        self.id
+    }
+
+    /// Expression reading the register's current value.
+    pub fn e(self) -> E {
+        E::new(ExprNode::Reg(self.id))
+    }
+}
+
+impl IntoE for Reg {
+    fn into_e(self) -> E {
+        self.e()
+    }
+}
+
+impl IntoE for &Reg {
+    fn into_e(self) -> E {
+        self.e()
+    }
+}
+
+/// Handle to a vector register declared on a [`UnitBuilder`].
+#[derive(Debug, Clone, Copy)]
+pub struct VecReg {
+    id: VecRegId,
+}
+
+impl VecReg {
+    /// The vector register's id.
+    pub fn id(self) -> VecRegId {
+        self.id
+    }
+
+    /// Random-access read of element `idx`.
+    pub fn read(self, idx: impl IntoE) -> E {
+        E::new(ExprNode::VecReg(self.id, idx.into_e()))
+    }
+}
+
+/// Handle to a BRAM declared on a [`UnitBuilder`].
+#[derive(Debug, Clone, Copy)]
+pub struct Bram {
+    id: BramId,
+}
+
+impl Bram {
+    /// The BRAM's id.
+    pub fn id(self) -> BramId {
+        self.id
+    }
+
+    /// Read of the element at `addr`.
+    ///
+    /// The Fleet restrictions apply: in any virtual cycle a BRAM may be
+    /// read at one address only, and read addresses may not themselves
+    /// depend on BRAM reads.
+    pub fn read(self, addr: impl IntoE) -> E {
+        E::new(ExprNode::BramRead(self.id, addr.into_e()))
+    }
+}
+
+macro_rules! forward_reg_ops {
+    ($($trait:ident :: $method:ident),*) => {
+        $(
+            impl<R: IntoE> std::ops::$trait<R> for Reg {
+                type Output = E;
+                fn $method(self, rhs: R) -> E {
+                    std::ops::$trait::$method(self.e(), rhs)
+                }
+            }
+        )*
+    };
+}
+
+forward_reg_ops!(
+    Add::add,
+    Sub::sub,
+    Mul::mul,
+    BitAnd::bitand,
+    BitOr::bitor,
+    BitXor::bitxor,
+    Shl::shl,
+    Shr::shr
+);
+
+impl Reg {
+    /// Hardware equality comparator (see [`E::eq_e`]).
+    pub fn eq_e(self, rhs: impl IntoE) -> E {
+        self.e().eq_e(rhs)
+    }
+    /// Hardware inequality comparator.
+    pub fn ne_e(self, rhs: impl IntoE) -> E {
+        self.e().ne_e(rhs)
+    }
+    /// Unsigned less-than comparator.
+    pub fn lt_e(self, rhs: impl IntoE) -> E {
+        self.e().lt_e(rhs)
+    }
+    /// Unsigned less-or-equal comparator.
+    pub fn le_e(self, rhs: impl IntoE) -> E {
+        self.e().le_e(rhs)
+    }
+    /// Unsigned greater-than comparator.
+    pub fn gt_e(self, rhs: impl IntoE) -> E {
+        self.e().gt_e(rhs)
+    }
+    /// Unsigned greater-or-equal comparator.
+    pub fn ge_e(self, rhs: impl IntoE) -> E {
+        self.e().ge_e(rhs)
+    }
+    /// Bit slice of the register value.
+    pub fn slice(self, hi: u16, lo: u16) -> E {
+        self.e().slice(hi, lo)
+    }
+    /// Concatenation with the register value in the upper bits.
+    pub fn concat(self, lo: impl IntoE) -> E {
+        self.e().concat(lo)
+    }
+    /// Single-bit extraction.
+    pub fn bit(self, idx: u16) -> E {
+        self.e().bit(idx)
+    }
+    /// 2-way multiplexer with the register value as condition.
+    pub fn mux(self, on_true: impl IntoE, on_false: impl IntoE) -> E {
+        self.e().mux(on_true, on_false)
+    }
+    /// OR-reduction (nonzero test).
+    pub fn any(self) -> E {
+        self.e().any()
+    }
+    /// Boolean NOT.
+    pub fn not_b(self) -> E {
+        self.e().not_b()
+    }
+}
+
+/// Builder for [`UnitSpec`] values.
+///
+/// Statements are recorded in order; conditional and loop bodies are
+/// expressed as closures receiving the same builder. See the
+/// [module docs](self) for an example and
+/// [`fleet_lang`](crate) for the language reference.
+#[derive(Debug)]
+pub struct UnitBuilder {
+    name: String,
+    input_token_bits: Width,
+    output_token_bits: Width,
+    regs: Vec<RegDef>,
+    vec_regs: Vec<VecRegDef>,
+    brams: Vec<BramDef>,
+    stack: Vec<Block>,
+    while_depth: u32,
+}
+
+impl UnitBuilder {
+    /// Starts a new unit with the given token sizes in bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either token size is outside `1..=64`.
+    pub fn new(name: impl Into<String>, input_token_bits: Width, output_token_bits: Width) -> Self {
+        assert!(
+            (1..=64).contains(&input_token_bits),
+            "input token size must be in 1..=64 bits"
+        );
+        assert!(
+            (1..=64).contains(&output_token_bits),
+            "output token size must be in 1..=64 bits"
+        );
+        UnitBuilder {
+            name: name.into(),
+            input_token_bits,
+            output_token_bits,
+            regs: Vec::new(),
+            vec_regs: Vec::new(),
+            brams: Vec::new(),
+            stack: vec![Vec::new()],
+            while_depth: 0,
+        }
+    }
+
+    /// Expression reading the current input token.
+    pub fn input(&self) -> E {
+        E::new(ExprNode::Input(self.input_token_bits))
+    }
+
+    /// 1-bit expression, true during the cleanup execution that runs once
+    /// after the final input token.
+    pub fn stream_finished(&self) -> E {
+        E::new(ExprNode::StreamFinished)
+    }
+
+    /// Declares a scalar register with a reset value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=64` or `init` does not fit.
+    pub fn reg(&mut self, name: impl Into<String>, width: Width, init: u64) -> Reg {
+        assert!((1..=64).contains(&width), "register width must be in 1..=64");
+        assert!(
+            width == 64 || init < (1u64 << width),
+            "register init value does not fit in {width} bits"
+        );
+        let id = RegId::new(self.regs.len() as u32, width);
+        self.regs.push(RegDef { name: name.into(), width, init });
+        Reg { id }
+    }
+
+    /// Declares a vector register of `elements` entries of `width` bits,
+    /// each starting at `init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=64`, `elements` is zero, or
+    /// `init` does not fit.
+    pub fn vec_reg(
+        &mut self,
+        name: impl Into<String>,
+        elements: usize,
+        width: Width,
+        init: u64,
+    ) -> VecReg {
+        assert!((1..=64).contains(&width), "vector register width must be in 1..=64");
+        assert!(elements >= 1, "vector register must have at least one element");
+        assert!(
+            width == 64 || init < (1u64 << width),
+            "vector register init value does not fit in {width} bits"
+        );
+        let id = VecRegId::new(self.vec_regs.len() as u32, width);
+        self.vec_regs.push(VecRegDef { name: name.into(), width, elements, init });
+        VecReg { id }
+    }
+
+    /// Declares a BRAM of at least `elements` entries of `width` bits.
+    ///
+    /// The element count is rounded up to a power of two (matching how
+    /// FPGA tools allocate technology BRAMs); contents start zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=64` or `elements` is zero.
+    pub fn bram(&mut self, name: impl Into<String>, elements: usize, width: Width) -> Bram {
+        assert!((1..=64).contains(&width), "BRAM data width must be in 1..=64");
+        assert!(elements >= 1, "BRAM must have at least one element");
+        let addr_width = clog2(elements.max(2));
+        let id = BramId::new(self.brams.len() as u32, width, addr_width);
+        self.brams.push(BramDef { name: name.into(), data_width: width, addr_width });
+        Bram { id }
+    }
+
+    fn current(&mut self) -> &mut Block {
+        self.stack.last_mut().expect("builder block stack is never empty")
+    }
+
+    /// Records a register assignment (commits at end of virtual cycle).
+    pub fn set(&mut self, reg: Reg, value: impl IntoE) {
+        let v = value.into_e();
+        self.current().push(Stmt::SetReg(reg.id, v));
+    }
+
+    /// Records a vector-register element assignment.
+    pub fn set_vec(&mut self, vr: VecReg, idx: impl IntoE, value: impl IntoE) {
+        let (i, v) = (idx.into_e(), value.into_e());
+        self.current().push(Stmt::SetVecReg(vr.id, i, v));
+    }
+
+    /// Records a BRAM write.
+    pub fn write(&mut self, bram: Bram, addr: impl IntoE, value: impl IntoE) {
+        let (a, v) = (addr.into_e(), value.into_e());
+        self.current().push(Stmt::BramWrite(bram.id, a, v));
+    }
+
+    /// Records an output-token emission. At most one emit may execute per
+    /// virtual cycle (checked dynamically by the software simulator).
+    pub fn emit(&mut self, value: impl IntoE) {
+        let v = value.into_e();
+        self.current().push(Stmt::Emit(v));
+    }
+
+    fn scoped(&mut self, f: impl FnOnce(&mut Self)) -> Block {
+        self.stack.push(Vec::new());
+        f(self);
+        self.stack.pop().expect("scoped block pushed above")
+    }
+
+    /// Records an `if` block; returns a chain handle for `else if` /
+    /// `else`.
+    pub fn if_(&mut self, cond: impl IntoE, f: impl FnOnce(&mut Self)) -> IfChain<'_> {
+        let cond = cond.into_e();
+        let body = self.scoped(f);
+        let idx = {
+            let block = self.current();
+            block.push(Stmt::If { arms: vec![(cond, body)], else_body: Vec::new() });
+            block.len() - 1
+        };
+        let depth = self.stack.len() - 1;
+        IfChain { u: self, depth, idx }
+    }
+
+    /// Records an `if`/`else` pair in one call.
+    pub fn if_else(
+        &mut self,
+        cond: impl IntoE,
+        then_f: impl FnOnce(&mut Self),
+        else_f: impl FnOnce(&mut Self),
+    ) {
+        self.if_(cond, then_f).else_(else_f);
+    }
+
+    /// Records a `while` loop.
+    ///
+    /// Loop virtual cycles execute the body without consuming the input
+    /// token until the condition is false; loops may not nest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called inside another `while` body (the paper's language
+    /// does not support nested loops).
+    pub fn while_(&mut self, cond: impl IntoE, f: impl FnOnce(&mut Self)) {
+        assert!(
+            self.while_depth == 0,
+            "nested while loops are not supported by the Fleet language"
+        );
+        let cond = cond.into_e();
+        self.while_depth += 1;
+        let body = self.scoped(f);
+        self.while_depth -= 1;
+        self.current().push(Stmt::While { cond, body });
+    }
+
+    /// Finishes the unit, validating the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first hard violation found (bad widths, out-of-range
+    /// slice, dependent BRAM reads, foreign state handles, nested loops).
+    /// Soft restriction violations (possible multiple BRAM accesses or
+    /// emits per virtual cycle) are left to the software simulator, per
+    /// the paper.
+    pub fn build(self) -> Result<UnitSpec, ValidateError> {
+        let UnitBuilder {
+            name,
+            input_token_bits,
+            output_token_bits,
+            regs,
+            vec_regs,
+            brams,
+            mut stack,
+            while_depth: _,
+        } = self;
+        debug_assert_eq!(stack.len(), 1, "unbalanced builder blocks");
+        let body = stack.pop().unwrap_or_default();
+        let spec = UnitSpec {
+            name,
+            input_token_bits,
+            output_token_bits,
+            regs,
+            vec_regs,
+            brams,
+            body,
+        };
+        validate::validate(&spec)?;
+        Ok(spec)
+    }
+}
+
+/// Chain handle returned by [`UnitBuilder::if_`] for attaching
+/// `else if` / `else` arms.
+#[derive(Debug)]
+pub struct IfChain<'a> {
+    u: &'a mut UnitBuilder,
+    depth: usize,
+    idx: usize,
+}
+
+impl<'a> IfChain<'a> {
+    /// Adds an `else if` arm.
+    pub fn elif(self, cond: impl IntoE, f: impl FnOnce(&mut UnitBuilder)) -> IfChain<'a> {
+        let cond = cond.into_e();
+        let body = self.u.scoped(f);
+        match &mut self.u.stack[self.depth][self.idx] {
+            Stmt::If { arms, .. } => arms.push((cond, body)),
+            _ => unreachable!("IfChain index always points at an If statement"),
+        }
+        self
+    }
+
+    /// Adds the final `else` arm.
+    pub fn else_(self, f: impl FnOnce(&mut UnitBuilder)) {
+        let body = self.u.scoped(f);
+        match &mut self.u.stack[self.depth][self.idx] {
+            Stmt::If { else_body, .. } => *else_body = body,
+            _ => unreachable!("IfChain index always points at an If statement"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::lit;
+
+    #[test]
+    fn builds_identity_unit() {
+        let mut u = UnitBuilder::new("Identity", 8, 8);
+        let inp = u.input();
+        let nf = u.stream_finished().not_b();
+        u.if_(nf, |u| u.emit(inp.clone()));
+        let spec = u.build().unwrap();
+        assert_eq!(spec.input_token_bits, 8);
+        assert_eq!(spec.body.len(), 1);
+    }
+
+    #[test]
+    fn histogram_example_from_paper() {
+        // Figure 3 of the paper.
+        let mut u = UnitBuilder::new("BlockFrequencies", 8, 8);
+        let item_counter = u.reg("itemCounter", 7, 0);
+        let frequencies = u.bram("frequencies", 256, 8);
+        let idx = u.reg("frequenciesIdx", 9, 0);
+        let input = u.input();
+        u.if_(item_counter.eq_e(100u64), |u| {
+            u.while_(idx.lt_e(256u64), |u| {
+                u.emit(frequencies.read(idx));
+                u.write(frequencies, idx, lit(0, 8));
+                u.set(idx, idx + 1u64);
+            });
+            u.set(idx, lit(0, 9));
+        });
+        u.write(frequencies, input.clone(), frequencies.read(input) + 1u64);
+        u.set(
+            item_counter,
+            item_counter.eq_e(100u64).mux(lit(1, 7), item_counter + 1u64),
+        );
+        let spec = u.build().unwrap();
+        assert_eq!(spec.regs.len(), 2);
+        assert_eq!(spec.brams.len(), 1);
+        assert_eq!(spec.brams[0].elements(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "nested while")]
+    fn nested_while_panics() {
+        let mut u = UnitBuilder::new("Bad", 8, 8);
+        u.while_(lit(1, 1), |u| {
+            u.while_(lit(1, 1), |_| {});
+        });
+    }
+
+    #[test]
+    fn elif_and_else_arms_recorded() {
+        let mut u = UnitBuilder::new("Chain", 8, 8);
+        let r = u.reg("state", 2, 0);
+        u.if_(r.eq_e(0u64), |u| u.emit(lit(0, 8)))
+            .elif(r.eq_e(1u64), |u| u.emit(lit(1, 8)))
+            .else_(|u| u.emit(lit(2, 8)));
+        let spec = u.build().unwrap();
+        match &spec.body[0] {
+            Stmt::If { arms, else_body } => {
+                assert_eq!(arms.len(), 2);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("expected If, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bram_rounds_to_power_of_two() {
+        let mut u = UnitBuilder::new("B", 8, 8);
+        let b = u.bram("t", 300, 16);
+        assert_eq!(b.id().elements(), 512);
+        assert_eq!(b.id().addr_width(), 9);
+    }
+}

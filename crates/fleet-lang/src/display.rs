@@ -1,0 +1,323 @@
+//! Pretty-printing of Fleet programs in the paper's surface syntax.
+//!
+//! The output mirrors the `unit` syntax of Figure 3 and is used for
+//! diagnostics, documentation, and the lines-of-code experiment (Fig. 8).
+//!
+//! Expressions are reference-counted DAGs; subexpressions used more than
+//! once are rendered as named `wire` definitions (exactly the temporary
+//! wires a human would write in real Fleet source), keeping the output
+//! linear in the circuit size.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::expr::{E, ExprNode, UnaryOp};
+use crate::stmt::Stmt;
+use crate::unit::UnitSpec;
+
+struct Renderer<'a> {
+    spec: &'a UnitSpec,
+    refs: HashMap<*const ExprNode, usize>,
+    names: HashMap<*const ExprNode, String>,
+    wire_defs: Vec<String>,
+    counter: usize,
+}
+
+impl<'a> Renderer<'a> {
+    fn new(spec: &'a UnitSpec) -> Renderer<'a> {
+        Renderer {
+            spec,
+            refs: HashMap::new(),
+            names: HashMap::new(),
+            wire_defs: Vec::new(),
+            counter: 0,
+        }
+    }
+
+    /// Counts DAG in-edges so shared nodes get wire names.
+    fn count_refs(&mut self, e: &E) {
+        *self.refs.entry(e.node() as *const ExprNode).or_insert(0) += 1;
+        if self.refs[&(e.node() as *const ExprNode)] > 1 {
+            return; // children already counted on first encounter
+        }
+        match e.node() {
+            ExprNode::Const { .. }
+            | ExprNode::Input(_)
+            | ExprNode::StreamFinished
+            | ExprNode::Reg(_) => {}
+            ExprNode::VecReg(_, i) => self.count_refs(i),
+            ExprNode::BramRead(_, a) => self.count_refs(a),
+            ExprNode::Unary(_, a) => self.count_refs(a),
+            ExprNode::Binary(_, a, b) => {
+                self.count_refs(a);
+                self.count_refs(b);
+            }
+            ExprNode::Slice { arg, .. } => self.count_refs(arg),
+            ExprNode::Concat { hi, lo } => {
+                self.count_refs(hi);
+                self.count_refs(lo);
+            }
+            ExprNode::Mux { cond, on_true, on_false } => {
+                self.count_refs(cond);
+                self.count_refs(on_true);
+                self.count_refs(on_false);
+            }
+        }
+    }
+
+    fn is_leaf(e: &E) -> bool {
+        matches!(
+            e.node(),
+            ExprNode::Const { .. }
+                | ExprNode::Input(_)
+                | ExprNode::StreamFinished
+                | ExprNode::Reg(_)
+        )
+    }
+
+    /// Renders a use of `e`: a wire name if shared, inline otherwise.
+    fn expr(&mut self, e: &E) -> String {
+        let key = e.node() as *const ExprNode;
+        if let Some(name) = self.names.get(&key) {
+            return name.clone();
+        }
+        if !Self::is_leaf(e) && self.refs.get(&key).copied().unwrap_or(0) > 1 {
+            let body = self.expr_inline(e);
+            let name = format!("w{}", self.counter);
+            self.counter += 1;
+            self.wire_defs.push(format!("{name} := wire({body})"));
+            self.names.insert(key, name.clone());
+            return name;
+        }
+        self.expr_inline(e)
+    }
+
+    fn expr_inline(&mut self, e: &E) -> String {
+        match e.node() {
+            ExprNode::Const { value, .. } => format!("{value}"),
+            ExprNode::Input(_) => "input".to_string(),
+            ExprNode::StreamFinished => "stream_finished".to_string(),
+            ExprNode::Reg(r) => self
+                .spec
+                .regs
+                .get(r.index())
+                .map(|d| d.name.clone())
+                .unwrap_or_else(|| r.to_string()),
+            ExprNode::VecReg(vr, i) => {
+                let name = self
+                    .spec
+                    .vec_regs
+                    .get(vr.index())
+                    .map(|d| d.name.clone())
+                    .unwrap_or_else(|| vr.to_string());
+                let idx = self.expr(i);
+                format!("{name}[{idx}]")
+            }
+            ExprNode::BramRead(b, a) => {
+                let name = self
+                    .spec
+                    .brams
+                    .get(b.index())
+                    .map(|d| d.name.clone())
+                    .unwrap_or_else(|| b.to_string());
+                let addr = self.expr(a);
+                format!("{name}[{addr}]")
+            }
+            ExprNode::Unary(op, a) => {
+                let arg = self.expr(a);
+                match op {
+                    UnaryOp::Not => format!("~{arg}"),
+                    UnaryOp::ReduceOr => format!("|{arg}"),
+                    UnaryOp::ReduceAnd => format!("&{arg}"),
+                }
+            }
+            ExprNode::Binary(op, a, b) => {
+                let l = self.expr(a);
+                let r = self.expr(b);
+                format!("({l} {} {r})", op.symbol())
+            }
+            ExprNode::Slice { arg, hi, lo } => {
+                let a = self.expr(arg);
+                format!("{a}[{hi}:{lo}]")
+            }
+            ExprNode::Concat { hi, lo } => {
+                let h = self.expr(hi);
+                let l = self.expr(lo);
+                format!("{{{h}, {l}}}")
+            }
+            ExprNode::Mux { cond, on_true, on_false } => {
+                let c = self.expr(cond);
+                let t = self.expr(on_true);
+                let f = self.expr(on_false);
+                format!("({c} ? {t} : {f})")
+            }
+        }
+    }
+
+    fn block(&mut self, body: &[Stmt], level: usize, out: &mut String) {
+        for s in body {
+            match s {
+                Stmt::SetReg(r, v) => {
+                    let rhs = self.expr(v);
+                    indent(out, level);
+                    let name = &self.spec.regs[r.index()].name;
+                    let _ = writeln!(out, "{name} = {rhs}");
+                }
+                Stmt::SetVecReg(vr, i, v) => {
+                    let idx = self.expr(i);
+                    let rhs = self.expr(v);
+                    indent(out, level);
+                    let name = &self.spec.vec_regs[vr.index()].name;
+                    let _ = writeln!(out, "{name}[{idx}] = {rhs}");
+                }
+                Stmt::BramWrite(b, a, v) => {
+                    let addr = self.expr(a);
+                    let rhs = self.expr(v);
+                    indent(out, level);
+                    let name = &self.spec.brams[b.index()].name;
+                    let _ = writeln!(out, "{name}[{addr}] = {rhs}");
+                }
+                Stmt::Emit(v) => {
+                    let rhs = self.expr(v);
+                    indent(out, level);
+                    let _ = writeln!(out, "emit({rhs})");
+                }
+                Stmt::If { arms, else_body } => {
+                    for (k, (c, b)) in arms.iter().enumerate() {
+                        let cond = self.expr(c);
+                        indent(out, level);
+                        let kw = if k == 0 { "if" } else { "} else if" };
+                        let _ = writeln!(out, "{kw} ({cond}) {{");
+                        self.block(b, level + 1, out);
+                    }
+                    if !else_body.is_empty() {
+                        indent(out, level);
+                        out.push_str("} else {\n");
+                        self.block(else_body, level + 1, out);
+                    }
+                    indent(out, level);
+                    out.push_str("}\n");
+                }
+                Stmt::While { cond, body } => {
+                    let c = self.expr(cond);
+                    indent(out, level);
+                    let _ = writeln!(out, "while ({c}) {{");
+                    self.block(body, level + 1, out);
+                    indent(out, level);
+                    out.push_str("}\n");
+                }
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+/// Renders a unit in Fleet surface syntax.
+pub fn render(spec: &UnitSpec) -> String {
+    let mut r = Renderer::new(spec);
+    for s in &spec.body {
+        s.visit_exprs(&mut |e| r.count_refs(e));
+    }
+    let mut body = String::new();
+    r.block(&spec.body, 1, &mut body);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "unit {}(inputTokenSize={}, outputTokenSize={}) {{",
+        spec.name, spec.input_token_bits, spec.output_token_bits
+    );
+    for reg in &spec.regs {
+        let _ = writeln!(out, "  {} := reg(bits={}, init={})", reg.name, reg.width, reg.init);
+    }
+    for v in &spec.vec_regs {
+        let _ = writeln!(
+            out,
+            "  {} := vecreg(elements={}, bits={}, init={})",
+            v.name, v.elements, v.width, v.init
+        );
+    }
+    for b in &spec.brams {
+        let _ = writeln!(
+            out,
+            "  {} := bram(elements={}, bitsPerElmt={})",
+            b.name,
+            b.elements(),
+            b.data_width
+        );
+    }
+    for w in &r.wire_defs {
+        let _ = writeln!(out, "  {w}");
+    }
+    out.push_str(&body);
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a single expression (diagnostics).
+pub fn expr(spec: &UnitSpec, e: &E) -> String {
+    let mut r = Renderer::new(spec);
+    r.expr_inline(e)
+}
+
+/// Counts the "lines of Fleet code" of a unit: the number of non-empty
+/// rendered lines, the measure used in the Figure 8 comparison.
+pub fn loc(spec: &UnitSpec) -> usize {
+    render(spec).lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::UnitBuilder;
+    use crate::expr::lit;
+
+    #[test]
+    fn renders_histogram_like_paper() {
+        let mut u = UnitBuilder::new("BlockFrequencies", 8, 8);
+        let c = u.reg("itemCounter", 7, 0);
+        let f = u.bram("frequencies", 256, 8);
+        let input = u.input();
+        u.if_(c.eq_e(100u64), |u| u.emit(f.read(lit(0, 8))));
+        u.write(f, input.clone(), f.read(input) + 1u64);
+        let spec = u.build().unwrap();
+        let text = render(&spec);
+        assert!(text.contains("unit BlockFrequencies(inputTokenSize=8, outputTokenSize=8) {"));
+        assert!(text.contains("itemCounter := reg(bits=7, init=0)"));
+        assert!(text.contains("frequencies := bram(elements=256, bitsPerElmt=8)"));
+        assert!(text.contains("if ((itemCounter == 100)) {"));
+        assert!(loc(&spec) >= 6);
+    }
+
+    #[test]
+    fn shared_subexpressions_become_wires() {
+        let mut u = UnitBuilder::new("Shared", 8, 8);
+        let a = u.reg("a", 8, 0);
+        let shared = a + 1u64;
+        u.set(a, shared.clone() ^ shared.clone());
+        let spec = u.build().unwrap();
+        let text = render(&spec);
+        assert!(text.contains(":= wire("), "shared node should be a wire:\n{text}");
+    }
+
+    #[test]
+    fn deep_shared_chain_renders_in_linear_time() {
+        // A 64-level chain where each level references the previous
+        // twice: tree rendering would be 2^64 nodes.
+        let mut u = UnitBuilder::new("Chain", 8, 8);
+        let r = u.reg("r", 8, 0);
+        let mut e = r.e();
+        for _ in 0..64 {
+            e = e.clone() + e.clone();
+        }
+        u.set(r, e);
+        let spec = u.build().unwrap();
+        let text = render(&spec);
+        assert!(text.len() < 20_000);
+    }
+}

@@ -1,0 +1,574 @@
+//! Expression trees for the Fleet processing-unit language.
+//!
+//! Expressions are immutable, reference-counted DAGs built through the
+//! [`E`] handle type. Every expression has a *bit width* in `1..=64`;
+//! operations follow hardware conventions: arithmetic and bitwise
+//! operators produce `max(lhs, rhs)` bits with wrap-around, comparisons
+//! produce a single bit, shifts keep the width of the shifted value, and
+//! results are always masked to their width.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::types::{BramId, RegId, VecRegId, Width};
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Bitwise complement within the operand's width.
+    Not,
+    /// OR-reduction of all bits to a single bit.
+    ReduceOr,
+    /// AND-reduction of all bits to a single bit.
+    ReduceAnd,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (result width = lhs width).
+    Shl,
+    /// Logical shift right (result width = lhs width).
+    Shr,
+    /// Equality (1-bit result).
+    Eq,
+    /// Inequality (1-bit result).
+    Ne,
+    /// Unsigned less-than (1-bit result).
+    Lt,
+    /// Unsigned less-or-equal (1-bit result).
+    Le,
+    /// Unsigned greater-than (1-bit result).
+    Gt,
+    /// Unsigned greater-or-equal (1-bit result).
+    Ge,
+}
+
+impl BinOp {
+    /// Whether the operator produces a single-bit Boolean result.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// Verilog-style operator token, used by the pretty printer.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+        }
+    }
+}
+
+/// A node in the expression DAG.
+///
+/// Nodes are shared via [`E`]; user code never constructs `ExprNode`
+/// values directly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ExprNode {
+    /// An unsigned constant with an explicit width.
+    Const {
+        /// The constant value (fits in `width` bits).
+        value: u64,
+        /// Bit width.
+        width: Width,
+    },
+    /// The current input token; the width is the unit's input token size
+    /// and is recorded at construction time by the builder.
+    Input(Width),
+    /// 1-bit flag: true during the cleanup execution after the last token.
+    StreamFinished,
+    /// Current value of a register.
+    Reg(RegId),
+    /// Random-access read of a vector register element.
+    VecReg(VecRegId, E),
+    /// Read of a BRAM at the given address (1 virtual-cycle semantics).
+    BramRead(BramId, E),
+    /// Unary operation.
+    Unary(UnaryOp, E),
+    /// Binary operation.
+    Binary(BinOp, E, E),
+    /// Bit slice `[hi:lo]`, inclusive.
+    Slice {
+        /// Operand.
+        arg: E,
+        /// High bit (inclusive).
+        hi: u16,
+        /// Low bit (inclusive).
+        lo: u16,
+    },
+    /// Concatenation `{hi, lo}`; `hi` occupies the upper bits.
+    Concat {
+        /// Upper bits.
+        hi: E,
+        /// Lower bits.
+        lo: E,
+    },
+    /// 2-way multiplexer: `cond ? on_true : on_false`.
+    Mux {
+        /// Select condition (nonzero = true).
+        cond: E,
+        /// Value when the condition holds.
+        on_true: E,
+        /// Value otherwise.
+        on_false: E,
+    },
+}
+
+/// A cheaply clonable handle to an expression.
+///
+/// `E` supports the Rust arithmetic/bitwise operators plus comparison
+/// *methods* ([`E::eq_e`], [`E::lt_e`], …) that build hardware comparators
+/// (Rust's `PartialEq`/`PartialOrd` must return `bool`, so they cannot be
+/// used to build circuits).
+///
+/// # Examples
+///
+/// ```
+/// use fleet_lang::{lit, E};
+/// let a = lit(3, 8);
+/// let b = lit(4, 8);
+/// let sum: E = a.clone() + b;
+/// assert_eq!(sum.width(), 8);
+/// let is_seven = sum.eq_e(lit(7, 8));
+/// assert_eq!(is_seven.width(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct E(Arc<EData>);
+
+#[derive(PartialEq, Eq, Hash)]
+struct EData {
+    node: ExprNode,
+    width: Width,
+}
+
+impl fmt::Debug for E {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0.node)
+    }
+}
+
+/// Creates an unsigned constant expression with an explicit bit width.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or greater than 64, or if `value` does not fit
+/// in `width` bits.
+pub fn lit(value: u64, width: u16) -> E {
+    assert!(
+        (1..=64).contains(&width),
+        "literal width must be in 1..=64, got {width}"
+    );
+    assert!(
+        width == 64 || value < (1u64 << width),
+        "literal value {value} does not fit in {width} bits"
+    );
+    E::new(ExprNode::Const { value, width })
+}
+
+/// Smallest width that can represent `value` (at least 1).
+pub fn min_width(value: u64) -> u16 {
+    (64 - value.leading_zeros()).max(1) as u16
+}
+
+impl E {
+    pub(crate) fn new(node: ExprNode) -> E {
+        let width = width_of(&node);
+        E(Arc::new(EData { node, width }))
+    }
+
+    /// The underlying node.
+    pub fn node(&self) -> &ExprNode {
+        &self.0.node
+    }
+
+    /// Bit width of this expression's value (cached at construction, so
+    /// this is O(1) even on deeply shared DAGs).
+    pub fn width(&self) -> Width {
+        self.0.width
+    }
+}
+
+/// Width rules of the language, computed from children's cached widths.
+fn width_of(node: &ExprNode) -> Width {
+    {
+        match node {
+            ExprNode::Const { width, .. } => *width,
+            ExprNode::Input(width) => *width,
+            ExprNode::StreamFinished => 1,
+            ExprNode::Reg(id) => id.width(),
+            ExprNode::VecReg(id, _) => id.width(),
+            ExprNode::BramRead(id, _) => id.data_width(),
+            ExprNode::Unary(op, a) => match op {
+                UnaryOp::Not => a.width(),
+                UnaryOp::ReduceOr | UnaryOp::ReduceAnd => 1,
+            },
+            ExprNode::Binary(op, a, b) => {
+                if op.is_comparison() {
+                    1
+                } else if matches!(op, BinOp::Shl | BinOp::Shr) {
+                    a.width()
+                } else {
+                    a.width().max(b.width())
+                }
+            }
+            ExprNode::Slice { hi, lo, .. } => hi - lo + 1,
+            ExprNode::Concat { hi, lo } => hi.width() + lo.width(),
+            ExprNode::Mux { on_true, on_false, .. } => on_true.width().max(on_false.width()),
+        }
+    }
+}
+
+impl E {
+
+    /// Builds a bitwise NOT of this expression.
+    pub fn not(&self) -> E {
+        E::new(ExprNode::Unary(UnaryOp::Not, self.clone()))
+    }
+
+    /// OR-reduction to a single bit (nonzero test).
+    pub fn any(&self) -> E {
+        E::new(ExprNode::Unary(UnaryOp::ReduceOr, self.clone()))
+    }
+
+    /// AND-reduction to a single bit (all-ones test).
+    pub fn all(&self) -> E {
+        E::new(ExprNode::Unary(UnaryOp::ReduceAnd, self.clone()))
+    }
+
+    fn cmp_op(&self, op: BinOp, rhs: impl IntoE) -> E {
+        E::new(ExprNode::Binary(op, self.clone(), rhs.into_e()))
+    }
+
+    /// Hardware equality comparator (1-bit result).
+    pub fn eq_e(&self, rhs: impl IntoE) -> E {
+        self.cmp_op(BinOp::Eq, rhs)
+    }
+
+    /// Hardware inequality comparator (1-bit result).
+    pub fn ne_e(&self, rhs: impl IntoE) -> E {
+        self.cmp_op(BinOp::Ne, rhs)
+    }
+
+    /// Unsigned less-than comparator (1-bit result).
+    pub fn lt_e(&self, rhs: impl IntoE) -> E {
+        self.cmp_op(BinOp::Lt, rhs)
+    }
+
+    /// Unsigned less-or-equal comparator (1-bit result).
+    pub fn le_e(&self, rhs: impl IntoE) -> E {
+        self.cmp_op(BinOp::Le, rhs)
+    }
+
+    /// Unsigned greater-than comparator (1-bit result).
+    pub fn gt_e(&self, rhs: impl IntoE) -> E {
+        self.cmp_op(BinOp::Gt, rhs)
+    }
+
+    /// Unsigned greater-or-equal comparator (1-bit result).
+    pub fn ge_e(&self, rhs: impl IntoE) -> E {
+        self.cmp_op(BinOp::Ge, rhs)
+    }
+
+    /// 2-way multiplexer: `self ? on_true : on_false`.
+    ///
+    /// `self` is interpreted as a Boolean (nonzero = true).
+    pub fn mux(&self, on_true: impl IntoE, on_false: impl IntoE) -> E {
+        E::new(ExprNode::Mux {
+            cond: self.clone(),
+            on_true: on_true.into_e(),
+            on_false: on_false.into_e(),
+        })
+    }
+
+    /// Inclusive bit slice `[hi:lo]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi` is not below the expression width
+    /// (checked again during validation for `Input`).
+    pub fn slice(&self, hi: u16, lo: u16) -> E {
+        assert!(hi >= lo, "slice hi ({hi}) must be >= lo ({lo})");
+        E::new(ExprNode::Slice { arg: self.clone(), hi, lo })
+    }
+
+    /// Single-bit extraction.
+    pub fn bit(&self, idx: u16) -> E {
+        self.slice(idx, idx)
+    }
+
+    /// Concatenation with `self` in the upper bits.
+    pub fn concat(&self, lo: impl IntoE) -> E {
+        E::new(ExprNode::Concat { hi: self.clone(), lo: lo.into_e() })
+    }
+
+    /// Logical AND of two Boolean expressions (single-bit result).
+    pub fn and_b(&self, rhs: impl IntoE) -> E {
+        let rhs = rhs.into_e();
+        E::new(ExprNode::Binary(BinOp::And, self.any(), rhs.any()))
+    }
+
+    /// Logical OR of two Boolean expressions (single-bit result).
+    pub fn or_b(&self, rhs: impl IntoE) -> E {
+        let rhs = rhs.into_e();
+        E::new(ExprNode::Binary(BinOp::Or, self.any(), rhs.any()))
+    }
+
+    /// Logical NOT of a Boolean expression (single-bit result).
+    pub fn not_b(&self) -> E {
+        E::new(ExprNode::Binary(
+            BinOp::Eq,
+            self.any(),
+            lit(0, 1),
+        ))
+    }
+
+    /// Visits every *distinct* node in the expression DAG, pre-order.
+    ///
+    /// Shared subexpressions are visited once (expressions are
+    /// reference-counted DAGs; visiting them as trees would take
+    /// exponential time on deeply chained circuits).
+    pub fn visit(&self, f: &mut impl FnMut(&E)) {
+        let mut seen = std::collections::HashSet::new();
+        self.visit_inner(f, &mut seen);
+    }
+
+    fn visit_inner(
+        &self,
+        f: &mut impl FnMut(&E),
+        seen: &mut std::collections::HashSet<*const ExprNode>,
+    ) {
+        if !seen.insert(self.node() as *const ExprNode) {
+            return;
+        }
+        f(self);
+        match self.node() {
+            ExprNode::Const { .. }
+            | ExprNode::Input(_)
+            | ExprNode::StreamFinished
+            | ExprNode::Reg(_) => {}
+            ExprNode::VecReg(_, idx) => idx.visit_inner(f, seen),
+            ExprNode::BramRead(_, addr) => addr.visit_inner(f, seen),
+            ExprNode::Unary(_, a) => a.visit_inner(f, seen),
+            ExprNode::Binary(_, a, b) => {
+                a.visit_inner(f, seen);
+                b.visit_inner(f, seen);
+            }
+            ExprNode::Slice { arg, .. } => arg.visit_inner(f, seen),
+            ExprNode::Concat { hi, lo } => {
+                hi.visit_inner(f, seen);
+                lo.visit_inner(f, seen);
+            }
+            ExprNode::Mux { cond, on_true, on_false } => {
+                cond.visit_inner(f, seen);
+                on_true.visit_inner(f, seen);
+                on_false.visit_inner(f, seen);
+            }
+        }
+    }
+
+    /// Whether the tree contains any BRAM read.
+    pub fn contains_bram_read(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e.node(), ExprNode::BramRead(..)) {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+/// Conversion into an expression handle.
+///
+/// Implemented for [`E`], references to `E`, integer literals (which become
+/// constants of their minimal width and are width-adapted by context), and
+/// the state-element handles from
+/// [`builder`](crate::builder).
+pub trait IntoE {
+    /// Converts `self` into an expression.
+    fn into_e(self) -> E;
+}
+
+impl IntoE for E {
+    fn into_e(self) -> E {
+        self
+    }
+}
+
+impl IntoE for &E {
+    fn into_e(self) -> E {
+        self.clone()
+    }
+}
+
+impl IntoE for u64 {
+    fn into_e(self) -> E {
+        lit(self, min_width(self))
+    }
+}
+
+impl IntoE for u32 {
+    fn into_e(self) -> E {
+        (self as u64).into_e()
+    }
+}
+
+impl IntoE for i32 {
+    fn into_e(self) -> E {
+        assert!(self >= 0, "negative literals are not supported; use explicit-width two's complement via lit()");
+        (self as u64).into_e()
+    }
+}
+
+impl IntoE for bool {
+    fn into_e(self) -> E {
+        lit(self as u64, 1)
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl<R: IntoE> std::ops::$trait<R> for E {
+            type Output = E;
+            fn $method(self, rhs: R) -> E {
+                E::new(ExprNode::Binary($op, self, rhs.into_e()))
+            }
+        }
+        impl<R: IntoE> std::ops::$trait<R> for &E {
+            type Output = E;
+            fn $method(self, rhs: R) -> E {
+                E::new(ExprNode::Binary($op, self.clone(), rhs.into_e()))
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, BinOp::Add);
+impl_binop!(Sub, sub, BinOp::Sub);
+impl_binop!(Mul, mul, BinOp::Mul);
+impl_binop!(BitAnd, bitand, BinOp::And);
+impl_binop!(BitOr, bitor, BinOp::Or);
+impl_binop!(BitXor, bitxor, BinOp::Xor);
+impl_binop!(Shl, shl, BinOp::Shl);
+impl_binop!(Shr, shr, BinOp::Shr);
+
+impl std::ops::Not for E {
+    type Output = E;
+    fn not(self) -> E {
+        E::new(ExprNode::Unary(UnaryOp::Not, self))
+    }
+}
+
+impl std::ops::Not for &E {
+    type Output = E;
+    fn not(self) -> E {
+        E::new(ExprNode::Unary(UnaryOp::Not, self.clone()))
+    }
+}
+
+/// Masks `value` to `width` bits.
+#[inline]
+pub fn mask(value: u64, width: Width) -> u64 {
+    if width >= 64 {
+        value
+    } else {
+        value & ((1u64 << width) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_widths() {
+        assert_eq!(lit(0, 1).width(), 1);
+        assert_eq!(lit(255, 8).width(), 8);
+        assert_eq!(min_width(0), 1);
+        assert_eq!(min_width(1), 1);
+        assert_eq!(min_width(2), 2);
+        assert_eq!(min_width(255), 8);
+        assert_eq!(min_width(256), 9);
+        assert_eq!(min_width(u64::MAX), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn literal_overflow_panics() {
+        lit(256, 8);
+    }
+
+    #[test]
+    fn binop_width_rules() {
+        let a = lit(1, 8);
+        let b = lit(1, 16);
+        assert_eq!((a.clone() + b.clone()).width(), 16);
+        assert_eq!((a.clone() & b.clone()).width(), 16);
+        assert_eq!(a.eq_e(b.clone()).width(), 1);
+        assert_eq!((a.clone() << 2u64).width(), 8);
+        assert_eq!(a.concat(b).width(), 24);
+    }
+
+    #[test]
+    fn slice_and_bit() {
+        let a = lit(0b1010, 4);
+        assert_eq!(a.slice(3, 1).width(), 3);
+        assert_eq!(a.bit(0).width(), 1);
+    }
+
+    #[test]
+    fn mux_width_is_max_of_arms() {
+        let c = lit(1, 1);
+        let m = c.mux(lit(1, 4), lit(1, 9));
+        assert_eq!(m.width(), 9);
+    }
+
+    #[test]
+    fn mask_behaviour() {
+        assert_eq!(mask(0x1ff, 8), 0xff);
+        assert_eq!(mask(u64::MAX, 64), u64::MAX);
+        assert_eq!(mask(5, 3), 5);
+    }
+
+    #[test]
+    fn contains_bram_read_detects_nested() {
+        let plain = lit(1, 4) + lit(2, 4);
+        assert!(!plain.contains_bram_read());
+    }
+
+    #[test]
+    fn visit_covers_all_children() {
+        let e = lit(1, 4).mux(lit(2, 4) + lit(3, 4), lit(0, 4));
+        let mut n = 0;
+        e.visit(&mut |_| n += 1);
+        // mux, cond, add, 2, 3, 0
+        assert_eq!(n, 6);
+    }
+}

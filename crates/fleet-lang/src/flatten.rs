@@ -1,0 +1,251 @@
+//! Flattening of a structured Fleet program into guarded primitive
+//! operations.
+//!
+//! Both the software simulator and the RTL compiler need the same view of
+//! a program: every primitive operation (register assignment, vector
+//! register assignment, BRAM write, emit) together with the exact
+//! condition under which it executes in a virtual cycle. This module
+//! computes that view once so the two consumers cannot diverge.
+//!
+//! Conditions are built per the paper (§4): an operation nested in
+//! conditional blocks executes when the conjunction of all enclosing
+//! conditions holds; `else if` / `else` arms add the negations of the
+//! preceding arms; a `while` body contributes its loop condition; and
+//! operations *outside* every loop body additionally require `while_done`
+//! (the negation of the disjunction of all effective loop conditions),
+//! which the consumers add themselves via [`FlatProgram::loop_conds`].
+
+use crate::expr::{E, IntoE};
+use crate::stmt::{Block, Stmt};
+use crate::types::{BramId, RegId, VecRegId};
+
+/// A primitive operation.
+#[derive(Debug, Clone)]
+pub enum OpKind {
+    /// `reg <- value`
+    SetReg(RegId, E),
+    /// `vec[idx] <- value`
+    SetVecReg(VecRegId, E, E),
+    /// `bram[addr] <- value`
+    BramWrite(BramId, E, E),
+    /// `emit(value)`
+    Emit(E),
+}
+
+/// A primitive operation with its execution guard.
+#[derive(Debug, Clone)]
+pub struct GuardedOp {
+    /// Conjunction of 1-bit guard expressions; empty means
+    /// unconditional (within its loop/non-loop phase).
+    pub guard: Vec<E>,
+    /// Whether the operation sits inside a `while` body (executes during
+    /// loop virtual cycles) or outside (executes in the final virtual
+    /// cycle once `while_done`).
+    pub in_loop: bool,
+    /// The operation itself.
+    pub op: OpKind,
+}
+
+impl GuardedOp {
+    /// Folds the guard list into a single 1-bit expression (`true` when
+    /// empty).
+    pub fn guard_expr(&self) -> E {
+        and_all(&self.guard)
+    }
+}
+
+/// ANDs a slice of Boolean expressions, yielding constant 1 when empty.
+pub fn and_all(guards: &[E]) -> E {
+    let mut it = guards.iter();
+    match it.next() {
+        None => true.into_e(),
+        Some(first) => it.fold(first.any(), |acc, g| acc.and_b(g)),
+    }
+}
+
+/// ORs a slice of Boolean expressions, yielding constant 0 when empty.
+pub fn or_all(conds: &[E]) -> E {
+    let mut it = conds.iter();
+    match it.next() {
+        None => false.into_e(),
+        Some(first) => it.fold(first.any(), |acc, g| acc.or_b(g)),
+    }
+}
+
+/// The flattened view of a program body.
+#[derive(Debug, Clone, Default)]
+pub struct FlatProgram {
+    /// All primitive operations with guards, in source order.
+    pub ops: Vec<GuardedOp>,
+    /// Effective condition of each `while` loop: its own condition ANDed
+    /// with every enclosing `if` guard. A loop virtual cycle runs while
+    /// any of these holds; `while_done` is the negation of their
+    /// disjunction.
+    pub loop_conds: Vec<E>,
+}
+
+impl FlatProgram {
+    /// Flattens a program body.
+    pub fn build(body: &Block) -> FlatProgram {
+        let mut fp = FlatProgram::default();
+        let mut guard = Vec::new();
+        flatten_block(body, &mut guard, false, &mut fp);
+        fp
+    }
+
+    /// `while_done`: true when no loop condition holds. Programs without
+    /// loops get constant true.
+    pub fn while_done(&self) -> E {
+        if self.loop_conds.is_empty() {
+            true.into_e()
+        } else {
+            or_all(&self.loop_conds).not_b()
+        }
+    }
+
+    /// Guarded operations targeting register `reg`, in source order.
+    pub fn reg_ops(&self, reg: RegId) -> impl Iterator<Item = &GuardedOp> {
+        self.ops
+            .iter()
+            .filter(move |g| matches!(&g.op, OpKind::SetReg(r, _) if *r == reg))
+    }
+
+    /// Guarded BRAM writes targeting `bram`, in source order.
+    pub fn bram_writes(&self, bram: BramId) -> impl Iterator<Item = &GuardedOp> {
+        self.ops
+            .iter()
+            .filter(move |g| matches!(&g.op, OpKind::BramWrite(b, _, _) if *b == bram))
+    }
+
+    /// Guarded emits, in source order.
+    pub fn emits(&self) -> impl Iterator<Item = &GuardedOp> {
+        self.ops
+            .iter()
+            .filter(|g| matches!(&g.op, OpKind::Emit(_)))
+    }
+}
+
+fn flatten_block(body: &Block, guard: &mut Vec<E>, in_loop: bool, out: &mut FlatProgram) {
+    for stmt in body {
+        match stmt {
+            Stmt::SetReg(r, v) => out.ops.push(GuardedOp {
+                guard: guard.clone(),
+                in_loop,
+                op: OpKind::SetReg(*r, v.clone()),
+            }),
+            Stmt::SetVecReg(vr, i, v) => out.ops.push(GuardedOp {
+                guard: guard.clone(),
+                in_loop,
+                op: OpKind::SetVecReg(*vr, i.clone(), v.clone()),
+            }),
+            Stmt::BramWrite(b, a, v) => out.ops.push(GuardedOp {
+                guard: guard.clone(),
+                in_loop,
+                op: OpKind::BramWrite(*b, a.clone(), v.clone()),
+            }),
+            Stmt::Emit(v) => out.ops.push(GuardedOp {
+                guard: guard.clone(),
+                in_loop,
+                op: OpKind::Emit(v.clone()),
+            }),
+            Stmt::If { arms, else_body } => {
+                // Each arm's guard: its condition AND the negation of all
+                // preceding arm conditions.
+                let mut not_prior: Vec<E> = Vec::new();
+                for (cond, arm_body) in arms {
+                    let depth = guard.len();
+                    guard.extend(not_prior.iter().cloned());
+                    guard.push(cond.any());
+                    flatten_block(arm_body, guard, in_loop, out);
+                    guard.truncate(depth);
+                    not_prior.push(cond.not_b());
+                }
+                if !else_body.is_empty() {
+                    let depth = guard.len();
+                    guard.extend(not_prior.iter().cloned());
+                    flatten_block(else_body, guard, in_loop, out);
+                    guard.truncate(depth);
+                }
+            }
+            Stmt::While { cond, body } => {
+                // Effective loop condition: enclosing guards AND own cond.
+                let mut full = guard.clone();
+                full.push(cond.any());
+                out.loop_conds.push(and_all(&full));
+                let depth = guard.len();
+                guard.push(cond.any());
+                flatten_block(body, guard, true, out);
+                guard.truncate(depth);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::lit;
+
+    fn emit(v: u64) -> Stmt {
+        Stmt::Emit(lit(v, 8))
+    }
+
+    #[test]
+    fn unconditional_op_has_empty_guard() {
+        let fp = FlatProgram::build(&vec![emit(1)]);
+        assert_eq!(fp.ops.len(), 1);
+        assert!(fp.ops[0].guard.is_empty());
+        assert!(!fp.ops[0].in_loop);
+        assert!(fp.loop_conds.is_empty());
+    }
+
+    #[test]
+    fn if_else_guards_are_exclusive() {
+        let body = vec![Stmt::If {
+            arms: vec![(lit(1, 1), vec![emit(1)]), (lit(0, 1), vec![emit(2)])],
+            else_body: vec![emit(3)],
+        }];
+        let fp = FlatProgram::build(&body);
+        assert_eq!(fp.ops.len(), 3);
+        // if arm: 1 guard; elif arm: !c0 && c1 = 2 guards; else: 2 negations.
+        assert_eq!(fp.ops[0].guard.len(), 1);
+        assert_eq!(fp.ops[1].guard.len(), 2);
+        assert_eq!(fp.ops[2].guard.len(), 2);
+    }
+
+    #[test]
+    fn while_inside_if_gets_conjoined_condition() {
+        let body = vec![Stmt::If {
+            arms: vec![(
+                lit(1, 1),
+                vec![Stmt::While { cond: lit(1, 1), body: vec![emit(9)] }],
+            )],
+            else_body: vec![],
+        }];
+        let fp = FlatProgram::build(&body);
+        assert_eq!(fp.loop_conds.len(), 1);
+        assert_eq!(fp.ops.len(), 1);
+        assert!(fp.ops[0].in_loop);
+        // guard inside the loop: enclosing if cond + loop cond
+        assert_eq!(fp.ops[0].guard.len(), 2);
+    }
+
+    #[test]
+    fn ops_after_loop_are_outside() {
+        let body = vec![
+            Stmt::While { cond: lit(1, 1), body: vec![emit(1)] },
+            emit(2),
+        ];
+        let fp = FlatProgram::build(&body);
+        assert!(fp.ops[0].in_loop);
+        assert!(!fp.ops[1].in_loop);
+        assert_eq!(fp.loop_conds.len(), 1);
+    }
+
+    #[test]
+    fn while_done_constant_true_without_loops() {
+        let fp = FlatProgram::build(&vec![emit(1)]);
+        // evaluates to constant 1; just check it is a 1-bit expression
+        assert_eq!(fp.while_done().width(), 1);
+    }
+}

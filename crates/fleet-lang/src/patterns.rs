@@ -1,0 +1,294 @@
+//! Library of common processing-unit patterns.
+//!
+//! §7.2 of the paper notes that managing byte-wise output and similar
+//! recurring structures is "fairly complex" and hopes to "add library
+//! code to Fleet to simplify this and other common patterns" — this
+//! module is that library: elaboration-time helpers that generate Fleet
+//! fragments. Everything here expands to plain language constructs; no
+//! new hardware semantics are introduced.
+
+use crate::builder::{Reg, UnitBuilder};
+use crate::expr::{lit, min_width, E, IntoE};
+use crate::types::Width;
+
+/// Saturating decrement by a constant: `x <= k ? 0 : x - k`.
+pub fn sat_sub(x: impl IntoE, k: u64) -> E {
+    let x = x.into_e();
+    x.le_e(k).mux(lit(0, x.width()), x.clone() - k)
+}
+
+/// Saturating increment by a constant within the expression's width.
+pub fn sat_add(x: impl IntoE, k: u64) -> E {
+    let x = x.into_e();
+    let w = x.width();
+    let max = crate::expr::mask(u64::MAX, w);
+    x.gt_e(max - k).mux(lit(max, w), x.clone() + k)
+}
+
+/// Maximum of two expressions.
+pub fn max2(a: impl IntoE, b: impl IntoE) -> E {
+    let (a, b) = (a.into_e(), b.into_e());
+    a.ge_e(b.clone()).mux(a.clone(), b)
+}
+
+/// Minimum of two expressions.
+pub fn min2(a: impl IntoE, b: impl IntoE) -> E {
+    let (a, b) = (a.into_e(), b.into_e());
+    a.le_e(b.clone()).mux(a.clone(), b)
+}
+
+/// Balanced maximum tree over a slice.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn max_tree(xs: &[E]) -> E {
+    assert!(!xs.is_empty(), "max_tree of nothing");
+    if xs.len() == 1 {
+        return xs[0].clone();
+    }
+    let mid = xs.len() / 2;
+    max2(max_tree(&xs[..mid]), max_tree(&xs[mid..]))
+}
+
+/// Priority selection: the value of the first true condition, else
+/// `default` — the mux chain the compiler builds for assignments.
+pub fn priority_select(arms: &[(E, E)], default: impl IntoE) -> E {
+    let mut acc = default.into_e();
+    for (cond, val) in arms.iter().rev() {
+        acc = cond.mux(val.clone(), acc);
+    }
+    acc
+}
+
+/// One-hot selection by index from a constant-position table.
+pub fn index_select(idx: &E, values: &[E], default: impl IntoE) -> E {
+    let arms: Vec<(E, E)> = values
+        .iter()
+        .enumerate()
+        .map(|(k, v)| (idx.eq_e(k as u64), v.clone()))
+        .collect();
+    priority_select(&arms, default)
+}
+
+/// Multiplicative hash: `(x * constant) >> (in_bits - out_bits)`,
+/// masked to `out_bits` — the Bloom-filter hashing pattern.
+///
+/// # Panics
+///
+/// Panics if `out_bits` exceeds the expression width.
+pub fn mul_hash(x: impl IntoE, constant: u64, out_bits: Width) -> E {
+    let x = x.into_e();
+    let w = x.width();
+    assert!(out_bits <= w, "hash output wider than input");
+    let prod = (x * constant).slice(w - 1, 0);
+    (prod >> (w - out_bits) as u64).slice(out_bits - 1, 0)
+}
+
+/// Declares a wrapping block counter that rolls over after `n` tokens,
+/// returning the counter register and a condition that is true during
+/// the virtual cycle processing the *first token after* a full block —
+/// the Figure 3 histogram pattern. The caller must invoke
+/// [`BlockCounter::advance`] once per consuming virtual cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockCounter {
+    /// Counter register.
+    pub reg: Reg,
+    /// Block size.
+    pub n: u64,
+}
+
+/// Creates a [`BlockCounter`] on the builder.
+pub fn block_counter(u: &mut UnitBuilder, name: &str, n: u64) -> BlockCounter {
+    let width = min_width(n);
+    let reg = u.reg(name, width, 0);
+    BlockCounter { reg, n }
+}
+
+impl BlockCounter {
+    /// True when a full block has just completed (flush now).
+    pub fn block_done(&self) -> E {
+        self.reg.eq_e(self.n)
+    }
+
+    /// Records the advance statement; call once in the consuming path.
+    pub fn advance(&self, u: &mut UnitBuilder) {
+        let w = self.reg.id().width();
+        u.set(
+            self.reg,
+            self.block_done().mux(lit(1, w), self.reg + 1u64),
+        );
+    }
+}
+
+/// A byte-granular bit packer: accumulates variable-width fields and
+/// emits one byte per virtual cycle — the §7.1 integer-coding output
+/// pattern that the paper calls "fairly complex" to hand-write.
+///
+/// Use inside a `while` loop: feed fields with [`BitPacker::insert`]
+/// when [`BitPacker::can_insert`], emit with [`BitPacker::emit_byte`]
+/// when [`BitPacker::has_byte`].
+#[derive(Debug, Clone, Copy)]
+pub struct BitPacker {
+    /// Accumulator register (field width + 7 bits).
+    pub buf: Reg,
+    /// Bit-count register.
+    pub nbits: Reg,
+    max_field: u16,
+}
+
+/// Declares a [`BitPacker`] able to hold fields up to `max_field` bits.
+pub fn bit_packer(u: &mut UnitBuilder, name: &str, max_field: u16) -> BitPacker {
+    let buf = u.reg(format!("{name}Buf"), max_field + 7, 0);
+    let nbits = u.reg(format!("{name}Bits"), min_width((max_field + 7) as u64), 0);
+    BitPacker { buf, nbits, max_field }
+}
+
+impl BitPacker {
+    /// True while fewer than 8 bits are buffered (safe to insert).
+    pub fn can_insert(&self) -> E {
+        self.nbits.lt_e(8u64)
+    }
+
+    /// True when a whole byte is available.
+    pub fn has_byte(&self) -> E {
+        self.nbits.ge_e(8u64)
+    }
+
+    /// True when a ragged tail (1..=7 bits) remains.
+    pub fn has_tail(&self) -> E {
+        self.nbits.gt_e(0u64).and_b(self.nbits.lt_e(8u64))
+    }
+
+    /// Inserts `value` (low `width_expr` bits) at the current position.
+    pub fn insert(&self, u: &mut UnitBuilder, value: impl IntoE, width_expr: impl IntoE) {
+        let v = value.into_e();
+        let w = self.buf.id().width();
+        let widened = if v.width() < w {
+            lit(0, w - v.width()).concat(v)
+        } else {
+            v.slice(w - 1, 0)
+        };
+        u.set(self.buf, self.buf.e() | (widened << self.nbits.e()));
+        u.set(self.nbits, self.nbits.e() + width_expr.into_e());
+    }
+
+    /// Emits the low byte and shifts (call when [`BitPacker::has_byte`]).
+    pub fn emit_byte(&self, u: &mut UnitBuilder) {
+        u.emit(self.buf.slice(7, 0));
+        u.set(self.buf, self.buf >> 8u64);
+        u.set(self.nbits, self.nbits - 8u64);
+    }
+
+    /// Emits the ragged tail byte and clears.
+    pub fn emit_tail(&self, u: &mut UnitBuilder) {
+        u.emit(self.buf.slice(7, 0));
+        u.set(self.buf, lit(0, self.buf.id().width()));
+        u.set(self.nbits, lit(0, self.nbits.id().width()));
+    }
+
+    /// Maximum field width accepted by [`BitPacker::insert`].
+    pub fn max_field(&self) -> u16 {
+        self.max_field
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::UnitBuilder;
+
+    fn eval(e: &E) -> u64 {
+        // Constant-fold through a throwaway evaluation: patterns used
+        // here are state-free.
+        use crate::expr::ExprNode;
+        fn go(e: &E) -> u64 {
+            let w = e.width();
+            let raw = match e.node() {
+                ExprNode::Const { value, .. } => *value,
+                ExprNode::Binary(op, a, b) => {
+                    use crate::expr::BinOp::*;
+                    let (x, y) = (go(a), go(b));
+                    match op {
+                        Add => x.wrapping_add(y),
+                        Sub => x.wrapping_sub(y),
+                        Mul => x.wrapping_mul(y),
+                        And => x & y,
+                        Or => x | y,
+                        Xor => x ^ y,
+                        Shl => x.checked_shl(y as u32).unwrap_or(0),
+                        Shr => x.checked_shr(y as u32).unwrap_or(0),
+                        Eq => (x == y) as u64,
+                        Ne => (x != y) as u64,
+                        Lt => (x < y) as u64,
+                        Le => (x <= y) as u64,
+                        Gt => (x > y) as u64,
+                        Ge => (x >= y) as u64,
+                    }
+                }
+                ExprNode::Mux { cond, on_true, on_false } => {
+                    if go(cond) != 0 {
+                        go(on_true)
+                    } else {
+                        go(on_false)
+                    }
+                }
+                ExprNode::Slice { arg, hi, lo } => {
+                    (go(arg) >> lo) & crate::expr::mask(u64::MAX, hi - lo + 1)
+                }
+                ExprNode::Concat { hi, lo } => (go(hi) << lo.width()) | go(lo),
+                ExprNode::Unary(op, a) => match op {
+                    crate::expr::UnaryOp::Not => !go(a),
+                    crate::expr::UnaryOp::ReduceOr => (go(a) != 0) as u64,
+                    crate::expr::UnaryOp::ReduceAnd => {
+                        (go(a) == crate::expr::mask(u64::MAX, a.width())) as u64
+                    }
+                },
+                _ => panic!("stateful expression in constant test"),
+            };
+            crate::expr::mask(raw, w)
+        }
+        go(e)
+    }
+
+    #[test]
+    fn saturating_helpers() {
+        assert_eq!(eval(&sat_sub(lit(5, 8), 3)), 2);
+        assert_eq!(eval(&sat_sub(lit(2, 8), 3)), 0);
+        assert_eq!(eval(&sat_add(lit(250, 8), 10)), 255);
+        assert_eq!(eval(&sat_add(lit(5, 8), 10)), 15);
+    }
+
+    #[test]
+    fn max_tree_selects_maximum() {
+        let xs: Vec<E> = [3u64, 9, 1, 7, 7, 2].iter().map(|&v| lit(v, 8)).collect();
+        assert_eq!(eval(&max_tree(&xs)), 9);
+        assert_eq!(eval(&min2(lit(4, 8), lit(6, 8))), 4);
+    }
+
+    #[test]
+    fn index_select_picks_by_index() {
+        let vals: Vec<E> = (10..14u64).map(|v| lit(v, 8)).collect();
+        assert_eq!(eval(&index_select(&lit(2, 4), &vals, lit(0, 8))), 12);
+        assert_eq!(eval(&index_select(&lit(9, 4), &vals, lit(99, 8))), 99);
+    }
+
+    #[test]
+    fn mul_hash_is_stable() {
+        let h = mul_hash(lit(0x1234_5678, 32), 0x9E37_79B1, 11);
+        let expect = (0x1234_5678u32.wrapping_mul(0x9E37_79B1) >> 21) as u64;
+        assert_eq!(eval(&h), expect);
+        assert_eq!(h.width(), 11);
+    }
+
+    #[test]
+    fn block_counter_builds_valid_unit() {
+        let mut u = UnitBuilder::new("Blocks", 8, 8);
+        let bc = block_counter(&mut u, "blk", 100);
+        let inp = u.input();
+        u.if_(bc.block_done(), |u| u.emit(inp.clone()));
+        bc.advance(&mut u);
+        assert!(u.build().is_ok());
+    }
+
+}

@@ -1,0 +1,128 @@
+//! Statements of the Fleet processing-unit language.
+//!
+//! A Fleet program body is a [`Block`] of statements with *concurrent*
+//! semantics: every statement in a virtual cycle observes the same
+//! pre-cycle state, and all state writes commit together at the end of
+//! the virtual cycle (exactly like non-blocking assignment in RTL).
+
+use crate::expr::E;
+use crate::types::{BramId, RegId, VecRegId};
+
+/// A sequence of statements. Ordering carries no execution-order meaning
+/// (semantics are concurrent) but determines pretty-printing and the
+/// priority of multiplexer chains built by the compiler.
+pub type Block = Vec<Stmt>;
+
+/// A Fleet statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// Register assignment, committed at the end of the virtual cycle.
+    SetReg(RegId, E),
+    /// Vector-register element assignment: `vr[idx] = value`.
+    SetVecReg(VecRegId, E, E),
+    /// BRAM write: `bram[addr] = value`. At most one may execute per BRAM
+    /// per virtual cycle.
+    BramWrite(BramId, E, E),
+    /// Emits an output token. At most one may execute per virtual cycle.
+    Emit(E),
+    /// Conditional chain (`if` / `else if`* / `else`).
+    ///
+    /// `arms` holds the `if` and `else if` branches in order; `else_body`
+    /// may be empty.
+    If {
+        /// `(condition, body)` pairs; conditions are evaluated as Booleans
+        /// (nonzero = true) and tested in order.
+        arms: Vec<(E, Block)>,
+        /// Body executed when no arm condition holds.
+        else_body: Block,
+    },
+    /// A `while` loop.
+    ///
+    /// While the (guard-qualified) condition holds, *loop virtual cycles*
+    /// execute only the bodies of active loops, without consuming the
+    /// input token. Once every loop condition in the program is false, a
+    /// final virtual cycle executes all statements outside loop bodies and
+    /// the input token is consumed. Loops may not nest.
+    While {
+        /// Loop condition, evaluated as a Boolean each virtual cycle.
+        cond: E,
+        /// Statements executed during loop virtual cycles.
+        body: Block,
+    },
+}
+
+impl Stmt {
+    /// Visits this statement and all nested statements, pre-order.
+    pub fn visit(&self, f: &mut impl FnMut(&Stmt)) {
+        f(self);
+        match self {
+            Stmt::If { arms, else_body } => {
+                for (_, body) in arms {
+                    for s in body {
+                        s.visit(f);
+                    }
+                }
+                for s in else_body {
+                    s.visit(f);
+                }
+            }
+            Stmt::While { body, .. } => {
+                for s in body {
+                    s.visit(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Visits every expression appearing in this statement (conditions,
+    /// addresses, values), including those in nested statements.
+    pub fn visit_exprs(&self, f: &mut impl FnMut(&E)) {
+        self.visit(&mut |s| match s {
+            Stmt::SetReg(_, v) => f(v),
+            Stmt::SetVecReg(_, i, v) => {
+                f(i);
+                f(v);
+            }
+            Stmt::BramWrite(_, a, v) => {
+                f(a);
+                f(v);
+            }
+            Stmt::Emit(v) => f(v),
+            Stmt::If { arms, .. } => {
+                for (c, _) in arms {
+                    f(c);
+                }
+            }
+            Stmt::While { cond, .. } => f(cond),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::lit;
+
+    #[test]
+    fn visit_counts_nested() {
+        let s = Stmt::If {
+            arms: vec![(lit(1, 1), vec![Stmt::Emit(lit(0, 8))])],
+            else_body: vec![Stmt::Emit(lit(1, 8))],
+        };
+        let mut n = 0;
+        s.visit(&mut |_| n += 1);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn visit_exprs_sees_conditions_and_values() {
+        let s = Stmt::While {
+            cond: lit(1, 1),
+            body: vec![Stmt::Emit(lit(7, 8))],
+        };
+        let mut n = 0;
+        s.visit_exprs(&mut |_| n += 1);
+        assert_eq!(n, 2); // cond + emit value
+    }
+}

@@ -1,0 +1,141 @@
+//! Identifier and width types shared across the Fleet language crates.
+
+use std::fmt;
+
+/// Bit width of a value; always in `1..=64`.
+pub type Width = u16;
+
+/// Identifier of a scalar register inside a [`UnitSpec`](crate::UnitSpec).
+///
+/// Ids carry the register's width so expression widths can be computed
+/// without a symbol-table lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegId {
+    index: u32,
+    width: Width,
+}
+
+impl RegId {
+    pub(crate) fn new(index: u32, width: Width) -> RegId {
+        RegId { index, width }
+    }
+
+    /// Position of this register in the unit's register table.
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+
+    /// Bit width of the register.
+    pub fn width(self) -> Width {
+        self.width
+    }
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index)
+    }
+}
+
+/// Identifier of a vector register (random-access register file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VecRegId {
+    index: u32,
+    width: Width,
+}
+
+impl VecRegId {
+    pub(crate) fn new(index: u32, width: Width) -> VecRegId {
+        VecRegId { index, width }
+    }
+
+    /// Position of this vector register in the unit's table.
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+
+    /// Bit width of each element.
+    pub fn width(self) -> Width {
+        self.width
+    }
+}
+
+impl fmt::Display for VecRegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.index)
+    }
+}
+
+/// Identifier of a BRAM (block RAM with one read and one write port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BramId {
+    index: u32,
+    data_width: Width,
+    addr_width: Width,
+}
+
+impl BramId {
+    pub(crate) fn new(index: u32, data_width: Width, addr_width: Width) -> BramId {
+        BramId { index, data_width, addr_width }
+    }
+
+    /// Position of this BRAM in the unit's BRAM table.
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+
+    /// Bit width of each stored element.
+    pub fn data_width(self) -> Width {
+        self.data_width
+    }
+
+    /// Bit width of addresses (`log2` of the element count).
+    pub fn addr_width(self) -> Width {
+        self.addr_width
+    }
+
+    /// Number of elements.
+    pub fn elements(self) -> usize {
+        1usize << self.addr_width
+    }
+}
+
+impl fmt::Display for BramId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.index)
+    }
+}
+
+/// Returns `ceil(log2(n))`, with a minimum of 1.
+pub fn clog2(n: usize) -> Width {
+    debug_assert!(n >= 1);
+    let mut w = 0u16;
+    while (1usize << w) < n {
+        w += 1;
+    }
+    w.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clog2_values() {
+        assert_eq!(clog2(1), 1);
+        assert_eq!(clog2(2), 1);
+        assert_eq!(clog2(3), 2);
+        assert_eq!(clog2(4), 2);
+        assert_eq!(clog2(256), 8);
+        assert_eq!(clog2(257), 9);
+    }
+
+    #[test]
+    fn ids_carry_widths() {
+        let r = RegId::new(3, 7);
+        assert_eq!(r.index(), 3);
+        assert_eq!(r.width(), 7);
+        let b = BramId::new(0, 8, 8);
+        assert_eq!(b.elements(), 256);
+    }
+}

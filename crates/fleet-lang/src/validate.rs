@@ -1,0 +1,430 @@
+//! Static validation of [`UnitSpec`] programs.
+//!
+//! Hard violations (returned as errors) are things that can never be
+//! compiled: malformed widths, out-of-range slices, handles from a
+//! different unit, nested loops, and *dependent BRAM reads* — a read whose
+//! address depends on another BRAM read, which cannot be scheduled in the
+//! two-stage virtual-cycle pipeline (§3).
+//!
+//! The remaining Fleet restrictions — at most one BRAM read address, one
+//! BRAM write, and one emit per virtual cycle — depend on run-time
+//! conditions, so they are *warned* about here when syntactically possible
+//! and enforced dynamically by the software simulator
+//! (`fleet-isim`), exactly as the paper prescribes.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::expr::{E, ExprNode};
+use crate::stmt::Stmt;
+use crate::unit::UnitSpec;
+
+/// A single hard validation violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A token size or state-element width outside `1..=64`.
+    BadWidth {
+        /// What carries the bad width.
+        what: String,
+        /// The offending width.
+        width: u16,
+    },
+    /// An `Input` expression whose recorded width disagrees with the
+    /// unit's input token size (handle reused across units).
+    InputWidthMismatch {
+        /// Width recorded on the expression.
+        found: u16,
+        /// The unit's input token size.
+        expected: u16,
+    },
+    /// A state-element handle that does not belong to this unit.
+    ForeignHandle {
+        /// Description of the offending handle.
+        what: String,
+    },
+    /// A bit slice extending past its operand's width.
+    SliceOutOfRange {
+        /// High bit of the slice.
+        hi: u16,
+        /// Low bit of the slice.
+        lo: u16,
+        /// Operand width.
+        width: u16,
+    },
+    /// A BRAM read address that itself contains a BRAM read.
+    DependentBramRead {
+        /// Name of the BRAM with the dependent read.
+        bram: String,
+    },
+    /// A `while` loop nested inside another `while` body.
+    NestedWhile,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::BadWidth { what, width } => {
+                write!(f, "{what} has width {width}, outside 1..=64")
+            }
+            Violation::InputWidthMismatch { found, expected } => write!(
+                f,
+                "input expression has width {found} but the unit's input token size is {expected}"
+            ),
+            Violation::ForeignHandle { what } => {
+                write!(f, "{what} does not belong to this unit")
+            }
+            Violation::SliceOutOfRange { hi, lo, width } => {
+                write!(f, "slice [{hi}:{lo}] exceeds operand width {width}")
+            }
+            Violation::DependentBramRead { bram } => write!(
+                f,
+                "read address of BRAM {bram} depends on another BRAM read; \
+                 dependent reads cannot be pipelined"
+            ),
+            Violation::NestedWhile => {
+                write!(f, "while loops may not nest")
+            }
+        }
+    }
+}
+
+/// Validation failure: one or more hard violations.
+#[derive(Debug, Clone)]
+pub struct ValidateError {
+    /// All violations found, in discovery order.
+    pub violations: Vec<Violation>,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid Fleet unit: ")?;
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for ValidateError {}
+
+/// A soft restriction that cannot be proven statically and will be checked
+/// dynamically by the software simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Warning {
+    /// More than one syntactic read site for a BRAM.
+    MultipleBramReadSites {
+        /// BRAM name.
+        bram: String,
+        /// Number of syntactic read sites.
+        count: usize,
+    },
+    /// More than one syntactic write site for a BRAM.
+    MultipleBramWriteSites {
+        /// BRAM name.
+        bram: String,
+        /// Number of syntactic write sites.
+        count: usize,
+    },
+    /// More than one syntactic emit site.
+    MultipleEmitSites {
+        /// Number of syntactic emit sites.
+        count: usize,
+    },
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Warning::MultipleBramReadSites { bram, count } => write!(
+                f,
+                "BRAM {bram} has {count} read sites; they must be mutually exclusive \
+                 or share an address at run time (checked by the software simulator)"
+            ),
+            Warning::MultipleBramWriteSites { bram, count } => write!(
+                f,
+                "BRAM {bram} has {count} write sites; at most one may execute per \
+                 virtual cycle (checked by the software simulator)"
+            ),
+            Warning::MultipleEmitSites { count } => write!(
+                f,
+                "program has {count} emit sites; at most one may execute per \
+                 virtual cycle (checked by the software simulator)"
+            ),
+        }
+    }
+}
+
+/// Validates a unit, returning all hard violations found.
+///
+/// # Errors
+///
+/// Returns [`ValidateError`] when any hard violation exists; the unit must
+/// not be compiled or simulated in that case.
+pub fn validate(spec: &UnitSpec) -> Result<(), ValidateError> {
+    let mut v = Vec::new();
+
+    for (what, width) in [
+        ("input token".to_string(), spec.input_token_bits),
+        ("output token".to_string(), spec.output_token_bits),
+    ] {
+        if !(1..=64).contains(&width) {
+            v.push(Violation::BadWidth { what, width });
+        }
+    }
+    for r in &spec.regs {
+        if !(1..=64).contains(&r.width) {
+            v.push(Violation::BadWidth { what: format!("register {}", r.name), width: r.width });
+        }
+    }
+    for vr in &spec.vec_regs {
+        if !(1..=64).contains(&vr.width) {
+            v.push(Violation::BadWidth {
+                what: format!("vector register {}", vr.name),
+                width: vr.width,
+            });
+        }
+    }
+    for b in &spec.brams {
+        if !(1..=64).contains(&b.data_width) {
+            v.push(Violation::BadWidth { what: format!("BRAM {}", b.name), width: b.data_width });
+        }
+    }
+
+    // Walk statements: expression checks + loop nesting.
+    fn walk_block(spec: &UnitSpec, body: &[Stmt], in_while: bool, v: &mut Vec<Violation>) {
+        for s in body {
+            match s {
+                Stmt::If { arms, else_body } => {
+                    for (c, b) in arms {
+                        check_expr(spec, c, v);
+                        walk_block(spec, b, in_while, v);
+                    }
+                    walk_block(spec, else_body, in_while, v);
+                }
+                Stmt::While { cond, body } => {
+                    if in_while {
+                        v.push(Violation::NestedWhile);
+                    }
+                    check_expr(spec, cond, v);
+                    walk_block(spec, body, true, v);
+                }
+                Stmt::SetReg(r, val) => {
+                    check_reg(spec, *r, v);
+                    check_expr(spec, val, v);
+                }
+                Stmt::SetVecReg(vr, i, val) => {
+                    check_vec_reg(spec, *vr, v);
+                    check_expr(spec, i, v);
+                    check_expr(spec, val, v);
+                }
+                Stmt::BramWrite(b, a, val) => {
+                    check_bram(spec, *b, v);
+                    check_expr(spec, a, v);
+                    check_expr(spec, val, v);
+                }
+                Stmt::Emit(val) => check_expr(spec, val, v),
+            }
+        }
+    }
+
+    fn check_reg(spec: &UnitSpec, id: crate::types::RegId, v: &mut Vec<Violation>) {
+        let idx = id.index();
+        if idx >= spec.regs.len() || spec.regs[idx].width != id.width() {
+            v.push(Violation::ForeignHandle { what: format!("register handle {id}") });
+        }
+    }
+    fn check_vec_reg(spec: &UnitSpec, id: crate::types::VecRegId, v: &mut Vec<Violation>) {
+        let idx = id.index();
+        if idx >= spec.vec_regs.len() || spec.vec_regs[idx].width != id.width() {
+            v.push(Violation::ForeignHandle { what: format!("vector register handle {id}") });
+        }
+    }
+    fn check_bram(spec: &UnitSpec, id: crate::types::BramId, v: &mut Vec<Violation>) {
+        let idx = id.index();
+        if idx >= spec.brams.len()
+            || spec.brams[idx].data_width != id.data_width()
+            || spec.brams[idx].addr_width != id.addr_width()
+        {
+            v.push(Violation::ForeignHandle { what: format!("BRAM handle {id}") });
+        }
+    }
+
+    fn check_expr(spec: &UnitSpec, e: &E, v: &mut Vec<Violation>) {
+        e.visit(&mut |node| {
+            let w = node.width();
+            if w > 64 {
+                v.push(Violation::BadWidth { what: "expression (concatenation too wide)".to_string(), width: w });
+            }
+        });
+        e.visit(&mut |node| match node.node() {
+            ExprNode::Input(w) => {
+                if *w != spec.input_token_bits {
+                    v.push(Violation::InputWidthMismatch {
+                        found: *w,
+                        expected: spec.input_token_bits,
+                    });
+                }
+            }
+            ExprNode::Reg(id) => check_reg(spec, *id, v),
+            ExprNode::VecReg(id, _) => check_vec_reg(spec, *id, v),
+            ExprNode::BramRead(id, addr) => {
+                check_bram(spec, *id, v);
+                if addr.contains_bram_read() {
+                    let name = spec
+                        .brams
+                        .get(id.index())
+                        .map(|b| b.name.clone())
+                        .unwrap_or_else(|| id.to_string());
+                    v.push(Violation::DependentBramRead { bram: name });
+                }
+            }
+            ExprNode::Slice { arg, hi, lo } => {
+                if *hi >= arg.width() || hi < lo {
+                    v.push(Violation::SliceOutOfRange {
+                        hi: *hi,
+                        lo: *lo,
+                        width: arg.width(),
+                    });
+                }
+            }
+            _ => {}
+        });
+    }
+
+    walk_block(spec, &spec.body, false, &mut v);
+
+    // Deduplicate identical violations (shared subtrees are visited once
+    // per use site).
+    v.dedup();
+
+    if v.is_empty() {
+        Ok(())
+    } else {
+        Err(ValidateError { violations: v })
+    }
+}
+
+/// Reports soft restrictions that need dynamic checking.
+pub fn warnings(spec: &UnitSpec) -> Vec<Warning> {
+    let mut read_sites = vec![0usize; spec.brams.len()];
+    let mut write_sites = vec![0usize; spec.brams.len()];
+    let mut emit_sites = 0usize;
+
+    for s in &spec.body {
+        s.visit(&mut |stmt| match stmt {
+            Stmt::BramWrite(b, _, _) => {
+                if b.index() < write_sites.len() {
+                    write_sites[b.index()] += 1;
+                }
+            }
+            Stmt::Emit(_) => emit_sites += 1,
+            _ => {}
+        });
+        s.visit_exprs(&mut |e| {
+            e.visit(&mut |node| {
+                if let ExprNode::BramRead(b, _) = node.node() {
+                    if b.index() < read_sites.len() {
+                        read_sites[b.index()] += 1;
+                    }
+                }
+            });
+        });
+    }
+
+    let mut out = Vec::new();
+    for (i, &n) in read_sites.iter().enumerate() {
+        if n > 1 {
+            out.push(Warning::MultipleBramReadSites { bram: spec.brams[i].name.clone(), count: n });
+        }
+    }
+    for (i, &n) in write_sites.iter().enumerate() {
+        if n > 1 {
+            out.push(Warning::MultipleBramWriteSites {
+                bram: spec.brams[i].name.clone(),
+                count: n,
+            });
+        }
+    }
+    if emit_sites > 1 {
+        out.push(Warning::MultipleEmitSites { count: emit_sites });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::UnitBuilder;
+    use crate::expr::lit;
+
+    #[test]
+    fn valid_unit_passes() {
+        let mut u = UnitBuilder::new("Ok", 8, 8);
+        let r = u.reg("r", 8, 0);
+        u.set(r, r + 1u64);
+        assert!(u.build().is_ok());
+    }
+
+    #[test]
+    fn dependent_bram_read_rejected() {
+        let mut u = UnitBuilder::new("Dep", 8, 8);
+        let a = u.bram("a", 16, 8);
+        let b = u.bram("b", 16, 4);
+        // a[b[0]] — classic dependent read from §3.
+        u.emit(a.read(b.read(lit(0, 4))));
+        let err = u.build().unwrap_err();
+        assert!(err
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DependentBramRead { .. })));
+    }
+
+    #[test]
+    fn slice_out_of_range_rejected() {
+        let mut u = UnitBuilder::new("Slice", 8, 8);
+        let inp = u.input();
+        u.emit(inp.slice(9, 0)); // input is 8 bits
+        let err = u.build().unwrap_err();
+        assert!(err
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::SliceOutOfRange { .. })));
+    }
+
+    #[test]
+    fn foreign_handle_rejected() {
+        let mut other = UnitBuilder::new("Other", 8, 8);
+        let foreign = other.reg("x", 5, 0);
+        let mut u = UnitBuilder::new("Mine", 8, 8);
+        u.set(foreign, lit(1, 5));
+        let err = u.build().unwrap_err();
+        assert!(err
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ForeignHandle { .. })));
+    }
+
+    #[test]
+    fn warnings_flag_multiple_emit_sites() {
+        let mut u = UnitBuilder::new("W", 8, 8);
+        let r = u.reg("s", 1, 0);
+        u.if_else(
+            r.eq_e(0u64),
+            |u| u.emit(lit(0, 8)),
+            |u| u.emit(lit(1, 8)),
+        );
+        let spec = u.build().unwrap();
+        let w = warnings(&spec);
+        assert!(w.iter().any(|w| matches!(w, Warning::MultipleEmitSites { count: 2 })));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ValidateError { violations: vec![Violation::NestedWhile] };
+        let s = e.to_string();
+        assert!(s.contains("while loops may not nest"));
+    }
+}

@@ -1,0 +1,583 @@
+//! One channel's worth of the Fleet system: N processing units, the
+//! round-robin input and output controllers with burst registers (§5),
+//! and the DRAM channel they drive.
+//!
+//! The paper's two key optimizations are modelled exactly:
+//!
+//! * **Asynchronous address supply** — the addressing units run several
+//!   requests ahead of the data transfer units, hiding DRAM latency.
+//!   With `async_addr` off, the next address is supplied only after the
+//!   previous burst has fully drained (Figure 9 baseline).
+//! * **Burst registers** — `r` registers per direction buffer whole
+//!   bursts so that `r` units' buffers are filled/drained in parallel at
+//!   `w` bits per cycle each, matching the 512-bit bus rate when
+//!   `r·w = 512`.
+//!
+//! Channels are fully independent (no cross-channel coordination), as in
+//! the paper.
+
+use std::collections::VecDeque;
+
+use fleet_axi::{DramChannel, BEAT_BYTES};
+use fleet_compiler::PuIn;
+
+use crate::config::{Addressing, MemCtlConfig};
+use crate::unit::StreamUnit;
+
+/// Placement of one unit's streams within a channel's memory.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamAssignment {
+    /// Byte offset of the input stream (beat-aligned).
+    pub in_start: usize,
+    /// Input stream length in bytes (whole input tokens).
+    pub in_len: usize,
+    /// Byte offset of the output region (beat-aligned).
+    pub out_start: usize,
+    /// Output region capacity in bytes (with one burst of slack for the
+    /// final padded beat).
+    pub out_capacity: usize,
+}
+
+#[derive(Debug)]
+struct PuState {
+    assign: StreamAssignment,
+    in_fetched: usize,
+    in_flight: usize,
+    in_buffer: VecDeque<u8>,
+    out_buffer: VecDeque<u8>,
+    out_written: usize,
+    finished: bool,
+    /// Set when the unit overflowed its output region (reported, not
+    /// silently dropped).
+    overflowed: bool,
+}
+
+#[derive(Debug)]
+enum InRegState {
+    Free,
+    /// Receiving beats from the channel.
+    Filling { pu: usize, data: Vec<u8>, chunk: usize, beats_left: u32, seq: u64 },
+    /// Draining into the unit's input buffer at `w` bits/cycle.
+    ///
+    /// `seq` orders bursts so that two registers holding consecutive
+    /// bursts for the *same* unit drain strictly in request order — a
+    /// unit's buffer has a single write port, so its fills serialize.
+    Draining { pu: usize, data: Vec<u8>, pos: usize, seq: u64 },
+}
+
+#[derive(Debug)]
+enum OutRegState {
+    Free,
+    /// Collecting bytes from the unit's output buffer at `w` bits/cycle.
+    Filling { pu: usize, addr: usize, data: Vec<u8>, target: usize },
+    /// Waiting for the channel write queue to accept the burst.
+    Sending { pu: usize, addr: usize, data: Vec<u8> },
+}
+
+/// Aggregate throughput counters for one channel engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Input bytes delivered into unit buffers.
+    pub input_bytes: u64,
+    /// Output bytes committed to DRAM (unpadded).
+    pub output_bytes: u64,
+    /// Output tokens produced by units.
+    pub output_tokens: u64,
+    /// Cycles ticked.
+    pub cycles: u64,
+}
+
+/// One channel: processing units + input/output controllers + DRAM.
+#[derive(Debug)]
+pub struct ChannelEngine<U> {
+    cfg: MemCtlConfig,
+    dram: DramChannel,
+    units: Vec<U>,
+    pus: Vec<PuState>,
+    in_token_bytes: usize,
+    out_token_bytes: usize,
+
+    // Input controller.
+    in_rr: usize,
+    in_regs: Vec<InRegState>,
+    /// Issued read requests not yet assigned to a burst register, in AXI
+    /// return order: `(pu, chunk_bytes, beats)`.
+    pending_reads: VecDeque<(usize, usize, u32)>,
+    next_tag: u32,
+    next_seq: u64,
+
+    // Output controller.
+    out_rr: usize,
+    out_regs: Vec<OutRegState>,
+
+    stats: EngineStats,
+}
+
+impl<U: StreamUnit> ChannelEngine<U> {
+    /// Builds an engine over `units` with matching stream assignments.
+    ///
+    /// `in_token_bytes` / `out_token_bytes` are the unit's token sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch, a stream is not whole tokens, or a
+    /// region is not beat-aligned.
+    pub fn new(
+        cfg: MemCtlConfig,
+        dram: DramChannel,
+        units: Vec<U>,
+        assigns: Vec<StreamAssignment>,
+        in_token_bytes: usize,
+        out_token_bytes: usize,
+    ) -> ChannelEngine<U> {
+        cfg.check();
+        assert_eq!(units.len(), assigns.len(), "one assignment per unit");
+        for a in &assigns {
+            assert!(a.in_start % BEAT_BYTES == 0, "input region must be beat-aligned");
+            assert!(a.out_start % BEAT_BYTES == 0, "output region must be beat-aligned");
+            assert!(
+                a.in_len % in_token_bytes == 0,
+                "input stream must be a whole number of tokens"
+            );
+        }
+        let pus = assigns
+            .into_iter()
+            .map(|assign| PuState {
+                assign,
+                in_fetched: 0,
+                in_flight: 0,
+                in_buffer: VecDeque::with_capacity(cfg.input_buffer_bytes),
+                out_buffer: VecDeque::with_capacity(cfg.output_buffer_bytes),
+                out_written: 0,
+                finished: false,
+                overflowed: false,
+            })
+            .collect();
+        let n_regs = cfg.burst_registers;
+        ChannelEngine {
+            cfg,
+            dram,
+            units,
+            pus,
+            in_token_bytes,
+            out_token_bytes,
+            in_rr: 0,
+            in_regs: (0..n_regs).map(|_| InRegState::Free).collect(),
+            pending_reads: VecDeque::new(),
+            next_tag: 0,
+            next_seq: 0,
+            out_rr: 0,
+            out_regs: (0..n_regs).map(|_| OutRegState::Free).collect(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Number of units.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Whether the engine has no units.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Throughput counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// DRAM channel (for host-side load/readback).
+    pub fn dram(&self) -> &DramChannel {
+        &self.dram
+    }
+
+    /// DRAM channel, mutable (host-side loading).
+    pub fn dram_mut(&mut self) -> &mut DramChannel {
+        &mut self.dram
+    }
+
+    /// Whether any unit overflowed its output region.
+    pub fn any_overflow(&self) -> bool {
+        self.pus.iter().any(|p| p.overflowed)
+    }
+
+    /// Output bytes committed for unit `p` (excluding beat padding).
+    pub fn output_len(&self, p: usize) -> usize {
+        self.pus[p].out_written
+    }
+
+    /// Reads back unit `p`'s output region from DRAM.
+    ///
+    /// Call after [`ChannelEngine::done`] returns true.
+    pub fn output_bytes(&self, p: usize) -> Vec<u8> {
+        let st = &self.pus[p];
+        let start = st.assign.out_start;
+        self.dram.mem()[start..start + st.out_written].to_vec()
+    }
+
+    fn peek_token(buf: &VecDeque<u8>, bytes: usize) -> u64 {
+        let mut v = 0u64;
+        for k in 0..bytes {
+            v |= (buf[k] as u64) << (8 * k);
+        }
+        v
+    }
+
+    fn pu_pins(&self, p: usize) -> PuIn {
+        let st = &self.pus[p];
+        let have = st.in_buffer.len() >= self.in_token_bytes;
+        let exhausted =
+            st.in_fetched >= st.assign.in_len && st.in_flight == 0 && st.in_buffer.is_empty();
+        PuIn {
+            input_token: if have {
+                Self::peek_token(&st.in_buffer, self.in_token_bytes)
+            } else {
+                0
+            },
+            input_valid: have,
+            input_finished: exhausted,
+            output_ready: st.out_buffer.len() + self.out_token_bytes
+                <= self.cfg.output_buffer_bytes,
+        }
+    }
+
+    /// Ticks every processing unit one cycle (handshakes with the
+    /// controller buffers), then the controllers, then DRAM.
+    pub fn tick(&mut self) {
+        // --- Processing units. ---
+        for p in 0..self.units.len() {
+            // Skip fully finished units cheaply.
+            if self.pus[p].finished {
+                continue;
+            }
+            let pins = self.pu_pins(p);
+            let out = self.units[p].comb(&pins);
+            if pins.input_valid && out.input_ready {
+                let st = &mut self.pus[p];
+                for _ in 0..self.in_token_bytes {
+                    st.in_buffer.pop_front();
+                }
+            }
+            if out.output_valid && pins.output_ready {
+                let st = &mut self.pus[p];
+                for k in 0..self.out_token_bytes {
+                    st.out_buffer.push_back((out.output_token >> (8 * k)) as u8);
+                }
+                self.stats.output_tokens += 1;
+            }
+            if out.output_finished {
+                self.pus[p].finished = true;
+            }
+            self.units[p].clock(&pins);
+        }
+
+        self.input_controller_tick();
+        self.output_controller_tick();
+        self.dram.tick();
+        self.stats.cycles += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Input controller (§5, Figure 6).
+    // ------------------------------------------------------------------
+
+    fn input_outstanding(&self) -> usize {
+        self.pending_reads.len()
+            + self
+                .in_regs
+                .iter()
+                .filter(|r| !matches!(r, InRegState::Free))
+                .count()
+    }
+
+    fn input_eligible(&self, p: usize) -> bool {
+        let st = &self.pus[p];
+        if st.in_fetched >= st.assign.in_len {
+            return false;
+        }
+        let chunk = (st.assign.in_len - st.in_fetched).min(self.cfg.burst_bytes);
+        st.in_buffer.len() + st.in_flight + chunk <= self.cfg.input_buffer_bytes
+    }
+
+    fn input_controller_tick(&mut self) {
+        // 1. Addressing unit: issue at most one read address per cycle.
+        let can_issue = if self.cfg.async_addr {
+            self.pending_reads.len() < self.cfg.addr_lookahead
+        } else {
+            // Synchronous: wait until the previous burst has fully
+            // drained into its unit buffer.
+            self.input_outstanding() == 0
+        };
+        if can_issue && self.dram.can_accept_read() {
+            let n = self.pus.len();
+            let mut chosen = None;
+            for step in 0..n {
+                let p = (self.in_rr + step) % n;
+                let st = &self.pus[p];
+                let exhausted = st.in_fetched >= st.assign.in_len;
+                if self.input_eligible(p) {
+                    chosen = Some(p);
+                    break;
+                }
+                // The addressing unit always skips exhausted units. A
+                // blocking unit waits at the round-robin pointer, but
+                // only while the unit is actually *requesting* data
+                // (close to starving); a unit whose buffers are full is
+                // not supplying an address and is skipped — otherwise a
+                // unit stalled on the output side would wedge the whole
+                // input round-robin (deadlock with a blocking output
+                // unit).
+                let requesting =
+                    st.in_buffer.len() + st.in_flight < self.cfg.burst_bytes;
+                if !exhausted
+                    && requesting
+                    && self.cfg.input_addressing == Addressing::Blocking
+                {
+                    break;
+                }
+            }
+            if let Some(p) = chosen {
+                let st = &mut self.pus[p];
+                let chunk = (st.assign.in_len - st.in_fetched).min(self.cfg.burst_bytes);
+                let beats = chunk.div_ceil(BEAT_BYTES) as u32;
+                let addr = st.assign.in_start + st.in_fetched;
+                // Align the request to beat granularity (regions are
+                // beat-aligned and fetched in burst multiples, so only
+                // the final chunk can be ragged).
+                let tag = self.next_tag;
+                self.next_tag = self.next_tag.wrapping_add(1);
+                let accepted = self.dram.push_read(tag, addr, beats);
+                debug_assert!(accepted, "can_accept_read checked above");
+                st.in_fetched += chunk;
+                st.in_flight += chunk;
+                self.pending_reads.push_back((p, chunk, beats));
+                self.in_rr = (p + 1) % self.pus.len();
+            }
+        }
+
+        // 2. Data transfer unit: take one beat from the channel into a
+        // burst register (the head request owns arriving beats).
+        let filling_idx = self
+            .in_regs
+            .iter()
+            .position(|r| matches!(r, InRegState::Filling { .. }));
+        let intake_reg = match filling_idx {
+            Some(i) => Some(i),
+            None => {
+                if self.pending_reads.is_empty() {
+                    None
+                } else {
+                    self.in_regs.iter().position(|r| matches!(r, InRegState::Free))
+                }
+            }
+        };
+        if let Some(reg_idx) = intake_reg {
+            if let Some((_tag, _beat, data)) = {
+                // Only pop when we have somewhere to put the beat
+                // (backpressure keeps it queued in the channel).
+                self.dram.pop_read_beat()
+            } {
+                let seq_next = self.next_seq;
+                match &mut self.in_regs[reg_idx] {
+                    r @ InRegState::Free => {
+                        let (pu, chunk, beats) =
+                            self.pending_reads.pop_front().expect("head request exists");
+                        self.next_seq += 1;
+                        let mut buf = Vec::with_capacity(beats as usize * BEAT_BYTES);
+                        buf.extend_from_slice(&data);
+                        if beats == 1 {
+                            buf.truncate(chunk);
+                            *r = InRegState::Draining { pu, data: buf, pos: 0, seq: seq_next };
+                        } else {
+                            *r = InRegState::Filling {
+                                pu,
+                                data: buf,
+                                chunk,
+                                beats_left: beats - 1,
+                                seq: seq_next,
+                            };
+                        }
+                    }
+                    InRegState::Filling { pu, data: buf, chunk, beats_left, seq } => {
+                        buf.extend_from_slice(&data);
+                        *beats_left -= 1;
+                        if *beats_left == 0 {
+                            let pu = *pu;
+                            let chunk = *chunk;
+                            let seq = *seq;
+                            let mut full = std::mem::take(buf);
+                            full.truncate(chunk);
+                            self.in_regs[reg_idx] =
+                                InRegState::Draining { pu, data: full, pos: 0, seq };
+                        }
+                    }
+                    InRegState::Draining { .. } => unreachable!("intake register is not draining"),
+                }
+            }
+        }
+
+        // 3. Drain draining registers in parallel, `w` bits/cycle —
+        // except that bursts for the *same* unit drain strictly in
+        // request order (one buffer write port per unit).
+        let port = self.cfg.port_bytes();
+        // Oldest in-flight sequence number per unit.
+        let mut oldest: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        for reg in &self.in_regs {
+            let (pu, seq) = match reg {
+                InRegState::Filling { pu, seq, .. } => (*pu, *seq),
+                InRegState::Draining { pu, seq, .. } => (*pu, *seq),
+                InRegState::Free => continue,
+            };
+            let e = oldest.entry(pu).or_insert(seq);
+            *e = (*e).min(seq);
+        }
+        for reg in &mut self.in_regs {
+            if let InRegState::Draining { pu, data, pos, seq } = reg {
+                if oldest.get(pu) != Some(seq) {
+                    continue; // an earlier burst for this unit goes first
+                }
+                let st = &mut self.pus[*pu];
+                let n = port.min(data.len() - *pos);
+                for k in 0..n {
+                    st.in_buffer.push_back(data[*pos + k]);
+                }
+                *pos += n;
+                st.in_flight -= n;
+                self.stats.input_bytes += n as u64;
+                if *pos == data.len() {
+                    *reg = InRegState::Free;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Output controller (§5): symmetric, with nonblocking addressing by
+    // default since filters emit at very different rates.
+    // ------------------------------------------------------------------
+
+    fn output_eligible(&self, p: usize) -> bool {
+        let st = &self.pus[p];
+        if st.overflowed {
+            return false;
+        }
+        // A unit's bursts must fill sequentially: never assign a second
+        // register while one is still collecting or sending its data.
+        let busy = self.out_regs.iter().any(|r| {
+            matches!(r, OutRegState::Filling { pu, .. } | OutRegState::Sending { pu, .. } if *pu == p)
+        });
+        if busy {
+            return false;
+        }
+        let has_full = st.out_buffer.len() >= self.cfg.burst_bytes;
+        let has_tail = st.finished && !st.out_buffer.is_empty();
+        has_full || has_tail
+    }
+
+    fn output_done_for(&self, p: usize) -> bool {
+        let st = &self.pus[p];
+        st.finished
+            && st.out_buffer.is_empty()
+            && !self.out_regs.iter().any(|r| {
+                matches!(r, OutRegState::Filling { pu, .. } | OutRegState::Sending { pu, .. } if *pu == p)
+            })
+    }
+
+    fn output_controller_tick(&mut self) {
+        // 1. Allocate at most one burst register per cycle to a unit with
+        // output ready (the addressing step).
+        if let Some(reg_idx) = self.out_regs.iter().position(|r| matches!(r, OutRegState::Free)) {
+            let n = self.pus.len();
+            let mut chosen = None;
+            for step in 0..n {
+                let p = (self.out_rr + step) % n;
+                if self.output_eligible(p) {
+                    chosen = Some(p);
+                    break;
+                }
+                let st = &self.pus[p];
+                let done = self.output_done_for(p);
+                if !done && self.cfg.output_addressing == Addressing::Blocking && !st.overflowed {
+                    // Blocking: wait at this unit until it can supply an
+                    // address.
+                    break;
+                }
+            }
+            if let Some(p) = chosen {
+                let st = &mut self.pus[p];
+                let target = st.out_buffer.len().min(self.cfg.burst_bytes);
+                let padded = target.div_ceil(BEAT_BYTES) * BEAT_BYTES;
+                if st.out_written + padded > st.assign.out_capacity {
+                    st.overflowed = true;
+                } else {
+                    let addr = st.assign.out_start + st.out_written;
+                    self.out_regs[reg_idx] = OutRegState::Filling {
+                        pu: p,
+                        addr,
+                        data: Vec::with_capacity(padded),
+                        target,
+                    };
+                    self.out_rr = (p + 1) % self.pus.len();
+                }
+            }
+        }
+
+        // 2. Fill every filling register in parallel at `w` bits/cycle;
+        // send completed bursts to the channel.
+        let port = self.cfg.port_bytes();
+        for reg in &mut self.out_regs {
+            match reg {
+                OutRegState::Filling { pu, addr, data, target } => {
+                    let st = &mut self.pus[*pu];
+                    let n = port.min(*target - data.len()).min(st.out_buffer.len());
+                    for _ in 0..n {
+                        data.push(st.out_buffer.pop_front().expect("len checked"));
+                    }
+                    if data.len() == *target {
+                        st.out_written += *target;
+                        self.stats.output_bytes += *target as u64;
+                        let mut payload = std::mem::take(data);
+                        let padded = payload.len().div_ceil(BEAT_BYTES) * BEAT_BYTES;
+                        payload.resize(padded, 0);
+                        *reg = OutRegState::Sending { pu: *pu, addr: *addr, data: payload };
+                    }
+                }
+                OutRegState::Sending { .. } | OutRegState::Free => {}
+            }
+            if let OutRegState::Sending { pu: _, addr, data } = reg {
+                if self.dram.can_accept_write() {
+                    let ok = self.dram.push_write(*addr, std::mem::take(data));
+                    debug_assert!(ok);
+                    *reg = OutRegState::Free;
+                }
+            }
+        }
+    }
+
+    /// Whether every unit has finished, all output has been committed to
+    /// DRAM, and the write queue has drained.
+    pub fn done(&self) -> bool {
+        (0..self.pus.len()).all(|p| self.output_done_for(p) || self.pus[p].overflowed)
+            && self.dram.write_queue_len() == 0
+    }
+
+    /// Runs until [`ChannelEngine::done`] or `max_cycles`.
+    ///
+    /// Returns the cycle count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine does not finish within `max_cycles`.
+    pub fn run_to_completion(&mut self, max_cycles: u64) -> u64 {
+        let start = self.stats.cycles;
+        while !self.done() {
+            self.tick();
+            assert!(
+                self.stats.cycles - start < max_cycles,
+                "channel engine did not finish within {max_cycles} cycles"
+            );
+        }
+        self.stats.cycles - start
+    }
+}

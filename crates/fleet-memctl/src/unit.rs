@@ -1,0 +1,34 @@
+//! The [`StreamUnit`] trait: anything with the §4 processing-unit
+//! interface can be fed by the memory controller.
+
+use fleet_compiler::{NetDriver, PuExec, PuIn, PuOut};
+
+/// A clocked component with the Fleet processing-unit interface.
+///
+/// Implemented by [`PuExec`] (fast executor) and [`NetDriver`] (full RTL
+/// simulation), so the same memory controller drives either — the
+/// cross-check tests rely on this.
+pub trait StreamUnit {
+    /// Combinational outputs for this cycle given the input pins.
+    fn comb(&mut self, pins: &PuIn) -> PuOut;
+    /// Clock edge; `pins` must match the preceding `comb` call.
+    fn clock(&mut self, pins: &PuIn);
+}
+
+impl StreamUnit for PuExec {
+    fn comb(&mut self, pins: &PuIn) -> PuOut {
+        PuExec::comb(self, pins)
+    }
+    fn clock(&mut self, pins: &PuIn) {
+        PuExec::clock(self, pins)
+    }
+}
+
+impl StreamUnit for NetDriver {
+    fn comb(&mut self, pins: &PuIn) -> PuOut {
+        NetDriver::comb(self, pins)
+    }
+    fn clock(&mut self, _pins: &PuIn) {
+        NetDriver::clock(self)
+    }
+}

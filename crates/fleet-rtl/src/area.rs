@@ -1,0 +1,187 @@
+//! FPGA area estimation for netlists.
+//!
+//! A first-order LUT/FF/BRAM model of a Xilinx UltraScale+ device (the
+//! Amazon F1's vu9p). The per-operator costs are deliberately simple and
+//! documented; the model is used to bound processing-unit replication in
+//! `fleet-system` the way the real device bounds it, and for the HLS area
+//! comparison of §7.4.
+
+use fleet_lang::{BinOp, UnaryOp};
+
+use crate::netlist::{Netlist, Node};
+
+/// Area of a netlist in device resources.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Area {
+    /// 6-input LUT estimate for combinational logic.
+    pub luts: u64,
+    /// Flip-flop count (register bits).
+    pub ffs: u64,
+    /// 36 Kb technology BRAM count.
+    pub bram36: u64,
+}
+
+impl Area {
+    /// Component-wise sum.
+    pub fn add(self, other: Area) -> Area {
+        Area {
+            luts: self.luts + other.luts,
+            ffs: self.ffs + other.ffs,
+            bram36: self.bram36 + other.bram36,
+        }
+    }
+
+    /// Scales every resource by `n` (replication).
+    pub fn scale(self, n: u64) -> Area {
+        Area { luts: self.luts * n, ffs: self.ffs * n, bram36: self.bram36 * n }
+    }
+
+    /// A rough single-number "logic cell" figure (LUT-dominated), used for
+    /// the §7.4 logic-cell comparisons.
+    pub fn logic_cells(self) -> u64 {
+        self.luts.max(self.ffs / 2)
+    }
+}
+
+/// Device capacity model.
+#[derive(Debug, Clone, Copy)]
+pub struct Device {
+    /// Usable LUTs.
+    pub luts: u64,
+    /// Usable flip-flops.
+    pub ffs: u64,
+    /// 36 Kb BRAM blocks.
+    pub bram36: u64,
+}
+
+impl Device {
+    /// The Xilinx vu9p on the Amazon F1, derated to ~75 % usable for
+    /// routability (typical practice for near-full designs).
+    pub fn f1_vu9p() -> Device {
+        Device {
+            luts: (1_182_000f64 * 0.75) as u64,
+            ffs: (2_364_000f64 * 0.75) as u64,
+            bram36: (2_160f64 * 0.9) as u64,
+        }
+    }
+
+    /// How many copies of `unit` fit alongside `overhead` (shell + memory
+    /// controller).
+    pub fn fit(&self, unit: Area, overhead: Area) -> u64 {
+        let avail_luts = self.luts.saturating_sub(overhead.luts);
+        let avail_ffs = self.ffs.saturating_sub(overhead.ffs);
+        let avail_bram = self.bram36.saturating_sub(overhead.bram36);
+        let by_lut = if unit.luts == 0 { u64::MAX } else { avail_luts / unit.luts };
+        let by_ff = if unit.ffs == 0 { u64::MAX } else { avail_ffs / unit.ffs };
+        let by_bram = if unit.bram36 == 0 { u64::MAX } else { avail_bram / unit.bram36 };
+        by_lut.min(by_ff).min(by_bram)
+    }
+}
+
+/// Per-node LUT cost model.
+fn node_luts(netlist: &Netlist, node: &Node) -> u64 {
+    match node {
+        Node::Const { .. } | Node::Input(_) | Node::RegOut(_) | Node::BramRdData(_) => 0,
+        Node::Slice { .. } | Node::Concat { .. } => 0, // pure wiring
+        Node::Unary(op, a) => {
+            let w = netlist.width(*a) as u64;
+            match op {
+                UnaryOp::Not => 0, // absorbed into downstream LUTs
+                UnaryOp::ReduceOr | UnaryOp::ReduceAnd => w.div_ceil(6),
+            }
+        }
+        Node::Binary(op, a, b) => {
+            let w = netlist.width(*a).max(netlist.width(*b)) as u64;
+            match op {
+                BinOp::Add | BinOp::Sub => w, // carry chain, 1 LUT/bit
+                BinOp::Mul => (w * w) / 4,    // LUT-based multiplier estimate
+                BinOp::And | BinOp::Or | BinOp::Xor => w.div_ceil(2),
+                // Dynamic shift: log2(w) mux levels of w bits.
+                BinOp::Shl | BinOp::Shr => {
+                    let stages = 64 - (w.max(1)).leading_zeros() as u64;
+                    (w * stages).div_ceil(2)
+                }
+                BinOp::Eq | BinOp::Ne => w.div_ceil(3) + 1,
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => w, // borrow chain
+            }
+        }
+        Node::Mux { on_true, on_false, .. } => {
+            let w = netlist.width(*on_true).max(netlist.width(*on_false)) as u64;
+            w.div_ceil(2)
+        }
+    }
+}
+
+/// Estimates the area of a netlist.
+pub fn estimate(netlist: &Netlist) -> Area {
+    let luts: u64 = netlist.nodes.iter().map(|n| node_luts(netlist, n)).sum();
+    let ffs: u64 = netlist.regs.iter().map(|r| r.width as u64).sum::<u64>()
+        + netlist
+            .brams
+            .iter()
+            .map(|b| b.data_width as u64) // rd_data register
+            .sum::<u64>();
+    let bram36: u64 = netlist
+        .brams
+        .iter()
+        .map(|b| {
+            let bits = (b.data_width as u64) << b.addr_width;
+            // A 36Kb BRAM is 36864 bits; shallow/narrow shapes still
+            // consume a whole block, and depth beyond 32K rows needs
+            // cascading regardless of width.
+            let by_bits = bits.div_ceil(36_864);
+            let by_depth = (1u64 << b.addr_width).div_ceil(32_768);
+            by_bits.max(by_depth).max(1)
+        })
+        .sum();
+    Area { luts, ffs, bram36 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn counter_area_is_small() {
+        let mut n = Netlist::new("counter");
+        let (rid, rout) = n.reg("count", 8, 0);
+        let one = n.constant(1, 8);
+        let next = n.binary(BinOp::Add, rout, one);
+        n.set_reg_next(rid, next);
+        n.output("v", rout);
+        let a = estimate(&n);
+        assert_eq!(a.ffs, 8);
+        assert_eq!(a.luts, 8); // 8-bit adder
+        assert_eq!(a.bram36, 0);
+    }
+
+    #[test]
+    fn bram_rounding() {
+        let mut n = Netlist::new("b");
+        let a0 = n.constant(0, 10);
+        let we = n.constant(0, 1);
+        let wd = n.constant(0, 32);
+        let (bid, rd) = n.bram("m", 32, 10); // 32 Kb -> 1 BRAM36
+        n.set_bram_ports(bid, a0, we, a0, wd);
+        n.output("rd", rd);
+        let a = estimate(&n);
+        assert_eq!(a.bram36, 1);
+    }
+
+    #[test]
+    fn device_fit_accounts_for_overhead() {
+        let dev = Device::f1_vu9p();
+        let unit = Area { luts: 1000, ffs: 500, bram36: 2 };
+        let overhead = Area { luts: 100_000, ffs: 50_000, bram36: 100 };
+        let n = dev.fit(unit, overhead);
+        assert!(n > 100 && n < 1000, "fit count {n} out of expected range");
+    }
+
+    #[test]
+    fn area_scale_and_add() {
+        let a = Area { luts: 10, ffs: 20, bram36: 1 };
+        let b = a.scale(3).add(a);
+        assert_eq!(b, Area { luts: 40, ffs: 80, bram36: 4 });
+    }
+}

@@ -1,0 +1,418 @@
+//! The RTL netlist IR.
+//!
+//! A [`Netlist`] is a synthesizable-level description of one module:
+//! input/output ports, an SSA DAG of combinational nodes, clocked
+//! registers, and BRAM primitives (one read port, one write port, one
+//! cycle of read latency, read-first on same-address collisions — the
+//! semantics of FPGA technology BRAMs cited by the paper).
+//!
+//! Node operands always refer to earlier node ids, so a single in-order
+//! pass evaluates all combinational logic; combinational cycles are
+//! unrepresentable by construction.
+
+use fleet_lang::{BinOp, UnaryOp, Width};
+
+/// Id of a combinational node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Position in the node table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Id of an input port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortId(pub(crate) u32);
+
+impl PortId {
+    /// Position in the input-port table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Id of a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RtlRegId(pub(crate) u32);
+
+impl RtlRegId {
+    /// Position in the register table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Id of a BRAM primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RtlBramId(pub(crate) u32);
+
+impl RtlBramId {
+    /// Position in the BRAM table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A combinational node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Constant value.
+    Const {
+        /// The value (already masked to `width`).
+        value: u64,
+        /// Bit width.
+        width: Width,
+    },
+    /// Value of an input port.
+    Input(PortId),
+    /// Current output value of a register.
+    RegOut(RtlRegId),
+    /// Registered read-data output of a BRAM.
+    BramRdData(RtlBramId),
+    /// Unary operation.
+    Unary(UnaryOp, NodeId),
+    /// Binary operation (fleet-lang width rules).
+    Binary(BinOp, NodeId, NodeId),
+    /// 2-way multiplexer.
+    Mux {
+        /// Select (nonzero = `on_true`).
+        cond: NodeId,
+        /// Value when selected.
+        on_true: NodeId,
+        /// Value otherwise.
+        on_false: NodeId,
+    },
+    /// Inclusive bit slice.
+    Slice {
+        /// Operand.
+        arg: NodeId,
+        /// High bit.
+        hi: u16,
+        /// Low bit.
+        lo: u16,
+    },
+    /// Concatenation, `hi` in the upper bits.
+    Concat {
+        /// Upper part.
+        hi: NodeId,
+        /// Lower part.
+        lo: NodeId,
+    },
+}
+
+/// An input port.
+#[derive(Debug, Clone)]
+pub struct Port {
+    /// Port name in generated RTL.
+    pub name: String,
+    /// Bit width.
+    pub width: Width,
+}
+
+/// An output port: a named combinational node.
+#[derive(Debug, Clone)]
+pub struct OutputPort {
+    /// Port name in generated RTL.
+    pub name: String,
+    /// Driving node.
+    pub node: NodeId,
+}
+
+/// A clocked register.
+#[derive(Debug, Clone)]
+pub struct RtlReg {
+    /// Register name.
+    pub name: String,
+    /// Bit width.
+    pub width: Width,
+    /// Reset value.
+    pub init: u64,
+    /// Next-value node; set via [`Netlist::set_reg_next`]. Registers with
+    /// no next node hold their value forever.
+    pub next: Option<NodeId>,
+}
+
+/// A BRAM primitive (1R1W, one-cycle read latency, read-first).
+#[derive(Debug, Clone)]
+pub struct RtlBram {
+    /// BRAM name.
+    pub name: String,
+    /// Element width.
+    pub data_width: Width,
+    /// Address width (depth = `1 << addr_width`).
+    pub addr_width: Width,
+    /// Read-address node.
+    pub rd_addr: Option<NodeId>,
+    /// Write-enable node (1 bit).
+    pub wr_en: Option<NodeId>,
+    /// Write-address node.
+    pub wr_addr: Option<NodeId>,
+    /// Write-data node.
+    pub wr_data: Option<NodeId>,
+}
+
+/// An RTL module under construction or complete.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    /// Module name.
+    pub name: String,
+    /// Input ports.
+    pub inputs: Vec<Port>,
+    /// Output ports.
+    pub outputs: Vec<OutputPort>,
+    /// Combinational nodes in evaluation order.
+    pub nodes: Vec<Node>,
+    node_widths: Vec<Width>,
+    /// Registers.
+    pub regs: Vec<RtlReg>,
+    /// BRAMs.
+    pub brams: Vec<RtlBram>,
+}
+
+impl Netlist {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Netlist {
+        Netlist { name: name.into(), ..Netlist::default() }
+    }
+
+    /// Width of a node's value.
+    pub fn width(&self, n: NodeId) -> Width {
+        self.node_widths[n.index()]
+    }
+
+    fn push(&mut self, node: Node, width: Width) -> NodeId {
+        debug_assert!((1..=64).contains(&width), "node width out of range: {width}");
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.node_widths.push(width);
+        id
+    }
+
+    /// Adds an input port and returns its value node.
+    pub fn input(&mut self, name: impl Into<String>, width: Width) -> NodeId {
+        let pid = PortId(self.inputs.len() as u32);
+        self.inputs.push(Port { name: name.into(), width });
+        self.push(Node::Input(pid), width)
+    }
+
+    /// Declares an output port driven by `node`.
+    pub fn output(&mut self, name: impl Into<String>, node: NodeId) {
+        self.outputs.push(OutputPort { name: name.into(), node });
+    }
+
+    /// Adds a constant node.
+    pub fn constant(&mut self, value: u64, width: Width) -> NodeId {
+        let masked = fleet_lang::mask(value, width);
+        self.push(Node::Const { value: masked, width }, width)
+    }
+
+    /// Declares a register; returns its id and current-value node.
+    pub fn reg(&mut self, name: impl Into<String>, width: Width, init: u64) -> (RtlRegId, NodeId) {
+        let rid = RtlRegId(self.regs.len() as u32);
+        self.regs.push(RtlReg { name: name.into(), width, init, next: None });
+        let out = self.push(Node::RegOut(rid), width);
+        (rid, out)
+    }
+
+    /// Connects a register's next-value input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already connected.
+    pub fn set_reg_next(&mut self, reg: RtlRegId, next: NodeId) {
+        let r = &mut self.regs[reg.index()];
+        assert!(r.next.is_none(), "register {} next already connected", r.name);
+        r.next = Some(next);
+    }
+
+    /// Declares a BRAM; returns its id and read-data node.
+    pub fn bram(
+        &mut self,
+        name: impl Into<String>,
+        data_width: Width,
+        addr_width: Width,
+    ) -> (RtlBramId, NodeId) {
+        let bid = RtlBramId(self.brams.len() as u32);
+        self.brams.push(RtlBram {
+            name: name.into(),
+            data_width,
+            addr_width,
+            rd_addr: None,
+            wr_en: None,
+            wr_addr: None,
+            wr_data: None,
+        });
+        let rd = self.push(Node::BramRdData(bid), data_width);
+        (bid, rd)
+    }
+
+    /// Connects a BRAM's port nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already connected.
+    pub fn set_bram_ports(
+        &mut self,
+        bram: RtlBramId,
+        rd_addr: NodeId,
+        wr_en: NodeId,
+        wr_addr: NodeId,
+        wr_data: NodeId,
+    ) {
+        let b = &mut self.brams[bram.index()];
+        assert!(b.rd_addr.is_none(), "BRAM {} ports already connected", b.name);
+        b.rd_addr = Some(rd_addr);
+        b.wr_en = Some(wr_en);
+        b.wr_addr = Some(wr_addr);
+        b.wr_data = Some(wr_data);
+    }
+
+    /// Adds a unary-op node.
+    pub fn unary(&mut self, op: UnaryOp, a: NodeId) -> NodeId {
+        let w = match op {
+            UnaryOp::Not => self.width(a),
+            UnaryOp::ReduceOr | UnaryOp::ReduceAnd => 1,
+        };
+        self.push(Node::Unary(op, a), w)
+    }
+
+    /// Adds a binary-op node (fleet-lang width rules).
+    pub fn binary(&mut self, op: BinOp, a: NodeId, b: NodeId) -> NodeId {
+        let w = if op.is_comparison() {
+            1
+        } else if matches!(op, BinOp::Shl | BinOp::Shr) {
+            self.width(a)
+        } else {
+            self.width(a).max(self.width(b))
+        };
+        self.push(Node::Binary(op, a, b), w)
+    }
+
+    /// Adds a 2-way mux node.
+    pub fn mux(&mut self, cond: NodeId, on_true: NodeId, on_false: NodeId) -> NodeId {
+        let w = self.width(on_true).max(self.width(on_false));
+        self.push(Node::Mux { cond, on_true, on_false }, w)
+    }
+
+    /// Adds a slice node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice exceeds the operand width.
+    pub fn slice(&mut self, arg: NodeId, hi: u16, lo: u16) -> NodeId {
+        assert!(hi >= lo && hi < self.width(arg), "slice [{hi}:{lo}] out of range");
+        self.push(Node::Slice { arg, hi, lo }, hi - lo + 1)
+    }
+
+    /// Adds a concatenation node.
+    pub fn concat(&mut self, hi: NodeId, lo: NodeId) -> NodeId {
+        let w = self.width(hi) + self.width(lo);
+        assert!(w <= 64, "concatenation wider than 64 bits");
+        self.push(Node::Concat { hi, lo }, w)
+    }
+
+    /// Boolean NOT helper (1-bit).
+    pub fn not_b(&mut self, a: NodeId) -> NodeId {
+        let reduced = self.unary(UnaryOp::ReduceOr, a);
+        let zero = self.constant(0, 1);
+        self.binary(BinOp::Eq, reduced, zero)
+    }
+
+    /// Boolean AND helper (1-bit).
+    pub fn and_b(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let ar = self.unary(UnaryOp::ReduceOr, a);
+        let br = self.unary(UnaryOp::ReduceOr, b);
+        self.binary(BinOp::And, ar, br)
+    }
+
+    /// Boolean OR helper (1-bit).
+    pub fn or_b(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let ar = self.unary(UnaryOp::ReduceOr, a);
+        let br = self.unary(UnaryOp::ReduceOr, b);
+        self.binary(BinOp::Or, ar, br)
+    }
+
+    /// Checks that the netlist is fully connected: every register has a
+    /// next node and every BRAM has its ports bound, and all node
+    /// references are in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first defect.
+    pub fn check(&self) -> Result<(), String> {
+        for r in &self.regs {
+            if r.next.is_none() {
+                return Err(format!("register {} has no next-value driver", r.name));
+            }
+        }
+        for b in &self.brams {
+            if b.rd_addr.is_none() {
+                return Err(format!("BRAM {} has unbound ports", b.name));
+            }
+        }
+        for o in &self.outputs {
+            if o.node.index() >= self.nodes.len() {
+                return Err(format!("output {} references missing node", o.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of combinational nodes (used in reports).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_counter() {
+        let mut n = Netlist::new("counter");
+        let (rid, rout) = n.reg("count", 8, 0);
+        let one = n.constant(1, 8);
+        let next = n.binary(BinOp::Add, rout, one);
+        n.set_reg_next(rid, next);
+        n.output("value", rout);
+        assert!(n.check().is_ok());
+        assert_eq!(n.width(next), 8);
+    }
+
+    #[test]
+    fn unconnected_reg_fails_check() {
+        let mut n = Netlist::new("bad");
+        let (_, rout) = n.reg("r", 4, 0);
+        n.output("v", rout);
+        assert!(n.check().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_slice_panics() {
+        let mut n = Netlist::new("s");
+        let c = n.constant(1, 4);
+        n.slice(c, 4, 0);
+    }
+
+    #[test]
+    fn width_rules_match_language() {
+        let mut n = Netlist::new("w");
+        let a = n.constant(1, 8);
+        let b = n.constant(1, 16);
+        let add = n.binary(BinOp::Add, a, b);
+        let lt = n.binary(BinOp::Lt, a, b);
+        let shl = n.binary(BinOp::Shl, a, b);
+        let cat = n.concat(a, b);
+        let mx = n.mux(a, a, b);
+        assert_eq!(n.width(add), 16);
+        assert_eq!(n.width(lt), 1);
+        assert_eq!(n.width(shl), 8);
+        assert_eq!(n.width(cat), 24);
+        assert_eq!(n.width(mx), 16);
+    }
+}

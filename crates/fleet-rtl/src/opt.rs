@@ -1,0 +1,522 @@
+//! Netlist optimization: constant folding and dead-node elimination.
+//!
+//! The Fleet compiler's direct lowering leaves easy wins on the table —
+//! guard conjunctions with constant-true terms, muxes with constant
+//! selects, reductions of 1-bit values. Vendor synthesis tools would
+//! clean these up on a real FPGA ("we rely on the underlying RTL
+//! compiler to perform common subexpression elimination and logic
+//! minimization for us", §4); this pass plays that role for the area
+//! model so estimates track what synthesis would actually produce.
+
+use std::collections::HashMap;
+
+use fleet_lang::{mask, BinOp, UnaryOp};
+
+use crate::netlist::{Netlist, Node, NodeId};
+
+/// Statistics of one optimization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Nodes before optimization.
+    pub nodes_before: usize,
+    /// Nodes after optimization.
+    pub nodes_after: usize,
+    /// Nodes folded to constants.
+    pub folded: usize,
+}
+
+/// Returns an optimized copy of the netlist plus statistics.
+///
+/// Semantics are preserved exactly: every register next-value, BRAM port,
+/// and output port computes the same function of state and inputs.
+pub fn optimize(netlist: &Netlist) -> (Netlist, OptStats) {
+    let mut out = Netlist::new(&netlist.name);
+    // Rebuild ports and state elements 1:1.
+    let mut port_map = Vec::new();
+    for p in &netlist.inputs {
+        port_map.push(out.input(&p.name, p.width));
+    }
+    let mut reg_map = Vec::new();
+    let mut reg_out_map = Vec::new();
+    for r in &netlist.regs {
+        let (id, o) = out.reg(&r.name, r.width, r.init);
+        reg_map.push(id);
+        reg_out_map.push(o);
+    }
+    let mut bram_map = Vec::new();
+    let mut bram_rd_map = Vec::new();
+    for b in &netlist.brams {
+        let (id, rd) = out.bram(&b.name, b.data_width, b.addr_width);
+        bram_map.push(id);
+        bram_rd_map.push(rd);
+    }
+
+    // Fold nodes in order; `value` holds known constants.
+    let mut node_map: Vec<NodeId> = Vec::with_capacity(netlist.nodes.len());
+    let mut constants: HashMap<NodeId, u64> = HashMap::new();
+    // Hash-cons: structural key -> new node (CSE).
+    let mut cse: HashMap<String, NodeId> = HashMap::new();
+    let mut folded = 0usize;
+
+    let intern = |out: &mut Netlist,
+                      cse: &mut HashMap<String, NodeId>,
+                      key: String,
+                      build: &mut dyn FnMut(&mut Netlist) -> NodeId| {
+        if let Some(&n) = cse.get(&key) {
+            n
+        } else {
+            let n = build(out);
+            cse.insert(key, n);
+            n
+        }
+    };
+
+    for (idx, node) in netlist.nodes.iter().enumerate() {
+        let old_id = NodeId(idx as u32);
+        let width = netlist.width(old_id);
+        let mapped = match node {
+            Node::Const { value, width } => {
+                let (v, w) = (*value, *width);
+                let n = intern(&mut out, &mut cse, format!("c{v}_{w}"), &mut |o| {
+                    o.constant(v, w)
+                });
+                constants.insert(old_id, v);
+                n
+            }
+            Node::Input(p) => port_map[p.index()],
+            Node::RegOut(r) => reg_out_map[r.index()],
+            Node::BramRdData(b) => bram_rd_map[b.index()],
+            Node::Unary(op, a) => {
+                let an = node_map[a.index()];
+                if let Some(&av) = constants.get(a) {
+                    let aw = netlist.width(*a);
+                    let v = mask(
+                        match op {
+                            UnaryOp::Not => !av,
+                            UnaryOp::ReduceOr => (av != 0) as u64,
+                            UnaryOp::ReduceAnd => (av == mask(u64::MAX, aw)) as u64,
+                        },
+                        width,
+                    );
+                    folded += 1;
+                    constants.insert(old_id, v);
+                    intern(&mut out, &mut cse, format!("c{v}_{width}"), &mut |o| {
+                        o.constant(v, width)
+                    })
+                } else if matches!(op, UnaryOp::ReduceOr | UnaryOp::ReduceAnd)
+                    && netlist.width(*a) == 1
+                {
+                    // Reduction of a single bit is the identity.
+                    folded += 1;
+                    an
+                } else {
+                    let op = *op;
+                    intern(&mut out, &mut cse, format!("u{op:?}_{}", an.index()), &mut |o| {
+                        o.unary(op, an)
+                    })
+                }
+            }
+            Node::Binary(op, a, b) => {
+                let an = node_map[a.index()];
+                let bn = node_map[b.index()];
+                let ca = constants.get(a).copied();
+                let cb = constants.get(b).copied();
+                if let (Some(x), Some(y)) = (ca, cb) {
+                    let v = mask(eval_bin(*op, x, y), width);
+                    folded += 1;
+                    constants.insert(old_id, v);
+                    intern(&mut out, &mut cse, format!("c{v}_{width}"), &mut |o| {
+                        o.constant(v, width)
+                    })
+                } else if let Some(simplified) =
+                    simplify_bin(*op, an, bn, ca, cb, netlist.width(*a), netlist.width(*b))
+                {
+                    folded += 1;
+                    simplified
+                } else {
+                    let op = *op;
+                    intern(
+                        &mut out,
+                        &mut cse,
+                        format!("b{op:?}_{}_{}", an.index(), bn.index()),
+                        &mut |o| o.binary(op, an, bn),
+                    )
+                }
+            }
+            Node::Mux { cond, on_true, on_false } => {
+                let cn = node_map[cond.index()];
+                let tn = node_map[on_true.index()];
+                let fn_ = node_map[on_false.index()];
+                if let Some(&cv) = constants.get(cond) {
+                    folded += 1;
+                    let chosen = if cv != 0 { tn } else { fn_ };
+                    // Width may differ from the mux width; re-extend.
+                    resize(&mut out, chosen, width)
+                } else if tn == fn_ {
+                    folded += 1;
+                    resize(&mut out, tn, width)
+                } else {
+                    intern(
+                        &mut out,
+                        &mut cse,
+                        format!("m{}_{}_{}", cn.index(), tn.index(), fn_.index()),
+                        &mut |o| o.mux(cn, tn, fn_),
+                    )
+                }
+            }
+            Node::Slice { arg, hi, lo } => {
+                let an = node_map[arg.index()];
+                if let Some(&av) = constants.get(arg) {
+                    let v = mask(av >> lo, width);
+                    folded += 1;
+                    constants.insert(old_id, v);
+                    intern(&mut out, &mut cse, format!("c{v}_{width}"), &mut |o| {
+                        o.constant(v, width)
+                    })
+                } else if *lo == 0 && *hi + 1 == out.width(an) {
+                    // Full-width slice is the identity.
+                    folded += 1;
+                    an
+                } else {
+                    let (hi, lo) = (*hi, *lo);
+                    intern(
+                        &mut out,
+                        &mut cse,
+                        format!("s{}_{}_{}", an.index(), hi, lo),
+                        &mut |o| o.slice(an, hi, lo),
+                    )
+                }
+            }
+            Node::Concat { hi, lo } => {
+                let hn = node_map[hi.index()];
+                let ln = node_map[lo.index()];
+                if let (Some(&hv), Some(&lv)) = (constants.get(hi), constants.get(lo)) {
+                    let v = mask((hv << netlist.width(*lo)) | lv, width);
+                    folded += 1;
+                    constants.insert(old_id, v);
+                    intern(&mut out, &mut cse, format!("c{v}_{width}"), &mut |o| {
+                        o.constant(v, width)
+                    })
+                } else {
+                    intern(
+                        &mut out,
+                        &mut cse,
+                        format!("k{}_{}", hn.index(), ln.index()),
+                        &mut |o| o.concat(hn, ln),
+                    )
+                }
+            }
+        };
+        node_map.push(mapped);
+    }
+
+    // Reconnect state and outputs.
+    for (i, r) in netlist.regs.iter().enumerate() {
+        let next = r.next.expect("optimize requires a checked netlist");
+        out.set_reg_next(reg_map[i], node_map[next.index()]);
+    }
+    for (i, b) in netlist.brams.iter().enumerate() {
+        out.set_bram_ports(
+            bram_map[i],
+            node_map[b.rd_addr.expect("checked").index()],
+            node_map[b.wr_en.expect("checked").index()],
+            node_map[b.wr_addr.expect("checked").index()],
+            node_map[b.wr_data.expect("checked").index()],
+        );
+    }
+    for o in &netlist.outputs {
+        out.output(&o.name, node_map[o.node.index()]);
+    }
+
+    // Dead-node elimination: rebuild keeping only reachable nodes.
+    let out = sweep(&out);
+    let stats = OptStats {
+        nodes_before: netlist.node_count(),
+        nodes_after: out.node_count(),
+        folded,
+    };
+    (out, stats)
+}
+
+fn resize(out: &mut Netlist, n: NodeId, w: u16) -> NodeId {
+    let cur = out.width(n);
+    if cur == w {
+        n
+    } else if cur > w {
+        out.slice(n, w - 1, 0)
+    } else {
+        let z = out.constant(0, w - cur);
+        out.concat(z, n)
+    }
+}
+
+fn eval_bin(op: BinOp, x: u64, y: u64) -> u64 {
+    match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => {
+            if y >= 64 {
+                0
+            } else {
+                x << y
+            }
+        }
+        BinOp::Shr => {
+            if y >= 64 {
+                0
+            } else {
+                x >> y
+            }
+        }
+        BinOp::Eq => (x == y) as u64,
+        BinOp::Ne => (x != y) as u64,
+        BinOp::Lt => (x < y) as u64,
+        BinOp::Le => (x <= y) as u64,
+        BinOp::Gt => (x > y) as u64,
+        BinOp::Ge => (x >= y) as u64,
+    }
+}
+
+/// Identity/annihilator simplifications when one operand is constant.
+fn simplify_bin(
+    op: BinOp,
+    an: NodeId,
+    bn: NodeId,
+    ca: Option<u64>,
+    cb: Option<u64>,
+    wa: u16,
+    wb: u16,
+) -> Option<NodeId> {
+    // Only apply when the result width equals the surviving operand's
+    // width (otherwise a resize would be needed; skip for simplicity).
+    let wr = wa.max(wb);
+    match op {
+        BinOp::And => {
+            if ca == Some(0) || cb == Some(0) {
+                None // would need a constant-0 node of result width; let folding handle equal-width cases
+            } else if cb == Some(mask(u64::MAX, wb)) && wa == wr {
+                Some(an)
+            } else if ca == Some(mask(u64::MAX, wa)) && wb == wr {
+                Some(bn)
+            } else {
+                None
+            }
+        }
+        BinOp::Or | BinOp::Xor | BinOp::Add => {
+            if cb == Some(0) && wa == wr {
+                Some(an)
+            } else if ca == Some(0) && wb == wr && matches!(op, BinOp::Or | BinOp::Xor | BinOp::Add) {
+                Some(bn)
+            } else {
+                None
+            }
+        }
+        BinOp::Sub | BinOp::Shl | BinOp::Shr => {
+            if cb == Some(0) && wa == wr {
+                Some(an)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Rebuilds keeping only nodes reachable from outputs, register
+/// next-values, and BRAM ports.
+fn sweep(netlist: &Netlist) -> Netlist {
+    let mut live = vec![false; netlist.nodes.len()];
+    let mut stack: Vec<NodeId> = Vec::new();
+    for o in &netlist.outputs {
+        stack.push(o.node);
+    }
+    for r in &netlist.regs {
+        stack.push(r.next.expect("connected"));
+    }
+    for b in &netlist.brams {
+        stack.extend([
+            b.rd_addr.expect("connected"),
+            b.wr_en.expect("connected"),
+            b.wr_addr.expect("connected"),
+            b.wr_data.expect("connected"),
+        ]);
+    }
+    while let Some(n) = stack.pop() {
+        if live[n.index()] {
+            continue;
+        }
+        live[n.index()] = true;
+        match &netlist.nodes[n.index()] {
+            Node::Const { .. } | Node::Input(_) | Node::RegOut(_) | Node::BramRdData(_) => {}
+            Node::Unary(_, a) => stack.push(*a),
+            Node::Binary(_, a, b) => stack.extend([*a, *b]),
+            Node::Mux { cond, on_true, on_false } => stack.extend([*cond, *on_true, *on_false]),
+            Node::Slice { arg, .. } => stack.push(*arg),
+            Node::Concat { hi, lo } => stack.extend([*hi, *lo]),
+        }
+    }
+
+    let mut out = Netlist::new(&netlist.name);
+    let mut port_map = Vec::new();
+    for p in &netlist.inputs {
+        port_map.push(out.input(&p.name, p.width));
+    }
+    let mut reg_map = Vec::new();
+    let mut reg_out_map = Vec::new();
+    for r in &netlist.regs {
+        let (id, o) = out.reg(&r.name, r.width, r.init);
+        reg_map.push(id);
+        reg_out_map.push(o);
+    }
+    let mut bram_map = Vec::new();
+    let mut bram_rd_map = Vec::new();
+    for b in &netlist.brams {
+        let (id, rd) = out.bram(&b.name, b.data_width, b.addr_width);
+        bram_map.push(id);
+        bram_rd_map.push(rd);
+    }
+    let mut node_map: Vec<Option<NodeId>> = vec![None; netlist.nodes.len()];
+    for (idx, node) in netlist.nodes.iter().enumerate() {
+        if !live[idx] {
+            continue;
+        }
+        let m = |n: NodeId, map: &[Option<NodeId>]| map[n.index()].expect("live child mapped");
+        let new = match node {
+            Node::Const { value, width } => out.constant(*value, *width),
+            Node::Input(p) => port_map[p.index()],
+            Node::RegOut(r) => reg_out_map[r.index()],
+            Node::BramRdData(b) => bram_rd_map[b.index()],
+            Node::Unary(op, a) => {
+                let a = m(*a, &node_map);
+                out.unary(*op, a)
+            }
+            Node::Binary(op, a, b) => {
+                let (a, b) = (m(*a, &node_map), m(*b, &node_map));
+                out.binary(*op, a, b)
+            }
+            Node::Mux { cond, on_true, on_false } => {
+                let (c, t, f) =
+                    (m(*cond, &node_map), m(*on_true, &node_map), m(*on_false, &node_map));
+                out.mux(c, t, f)
+            }
+            Node::Slice { arg, hi, lo } => {
+                let a = m(*arg, &node_map);
+                out.slice(a, *hi, *lo)
+            }
+            Node::Concat { hi, lo } => {
+                let (h, l) = (m(*hi, &node_map), m(*lo, &node_map));
+                out.concat(h, l)
+            }
+        };
+        node_map[idx] = Some(new);
+    }
+    for (i, r) in netlist.regs.iter().enumerate() {
+        out.set_reg_next(reg_map[i], node_map[r.next.expect("connected").index()].expect("live"));
+    }
+    for (i, b) in netlist.brams.iter().enumerate() {
+        out.set_bram_ports(
+            bram_map[i],
+            node_map[b.rd_addr.expect("connected").index()].expect("live"),
+            node_map[b.wr_en.expect("connected").index()].expect("live"),
+            node_map[b.wr_addr.expect("connected").index()].expect("live"),
+            node_map[b.wr_data.expect("connected").index()].expect("live"),
+        );
+    }
+    for o in &netlist.outputs {
+        out.output(&o.name, node_map[o.node.index()].expect("live"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::NetSim;
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut n = Netlist::new("t");
+        let a = n.constant(3, 8);
+        let b = n.constant(4, 8);
+        let sum = n.binary(BinOp::Add, a, b);
+        n.output("v", sum);
+        let (opt, stats) = optimize(&n);
+        assert!(stats.folded >= 1);
+        let mut sim = NetSim::new(opt);
+        sim.comb();
+        assert_eq!(sim.output("v"), 7);
+    }
+
+    #[test]
+    fn removes_dead_logic() {
+        let mut n = Netlist::new("t");
+        let x = n.input("x", 8);
+        let y = n.input("y", 8);
+        let _dead = n.binary(BinOp::Mul, x, y); // never used
+        let live = n.binary(BinOp::Add, x, y);
+        n.output("v", live);
+        let (opt, stats) = optimize(&n);
+        assert!(stats.nodes_after < stats.nodes_before);
+        let mut sim = NetSim::new(opt);
+        sim.set_input("x", 10);
+        sim.set_input("y", 5);
+        sim.comb();
+        assert_eq!(sim.output("v"), 15);
+    }
+
+    #[test]
+    fn cse_merges_duplicate_nodes() {
+        let mut n = Netlist::new("t");
+        let x = n.input("x", 8);
+        let y = n.input("y", 8);
+        let s1 = n.binary(BinOp::Add, x, y);
+        let s2 = n.binary(BinOp::Add, x, y);
+        let both = n.binary(BinOp::Xor, s1, s2);
+        n.output("v", both);
+        let (opt, _) = optimize(&n);
+        // x ^ x folds away only if CSE merged the adds; at minimum the
+        // duplicate add is gone.
+        let adds = opt
+            .nodes
+            .iter()
+            .filter(|nd| matches!(nd, Node::Binary(BinOp::Add, _, _)))
+            .count();
+        assert!(adds <= 1, "duplicate add should be merged, found {adds}");
+        let mut sim = NetSim::new(opt);
+        sim.set_input("x", 9);
+        sim.set_input("y", 1);
+        sim.comb();
+        assert_eq!(sim.output("v"), 0);
+    }
+
+    #[test]
+    fn preserves_sequential_behaviour() {
+        // Counter with a folded-away `+0` and constant-true enable.
+        let mut n = Netlist::new("t");
+        let (rid, rout) = n.reg("count", 8, 0);
+        let one = n.constant(1, 8);
+        let zero = n.constant(0, 8);
+        let inc = n.binary(BinOp::Add, rout, one);
+        let inc2 = n.binary(BinOp::Add, inc, zero); // identity
+        let t = n.constant(1, 1);
+        let next = n.mux(t, inc2, rout); // constant select
+        n.set_reg_next(rid, next);
+        n.output("v", rout);
+
+        let (opt, stats) = optimize(&n);
+        assert!(stats.folded >= 2);
+        let mut a = NetSim::new(n);
+        let mut b = NetSim::new(opt);
+        for _ in 0..300 {
+            a.comb();
+            b.comb();
+            assert_eq!(a.output("v"), b.output("v"));
+            a.clock();
+            b.clock();
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Cycle-accurate netlist simulation.
+//!
+//! [`NetSim`] evaluates a [`Netlist`] one clock cycle at a time: set the
+//! input ports, call [`NetSim::comb`] to settle combinational logic, read
+//! outputs, then [`NetSim::clock`] to advance registers and BRAMs.
+
+use fleet_lang::{mask, BinOp, UnaryOp};
+
+use crate::netlist::{Netlist, Node, NodeId};
+
+/// Simulator state for one netlist instance.
+#[derive(Debug, Clone)]
+pub struct NetSim {
+    netlist: Netlist,
+    input_vals: Vec<u64>,
+    node_vals: Vec<u64>,
+    reg_vals: Vec<u64>,
+    bram_mems: Vec<Vec<u64>>,
+    bram_rd_data: Vec<u64>,
+    cycles: u64,
+    comb_settled: bool,
+}
+
+impl NetSim {
+    /// Creates a simulator with reset state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist fails [`Netlist::check`].
+    pub fn new(netlist: Netlist) -> NetSim {
+        if let Err(e) = netlist.check() {
+            panic!("cannot simulate incomplete netlist: {e}");
+        }
+        let input_vals = vec![0u64; netlist.inputs.len()];
+        let node_vals = vec![0u64; netlist.nodes.len()];
+        let reg_vals = netlist.regs.iter().map(|r| mask(r.init, r.width)).collect();
+        let bram_mems = netlist
+            .brams
+            .iter()
+            .map(|b| vec![0u64; 1usize << b.addr_width])
+            .collect();
+        let bram_rd_data = vec![0u64; netlist.brams.len()];
+        NetSim {
+            netlist,
+            input_vals,
+            node_vals,
+            reg_vals,
+            bram_mems,
+            bram_rd_data,
+            cycles: 0,
+            comb_settled: false,
+        }
+    }
+
+    /// The simulated netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Cycles executed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Sets an input port value by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn set_input(&mut self, name: &str, value: u64) {
+        let idx = self
+            .netlist
+            .inputs
+            .iter()
+            .position(|p| p.name == name)
+            .unwrap_or_else(|| panic!("no input port named {name}"));
+        self.input_vals[idx] = mask(value, self.netlist.inputs[idx].width);
+        self.comb_settled = false;
+    }
+
+    /// Evaluates all combinational logic with current inputs and state.
+    pub fn comb(&mut self) {
+        for i in 0..self.netlist.nodes.len() {
+            let v = match &self.netlist.nodes[i] {
+                Node::Const { value, .. } => *value,
+                Node::Input(p) => self.input_vals[p.index()],
+                Node::RegOut(r) => self.reg_vals[r.index()],
+                Node::BramRdData(b) => self.bram_rd_data[b.index()],
+                Node::Unary(op, a) => {
+                    let av = self.node_vals[a.index()];
+                    let aw = self.netlist.width(*a);
+                    match op {
+                        UnaryOp::Not => !av,
+                        UnaryOp::ReduceOr => (av != 0) as u64,
+                        UnaryOp::ReduceAnd => (av == mask(u64::MAX, aw)) as u64,
+                    }
+                }
+                Node::Binary(op, a, b) => {
+                    let av = self.node_vals[a.index()];
+                    let bv = self.node_vals[b.index()];
+                    match op {
+                        BinOp::Add => av.wrapping_add(bv),
+                        BinOp::Sub => av.wrapping_sub(bv),
+                        BinOp::Mul => av.wrapping_mul(bv),
+                        BinOp::And => av & bv,
+                        BinOp::Or => av | bv,
+                        BinOp::Xor => av ^ bv,
+                        BinOp::Shl => {
+                            if bv >= 64 {
+                                0
+                            } else {
+                                av << bv
+                            }
+                        }
+                        BinOp::Shr => {
+                            if bv >= 64 {
+                                0
+                            } else {
+                                av >> bv
+                            }
+                        }
+                        BinOp::Eq => (av == bv) as u64,
+                        BinOp::Ne => (av != bv) as u64,
+                        BinOp::Lt => (av < bv) as u64,
+                        BinOp::Le => (av <= bv) as u64,
+                        BinOp::Gt => (av > bv) as u64,
+                        BinOp::Ge => (av >= bv) as u64,
+                    }
+                }
+                Node::Mux { cond, on_true, on_false } => {
+                    if self.node_vals[cond.index()] != 0 {
+                        self.node_vals[on_true.index()]
+                    } else {
+                        self.node_vals[on_false.index()]
+                    }
+                }
+                Node::Slice { arg, hi, lo } => {
+                    (self.node_vals[arg.index()] >> lo) & mask(u64::MAX, hi - lo + 1)
+                }
+                Node::Concat { hi, lo } => {
+                    let lw = self.netlist.width(*lo);
+                    (self.node_vals[hi.index()] << lw) | self.node_vals[lo.index()]
+                }
+            };
+            let w = self.netlist.width(NodeId(i as u32));
+            self.node_vals[i] = mask(v, w);
+        }
+        self.comb_settled = true;
+    }
+
+    /// Value of a combinational node (requires [`NetSim::comb`] first).
+    pub fn node_value(&self, n: NodeId) -> u64 {
+        debug_assert!(self.comb_settled, "read before comb()");
+        self.node_vals[n.index()]
+    }
+
+    /// Value of an output port by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn output(&self, name: &str) -> u64 {
+        debug_assert!(self.comb_settled, "read before comb()");
+        let o = self
+            .netlist
+            .outputs
+            .iter()
+            .find(|o| o.name == name)
+            .unwrap_or_else(|| panic!("no output port named {name}"));
+        self.node_vals[o.node.index()]
+    }
+
+    /// Advances one clock edge: registers take their next values; BRAMs
+    /// latch read data (read-first) and apply writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if called before [`NetSim::comb`].
+    pub fn clock(&mut self) {
+        debug_assert!(self.comb_settled, "clock before comb()");
+        // Registers.
+        let mut new_regs = Vec::with_capacity(self.reg_vals.len());
+        for (i, r) in self.netlist.regs.iter().enumerate() {
+            let next = r.next.expect("checked in new()");
+            let v = mask(self.node_vals[next.index()], r.width);
+            let _ = i;
+            new_regs.push(v);
+        }
+        self.reg_vals = new_regs;
+
+        // BRAMs: latch read data from *current* memory (read-first), then
+        // apply the write.
+        for (i, b) in self.netlist.brams.iter().enumerate() {
+            let rd_addr =
+                mask(self.node_vals[b.rd_addr.unwrap().index()], b.addr_width) as usize;
+            let rd = self.bram_mems[i][rd_addr];
+            let we = self.node_vals[b.wr_en.unwrap().index()] != 0;
+            if we {
+                let wa =
+                    mask(self.node_vals[b.wr_addr.unwrap().index()], b.addr_width) as usize;
+                let wd = mask(self.node_vals[b.wr_data.unwrap().index()], b.data_width);
+                self.bram_mems[i][wa] = wd;
+            }
+            self.bram_rd_data[i] = rd;
+        }
+
+        self.cycles += 1;
+        self.comb_settled = false;
+    }
+
+    /// Convenience: `comb()` then `clock()`.
+    pub fn step(&mut self) {
+        self.comb();
+        self.clock();
+    }
+
+    /// Direct access to a BRAM's memory contents (testing).
+    pub fn bram_contents(&self, index: usize) -> &[u64] {
+        &self.bram_mems[index]
+    }
+
+    /// Direct access to a register's current value (testing).
+    pub fn reg_value(&self, index: usize) -> u64 {
+        self.reg_vals[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn counter_counts() {
+        let mut n = Netlist::new("counter");
+        let (rid, rout) = n.reg("count", 8, 0);
+        let one = n.constant(1, 8);
+        let next = n.binary(BinOp::Add, rout, one);
+        n.set_reg_next(rid, next);
+        n.output("value", rout);
+        let mut sim = NetSim::new(n);
+        for expect in 0..300u64 {
+            sim.comb();
+            assert_eq!(sim.output("value"), expect % 256);
+            sim.clock();
+        }
+    }
+
+    #[test]
+    fn bram_read_latency_and_read_first() {
+        // Write port driven by inputs; read constantly at address 0.
+        let mut n = Netlist::new("bram_test");
+        let we = n.input("we", 1);
+        let wd = n.input("wd", 8);
+        let zero4 = n.constant(0, 4);
+        let (bid, rd) = n.bram("m", 8, 4);
+        n.set_bram_ports(bid, zero4, we, zero4, wd);
+        n.output("rd", rd);
+        let mut sim = NetSim::new(n);
+
+        // Cycle 0: write 55 to addr 0; read data next cycle must be the
+        // OLD value (0) because reads are read-first.
+        sim.set_input("we", 1);
+        sim.set_input("wd", 55);
+        sim.comb();
+        sim.clock();
+        sim.set_input("we", 0);
+        sim.comb();
+        assert_eq!(sim.output("rd"), 0); // old value latched
+        sim.clock();
+        sim.comb();
+        assert_eq!(sim.output("rd"), 55); // new value visible one cycle later
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut n = Netlist::new("mux");
+        let sel = n.input("sel", 1);
+        let a = n.constant(10, 8);
+        let b = n.constant(20, 8);
+        let m = n.mux(sel, a, b);
+        n.output("m", m);
+        let mut sim = NetSim::new(n);
+        sim.set_input("sel", 1);
+        sim.comb();
+        assert_eq!(sim.output("m"), 10);
+        sim.clock();
+        sim.set_input("sel", 0);
+        sim.comb();
+        assert_eq!(sim.output("m"), 20);
+    }
+}

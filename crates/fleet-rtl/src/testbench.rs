@@ -1,0 +1,193 @@
+//! Verilog testbench generation for compiled processing units.
+//!
+//! Emits a self-checking testbench around a unit with the §4 ready-valid
+//! interface: it streams tokens from a `$readmemh` file, asserts
+//! `input_finished` after the last handshake, collects emitted tokens,
+//! and writes them out with `$display` for diffing against the software
+//! simulator — the bridge a user would take from this repository's
+//! simulation flow to a real vendor-tool flow.
+
+use std::fmt::Write as _;
+
+use crate::netlist::Netlist;
+
+/// Options for testbench emission.
+#[derive(Debug, Clone)]
+pub struct TbOptions {
+    /// Hex file the testbench reads tokens from (one per line).
+    pub input_hex: String,
+    /// Maximum tokens the memory can hold.
+    pub max_tokens: usize,
+    /// Clock half-period in time units.
+    pub half_period: u32,
+    /// Cycle guard before `$fatal`.
+    pub max_cycles: u64,
+    /// Probability (percent) of deasserting `output_ready` each cycle,
+    /// to exercise stall handling; 0 for full-rate.
+    pub stall_percent: u8,
+}
+
+impl Default for TbOptions {
+    fn default() -> Self {
+        TbOptions {
+            input_hex: "input_tokens.hex".to_string(),
+            max_tokens: 1 << 16,
+            half_period: 5,
+            max_cycles: 10_000_000,
+            stall_percent: 0,
+        }
+    }
+}
+
+/// Emits a Verilog testbench for a compiled unit netlist.
+///
+/// The netlist must expose the §4 interface (`input_token`,
+/// `input_valid`, `input_finished`, `output_ready`, `input_ready`,
+/// `output_token`, `output_valid`, `output_finished`), which every
+/// netlist produced by `fleet_compiler::compile` does.
+///
+/// # Panics
+///
+/// Panics if the netlist lacks the expected ports.
+pub fn emit_testbench(netlist: &Netlist, opts: &TbOptions) -> String {
+    let in_w = netlist
+        .inputs
+        .iter()
+        .find(|p| p.name == "input_token")
+        .expect("netlist must have the §4 interface (input_token)")
+        .width;
+    let out_w = netlist
+        .outputs
+        .iter()
+        .find(|o| o.name == "output_token")
+        .map(|o| netlist.width(o.node))
+        .expect("netlist must have the §4 interface (output_token)");
+
+    let name = &netlist.name;
+    let mut s = String::new();
+    let _ = writeln!(s, "`timescale 1ns/1ps");
+    let _ = writeln!(s, "module {name}_tb;");
+    let _ = writeln!(s, "  reg clk = 0;");
+    let _ = writeln!(s, "  reg rst = 1;");
+    let _ = writeln!(s, "  reg [{}:0] input_token = 0;", in_w - 1);
+    let _ = writeln!(s, "  reg input_valid = 0;");
+    let _ = writeln!(s, "  reg input_finished = 0;");
+    let _ = writeln!(s, "  reg output_ready = 1;");
+    let _ = writeln!(s, "  wire input_ready;");
+    let _ = writeln!(s, "  wire [{}:0] output_token;", out_w - 1);
+    let _ = writeln!(s, "  wire output_valid;");
+    let _ = writeln!(s, "  wire output_finished;");
+    s.push('\n');
+    let _ = writeln!(s, "  {name} dut (");
+    let _ = writeln!(s, "    .clk(clk), .rst(rst),");
+    let _ = writeln!(s, "    .input_token(input_token), .input_valid(input_valid),");
+    let _ = writeln!(s, "    .input_finished(input_finished), .output_ready(output_ready),");
+    let _ = writeln!(s, "    .input_ready(input_ready), .output_token(output_token),");
+    let _ = writeln!(s, "    .output_valid(output_valid), .output_finished(output_finished)");
+    let _ = writeln!(s, "  );");
+    s.push('\n');
+    let _ = writeln!(s, "  always #{} clk = ~clk;", opts.half_period);
+    s.push('\n');
+    let _ = writeln!(s, "  reg [{}:0] tokens [0:{}];", in_w - 1, opts.max_tokens - 1);
+    let _ = writeln!(s, "  integer n_tokens;");
+    let _ = writeln!(s, "  integer pos = 0;");
+    let _ = writeln!(s, "  integer cycles = 0;");
+    let _ = writeln!(s, "  integer emitted = 0;");
+    s.push('\n');
+    let _ = writeln!(s, "  initial begin");
+    let _ = writeln!(s, "    $readmemh(\"{}\", tokens);", opts.input_hex);
+    let _ = writeln!(s, "    n_tokens = $fscanf(0, \"\", 0); // set below by plusarg");
+    let _ = writeln!(s, "    if (!$value$plusargs(\"ntokens=%d\", n_tokens))");
+    let _ = writeln!(s, "      n_tokens = {};", opts.max_tokens);
+    let _ = writeln!(s, "    repeat (2) @(posedge clk);");
+    let _ = writeln!(s, "    rst = 0;");
+    let _ = writeln!(s, "  end");
+    s.push('\n');
+    let _ = writeln!(s, "  // Drive the ready-valid input per the §4 protocol: the token");
+    let _ = writeln!(s, "  // bus carries zero when invalid, and input_finished rises the");
+    let _ = writeln!(s, "  // cycle after the final handshake.");
+    let _ = writeln!(s, "  always @(posedge clk) begin");
+    let _ = writeln!(s, "    if (!rst) begin");
+    let _ = writeln!(s, "      cycles = cycles + 1;");
+    if opts.stall_percent > 0 {
+        let _ = writeln!(
+            s,
+            "      output_ready <= ($urandom % 100) >= {};",
+            opts.stall_percent
+        );
+    }
+    let _ = writeln!(s, "      if (input_valid && input_ready) pos = pos + 1;");
+    let _ = writeln!(s, "      if (pos < n_tokens) begin");
+    let _ = writeln!(s, "        input_token <= tokens[pos];");
+    let _ = writeln!(s, "        input_valid <= 1;");
+    let _ = writeln!(s, "      end else begin");
+    let _ = writeln!(s, "        input_token <= 0;");
+    let _ = writeln!(s, "        input_valid <= 0;");
+    let _ = writeln!(s, "        input_finished <= 1;");
+    let _ = writeln!(s, "      end");
+    let _ = writeln!(s, "      if (output_valid && output_ready) begin");
+    let _ = writeln!(s, "        $display(\"EMIT %h\", output_token);");
+    let _ = writeln!(s, "        emitted = emitted + 1;");
+    let _ = writeln!(s, "      end");
+    let _ = writeln!(s, "      if (output_finished) begin");
+    let _ = writeln!(s, "        $display(\"DONE cycles=%0d emitted=%0d\", cycles, emitted);");
+    let _ = writeln!(s, "        $finish;");
+    let _ = writeln!(s, "      end");
+    let _ = writeln!(s, "      if (cycles > {}) begin", opts.max_cycles);
+    let _ = writeln!(s, "        $fatal(1, \"testbench cycle guard exceeded\");");
+    let _ = writeln!(s, "      end");
+    let _ = writeln!(s, "    end");
+    let _ = writeln!(s, "  end");
+    let _ = writeln!(s, "endmodule");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet_lang::BinOp;
+
+    fn unit_like_netlist() -> Netlist {
+        // Minimal netlist with the §4 port names.
+        let mut n = Netlist::new("Mini");
+        let tok = n.input("input_token", 8);
+        let valid = n.input("input_valid", 1);
+        let fin = n.input("input_finished", 1);
+        let _ready = n.input("output_ready", 1);
+        let one = n.constant(1, 1);
+        n.output("input_ready", one);
+        let dbl = n.binary(BinOp::Add, tok, tok);
+        n.output("output_token", dbl);
+        n.output("output_valid", valid);
+        n.output("output_finished", fin);
+        n
+    }
+
+    #[test]
+    fn testbench_has_protocol_landmarks() {
+        let tb = emit_testbench(&unit_like_netlist(), &TbOptions::default());
+        assert!(tb.contains("module Mini_tb;"));
+        assert!(tb.contains("$readmemh(\"input_tokens.hex\", tokens);"));
+        assert!(tb.contains("input_finished <= 1;"));
+        assert!(tb.contains("$display(\"EMIT %h\", output_token);"));
+        assert!(tb.contains("$finish;"));
+        // Protocol convention: zero on the bus when invalid.
+        assert!(tb.contains("input_token <= 0;"));
+    }
+
+    #[test]
+    fn stall_option_adds_randomized_ready() {
+        let opts = TbOptions { stall_percent: 30, ..TbOptions::default() };
+        let tb = emit_testbench(&unit_like_netlist(), &opts);
+        assert!(tb.contains("$urandom % 100) >= 30"));
+    }
+
+    #[test]
+    fn full_compiled_unit_gets_a_testbench() {
+        // The real interface comes from the compiler; replicate its port
+        // set with a tiny handwritten netlist and confirm widths flow
+        // through (8-bit in, 8-bit out here).
+        let tb = emit_testbench(&unit_like_netlist(), &TbOptions::default());
+        assert!(tb.contains("reg [7:0] input_token"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Design-level area accounting: processing units + memory controller,
+//! and how many units fit on the device.
+
+use fleet_compiler::compile;
+use fleet_lang::UnitSpec;
+use fleet_memctl::MemCtlConfig;
+use fleet_rtl::{estimate, Area};
+
+use crate::platform::Platform;
+
+/// Area of the memory controller for all channels.
+///
+/// The burst registers dominate: `2 · r · burst_bits` flip-flops per
+/// channel (input + output), plus distribution muxing and per-unit
+/// round-robin logic. With the paper's F1 configuration this lands near
+/// one tenth of the device's logic, matching §5.
+pub fn controller_area(cfg: &MemCtlConfig, channels: usize, units: usize) -> Area {
+    let burst_bits = (cfg.burst_bytes * 8) as u64;
+    let regs_ffs = 2 * cfg.burst_registers as u64 * burst_bits * channels as u64;
+    // Muxing/steering logic scales with register bits; round-robin and
+    // per-unit buffer control scale with unit count.
+    let luts = (regs_ffs * 3) / 4 + 40 * units as u64;
+    // Per-unit input and output buffers: one burst each, BRAM-implemented
+    // with 36-bit native ports (why `w` must stay small, §5).
+    let buffer_bram36 = 2 * units as u64;
+    Area { luts, ffs: regs_ffs, bram36: buffer_bram36 }
+}
+
+/// Area of one compiled processing unit.
+///
+/// # Panics
+///
+/// Panics if the unit fails to compile.
+pub fn unit_area(spec: &UnitSpec) -> Area {
+    let netlist = compile(spec).expect("unit must compile for area estimation");
+    // Fold constants and drop dead logic first, standing in for the
+    // vendor tool's logic minimization (§4) so estimates track synthesis.
+    let (optimized, _) = fleet_rtl::optimize(&netlist);
+    estimate(&optimized)
+}
+
+/// Maximum number of processing units that fit on the platform next to
+/// the memory controller, mirroring how the paper fills the F1.
+pub fn max_units(spec: &UnitSpec, platform: &Platform, cfg: &MemCtlConfig) -> u64 {
+    let pu = unit_area(spec);
+    // Controller overhead depends on the unit count; iterate to a fixed
+    // point (two rounds suffice since the per-unit controller share is
+    // tiny).
+    let mut n = platform
+        .device
+        .fit(pu, controller_area(cfg, platform.channels, 0));
+    for _ in 0..4 {
+        let next = platform
+            .device
+            .fit(pu, controller_area(cfg, platform.channels, n as usize));
+        if next == n {
+            break;
+        }
+        n = next;
+    }
+    n
+}
+
+/// Total design area for `units` copies plus the controller.
+pub fn design_area(spec: &UnitSpec, units: usize, platform: &Platform, cfg: &MemCtlConfig) -> Area {
+    unit_area(spec)
+        .scale(units as u64)
+        .add(controller_area(cfg, platform.channels, units))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet_lang::UnitBuilder;
+
+    fn small_unit() -> UnitSpec {
+        let mut u = UnitBuilder::new("Small", 8, 8);
+        let acc = u.reg("acc", 8, 0);
+        let inp = u.input();
+        u.set(acc, acc ^ inp);
+        u.build().unwrap()
+    }
+
+    #[test]
+    fn controller_is_about_a_tenth_of_f1() {
+        let p = Platform::f1();
+        let a = controller_area(&MemCtlConfig::default(), p.channels, 256);
+        let share = a.luts as f64 / 1_182_000.0;
+        assert!(
+            (0.05..=0.15).contains(&share),
+            "controller LUT share {share:.3} should be near one tenth (§5)"
+        );
+    }
+
+    #[test]
+    fn hundreds_of_small_units_fit() {
+        let p = Platform::f1();
+        let n = max_units(&small_unit(), &p, &MemCtlConfig::default());
+        assert!(n >= 300, "only {n} small units fit; the paper fits hundreds");
+    }
+
+    #[test]
+    fn design_area_scales() {
+        let p = Platform::f1();
+        let one = design_area(&small_unit(), 1, &p, &MemCtlConfig::default());
+        let many = design_area(&small_unit(), 100, &p, &MemCtlConfig::default());
+        assert!(many.luts > one.luts);
+        assert!(many.bram36 >= 200, "each unit needs its two buffer BRAMs");
+    }
+}

@@ -1,0 +1,91 @@
+//! # fleet-system — full-system simulation and the F1 platform model
+//!
+//! Ties everything together the way the Fleet framework does on real
+//! hardware: it takes one processing-unit definition, replicates it once
+//! per stream, divides the units among the platform's DRAM channels, and
+//! simulates units + memory controllers + DRAM cycle by cycle until every
+//! stream is processed and every output is committed.
+//!
+//! Also provides the host-runtime conveniences from §2 of the paper
+//! ([`split`]) and the area/power accounting used to decide how many
+//! units fit on the device and to report performance per watt.
+//!
+//! ## Example
+//!
+//! ```
+//! use fleet_lang::UnitBuilder;
+//! use fleet_system::{run_replicated, SystemConfig};
+//!
+//! // A unit that uppercases ASCII.
+//! let mut u = UnitBuilder::new("Upper", 8, 8);
+//! let inp = u.input();
+//! let nf = u.stream_finished().not_b();
+//! let is_lower = inp.ge_e(b'a' as u64).and_b(inp.le_e(b'z' as u64));
+//! u.if_(nf, |u| {
+//!     u.emit(is_lower.mux(inp.clone() - 32u64, inp.clone()));
+//! });
+//! let spec = u.build()?;
+//!
+//! let report = run_replicated(&spec, b"hello fleet!", 8, &SystemConfig::f1(64))?;
+//! assert_eq!(&report.outputs[0], b"HELLO FLEET!");
+//! println!("throughput: {:.3} GB/s", report.input_gbps());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod platform;
+pub mod system;
+
+pub use area::{controller_area, design_area, max_units, unit_area};
+pub use platform::{CpuPlatform, GpuPlatform, Platform};
+pub use system::{run_replicated, run_system, RunReport, SystemConfig, SystemError};
+
+/// Splits one large input into `n` roughly equal streams at token-aligned
+/// boundaries — the host-side splitting step of §2 (newline splitting for
+/// JSON records and the like is app-specific; see `fleet-apps`).
+///
+/// # Panics
+///
+/// Panics if `token_bytes` is zero.
+pub fn split(input: &[u8], n: usize, token_bytes: usize) -> Vec<Vec<u8>> {
+    assert!(token_bytes > 0);
+    let tokens = input.len() / token_bytes;
+    let per = tokens.div_ceil(n.max(1));
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    for _ in 0..n {
+        let take = per.min(tokens - pos / token_bytes);
+        let bytes = take * token_bytes;
+        out.push(input[pos..pos + bytes].to_vec());
+        pos += bytes;
+        if pos >= tokens * token_bytes {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_input_exactly() {
+        let data: Vec<u8> = (0..1003u32).map(|x| x as u8).collect();
+        let parts = split(&data, 7, 1);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 1003);
+        let rejoined: Vec<u8> = parts.concat();
+        assert_eq!(rejoined, data);
+    }
+
+    #[test]
+    fn split_respects_token_alignment() {
+        let data = vec![0u8; 100];
+        for p in split(&data, 3, 4) {
+            assert_eq!(p.len() % 4, 0);
+        }
+    }
+}

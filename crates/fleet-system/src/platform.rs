@@ -1,0 +1,144 @@
+//! The Amazon F1 platform model: clock, channels, device capacity, and
+//! the power model used for the performance-per-watt comparisons.
+//!
+//! All calibrated constants of the reproduction live here, in one place,
+//! as documented in `DESIGN.md`. Absolute watt/latency values are
+//! first-order; the evaluation compares *shapes* (who wins and by what
+//! rough factor), which are insensitive to modest constant error.
+
+use fleet_axi::DramConfig;
+use fleet_rtl::{Area, Device};
+
+/// Platform description used by the full-system simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct Platform {
+    /// Logic clock in Hz (the paper runs all designs at 125 MHz).
+    pub clock_hz: f64,
+    /// Number of independent DRAM channels (F1: four DDR3 channels).
+    pub channels: usize,
+    /// Per-channel DRAM timing.
+    pub dram: DramConfig,
+    /// FPGA device capacity.
+    pub device: Device,
+    /// Static package power in watts (clocking, shell, IO).
+    pub static_watts: f64,
+    /// Dynamic power per active LUT at the platform clock, in watts.
+    pub watts_per_lut: f64,
+    /// Power per instantiated 36 Kb BRAM in watts.
+    pub watts_per_bram36: f64,
+    /// Constant DRAM power in watts — the paper assumes 12.5 W for every
+    /// platform (§7.2).
+    pub dram_watts: f64,
+}
+
+impl Platform {
+    /// The Amazon F1 (Xilinx vu9p, 4 × DDR3, 125 MHz logic clock).
+    pub fn f1() -> Platform {
+        Platform {
+            clock_hz: 125.0e6,
+            channels: 4,
+            dram: DramConfig::default(),
+            device: Device::f1_vu9p(),
+            // Calibrated so a ~full chip of small stream units lands in
+            // the 15-25 W package range the paper's Fig. 7 implies.
+            static_watts: 8.0,
+            watts_per_lut: 2.5e-5,
+            watts_per_bram36: 1.5e-3,
+            dram_watts: 12.5,
+        }
+    }
+
+    /// Theoretical aggregate DRAM bandwidth: one 512-bit transfer per
+    /// cycle per channel (32 GB/s on F1 at 125 MHz).
+    pub fn peak_bandwidth_bytes_per_sec(&self) -> f64 {
+        self.clock_hz * self.channels as f64 * fleet_axi::BEAT_BYTES as f64
+    }
+
+    /// FPGA package power for a design with the given total logic area.
+    pub fn package_watts(&self, total: Area) -> f64 {
+        self.static_watts
+            + total.luts as f64 * self.watts_per_lut
+            + total.bram36 as f64 * self.watts_per_bram36
+    }
+
+    /// Seconds for `cycles` at the platform clock.
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz
+    }
+}
+
+/// Reference CPU for baselines: the paper's c4.8xlarge (36 Haswell
+/// hyperthreads, 145 W TDP).
+#[derive(Debug, Clone, Copy)]
+pub struct CpuPlatform {
+    /// Threads used by the baseline.
+    pub threads: usize,
+    /// Package TDP in watts.
+    pub tdp_watts: f64,
+    /// Constant DRAM power (paper convention).
+    pub dram_watts: f64,
+}
+
+impl CpuPlatform {
+    /// c4.8xlarge-like configuration.
+    pub fn c4_8xlarge() -> CpuPlatform {
+        CpuPlatform { threads: 36, tdp_watts: 145.0, dram_watts: 12.5 }
+    }
+}
+
+/// Reference GPU for baselines: the paper's V100 (p3.2xlarge, 250 W).
+#[derive(Debug, Clone, Copy)]
+pub struct GpuPlatform {
+    /// Streaming multiprocessors.
+    pub sms: usize,
+    /// Warp schedulers per SM.
+    pub schedulers_per_sm: usize,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Board TDP in watts.
+    pub tdp_watts: f64,
+    /// Constant DRAM power (paper convention).
+    pub dram_watts: f64,
+    /// Device memory bandwidth in bytes/s (HBM2 on V100).
+    pub mem_bandwidth: f64,
+}
+
+impl GpuPlatform {
+    /// V100-like configuration.
+    pub fn v100() -> GpuPlatform {
+        GpuPlatform {
+            sms: 80,
+            schedulers_per_sm: 4,
+            clock_hz: 1.38e9,
+            tdp_watts: 250.0,
+            dram_watts: 12.5,
+            mem_bandwidth: 900.0e9,
+        }
+    }
+
+    /// Peak warp-instruction issue rate (warp-instructions per second).
+    pub fn issue_rate(&self) -> f64 {
+        self.sms as f64 * self.schedulers_per_sm as f64 * self.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_peak_bandwidth_is_32_gbps() {
+        let p = Platform::f1();
+        assert_eq!(p.peak_bandwidth_bytes_per_sec(), 32.0e9);
+    }
+
+    #[test]
+    fn package_power_scales_with_area() {
+        let p = Platform::f1();
+        let small = p.package_watts(Area { luts: 10_000, ffs: 0, bram36: 10 });
+        let big = p.package_watts(Area { luts: 600_000, ffs: 0, bram36: 1000 });
+        assert!(small < big);
+        assert!(small > p.static_watts);
+        assert!(big < 40.0, "full-chip power {big:.1} W unreasonably high");
+    }
+}

@@ -1,0 +1,297 @@
+//! The full-system simulator: replicated processing units across all
+//! DRAM channels, driven to completion.
+
+use std::error::Error;
+use std::fmt;
+
+use fleet_axi::{DramChannel, BEAT_BYTES};
+use fleet_compiler::PuExec;
+use fleet_lang::UnitSpec;
+use fleet_memctl::{ChannelEngine, EngineStats, MemCtlConfig, StreamAssignment};
+
+use crate::platform::Platform;
+
+/// Configuration of a full-system run.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemConfig {
+    /// Platform model (clock, channels, DRAM timing, power).
+    pub platform: Platform,
+    /// Memory-controller configuration (shared by all channels).
+    pub memctl: MemCtlConfig,
+    /// Per-unit output region capacity in bytes.
+    pub out_capacity: usize,
+    /// Hang guard per channel.
+    pub max_cycles: u64,
+}
+
+impl SystemConfig {
+    /// F1 defaults with the paper's controller configuration.
+    pub fn f1(out_capacity: usize) -> SystemConfig {
+        SystemConfig {
+            platform: Platform::f1(),
+            memctl: MemCtlConfig::default(),
+            out_capacity,
+            max_cycles: 2_000_000_000,
+        }
+    }
+}
+
+/// Failures of a full-system run.
+#[derive(Debug, Clone)]
+pub enum SystemError {
+    /// A unit produced more output than its region capacity.
+    OutputOverflow {
+        /// Index of the overflowing stream.
+        stream: usize,
+    },
+    /// A channel did not finish within the cycle guard.
+    Timeout {
+        /// The guard that was exceeded.
+        max_cycles: u64,
+    },
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::OutputOverflow { stream } => {
+                write!(f, "stream {stream} overflowed its output region")
+            }
+            SystemError::Timeout { max_cycles } => {
+                write!(f, "system did not finish within {max_cycles} cycles")
+            }
+        }
+    }
+}
+
+impl Error for SystemError {}
+
+/// Result of a full-system run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Cycles until the slowest channel finished.
+    pub cycles: u64,
+    /// Total input bytes consumed across all streams.
+    pub input_bytes: u64,
+    /// Total output bytes produced (unpadded).
+    pub output_bytes: u64,
+    /// Number of processing units instantiated.
+    pub units: usize,
+    /// Per-channel controller statistics.
+    pub channel_stats: Vec<EngineStats>,
+    /// Output bytes of each stream, in submission order.
+    pub outputs: Vec<Vec<u8>>,
+    /// Wall-clock seconds at the platform clock.
+    pub seconds: f64,
+}
+
+impl RunReport {
+    /// Input-side throughput in GB/s (the paper's headline metric).
+    pub fn input_gbps(&self) -> f64 {
+        self.input_bytes as f64 / self.seconds / 1e9
+    }
+
+    /// Output-side throughput in GB/s.
+    pub fn output_gbps(&self) -> f64 {
+        self.output_bytes as f64 / self.seconds / 1e9
+    }
+}
+
+/// Runs `streams` through replicated copies of `spec` on the modelled
+/// platform: one processing unit per stream, units divided round-robin
+/// among channels, each channel simulated on its own thread.
+///
+/// # Errors
+///
+/// Returns [`SystemError::OutputOverflow`] if any unit exceeds
+/// `cfg.out_capacity`, or [`SystemError::Timeout`] on a hang.
+///
+/// # Panics
+///
+/// Panics if `spec` fails validation or a stream is not a whole number of
+/// input tokens.
+pub fn run_system(
+    spec: &UnitSpec,
+    streams: &[Vec<u8>],
+    cfg: &SystemConfig,
+) -> Result<RunReport, SystemError> {
+    assert!(!streams.is_empty(), "need at least one stream");
+    let in_tok = (spec.input_token_bits as usize).div_ceil(8);
+    let out_tok = (spec.output_token_bits as usize).div_ceil(8);
+
+    // Partition streams round-robin across channels.
+    let channels = cfg.platform.channels.min(streams.len());
+    let mut per_channel: Vec<Vec<(usize, &Vec<u8>)>> = vec![Vec::new(); channels];
+    for (i, s) in streams.iter().enumerate() {
+        per_channel[i % channels].push((i, s));
+    }
+
+    // Build one engine per channel.
+    let mut engines = Vec::new();
+    let mut index_maps = Vec::new();
+    for group in &per_channel {
+        let mut assigns = Vec::new();
+        let mut offset = 0usize;
+        let out_alloc =
+            cfg.out_capacity.div_ceil(BEAT_BYTES) * BEAT_BYTES + cfg.memctl.burst_bytes;
+        // Input regions first, then output regions.
+        let mut in_starts = Vec::new();
+        for (_, s) in group {
+            in_starts.push(offset);
+            offset += s.len().div_ceil(BEAT_BYTES) * BEAT_BYTES;
+        }
+        let out_base = offset;
+        let total = out_base + group.len() * out_alloc;
+        let mut dram = DramChannel::new(cfg.platform.dram, total);
+        for (k, (_, s)) in group.iter().enumerate() {
+            dram.mem_mut()[in_starts[k]..in_starts[k] + s.len()].copy_from_slice(s);
+            assigns.push(StreamAssignment {
+                in_start: in_starts[k],
+                in_len: s.len(),
+                out_start: out_base + k * out_alloc,
+                out_capacity: out_alloc,
+            });
+        }
+        let units: Vec<PuExec> = group.iter().map(|_| PuExec::new(spec)).collect();
+        engines.push(ChannelEngine::new(cfg.memctl, dram, units, assigns, in_tok, out_tok));
+        index_maps.push(group.iter().map(|(i, _)| *i).collect::<Vec<_>>());
+    }
+
+    // Run every channel to completion, in parallel.
+    let max_cycles = cfg.max_cycles;
+    let results: Vec<Result<u64, SystemError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = engines
+            .iter_mut()
+            .map(|eng| {
+                scope.spawn(move || {
+                    let start = eng.stats().cycles;
+                    while !eng.done() {
+                        eng.tick();
+                        if eng.any_overflow() {
+                            // Identify the stream below.
+                            return Err(SystemError::OutputOverflow { stream: usize::MAX });
+                        }
+                        if eng.stats().cycles - start > max_cycles {
+                            return Err(SystemError::Timeout { max_cycles });
+                        }
+                    }
+                    Ok(eng.stats().cycles - start)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("channel thread panicked")).collect()
+    });
+
+    let mut cycles = 0u64;
+    for (c, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(n) => cycles = cycles.max(n),
+            Err(SystemError::OutputOverflow { .. }) => {
+                // Find the overflowing stream for a useful error.
+                let stream = index_maps[c].first().copied().unwrap_or(0);
+                return Err(SystemError::OutputOverflow { stream });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Collect outputs in submission order.
+    let mut outputs = vec![Vec::new(); streams.len()];
+    let mut input_bytes = 0u64;
+    let mut output_bytes = 0u64;
+    let mut channel_stats = Vec::new();
+    for (c, eng) in engines.iter().enumerate() {
+        for (k, &orig) in index_maps[c].iter().enumerate() {
+            outputs[orig] = eng.output_bytes(k);
+            output_bytes += outputs[orig].len() as u64;
+        }
+        input_bytes += per_channel[c].iter().map(|(_, s)| s.len() as u64).sum::<u64>();
+        channel_stats.push(eng.stats());
+    }
+
+    Ok(RunReport {
+        cycles,
+        input_bytes,
+        output_bytes,
+        units: streams.len(),
+        channel_stats,
+        outputs,
+        seconds: cfg.platform.seconds(cycles),
+    })
+}
+
+/// Convenience: replicate one stream across `n` units and run.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_system`].
+pub fn run_replicated(
+    spec: &UnitSpec,
+    stream: &[u8],
+    n: usize,
+    cfg: &SystemConfig,
+) -> Result<RunReport, SystemError> {
+    let streams: Vec<Vec<u8>> = (0..n).map(|_| stream.to_vec()).collect();
+    run_system(spec, &streams, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet_lang::UnitBuilder;
+
+    fn identity_spec() -> UnitSpec {
+        let mut u = UnitBuilder::new("Identity", 8, 8);
+        let inp = u.input();
+        let nf = u.stream_finished().not_b();
+        u.if_(nf, |u| u.emit(inp.clone()));
+        u.build().unwrap()
+    }
+
+    #[test]
+    fn multi_channel_roundtrip_preserves_stream_order() {
+        let spec = identity_spec();
+        let streams: Vec<Vec<u8>> = (0..13)
+            .map(|s| (0..500u32).map(|x| ((x * 7 + s * 131) % 256) as u8).collect())
+            .collect();
+        let cfg = SystemConfig::f1(1024);
+        let report = run_system(&spec, &streams, &cfg).unwrap();
+        assert_eq!(report.outputs.len(), 13);
+        for (i, s) in streams.iter().enumerate() {
+            assert_eq!(&report.outputs[i], s, "stream {i}");
+        }
+        assert_eq!(report.input_bytes, 13 * 500);
+        assert!(report.input_gbps() > 0.0);
+    }
+
+    #[test]
+    fn overflow_surfaces_as_error() {
+        let spec = identity_spec();
+        let streams = vec![vec![1u8; 8192]];
+        let mut cfg = SystemConfig::f1(256);
+        cfg.max_cycles = 10_000_000;
+        let err = run_system(&spec, &streams, &cfg).unwrap_err();
+        assert!(matches!(err, SystemError::OutputOverflow { .. }));
+    }
+
+    #[test]
+    fn memory_bound_unit_approaches_platform_peak() {
+        // Drop-everything unit with enough copies saturates all four
+        // channels; throughput should land near the paper's 27.24 GB/s
+        // (85% of the 32 GB/s theoretical peak).
+        let mut u = UnitBuilder::new("DropAll", 8, 8);
+        let acc = u.reg("acc", 8, 0);
+        let inp = u.input();
+        u.set(acc, acc ^ inp);
+        let spec = u.build().unwrap();
+
+        let stream = vec![0x55u8; 2048];
+        let cfg = SystemConfig::f1(64);
+        let report = run_replicated(&spec, &stream, 512, &cfg).unwrap();
+        let gbps = report.input_gbps();
+        assert!(
+            (24.0..=32.0).contains(&gbps),
+            "memory-bound throughput {gbps:.2} GB/s outside the expected band"
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Log search: exact-pattern (regex) and fuzzy (Smith-Waterman) scans
+//! over the same synthetic log corpus, side by side.
+//!
+//! Both units report *positions*; software goes back to the raw input
+//! around each position to reconstruct matches — the workflow §7.1
+//! describes for string-search applications.
+//!
+//! Run with: `cargo run --release --example log_search`
+
+use fleet_apps::{regex, smith};
+use fleet_system::{run_system, split, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = regex::gen_stream(2026, 200_000);
+    let n_streams = 16;
+
+    // --- Regex scan for email addresses. ---
+    let spec = regex::regex_unit(regex::EMAIL_PATTERN);
+    let streams = split(&corpus, n_streams, 1);
+    let report = run_system(&spec, &streams, &SystemConfig::f1(16 * 1024))?;
+    let mut emails = Vec::new();
+    let mut base = 0usize;
+    for (i, s) in streams.iter().enumerate() {
+        for end in report.outputs[i].chunks_exact(4) {
+            let end = u32::from_le_bytes(end.try_into()?) as usize;
+            // Reconstruct: scan back from the match end.
+            let lo = end.saturating_sub(40);
+            let text = &s[lo..end];
+            let start = text
+                .iter()
+                .rposition(|&c| c == b' ' || c == b'\n')
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            emails.push(format!("{}@{}", base, String::from_utf8_lossy(&text[start..])));
+        }
+        base += s.len();
+    }
+    println!(
+        "regex: {} email matches at {:.2} GB/s; first: {}",
+        emails.len(),
+        report.input_gbps(),
+        emails.first().map(String::as_str).unwrap_or("-")
+    );
+
+    // --- Fuzzy scan for a DNA-like motif with mutations. ---
+    let dna = smith::gen_stream(99, 200_000);
+    let payload = &dna[smith::M + 1..];
+    // Each stream needs the target+threshold prologue.
+    let mut streams = Vec::new();
+    for part in split(payload, n_streams, 1) {
+        let mut s = dna[..smith::M + 1].to_vec();
+        s.extend_from_slice(&part);
+        streams.push(s);
+    }
+    let spec = smith::smith_unit();
+    let report = run_system(&spec, &streams, &SystemConfig::f1(32 * 1024))?;
+    let hits: usize = report.outputs.iter().map(|o| o.len() / 4).sum();
+    println!(
+        "smith-waterman: {} fuzzy hits (≤2 mutations) at {:.2} GB/s",
+        hits,
+        report.input_gbps()
+    );
+
+    // Spot-check one hit against the reference matcher.
+    for (i, s) in streams.iter().enumerate() {
+        assert_eq!(report.outputs[i], smith::golden(s), "stream {i}");
+    }
+    println!("verified against reference");
+    Ok(())
+}

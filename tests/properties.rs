@@ -1,0 +1,90 @@
+//! Property-based tests over application invariants and the full
+//! system, per the testing strategy in `DESIGN.md`.
+
+use fleet_apps::{bloom, intcode, regex, smith, tree};
+use fleet_isim::{bytes_to_tokens, tokens_to_bytes, Interpreter};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Integer coding round-trips through the hardware unit:
+    /// decode(unit(stream)) == stream for arbitrary block-aligned input.
+    #[test]
+    fn intcode_unit_roundtrips(vals in proptest::collection::vec(any::<u32>(), 4..=32)) {
+        let n = (vals.len() / 4) * 4;
+        let mut stream = Vec::new();
+        for v in &vals[..n] {
+            stream.extend_from_slice(&v.to_le_bytes());
+        }
+        let spec = intcode::intcode_unit();
+        let tokens = bytes_to_tokens(&stream, 32).unwrap();
+        let out = Interpreter::run_tokens(&spec, &tokens).unwrap();
+        let encoded = tokens_to_bytes(&out.tokens, 8);
+        prop_assert_eq!(intcode::decode(&encoded), &vals[..n]);
+    }
+
+    /// Bloom filters built by the unit never report false negatives.
+    #[test]
+    fn bloom_unit_has_no_false_negatives(seed in any::<u64>()) {
+        let stream = bloom::gen_stream(seed, 2048);
+        let spec = bloom::bloom_unit();
+        let tokens = bytes_to_tokens(&stream, 32).unwrap();
+        let out = Interpreter::run_tokens(&spec, &tokens).unwrap();
+        let filter = tokens_to_bytes(&out.tokens, 8);
+        prop_assert_eq!(filter.len(), (bloom::FILTER_BITS / 8) as usize);
+        for chunk in stream.chunks_exact(4) {
+            let item = u32::from_le_bytes(chunk.try_into().unwrap());
+            prop_assert!(bloom::filter_contains(&filter, item));
+        }
+    }
+
+    /// The regex unit agrees with a naive backtracking matcher on
+    /// arbitrary short texts for a fixed nontrivial pattern.
+    #[test]
+    fn regex_unit_matches_reference(text in proptest::collection::vec(32u8..=126, 0..=200)) {
+        let pattern = "ab*(c|d)e?";
+        let spec = regex::regex_unit(pattern);
+        let tokens: Vec<u64> = text.iter().map(|&b| b as u64).collect();
+        let out = Interpreter::run_tokens(&spec, &tokens).unwrap();
+        let got = tokens_to_bytes(&out.tokens, 32);
+        prop_assert_eq!(got, regex::golden(pattern, &text));
+    }
+
+    /// Smith-Waterman reports a position wherever (and only wherever)
+    /// the reference dynamic program finds one.
+    #[test]
+    fn smith_unit_matches_reference(payload in proptest::collection::vec(65u8..=68, 20..=300)) {
+        let mut stream = b"ACGTACGTACGTACGT".to_vec();
+        stream.push(20); // permissive threshold
+        stream.extend_from_slice(&payload);
+        let spec = smith::smith_unit();
+        let tokens: Vec<u64> = stream.iter().map(|&b| b as u64).collect();
+        let out = Interpreter::run_tokens(&spec, &tokens).unwrap();
+        prop_assert_eq!(tokens_to_bytes(&out.tokens, 32), smith::golden(&stream));
+    }
+
+    /// Decision-tree scores equal the ensemble's direct evaluation for
+    /// random ensembles and datapoints.
+    #[test]
+    fn tree_unit_scores_match(seed in any::<u64>(), n_trees in 1usize..=4, depth in 1usize..=4) {
+        let stream = tree::gen_stream_shaped(seed, 4000, n_trees, depth, 4);
+        let spec = tree::tree_unit();
+        let tokens = bytes_to_tokens(&stream, 32).unwrap();
+        let out = Interpreter::run_tokens(&spec, &tokens).unwrap();
+        prop_assert_eq!(tokens_to_bytes(&out.tokens, 32), tree::golden(&stream));
+    }
+
+    /// Stream splitting preserves content and token alignment.
+    #[test]
+    fn split_preserves_content(data in proptest::collection::vec(any::<u8>(), 0..=2000),
+                               n in 1usize..=7) {
+        let parts = fleet_system::split(&data, n, 4);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, data.len() / 4 * 4);
+        prop_assert_eq!(parts.concat(), &data[..data.len() / 4 * 4]);
+        for p in &parts {
+            prop_assert_eq!(p.len() % 4, 0);
+        }
+    }
+}
