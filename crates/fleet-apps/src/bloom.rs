@@ -103,7 +103,7 @@ pub fn bloom_unit() -> UnitSpec {
 
 /// Reference implementation: Bloom filters per block, concatenated.
 pub fn golden(input: &[u8]) -> Vec<u8> {
-    assert!(input.len() % 4 == 0, "input must be whole 32-bit items");
+    assert!(input.len().is_multiple_of(4), "input must be whole 32-bit items");
     let mut out = Vec::new();
     let mut filter = vec![0u8; FILTER_BYTES as usize];
     let mut count = 0u64;

@@ -206,7 +206,7 @@ pub fn intcode_unit() -> UnitSpec {
                 let v = block.read(item.slice(1, 0));
                 let is_exc = (bitmap.e() >> item.e()).bit(0);
                 // Mask to w bits: (v << (32-w... easier: v & ((1<<w)-1)).
-                let ones: E = lit(0xFFFF_FFFF_FF, 40);
+                let ones: E = lit(0xFF_FFFF_FFFF, 40);
                 let mask_w = (ones.clone() >> (lit(40u64, 6) - w.clone())).slice(31, 0);
                 let stored = is_exc.mux(lit(0, 32), v & mask_w);
                 let widened: E = lit(0, 8).concat(stored); // 40 bits

@@ -335,15 +335,14 @@ impl Nfa {
         let mut out = Vec::new();
         for (i, &c) in text.iter().enumerate() {
             let mut next = vec![false; self.classes.len()];
-            for p in 0..self.classes.len() {
+            for (p, slot) in next.iter_mut().enumerate() {
                 if !self.classes[p].matches(c) {
                     continue;
                 }
                 // Unanchored: a new attempt can start at every character.
-                let reachable = self.first.contains(&p)
+                *slot = self.first.contains(&p)
                     || (0..self.classes.len())
                         .any(|q| active[q] && self.follow[q].contains(&p));
-                next[p] = reachable;
             }
             active = next;
             if self.last.iter().any(|&p| active[p]) {
@@ -397,9 +396,9 @@ pub fn regex_unit(pattern: &str) -> UnitSpec {
             // Sources: start-anywhere (unanchored) plus every q with
             // p ∈ follow(q).
             let mut src: E = if nfa.first.contains(&p) { lit(1, 1) } else { lit(0, 1) };
-            for q in 0..nfa.classes.len() {
-                if nfa.follow[q].contains(&p) {
-                    src = src.or_b(states[q].e());
+            for (sq, follow) in states.iter().zip(&nfa.follow) {
+                if follow.contains(&p) {
+                    src = src.or_b(sq.e());
                 }
             }
             let next = src.and_b(matches[p].clone());
@@ -447,14 +446,14 @@ pub fn multi_regex_unit(patterns: &[&str]) -> UnitSpec {
         let mut accept: E = lit(0, 1);
         let matches: Vec<E> = nfa.classes.iter().map(|c| class_expr(&input, c)).collect();
         let mut nexts: Vec<(usize, E)> = Vec::new();
-        for p in 0..nfa.classes.len() {
+        for (p, m) in matches.iter().enumerate() {
             let mut src: E = if nfa.first.contains(&p) { lit(1, 1) } else { lit(0, 1) };
-            for q in 0..nfa.classes.len() {
-                if nfa.follow[q].contains(&p) {
-                    src = src.or_b(states[q].e());
+            for (sq, follow) in states.iter().zip(&nfa.follow) {
+                if follow.contains(&p) {
+                    src = src.or_b(sq.e());
                 }
             }
-            let next = src.and_b(matches[p].clone());
+            let next = src.and_b(m.clone());
             nexts.push((p, next.clone()));
             if nfa.last.contains(&p) {
                 accept = accept.or_b(next);

@@ -93,7 +93,16 @@ struct InFlightWrite {
     apply_at: u64,
 }
 
+/// Size of the observational DRAM row window: requests within the same
+/// `ROW_BYTES`-aligned region as the previous request count as row hits.
+pub const ROW_BYTES: usize = 4096;
+
 /// Utilization counters for a channel.
+///
+/// The row/refresh/turnaround/gap fields instrument the timing model
+/// for the `fleet-trace` observability layer; they are plain integer
+/// updates on paths that already branch, so they stay on
+/// unconditionally.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ChannelStats {
     /// Read data beats delivered.
@@ -104,6 +113,20 @@ pub struct ChannelStats {
     pub read_reqs: u64,
     /// Write requests accepted.
     pub write_reqs: u64,
+    /// Requests landing in the same [`ROW_BYTES`] row as the previous
+    /// request (observational — the timing model itself is closed-page,
+    /// with row overhead amortized through the per-request gap).
+    pub row_hits: u64,
+    /// Requests opening a different row than the previous request.
+    pub row_misses: u64,
+    /// Refresh blackout windows that actually delayed a transfer.
+    pub refreshes: u64,
+    /// Cycles transfers were pushed back by refresh blackouts.
+    pub refresh_stall_cycles: u64,
+    /// Cycles lost to read↔write bus turnaround.
+    pub turnaround_cycles: u64,
+    /// Cycles lost to per-request command/row-activation gaps.
+    pub gap_cycles: u64,
 }
 
 /// One DRAM channel with backing memory.
@@ -118,6 +141,7 @@ pub struct DramChannel {
     bus_free_at: u64,
     gap_accum: u64,
     last_dir: Dir,
+    last_row: Option<usize>,
     reads: VecDeque<InFlightRead>,
     writes: VecDeque<InFlightWrite>,
     delivered_this_cycle: bool,
@@ -134,6 +158,7 @@ impl DramChannel {
             bus_free_at: 0,
             gap_accum: 0,
             last_dir: Dir::Read,
+            last_row: None,
             reads: VecDeque::new(),
             writes: VecDeque::new(),
             delivered_this_cycle: false,
@@ -161,6 +186,23 @@ impl DramChannel {
         self.stats
     }
 
+    /// Whether data crossed the bus this cycle: a read beat was
+    /// delivered, or a write transfer is in its bus-crossing window.
+    /// The per-cycle utilization signal `fleet-trace` samples (call
+    /// after the cycle's `pop_read_beat`, before [`DramChannel::tick`]).
+    pub fn bus_busy(&self) -> bool {
+        self.delivered_this_cycle
+            || self.writes.iter().any(|w| {
+                let beats = (w.data.len() / BEAT_BYTES) as u64;
+                w.apply_at.saturating_sub(beats) <= self.now && self.now < w.apply_at
+            })
+    }
+
+    /// Read requests accepted but not fully delivered.
+    pub fn read_queue_len(&self) -> usize {
+        self.reads.len()
+    }
+
     /// Whether a read address can be accepted this cycle.
     pub fn can_accept_read(&self) -> bool {
         self.reads.len() < self.cfg.read_queue_depth
@@ -179,7 +221,9 @@ impl DramChannel {
             gap = self.gap_accum / self.cfg.gap_den;
             self.gap_accum %= self.cfg.gap_den;
         }
+        self.stats.gap_cycles += gap;
         let turn = if dir != self.last_dir { self.cfg.turnaround } else { 0 };
+        self.stats.turnaround_cycles += turn;
         self.last_dir = dir;
         let mut start = earliest.max(self.bus_free_at + gap + turn);
         // Refresh blackout: if the transfer would overlap a blackout
@@ -190,10 +234,22 @@ impl DramChannel {
             let phase = start % ri;
             if phase < rd {
                 start += rd - phase;
+                self.stats.refreshes += 1;
+                self.stats.refresh_stall_cycles += rd - phase;
             }
         }
         self.bus_free_at = start + beats;
         start
+    }
+
+    fn note_row(&mut self, addr: usize) {
+        let row = addr / ROW_BYTES;
+        if self.last_row == Some(row) {
+            self.stats.row_hits += 1;
+        } else {
+            self.stats.row_misses += 1;
+        }
+        self.last_row = Some(row);
     }
 
     /// Accepts a read request for `beats` beats starting at byte `addr`.
@@ -213,6 +269,7 @@ impl DramChannel {
             addr + beats as usize * BEAT_BYTES <= self.mem.len(),
             "read beyond end of channel memory"
         );
+        self.note_row(addr);
         let first = self.schedule(Dir::Read, beats as u64, self.now + self.cfg.read_latency);
         self.reads.push_back(InFlightRead {
             tag,
@@ -237,9 +294,10 @@ impl DramChannel {
         if !self.can_accept_write() {
             return false;
         }
-        assert!(data.len() % BEAT_BYTES == 0, "write must be whole beats");
+        assert!(data.len().is_multiple_of(BEAT_BYTES), "write must be whole beats");
         assert!(addr + data.len() <= self.mem.len(), "write beyond end of channel memory");
         let beats = (data.len() / BEAT_BYTES) as u64;
+        self.note_row(addr);
         let start = self.schedule(Dir::Write, beats, self.now);
         self.stats.write_reqs += 1;
         self.stats.write_beats += beats;
@@ -401,6 +459,55 @@ mod tests {
             (0.80..=0.95).contains(&eff),
             "2-beat burst efficiency {eff:.3} out of expected band"
         );
+    }
+
+    #[test]
+    fn observability_counters_track_rows_and_refresh() {
+        let mut ch = DramChannel::new(DramConfig::default(), 1 << 20);
+        // Two sequential reads in one row, then a jump to a distant row.
+        assert!(ch.push_read(0, 0, 1));
+        assert!(ch.push_read(1, 64, 1));
+        assert!(ch.push_read(2, 8 * ROW_BYTES, 1));
+        let s = ch.stats();
+        assert_eq!(s.row_hits, 1);
+        assert_eq!(s.row_misses, 2);
+
+        // Sustained traffic across many refresh intervals must record
+        // refresh stalls.
+        let mut addr = 0usize;
+        for t in 0..10_000u32 {
+            if ch.can_accept_read() {
+                ch.push_read(t, addr, 2);
+                addr = (addr + 128) % (1 << 19);
+            }
+            ch.pop_read_beat();
+            ch.tick();
+        }
+        let s = ch.stats();
+        assert!(s.refreshes > 0, "no refresh stall recorded");
+        assert!(s.refresh_stall_cycles >= s.refreshes);
+        assert!(s.gap_cycles > 0, "per-request gaps not recorded");
+    }
+
+    #[test]
+    fn bus_busy_reflects_scheduled_transfers() {
+        let mut ch = DramChannel::new(cfg_no_refresh(), 4096);
+        // Until data starts crossing, the bus is scheduled but idle now.
+        assert!(!ch.bus_busy());
+        assert!(ch.push_read(0, 0, 4));
+        assert_eq!(ch.read_queue_len(), 1);
+        let mut busy_cycles = 0u64;
+        for _ in 0..100 {
+            ch.pop_read_beat();
+            if ch.bus_busy() {
+                busy_cycles += 1;
+            }
+            ch.tick();
+        }
+        // A 4-beat transfer plus latency occupies the bus for at least
+        // its 4 data cycles.
+        assert!(busy_cycles >= 4, "busy_cycles = {busy_cycles}");
+        assert_eq!(ch.read_queue_len(), 0);
     }
 
     #[test]

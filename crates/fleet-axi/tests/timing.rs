@@ -23,7 +23,7 @@ fn read_write_turnaround_costs_cycles() {
                 tag += 1;
                 addr = (addr + 128) % (1 << 19);
             }
-            if interleave && cycles % 4 == 0 && ch.can_accept_write() {
+            if interleave && cycles.is_multiple_of(4) && ch.can_accept_write() {
                 ch.push_write(waddr, vec![0u8; BEAT_BYTES]);
                 waddr = (1 << 19) + (waddr + BEAT_BYTES - (1 << 19)) % (1 << 19);
             }

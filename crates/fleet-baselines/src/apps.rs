@@ -47,9 +47,8 @@ pub fn bloom_kernel() -> Kernel {
     const CONSTS: usize = 1;
 
     let shift = 32 - bloom::FILTER_BITS.trailing_zeros() as u64;
-    let mut body = Vec::new();
     // Flush a full block before processing this token.
-    body.push(KStmt::If(
+    let mut body = vec![KStmt::If(
         eq(v(cnt), c(bloom::BLOCK_ITEMS)),
         vec![
             KStmt::Set(j, c(0)),
@@ -61,7 +60,7 @@ pub fn bloom_kernel() -> Kernel {
             KStmt::Set(cnt, c(0)),
         ],
         vec![],
-    ));
+    )];
     // Eight hashes.
     body.push(KStmt::Set(k, c(0)));
     body.push(KStmt::While(lt(v(k), c(bloom::K_HASHES as u64)), vec![

@@ -369,8 +369,8 @@ mod tests {
     #[test]
     fn instruction_count_scales_with_input() {
         let k = identity_kernel();
-        let (_, i1) = run_single(&k, &vec![0u8; 100]);
-        let (_, i2) = run_single(&k, &vec![0u8; 200]);
+        let (_, i1) = run_single(&k, &[0u8; 100]);
+        let (_, i2) = run_single(&k, &[0u8; 200]);
         assert!(i2 > i1 + 90 * 4, "i1={i1} i2={i2}");
     }
 

@@ -12,7 +12,7 @@ use fleet_baselines::cpu::{self, CpuModel};
 use fleet_baselines::kernel::Kernel;
 use fleet_baselines::simt;
 use fleet_baselines::GpuPlatformLike;
-use fleet_system::{design_area, run_system, Platform, RunReport, SystemConfig};
+use fleet_system::{design_area, run_system, run_system_traced, Platform, RunReport, SystemConfig};
 
 /// Returns the baseline kernel for an application.
 pub fn kernel_for(kind: AppKind) -> Kernel {
@@ -65,6 +65,21 @@ pub struct FleetResult {
 /// Panics if the system run fails (overflow/timeout) — experiment inputs
 /// are sized so that would be a bug, not an expected outcome.
 pub fn run_fleet(app: &App, pus: usize, bytes_per_pu: usize) -> FleetResult {
+    run_fleet_impl(app, pus, bytes_per_pu, false)
+}
+
+/// Like [`run_fleet`], but every channel records cycle-level counters;
+/// the returned `report.trace` is `Some`, carrying per-PU stall
+/// attribution, queue statistics, bus utilization, and DRAM counters.
+///
+/// # Panics
+///
+/// Same panics as [`run_fleet`].
+pub fn run_fleet_traced(app: &App, pus: usize, bytes_per_pu: usize) -> FleetResult {
+    run_fleet_impl(app, pus, bytes_per_pu, true)
+}
+
+fn run_fleet_impl(app: &App, pus: usize, bytes_per_pu: usize, traced: bool) -> FleetResult {
     let spec = app.spec();
     let platform = Platform::f1();
     let streams: Vec<Vec<u8>> = (0..pus)
@@ -72,7 +87,8 @@ pub fn run_fleet(app: &App, pus: usize, bytes_per_pu: usize) -> FleetResult {
         .collect();
     let out_cap = app.out_capacity(streams.iter().map(|s| s.len()).max().unwrap_or(0));
     let cfg = SystemConfig::f1(out_cap);
-    let report = run_system(&spec, &streams, &cfg)
+    let run = if traced { run_system_traced } else { run_system };
+    let report = run(&spec, &streams, &cfg)
         .unwrap_or_else(|e| panic!("{} system run failed: {e}", app.name()));
 
     let memctl = cfg.memctl;

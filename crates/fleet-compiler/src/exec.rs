@@ -17,6 +17,7 @@
 
 use fleet_isim::{PendingWrites, SsaOp, SsaProg, UnitState};
 use fleet_lang::{mask, UnitSpec};
+use fleet_trace::{CycleClass, PuCycleCounters};
 
 /// Input port values for one cycle.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -68,6 +69,7 @@ pub struct PuExec {
     cached: Option<VcycleEval>,
     cycles: u64,
     vcycles: u64,
+    counters: PuCycleCounters,
 }
 
 impl PuExec {
@@ -90,6 +92,7 @@ impl PuExec {
             cached: None,
             cycles: 0,
             vcycles: 0,
+            counters: PuCycleCounters::default(),
         }
     }
 
@@ -101,6 +104,14 @@ impl PuExec {
     /// Virtual cycles completed.
     pub fn vcycles(&self) -> u64 {
         self.vcycles
+    }
+
+    /// Cycle classification from the unit's own perspective: busy
+    /// (committed a virtual cycle), stalled on output, waiting for
+    /// input, or drained. One class per [`PuExec::clock`], so
+    /// `counters().total() == cycles()`.
+    pub fn counters(&self) -> PuCycleCounters {
+        self.counters
     }
 
     /// Unit state (testing/inspection).
@@ -203,6 +214,11 @@ impl PuExec {
                 (ev.emit.is_none() || pins.output_ready, !ev.loop_active)
             };
             let v_done = handshake_ok;
+            self.counters.add(if handshake_ok {
+                CycleClass::Busy
+            } else {
+                CycleClass::StallOut
+            });
             if v_done {
                 let ev = self.cached.take().expect("evaluated in this cycle");
                 ev.pending.commit(&mut self.state);
@@ -220,6 +236,11 @@ impl PuExec {
             }
         } else {
             // Idle: input_ready is high.
+            self.counters.add(if self.f {
+                CycleClass::Drained
+            } else {
+                CycleClass::StallIn
+            });
             let new_v = pins.input_valid || (!self.f && pins.input_finished);
             self.f = self.f || pins.input_finished;
             self.i = if pins.input_valid { pins.input_token } else { 0 };
@@ -291,7 +312,7 @@ mod tests {
         assert_eq!(out, vec![5, 6, 7]);
         // 1 cycle latency to accept, 3 virtual cycles, 1 cleanup cycle,
         // plus idle detection.
-        assert!(cycles >= 5 && cycles <= 8, "cycles = {cycles}");
+        assert!((5..=8).contains(&cycles), "cycles = {cycles}");
     }
 
     #[test]
@@ -300,7 +321,7 @@ mod tests {
         // cycle in steady state (the §4 throughput guarantee).
         let spec = identity_spec();
         let n = 1000;
-        let tokens: Vec<u64> = (0..n).map(|x| (x % 256) as u64).collect();
+        let tokens: Vec<u64> = (0..n).map(|x| x % 256).collect();
         let (out, cycles) = PuExec::run_stream(&spec, &tokens);
         assert_eq!(out.len(), n as usize);
         assert!(
@@ -320,7 +341,7 @@ mod tests {
         let mut pos = 0;
         let mut cyc = 0u64;
         while !pu.finished() {
-            let ready = cyc % 3 == 0;
+            let ready = cyc.is_multiple_of(3);
             let pins = PuIn {
                 input_token: if pos < tokens.len() { tokens[pos] } else { 0 },
                 input_valid: pos < tokens.len(),
@@ -338,6 +359,44 @@ mod tests {
             assert!(cyc < 10_000);
         }
         assert_eq!(out, tokens);
+    }
+
+    #[test]
+    fn cycle_counters_are_conserved_and_attribute_stalls() {
+        let spec = identity_spec();
+        let tokens: Vec<u64> = (0..40).map(|x| x % 256).collect();
+        let mut pu = PuExec::new(&spec);
+        let mut pos = 0;
+        let mut cyc = 0u64;
+        while !pu.finished() {
+            // Starve input on some cycles and block output on others so
+            // every cycle class is exercised.
+            let starved = cyc % 5 == 1;
+            let ready = cyc % 3 != 2;
+            let have = pos < tokens.len() && !starved;
+            let pins = PuIn {
+                input_token: if have { tokens[pos] } else { 0 },
+                input_valid: have,
+                input_finished: pos >= tokens.len(),
+                output_ready: ready,
+            };
+            let o = pu.tick(&pins);
+            if o.input_ready && pins.input_valid {
+                pos += 1;
+            }
+            cyc += 1;
+            assert!(cyc < 10_000);
+        }
+        // A few extra drained cycles after finish.
+        for _ in 0..3 {
+            pu.tick(&PuIn { input_finished: true, output_ready: true, ..PuIn::default() });
+        }
+        let c = pu.counters();
+        assert_eq!(c.total(), pu.cycles(), "one class per clocked cycle");
+        assert!(c.busy >= 40, "each token costs at least one busy cycle");
+        assert!(c.stall_in > 0, "starvation cycles must be attributed");
+        assert!(c.stall_out > 0, "back-pressure cycles must be attributed");
+        assert!(c.drained >= 3, "post-finish cycles are drained");
     }
 
     #[test]

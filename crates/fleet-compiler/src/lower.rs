@@ -272,9 +272,9 @@ impl<'a> Lower<'a> {
         }
 
         // ---- Forwarded read data (Fig. 4 line 31). ----
-        for b in 0..self.spec.brams.len() {
+        for (b, &rd_addr) in cur_rd_addr.iter().enumerate() {
             let aw = self.spec.brams[b].addr_width;
-            let ext = self.zext(cur_rd_addr[b], aw + 1);
+            let ext = self.zext(rd_addr, aw + 1);
             let (_, la_out) = self.last_addr[b];
             let (_, ld_out) = self.last_data[b];
             let hit = self.nl.binary(BinOp::Eq, ext, la_out);
@@ -502,8 +502,8 @@ impl<'a> Lower<'a> {
             let n = self.xlate(g, ctx)?;
             acc = Some(match acc {
                 None => {
-                    let r = self.nl.unary(UnaryOp::ReduceOr, n);
-                    r
+                    
+                    self.nl.unary(UnaryOp::ReduceOr, n)
                 }
                 Some(a) => self.nl.and_b(a, n),
             });

@@ -14,11 +14,11 @@ use crate::error::SimError;
 /// Returns [`SimError::RaggedInput`] if `token_bits` is not a multiple of
 /// 8 or the stream length is not a whole number of tokens.
 pub fn bytes_to_tokens(bytes: &[u8], token_bits: u16) -> Result<Vec<u64>, SimError> {
-    if token_bits % 8 != 0 || token_bits == 0 || token_bits > 64 {
+    if !token_bits.is_multiple_of(8) || token_bits == 0 || token_bits > 64 {
         return Err(SimError::RaggedInput { stream_bits: bytes.len() * 8, token_bits });
     }
     let tb = (token_bits / 8) as usize;
-    if bytes.len() % tb != 0 {
+    if !bytes.len().is_multiple_of(tb) {
         return Err(SimError::RaggedInput { stream_bits: bytes.len() * 8, token_bits });
     }
     Ok(bytes
@@ -40,7 +40,7 @@ pub fn bytes_to_tokens(bytes: &[u8], token_bits: u16) -> Result<Vec<u64>, SimErr
 /// Panics if `token_bits` is not a multiple of 8 in `8..=64`.
 pub fn tokens_to_bytes(tokens: &[u64], token_bits: u16) -> Vec<u8> {
     assert!(
-        token_bits % 8 == 0 && (8..=64).contains(&token_bits),
+        token_bits.is_multiple_of(8) && (8..=64).contains(&token_bits),
         "token size must be a whole number of bytes"
     );
     let tb = (token_bits / 8) as usize;

@@ -260,14 +260,13 @@ pub fn validate(spec: &UnitSpec) -> Result<(), ValidateError> {
             }
         });
         e.visit(&mut |node| match node.node() {
-            ExprNode::Input(w) => {
-                if *w != spec.input_token_bits {
+            ExprNode::Input(w)
+                if *w != spec.input_token_bits => {
                     v.push(Violation::InputWidthMismatch {
                         found: *w,
                         expected: spec.input_token_bits,
                     });
                 }
-            }
             ExprNode::Reg(id) => check_reg(spec, *id, v),
             ExprNode::VecReg(id, _) => check_vec_reg(spec, *id, v),
             ExprNode::BramRead(id, addr) => {
@@ -281,15 +280,14 @@ pub fn validate(spec: &UnitSpec) -> Result<(), ValidateError> {
                     v.push(Violation::DependentBramRead { bram: name });
                 }
             }
-            ExprNode::Slice { arg, hi, lo } => {
-                if *hi >= arg.width() || hi < lo {
+            ExprNode::Slice { arg, hi, lo }
+                if (*hi >= arg.width() || hi < lo) => {
                     v.push(Violation::SliceOutOfRange {
                         hi: *hi,
                         lo: *lo,
                         width: arg.width(),
                     });
                 }
-            }
             _ => {}
         });
     }
@@ -315,11 +313,10 @@ pub fn warnings(spec: &UnitSpec) -> Vec<Warning> {
 
     for s in &spec.body {
         s.visit(&mut |stmt| match stmt {
-            Stmt::BramWrite(b, _, _) => {
-                if b.index() < write_sites.len() {
+            Stmt::BramWrite(b, _, _)
+                if b.index() < write_sites.len() => {
                     write_sites[b.index()] += 1;
                 }
-            }
             Stmt::Emit(_) => emit_sites += 1,
             _ => {}
         });

@@ -98,9 +98,9 @@ impl MemCtlConfig {
     ///
     /// Panics on zero sizes or a burst that is not whole 64-byte beats.
     pub fn check(&self) {
-        assert!(self.burst_bytes > 0 && self.burst_bytes % fleet_axi::BEAT_BYTES == 0,
+        assert!(self.burst_bytes > 0 && self.burst_bytes.is_multiple_of(fleet_axi::BEAT_BYTES),
             "burst must be a whole number of 512-bit beats");
-        assert!(self.port_width_bits >= 8 && self.port_width_bits % 8 == 0,
+        assert!(self.port_width_bits >= 8 && self.port_width_bits.is_multiple_of(8),
             "port width must be whole bytes");
         assert!(self.burst_registers >= 1, "need at least one burst register");
         assert!(self.input_buffer_bytes >= self.burst_bytes,

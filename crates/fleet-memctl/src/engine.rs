@@ -18,11 +18,32 @@
 
 use std::collections::VecDeque;
 
-use fleet_axi::{DramChannel, BEAT_BYTES};
+use fleet_axi::{ChannelStats, DramChannel, BEAT_BYTES};
 use fleet_compiler::PuIn;
+use fleet_trace::{
+    ChannelTrace, CounterSink, CycleClass, DramCounters, EventKind, NullSink, Probe, QueueKind,
+    SignalId, TraceSink,
+};
 
 use crate::config::{Addressing, MemCtlConfig};
 use crate::unit::StreamUnit;
+
+/// Mirrors the DRAM channel's counters into the dependency-free
+/// `fleet-trace` form.
+pub fn dram_counters(s: ChannelStats) -> DramCounters {
+    DramCounters {
+        read_beats: s.read_beats,
+        write_beats: s.write_beats,
+        read_reqs: s.read_reqs,
+        write_reqs: s.write_reqs,
+        row_hits: s.row_hits,
+        row_misses: s.row_misses,
+        refreshes: s.refreshes,
+        refresh_stall_cycles: s.refresh_stall_cycles,
+        turnaround_cycles: s.turnaround_cycles,
+        gap_cycles: s.gap_cycles,
+    }
+}
 
 /// Placement of one unit's streams within a channel's memory.
 #[derive(Debug, Clone, Copy)]
@@ -88,8 +109,13 @@ pub struct EngineStats {
 }
 
 /// One channel: processing units + input/output controllers + DRAM.
+///
+/// The second type parameter selects the [`TraceSink`] the engine's
+/// instrumentation probes feed; the default [`NullSink`] compiles every
+/// probe call away, so untraced engines are unchanged. Build traced
+/// engines with [`ChannelEngine::with_sink`].
 #[derive(Debug)]
-pub struct ChannelEngine<U> {
+pub struct ChannelEngine<U, S: TraceSink = NullSink> {
     cfg: MemCtlConfig,
     dram: DramChannel,
     units: Vec<U>,
@@ -111,10 +137,12 @@ pub struct ChannelEngine<U> {
     out_regs: Vec<OutRegState>,
 
     stats: EngineStats,
+    probe: Probe<S>,
 }
 
 impl<U: StreamUnit> ChannelEngine<U> {
-    /// Builds an engine over `units` with matching stream assignments.
+    /// Builds an untraced engine over `units` with matching stream
+    /// assignments.
     ///
     /// `in_token_bytes` / `out_token_bytes` are the unit's token sizes.
     ///
@@ -130,6 +158,26 @@ impl<U: StreamUnit> ChannelEngine<U> {
         in_token_bytes: usize,
         out_token_bytes: usize,
     ) -> ChannelEngine<U> {
+        ChannelEngine::with_sink(cfg, dram, units, assigns, in_token_bytes, out_token_bytes, NullSink)
+    }
+}
+
+impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
+    /// Builds an engine whose instrumentation probes feed `sink`. See
+    /// [`ChannelEngine::new`] for the other arguments and panics.
+    ///
+    /// Declares the waveform signals (per-PU ready/valid pairs plus
+    /// channel-level bus/queue occupancy) on the sink before the first
+    /// cycle, so a `VcdSink` needs no separate setup.
+    pub fn with_sink(
+        cfg: MemCtlConfig,
+        dram: DramChannel,
+        units: Vec<U>,
+        assigns: Vec<StreamAssignment>,
+        in_token_bytes: usize,
+        out_token_bytes: usize,
+        sink: S,
+    ) -> ChannelEngine<U, S> {
         cfg.check();
         assert_eq!(units.len(), assigns.len(), "one assignment per unit");
         for a in &assigns {
@@ -154,7 +202,7 @@ impl<U: StreamUnit> ChannelEngine<U> {
             })
             .collect();
         let n_regs = cfg.burst_registers;
-        ChannelEngine {
+        let mut engine = ChannelEngine {
             cfg,
             dram,
             units,
@@ -169,7 +217,38 @@ impl<U: StreamUnit> ChannelEngine<U> {
             out_rr: 0,
             out_regs: (0..n_regs).map(|_| OutRegState::Free).collect(),
             stats: EngineStats::default(),
+            probe: Probe::new(sink),
+        };
+        if engine.probe.enabled() {
+            for p in 0..engine.pus.len() {
+                let base = p as u32 * 4;
+                engine.probe.declare_signal(SignalId(base), &format!("pu{p}_in_valid"), 1);
+                engine.probe.declare_signal(SignalId(base + 1), &format!("pu{p}_in_ready"), 1);
+                engine.probe.declare_signal(SignalId(base + 2), &format!("pu{p}_out_valid"), 1);
+                engine.probe.declare_signal(SignalId(base + 3), &format!("pu{p}_out_ready"), 1);
+            }
+            let base = engine.pus.len() as u32 * 4;
+            engine.probe.declare_signal(SignalId(base), "bus_busy", 1);
+            engine.probe.declare_signal(SignalId(base + 1), "pending_reads", 16);
+            engine.probe.declare_signal(SignalId(base + 2), "in_regs_active", 8);
+            engine.probe.declare_signal(SignalId(base + 3), "out_regs_active", 8);
         }
+        engine
+    }
+
+    /// The trace sink (read collected counters after or during a run).
+    pub fn sink(&self) -> &S {
+        self.probe.sink()
+    }
+
+    /// Consumes the engine, returning its sink.
+    pub fn into_sink(self) -> S {
+        self.probe.into_sink()
+    }
+
+    /// Per-unit virtual-cycle counts, where units report them.
+    pub fn unit_vcycles(&self) -> Vec<Option<u64>> {
+        self.units.iter().map(|u| u.vcycles()).collect()
     }
 
     /// Number of units.
@@ -217,9 +296,10 @@ impl<U: StreamUnit> ChannelEngine<U> {
     }
 
     fn peek_token(buf: &VecDeque<u8>, bytes: usize) -> u64 {
+        debug_assert!(buf.len() >= bytes);
         let mut v = 0u64;
-        for k in 0..bytes {
-            v |= (buf[k] as u64) << (8 * k);
+        for (k, &b) in buf.iter().take(bytes).enumerate() {
+            v |= (b as u64) << (8 * k);
         }
         v
     }
@@ -245,14 +325,43 @@ impl<U: StreamUnit> ChannelEngine<U> {
     /// Ticks every processing unit one cycle (handshakes with the
     /// controller buffers), then the controllers, then DRAM.
     pub fn tick(&mut self) {
+        self.probe.cycle_start(self.stats.cycles);
+
         // --- Processing units. ---
         for p in 0..self.units.len() {
             // Skip fully finished units cheaply.
             if self.pus[p].finished {
+                if self.probe.enabled() {
+                    self.probe.pu_cycle(p as u32, CycleClass::Drained);
+                    let base = p as u32 * 4;
+                    for off in 0..4 {
+                        self.probe.signal(SignalId(base + off), 0);
+                    }
+                }
                 continue;
             }
             let pins = self.pu_pins(p);
             let out = self.units[p].comb(&pins);
+            if self.probe.enabled() {
+                // Exactly one class per PU per cycle (conservation):
+                // back-pressured emission is an output stall, an idle
+                // unit whose buffer has no token is an input stall,
+                // everything else (including cleanup execution after
+                // `input_finished`) counts as busy.
+                let class = if out.output_valid && !pins.output_ready {
+                    CycleClass::StallOut
+                } else if !pins.input_valid && !pins.input_finished && out.input_ready {
+                    CycleClass::StallIn
+                } else {
+                    CycleClass::Busy
+                };
+                self.probe.pu_cycle(p as u32, class);
+                let base = p as u32 * 4;
+                self.probe.signal(SignalId(base), pins.input_valid as u64);
+                self.probe.signal(SignalId(base + 1), out.input_ready as u64);
+                self.probe.signal(SignalId(base + 2), out.output_valid as u64);
+                self.probe.signal(SignalId(base + 3), pins.output_ready as u64);
+            }
             if pins.input_valid && out.input_ready {
                 let st = &mut self.pus[p];
                 for _ in 0..self.in_token_bytes {
@@ -268,12 +377,33 @@ impl<U: StreamUnit> ChannelEngine<U> {
             }
             if out.output_finished {
                 self.pus[p].finished = true;
+                self.probe.event(self.stats.cycles, EventKind::UnitFinished { pu: p as u32 });
             }
             self.units[p].clock(&pins);
         }
 
         self.input_controller_tick();
         self.output_controller_tick();
+
+        if self.probe.enabled() {
+            let in_active =
+                self.in_regs.iter().filter(|r| !matches!(r, InRegState::Free)).count();
+            let out_active =
+                self.out_regs.iter().filter(|r| !matches!(r, OutRegState::Free)).count();
+            self.probe.queue_depth(QueueKind::PendingReads, self.pending_reads.len() as u32);
+            self.probe.queue_depth(QueueKind::DramReads, self.dram.read_queue_len() as u32);
+            self.probe.queue_depth(QueueKind::DramWrites, self.dram.write_queue_len() as u32);
+            self.probe.queue_depth(QueueKind::InRegsBusy, in_active as u32);
+            self.probe.queue_depth(QueueKind::OutRegsBusy, out_active as u32);
+            let busy = self.dram.bus_busy();
+            self.probe.bus_cycle(busy);
+            let base = self.pus.len() as u32 * 4;
+            self.probe.signal(SignalId(base), busy as u64);
+            self.probe.signal(SignalId(base + 1), self.pending_reads.len() as u64);
+            self.probe.signal(SignalId(base + 2), in_active as u64);
+            self.probe.signal(SignalId(base + 3), out_active as u64);
+        }
+
         self.dram.tick();
         self.stats.cycles += 1;
     }
@@ -353,6 +483,10 @@ impl<U: StreamUnit> ChannelEngine<U> {
                 st.in_flight += chunk;
                 self.pending_reads.push_back((p, chunk, beats));
                 self.in_rr = (p + 1) % self.pus.len();
+                self.probe.event(
+                    self.stats.cycles,
+                    EventKind::ReadIssued { pu: p as u32, addr: addr as u64, beats },
+                );
             }
         }
 
@@ -432,6 +566,9 @@ impl<U: StreamUnit> ChannelEngine<U> {
             let e = oldest.entry(pu).or_insert(seq);
             *e = (*e).min(seq);
         }
+        // Bursts that finish draining this cycle (probe events are
+        // emitted after the loop; the Vec never allocates untraced).
+        let mut delivered: Vec<(u32, u32)> = Vec::new();
         for reg in &mut self.in_regs {
             if let InRegState::Draining { pu, data, pos, seq } = reg {
                 if oldest.get(pu) != Some(seq) {
@@ -446,9 +583,15 @@ impl<U: StreamUnit> ChannelEngine<U> {
                 st.in_flight -= n;
                 self.stats.input_bytes += n as u64;
                 if *pos == data.len() {
+                    if self.probe.enabled() {
+                        delivered.push((*pu as u32, data.len() as u32));
+                    }
                     *reg = InRegState::Free;
                 }
             }
+        }
+        for (pu, bytes) in delivered {
+            self.probe.event(self.stats.cycles, EventKind::BurstDelivered { pu, bytes });
         }
     }
 
@@ -510,6 +653,8 @@ impl<U: StreamUnit> ChannelEngine<U> {
                 let padded = target.div_ceil(BEAT_BYTES) * BEAT_BYTES;
                 if st.out_written + padded > st.assign.out_capacity {
                     st.overflowed = true;
+                    self.probe
+                        .event(self.stats.cycles, EventKind::OutputOverflow { pu: p as u32 });
                 } else {
                     let addr = st.assign.out_start + st.out_written;
                     self.out_regs[reg_idx] = OutRegState::Filling {
@@ -526,6 +671,9 @@ impl<U: StreamUnit> ChannelEngine<U> {
         // 2. Fill every filling register in parallel at `w` bits/cycle;
         // send completed bursts to the channel.
         let port = self.cfg.port_bytes();
+        // Bursts committed to the write queue this cycle (probe events
+        // emitted after the loop; never allocates untraced).
+        let mut written: Vec<(u32, u64, u32)> = Vec::new();
         for reg in &mut self.out_regs {
             match reg {
                 OutRegState::Filling { pu, addr, data, target } => {
@@ -545,13 +693,19 @@ impl<U: StreamUnit> ChannelEngine<U> {
                 }
                 OutRegState::Sending { .. } | OutRegState::Free => {}
             }
-            if let OutRegState::Sending { pu: _, addr, data } = reg {
+            if let OutRegState::Sending { pu, addr, data } = reg {
                 if self.dram.can_accept_write() {
+                    if S::ENABLED {
+                        written.push((*pu as u32, *addr as u64, data.len() as u32));
+                    }
                     let ok = self.dram.push_write(*addr, std::mem::take(data));
                     debug_assert!(ok);
                     *reg = OutRegState::Free;
                 }
             }
+        }
+        for (pu, addr, bytes) in written {
+            self.probe.event(self.stats.cycles, EventKind::WriteIssued { pu, addr, bytes });
         }
     }
 
@@ -579,5 +733,20 @@ impl<U: StreamUnit> ChannelEngine<U> {
             );
         }
         self.stats.cycles - start
+    }
+}
+
+impl<U: StreamUnit> ChannelEngine<U, CounterSink> {
+    /// Assembles this channel's [`ChannelTrace`] from the counter sink,
+    /// the units' virtual-cycle counts, and the DRAM counters.
+    ///
+    /// `streams[p]` is the global stream index unit `p` processed.
+    pub fn channel_trace(&self, streams: &[usize]) -> ChannelTrace {
+        ChannelTrace::new(
+            self.probe.sink(),
+            streams,
+            &self.unit_vcycles(),
+            dram_counters(self.dram.stats()),
+        )
     }
 }

@@ -25,7 +25,7 @@ pub mod engine;
 pub mod unit;
 
 pub use config::{Addressing, MemCtlConfig};
-pub use engine::{ChannelEngine, EngineStats, StreamAssignment};
+pub use engine::{dram_counters, ChannelEngine, EngineStats, StreamAssignment};
 pub use unit::StreamUnit;
 
 #[cfg(test)]
@@ -54,14 +54,16 @@ mod tests {
         u.build().unwrap()
     }
 
-    /// Builds an engine over `n` copies of `spec`, each fed `stream`.
-    fn build_engine(
+    /// Builds an engine over `n` copies of `spec`, each fed `stream`,
+    /// tracing into `sink`.
+    fn build_engine_with<S: fleet_trace::TraceSink>(
         spec: &UnitSpec,
         cfg: MemCtlConfig,
         n: usize,
         stream: &[u8],
         out_capacity: usize,
-    ) -> ChannelEngine<PuExec> {
+        sink: S,
+    ) -> ChannelEngine<PuExec, S> {
         let in_alloc = stream.len().div_ceil(BEAT_BYTES) * BEAT_BYTES;
         let out_alloc = out_capacity.div_ceil(BEAT_BYTES) * BEAT_BYTES + cfg.burst_bytes;
         let mem = n * (in_alloc + out_alloc);
@@ -79,7 +81,18 @@ mod tests {
             });
         }
         let units = (0..n).map(|_| PuExec::new(spec)).collect();
-        ChannelEngine::new(cfg, dram, units, assigns, 1, 1)
+        ChannelEngine::with_sink(cfg, dram, units, assigns, 1, 1, sink)
+    }
+
+    /// Builds an untraced engine over `n` copies of `spec`.
+    fn build_engine(
+        spec: &UnitSpec,
+        cfg: MemCtlConfig,
+        n: usize,
+        stream: &[u8],
+        out_capacity: usize,
+    ) -> ChannelEngine<PuExec> {
+        build_engine_with(spec, cfg, n, stream, out_capacity, fleet_trace::NullSink)
     }
 
     #[test]
@@ -205,6 +218,58 @@ mod tests {
         for p in 0..2 {
             assert_eq!(eng.output_bytes(p), stream);
         }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_conserves_cycles() {
+        use fleet_trace::{CounterSink, EventKind, QueueKind, VcdSink};
+
+        let spec = identity_spec();
+        let stream: Vec<u8> = (0..500u32).map(|x| (x * 3 + 1) as u8).collect();
+        let n = 4;
+
+        let mut plain = build_engine(&spec, MemCtlConfig::default(), n, &stream, stream.len());
+        plain.run_to_completion(1_000_000);
+
+        let sink = (CounterSink::new(), VcdSink::new());
+        let mut traced =
+            build_engine_with(&spec, MemCtlConfig::default(), n, &stream, stream.len(), sink);
+        traced.run_to_completion(1_000_000);
+
+        // Tracing must not perturb the simulation.
+        assert_eq!(plain.stats().cycles, traced.stats().cycles);
+        for p in 0..n {
+            assert_eq!(plain.output_bytes(p), traced.output_bytes(p));
+        }
+
+        let (counters, vcd) = traced.into_sink();
+        // Conservation: every PU gets exactly one class per cycle.
+        assert_eq!(counters.n_pus(), n);
+        for p in 0..n {
+            let c = counters.pu_counters(p);
+            assert_eq!(c.total(), counters.cycles(), "PU {p} classes not conserved");
+            assert!(c.busy >= stream.len() as u64, "PU {p} busy cycles below token count");
+        }
+        // Data moved, so reads were issued, bursts delivered, writes
+        // committed, and every unit finished.
+        assert!(counters.event_count(EventKind::ReadIssued { pu: 0, addr: 0, beats: 0 }.index()) > 0);
+        assert!(
+            counters.event_count(EventKind::BurstDelivered { pu: 0, bytes: 0 }.index()) > 0
+        );
+        assert!(
+            counters.event_count(EventKind::WriteIssued { pu: 0, addr: 0, bytes: 0 }.index()) > 0
+        );
+        assert_eq!(
+            counters.event_count(EventKind::UnitFinished { pu: 0 }.index()),
+            n as u64
+        );
+        assert!(counters.queue(QueueKind::PendingReads).samples > 0);
+        assert!(counters.bus_busy_cycles() > 0);
+        // The VCD saw per-PU handshakes plus the channel-level signals.
+        assert_eq!(vcd.n_signals(), n * 4 + 4);
+        let doc = vcd.to_vcd();
+        assert!(doc.contains("pu0_in_valid"), "missing declared signal:\n{doc}");
+        assert!(doc.contains("$enddefinitions"), "not a VCD document");
     }
 
     #[test]

@@ -13,6 +13,12 @@ pub trait StreamUnit {
     fn comb(&mut self, pins: &PuIn) -> PuOut;
     /// Clock edge; `pins` must match the preceding `comb` call.
     fn clock(&mut self, pins: &PuIn);
+    /// Virtual cycles completed, when the implementation tracks them
+    /// (used by trace reports to check the §4 one-vcycle-per-cycle
+    /// guarantee). Defaults to `None`.
+    fn vcycles(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl StreamUnit for PuExec {
@@ -21,6 +27,9 @@ impl StreamUnit for PuExec {
     }
     fn clock(&mut self, pins: &PuIn) {
         PuExec::clock(self, pins)
+    }
+    fn vcycles(&self) -> Option<u64> {
+        Some(PuExec::vcycles(self))
     }
 }
 

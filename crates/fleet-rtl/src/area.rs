@@ -21,16 +21,20 @@ pub struct Area {
     pub bram36: u64,
 }
 
-impl Area {
+impl std::ops::Add for Area {
+    type Output = Area;
+
     /// Component-wise sum.
-    pub fn add(self, other: Area) -> Area {
+    fn add(self, other: Area) -> Area {
         Area {
             luts: self.luts + other.luts,
             ffs: self.ffs + other.ffs,
             bram36: self.bram36 + other.bram36,
         }
     }
+}
 
+impl Area {
     /// Scales every resource by `n` (replication).
     pub fn scale(self, n: u64) -> Area {
         Area { luts: self.luts * n, ffs: self.ffs * n, bram36: self.bram36 * n }
@@ -71,9 +75,9 @@ impl Device {
         let avail_luts = self.luts.saturating_sub(overhead.luts);
         let avail_ffs = self.ffs.saturating_sub(overhead.ffs);
         let avail_bram = self.bram36.saturating_sub(overhead.bram36);
-        let by_lut = if unit.luts == 0 { u64::MAX } else { avail_luts / unit.luts };
-        let by_ff = if unit.ffs == 0 { u64::MAX } else { avail_ffs / unit.ffs };
-        let by_bram = if unit.bram36 == 0 { u64::MAX } else { avail_bram / unit.bram36 };
+        let by_lut = avail_luts.checked_div(unit.luts).unwrap_or(u64::MAX);
+        let by_ff = avail_ffs.checked_div(unit.ffs).unwrap_or(u64::MAX);
+        let by_bram = avail_bram.checked_div(unit.bram36).unwrap_or(u64::MAX);
         by_lut.min(by_ff).min(by_bram)
     }
 }
@@ -181,7 +185,7 @@ mod tests {
     #[test]
     fn area_scale_and_add() {
         let a = Area { luts: 10, ffs: 20, bram36: 1 };
-        let b = a.scale(3).add(a);
+        let b = a.scale(3) + a;
         assert_eq!(b, Area { luts: 40, ffs: 80, bram36: 4 });
     }
 }

@@ -63,9 +63,7 @@ pub fn max_units(spec: &UnitSpec, platform: &Platform, cfg: &MemCtlConfig) -> u6
 
 /// Total design area for `units` copies plus the controller.
 pub fn design_area(spec: &UnitSpec, units: usize, platform: &Platform, cfg: &MemCtlConfig) -> Area {
-    unit_area(spec)
-        .scale(units as u64)
-        .add(controller_area(cfg, platform.channels, units))
+    unit_area(spec).scale(units as u64) + controller_area(cfg, platform.channels, units)
 }
 
 #[cfg(test)]

@@ -40,16 +40,42 @@ pub mod system;
 
 pub use area::{controller_area, design_area, max_units, unit_area};
 pub use platform::{CpuPlatform, GpuPlatform, Platform};
-pub use system::{run_replicated, run_system, RunReport, SystemConfig, SystemError};
+pub use system::{
+    run_replicated, run_system, run_system_traced, RunReport, SystemConfig, SystemError,
+};
 
 /// Splits one large input into `n` roughly equal streams at token-aligned
 /// boundaries — the host-side splitting step of §2 (newline splitting for
 /// JSON records and the like is app-specific; see `fleet-apps`).
 ///
+/// **Truncation invariant:** only whole tokens are distributed. If
+/// `input.len()` is not a multiple of `token_bytes`, the trailing
+/// partial token is *not* included in any stream — use
+/// [`split_with_remainder`] to receive it explicitly instead of having
+/// it silently dropped.
+///
 /// # Panics
 ///
 /// Panics if `token_bytes` is zero.
 pub fn split(input: &[u8], n: usize, token_bytes: usize) -> Vec<Vec<u8>> {
+    split_with_remainder(input, n, token_bytes).0
+}
+
+/// Like [`split`], but also returns the trailing partial token (empty
+/// when `input.len()` is a multiple of `token_bytes`), so callers can
+/// detect or handle ragged inputs instead of losing bytes.
+///
+/// The streams concatenated with the remainder always reproduce `input`
+/// exactly.
+///
+/// # Panics
+///
+/// Panics if `token_bytes` is zero.
+pub fn split_with_remainder(
+    input: &[u8],
+    n: usize,
+    token_bytes: usize,
+) -> (Vec<Vec<u8>>, &[u8]) {
     assert!(token_bytes > 0);
     let tokens = input.len() / token_bytes;
     let per = tokens.div_ceil(n.max(1));
@@ -64,7 +90,7 @@ pub fn split(input: &[u8], n: usize, token_bytes: usize) -> Vec<Vec<u8>> {
             break;
         }
     }
-    out
+    (out, &input[tokens * token_bytes..])
 }
 
 #[cfg(test)]
@@ -87,5 +113,24 @@ mod tests {
         for p in split(&data, 3, 4) {
             assert_eq!(p.len() % 4, 0);
         }
+    }
+
+    #[test]
+    fn split_with_remainder_returns_trailing_partial_token() {
+        // 1003 bytes of 4-byte tokens: 250 whole tokens + 3 ragged bytes.
+        let data: Vec<u8> = (0..1003u32).map(|x| x as u8).collect();
+        let (parts, rest) = split_with_remainder(&data, 7, 4);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 1000, "streams hold only whole tokens");
+        assert_eq!(rest, &data[1000..], "remainder is the trailing partial token");
+        let mut rejoined: Vec<u8> = parts.concat();
+        rejoined.extend_from_slice(rest);
+        assert_eq!(rejoined, data, "streams + remainder reproduce the input");
+
+        // Token-aligned input: empty remainder, same streams as split().
+        let aligned = vec![7u8; 96];
+        let (parts, rest) = split_with_remainder(&aligned, 5, 4);
+        assert!(rest.is_empty());
+        assert_eq!(parts, split(&aligned, 5, 4));
     }
 }

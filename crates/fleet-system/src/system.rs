@@ -8,6 +8,7 @@ use fleet_axi::{DramChannel, BEAT_BYTES};
 use fleet_compiler::PuExec;
 use fleet_lang::UnitSpec;
 use fleet_memctl::{ChannelEngine, EngineStats, MemCtlConfig, StreamAssignment};
+use fleet_trace::{CounterSink, NullSink, TraceReport, TraceSink};
 
 use crate::platform::Platform;
 
@@ -83,6 +84,9 @@ pub struct RunReport {
     pub outputs: Vec<Vec<u8>>,
     /// Wall-clock seconds at the platform clock.
     pub seconds: f64,
+    /// Cycle-level trace with stall attribution; `Some` only for
+    /// [`run_system_traced`] runs (plain runs pay zero tracing cost).
+    pub trace: Option<TraceReport>,
 }
 
 impl RunReport {
@@ -115,6 +119,50 @@ pub fn run_system(
     streams: &[Vec<u8>],
     cfg: &SystemConfig,
 ) -> Result<RunReport, SystemError> {
+    let (report, _engines, _maps) = run_system_inner(spec, streams, cfg, || NullSink)?;
+    Ok(report)
+}
+
+/// Like [`run_system`], but every channel engine records into a
+/// [`CounterSink`]; the returned report carries `trace: Some(..)` with
+/// per-PU stall attribution, queue statistics, bus utilization, and
+/// DRAM counters.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_system`].
+///
+/// # Panics
+///
+/// Same panics as [`run_system`].
+pub fn run_system_traced(
+    spec: &UnitSpec,
+    streams: &[Vec<u8>],
+    cfg: &SystemConfig,
+) -> Result<RunReport, SystemError> {
+    let (mut report, engines, index_maps) =
+        run_system_inner(spec, streams, cfg, CounterSink::new)?;
+    let channels = engines
+        .iter()
+        .zip(&index_maps)
+        .map(|(eng, streams)| eng.channel_trace(streams))
+        .collect();
+    report.trace = Some(TraceReport::new(channels));
+    Ok(report)
+}
+
+/// Shared runner: builds one engine per channel (tracing into a sink
+/// from `make_sink`), drives them in parallel, and assembles the
+/// report. Returns the engines and stream index maps so traced callers
+/// can extract sink data.
+type InnerRun<S> = (RunReport, Vec<ChannelEngine<PuExec, S>>, Vec<Vec<usize>>);
+
+fn run_system_inner<S: TraceSink + Send>(
+    spec: &UnitSpec,
+    streams: &[Vec<u8>],
+    cfg: &SystemConfig,
+    mut make_sink: impl FnMut() -> S,
+) -> Result<InnerRun<S>, SystemError> {
     assert!(!streams.is_empty(), "need at least one stream");
     let in_tok = (spec.input_token_bits as usize).div_ceil(8);
     let out_tok = (spec.output_token_bits as usize).div_ceil(8);
@@ -153,7 +201,15 @@ pub fn run_system(
             });
         }
         let units: Vec<PuExec> = group.iter().map(|_| PuExec::new(spec)).collect();
-        engines.push(ChannelEngine::new(cfg.memctl, dram, units, assigns, in_tok, out_tok));
+        engines.push(ChannelEngine::with_sink(
+            cfg.memctl,
+            dram,
+            units,
+            assigns,
+            in_tok,
+            out_tok,
+            make_sink(),
+        ));
         index_maps.push(group.iter().map(|(i, _)| *i).collect::<Vec<_>>());
     }
 
@@ -209,7 +265,7 @@ pub fn run_system(
         channel_stats.push(eng.stats());
     }
 
-    Ok(RunReport {
+    let report = RunReport {
         cycles,
         input_bytes,
         output_bytes,
@@ -217,7 +273,9 @@ pub fn run_system(
         channel_stats,
         outputs,
         seconds: cfg.platform.seconds(cycles),
-    })
+        trace: None,
+    };
+    Ok((report, engines, index_maps))
 }
 
 /// Convenience: replicate one stream across `n` units and run.
@@ -262,6 +320,44 @@ mod tests {
         }
         assert_eq!(report.input_bytes, 13 * 500);
         assert!(report.input_gbps() > 0.0);
+    }
+
+    #[test]
+    fn traced_run_attributes_stalls_and_matches_untraced() {
+        let spec = identity_spec();
+        let streams: Vec<Vec<u8>> = (0..9)
+            .map(|s| (0..400u32).map(|x| ((x * 3 + s * 17) % 256) as u8).collect())
+            .collect();
+        let cfg = SystemConfig::f1(1024);
+
+        let plain = run_system(&spec, &streams, &cfg).unwrap();
+        assert!(plain.trace.is_none(), "plain runs carry no trace");
+        let traced = run_system_traced(&spec, &streams, &cfg).unwrap();
+
+        // Tracing must not perturb the simulation.
+        assert_eq!(plain.cycles, traced.cycles);
+        assert_eq!(plain.outputs, traced.outputs);
+
+        let trace = traced.trace.expect("traced run carries a trace");
+        assert_eq!(trace.units(), streams.len());
+        // Conservation: each PU was classified exactly once per cycle of
+        // its channel.
+        for ch in &trace.channels {
+            for pu in &ch.pus {
+                assert_eq!(pu.counters.total(), ch.cycles);
+            }
+        }
+        // Stream ids cover every submitted stream exactly once.
+        let mut seen: Vec<usize> =
+            trace.channels.iter().flat_map(|c| c.pus.iter().map(|p| p.stream)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..streams.len()).collect::<Vec<_>>());
+        // Attribution fractions sum to 1 and the report serializes.
+        let a = trace.attribution();
+        let sum = a.busy + a.input_stalled + a.output_stalled + a.drained;
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(trace.dram_totals().read_beats > 0);
+        assert!(trace.to_json().contains("\"attribution\""));
     }
 
     #[test]

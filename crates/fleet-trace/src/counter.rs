@@ -1,0 +1,267 @@
+//! [`CounterSink`]: aggregate cycle accounting.
+
+use crate::{CycleClass, EventKind, QueueKind, TraceEvent, TraceSink};
+
+/// Cycles in a bus-utilization histogram window.
+pub const BUS_WINDOW_CYCLES: u64 = 512;
+
+/// Histogram buckets: utilization 0–12.5 %, …, 87.5–100 %, plus an
+/// exact-100 % bucket at the end.
+pub const BUS_BUCKETS: usize = 9;
+
+/// Per-PU cycle accounting. One class per cycle, so
+/// `busy + stall_in + stall_out + drained == total`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PuCycleCounters {
+    /// Cycles spent executing virtual cycles.
+    pub busy: u64,
+    /// Cycles stalled waiting for input data.
+    pub stall_in: u64,
+    /// Cycles stalled on a full output buffer.
+    pub stall_out: u64,
+    /// Cycles finished, waiting for the channel to drain.
+    pub drained: u64,
+}
+
+impl PuCycleCounters {
+    /// Adds one cycle of `class`.
+    #[inline]
+    pub fn add(&mut self, class: CycleClass) {
+        match class {
+            CycleClass::Busy => self.busy += 1,
+            CycleClass::StallIn => self.stall_in += 1,
+            CycleClass::StallOut => self.stall_out += 1,
+            CycleClass::Drained => self.drained += 1,
+        }
+    }
+
+    /// Total classified cycles.
+    pub fn total(&self) -> u64 {
+        self.busy + self.stall_in + self.stall_out + self.drained
+    }
+
+    /// Count for one class.
+    pub fn get(&self, class: CycleClass) -> u64 {
+        match class {
+            CycleClass::Busy => self.busy,
+            CycleClass::StallIn => self.stall_in,
+            CycleClass::StallOut => self.stall_out,
+            CycleClass::Drained => self.drained,
+        }
+    }
+}
+
+/// Running statistics of one sampled queue depth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Sum of sampled depths (for the mean).
+    pub sum: u64,
+    /// Maximum sampled depth.
+    pub max: u32,
+    /// Number of samples.
+    pub samples: u64,
+}
+
+impl QueueStats {
+    /// Mean sampled depth.
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+}
+
+/// Aggregating sink: per-PU cycle classes, queue-depth statistics, a
+/// windowed bus-utilization histogram, and per-kind event counts.
+///
+/// Memory is O(PUs), independent of run length.
+#[derive(Debug, Clone, Default)]
+pub struct CounterSink {
+    cycles: u64,
+    per_pu: Vec<PuCycleCounters>,
+    queues: [QueueStats; QueueKind::COUNT],
+    bus_busy_cycles: u64,
+    bus_window_busy: u64,
+    bus_window_pos: u64,
+    bus_hist: [u64; BUS_BUCKETS],
+    event_counts: [u64; EventKind::COUNT],
+}
+
+impl CounterSink {
+    /// Empty sink.
+    pub fn new() -> CounterSink {
+        CounterSink::default()
+    }
+
+    /// Cycles observed (one per `cycle_start`).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Number of PUs that reported at least one cycle.
+    pub fn n_pus(&self) -> usize {
+        self.per_pu.len()
+    }
+
+    /// Counters for PU `pu` (zeros if it never reported).
+    pub fn pu_counters(&self, pu: usize) -> PuCycleCounters {
+        self.per_pu.get(pu).copied().unwrap_or_default()
+    }
+
+    /// All per-PU counters.
+    pub fn all_pu_counters(&self) -> &[PuCycleCounters] {
+        &self.per_pu
+    }
+
+    /// Statistics for one sampled queue.
+    pub fn queue(&self, q: QueueKind) -> QueueStats {
+        self.queues[q as usize]
+    }
+
+    /// Cycles the DRAM data bus was occupied.
+    pub fn bus_busy_cycles(&self) -> u64 {
+        self.bus_busy_cycles
+    }
+
+    /// Bus utilization over the whole run, in [0, 1].
+    pub fn bus_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.bus_busy_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Windowed bus-utilization histogram: windows of
+    /// [`BUS_WINDOW_CYCLES`] cycles, bucketed by occupancy octile, with
+    /// a dedicated final bucket for fully-saturated windows.
+    pub fn bus_histogram(&self) -> [u64; BUS_BUCKETS] {
+        self.bus_hist
+    }
+
+    /// Count of events of `kind`'s kind recorded.
+    pub fn event_count(&self, kind_index: usize) -> u64 {
+        self.event_counts[kind_index]
+    }
+
+    fn close_bus_window(&mut self, window_len: u64) {
+        if window_len == 0 {
+            return;
+        }
+        let bucket = if self.bus_window_busy >= window_len {
+            BUS_BUCKETS - 1
+        } else {
+            ((self.bus_window_busy * (BUS_BUCKETS as u64 - 1)) / window_len) as usize
+        };
+        self.bus_hist[bucket] += 1;
+        self.bus_window_busy = 0;
+        self.bus_window_pos = 0;
+    }
+}
+
+impl TraceSink for CounterSink {
+    fn cycle_start(&mut self, _now: u64) {
+        self.cycles += 1;
+    }
+
+    fn pu_cycle(&mut self, pu: u32, class: CycleClass) {
+        let pu = pu as usize;
+        if pu >= self.per_pu.len() {
+            self.per_pu.resize(pu + 1, PuCycleCounters::default());
+        }
+        self.per_pu[pu].add(class);
+    }
+
+    fn queue_depth(&mut self, queue: QueueKind, depth: u32) {
+        let q = &mut self.queues[queue as usize];
+        q.sum += depth as u64;
+        q.max = q.max.max(depth);
+        q.samples += 1;
+    }
+
+    fn bus_cycle(&mut self, busy: bool) {
+        if busy {
+            self.bus_busy_cycles += 1;
+            self.bus_window_busy += 1;
+        }
+        self.bus_window_pos += 1;
+        if self.bus_window_pos == BUS_WINDOW_CYCLES {
+            self.close_bus_window(BUS_WINDOW_CYCLES);
+        }
+    }
+
+    fn event(&mut self, event: TraceEvent) {
+        self.event_counts[event.kind.index()] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventKind;
+
+    #[test]
+    fn classes_are_conserved() {
+        let mut s = CounterSink::new();
+        for c in 0..1000u64 {
+            s.cycle_start(c);
+            for pu in 0..4u32 {
+                let class = match (c + pu as u64) % 4 {
+                    0 => CycleClass::Busy,
+                    1 => CycleClass::StallIn,
+                    2 => CycleClass::StallOut,
+                    _ => CycleClass::Drained,
+                };
+                s.pu_cycle(pu, class);
+            }
+        }
+        for pu in 0..4 {
+            assert_eq!(s.pu_counters(pu).total(), s.cycles());
+        }
+    }
+
+    #[test]
+    fn queue_stats_track_mean_and_max() {
+        let mut s = CounterSink::new();
+        for d in [1u32, 2, 3, 10] {
+            s.queue_depth(QueueKind::PendingReads, d);
+        }
+        let q = s.queue(QueueKind::PendingReads);
+        assert_eq!(q.max, 10);
+        assert_eq!(q.samples, 4);
+        assert!((q.mean() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturated_windows_land_in_last_bucket() {
+        let mut s = CounterSink::new();
+        for c in 0..(2 * BUS_WINDOW_CYCLES) {
+            s.cycle_start(c);
+            s.bus_cycle(true);
+        }
+        assert_eq!(s.bus_histogram()[BUS_BUCKETS - 1], 2);
+        assert!((s.bus_utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_windows_land_in_first_bucket() {
+        let mut s = CounterSink::new();
+        for c in 0..BUS_WINDOW_CYCLES {
+            s.cycle_start(c);
+            s.bus_cycle(false);
+        }
+        assert_eq!(s.bus_histogram()[0], 1);
+    }
+
+    #[test]
+    fn events_are_counted_by_kind() {
+        let mut s = CounterSink::new();
+        s.event(TraceEvent { cycle: 0, kind: EventKind::ReadIssued { pu: 0, addr: 0, beats: 2 } });
+        s.event(TraceEvent { cycle: 1, kind: EventKind::ReadIssued { pu: 1, addr: 64, beats: 2 } });
+        s.event(TraceEvent { cycle: 2, kind: EventKind::UnitFinished { pu: 0 } });
+        assert_eq!(s.event_count(EventKind::ReadIssued { pu: 0, addr: 0, beats: 0 }.index()), 2);
+        assert_eq!(s.event_count(EventKind::UnitFinished { pu: 0 }.index()), 1);
+    }
+}

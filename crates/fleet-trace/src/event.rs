@@ -1,0 +1,88 @@
+//! [`EventSink`]: a bounded ring buffer of timestamped events.
+
+use std::collections::VecDeque;
+
+use crate::{EventKind, TraceSink};
+
+/// One timestamped structured event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation cycle at which the event happened.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Keeps the most recent `capacity` events; older ones are dropped
+/// (with a count of how many), so memory stays bounded on long runs.
+#[derive(Debug, Clone)]
+pub struct EventSink {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventSink {
+    /// Ring buffer holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> EventSink {
+        assert!(capacity > 0, "EventSink needs capacity >= 1");
+        EventSink { buf: VecDeque::with_capacity(capacity), capacity, dropped: 0 }
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for EventSink {
+    fn event(&mut self, event: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut s = EventSink::new(3);
+        for c in 0..10u64 {
+            s.event(TraceEvent { cycle: c, kind: EventKind::UnitFinished { pu: c as u32 } });
+        }
+        let cycles: Vec<u64> = s.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9]);
+        assert_eq!(s.dropped(), 7);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = EventSink::new(0);
+    }
+}

@@ -1,0 +1,420 @@
+//! [`TraceReport`]: run-level aggregation and stall attribution.
+
+use crate::counter::{CounterSink, PuCycleCounters, QueueStats, BUS_BUCKETS};
+use crate::{CycleClass, QueueKind};
+
+/// DRAM-side counters, mirrored from the channel model so this crate
+/// stays dependency-free (conversion lives in `fleet-memctl`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramCounters {
+    /// Read data beats delivered.
+    pub read_beats: u64,
+    /// Write data beats consumed.
+    pub write_beats: u64,
+    /// Read requests accepted.
+    pub read_reqs: u64,
+    /// Write requests accepted.
+    pub write_reqs: u64,
+    /// Requests landing in the most recently accessed DRAM row
+    /// (observational open-row model).
+    pub row_hits: u64,
+    /// Requests opening a different row.
+    pub row_misses: u64,
+    /// Refresh blackout windows that delayed a transfer.
+    pub refreshes: u64,
+    /// Cycles transfers were pushed back by refresh blackouts.
+    pub refresh_stall_cycles: u64,
+    /// Cycles lost to read↔write bus turnaround.
+    pub turnaround_cycles: u64,
+    /// Cycles lost to per-request command/row-activation gaps.
+    pub gap_cycles: u64,
+}
+
+/// Trace of one processing unit within a channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PuTrace {
+    /// Global stream index this unit processed.
+    pub stream: usize,
+    /// Controller-side cycle classification.
+    pub counters: PuCycleCounters,
+    /// Virtual cycles the unit completed, when the executor reports
+    /// them (the §4 claim is `vcycles ≈ busy real cycles`).
+    pub vcycles: Option<u64>,
+}
+
+/// Trace of one DRAM channel's engine.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelTrace {
+    /// Cycles this channel ran.
+    pub cycles: u64,
+    /// Per-unit traces, channel-local order.
+    pub pus: Vec<PuTrace>,
+    /// Queue-depth statistics, indexed by [`QueueKind`] discriminant.
+    pub queues: [QueueStats; QueueKind::COUNT],
+    /// Windowed bus-utilization histogram (see
+    /// [`CounterSink::bus_histogram`]).
+    pub bus_hist: [u64; BUS_BUCKETS],
+    /// Whole-run bus utilization in [0, 1].
+    pub bus_utilization: f64,
+    /// DRAM-side counters.
+    pub dram: DramCounters,
+}
+
+impl ChannelTrace {
+    /// Assembles a channel trace from its engine's counter sink,
+    /// per-unit virtual-cycle counts, global stream ids, and DRAM
+    /// counters.
+    pub fn new(
+        counters: &CounterSink,
+        streams: &[usize],
+        vcycles: &[Option<u64>],
+        dram: DramCounters,
+    ) -> ChannelTrace {
+        let pus = (0..streams.len())
+            .map(|p| PuTrace {
+                stream: streams[p],
+                counters: counters.pu_counters(p),
+                vcycles: vcycles.get(p).copied().flatten(),
+            })
+            .collect();
+        ChannelTrace {
+            cycles: counters.cycles(),
+            pus,
+            queues: std::array::from_fn(|q| counters.queue(QueueKind::all()[q])),
+            bus_hist: counters.bus_histogram(),
+            bus_utilization: counters.bus_utilization(),
+            dram,
+        }
+    }
+}
+
+/// Where the run's PU-cycles went, as fractions summing to 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StallAttribution {
+    /// Fraction of PU-cycles doing work.
+    pub busy: f64,
+    /// Fraction stalled on the input path (DRAM latency / input
+    /// controller).
+    pub input_stalled: f64,
+    /// Fraction stalled on the output path (output controller / write
+    /// queue).
+    pub output_stalled: f64,
+    /// Fraction spent finished, waiting for channel drain.
+    pub drained: f64,
+}
+
+impl StallAttribution {
+    /// The dominant class and its fraction.
+    pub fn dominant(&self) -> (CycleClass, f64) {
+        let pairs = [
+            (CycleClass::Busy, self.busy),
+            (CycleClass::StallIn, self.input_stalled),
+            (CycleClass::StallOut, self.output_stalled),
+            (CycleClass::Drained, self.drained),
+        ];
+        pairs
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty")
+    }
+}
+
+/// The run-level trace: every channel's counters plus derived
+/// attribution. Serializable to JSON via [`TraceReport::to_json`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Per-channel traces.
+    pub channels: Vec<ChannelTrace>,
+}
+
+impl TraceReport {
+    /// Builds a report over channel traces.
+    pub fn new(channels: Vec<ChannelTrace>) -> TraceReport {
+        TraceReport { channels }
+    }
+
+    /// Cycles of the slowest channel.
+    pub fn cycles(&self) -> u64 {
+        self.channels.iter().map(|c| c.cycles).max().unwrap_or(0)
+    }
+
+    /// Total units across channels.
+    pub fn units(&self) -> usize {
+        self.channels.iter().map(|c| c.pus.len()).sum()
+    }
+
+    /// Sums per-PU counters across all channels.
+    pub fn total_counters(&self) -> PuCycleCounters {
+        let mut t = PuCycleCounters::default();
+        for ch in &self.channels {
+            for pu in &ch.pus {
+                t.busy += pu.counters.busy;
+                t.stall_in += pu.counters.stall_in;
+                t.stall_out += pu.counters.stall_out;
+                t.drained += pu.counters.drained;
+            }
+        }
+        t
+    }
+
+    /// The stall-attribution breakdown over all PU-cycles.
+    pub fn attribution(&self) -> StallAttribution {
+        let t = self.total_counters();
+        let total = t.total();
+        if total == 0 {
+            return StallAttribution::default();
+        }
+        let f = |x: u64| x as f64 / total as f64;
+        StallAttribution {
+            busy: f(t.busy),
+            input_stalled: f(t.stall_in),
+            output_stalled: f(t.stall_out),
+            drained: f(t.drained),
+        }
+    }
+
+    /// Virtual cycles completed per busy real cycle, when executors
+    /// report virtual cycles (the paper's §4 guarantee is ≈1.0; loops
+    /// and multi-cycle tokens push it below the busy-cycle count only
+    /// through stalls, never above 1 per real cycle).
+    pub fn vcycle_ratio(&self) -> Option<f64> {
+        let mut vtotal = 0u64;
+        let mut busy = 0u64;
+        let mut any = false;
+        for ch in &self.channels {
+            for pu in &ch.pus {
+                if let Some(v) = pu.vcycles {
+                    vtotal += v;
+                    busy += pu.counters.busy;
+                    any = true;
+                }
+            }
+        }
+        if !any || busy == 0 {
+            None
+        } else {
+            Some(vtotal as f64 / busy as f64)
+        }
+    }
+
+    /// Mean bus utilization across channels, in [0, 1].
+    pub fn bus_utilization(&self) -> f64 {
+        if self.channels.is_empty() {
+            return 0.0;
+        }
+        self.channels.iter().map(|c| c.bus_utilization).sum::<f64>()
+            / self.channels.len() as f64
+    }
+
+    /// Aggregated DRAM counters across channels.
+    pub fn dram_totals(&self) -> DramCounters {
+        let mut t = DramCounters::default();
+        for ch in &self.channels {
+            let d = &ch.dram;
+            t.read_beats += d.read_beats;
+            t.write_beats += d.write_beats;
+            t.read_reqs += d.read_reqs;
+            t.write_reqs += d.write_reqs;
+            t.row_hits += d.row_hits;
+            t.row_misses += d.row_misses;
+            t.refreshes += d.refreshes;
+            t.refresh_stall_cycles += d.refresh_stall_cycles;
+            t.turnaround_cycles += d.turnaround_cycles;
+            t.gap_cycles += d.gap_cycles;
+        }
+        t
+    }
+
+    /// One-line human summary: "this run was 61% DRAM-latency-bound…".
+    pub fn summary(&self) -> String {
+        let a = self.attribution();
+        let pct = |x: f64| x * 100.0;
+        format!(
+            "{:.1}% busy, {:.1}% input-stalled (DRAM/input-controller-bound), \
+             {:.1}% output-stalled (output-controller-bound), {:.1}% drained; \
+             bus {:.1}% utilized over {} cycles, {} units",
+            pct(a.busy),
+            pct(a.input_stalled),
+            pct(a.output_stalled),
+            pct(a.drained),
+            pct(self.bus_utilization()),
+            self.cycles(),
+            self.units(),
+        )
+    }
+
+    /// Serializes the full report as a JSON document.
+    ///
+    /// Hand-rolled because the build environment vendors no `serde`;
+    /// the schema is stable and spelled out here in one place.
+    pub fn to_json(&self) -> String {
+        let a = self.attribution();
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"cycles\": {},\n", self.cycles()));
+        s.push_str(&format!("  \"units\": {},\n", self.units()));
+        s.push_str(&format!(
+            "  \"attribution\": {{\"busy\": {:.6}, \"input_stalled\": {:.6}, \
+             \"output_stalled\": {:.6}, \"drained\": {:.6}}},\n",
+            a.busy, a.input_stalled, a.output_stalled, a.drained
+        ));
+        match self.vcycle_ratio() {
+            Some(r) => s.push_str(&format!("  \"vcycle_ratio\": {r:.6},\n")),
+            None => s.push_str("  \"vcycle_ratio\": null,\n"),
+        }
+        s.push_str(&format!("  \"bus_utilization\": {:.6},\n", self.bus_utilization()));
+        s.push_str("  \"channels\": [\n");
+        for (i, ch) in self.channels.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"cycles\": {},\n", ch.cycles));
+            s.push_str(&format!("      \"bus_utilization\": {:.6},\n", ch.bus_utilization));
+            s.push_str(&format!(
+                "      \"bus_histogram\": [{}],\n",
+                ch.bus_hist.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+            ));
+            s.push_str("      \"queues\": {");
+            let queues: Vec<String> = QueueKind::all()
+                .iter()
+                .map(|&q| {
+                    let st = ch.queues[q as usize];
+                    format!(
+                        "\"{}\": {{\"mean\": {:.3}, \"max\": {}}}",
+                        q.name(),
+                        st.mean(),
+                        st.max
+                    )
+                })
+                .collect();
+            s.push_str(&queues.join(", "));
+            s.push_str("},\n");
+            let d = &ch.dram;
+            s.push_str(&format!(
+                "      \"dram\": {{\"read_beats\": {}, \"write_beats\": {}, \
+                 \"read_reqs\": {}, \"write_reqs\": {}, \"row_hits\": {}, \
+                 \"row_misses\": {}, \"refreshes\": {}, \"refresh_stall_cycles\": {}, \
+                 \"turnaround_cycles\": {}, \"gap_cycles\": {}}},\n",
+                d.read_beats,
+                d.write_beats,
+                d.read_reqs,
+                d.write_reqs,
+                d.row_hits,
+                d.row_misses,
+                d.refreshes,
+                d.refresh_stall_cycles,
+                d.turnaround_cycles,
+                d.gap_cycles
+            ));
+            s.push_str("      \"pus\": [\n");
+            for (j, pu) in ch.pus.iter().enumerate() {
+                let c = pu.counters;
+                let v = pu
+                    .vcycles
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "null".to_string());
+                s.push_str(&format!(
+                    "        {{\"stream\": {}, \"busy\": {}, \"stall_in\": {}, \
+                     \"stall_out\": {}, \"drained\": {}, \"vcycles\": {v}}}{}\n",
+                    pu.stream,
+                    c.busy,
+                    c.stall_in,
+                    c.stall_out,
+                    c.drained,
+                    if j + 1 < ch.pus.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("      ]\n");
+            s.push_str(&format!(
+                "    }}{}\n",
+                if i + 1 < self.channels.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CounterSink, CycleClass, TraceSink};
+
+    fn sample_report() -> TraceReport {
+        let mut sink = CounterSink::new();
+        for c in 0..100u64 {
+            sink.cycle_start(c);
+            sink.pu_cycle(0, if c < 60 { CycleClass::Busy } else { CycleClass::StallIn });
+            sink.pu_cycle(1, if c < 30 { CycleClass::Busy } else { CycleClass::Drained });
+            sink.bus_cycle(c % 2 == 0);
+        }
+        let ch = ChannelTrace::new(
+            &sink,
+            &[4, 7],
+            &[Some(55), None],
+            DramCounters { read_beats: 10, row_hits: 3, row_misses: 7, ..Default::default() },
+        );
+        TraceReport::new(vec![ch])
+    }
+
+    #[test]
+    fn attribution_sums_to_one() {
+        let r = sample_report();
+        let a = r.attribution();
+        let sum = a.busy + a.input_stalled + a.output_stalled + a.drained;
+        assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+        assert_eq!(r.total_counters().total(), 200);
+        assert!((a.busy - 0.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stream_ids_are_preserved() {
+        let r = sample_report();
+        assert_eq!(r.channels[0].pus[0].stream, 4);
+        assert_eq!(r.channels[0].pus[1].stream, 7);
+    }
+
+    #[test]
+    fn vcycle_ratio_uses_only_reporting_units() {
+        let r = sample_report();
+        // Unit 0 reported 55 vcycles over 60 busy cycles.
+        let ratio = r.vcycle_ratio().unwrap();
+        assert!((ratio - 55.0 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_mentions_dominant_class() {
+        let r = sample_report();
+        let s = r.summary();
+        assert!(s.contains("busy"), "{s}");
+        assert!(s.contains('%'), "{s}");
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let r = sample_report();
+        let json = r.to_json();
+        // Balanced braces/brackets and the expected keys — a cheap
+        // structural check that catches formatting regressions without a
+        // JSON parser dependency.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for key in [
+            "\"attribution\"",
+            "\"vcycle_ratio\"",
+            "\"bus_histogram\"",
+            "\"row_hits\"",
+            "\"stream\": 4",
+            "\"vcycles\": null",
+            "\"vcycles\": 55",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = TraceReport::default();
+        assert_eq!(r.cycles(), 0);
+        assert_eq!(r.attribution(), StallAttribution::default());
+        assert!(r.vcycle_ratio().is_none());
+        let _ = r.to_json();
+    }
+}

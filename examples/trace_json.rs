@@ -1,0 +1,47 @@
+//! Tracing a run and reading the stall attribution — where do the
+//! cycles of the JSON-field-extraction app actually go?
+//!
+//! ```sh
+//! cargo run --release -p fleet-bench --example trace_json
+//! ```
+//!
+//! Demonstrates `run_system_traced`: the same API as `run_system`, but
+//! the returned report carries `trace: Some(TraceReport)` with per-PU
+//! cycle classification (busy / input-stalled / output-stalled /
+//! drained), DRAM counters, and a JSON serialization for offline
+//! analysis. Untraced runs pay nothing — the instrumentation compiles
+//! away behind a `NullSink`.
+
+use fleet_apps::{App, AppKind};
+use fleet_system::{run_system_traced, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = App::new(AppKind::Json);
+    let pus = 16;
+    let streams: Vec<Vec<u8>> = (0..pus).map(|p| app.gen_stream(p as u64, 8192)).collect();
+    let out_cap = app.out_capacity(streams.iter().map(|s| s.len()).max().unwrap());
+
+    let report = run_system_traced(&app.spec(), &streams, &SystemConfig::f1(out_cap))?;
+    let trace = report.trace.as_ref().expect("traced run");
+
+    println!("{} on {} units: {}\n", app.name(), pus, trace.summary());
+
+    let a = trace.attribution();
+    let (dominant, frac) = a.dominant();
+    println!("dominant class: {} ({:.1}% of PU-cycles)", dominant.name(), frac * 100.0);
+    if let Some(r) = trace.vcycle_ratio() {
+        println!("virtual cycles per busy real cycle: {r:.3} (§4 guarantee: ≈1.0)");
+    }
+    let d = trace.dram_totals();
+    println!(
+        "DRAM: {} read beats, {} write beats, {} refresh-stall cycles, row hits {}/{}",
+        d.read_beats,
+        d.write_beats,
+        d.refresh_stall_cycles,
+        d.row_hits,
+        d.row_hits + d.row_misses,
+    );
+
+    println!("\nfull trace as JSON:\n{}", trace.to_json());
+    Ok(())
+}

@@ -96,7 +96,7 @@ fn lockstep_with_random_stalls_matches_pin_for_pin() {
 
         let mut rtl = NetDriver::new(compile(&spec).expect("compiles"));
         let mut fast = PuExec::new(&spec);
-        let mut rng = 0x1234_5678_9ABC_DEFu64;
+        let mut rng = 0x0123_4567_89AB_CDEFu64;
         let mut next = move || {
             rng ^= rng << 13;
             rng ^= rng >> 7;

@@ -75,7 +75,10 @@ proptest! {
         prop_assert_eq!(tokens_to_bytes(&out.tokens, 32), tree::golden(&stream));
     }
 
-    /// Stream splitting preserves content and token alignment.
+    /// Stream splitting preserves content and token alignment, and the
+    /// remainder-returning variant loses no bytes (regression: `split`
+    /// silently truncates trailing partial tokens — that invariant is
+    /// documented, and `split_with_remainder` surfaces the tail).
     #[test]
     fn split_preserves_content(data in proptest::collection::vec(any::<u8>(), 0..=2000),
                                n in 1usize..=7) {
@@ -86,5 +89,12 @@ proptest! {
         for p in &parts {
             prop_assert_eq!(p.len() % 4, 0);
         }
+
+        let (parts2, rest) = fleet_system::split_with_remainder(&data, n, 4);
+        prop_assert_eq!(&parts2, &parts);
+        prop_assert_eq!(rest.len(), data.len() % 4);
+        let mut rejoined = parts2.concat();
+        rejoined.extend_from_slice(rest);
+        prop_assert_eq!(rejoined, data);
     }
 }

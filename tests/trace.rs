@@ -1,0 +1,109 @@
+//! Integration tests for the `fleet-trace` observability subsystem
+//! through the full system: counter conservation on every application,
+//! and tracing never perturbing simulation results.
+
+use fleet_apps::{App, AppKind};
+use fleet_system::{run_system, run_system_traced, SystemConfig};
+use proptest::prelude::*;
+
+/// The conservation invariant behind all stall attribution: every PU is
+/// classified into exactly one cycle class per cycle, so per-PU class
+/// counts sum to the channel's cycle count — checked for all six
+/// applications.
+#[test]
+fn counter_conservation_holds_for_all_apps() {
+    for kind in AppKind::all() {
+        let app = App::new(kind);
+        let pus = 6;
+        let bytes = if kind == AppKind::Tree { 16 * 1024 } else { 2048 };
+        let streams: Vec<Vec<u8>> =
+            (0..pus).map(|p| app.gen_stream(p as u64, bytes)).collect();
+        let out_cap = app.out_capacity(streams.iter().map(|s| s.len()).max().unwrap());
+        let report = run_system_traced(&app.spec(), &streams, &SystemConfig::f1(out_cap))
+            .unwrap_or_else(|e| panic!("{} traced run failed: {e}", app.name()));
+
+        let trace = report.trace.expect("traced run carries a trace");
+        assert_eq!(trace.units(), pus, "{}", app.name());
+        for (c, ch) in trace.channels.iter().enumerate() {
+            assert!(ch.cycles > 0, "{} channel {c} ran no cycles", app.name());
+            for pu in &ch.pus {
+                assert_eq!(
+                    pu.counters.total(),
+                    ch.cycles,
+                    "{} stream {}: busy {} + stall_in {} + stall_out {} + drained {} != {}",
+                    app.name(),
+                    pu.stream,
+                    pu.counters.busy,
+                    pu.counters.stall_in,
+                    pu.counters.stall_out,
+                    pu.counters.drained,
+                    ch.cycles,
+                );
+                assert!(pu.counters.busy > 0, "{} stream {} never busy", app.name(), pu.stream);
+            }
+        }
+        // Attribution fractions are exact consequences of conservation.
+        let a = trace.attribution();
+        let sum = a.busy + a.input_stalled + a.output_stalled + a.drained;
+        assert!((sum - 1.0).abs() < 1e-9, "{}: attribution sums to {sum}", app.name());
+        // Data moved, so DRAM-side counters saw it.
+        let d = trace.dram_totals();
+        assert!(d.read_beats > 0, "{}", app.name());
+        assert!(d.row_hits + d.row_misses == d.read_reqs + d.write_reqs, "{}", app.name());
+        // The §4 guarantee: at most one virtual cycle per busy real
+        // cycle, and not wildly fewer.
+        if let Some(r) = trace.vcycle_ratio() {
+            assert!(r <= 1.0 + 1e-9, "{}: vcycle ratio {r} above 1", app.name());
+            assert!(r > 0.1, "{}: vcycle ratio {r} implausibly low", app.name());
+        }
+    }
+}
+
+/// Traced runs report the same cycle counts as untraced runs — the
+/// instrumentation observes, never steers.
+#[test]
+fn tracing_does_not_change_cycle_counts() {
+    for kind in [AppKind::Json, AppKind::Bloom] {
+        let app = App::new(kind);
+        let streams: Vec<Vec<u8>> = (0..5).map(|p| app.gen_stream(p as u64, 2048)).collect();
+        let out_cap = app.out_capacity(streams.iter().map(|s| s.len()).max().unwrap());
+        let cfg = SystemConfig::f1(out_cap);
+        let plain = run_system(&app.spec(), &streams, &cfg).unwrap();
+        let traced = run_system_traced(&app.spec(), &streams, &cfg).unwrap();
+        assert_eq!(plain.cycles, traced.cycles, "{}", app.name());
+        assert_eq!(plain.channel_stats.len(), traced.channel_stats.len());
+        for (p, t) in plain.channel_stats.iter().zip(&traced.channel_stats) {
+            assert_eq!(p.cycles, t.cycles, "{}", app.name());
+            assert_eq!(p.input_bytes, t.input_bytes, "{}", app.name());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A `NullSink` run and a `CounterSink` run of the same workload
+    /// produce byte-identical outputs: plugging in instrumentation can
+    /// never change what the simulated hardware computes.
+    #[test]
+    fn traced_and_untraced_outputs_are_identical(
+        data in proptest::collection::vec(any::<u8>(), 64..=1500),
+        n in 1usize..=6,
+    ) {
+        let app = App::new(AppKind::Bloom);
+        // Bloom consumes 4-byte tokens; trim to whole tokens.
+        let body = &data[..data.len() / 4 * 4];
+        let streams = fleet_system::split(body, n, 4);
+        let out_cap = app.out_capacity(body.len().max(64));
+        let cfg = SystemConfig::f1(out_cap);
+
+        let plain = run_system(&app.spec(), &streams, &cfg).unwrap();
+        let traced = run_system_traced(&app.spec(), &streams, &cfg).unwrap();
+
+        prop_assert_eq!(&plain.outputs, &traced.outputs);
+        prop_assert_eq!(plain.cycles, traced.cycles);
+        prop_assert_eq!(plain.output_bytes, traced.output_bytes);
+        prop_assert!(plain.trace.is_none());
+        prop_assert!(traced.trace.is_some());
+    }
+}

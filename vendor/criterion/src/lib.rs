@@ -1,0 +1,169 @@
+//! Offline stub of the `criterion` benchmark harness.
+//!
+//! Implements the subset the workspace's benches use — benchmark groups,
+//! throughput annotation, `bench_function` / `bench_with_input`, and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is a simple
+//! best-of-N wall-clock measurement printed to stdout; there is no
+//! statistical analysis, plotting, or baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id rendered from a parameter value.
+    pub fn from_parameter<P: Display>(p: P) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Id from a function name and a parameter.
+    pub fn new<P: Display>(name: &str, p: P) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Passed to benchmark closures; runs the measured body.
+pub struct Bencher {
+    samples: u32,
+    best: Duration,
+    iters_per_sample: u32,
+}
+
+impl Bencher {
+    /// Measures `f`, keeping the best per-iteration time over the
+    /// configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call.
+        std::hint::black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(f());
+            }
+            let per_iter = start.elapsed() / self.iters_per_sample;
+            if per_iter < self.best {
+                self.best = per_iter;
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: self.criterion.sample_size.max(2),
+            best: Duration::MAX,
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        let nanos = b.best.as_nanos().max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>10.3} MiB/s", n as f64 / (nanos / 1e9) / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.3} Melem/s", n as f64 / (nanos / 1e9) / 1e6)
+            }
+            None => String::new(),
+        };
+        println!("{}/{id}: {:>12.0} ns/iter{rate}", self.name, nanos);
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        self.run_one(id, f);
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.0, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u32;
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, criterion: self }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

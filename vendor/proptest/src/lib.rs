@@ -1,0 +1,243 @@
+//! Offline stub of the `proptest` crate.
+//!
+//! Supports the subset used by this workspace: the `proptest!` macro
+//! (with an optional `#![proptest_config(...)]` header), `any::<T>()`,
+//! integer-range strategies, `proptest::collection::vec`, and the
+//! `prop_assert*` macros. Cases are generated from a seed derived from
+//! the test name, so runs are deterministic. No shrinking: a failing
+//! case panics with its case index so it can be replayed by reading the
+//! assertion message.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Test-runner random source passed to strategies.
+pub struct TestRng(pub StdRng);
+
+impl TestRng {
+    /// Deterministic RNG for a named test.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.0.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.0.gen::<bool>()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The "any value of `T`" strategy.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::RangeInclusive<usize>,
+    }
+
+    /// Builds a vector strategy; lengths are drawn uniformly from `len`.
+    pub fn vec<S: Strategy>(
+        element: S,
+        len: std::ops::RangeInclusive<usize>,
+    ) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.0.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration (only `cases` is honored).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; the workspace's property tests drive
+        // cycle-accurate simulators, so keep the offline default modest.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Asserts inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` that draws `cases` inputs and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal muncher for [`proptest!`]; not part of the public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;) => {};
+    (config = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cfg.cases {
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest stub: {} failed on case {case}/{} (deterministic seed from test name)",
+                        stringify!($name),
+                        cfg.cases
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in crate::collection::vec(any::<u8>(), 3..=9)) {
+            prop_assert!((3..=9).contains(&v.len()));
+        }
+
+        #[test]
+        fn ranges_respected(x in 10u32..20, y in 5usize..=7) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((5..=7).contains(&y));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::for_test("t");
+        let mut b = crate::TestRng::for_test("t");
+        let s = crate::collection::vec(any::<u32>(), 4..=8);
+        for _ in 0..10 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}
