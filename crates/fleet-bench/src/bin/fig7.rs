@@ -9,7 +9,7 @@
 //! divergence model.
 
 use fleet_apps::{App, AppKind};
-use fleet_bench::{print_table, run_cpu, run_fleet, run_gpu, scale};
+use fleet_bench::{print_table, run_cpu, run_fleet, run_gpu, scale, write_bench_json};
 
 fn main() {
     let bytes_per_pu = std::env::var("FLEET_BYTES_PER_PU")
@@ -22,6 +22,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for kind in AppKind::all() {
         let app = App::new(kind);
         eprintln!("running {} ...", app.name());
@@ -41,6 +42,22 @@ fn main() {
         let gpu_streams: Vec<Vec<u8>> =
             (0..64).map(|s| app.gen_stream(s, 16 * 1024)).collect();
         let gpu = run_gpu(&app, &gpu_streams);
+
+        json_rows.push(format!(
+            "    {{\"app\": \"{}\", \"pus\": {}, \"fleet_gbps\": {:.4}, \
+             \"fleet_perf_per_watt\": {:.4}, \"fleet_perf_per_watt_dram\": {:.4}, \
+             \"cpu_gbps\": {:.4}, \"cpu_perf_per_watt\": {:.5}, \
+             \"gpu_gbps\": {:.4}, \"gpu_perf_per_watt\": {:.5}}}",
+            app.name(),
+            fleet.pus,
+            fleet.gbps,
+            fleet.perf_per_watt,
+            fleet.perf_per_watt_dram,
+            cpu.modeled_gbps,
+            cpu.perf_per_watt,
+            gpu.gbps,
+            gpu.perf_per_watt,
+        ));
 
         rows.push(vec![
             app.name().to_string(),
@@ -83,5 +100,13 @@ fn main() {
         "\nPaper (F1 hardware): JSON 21.39 GB/s, IntCode 10.99, Tree 3.77, \
          Smith-Waterman 24.62, Regex 27.24, Bloom 24.21; Fleet beats CPU \
          everywhere and GPU perf/W everywhere except Decision Tree."
+    );
+
+    write_bench_json(
+        "fig7",
+        &format!(
+            "{{\n  \"bytes_per_pu\": {bytes_per_pu},\n  \"apps\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        ),
     );
 }

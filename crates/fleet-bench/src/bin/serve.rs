@@ -1,0 +1,195 @@
+//! serve — the multi-tenant serving experiment: open-loop Poisson
+//! arrivals into the fleet-host scheduler over a pool of simulated F1
+//! instances.
+//!
+//! The workload generator draws exponential inter-arrival times,
+//! skewed stream lengths, and tenant assignments from a seeded PRNG, so
+//! a fixed `--seed` reproduces the run bit-for-bit (the scheduler
+//! itself is virtual-time deterministic). The same workload is served
+//! twice — once on a single instance as the scaling baseline, once on
+//! `--instances` — and the report covers per-tenant p50/p99 latency for
+//! every phase plus the completed-jobs/sec speedup.
+//!
+//! ```text
+//! cargo run -p fleet-bench --bin serve --release -- \
+//!     --jobs 200 --tenants 8 --instances 2
+//! ```
+
+use std::sync::Arc;
+
+use fleet_apps::{App, AppKind};
+use fleet_bench::{print_table, write_bench_json};
+use fleet_host::{Host, HostConfig, Job, ServiceReport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Debug, Clone)]
+struct Args {
+    jobs: usize,
+    tenants: u32,
+    instances: usize,
+    seed: u64,
+    /// Offered load in jobs per virtual second (open loop).
+    rate: f64,
+    min_bytes: usize,
+    max_bytes: usize,
+    max_jobs_per_batch: usize,
+    /// Fraction of jobs submitted with a deadline.
+    deadline_frac: f64,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut a = Args {
+            jobs: 200,
+            tenants: 8,
+            instances: 2,
+            seed: 42,
+            rate: 2_000_000.0,
+            min_bytes: 256,
+            max_bytes: 8192,
+            max_jobs_per_batch: 16,
+            deadline_frac: 0.0,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut val = |what: &str| -> String {
+                it.next().unwrap_or_else(|| panic!("{flag} needs a {what}"))
+            };
+            match flag.as_str() {
+                "--jobs" => a.jobs = val("count").parse().expect("--jobs"),
+                "--tenants" => a.tenants = val("count").parse().expect("--tenants"),
+                "--instances" => a.instances = val("count").parse().expect("--instances"),
+                "--seed" => a.seed = val("u64").parse().expect("--seed"),
+                "--rate" => a.rate = val("jobs/sec").parse().expect("--rate"),
+                "--min-bytes" => a.min_bytes = val("bytes").parse().expect("--min-bytes"),
+                "--max-bytes" => a.max_bytes = val("bytes").parse().expect("--max-bytes"),
+                "--batch" => {
+                    a.max_jobs_per_batch = val("count").parse().expect("--batch")
+                }
+                "--deadline-frac" => {
+                    a.deadline_frac = val("fraction").parse().expect("--deadline-frac")
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        assert!(a.jobs > 0 && a.tenants > 0 && a.instances > 0, "counts must be positive");
+        assert!(a.rate > 0.0, "--rate must be positive");
+        assert!(a.min_bytes <= a.max_bytes, "--min-bytes above --max-bytes");
+        a
+    }
+}
+
+/// Builds the open-loop workload: Poisson arrivals (exponential
+/// inter-arrival draws) with skewed stream lengths, all from one seeded
+/// generator.
+fn build_workload(args: &Args) -> Vec<Job> {
+    let app = App::new(AppKind::Bloom);
+    let spec = Arc::new(app.spec());
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let mut arrival = 0.0f64;
+    (0..args.jobs)
+        .map(|i| {
+            let u: f64 = rng.gen();
+            arrival += -(1.0 - u).ln() / args.rate * 1e6;
+            let tenant: u32 = rng.gen_range(0..args.tenants);
+            // Skew: most streams near the minimum, a heavy tail near
+            // the maximum (square of a uniform draw).
+            let frac: f64 = rng.gen::<f64>().powi(2);
+            let bytes = args.min_bytes
+                + ((args.max_bytes - args.min_bytes) as f64 * frac) as usize;
+            let stream = app.gen_stream(args.seed ^ i as u64, bytes.max(1));
+            let mut job =
+                Job::new(i as u64, tenant, spec.clone(), vec![stream]).with_arrival(arrival as u64);
+            if args.deadline_frac > 0.0 && rng.gen_bool(args.deadline_frac) {
+                job = job.with_deadline(arrival as u64 + 200_000);
+            }
+            job
+        })
+        .collect()
+}
+
+fn serve_on(instances: usize, args: &Args, jobs: Vec<Job>) -> ServiceReport {
+    let mut cfg = HostConfig::new(instances);
+    cfg.max_jobs_per_batch = args.max_jobs_per_batch;
+    for t in 0..args.tenants {
+        cfg.weights.push((t, 1 + t % 3));
+    }
+    Host::new(cfg).serve(jobs)
+}
+
+/// FNV-1a over the report JSON — a cheap determinism fingerprint.
+fn fingerprint(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "# serve: {} jobs, {} tenants, {} instance(s), seed {}, {:.0} jobs/s offered\n",
+        args.jobs, args.tenants, args.instances, args.seed, args.rate
+    );
+
+    let jobs = build_workload(&args);
+    let baseline = serve_on(1, &args, jobs.clone());
+    let report = serve_on(args.instances, &args, jobs);
+
+    let mut rows = Vec::new();
+    for (tenant, t) in &report.tenants {
+        rows.push(vec![
+            format!("{tenant}"),
+            format!("{}", 1 + tenant % 3),
+            format!("{}", t.completed),
+            format!("{}", t.rejected + t.failed),
+            format!("{} / {}", t.queue.p50(), t.queue.p99()),
+            format!("{} / {}", t.run.p50(), t.run.p99()),
+            format!("{} / {}", t.total.p50(), t.total.p99()),
+        ]);
+    }
+    print_table(
+        &[
+            "Tenant",
+            "Weight",
+            "Completed",
+            "Rejected+Failed",
+            "Queue p50/p99 (µs)",
+            "Run p50/p99 (µs)",
+            "Total p50/p99 (µs)",
+        ],
+        &rows,
+    );
+
+    let speedup = report.jobs_per_sec() / baseline.jobs_per_sec();
+    println!("\n1 instance : {}", baseline.summary());
+    println!("{} instances: {}", args.instances, report.summary());
+    println!(
+        "scaling    : {:.2}× completed-jobs/sec over 1 instance",
+        speedup
+    );
+    let json = report.to_json();
+    println!("fingerprint: {:016x}", fingerprint(&json));
+
+    write_bench_json(
+        "serve",
+        &format!(
+            "{{\n  \"jobs\": {},\n  \"tenants\": {},\n  \"instances\": {},\n  \
+             \"seed\": {},\n  \"rate_jobs_per_sec\": {:.1},\n  \
+             \"baseline_jobs_per_sec\": {:.3},\n  \"speedup\": {:.4},\n  \
+             \"fingerprint\": \"{:016x}\",\n  \"report\": {}}}\n",
+            args.jobs,
+            args.tenants,
+            args.instances,
+            args.seed,
+            args.rate,
+            baseline.jobs_per_sec(),
+            speedup,
+            fingerprint(&json),
+            json
+        ),
+    );
+}

@@ -143,6 +143,27 @@ pub fn run_gpu(app: &App, streams: &[Vec<u8>]) -> GpuResult {
     }
 }
 
+/// Directory machine-readable bench artifacts land in: `FLEET_BENCH_DIR`
+/// if set, else the repository root.
+pub fn bench_dir() -> std::path::PathBuf {
+    std::env::var_os("FLEET_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+/// Writes a machine-readable bench artifact as `BENCH_<name>.json` in
+/// [`bench_dir`], returning the path it landed at. Failures are
+/// reported on stderr rather than aborting the run — the human-readable
+/// table on stdout is the primary artifact.
+pub fn write_bench_json(name: &str, json: &str) -> std::path::PathBuf {
+    let path = bench_dir().join(format!("BENCH_{name}.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    path
+}
+
 /// Formats a markdown-style table row.
 pub fn row(cells: &[String]) -> String {
     format!("| {} |", cells.join(" | "))

@@ -1,0 +1,254 @@
+//! Jobs: the unit of work tenants submit to the host.
+
+use std::sync::Arc;
+
+use fleet_lang::UnitSpec;
+
+/// Unique job identifier (assigned by the submitting client).
+pub type JobId = u64;
+
+/// Tenant identifier; fairness and reporting are keyed on this.
+pub type TenantId = u32;
+
+/// One unit of work: an application spec plus the input streams to run
+/// through it, owned by a tenant, optionally with a completion
+/// deadline.
+///
+/// Every stream becomes one processing unit on whichever instance the
+/// batch packer places the job; all streams of a job run in the same
+/// batch, so a job completes atomically.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Client-assigned identifier (unique per workload).
+    pub id: JobId,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// The processing-unit definition to replicate.
+    pub spec: Arc<UnitSpec>,
+    /// Batching-compatibility key: jobs with equal keys may share an
+    /// instance run. Defaults to the spec's name and token widths.
+    pub spec_key: String,
+    /// Input streams; each must be a whole number of input tokens.
+    pub streams: Vec<Vec<u8>>,
+    /// Per-stream output-region capacity in bytes.
+    pub out_capacity: usize,
+    /// Arrival time on the virtual clock, in microseconds.
+    pub arrival_us: u64,
+    /// Completion deadline on the virtual clock; jobs the packer
+    /// reaches after this instant are rejected instead of run.
+    pub deadline_us: Option<u64>,
+}
+
+impl Job {
+    /// Creates a job with defaults: arrival at 0, no deadline, an
+    /// output capacity of twice the largest stream (at least 1 KB), and
+    /// the spec-derived compatibility key.
+    pub fn new(id: JobId, tenant: TenantId, spec: Arc<UnitSpec>, streams: Vec<Vec<u8>>) -> Job {
+        let spec_key = format!(
+            "{}:{}x{}",
+            spec.name, spec.input_token_bits, spec.output_token_bits
+        );
+        let out_capacity =
+            streams.iter().map(|s| s.len() * 2).max().unwrap_or(0).max(1024);
+        Job {
+            id,
+            tenant,
+            spec,
+            spec_key,
+            streams,
+            out_capacity,
+            arrival_us: 0,
+            deadline_us: None,
+        }
+    }
+
+    /// Sets the virtual arrival time.
+    pub fn with_arrival(mut self, arrival_us: u64) -> Job {
+        self.arrival_us = arrival_us;
+        self
+    }
+
+    /// Sets a completion deadline on the virtual clock.
+    pub fn with_deadline(mut self, deadline_us: u64) -> Job {
+        self.deadline_us = Some(deadline_us);
+        self
+    }
+
+    /// Overrides the per-stream output-region capacity.
+    pub fn with_out_capacity(mut self, bytes: usize) -> Job {
+        self.out_capacity = bytes;
+        self
+    }
+
+    /// Total input bytes across all streams (the WFQ cost metric).
+    pub fn input_bytes(&self) -> u64 {
+        self.streams.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Admission-time validation: at least one stream, and every stream
+    /// a whole (nonzero) number of input tokens. The scheduler rejects
+    /// malformed jobs instead of letting the system simulator panic.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.streams.is_empty() {
+            return Err("job has no streams".to_string());
+        }
+        let tok = (self.spec.input_token_bits as usize).div_ceil(8);
+        for (i, s) in self.streams.iter().enumerate() {
+            if s.is_empty() {
+                return Err(format!("stream {i} is empty"));
+            }
+            if s.len() % tok != 0 {
+                return Err(format!(
+                    "stream {i} is {} bytes, not a whole number of {tok}-byte tokens",
+                    s.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a job was refused without running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded submission queue was full (backpressure).
+    QueueFull,
+    /// The job failed admission validation.
+    Malformed(String),
+    /// The packer reached the job after its deadline had passed.
+    DeadlineExpired,
+    /// The job needs more processing units than one instance offers.
+    TooLarge {
+        /// Streams the job carries.
+        streams: usize,
+        /// PU slots one instance offers for this spec.
+        slots: usize,
+    },
+}
+
+impl RejectReason {
+    /// Short machine-readable tag (JSON reports key on this).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::Malformed(_) => "malformed",
+            RejectReason::DeadlineExpired => "deadline_expired",
+            RejectReason::TooLarge { .. } => "too_large",
+        }
+    }
+}
+
+/// A job the host refused.
+#[derive(Debug, Clone)]
+pub struct RejectedJob {
+    /// The refused job's id.
+    pub id: JobId,
+    /// Its tenant.
+    pub tenant: TenantId,
+    /// Why it was refused.
+    pub reason: RejectReason,
+    /// When it was refused, on the virtual clock.
+    pub rejected_at_us: u64,
+}
+
+/// A job whose batch ran but failed (overflow, timeout, worker panic).
+#[derive(Debug, Clone)]
+pub struct FailedJob {
+    /// The failed job's id.
+    pub id: JobId,
+    /// Its tenant.
+    pub tenant: TenantId,
+    /// The system error, rendered.
+    pub error: String,
+}
+
+/// Per-phase latency of one completed job, in virtual microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobLatency {
+    /// Arrival to batch dispatch.
+    pub queue_us: u64,
+    /// Host-side batch packing share.
+    pub pack_us: u64,
+    /// Simulated instance run.
+    pub run_us: u64,
+    /// Output drain share.
+    pub drain_us: u64,
+}
+
+impl JobLatency {
+    /// End-to-end latency.
+    pub fn total_us(&self) -> u64 {
+        self.queue_us + self.pack_us + self.run_us + self.drain_us
+    }
+}
+
+/// A job that ran to completion, with its drained outputs.
+#[derive(Debug, Clone)]
+pub struct CompletedJob {
+    /// The job's id.
+    pub id: JobId,
+    /// Its tenant.
+    pub tenant: TenantId,
+    /// Instance that ran it.
+    pub instance: usize,
+    /// Virtual arrival time.
+    pub arrival_us: u64,
+    /// Virtual dispatch time (when its batch left the queue).
+    pub started_us: u64,
+    /// Virtual completion time (outputs fully drained).
+    pub completed_us: u64,
+    /// Per-phase latency breakdown.
+    pub latency: JobLatency,
+    /// Input bytes consumed.
+    pub input_bytes: u64,
+    /// Output bytes produced.
+    pub output_bytes: u64,
+    /// Drained per-stream outputs, in the job's stream order.
+    pub outputs: Vec<Vec<u8>>,
+    /// Whether the deadline was met (`None` when the job had none).
+    pub deadline_met: Option<bool>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet_lang::UnitBuilder;
+
+    fn spec32() -> Arc<UnitSpec> {
+        let mut u = UnitBuilder::new("Wide", 32, 32);
+        let acc = u.reg("acc", 32, 0);
+        let inp = u.input();
+        u.set(acc, acc ^ inp);
+        Arc::new(u.build().unwrap())
+    }
+
+    #[test]
+    fn defaults_and_builders() {
+        let j = Job::new(7, 2, spec32(), vec![vec![0u8; 64]])
+            .with_arrival(100)
+            .with_deadline(900);
+        assert_eq!(j.spec_key, "Wide:32x32");
+        assert_eq!(j.out_capacity, 1024, "small streams get the 1 KB floor");
+        assert_eq!(j.arrival_us, 100);
+        assert_eq!(j.deadline_us, Some(900));
+        assert_eq!(j.input_bytes(), 64);
+        assert!(j.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_malformed_streams() {
+        let none = Job::new(1, 0, spec32(), vec![]);
+        assert!(none.validate().is_err());
+        let empty = Job::new(2, 0, spec32(), vec![vec![]]);
+        assert!(empty.validate().is_err());
+        let ragged = Job::new(3, 0, spec32(), vec![vec![0u8; 66]]);
+        let err = ragged.validate().unwrap_err();
+        assert!(err.contains("4-byte"), "{err}");
+    }
+
+    #[test]
+    fn latency_totals() {
+        let l = JobLatency { queue_us: 10, pack_us: 2, run_us: 30, drain_us: 3 };
+        assert_eq!(l.total_us(), 45);
+    }
+}

@@ -1,0 +1,275 @@
+//! The bounded submission queue: admission control plus per-tenant
+//! weighted fair queuing.
+//!
+//! Classic virtual-time WFQ: each tenant keeps a FIFO of its jobs; a
+//! job entering the queue is stamped with a virtual finish time
+//! `vft = max(vnow, tenant's last vft) + cost / weight` where cost is
+//! the job's input bytes, and the queue always releases the pending
+//! head job with the smallest stamp. A tenant with weight 2 therefore
+//! drains twice the bytes per unit of virtual time as a tenant with
+//! weight 1, and an idle tenant re-enters at the current virtual time
+//! instead of banking credit.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::job::{Job, RejectReason, RejectedJob, TenantId};
+
+/// Fixed-point scale for the virtual clock, so integer division by the
+/// weight keeps precision on small jobs.
+const VT_SCALE: u64 = 1024;
+
+#[derive(Debug, Default)]
+struct TenantQueue {
+    weight: u32,
+    last_vft: u64,
+    jobs: VecDeque<(u64, Job)>,
+}
+
+/// Bounded multi-tenant queue with WFQ release order.
+#[derive(Debug)]
+pub struct SubmitQueue {
+    capacity: usize,
+    default_weight: u32,
+    len: usize,
+    vnow: u64,
+    tenants: BTreeMap<TenantId, TenantQueue>,
+}
+
+impl SubmitQueue {
+    /// Creates a queue holding at most `capacity` jobs, all tenants at
+    /// weight 1 until [`SubmitQueue::set_weight`] says otherwise.
+    pub fn new(capacity: usize) -> SubmitQueue {
+        SubmitQueue {
+            capacity,
+            default_weight: 1,
+            len: 0,
+            vnow: 0,
+            tenants: BTreeMap::new(),
+        }
+    }
+
+    /// Sets a tenant's WFQ weight (`>= 1`; higher drains faster).
+    pub fn set_weight(&mut self, tenant: TenantId, weight: u32) {
+        let w = weight.max(1);
+        self.tenants.entry(tenant).or_default().weight = w;
+    }
+
+    /// Queued jobs across all tenants.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Offers a job. Admission control validates the streams and
+    /// enforces the capacity bound; refusals come back as a
+    /// [`RejectedJob`] so the caller can count and report them.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason::QueueFull`] when the queue is at capacity,
+    /// [`RejectReason::Malformed`] when validation fails.
+    pub fn submit(&mut self, job: Job, now_us: u64) -> Result<(), RejectedJob> {
+        if self.len >= self.capacity {
+            return Err(RejectedJob {
+                id: job.id,
+                tenant: job.tenant,
+                reason: RejectReason::QueueFull,
+                rejected_at_us: now_us,
+            });
+        }
+        if let Err(msg) = job.validate() {
+            return Err(RejectedJob {
+                id: job.id,
+                tenant: job.tenant,
+                reason: RejectReason::Malformed(msg),
+                rejected_at_us: now_us,
+            });
+        }
+        let default_weight = self.default_weight;
+        let t = self.tenants.entry(job.tenant).or_insert_with(|| TenantQueue {
+            weight: default_weight,
+            ..TenantQueue::default()
+        });
+        if t.weight == 0 {
+            t.weight = default_weight;
+        }
+        let cost = job.input_bytes().max(1) * VT_SCALE / t.weight as u64;
+        let vft = self.vnow.max(t.last_vft) + cost;
+        t.last_vft = vft;
+        t.jobs.push_back((vft, job));
+        self.len += 1;
+        Ok(())
+    }
+
+    /// The tenant whose head job has the smallest virtual finish time
+    /// among heads matching `key` (ties break toward the lower tenant
+    /// id via the BTreeMap iteration order).
+    fn best_tenant(&self, key: Option<&str>) -> Option<TenantId> {
+        let mut best: Option<(u64, TenantId)> = None;
+        for (&tenant, tq) in &self.tenants {
+            if let Some((vft, job)) = tq.jobs.front() {
+                if key.is_some_and(|k| job.spec_key != k) {
+                    continue;
+                }
+                if best.is_none_or(|(bv, _)| *vft < bv) {
+                    best = Some((*vft, tenant));
+                }
+            }
+        }
+        best.map(|(_, t)| t)
+    }
+
+    /// Peeks the job WFQ would release next, optionally restricted to a
+    /// batching-compatibility key.
+    pub fn peek(&self, key: Option<&str>) -> Option<&Job> {
+        let tenant = self.best_tenant(key)?;
+        self.tenants[&tenant].jobs.front().map(|(_, j)| j)
+    }
+
+    /// Pops the job WFQ would release next, optionally restricted to a
+    /// batching-compatibility key, advancing the virtual clock.
+    pub fn pop(&mut self, key: Option<&str>) -> Option<Job> {
+        let tenant = self.best_tenant(key)?;
+        let tq = self.tenants.get_mut(&tenant).expect("best tenant exists");
+        let (vft, job) = tq.jobs.pop_front().expect("best tenant has a head job");
+        self.vnow = self.vnow.max(vft);
+        self.len -= 1;
+        Some(job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet_lang::{UnitBuilder, UnitSpec};
+    use std::sync::Arc;
+
+    fn byte_spec() -> Arc<UnitSpec> {
+        let mut u = UnitBuilder::new("Byte", 8, 8);
+        let acc = u.reg("acc", 8, 0);
+        let inp = u.input();
+        u.set(acc, acc ^ inp);
+        Arc::new(u.build().unwrap())
+    }
+
+    fn job(id: u64, tenant: TenantId, bytes: usize, spec: &Arc<UnitSpec>) -> Job {
+        Job::new(id, tenant, spec.clone(), vec![vec![0u8; bytes]])
+    }
+
+    #[test]
+    fn capacity_bound_backpressures() {
+        let spec = byte_spec();
+        let mut q = SubmitQueue::new(2);
+        assert!(q.submit(job(1, 0, 8, &spec), 0).is_ok());
+        assert!(q.submit(job(2, 0, 8, &spec), 0).is_ok());
+        let err = q.submit(job(3, 0, 8, &spec), 5).unwrap_err();
+        assert_eq!(err.reason, RejectReason::QueueFull);
+        assert_eq!(err.rejected_at_us, 5);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn malformed_jobs_are_refused_at_admission() {
+        let spec = byte_spec();
+        let mut q = SubmitQueue::new(8);
+        let bad = Job::new(1, 0, spec.clone(), vec![]);
+        assert!(matches!(
+            q.submit(bad, 0).unwrap_err().reason,
+            RejectReason::Malformed(_)
+        ));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn per_tenant_order_is_fifo() {
+        let spec = byte_spec();
+        let mut q = SubmitQueue::new(8);
+        for id in 0..4 {
+            q.submit(job(id, 7, 16, &spec), 0).unwrap();
+        }
+        let ids: Vec<u64> = std::iter::from_fn(|| q.pop(None).map(|j| j.id)).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_weights_interleave_by_bytes() {
+        let spec = byte_spec();
+        let mut q = SubmitQueue::new(16);
+        // Tenant 0 queues one big job, tenant 1 four small ones; WFQ
+        // releases all the small jobs before the big one finishes its
+        // virtual transmission.
+        q.submit(job(100, 0, 1024, &spec), 0).unwrap();
+        for id in 0..4 {
+            q.submit(job(id, 1, 64, &spec), 0).unwrap();
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop(None).map(|j| j.id)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 100]);
+    }
+
+    #[test]
+    fn weights_bias_the_release_rate() {
+        let spec = byte_spec();
+        let mut q = SubmitQueue::new(64);
+        q.set_weight(1, 1);
+        q.set_weight(2, 3);
+        for id in 0..12 {
+            q.submit(job(id, 1, 64, &spec), 0).unwrap();
+            q.submit(job(100 + id, 2, 64, &spec), 0).unwrap();
+        }
+        // In the first 8 releases, the weight-3 tenant should get about
+        // three quarters of the slots.
+        let mut heavy = 0;
+        for _ in 0..8 {
+            if q.pop(None).unwrap().tenant == 2 {
+                heavy += 1;
+            }
+        }
+        assert!(heavy >= 5, "weight-3 tenant got only {heavy}/8 releases");
+    }
+
+    #[test]
+    fn key_filter_skips_incompatible_heads_without_reordering_tenants() {
+        let byte = byte_spec();
+        let mut wide = UnitBuilder::new("Wide", 32, 32);
+        let acc = wide.reg("acc", 32, 0);
+        let inp = wide.input();
+        wide.set(acc, acc ^ inp);
+        let wide = Arc::new(wide.build().unwrap());
+
+        let mut q = SubmitQueue::new(8);
+        q.submit(job(1, 0, 64, &byte), 0).unwrap();
+        q.submit(Job::new(2, 1, wide.clone(), vec![vec![0u8; 64]]), 0).unwrap();
+        q.submit(job(3, 1, 64, &byte), 0).unwrap();
+
+        // Restricted to the byte key: tenant 0's head matches, tenant
+        // 1's head is the wide job, so job 3 stays blocked behind it.
+        assert_eq!(q.peek(Some("Byte:8x8")).unwrap().id, 1);
+        assert_eq!(q.pop(Some("Byte:8x8")).unwrap().id, 1);
+        assert!(q.pop(Some("Byte:8x8")).is_none(), "job 3 is head-of-line blocked");
+        assert_eq!(q.pop(None).unwrap().id, 2);
+        assert_eq!(q.pop(Some("Byte:8x8")).unwrap().id, 3);
+    }
+
+    #[test]
+    fn idle_tenant_rejoins_at_current_virtual_time() {
+        let spec = byte_spec();
+        let mut q = SubmitQueue::new(16);
+        // Tenant 0 drains a lot of virtual time.
+        for id in 0..4 {
+            q.submit(job(id, 0, 512, &spec), 0).unwrap();
+        }
+        for _ in 0..4 {
+            q.pop(None);
+        }
+        // A fresh tenant submits now; it must not be owed the whole
+        // backlog of virtual time (its first job lands after vnow, and
+        // competes fairly with tenant 0's next job).
+        q.submit(job(50, 1, 64, &spec), 0).unwrap();
+        q.submit(job(10, 0, 128, &spec), 0).unwrap();
+        assert_eq!(q.pop(None).unwrap().id, 50, "cheaper job gets the earlier stamp");
+    }
+}

@@ -1,0 +1,269 @@
+//! [`ServiceReport`]: what a serve produced, per tenant and overall.
+
+use std::collections::BTreeMap;
+
+use fleet_system::InstanceStats;
+use fleet_trace::{LatencyStats, SchedCounters};
+
+use crate::job::{CompletedJob, FailedJob, RejectedJob, TenantId};
+
+/// One tenant's slice of the service: completions, rejections, byte
+/// conservation, and per-phase latency distributions.
+#[derive(Debug, Clone, Default)]
+pub struct TenantReport {
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs rejected (all reasons).
+    pub rejected: u64,
+    /// Jobs whose batch failed.
+    pub failed: u64,
+    /// Completed jobs that missed their deadline.
+    pub deadline_misses: u64,
+    /// Input bytes of completed jobs.
+    pub input_bytes: u64,
+    /// Output bytes drained for completed jobs.
+    pub output_bytes: u64,
+    /// Queue-wait distribution (virtual µs).
+    pub queue: LatencyStats,
+    /// Pack-phase distribution.
+    pub pack: LatencyStats,
+    /// Run-phase distribution.
+    pub run: LatencyStats,
+    /// Drain-phase distribution.
+    pub drain: LatencyStats,
+    /// End-to-end distribution.
+    pub total: LatencyStats,
+}
+
+/// Everything a serve produced: the scheduler's decision counters,
+/// every job's fate, per-tenant latency distributions, and per-instance
+/// utilization. Serializes to JSON via [`ServiceReport::to_json`].
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Scheduler decision counters.
+    pub counters: SchedCounters,
+    /// Completed jobs, in completion order.
+    pub completed: Vec<CompletedJob>,
+    /// Rejected jobs, in rejection order.
+    pub rejected: Vec<RejectedJob>,
+    /// Jobs whose batch failed.
+    pub failed: Vec<FailedJob>,
+    /// Per-tenant breakdown.
+    pub tenants: BTreeMap<TenantId, TenantReport>,
+    /// Lifetime statistics of every pool instance.
+    pub instances: Vec<InstanceStats>,
+    /// Virtual time of the first arrival.
+    pub first_arrival_us: u64,
+    /// First arrival to last completion, in virtual µs (at least 1).
+    pub makespan_us: u64,
+}
+
+impl ServiceReport {
+    /// Assembles the report from the scheduler's raw outcome lists.
+    pub fn build(
+        counters: SchedCounters,
+        completed: Vec<CompletedJob>,
+        rejected: Vec<RejectedJob>,
+        failed: Vec<FailedJob>,
+        instances: Vec<InstanceStats>,
+        first_arrival_us: u64,
+    ) -> ServiceReport {
+        let mut tenants: BTreeMap<TenantId, TenantReport> = BTreeMap::new();
+        for job in &completed {
+            let t = tenants.entry(job.tenant).or_default();
+            t.completed += 1;
+            t.deadline_misses += u64::from(job.deadline_met == Some(false));
+            t.input_bytes += job.input_bytes;
+            t.output_bytes += job.output_bytes;
+            t.queue.record(job.latency.queue_us);
+            t.pack.record(job.latency.pack_us);
+            t.run.record(job.latency.run_us);
+            t.drain.record(job.latency.drain_us);
+            t.total.record(job.latency.total_us());
+        }
+        for r in &rejected {
+            tenants.entry(r.tenant).or_default().rejected += 1;
+        }
+        for f in &failed {
+            tenants.entry(f.tenant).or_default().failed += 1;
+        }
+        let last_completion =
+            completed.iter().map(|c| c.completed_us).max().unwrap_or(first_arrival_us);
+        ServiceReport {
+            counters,
+            completed,
+            rejected,
+            failed,
+            tenants,
+            instances,
+            first_arrival_us,
+            makespan_us: last_completion.saturating_sub(first_arrival_us).max(1),
+        }
+    }
+
+    /// Completed jobs per (virtual) second over the makespan — the
+    /// serving-throughput headline.
+    pub fn jobs_per_sec(&self) -> f64 {
+        self.completed.len() as f64 / (self.makespan_us as f64 / 1e6)
+    }
+
+    /// End-to-end latency distribution across all tenants.
+    pub fn total_latency(&self) -> LatencyStats {
+        let mut all = LatencyStats::new();
+        for t in self.tenants.values() {
+            all.merge(&t.total);
+        }
+        all
+    }
+
+    /// Queue-wait distribution across all tenants.
+    pub fn queue_latency(&self) -> LatencyStats {
+        let mut all = LatencyStats::new();
+        for t in self.tenants.values() {
+            all.merge(&t.queue);
+        }
+        all
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        let total = self.total_latency();
+        format!(
+            "{} completed ({:.1} jobs/s virtual), {} rejected, {} failed over {} tenants; \
+             latency p50 {} µs / p99 {} µs; slot fill {:.0}%",
+            self.completed.len(),
+            self.jobs_per_sec(),
+            self.rejected.len(),
+            self.failed.len(),
+            self.tenants.len(),
+            total.p50(),
+            total.p99(),
+            self.counters.slot_fill() * 100.0
+        )
+    }
+
+    /// The full service report as a JSON document (hand-rolled; the
+    /// workspace vendors no `serde`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"jobs_per_sec\": {:.3},\n", self.jobs_per_sec()));
+        s.push_str(&format!("  \"makespan_us\": {},\n", self.makespan_us));
+        s.push_str(&format!("  \"counters\": {},\n", self.counters.to_json()));
+        s.push_str(&format!("  \"latency_total\": {},\n", self.total_latency().to_json()));
+        s.push_str(&format!("  \"latency_queue\": {},\n", self.queue_latency().to_json()));
+        s.push_str("  \"tenants\": {\n");
+        let n_tenants = self.tenants.len();
+        for (i, (tenant, t)) in self.tenants.iter().enumerate() {
+            s.push_str(&format!("    \"{tenant}\": {{\n"));
+            s.push_str(&format!(
+                "      \"completed\": {}, \"rejected\": {}, \"failed\": {}, \
+                 \"deadline_misses\": {},\n",
+                t.completed, t.rejected, t.failed, t.deadline_misses
+            ));
+            s.push_str(&format!(
+                "      \"input_bytes\": {}, \"output_bytes\": {},\n",
+                t.input_bytes, t.output_bytes
+            ));
+            s.push_str(&format!("      \"queue\": {},\n", t.queue.to_json()));
+            s.push_str(&format!("      \"pack\": {},\n", t.pack.to_json()));
+            s.push_str(&format!("      \"run\": {},\n", t.run.to_json()));
+            s.push_str(&format!("      \"drain\": {},\n", t.drain.to_json()));
+            s.push_str(&format!("      \"total\": {}\n", t.total.to_json()));
+            s.push_str(&format!("    }}{}\n", if i + 1 < n_tenants { "," } else { "" }));
+        }
+        s.push_str("  },\n");
+        s.push_str("  \"instances\": [\n");
+        let n_inst = self.instances.len();
+        for (i, inst) in self.instances.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"runs\": {}, \"failed_runs\": {}, \"busy_cycles\": {}, \
+                 \"busy_seconds\": {:.6}, \"input_bytes\": {}, \"output_bytes\": {}, \
+                 \"units_run\": {}}}{}\n",
+                inst.runs,
+                inst.failed_runs,
+                inst.busy_cycles,
+                inst.busy_seconds,
+                inst.input_bytes,
+                inst.output_bytes,
+                inst.units_run,
+                if i + 1 < n_inst { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobLatency;
+
+    fn done(id: u64, tenant: TenantId, completed_us: u64, bytes: u64) -> CompletedJob {
+        CompletedJob {
+            id,
+            tenant,
+            instance: 0,
+            arrival_us: 0,
+            started_us: 10,
+            completed_us,
+            latency: JobLatency { queue_us: 10, pack_us: 5, run_us: 50, drain_us: 5 },
+            input_bytes: bytes,
+            output_bytes: bytes,
+            outputs: vec![vec![0u8; bytes as usize]],
+            deadline_met: None,
+        }
+    }
+
+    #[test]
+    fn build_aggregates_per_tenant_and_computes_throughput() {
+        let completed = vec![done(0, 0, 1_000_000, 64), done(1, 1, 2_000_000, 128)];
+        let r = ServiceReport::build(
+            SchedCounters { completed: 2, ..Default::default() },
+            completed,
+            vec![],
+            vec![],
+            vec![InstanceStats::default()],
+            0,
+        );
+        assert_eq!(r.makespan_us, 2_000_000);
+        assert!((r.jobs_per_sec() - 1.0).abs() < 1e-9);
+        assert_eq!(r.tenants.len(), 2);
+        assert_eq!(r.tenants[&1].input_bytes, 128);
+        assert_eq!(r.total_latency().count(), 2);
+    }
+
+    #[test]
+    fn json_is_balanced_and_carries_keys() {
+        let r = ServiceReport::build(
+            SchedCounters::default(),
+            vec![done(0, 3, 500, 32)],
+            vec![],
+            vec![],
+            vec![InstanceStats::default()],
+            0,
+        );
+        let json = r.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for key in ["\"jobs_per_sec\"", "\"counters\"", "\"tenants\"", "\"3\"", "\"p99_us\""] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = ServiceReport::build(
+            SchedCounters::default(),
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            0,
+        );
+        assert_eq!(r.makespan_us, 1);
+        assert_eq!(r.jobs_per_sec(), 0.0);
+        let _ = r.to_json();
+        let _ = r.summary();
+    }
+}

@@ -1,0 +1,458 @@
+//! The serving runtime: an event-driven virtual-time scheduler over a
+//! pool of simulated F1 instances.
+//!
+//! Time is *virtual*: arrivals carry virtual timestamps, instance runs
+//! advance the clock by their simulated platform seconds, and the
+//! host-side pack/drain costs come from a simple linear model. The
+//! whole serve is therefore bit-for-bit deterministic for a fixed job
+//! set — wall-clock thread scheduling never leaks into the results,
+//! even though busy instances really do simulate concurrently on a
+//! `std::thread::scope` worker pool.
+//!
+//! The loop: admit arrivals due now into the bounded WFQ queue → pack
+//! one batch per idle instance → run all launched batches in parallel →
+//! stamp completions (drains serialize per instance, in completion
+//! order) → advance the clock to the next arrival or batch completion.
+
+use std::collections::BTreeMap;
+
+use fleet_system::{max_units, Instance, RunReport, SystemConfig, SystemError};
+use fleet_trace::SchedCounters;
+
+use crate::job::{CompletedJob, FailedJob, Job, JobLatency, RejectedJob, TenantId};
+use crate::pack::{pack_batch, PackedBatch};
+use crate::queue::SubmitQueue;
+use crate::report::ServiceReport;
+
+/// Serving-runtime configuration.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Simulated F1 instances in the pool.
+    pub instances: usize,
+    /// Submission-queue bound (admission control backpressures past
+    /// this).
+    pub queue_capacity: usize,
+    /// Most jobs one batch may carry.
+    pub max_jobs_per_batch: usize,
+    /// Cap on the area-fitted PU slots per instance (the fit for small
+    /// units runs to the hundreds; simulation cost scales with it).
+    pub pu_slot_cap: usize,
+    /// Per-instance platform and controller model. The out-capacity
+    /// field is overridden per batch.
+    pub system: SystemConfig,
+    /// Host-side packing cost: fixed per batch, in virtual µs.
+    pub pack_us_fixed: u64,
+    /// Host-side packing cost per packed stream, in virtual µs.
+    pub pack_us_per_stream: u64,
+    /// Host-side drain cost per KiB of output, in virtual µs.
+    pub drain_us_per_kib: u64,
+    /// Per-tenant WFQ weights; unlisted tenants weigh 1.
+    pub weights: Vec<(TenantId, u32)>,
+}
+
+impl HostConfig {
+    /// Defaults sized for simulation-scale serving: bounded queue of
+    /// 1024 jobs, up to 32 jobs per batch, at most 64 PU slots per
+    /// instance, and µs-scale host overheads.
+    pub fn new(instances: usize) -> HostConfig {
+        HostConfig {
+            instances: instances.max(1),
+            queue_capacity: 1024,
+            max_jobs_per_batch: 32,
+            pu_slot_cap: 64,
+            system: SystemConfig::f1(4096),
+            pack_us_fixed: 5,
+            pack_us_per_stream: 1,
+            drain_us_per_kib: 1,
+            weights: Vec::new(),
+        }
+    }
+}
+
+/// The multi-tenant job scheduler and its instance pool.
+#[derive(Debug)]
+pub struct Host {
+    cfg: HostConfig,
+    /// Area-fit results per spec key (compiling a unit for the area
+    /// model is expensive; every batch of the same spec reuses it).
+    slot_cache: BTreeMap<String, usize>,
+}
+
+impl Host {
+    /// Creates a host with the given configuration.
+    pub fn new(cfg: HostConfig) -> Host {
+        Host { cfg, slot_cache: BTreeMap::new() }
+    }
+
+    /// The configuration the host was built with.
+    pub fn config(&self) -> &HostConfig {
+        &self.cfg
+    }
+
+    /// PU slots one instance offers for a job's spec: the area-fitted
+    /// unit count, capped by [`HostConfig::pu_slot_cap`], memoized per
+    /// spec key.
+    fn slots_for(
+        cache: &mut BTreeMap<String, usize>,
+        cfg: &HostConfig,
+        job: &Job,
+    ) -> usize {
+        if let Some(&slots) = cache.get(&job.spec_key) {
+            return slots;
+        }
+        let fit = max_units(&job.spec, &cfg.system.platform, &cfg.system.memctl) as usize;
+        let slots = fit.clamp(1, cfg.pu_slot_cap.max(1));
+        cache.insert(job.spec_key.clone(), slots);
+        slots
+    }
+
+    /// Serves a complete workload: every job is admitted at its virtual
+    /// arrival time, scheduled, run, and drained (or rejected), and the
+    /// full service report comes back once the system is empty.
+    ///
+    /// Deterministic: the same job set (same ids, arrivals, streams)
+    /// produces an identical report, regardless of how the worker
+    /// threads interleave in wall time.
+    pub fn serve(&mut self, mut jobs: Vec<Job>) -> ServiceReport {
+        jobs.sort_by_key(|a| (a.arrival_us, a.id));
+        let first_arrival = jobs.first().map_or(0, |j| j.arrival_us);
+
+        let mut queue = SubmitQueue::new(self.cfg.queue_capacity);
+        for &(tenant, weight) in &self.cfg.weights {
+            queue.set_weight(tenant, weight);
+        }
+
+        let mut counters = SchedCounters::default();
+        let mut completed: Vec<CompletedJob> = Vec::new();
+        let mut rejected: Vec<RejectedJob> = Vec::new();
+        let mut failed: Vec<FailedJob> = Vec::new();
+
+        let mut instances: Vec<Instance> =
+            (0..self.cfg.instances).map(|i| Instance::new(i, self.cfg.system)).collect();
+        let n = instances.len();
+        let mut busy_until: Vec<Option<u64>> = vec![None; n];
+
+        let mut arrivals = jobs.into_iter().peekable();
+        let mut now = first_arrival;
+
+        loop {
+            // Admit everything that has arrived by now, in arrival
+            // order; the queue backpressures past its bound.
+            while arrivals.peek().is_some_and(|j| j.arrival_us <= now) {
+                let job = arrivals.next().expect("peeked arrival");
+                counters.submitted += 1;
+                match queue.submit(job, now) {
+                    Ok(()) => counters.admitted += 1,
+                    Err(r) => {
+                        match r.reason {
+                            crate::job::RejectReason::QueueFull => {
+                                counters.rejected_queue_full += 1;
+                            }
+                            _ => counters.rejected_malformed += 1,
+                        }
+                        rejected.push(r);
+                    }
+                }
+            }
+
+            // One batch per idle instance.
+            let mut batch_for: Vec<Option<PackedBatch>> = (0..n).map(|_| None).collect();
+            for (i, slot) in batch_for.iter_mut().enumerate() {
+                if busy_until[i].is_none() {
+                    let cache = &mut self.slot_cache;
+                    let cfg = &self.cfg;
+                    *slot = pack_batch(
+                        &mut queue,
+                        now,
+                        &mut |job| Host::slots_for(cache, cfg, job),
+                        cfg.max_jobs_per_batch,
+                        &mut counters,
+                        &mut rejected,
+                    );
+                }
+            }
+
+            // Run every launched batch concurrently on the worker pool.
+            // Results come back keyed by instance index, so wall-clock
+            // completion order cannot perturb the virtual timeline.
+            let launched: Vec<(usize, PackedBatch, Result<RunReport, SystemError>)> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = instances
+                        .iter_mut()
+                        .zip(batch_for.iter_mut())
+                        .enumerate()
+                        .filter_map(|(i, (inst, slot))| slot.take().map(|b| (i, inst, b)))
+                        .map(|(i, inst, batch)| {
+                            scope.spawn(move || {
+                                let streams = batch.flat_streams();
+                                let res = inst.run(&batch.spec, &streams, batch.out_capacity);
+                                (i, batch, res)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("host worker thread panicked"))
+                        .collect()
+                });
+
+            for (i, batch, result) in launched {
+                let pack_us = self.cfg.pack_us_fixed
+                    + self.cfg.pack_us_per_stream * batch.slots_used as u64;
+                match result {
+                    Ok(report) => {
+                        let run_us = (report.seconds * 1e6).ceil() as u64;
+                        let batch_done = now + pack_us + run_us;
+                        // Outputs drain job by job over the host link,
+                        // so completion times serialize within the
+                        // batch — that order is the completion order.
+                        let mut t = batch_done;
+                        let mut off = 0usize;
+                        for job in &batch.jobs {
+                            let outs = &report.outputs[off..off + job.streams.len()];
+                            off += job.streams.len();
+                            let output_bytes: u64 = outs.iter().map(|o| o.len() as u64).sum();
+                            t += 1 + output_bytes.div_ceil(1024) * self.cfg.drain_us_per_kib;
+                            // The drain phase includes waiting behind
+                            // earlier jobs' drains, so per-job phases
+                            // always sum to arrival→completion.
+                            let drain_us = t - batch_done;
+                            let deadline_met = job.deadline_us.map(|d| t <= d);
+                            if deadline_met == Some(false) {
+                                counters.deadline_misses += 1;
+                            }
+                            counters.completed += 1;
+                            completed.push(CompletedJob {
+                                id: job.id,
+                                tenant: job.tenant,
+                                instance: i,
+                                arrival_us: job.arrival_us,
+                                started_us: now,
+                                completed_us: t,
+                                latency: JobLatency {
+                                    queue_us: now - job.arrival_us,
+                                    pack_us,
+                                    run_us,
+                                    drain_us,
+                                },
+                                input_bytes: job.input_bytes(),
+                                output_bytes,
+                                outputs: outs.to_vec(),
+                                deadline_met,
+                            });
+                        }
+                        busy_until[i] = Some(t);
+                    }
+                    Err(e) => {
+                        // The batch died (overflow, timeout, or a
+                        // poisoned channel thread surfaced as
+                        // WorkerPanic); its jobs fail, the instance
+                        // stays in the pool.
+                        counters.failed += batch.jobs.len() as u64;
+                        let message = e.to_string();
+                        for job in &batch.jobs {
+                            failed.push(FailedJob {
+                                id: job.id,
+                                tenant: job.tenant,
+                                error: message.clone(),
+                            });
+                        }
+                        busy_until[i] = Some(now + pack_us);
+                    }
+                }
+            }
+
+            // Advance the virtual clock to the next event.
+            let next_arrival = arrivals.peek().map(|j| j.arrival_us);
+            let next_done = busy_until.iter().flatten().min().copied();
+            now = match (next_arrival, next_done) {
+                (None, None) => {
+                    debug_assert!(queue.is_empty(), "idle host with a non-empty queue");
+                    break;
+                }
+                (Some(a), None) => a,
+                (None, Some(d)) => d,
+                (Some(a), Some(d)) => a.min(d),
+            };
+            for b in busy_until.iter_mut() {
+                if b.is_some_and(|t| t <= now) {
+                    *b = None;
+                }
+            }
+        }
+
+        completed.sort_by_key(|a| (a.completed_us, a.id));
+        ServiceReport::build(
+            counters,
+            completed,
+            rejected,
+            failed,
+            instances.iter().map(|i| i.stats()).collect(),
+            first_arrival,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet_lang::{UnitBuilder, UnitSpec};
+    use std::sync::Arc;
+
+    fn identity_spec() -> Arc<UnitSpec> {
+        let mut u = UnitBuilder::new("Identity", 8, 8);
+        let inp = u.input();
+        let nf = u.stream_finished().not_b();
+        u.if_(nf, |u| u.emit(inp.clone()));
+        Arc::new(u.build().unwrap())
+    }
+
+    fn workload(spec: &Arc<UnitSpec>, jobs: usize, tenants: u32) -> Vec<Job> {
+        (0..jobs)
+            .map(|i| {
+                let len = 64 + (i % 7) * 64;
+                Job::new(
+                    i as u64,
+                    i as u32 % tenants,
+                    spec.clone(),
+                    vec![vec![(i % 251) as u8; len], vec![(i % 13) as u8; 128]],
+                )
+                .with_arrival(i as u64 * 3)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serve_completes_everything_and_echoes_outputs() {
+        let spec = identity_spec();
+        let mut host = Host::new(HostConfig::new(2));
+        let jobs = workload(&spec, 20, 4);
+        let inputs: BTreeMap<u64, Vec<Vec<u8>>> =
+            jobs.iter().map(|j| (j.id, j.streams.clone())).collect();
+
+        let report = host.serve(jobs);
+        assert_eq!(report.completed.len(), 20);
+        assert!(report.rejected.is_empty());
+        assert!(report.failed.is_empty());
+        assert_eq!(report.counters.completed, 20);
+        for done in &report.completed {
+            assert_eq!(&done.outputs, &inputs[&done.id], "job {} echoes", done.id);
+            assert!(done.completed_us > done.arrival_us);
+            assert_eq!(
+                done.latency.total_us(),
+                done.completed_us - done.arrival_us,
+                "latency phases cover arrival→completion for job {}",
+                done.id
+            );
+        }
+        // Completion order is sorted.
+        for w in report.completed.windows(2) {
+            assert!(w[0].completed_us <= w[1].completed_us);
+        }
+    }
+
+    #[test]
+    fn serve_is_deterministic() {
+        let spec = identity_spec();
+        let run = || {
+            let mut host = Host::new(HostConfig::new(2));
+            host.serve(workload(&spec, 24, 3))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn two_instances_beat_one_on_a_backlogged_workload() {
+        let spec = identity_spec();
+        // Everything arrives at t=0: a pure capacity test. Small batch
+        // caps force several batches, so a second instance has work to
+        // steal.
+        let jobs: Vec<Job> = (0..32)
+            .map(|i| {
+                Job::new(i, (i % 4) as u32, spec.clone(), vec![vec![i as u8; 4096]])
+            })
+            .collect();
+        let serve_with = |instances| {
+            let mut cfg = HostConfig::new(instances);
+            cfg.pu_slot_cap = 8;
+            cfg.max_jobs_per_batch = 8;
+            let mut host = Host::new(cfg);
+            host.serve(jobs.clone())
+        };
+        let one = serve_with(1);
+        let two = serve_with(2);
+        assert_eq!(one.completed.len(), 32);
+        assert_eq!(two.completed.len(), 32);
+        let speedup = two.jobs_per_sec() / one.jobs_per_sec();
+        assert!(speedup >= 1.7, "2-instance speedup only {speedup:.2}×");
+    }
+
+    #[test]
+    fn deadline_jobs_reject_or_flag() {
+        let spec = identity_spec();
+        let mut jobs = vec![
+            // Hopeless: deadline before anything can finish.
+            Job::new(0, 0, spec.clone(), vec![vec![1u8; 4096]]).with_deadline(1),
+            // Comfortable deadline.
+            Job::new(1, 1, spec.clone(), vec![vec![2u8; 256]]).with_deadline(10_000_000),
+        ];
+        // Backlog so job 0's deadline passes while it queues.
+        for i in 2..8 {
+            jobs.push(Job::new(i, 2, spec.clone(), vec![vec![i as u8; 4096]]));
+        }
+        let mut host = Host::new(HostConfig::new(1));
+        let report = host.serve(jobs);
+        let r0 = report.rejected.iter().find(|r| r.id == 0);
+        let c0 = report.completed.iter().find(|c| c.id == 0);
+        // Job 0 either got rejected at pack time or completed late and
+        // was flagged — it must not count as an on-time success.
+        match (r0, c0) {
+            (Some(r), None) => {
+                assert_eq!(r.reason, crate::job::RejectReason::DeadlineExpired)
+            }
+            (None, Some(c)) => assert_eq!(c.deadline_met, Some(false)),
+            other => panic!("job 0 neither rejected nor completed: {other:?}"),
+        }
+        let c1 = report.completed.iter().find(|c| c.id == 1).expect("job 1 completes");
+        assert_eq!(c1.deadline_met, Some(true));
+    }
+
+    #[test]
+    fn bounded_queue_rejects_burst_overflow() {
+        let spec = identity_spec();
+        let mut cfg = HostConfig::new(1);
+        cfg.queue_capacity = 4;
+        // 12 jobs all arrive at once; at most 4 queue, the rest bounce.
+        let jobs: Vec<Job> = (0..12)
+            .map(|i| Job::new(i, 0, spec.clone(), vec![vec![3u8; 2048]]))
+            .collect();
+        let mut host = Host::new(cfg);
+        let report = host.serve(jobs);
+        assert!(report.counters.rejected_queue_full > 0);
+        assert_eq!(
+            report.counters.rejected_queue_full as usize
+                + report.completed.len(),
+            12
+        );
+    }
+
+    #[test]
+    fn overflowing_batch_fails_its_jobs_but_not_the_host() {
+        let spec = identity_spec();
+        // 8 KB of identity output through a 1 KB output region: the
+        // batch overflows; later jobs still run.
+        let jobs = vec![
+            Job::new(0, 0, spec.clone(), vec![vec![1u8; 8192]]).with_out_capacity(1024),
+            Job::new(1, 1, spec.clone(), vec![vec![2u8; 256]]).with_arrival(500_000),
+        ];
+        let mut host = Host::new(HostConfig::new(1));
+        let report = host.serve(jobs);
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].id, 0);
+        assert!(report.failed[0].error.contains("overflow"), "{}", report.failed[0].error);
+        let ok = report.completed.iter().find(|c| c.id == 1).expect("job 1 unharmed");
+        assert_eq!(ok.outputs[0], vec![2u8; 256]);
+    }
+}

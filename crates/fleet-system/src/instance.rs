@@ -1,0 +1,176 @@
+//! A reusable simulated F1 instance.
+//!
+//! [`run_system`](crate::run_system) is a one-shot convenience; serving
+//! runtimes (`fleet-host`) instead hold a pool of [`Instance`] handles,
+//! each standing for one FPGA board, and run batch after batch on them.
+//! The handle owns the platform configuration and accumulates lifetime
+//! utilization statistics across runs, which is what capacity planning
+//! and the service report need.
+
+use fleet_lang::UnitSpec;
+
+use crate::system::{run_system, run_system_traced, RunReport, SystemConfig, SystemError};
+
+/// Lifetime statistics of one instance, accumulated across runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct InstanceStats {
+    /// Completed runs (batches) on this instance.
+    pub runs: u64,
+    /// Runs that failed (overflow, timeout, worker panic).
+    pub failed_runs: u64,
+    /// Simulated cycles across all completed runs.
+    pub busy_cycles: u64,
+    /// Simulated seconds across all completed runs.
+    pub busy_seconds: f64,
+    /// Input bytes consumed across all completed runs.
+    pub input_bytes: u64,
+    /// Output bytes produced across all completed runs.
+    pub output_bytes: u64,
+    /// Processing units instantiated, summed over completed runs.
+    pub units_run: u64,
+}
+
+/// One simulated F1 board, reusable across runs.
+///
+/// The output-region capacity varies per batch (it depends on the jobs
+/// packed onto the board), so `run` takes it per call and the handle
+/// keeps the platform/controller configuration fixed.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    id: usize,
+    cfg: SystemConfig,
+    stats: InstanceStats,
+}
+
+impl Instance {
+    /// Creates an instance with the given id and configuration.
+    pub fn new(id: usize, cfg: SystemConfig) -> Instance {
+        Instance { id, cfg, stats: InstanceStats::default() }
+    }
+
+    /// The instance id (its index in the host's pool).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The platform configuration this instance runs with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Lifetime statistics accumulated so far.
+    pub fn stats(&self) -> InstanceStats {
+        self.stats
+    }
+
+    /// Runs one batch of `streams` through replicated copies of `spec`
+    /// with the given per-unit output capacity, accumulating the
+    /// instance statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every [`SystemError`] — including
+    /// [`SystemError::WorkerPanic`] from a poisoned channel thread — so
+    /// a failed batch leaves the instance reusable for the next one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` fails validation or a stream is not a whole
+    /// number of input tokens (callers are expected to validate jobs at
+    /// admission).
+    pub fn run(
+        &mut self,
+        spec: &UnitSpec,
+        streams: &[Vec<u8>],
+        out_capacity: usize,
+    ) -> Result<RunReport, SystemError> {
+        let mut cfg = self.cfg;
+        cfg.out_capacity = out_capacity;
+        self.record(run_system(spec, streams, &cfg))
+    }
+
+    /// Like [`Instance::run`], but with cycle-level tracing enabled;
+    /// the report carries `trace: Some(..)`.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Instance::run`].
+    ///
+    /// # Panics
+    ///
+    /// Same panics as [`Instance::run`].
+    pub fn run_traced(
+        &mut self,
+        spec: &UnitSpec,
+        streams: &[Vec<u8>],
+        out_capacity: usize,
+    ) -> Result<RunReport, SystemError> {
+        let mut cfg = self.cfg;
+        cfg.out_capacity = out_capacity;
+        self.record(run_system_traced(spec, streams, &cfg))
+    }
+
+    fn record(&mut self, result: Result<RunReport, SystemError>) -> Result<RunReport, SystemError> {
+        match &result {
+            Ok(report) => {
+                self.stats.runs += 1;
+                self.stats.busy_cycles += report.cycles;
+                self.stats.busy_seconds += report.seconds;
+                self.stats.input_bytes += report.input_bytes;
+                self.stats.output_bytes += report.output_bytes;
+                self.stats.units_run += report.units as u64;
+            }
+            Err(_) => self.stats.failed_runs += 1,
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet_lang::UnitBuilder;
+
+    fn identity_spec() -> UnitSpec {
+        let mut u = UnitBuilder::new("Identity", 8, 8);
+        let inp = u.input();
+        let nf = u.stream_finished().not_b();
+        u.if_(nf, |u| u.emit(inp.clone()));
+        u.build().unwrap()
+    }
+
+    #[test]
+    fn instance_is_reusable_and_accumulates_stats() {
+        let spec = identity_spec();
+        let mut inst = Instance::new(3, SystemConfig::f1(1024));
+        assert_eq!(inst.id(), 3);
+
+        let a = inst.run(&spec, &[vec![1u8; 256], vec![2u8; 128]], 512).unwrap();
+        assert_eq!(a.outputs[0], vec![1u8; 256]);
+        let b = inst.run(&spec, &[vec![3u8; 64]], 512).unwrap();
+        assert_eq!(b.outputs[0], vec![3u8; 64]);
+
+        let s = inst.stats();
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.failed_runs, 0);
+        assert_eq!(s.input_bytes, 256 + 128 + 64);
+        assert_eq!(s.output_bytes, 256 + 128 + 64);
+        assert_eq!(s.units_run, 3);
+        assert_eq!(s.busy_cycles, a.cycles + b.cycles);
+    }
+
+    #[test]
+    fn failed_run_counts_and_instance_survives() {
+        let spec = identity_spec();
+        let mut inst = Instance::new(0, SystemConfig::f1(1024));
+        // Overflow: 8 KB through a 256-byte output region.
+        let err = inst.run(&spec, &[vec![9u8; 8192]], 256).unwrap_err();
+        assert!(matches!(err, SystemError::OutputOverflow { .. }));
+        assert_eq!(inst.stats().failed_runs, 1);
+        assert_eq!(inst.stats().runs, 0);
+        // Still usable afterwards.
+        let ok = inst.run(&spec, &[vec![5u8; 128]], 512).unwrap();
+        assert_eq!(ok.outputs[0], vec![5u8; 128]);
+        assert_eq!(inst.stats().runs, 1);
+    }
+}

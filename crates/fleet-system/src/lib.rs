@@ -35,10 +35,12 @@
 #![warn(missing_docs)]
 
 pub mod area;
+pub mod instance;
 pub mod platform;
 pub mod system;
 
 pub use area::{controller_area, design_area, max_units, unit_area};
+pub use instance::{Instance, InstanceStats};
 pub use platform::{CpuPlatform, GpuPlatform, Platform};
 pub use system::{
     run_replicated, run_system, run_system_traced, RunReport, SystemConfig, SystemError,

@@ -7,7 +7,7 @@ use std::fmt;
 use fleet_axi::{DramChannel, BEAT_BYTES};
 use fleet_compiler::PuExec;
 use fleet_lang::UnitSpec;
-use fleet_memctl::{ChannelEngine, EngineStats, MemCtlConfig, StreamAssignment};
+use fleet_memctl::{ChannelEngine, EngineStats, MemCtlConfig, StreamAssignment, StreamUnit};
 use fleet_trace::{CounterSink, NullSink, TraceReport, TraceSink};
 
 use crate::platform::Platform;
@@ -50,6 +50,13 @@ pub enum SystemError {
         /// The guard that was exceeded.
         max_cycles: u64,
     },
+    /// A channel simulation thread panicked. The panic is caught and
+    /// surfaced as an error so one poisoned channel fails only the job
+    /// that owned it, never the whole host process.
+    WorkerPanic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for SystemError {
@@ -60,6 +67,9 @@ impl fmt::Display for SystemError {
             }
             SystemError::Timeout { max_cycles } => {
                 write!(f, "system did not finish within {max_cycles} cycles")
+            }
+            SystemError::WorkerPanic { message } => {
+                write!(f, "channel simulation thread panicked: {message}")
             }
         }
     }
@@ -214,29 +224,7 @@ fn run_system_inner<S: TraceSink + Send>(
     }
 
     // Run every channel to completion, in parallel.
-    let max_cycles = cfg.max_cycles;
-    let results: Vec<Result<u64, SystemError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = engines
-            .iter_mut()
-            .map(|eng| {
-                scope.spawn(move || {
-                    let start = eng.stats().cycles;
-                    while !eng.done() {
-                        eng.tick();
-                        if eng.any_overflow() {
-                            // Identify the stream below.
-                            return Err(SystemError::OutputOverflow { stream: usize::MAX });
-                        }
-                        if eng.stats().cycles - start > max_cycles {
-                            return Err(SystemError::Timeout { max_cycles });
-                        }
-                    }
-                    Ok(eng.stats().cycles - start)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("channel thread panicked")).collect()
-    });
+    let results = drive_channels(&mut engines, cfg.max_cycles);
 
     let mut cycles = 0u64;
     for (c, r) in results.into_iter().enumerate() {
@@ -276,6 +264,60 @@ fn run_system_inner<S: TraceSink + Send>(
         trace: None,
     };
     Ok((report, engines, index_maps))
+}
+
+/// Renders a caught panic payload for [`SystemError::WorkerPanic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Drives every engine to completion on its own thread and collects one
+/// result per channel. A panic on a channel thread is caught at the
+/// join and surfaced as [`SystemError::WorkerPanic`] for that channel
+/// instead of propagating and aborting the caller.
+fn drive_channels<U, S>(
+    engines: &mut [ChannelEngine<U, S>],
+    max_cycles: u64,
+) -> Vec<Result<u64, SystemError>>
+where
+    U: StreamUnit + Send,
+    S: TraceSink + Send,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = engines
+            .iter_mut()
+            .map(|eng| {
+                scope.spawn(move || {
+                    let start = eng.stats().cycles;
+                    while !eng.done() {
+                        eng.tick();
+                        if eng.any_overflow() {
+                            // The caller maps this back to a stream id.
+                            return Err(SystemError::OutputOverflow { stream: usize::MAX });
+                        }
+                        if eng.stats().cycles - start > max_cycles {
+                            return Err(SystemError::Timeout { max_cycles });
+                        }
+                    }
+                    Ok(eng.stats().cycles - start)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|payload| {
+                    Err(SystemError::WorkerPanic { message: panic_message(payload) })
+                })
+            })
+            .collect()
+    })
 }
 
 /// Convenience: replicate one stream across `n` units and run.
@@ -358,6 +400,51 @@ mod tests {
         assert!((sum - 1.0).abs() < 1e-9);
         assert!(trace.dram_totals().read_beats > 0);
         assert!(trace.to_json().contains("\"attribution\""));
+    }
+
+    #[test]
+    fn channel_thread_panic_surfaces_as_worker_panic() {
+        // A PU exec stub that panics on its first combinational
+        // evaluation — the regression case for the old behaviour, where
+        // one poisoned channel thread took down the whole host process
+        // via `.expect("channel thread panicked")`.
+        struct PoisonedUnit;
+        impl StreamUnit for PoisonedUnit {
+            fn comb(&mut self, _pins: &fleet_compiler::PuIn) -> fleet_compiler::PuOut {
+                panic!("injected PU panic");
+            }
+            fn clock(&mut self, _pins: &fleet_compiler::PuIn) {}
+        }
+
+        let dram = DramChannel::new(fleet_axi::DramConfig::default(), 4096);
+        let assigns = vec![StreamAssignment {
+            in_start: 0,
+            in_len: 64,
+            out_start: 2048,
+            out_capacity: 1024,
+        }];
+        let mut engines = vec![ChannelEngine::new(
+            MemCtlConfig::default(),
+            dram,
+            vec![PoisonedUnit],
+            assigns,
+            1,
+            1,
+        )];
+        let results = drive_channels(&mut engines, 1_000_000);
+        match &results[0] {
+            Err(SystemError::WorkerPanic { message }) => {
+                assert!(message.contains("injected PU panic"), "message: {message}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_message_handles_all_payload_shapes() {
+        assert_eq!(panic_message(Box::new("static str")), "static str");
+        assert_eq!(panic_message(Box::new(String::from("owned"))), "owned");
+        assert_eq!(panic_message(Box::new(17u32)), "non-string panic payload");
     }
 
     #[test]

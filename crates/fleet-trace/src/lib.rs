@@ -33,17 +33,24 @@
 //! stall-attribution breakdown ("61 % busy, 22 % DRAM-latency-bound…")
 //! surfaced by `fleet_system::run_system_traced` and the
 //! `fleet-bench --bin trace_report` harness.
+//!
+//! The [`sched`] module extends the same subsystem one layer up: the
+//! `fleet-host` serving runtime reports its scheduler decisions through
+//! [`SchedCounters`] and its per-job queue/pack/run/drain latency
+//! distributions through [`LatencyStats`].
 
 #![warn(missing_docs)]
 
 pub mod counter;
 pub mod event;
 pub mod report;
+pub mod sched;
 pub mod vcd;
 
 pub use counter::{CounterSink, PuCycleCounters, QueueStats, BUS_WINDOW_CYCLES};
 pub use event::{EventSink, TraceEvent};
 pub use report::{ChannelTrace, DramCounters, PuTrace, StallAttribution, TraceReport};
+pub use sched::{LatencyStats, SchedCounters};
 pub use vcd::VcdSink;
 
 /// What one processing unit did in one real cycle, from the

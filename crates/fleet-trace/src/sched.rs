@@ -1,0 +1,237 @@
+//! Scheduler-side observability: decision counters and latency
+//! distributions for serving runtimes.
+//!
+//! The full-system simulators attribute *cycles* (see
+//! [`crate::report`]); a host-side job scheduler attributes *time spent
+//! per job* — queue wait, batch packing, the simulated run, output
+//! drain — and counts its admission/packing/rejection decisions. Both
+//! live in this crate so every layer of the stack reports through one
+//! observability subsystem.
+//!
+//! All durations are in *virtual microseconds*: the serving simulation
+//! advances a deterministic virtual clock (runs take their simulated
+//! platform time), so identical seeds reproduce identical latency
+//! distributions bit-for-bit.
+
+/// A latency sample distribution in virtual microseconds.
+///
+/// Samples are kept raw (serving simulations record thousands of jobs,
+/// not millions), so any percentile is exact.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    samples: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// An empty distribution.
+    pub fn new() -> LatencyStats {
+        LatencyStats::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, us: u64) {
+        self.samples.push(us);
+    }
+
+    /// Absorbs every sample of `other`.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean, or 0 for an empty distribution.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Exact nearest-rank percentile (`p` in [0, 100]), or 0 when
+    /// empty: `percentile(50.0)` is the median, `percentile(100.0)` the
+    /// max.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// Median shorthand.
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// Tail shorthand.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// One JSON object (`{"count": …, "mean_us": …, "p50_us": …,
+    /// "p99_us": …, "max_us": …}`) — hand-rolled, like every serializer
+    /// in this workspace, because no `serde` is vendored.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\": {}, \"mean_us\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+            self.count(),
+            self.mean(),
+            self.p50(),
+            self.p99(),
+            self.max()
+        )
+    }
+}
+
+/// Counters of every decision a job scheduler makes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedCounters {
+    /// Jobs offered to the submission queue.
+    pub submitted: u64,
+    /// Jobs accepted into the queue.
+    pub admitted: u64,
+    /// Jobs refused because the bounded queue was full (backpressure).
+    pub rejected_queue_full: u64,
+    /// Jobs refused because their streams failed validation.
+    pub rejected_malformed: u64,
+    /// Jobs dropped because their deadline had already passed when the
+    /// packer reached them.
+    pub rejected_deadline: u64,
+    /// Batches packed onto instances.
+    pub batches_packed: u64,
+    /// Jobs included in packed batches.
+    pub jobs_packed: u64,
+    /// PU slots filled across all packed batches.
+    pub slots_packed: u64,
+    /// PU slots available across all packed batches (fill ratio
+    /// denominator).
+    pub slots_offered: u64,
+    /// Jobs that completed and drained successfully.
+    pub completed: u64,
+    /// Jobs whose batch failed (overflow, timeout, worker panic).
+    pub failed: u64,
+    /// Jobs that completed after their deadline.
+    pub deadline_misses: u64,
+}
+
+impl SchedCounters {
+    /// Fraction of offered PU slots actually filled, in [0, 1].
+    pub fn slot_fill(&self) -> f64 {
+        if self.slots_offered == 0 {
+            return 0.0;
+        }
+        self.slots_packed as f64 / self.slots_offered as f64
+    }
+
+    /// Adds every count of `other` into `self`.
+    pub fn merge(&mut self, other: &SchedCounters) {
+        self.submitted += other.submitted;
+        self.admitted += other.admitted;
+        self.rejected_queue_full += other.rejected_queue_full;
+        self.rejected_malformed += other.rejected_malformed;
+        self.rejected_deadline += other.rejected_deadline;
+        self.batches_packed += other.batches_packed;
+        self.jobs_packed += other.jobs_packed;
+        self.slots_packed += other.slots_packed;
+        self.slots_offered += other.slots_offered;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.deadline_misses += other.deadline_misses;
+    }
+
+    /// One JSON object with every counter plus the derived slot-fill
+    /// ratio.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"submitted\": {}, \"admitted\": {}, \"rejected_queue_full\": {}, \
+             \"rejected_malformed\": {}, \"rejected_deadline\": {}, \"batches_packed\": {}, \
+             \"jobs_packed\": {}, \"slots_packed\": {}, \"slots_offered\": {}, \
+             \"slot_fill\": {:.4}, \"completed\": {}, \"failed\": {}, \"deadline_misses\": {}}}",
+            self.submitted,
+            self.admitted,
+            self.rejected_queue_full,
+            self.rejected_malformed,
+            self.rejected_deadline,
+            self.batches_packed,
+            self.jobs_packed,
+            self.slots_packed,
+            self.slots_offered,
+            self.slot_fill(),
+            self.completed,
+            self.failed,
+            self.deadline_misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        let mut l = LatencyStats::new();
+        for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            l.record(v);
+        }
+        assert_eq!(l.count(), 10);
+        assert_eq!(l.p50(), 50);
+        assert_eq!(l.percentile(90.0), 90);
+        assert_eq!(l.p99(), 100);
+        assert_eq!(l.percentile(100.0), 100);
+        assert_eq!(l.max(), 100);
+        assert!((l.mean() - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero_not_panicking() {
+        let l = LatencyStats::new();
+        assert_eq!(l.p50(), 0);
+        assert_eq!(l.p99(), 0);
+        assert_eq!(l.max(), 0);
+        assert_eq!(l.mean(), 0.0);
+        assert!(l.to_json().contains("\"count\": 0"));
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyStats::new();
+        a.record(1);
+        let mut b = LatencyStats::new();
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 3);
+    }
+
+    #[test]
+    fn counters_merge_and_fill_ratio() {
+        let mut a = SchedCounters { slots_packed: 30, slots_offered: 40, ..Default::default() };
+        let b = SchedCounters {
+            submitted: 5,
+            admitted: 4,
+            rejected_queue_full: 1,
+            slots_packed: 10,
+            slots_offered: 40,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.submitted, 5);
+        assert_eq!(a.slots_packed, 40);
+        assert!((a.slot_fill() - 0.5).abs() < 1e-9);
+        let json = a.to_json();
+        assert!(json.contains("\"slot_fill\": 0.5000"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

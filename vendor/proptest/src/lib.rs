@@ -2,7 +2,8 @@
 //!
 //! Supports the subset used by this workspace: the `proptest!` macro
 //! (with an optional `#![proptest_config(...)]` header), `any::<T>()`,
-//! integer-range strategies, `proptest::collection::vec`, and the
+//! integer-range strategies, tuple strategies, `prop_oneof!` unions,
+//! `proptest::collection::vec`, and the
 //! `prop_assert*` macros. Cases are generated from a seed derived from
 //! the test name, so runs are deterministic. No shrinking: a failing
 //! case panics with its case index so it can be replayed by reading the
@@ -91,6 +92,71 @@ macro_rules! impl_range_strategy {
 }
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+}
+
+/// Equal-weight union of strategies over one value type (what
+/// [`prop_oneof!`] builds).
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; each draw picks one arm uniformly.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+
+    /// Starts a union from its first arm, which pins the value type
+    /// (`prop_oneof!` chains the remaining arms through [`Union::or`]).
+    pub fn of<S>(first: S) -> Union<S::Value>
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        Union { arms: vec![Box::new(first)] }
+    }
+
+    /// Adds another equally-weighted arm.
+    pub fn or<S>(mut self, arm: S) -> Union<T>
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        self.arms.push(Box::new(arm));
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.0.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Picks uniformly among the listed strategies (upstream supports
+/// per-arm weights; this stub draws arms equally).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {
+        $crate::Union::of($first)$(.or($rest))*
+    };
+}
+
 /// Collection strategies (`proptest::collection::vec`).
 pub mod collection {
     use super::{Strategy, TestRng};
@@ -144,8 +210,8 @@ impl Default for ProptestConfig {
 /// Everything a test file needs.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
-        Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        ProptestConfig, Strategy, Union,
     };
 }
 
@@ -228,6 +294,17 @@ mod tests {
         fn ranges_respected(x in 10u32..20, y in 5usize..=7) {
             prop_assert!((10..20).contains(&x));
             prop_assert!((5..=7).contains(&y));
+        }
+
+        #[test]
+        fn tuples_compose((a, b) in (1u8..=3, 10usize..=12)) {
+            prop_assert!((1..=3).contains(&a));
+            prop_assert!((10..=12).contains(&b));
+        }
+
+        #[test]
+        fn oneof_draws_from_every_arm(x in prop_oneof![0usize..=1, 10usize..=11]) {
+            prop_assert!(x <= 1 || (10..=11).contains(&x));
         }
     }
 
