@@ -1,0 +1,219 @@
+//! simperf — simulator-throughput benchmark (S2): how fast the
+//! full-system simulator itself runs, measured in simulated Mcycles per
+//! wall-clock second and simulated input GB per wall-clock second.
+//!
+//! This tracks the *simulator's* performance, not the modelled FPGA's:
+//! every optimization to the channel-engine hot path (shared compiled
+//! programs, quiescent-PU skipping, slice-copy burst delivery) shows up
+//! here, and the cycle-exactness tests guarantee none of them change a
+//! single simulated cycle.
+//!
+//! Each app runs at its paper PU count with `FLEET_BYTES_PER_PU` input
+//! bytes per unit (default 4096 × `FLEET_SCALE`; the decision tree gets
+//! 8× because of its per-unit ensemble header). Simulated cycles are
+//! summed across the per-channel engines — each channel is an
+//! independently simulated clock domain, so the sum is the number of
+//! engine ticks the simulator actually executed.
+//!
+//! Flags:
+//! - `--smoke`: bounded CI configuration (32 PUs per app, small streams).
+//! - `--compare-naive`: also drive fresh engines through the naive
+//!   reference tick (every PU evaluated every cycle, per-byte copies)
+//!   and report the speedup; asserts both paths simulate the same
+//!   number of cycles.
+//!
+//! Writes `BENCH_simperf.json` via `write_bench_json`.
+
+use std::time::Instant;
+
+use fleet_apps::{App, AppKind};
+use fleet_bench::{print_table, scale, write_bench_json};
+use fleet_compiler::CompiledUnit;
+use fleet_system::{build_system_engines, SystemConfig};
+
+/// Hard cap on simulated cycles per channel; experiment inputs are sized
+/// so hitting it is a bug, not an expected outcome.
+const MAX_CYCLES: u64 = 500_000_000;
+
+struct AppRun {
+    name: &'static str,
+    pus: usize,
+    input_bytes: u64,
+    sim_cycles: u64,
+    wall_seconds: f64,
+    naive: Option<(u64, f64)>,
+}
+
+impl AppRun {
+    fn mcycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / self.wall_seconds / 1e6
+    }
+    fn gb_per_wall_sec(&self) -> f64 {
+        self.input_bytes as f64 / self.wall_seconds / 1e9
+    }
+    fn naive_mcycles_per_sec(&self) -> Option<f64> {
+        self.naive.map(|(c, w)| c as f64 / w / 1e6)
+    }
+    fn speedup(&self) -> Option<f64> {
+        self.naive_mcycles_per_sec().map(|n| self.mcycles_per_sec() / n)
+    }
+}
+
+/// Builds fresh engines for the app's streams and drives every channel
+/// to completion, returning (total simulated cycles, wall seconds).
+fn drive(
+    unit: &CompiledUnit,
+    streams: &[&[u8]],
+    cfg: &SystemConfig,
+    naive: bool,
+) -> (u64, f64) {
+    let (mut engines, _maps) = build_system_engines(unit, streams, cfg);
+    let start = Instant::now();
+    let mut sim_cycles = 0u64;
+    for eng in engines.iter_mut() {
+        while !eng.done() {
+            if naive {
+                eng.tick_naive();
+            } else {
+                eng.tick();
+            }
+            assert!(eng.overflowed_unit().is_none(), "output overflow in simperf run");
+            assert!(eng.stats().cycles < MAX_CYCLES, "simperf run did not converge");
+        }
+        sim_cycles += eng.stats().cycles;
+    }
+    (sim_cycles, start.elapsed().as_secs_f64().max(1e-9))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let compare_naive = args.iter().any(|a| a == "--compare-naive");
+    for a in &args {
+        assert!(
+            a == "--smoke" || a == "--compare-naive",
+            "unknown flag {a}; simperf takes --smoke and/or --compare-naive"
+        );
+    }
+
+    let bytes_per_pu: usize = std::env::var("FLEET_BYTES_PER_PU")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            if smoke {
+                2048
+            } else {
+                (4096.0 * scale()) as usize
+            }
+        });
+    println!(
+        "# simperf: simulator throughput — {} B per unit{}{}\n",
+        bytes_per_pu,
+        if smoke { ", smoke configuration" } else { "" },
+        if compare_naive { ", vs naive reference tick" } else { "" },
+    );
+
+    let mut runs: Vec<AppRun> = Vec::new();
+    for kind in AppKind::all() {
+        let app = App::new(kind);
+        let pus = if smoke { 32 } else { app.paper_pu_count() };
+        // The decision-tree stream carries a ~8 KB ensemble header per
+        // unit; give it proportionally more payload (as fig7 does).
+        let per_pu = if kind == AppKind::Tree { bytes_per_pu * 8 } else { bytes_per_pu };
+        eprintln!("running {} ({} PUs, {} B each) ...", app.name(), pus, per_pu);
+
+        let streams: Vec<Vec<u8>> = (0..pus).map(|p| app.gen_stream(p as u64, per_pu)).collect();
+        let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+        let input_bytes: u64 = streams.iter().map(|s| s.len() as u64).sum();
+        let out_cap = app.out_capacity(streams.iter().map(|s| s.len()).max().unwrap_or(0));
+        let cfg = SystemConfig::f1(out_cap);
+        let unit = CompiledUnit::new(&app.spec());
+
+        let (sim_cycles, wall_seconds) = drive(&unit, &refs, &cfg, false);
+        let naive = compare_naive.then(|| {
+            let (naive_cycles, naive_wall) = drive(&unit, &refs, &cfg, true);
+            assert_eq!(
+                sim_cycles, naive_cycles,
+                "{}: naive and optimized engines must simulate identical cycles",
+                app.name()
+            );
+            (naive_cycles, naive_wall)
+        });
+
+        runs.push(AppRun {
+            name: app.name(),
+            pus,
+            input_bytes,
+            sim_cycles,
+            wall_seconds,
+            naive,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                format!("{}", r.pus),
+                format!("{}", r.input_bytes),
+                format!("{:.2}", r.sim_cycles as f64 / 1e6),
+                format!("{:.2}", r.mcycles_per_sec()),
+                format!("{:.3}", r.gb_per_wall_sec()),
+                r.naive_mcycles_per_sec().map_or("-".into(), |n| format!("{n:.2}")),
+                r.speedup().map_or("-".into(), |s| format!("{s:.2}x")),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "App",
+            "PUs",
+            "Input B",
+            "Sim Mcycles",
+            "Mcycles/s",
+            "GB/wall-s",
+            "Naive Mcycles/s",
+            "Speedup",
+        ],
+        &rows,
+    );
+
+    let json_rows: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"app\": \"{}\", \"pus\": {}, \"input_bytes\": {}, \
+                 \"sim_cycles\": {}, \"wall_seconds\": {:.6}, \
+                 \"mcycles_per_sec\": {:.3}, \"gb_per_wall_sec\": {:.6}, \
+                 \"naive_mcycles_per_sec\": {}, \"speedup\": {}}}",
+                r.name,
+                r.pus,
+                r.input_bytes,
+                r.sim_cycles,
+                r.wall_seconds,
+                r.mcycles_per_sec(),
+                r.gb_per_wall_sec(),
+                r.naive_mcycles_per_sec().map_or("null".into(), |n| format!("{n:.3}")),
+                r.speedup().map_or("null".into(), |s| format!("{s:.3}")),
+            )
+        })
+        .collect();
+    write_bench_json(
+        "simperf",
+        &format!(
+            "{{\n  \"bytes_per_pu\": {bytes_per_pu},\n  \"smoke\": {smoke},\n  \
+             \"apps\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        ),
+    );
+
+    if compare_naive {
+        let fast_enough = runs.iter().filter(|r| r.speedup().unwrap_or(0.0) >= 2.0).count();
+        println!(
+            "\n{} of {} apps at >= 2.0x over the naive reference tick",
+            fast_enough,
+            runs.len()
+        );
+    }
+}

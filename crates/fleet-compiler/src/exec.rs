@@ -15,7 +15,9 @@
 //! Handshake inputs must be computed from the *caller's* pre-edge state
 //! (registered handshakes), which is how the memory controller operates.
 
-use fleet_isim::{PendingWrites, SsaOp, SsaProg, UnitState};
+use std::sync::Arc;
+
+use fleet_isim::{PackedProg, PendingWrites, SsaOp, SsaProg, UnitState};
 use fleet_lang::{mask, UnitSpec};
 use fleet_trace::{CycleClass, PuCycleCounters};
 
@@ -53,6 +55,92 @@ struct VcycleEval {
     pending: PendingWrites,
 }
 
+/// What a unit is provably waiting on after a clock edge.
+///
+/// Reported by [`PuExec::quiescence`] so the channel engine can skip
+/// re-evaluating a unit whose pins cannot produce a different outcome
+/// until the named external condition changes. The engine still
+/// accounts every skipped cycle exactly (bulk increments on wake-up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quiescence {
+    /// Not quiescent: the unit makes progress every cycle and must be
+    /// evaluated.
+    None,
+    /// Idle with no pending work: nothing changes until `input_valid`
+    /// or `input_finished` is asserted.
+    UntilInput,
+    /// A pending emission is back-pressured: nothing changes until
+    /// `output_ready` is asserted.
+    UntilOutput,
+}
+
+/// A unit program compiled and validated once, shareable across
+/// hundreds of replicas.
+///
+/// [`PuExec::new`] revalidates the spec and rebuilds the SSA program on
+/// every call; full-system simulation replicates the same unit once per
+/// stream, so compile once into a `CompiledUnit` and stamp out replicas
+/// with [`PuExec::from_compiled`] (or [`CompiledUnit::replicate`]) —
+/// the program and spec are behind `Arc`s, so a replica costs only the
+/// mutable state.
+#[derive(Debug, Clone)]
+pub struct CompiledUnit {
+    spec: Arc<UnitSpec>,
+    /// Seed-faithful reference program: every expression node swept
+    /// every virtual cycle.
+    ssa: Arc<SsaProg>,
+    /// Optimized program (constant folding, guard pre-combining, dead
+    /// node elimination); computes identical values with a much smaller
+    /// per-cycle sweep. The default evaluation path.
+    opt: Arc<SsaProg>,
+    /// The optimized program's node sweep re-encoded as flat pre-masked
+    /// instructions ([`PackedProg`]); shares `opt`'s slot numbering.
+    packed: Arc<PackedProg>,
+    reset: UnitState,
+}
+
+impl CompiledUnit {
+    /// Validates and compiles `spec` once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit fails validation; validate with
+    /// [`fleet_lang::validate`] (or build via `UnitBuilder`) first.
+    pub fn new(spec: &UnitSpec) -> CompiledUnit {
+        CompiledUnit::from_arc(Arc::new(spec.clone()))
+    }
+
+    /// Like [`CompiledUnit::new`], but takes an already-shared spec
+    /// without cloning it (the serving runtime holds `Arc<UnitSpec>`s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit fails validation.
+    pub fn from_arc(spec: Arc<UnitSpec>) -> CompiledUnit {
+        fleet_lang::validate(&spec).expect("CompiledUnit requires a validated unit");
+        let ssa = Arc::new(SsaProg::build(&spec));
+        let opt = Arc::new(ssa.optimized(&spec));
+        let packed = Arc::new(PackedProg::new(&opt));
+        let reset = UnitState::reset(&spec);
+        CompiledUnit { spec, ssa, opt, packed, reset }
+    }
+
+    /// The unit specification this program was compiled from.
+    pub fn spec(&self) -> &UnitSpec {
+        &self.spec
+    }
+
+    /// The shared spec handle.
+    pub fn spec_arc(&self) -> &Arc<UnitSpec> {
+        &self.spec
+    }
+
+    /// Stamps out one executor replica sharing this compiled program.
+    pub fn replicate(&self) -> PuExec {
+        PuExec::from_compiled(self)
+    }
+}
+
 /// Fast executor with the compiled unit's cycle-level interface.
 ///
 /// The program is compiled once into a linear SSA node vector
@@ -60,8 +148,22 @@ struct VcycleEval {
 /// as the netlist simulator, without per-node hashing.
 #[derive(Debug, Clone)]
 pub struct PuExec {
-    ssa: SsaProg,
+    /// Seed-faithful reference program (full per-cycle sweep).
+    ssa: Arc<SsaProg>,
+    /// Optimized program; the default evaluation path.
+    opt: Arc<SsaProg>,
+    /// Flat pre-masked encoding of `opt`'s node sweep — what the
+    /// default path actually executes per virtual cycle.
+    packed: Arc<PackedProg>,
+    /// When set, virtual cycles evaluate through the reference program
+    /// instead of the optimized one. Both are cycle-exact; the flag
+    /// only selects the cost profile (see
+    /// [`PuExec::set_reference_eval`]).
+    reference: bool,
     vals: Vec<u64>,
+    /// Recycled pending-write buffers (avoids a per-virtual-cycle
+    /// allocation on the hot path).
+    scratch: PendingWrites,
     state: UnitState,
     i: u64,
     v: bool,
@@ -80,12 +182,23 @@ impl PuExec {
     /// Panics if the unit fails validation; validate with
     /// [`fleet_lang::validate`] (or build via `UnitBuilder`) first.
     pub fn new(spec: &UnitSpec) -> PuExec {
-        fleet_lang::validate(spec).expect("PuExec requires a validated unit");
-        let ssa = SsaProg::build(spec);
+        PuExec::from_compiled(&CompiledUnit::new(spec))
+    }
+
+    /// Creates an executor with reset state from an already-compiled
+    /// program, sharing the SSA node vector instead of rebuilding it.
+    ///
+    /// Replicating a unit across hundreds of PUs this way skips the
+    /// per-replica validation + compilation that dominated system setup.
+    pub fn from_compiled(unit: &CompiledUnit) -> PuExec {
         PuExec {
-            vals: vec![0u64; ssa.slots()],
-            ssa,
-            state: UnitState::reset(spec),
+            vals: unit.opt.seed_vals(),
+            ssa: Arc::clone(&unit.ssa),
+            opt: Arc::clone(&unit.opt),
+            packed: Arc::clone(&unit.packed),
+            reference: false,
+            scratch: PendingWrites::default(),
+            state: unit.reset.clone(),
             i: 0,
             v: false,
             f: false,
@@ -119,14 +232,46 @@ impl PuExec {
         &self.state
     }
 
+    /// Selects the evaluation path: `true` sweeps the seed-faithful
+    /// reference program, `false` (the default) the optimized one.
+    ///
+    /// Both compute identical virtual cycles — emissions, state writes,
+    /// handshakes — so this only changes the simulator's *cost*, never
+    /// its behaviour. The naive engine tick drives units through the
+    /// reference path so throughput comparisons measure the real
+    /// pre-optimization cost profile.
+    pub fn set_reference_eval(&mut self, reference: bool) {
+        if reference != self.reference {
+            self.reference = reference;
+            // The two programs have different slot layouts and baked
+            // constants; restart from the right seed buffer.
+            let prog = if reference { &self.ssa } else { &self.opt };
+            self.vals.clear();
+            self.vals.extend_from_slice(&prog.seed_vals());
+        }
+    }
+
+    /// Whether virtual cycles currently evaluate through the reference
+    /// program.
+    pub fn reference_eval(&self) -> bool {
+        self.reference
+    }
+
     fn eval_vcycle(&mut self) -> &VcycleEval {
         if self.cached.is_none() {
-            self.ssa.eval(&self.state, self.i, self.f, &mut self.vals);
-            let loop_active = self.ssa.any_loop(&self.vals);
+            // The packed encoding shares `opt`'s slot numbering, so
+            // `opt`'s loop conditions and ops read its buffer directly.
+            let prog = if self.reference { &self.ssa } else { &self.opt };
+            if self.reference {
+                prog.eval(&self.state, self.i, self.f, &mut self.vals);
+            } else {
+                self.packed.eval(&self.state, self.i, self.f, &mut self.vals);
+            }
+            let loop_active = prog.any_loop(&self.vals);
             let vals = &self.vals;
-            let mut pending = PendingWrites::default();
+            let mut pending = std::mem::take(&mut self.scratch);
             let mut emit = None;
-            for op in &self.ssa.ops {
+            for op in &prog.ops {
                 if op.in_loop != loop_active
                     || op.guards.iter().any(|&g| vals[g as usize] == 0)
                 {
@@ -222,6 +367,10 @@ impl PuExec {
             if v_done {
                 let ev = self.cached.take().expect("evaluated in this cycle");
                 ev.pending.commit(&mut self.state);
+                // Recycle the pending-write buffers for the next
+                // virtual cycle.
+                self.scratch = ev.pending;
+                self.scratch.clear();
                 self.vcycles += 1;
                 if while_done {
                     // input_ready was asserted: accept next token or start
@@ -259,6 +408,44 @@ impl PuExec {
     /// Whether the unit has fully finished (output side).
     pub fn finished(&self) -> bool {
         !self.v && self.f
+    }
+
+    /// What the unit is provably waiting on, judged from post-edge state.
+    ///
+    /// `UntilInput` means the unit is idle with nothing latched: every
+    /// subsequent [`PuExec::tick`] with `!input_valid && !input_finished`
+    /// is a pure `StallIn` cycle. `UntilOutput` means a fully-evaluated
+    /// virtual cycle is blocked on an emission: every subsequent tick
+    /// with `!output_ready` is a pure `StallOut` cycle holding
+    /// `output_valid` with the same token. Either way the pins the unit
+    /// drives are constant, so a simulator may skip re-evaluation and
+    /// account the skipped span with [`PuExec::skip_cycles`].
+    pub fn quiescence(&self) -> Quiescence {
+        if self.v {
+            if self.cached.is_some() {
+                // A cached evaluation survives `clock` only when its
+                // emission was back-pressured (the StallOut path).
+                Quiescence::UntilOutput
+            } else {
+                Quiescence::None
+            }
+        } else if self.f {
+            // Finished: drained cycles, handled by the caller.
+            Quiescence::None
+        } else {
+            Quiescence::UntilInput
+        }
+    }
+
+    /// Accounts `n` skipped cycles in bulk, as if [`PuExec::clock`] had
+    /// run `n` times under the quiescent condition reported by
+    /// [`PuExec::quiescence`] (which must not be `None`).
+    pub fn skip_cycles(&mut self, n: u64) {
+        self.cycles += n;
+        self.counters.add_n(
+            if self.v { CycleClass::StallOut } else { CycleClass::StallIn },
+            n,
+        );
     }
 
     /// Drives the executor over a whole token stream with no stalls,
@@ -397,6 +584,85 @@ mod tests {
         assert!(c.stall_in > 0, "starvation cycles must be attributed");
         assert!(c.stall_out > 0, "back-pressure cycles must be attributed");
         assert!(c.drained >= 3, "post-finish cycles are drained");
+    }
+
+    #[test]
+    fn from_compiled_replicas_match_fresh_executors() {
+        let spec = identity_spec();
+        let unit = CompiledUnit::new(&spec);
+        let tokens: Vec<u64> = (0..100).map(|x| x % 256).collect();
+        let (fresh_out, fresh_cycles) = PuExec::run_stream(&spec, &tokens);
+        for _ in 0..3 {
+            let mut pu = unit.replicate();
+            let mut out = Vec::new();
+            let mut pos = 0usize;
+            while !pu.finished() {
+                let pins = PuIn {
+                    input_token: if pos < tokens.len() { tokens[pos] } else { 0 },
+                    input_valid: pos < tokens.len(),
+                    input_finished: pos >= tokens.len(),
+                    output_ready: true,
+                };
+                let o = pu.tick(&pins);
+                if o.output_valid {
+                    out.push(o.output_token);
+                }
+                if o.input_ready && pins.input_valid {
+                    pos += 1;
+                }
+                assert!(pu.cycles() < 10_000);
+            }
+            assert_eq!(out, fresh_out);
+            assert_eq!(pu.cycles(), fresh_cycles);
+        }
+    }
+
+    #[test]
+    fn skip_cycles_matches_ticking_through_quiescence() {
+        let spec = identity_spec();
+
+        // UntilInput: an idle unit ticked with nothing on its pins must
+        // match one that slept through the same span.
+        let idle_pins = PuIn::default();
+        let mut ticked = PuExec::new(&spec);
+        let mut slept = PuExec::new(&spec);
+        assert_eq!(slept.quiescence(), Quiescence::UntilInput);
+        for _ in 0..50 {
+            let o = ticked.comb(&idle_pins);
+            assert!(o.input_ready && !o.output_valid);
+            ticked.clock(&idle_pins);
+        }
+        slept.skip_cycles(50);
+        assert_eq!(ticked.counters(), slept.counters());
+        assert_eq!(ticked.cycles(), slept.cycles());
+
+        // Both resume identically on the same token.
+        let tok = PuIn { input_token: 9, input_valid: true, output_ready: true, ..PuIn::default() };
+        assert_eq!(ticked.tick(&tok), slept.tick(&tok));
+
+        // UntilOutput: hold output_ready low until the emission is
+        // pending, then compare ticking vs sleeping through the stall.
+        let stall = PuIn { output_ready: false, ..PuIn::default() };
+        let mut t2 = PuExec::new(&spec);
+        let mut s2 = PuExec::new(&spec);
+        for pu in [&mut t2, &mut s2] {
+            // First tick latches the token; the second evaluates the
+            // virtual cycle and stalls on the blocked emission.
+            pu.tick(&PuIn { input_token: 42, input_valid: true, ..stall });
+            assert_eq!(pu.quiescence(), Quiescence::None);
+            pu.tick(&stall);
+            assert_eq!(pu.quiescence(), Quiescence::UntilOutput);
+        }
+        for _ in 0..30 {
+            let o = t2.comb(&stall);
+            assert!(o.output_valid && o.output_token == 42);
+            t2.clock(&stall);
+        }
+        s2.skip_cycles(30);
+        assert_eq!(t2.counters(), s2.counters());
+        assert_eq!(t2.cycles(), s2.cycles());
+        let drain = PuIn { input_finished: true, output_ready: true, ..PuIn::default() };
+        assert_eq!(t2.tick(&drain), s2.tick(&drain));
     }
 
     #[test]

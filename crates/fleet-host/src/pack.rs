@@ -42,6 +42,13 @@ impl PackedBatch {
         self.jobs.iter().flat_map(|j| j.streams.iter().cloned()).collect()
     }
 
+    /// Borrows member streams in job order for the instance run — the
+    /// zero-copy counterpart of [`PackedBatch::flat_streams`] used by
+    /// the serving hot path.
+    pub fn stream_refs(&self) -> Vec<&[u8]> {
+        self.jobs.iter().flat_map(|j| j.streams.iter().map(|s| s.as_slice())).collect()
+    }
+
     /// Total input bytes across the batch.
     pub fn input_bytes(&self) -> u64 {
         self.jobs.iter().map(|j| j.input_bytes()).sum()

@@ -16,6 +16,7 @@
 
 use std::collections::BTreeMap;
 
+use fleet_compiler::CompiledUnit;
 use fleet_system::{max_units, Instance, RunReport, SystemConfig, SystemError};
 use fleet_trace::SchedCounters;
 
@@ -76,12 +77,16 @@ pub struct Host {
     /// Area-fit results per spec key (compiling a unit for the area
     /// model is expensive; every batch of the same spec reuses it).
     slot_cache: BTreeMap<String, usize>,
+    /// Compiled programs per spec key: validation and SSA lowering run
+    /// once per spec on the scheduler thread, and every batch replicates
+    /// executors from the shared program instead of recompiling.
+    compiled_cache: BTreeMap<String, CompiledUnit>,
 }
 
 impl Host {
     /// Creates a host with the given configuration.
     pub fn new(cfg: HostConfig) -> Host {
-        Host { cfg, slot_cache: BTreeMap::new() }
+        Host { cfg, slot_cache: BTreeMap::new(), compiled_cache: BTreeMap::new() }
     }
 
     /// The configuration the host was built with.
@@ -172,6 +177,15 @@ impl Host {
                 }
             }
 
+            // Compile each launched spec once on the scheduler thread;
+            // workers replicate executors from the shared program.
+            for batch in batch_for.iter().flatten() {
+                self.compiled_cache
+                    .entry(batch.spec_key.clone())
+                    .or_insert_with(|| CompiledUnit::from_arc(batch.spec.clone()));
+            }
+            let compiled = &self.compiled_cache;
+
             // Run every launched batch concurrently on the worker pool.
             // Results come back keyed by instance index, so wall-clock
             // completion order cannot perturb the virtual timeline.
@@ -184,8 +198,11 @@ impl Host {
                         .filter_map(|(i, (inst, slot))| slot.take().map(|b| (i, inst, b)))
                         .map(|(i, inst, batch)| {
                             scope.spawn(move || {
-                                let streams = batch.flat_streams();
-                                let res = inst.run(&batch.spec, &streams, batch.out_capacity);
+                                let res = {
+                                    let unit = &compiled[&batch.spec_key];
+                                    let streams = batch.stream_refs();
+                                    inst.run_compiled(unit, &streams, batch.out_capacity)
+                                };
                                 (i, batch, res)
                             })
                         })

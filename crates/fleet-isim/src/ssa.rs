@@ -25,7 +25,7 @@ use crate::state::UnitState;
 /// Index of a value slot in the evaluation buffer.
 pub type Slot = u32;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum Node {
     Const(u64),
     Input,
@@ -101,12 +101,62 @@ pub struct SsaGuardedOp {
 #[derive(Debug, Clone)]
 pub struct SsaProg {
     nodes: Vec<Node>,
+    /// Nodes below this index are constants evaluated once at build
+    /// time; their values live in `seed` and `eval` never revisits them.
+    /// Always 0 for [`SsaProg::build`] output.
+    eval_from: usize,
+    /// Initial contents of the evaluation buffer: build-time constant
+    /// values for slots below `eval_from`, zero elsewhere.
+    seed: Vec<u64>,
     /// Slots of the effective `while` conditions.
     pub loop_conds: Vec<Slot>,
     /// All primitive operations in source order.
     pub ops: Vec<SsaGuardedOp>,
     /// Output token width (for emit masking).
     pub out_width: Width,
+}
+
+/// Unary operator semantics shared by per-cycle evaluation and
+/// build-time constant folding (one source of truth; result unmasked).
+fn unary_raw(op: UnaryOp, av: u64, aw: Width) -> u64 {
+    match op {
+        UnaryOp::Not => !av,
+        UnaryOp::ReduceOr => (av != 0) as u64,
+        UnaryOp::ReduceAnd => (av == mask(u64::MAX, aw)) as u64,
+    }
+}
+
+/// Binary operator semantics shared by per-cycle evaluation and
+/// build-time constant folding (one source of truth; result unmasked).
+fn binary_raw(op: BinOp, x: u64, y: u64) -> u64 {
+    match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => {
+            if y >= 64 {
+                0
+            } else {
+                x << y
+            }
+        }
+        BinOp::Shr => {
+            if y >= 64 {
+                0
+            } else {
+                x >> y
+            }
+        }
+        BinOp::Eq => (x == y) as u64,
+        BinOp::Ne => (x != y) as u64,
+        BinOp::Lt => (x < y) as u64,
+        BinOp::Le => (x <= y) as u64,
+        BinOp::Gt => (x > y) as u64,
+        BinOp::Ge => (x >= y) as u64,
+    }
 }
 
 struct Builder<'a> {
@@ -204,8 +254,11 @@ impl SsaProg {
             ops.push(SsaGuardedOp { guards, in_loop: g.in_loop, op });
         }
         let _ = &b.spec;
+        let slots = b.nodes.len();
         SsaProg {
             nodes: b.nodes,
+            eval_from: 0,
+            seed: vec![0u64; slots],
             loop_conds,
             ops,
             out_width: spec.output_token_bits,
@@ -217,13 +270,23 @@ impl SsaProg {
         self.nodes.len()
     }
 
-    /// Evaluates every node for one virtual cycle into `vals`.
+    /// A fresh evaluation buffer for this program, with build-time
+    /// constant slots pre-filled. [`SsaProg::eval`] never writes those
+    /// slots, so buffers passed to it must start from (a copy of) this.
+    pub fn seed_vals(&self) -> Vec<u64> {
+        self.seed.clone()
+    }
+
+    /// Evaluates every live node for one virtual cycle into `vals`.
+    ///
+    /// `vals` must have been initialised from [`SsaProg::seed_vals`]:
+    /// slots holding build-time constants are read, never written, here.
     ///
     /// # Panics
     ///
     /// Panics if `vals` is shorter than [`SsaProg::slots`].
     pub fn eval(&self, state: &UnitState, input: u64, finished: bool, vals: &mut [u64]) {
-        for (i, n) in self.nodes.iter().enumerate() {
+        for (i, n) in self.nodes.iter().enumerate().skip(self.eval_from) {
             vals[i] = match n {
                 Node::Const(v) => *v,
                 Node::Input => input,
@@ -245,46 +308,10 @@ impl SsaProg {
                     state.brams[*bram as usize][a]
                 }
                 Node::Unary { op, a, aw, w } => {
-                    let av = vals[*a as usize];
-                    let raw = match op {
-                        UnaryOp::Not => !av,
-                        UnaryOp::ReduceOr => (av != 0) as u64,
-                        UnaryOp::ReduceAnd => (av == mask(u64::MAX, *aw)) as u64,
-                    };
-                    mask(raw, *w)
+                    mask(unary_raw(*op, vals[*a as usize], *aw), *w)
                 }
                 Node::Binary { op, a, b, w } => {
-                    let x = vals[*a as usize];
-                    let y = vals[*b as usize];
-                    let raw = match op {
-                        BinOp::Add => x.wrapping_add(y),
-                        BinOp::Sub => x.wrapping_sub(y),
-                        BinOp::Mul => x.wrapping_mul(y),
-                        BinOp::And => x & y,
-                        BinOp::Or => x | y,
-                        BinOp::Xor => x ^ y,
-                        BinOp::Shl => {
-                            if y >= 64 {
-                                0
-                            } else {
-                                x << y
-                            }
-                        }
-                        BinOp::Shr => {
-                            if y >= 64 {
-                                0
-                            } else {
-                                x >> y
-                            }
-                        }
-                        BinOp::Eq => (x == y) as u64,
-                        BinOp::Ne => (x != y) as u64,
-                        BinOp::Lt => (x < y) as u64,
-                        BinOp::Le => (x <= y) as u64,
-                        BinOp::Gt => (x > y) as u64,
-                        BinOp::Ge => (x >= y) as u64,
-                    };
-                    mask(raw, *w)
+                    mask(binary_raw(*op, vals[*a as usize], vals[*b as usize]), *w)
                 }
                 Node::Mux { c, t, f, w } => {
                     let v = if vals[*c as usize] != 0 {
@@ -308,6 +335,710 @@ impl SsaProg {
     pub fn any_loop(&self, vals: &[u64]) -> bool {
         self.loop_conds.iter().any(|&s| vals[s as usize] != 0)
     }
+
+    /// Builds an optimized copy of this program that computes the same
+    /// values, emissions, and state writes on every virtual cycle with
+    /// far fewer per-cycle node evaluations.
+    ///
+    /// Passes, all value-preserving:
+    /// - **Constant folding**: any node whose operands are build-time
+    ///   constants is evaluated once here (with the exact per-cycle
+    ///   operator semantics) instead of every virtual cycle.
+    /// - **Common-subexpression elimination** over the folded nodes.
+    /// - **Guard simplification**: operations with a constant-false
+    ///   guard are deleted (they can never fire), constant-true guards
+    ///   are dropped, and each remaining multi-guard conjunction is
+    ///   pre-combined into a single 1-bit guard slot so the per-cycle
+    ///   walk checks one slot per operation.
+    /// - **Dead-node elimination + constant hoisting**: nodes no
+    ///   operation, guard, or loop condition depends on are removed,
+    ///   and surviving constants are moved to a prefix that is baked
+    ///   into [`SsaProg::seed_vals`] and skipped by [`SsaProg::eval`].
+    ///
+    /// The original program is kept as the seed-faithful reference
+    /// evaluation path; equivalence between the two is enforced by the
+    /// differential tests and the engine-level cycle-exactness suite.
+    pub fn optimized(&self, spec: &UnitSpec) -> SsaProg {
+        /// Bits needed to represent a known constant (min 1).
+        fn bitlen(v: u64) -> Width {
+            (64 - v.leading_zeros()).max(1) as Width
+        }
+
+        struct Opt {
+            nodes: Vec<Node>,
+            konst: Vec<Option<u64>>,
+            /// Guaranteed value width per slot: the produced value always
+            /// fits in this many bits (its producer masks to it).
+            outw: Vec<Width>,
+            cse: HashMap<Node, Slot>,
+            in_w: Width,
+            reg_w: Vec<Width>,
+            vec_w: Vec<Width>,
+            bram_w: Vec<Width>,
+        }
+        impl Opt {
+            fn k(&self, s: Slot) -> Option<u64> {
+                self.konst[s as usize]
+            }
+            fn w(&self, s: Slot) -> Width {
+                self.outw[s as usize]
+            }
+            fn konst_slot(&mut self, v: u64) -> Slot {
+                self.intern(Node::Const(v))
+            }
+
+            /// Interns a node (CSE); folding/identities must already
+            /// have been applied by [`Opt::add`].
+            fn intern(&mut self, n: Node) -> Slot {
+                if let Some(&s) = self.cse.get(&n) {
+                    return s;
+                }
+                let s = self.nodes.len() as Slot;
+                let (kv, w) = match &n {
+                    Node::Const(v) => (Some(*v), bitlen(*v)),
+                    Node::Input => (None, self.in_w),
+                    Node::StreamFinished => (None, 1),
+                    Node::Reg(r) => (None, self.reg_w[*r as usize]),
+                    Node::VecReg { vr, .. } => (None, self.vec_w[*vr as usize]),
+                    Node::BramRead { bram, .. } => (None, self.bram_w[*bram as usize]),
+                    Node::Unary { op, w, .. } => match op {
+                        UnaryOp::Not => (None, *w),
+                        UnaryOp::ReduceOr | UnaryOp::ReduceAnd => (None, 1),
+                    },
+                    Node::Binary { op, w, .. } => match op {
+                        BinOp::Eq
+                        | BinOp::Ne
+                        | BinOp::Lt
+                        | BinOp::Le
+                        | BinOp::Gt
+                        | BinOp::Ge => (None, 1),
+                        _ => (None, *w),
+                    },
+                    Node::Mux { w, .. } | Node::Concat { w, .. } => (None, *w),
+                    Node::Slice { hi, lo, .. } => (None, hi - lo + 1),
+                };
+                self.konst.push(kv);
+                self.outw.push(w);
+                self.cse.insert(n.clone(), s);
+                self.nodes.push(n);
+                s
+            }
+
+            /// The value of `src` masked to `w` — a free alias when the
+            /// value provably fits, otherwise an explicit masking node.
+            fn copy_masked(&mut self, src: Slot, w: Width) -> Slot {
+                if let Some(v) = self.k(src) {
+                    return self.konst_slot(mask(v, w));
+                }
+                if self.w(src) <= w {
+                    return src;
+                }
+                let zero = self.konst_slot(0);
+                self.intern(Node::Binary { op: BinOp::Or, a: src, b: zero, w })
+            }
+
+            fn add_binary(&mut self, op: BinOp, a: Slot, b: Slot, w: Width) -> Slot {
+                use BinOp::*;
+                if let (Some(x), Some(y)) = (self.k(a), self.k(b)) {
+                    return self.konst_slot(mask(binary_raw(op, x, y), w));
+                }
+                if a == b {
+                    // CSE makes equal expressions share a slot, so
+                    // same-slot comparisons are decidable.
+                    match op {
+                        Eq | Le | Ge => return self.konst_slot(1),
+                        Ne | Lt | Gt | Xor | Sub => return self.konst_slot(0),
+                        And | Or => return self.copy_masked(a, w),
+                        _ => {}
+                    }
+                }
+                // Normalise a lone constant onto the right-hand side.
+                let (a, b, op) = if self.k(a).is_some() {
+                    match op {
+                        Add | Mul | And | Or | Xor | Eq | Ne => (b, a, op),
+                        Lt => (b, a, Gt),
+                        Gt => (b, a, Lt),
+                        Le => (b, a, Ge),
+                        Ge => (b, a, Le),
+                        _ => (a, b, op),
+                    }
+                } else {
+                    (a, b, op)
+                };
+                if let Some(c) = self.k(b) {
+                    let m = mask(u64::MAX, w);
+                    // `max_a`: the left operand never exceeds this.
+                    let max_a = mask(u64::MAX, self.w(a));
+                    match op {
+                        And if c & m == m => return self.copy_masked(a, w),
+                        And if c & m == 0 => return self.konst_slot(0),
+                        Or if c & m == m => return self.konst_slot(m),
+                        Or | Xor | Add | Sub | Shl | Shr if c == 0 => {
+                            return self.copy_masked(a, w)
+                        }
+                        Mul if c == 1 => return self.copy_masked(a, w),
+                        Mul if c == 0 => return self.konst_slot(0),
+                        Shl if c >= w as u64 => return self.konst_slot(0),
+                        Shr if c >= self.w(a) as u64 => return self.konst_slot(0),
+                        Lt if c > max_a => return self.konst_slot(1),
+                        Lt if c == 0 => return self.konst_slot(0),
+                        Le if c >= max_a => return self.konst_slot(1),
+                        Gt if c >= max_a => return self.konst_slot(0),
+                        Ge if c == 0 => return self.konst_slot(1),
+                        Ge if c > max_a => return self.konst_slot(0),
+                        Eq if c > max_a => return self.konst_slot(0),
+                        Ne if c > max_a => return self.konst_slot(1),
+                        _ => {}
+                    }
+                }
+                self.intern(Node::Binary { op, a, b, w })
+            }
+
+            /// Folds, simplifies, CSEs and interns one node whose
+            /// operand slots are already in optimized numbering.
+            fn add(&mut self, n: Node) -> Slot {
+                match n {
+                    Node::Unary { op, a, aw, w } => {
+                        if let Some(av) = self.k(a) {
+                            return self.konst_slot(mask(unary_raw(op, av, aw), w));
+                        }
+                        match op {
+                            // A 1-bit value is its own nonzero test.
+                            UnaryOp::ReduceOr if self.w(a) == 1 => a,
+                            UnaryOp::ReduceAnd if self.w(a) == 1 && aw == 1 => a,
+                            _ => self.intern(Node::Unary { op, a, aw, w }),
+                        }
+                    }
+                    Node::Binary { op, a, b, w } => self.add_binary(op, a, b, w),
+                    Node::Mux { c, t, f, w } => {
+                        if let Some(cv) = self.k(c) {
+                            let sel = if cv != 0 { t } else { f };
+                            return self.copy_masked(sel, w);
+                        }
+                        if t == f {
+                            return self.copy_masked(t, w);
+                        }
+                        self.intern(Node::Mux { c, t, f, w })
+                    }
+                    Node::Slice { a, hi, lo } => {
+                        if let Some(av) = self.k(a) {
+                            return self
+                                .konst_slot((av >> lo) & mask(u64::MAX, hi - lo + 1));
+                        }
+                        if lo == 0 && self.w(a) <= hi + 1 {
+                            return a;
+                        }
+                        self.intern(Node::Slice { a, hi, lo })
+                    }
+                    Node::Concat { hi, lo, low_w, w } => {
+                        match (self.k(hi), self.k(lo)) {
+                            (Some(h), Some(l)) => {
+                                return self.konst_slot(mask((h << low_w) | l, w))
+                            }
+                            (Some(0), None) => return self.copy_masked(lo, w),
+                            _ => {}
+                        }
+                        self.intern(Node::Concat { hi, lo, low_w, w })
+                    }
+                    other => self.intern(other),
+                }
+            }
+        }
+
+        let mut o = Opt {
+            nodes: Vec::new(),
+            konst: Vec::new(),
+            outw: Vec::new(),
+            cse: HashMap::new(),
+            in_w: spec.input_token_bits,
+            reg_w: spec.regs.iter().map(|r| r.width).collect(),
+            vec_w: spec.vec_regs.iter().map(|v| v.width).collect(),
+            bram_w: spec.brams.iter().map(|b| b.data_width).collect(),
+        };
+        let mut rep: Vec<Slot> = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            let r = |s: &Slot| rep[*s as usize];
+            let remapped = match n {
+                Node::Const(v) => Node::Const(*v),
+                Node::Input => Node::Input,
+                Node::StreamFinished => Node::StreamFinished,
+                Node::Reg(x) => Node::Reg(*x),
+                Node::VecReg { vr, idx } => Node::VecReg { vr: *vr, idx: r(idx) },
+                Node::BramRead { bram, addr, aw } => {
+                    Node::BramRead { bram: *bram, addr: r(addr), aw: *aw }
+                }
+                Node::Unary { op, a, aw, w } => {
+                    Node::Unary { op: *op, a: r(a), aw: *aw, w: *w }
+                }
+                Node::Binary { op, a, b, w } => {
+                    Node::Binary { op: *op, a: r(a), b: r(b), w: *w }
+                }
+                Node::Mux { c, t, f, w } => {
+                    Node::Mux { c: r(c), t: r(t), f: r(f), w: *w }
+                }
+                Node::Slice { a, hi, lo } => Node::Slice { a: r(a), hi: *hi, lo: *lo },
+                Node::Concat { hi, lo, low_w, w } => {
+                    Node::Concat { hi: r(hi), lo: r(lo), low_w: *low_w, w: *w }
+                }
+            };
+            rep.push(o.add(remapped));
+        }
+
+        // Loop conditions: constant-false conditions can never hold.
+        let loop_conds: Vec<Slot> = self
+            .loop_conds
+            .iter()
+            .map(|&c| rep[c as usize])
+            .filter(|&s| o.k(s) != Some(0))
+            .collect();
+
+        // Operations: delete never-firing ones, drop constant-true
+        // guards, and pre-combine the rest into one 1-bit slot.
+        let mut ops: Vec<SsaGuardedOp> = Vec::with_capacity(self.ops.len());
+        'op: for g in &self.ops {
+            let mut live: Vec<Slot> = Vec::with_capacity(g.guards.len());
+            for &gs in &g.guards {
+                let s = rep[gs as usize];
+                match o.k(s) {
+                    Some(0) => continue 'op,
+                    Some(_) => {}
+                    None => live.push(s),
+                }
+            }
+            let guards = if live.len() <= 1 {
+                live
+            } else {
+                // Guards are "nonzero" tests of arbitrary-width values,
+                // so normalise each to 1 bit before AND-combining. CSE
+                // shares the chains across ops with common prefixes.
+                let nz = |o: &mut Opt, s: Slot| {
+                    o.intern(Node::Unary { op: UnaryOp::ReduceOr, a: s, aw: 64, w: 1 })
+                };
+                let mut acc = nz(&mut o, live[0]);
+                for &gs in &live[1..] {
+                    let b = nz(&mut o, gs);
+                    acc = o.intern(Node::Binary { op: BinOp::And, a: acc, b, w: 1 });
+                }
+                vec![acc]
+            };
+            let op = match &g.op {
+                SsaOp::SetReg { reg, width, val } => SsaOp::SetReg {
+                    reg: *reg,
+                    width: *width,
+                    val: rep[*val as usize],
+                },
+                SsaOp::SetVecReg { vr, width, idx, val } => SsaOp::SetVecReg {
+                    vr: *vr,
+                    width: *width,
+                    idx: rep[*idx as usize],
+                    val: rep[*val as usize],
+                },
+                SsaOp::BramWrite { bram, aw, dw, addr, val } => SsaOp::BramWrite {
+                    bram: *bram,
+                    aw: *aw,
+                    dw: *dw,
+                    addr: rep[*addr as usize],
+                    val: rep[*val as usize],
+                },
+                SsaOp::Emit { val, width } => {
+                    SsaOp::Emit { val: rep[*val as usize], width: *width }
+                }
+            };
+            ops.push(SsaGuardedOp { guards, in_loop: g.in_loop, op });
+        }
+
+        // Dead-node elimination: keep only what loop conditions, guards
+        // and operation operands transitively reach.
+        let n2 = o.nodes.len();
+        let mut used = vec![false; n2];
+        for &c in &loop_conds {
+            used[c as usize] = true;
+        }
+        for g in &ops {
+            for &s in &g.guards {
+                used[s as usize] = true;
+            }
+            match &g.op {
+                SsaOp::SetReg { val, .. } | SsaOp::Emit { val, .. } => {
+                    used[*val as usize] = true;
+                }
+                SsaOp::SetVecReg { idx, val, .. } => {
+                    used[*idx as usize] = true;
+                    used[*val as usize] = true;
+                }
+                SsaOp::BramWrite { addr, val, .. } => {
+                    used[*addr as usize] = true;
+                    used[*val as usize] = true;
+                }
+            }
+        }
+        // Operands have smaller slot indices, so one reverse sweep
+        // closes the set.
+        for i in (0..n2).rev() {
+            if !used[i] {
+                continue;
+            }
+            let mut m = |s: Slot| used[s as usize] = true;
+            match &o.nodes[i] {
+                Node::Const(_) | Node::Input | Node::StreamFinished | Node::Reg(_) => {}
+                Node::VecReg { idx, .. } => m(*idx),
+                Node::BramRead { addr, .. } => m(*addr),
+                Node::Unary { a, .. } => m(*a),
+                Node::Slice { a, .. } => m(*a),
+                Node::Binary { a, b, .. } => {
+                    m(*a);
+                    m(*b);
+                }
+                Node::Concat { hi, lo, .. } => {
+                    m(*hi);
+                    m(*lo);
+                }
+                Node::Mux { c, t, f, .. } => {
+                    m(*c);
+                    m(*t);
+                    m(*f);
+                }
+            }
+        }
+
+        // Compact: surviving constants first (hoisted out of the
+        // per-cycle sweep into the seed buffer), then the live nodes in
+        // their original topological order, operand slots rewritten.
+        let mut remap: Vec<Slot> = vec![Slot::MAX; n2];
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut seed: Vec<u64> = Vec::new();
+        for (i, n) in o.nodes.iter().enumerate() {
+            if let (true, Node::Const(v)) = (used[i], n) {
+                remap[i] = nodes.len() as Slot;
+                nodes.push(n.clone());
+                seed.push(*v);
+            }
+        }
+        let eval_from = nodes.len();
+        for (i, n) in o.nodes.iter().enumerate() {
+            if !used[i] || matches!(n, Node::Const(_)) {
+                continue;
+            }
+            remap[i] = nodes.len() as Slot;
+            let r = |s: Slot| remap[s as usize];
+            nodes.push(match n {
+                Node::Const(_) => unreachable!("constants hoisted above"),
+                Node::Input => Node::Input,
+                Node::StreamFinished => Node::StreamFinished,
+                Node::Reg(x) => Node::Reg(*x),
+                Node::VecReg { vr, idx } => Node::VecReg { vr: *vr, idx: r(*idx) },
+                Node::BramRead { bram, addr, aw } => {
+                    Node::BramRead { bram: *bram, addr: r(*addr), aw: *aw }
+                }
+                Node::Unary { op, a, aw, w } => {
+                    Node::Unary { op: *op, a: r(*a), aw: *aw, w: *w }
+                }
+                Node::Binary { op, a, b, w } => {
+                    Node::Binary { op: *op, a: r(*a), b: r(*b), w: *w }
+                }
+                Node::Mux { c, t, f, w } => {
+                    Node::Mux { c: r(*c), t: r(*t), f: r(*f), w: *w }
+                }
+                Node::Slice { a, hi, lo } => Node::Slice { a: r(*a), hi: *hi, lo: *lo },
+                Node::Concat { hi, lo, low_w, w } => {
+                    Node::Concat { hi: r(*hi), lo: r(*lo), low_w: *low_w, w: *w }
+                }
+            });
+            seed.push(0);
+        }
+
+        let loop_conds = loop_conds.iter().map(|&s| remap[s as usize]).collect();
+        let remap_op = |op: &SsaOp| match op {
+            SsaOp::SetReg { reg, width, val } => SsaOp::SetReg {
+                reg: *reg,
+                width: *width,
+                val: remap[*val as usize],
+            },
+            SsaOp::SetVecReg { vr, width, idx, val } => SsaOp::SetVecReg {
+                vr: *vr,
+                width: *width,
+                idx: remap[*idx as usize],
+                val: remap[*val as usize],
+            },
+            SsaOp::BramWrite { bram, aw, dw, addr, val } => SsaOp::BramWrite {
+                bram: *bram,
+                aw: *aw,
+                dw: *dw,
+                addr: remap[*addr as usize],
+                val: remap[*val as usize],
+            },
+            SsaOp::Emit { val, width } => {
+                SsaOp::Emit { val: remap[*val as usize], width: *width }
+            }
+        };
+        let ops = ops
+            .iter()
+            .map(|g| SsaGuardedOp {
+                guards: g.guards.iter().map(|&s| remap[s as usize]).collect(),
+                in_loop: g.in_loop,
+                op: remap_op(&g.op),
+            })
+            .collect();
+
+        SsaProg { nodes, eval_from, seed, loop_conds, ops, out_width: self.out_width }
+    }
+}
+
+/// Opcode of one [`PackedProg`] instruction.
+#[derive(Debug, Clone, Copy)]
+enum PackedOp {
+    /// Constant value (carried in the mask field).
+    Const,
+    /// Current input token.
+    Input,
+    /// Stream-finished flag.
+    Finished,
+    /// Register read (`a` is the register index).
+    Reg,
+    /// Vector-register element read (`b` is the vector index, `a` the
+    /// index slot; out-of-range selects element 0).
+    VecReg,
+    /// BRAM read (`b` is the BRAM index, `a` the address slot, `m` the
+    /// address mask).
+    BramRead,
+    /// Bitwise complement, masked.
+    Not,
+    /// Nonzero test.
+    ReduceOr,
+    /// All-ones test (`m` is the operand's full mask).
+    ReduceAnd,
+    /// Wrapping addition, masked.
+    Add,
+    /// Wrapping subtraction, masked.
+    Sub,
+    /// Wrapping multiplication, masked.
+    Mul,
+    /// Bitwise AND, masked.
+    And,
+    /// Bitwise OR, masked.
+    Or,
+    /// Bitwise XOR, masked.
+    Xor,
+    /// Left shift (zero when the amount reaches 64), masked.
+    Shl,
+    /// Right shift (zero when the amount reaches 64), masked.
+    Shr,
+    /// Equality test.
+    Eq,
+    /// Inequality test.
+    Ne,
+    /// Unsigned less-than.
+    Lt,
+    /// Unsigned less-or-equal.
+    Le,
+    /// Unsigned greater-than.
+    Gt,
+    /// Unsigned greater-or-equal.
+    Ge,
+    /// Two-way select (`a` condition, `b` then, `c` else), masked.
+    Mux,
+    /// Bit-field extract (`c` is the low bit, `m` the field mask).
+    Slice,
+    /// Concatenation (`c` is the low operand's width), masked.
+    Concat,
+}
+
+/// One fixed-size instruction: flat opcode, pre-resolved operand slots,
+/// precomputed result mask.
+#[derive(Debug, Clone, Copy)]
+struct PackedInst {
+    op: PackedOp,
+    a: Slot,
+    b: Slot,
+    c: u32,
+    m: u64,
+}
+
+/// [`SsaProg::eval`] re-encoded as a dense array of fixed-size,
+/// pre-masked instructions — the simulator's innermost loop.
+///
+/// The `Node` match in [`SsaProg::eval`] re-derives per node, every
+/// virtual cycle, work that is knowable at build time: the result mask
+/// from the width field (with a `w >= 64` branch inside [`mask`]) and
+/// the operator through a second-level dispatch. `PackedProg` moves all
+/// of that to construction: each instruction carries one flat opcode,
+/// operand slots at fixed offsets, and its result mask as a plain
+/// `u64`, so the per-cycle sweep is a single dense match per node with
+/// an unconditional masking AND.
+///
+/// Slot numbering is shared with the source program: instruction `j`
+/// writes slot `eval_from + j`, exactly like the source's node sweep.
+/// Buffers seeded from the source's [`SsaProg::seed_vals`] and the
+/// source's `loop_conds`/`ops` therefore remain valid against buffers
+/// evaluated here, and the two evaluators are interchangeable
+/// cycle-for-cycle (enforced by the differential tests below and the
+/// engine-level cycle-exactness suite).
+#[derive(Debug, Clone)]
+pub struct PackedProg {
+    /// First slot written; lower slots hold build-time constants.
+    base: usize,
+    insts: Vec<PackedInst>,
+}
+
+impl PackedProg {
+    /// Re-encodes `prog`'s node sweep. The packed form evaluates the
+    /// same slots to the same values as [`SsaProg::eval`] on `prog`.
+    pub fn new(prog: &SsaProg) -> PackedProg {
+        let insts = prog.nodes[prog.eval_from..]
+            .iter()
+            .map(|n| {
+                let mut inst = PackedInst { op: PackedOp::Input, a: 0, b: 0, c: 0, m: 0 };
+                match n {
+                    Node::Const(v) => {
+                        inst.op = PackedOp::Const;
+                        inst.m = *v;
+                    }
+                    Node::Input => inst.op = PackedOp::Input,
+                    Node::StreamFinished => inst.op = PackedOp::Finished,
+                    Node::Reg(r) => {
+                        inst.op = PackedOp::Reg;
+                        inst.a = *r;
+                    }
+                    Node::VecReg { vr, idx } => {
+                        inst.op = PackedOp::VecReg;
+                        inst.a = *idx;
+                        inst.b = *vr;
+                    }
+                    Node::BramRead { bram, addr, aw } => {
+                        inst.op = PackedOp::BramRead;
+                        inst.a = *addr;
+                        inst.b = *bram;
+                        inst.m = mask(u64::MAX, *aw);
+                    }
+                    Node::Unary { op, a, aw, w } => {
+                        inst.a = *a;
+                        match op {
+                            UnaryOp::Not => {
+                                inst.op = PackedOp::Not;
+                                inst.m = mask(u64::MAX, *w);
+                            }
+                            UnaryOp::ReduceOr => inst.op = PackedOp::ReduceOr,
+                            UnaryOp::ReduceAnd => {
+                                inst.op = PackedOp::ReduceAnd;
+                                inst.m = mask(u64::MAX, *aw);
+                            }
+                        }
+                    }
+                    Node::Binary { op, a, b, w } => {
+                        inst.a = *a;
+                        inst.b = *b;
+                        inst.m = mask(u64::MAX, *w);
+                        inst.op = match op {
+                            BinOp::Add => PackedOp::Add,
+                            BinOp::Sub => PackedOp::Sub,
+                            BinOp::Mul => PackedOp::Mul,
+                            BinOp::And => PackedOp::And,
+                            BinOp::Or => PackedOp::Or,
+                            BinOp::Xor => PackedOp::Xor,
+                            BinOp::Shl => PackedOp::Shl,
+                            BinOp::Shr => PackedOp::Shr,
+                            BinOp::Eq => PackedOp::Eq,
+                            BinOp::Ne => PackedOp::Ne,
+                            BinOp::Lt => PackedOp::Lt,
+                            BinOp::Le => PackedOp::Le,
+                            BinOp::Gt => PackedOp::Gt,
+                            BinOp::Ge => PackedOp::Ge,
+                        };
+                    }
+                    Node::Mux { c, t, f, w } => {
+                        inst.op = PackedOp::Mux;
+                        inst.a = *c;
+                        inst.b = *t;
+                        inst.c = *f;
+                        inst.m = mask(u64::MAX, *w);
+                    }
+                    Node::Slice { a, hi, lo } => {
+                        inst.op = PackedOp::Slice;
+                        inst.a = *a;
+                        inst.c = u32::from(*lo);
+                        inst.m = mask(u64::MAX, hi - lo + 1);
+                    }
+                    Node::Concat { hi, lo, low_w, w } => {
+                        inst.op = PackedOp::Concat;
+                        inst.a = *hi;
+                        inst.b = *lo;
+                        inst.c = u32::from(*low_w);
+                        inst.m = mask(u64::MAX, *w);
+                    }
+                }
+                inst
+            })
+            .collect();
+        PackedProg { base: prog.eval_from, insts }
+    }
+
+    /// Evaluates one virtual cycle into `vals` — bit-identical to
+    /// [`SsaProg::eval`] on the source program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` is shorter than the source program's
+    /// [`SsaProg::slots`].
+    pub fn eval(&self, state: &UnitState, input: u64, finished: bool, vals: &mut [u64]) {
+        for (i, inst) in (self.base..).zip(self.insts.iter()) {
+            let a = inst.a as usize;
+            let b = inst.b as usize;
+            let m = inst.m;
+            vals[i] = match inst.op {
+                PackedOp::Const => m,
+                PackedOp::Input => input,
+                PackedOp::Finished => finished as u64,
+                PackedOp::Reg => state.regs[a],
+                PackedOp::VecReg => {
+                    let elems = &state.vec_regs[b];
+                    let j = vals[a] as usize;
+                    if j < elems.len() {
+                        elems[j]
+                    } else {
+                        elems[0]
+                    }
+                }
+                PackedOp::BramRead => state.brams[b][(vals[a] & m) as usize],
+                PackedOp::Not => !vals[a] & m,
+                PackedOp::ReduceOr => (vals[a] != 0) as u64,
+                PackedOp::ReduceAnd => (vals[a] == m) as u64,
+                PackedOp::Add => vals[a].wrapping_add(vals[b]) & m,
+                PackedOp::Sub => vals[a].wrapping_sub(vals[b]) & m,
+                PackedOp::Mul => vals[a].wrapping_mul(vals[b]) & m,
+                PackedOp::And => vals[a] & vals[b] & m,
+                PackedOp::Or => (vals[a] | vals[b]) & m,
+                PackedOp::Xor => (vals[a] ^ vals[b]) & m,
+                PackedOp::Shl => {
+                    let y = vals[b];
+                    if y >= 64 {
+                        0
+                    } else {
+                        (vals[a] << y) & m
+                    }
+                }
+                PackedOp::Shr => {
+                    let y = vals[b];
+                    if y >= 64 {
+                        0
+                    } else {
+                        (vals[a] >> y) & m
+                    }
+                }
+                PackedOp::Eq => (vals[a] == vals[b]) as u64,
+                PackedOp::Ne => (vals[a] != vals[b]) as u64,
+                PackedOp::Lt => (vals[a] < vals[b]) as u64,
+                PackedOp::Le => (vals[a] <= vals[b]) as u64,
+                PackedOp::Gt => (vals[a] > vals[b]) as u64,
+                PackedOp::Ge => (vals[a] >= vals[b]) as u64,
+                PackedOp::Mux => {
+                    let v = if vals[a] != 0 { vals[b] } else { vals[inst.c as usize] };
+                    v & m
+                }
+                PackedOp::Slice => (vals[a] >> inst.c) & m,
+                PackedOp::Concat => ((vals[a] << inst.c) | vals[b]) & m,
+            };
+        }
+    }
 }
 
 #[cfg(test)]
@@ -320,9 +1051,12 @@ mod tests {
     /// Minimal SSA-driven virtual-cycle stepper used to differential-test
     /// the compiled form against the checking interpreter.
     fn run_ssa(spec: &UnitSpec, tokens: &[u64]) -> Vec<u64> {
-        let prog = SsaProg::build(spec);
+        run_prog(&SsaProg::build(spec), spec, tokens)
+    }
+
+    fn run_prog(prog: &SsaProg, spec: &UnitSpec, tokens: &[u64]) -> Vec<u64> {
         let mut state = UnitState::reset(spec);
-        let mut vals = vec![0u64; prog.slots()];
+        let mut vals = prog.seed_vals();
         let mut out = Vec::new();
         let mut step = |state: &mut UnitState, token: u64, fin: bool, out: &mut Vec<u64>| loop {
             prog.eval(state, token, fin, &mut vals);
@@ -389,6 +1123,13 @@ mod tests {
 
     #[test]
     fn ssa_matches_interpreter_on_histogram() {
+        let spec = histogram_spec();
+        let tokens: Vec<u64> = (0..300).map(|x| (x * 13 + 5) % 256).collect();
+        let golden = Interpreter::run_tokens(&spec, &tokens).unwrap();
+        assert_eq!(run_ssa(&spec, &tokens), golden.tokens);
+    }
+
+    fn histogram_spec() -> UnitSpec {
         let mut u = UnitBuilder::new("BlockFrequencies", 8, 8);
         let item_counter = u.reg("itemCounter", 7, 0);
         let frequencies = u.bram("frequencies", 256, 8);
@@ -407,11 +1148,111 @@ mod tests {
             item_counter,
             item_counter.eq_e(100u64).mux(lit(1, 7), item_counter + 1u64),
         );
-        let spec = u.build().unwrap();
+        u.build().unwrap()
+    }
 
-        let tokens: Vec<u64> = (0..300).map(|x| (x * 13 + 5) % 256).collect();
-        let golden = Interpreter::run_tokens(&spec, &tokens).unwrap();
-        assert_eq!(run_ssa(&spec, &tokens), golden.tokens);
+    #[test]
+    fn optimized_matches_reference_on_histogram() {
+        let spec = histogram_spec();
+        let reference = SsaProg::build(&spec);
+        let opt = reference.optimized(&spec);
+        assert!(
+            opt.slots() < reference.slots(),
+            "optimizer should shrink the sweep: {} -> {}",
+            reference.slots(),
+            opt.slots()
+        );
+        let tokens: Vec<u64> = (0..400).map(|x| (x * 31 + 7) % 256).collect();
+        assert_eq!(
+            run_prog(&opt, &spec, &tokens),
+            run_prog(&reference, &spec, &tokens)
+        );
+    }
+
+    /// [`PackedProg::eval`] must write the exact same buffer as
+    /// [`SsaProg::eval`] on the same program, cycle for cycle — the
+    /// packed form is the default fast path, so any divergence here is
+    /// a simulator-correctness bug, not a performance one.
+    #[test]
+    fn packed_eval_matches_ssa_eval_slotwise() {
+        let spec = histogram_spec();
+        let opt = SsaProg::build(&spec).optimized(&spec);
+        let packed = PackedProg::new(&opt);
+        let mut state = UnitState::reset(&spec);
+        let mut va = opt.seed_vals();
+        let mut vb = opt.seed_vals();
+        for step in 0..500u64 {
+            let token = (step * 37 + 11) % 256;
+            let fin = step > 450;
+            opt.eval(&state, token, fin, &mut va);
+            packed.eval(&state, token, fin, &mut vb);
+            assert_eq!(va, vb, "divergence at step {step}");
+            // Mutate state the way a real run would so later sweeps see
+            // fresh register/BRAM contents.
+            let mut pending = PendingWrites::default();
+            let in_loop = opt.any_loop(&va);
+            for op in &opt.ops {
+                if op.in_loop != in_loop
+                    || op.guards.iter().any(|&g| va[g as usize] == 0)
+                {
+                    continue;
+                }
+                if let SsaOp::SetReg { reg, width, val } = op.op {
+                    pending.regs.push((reg as usize, mask(va[val as usize], width)));
+                }
+                if let SsaOp::BramWrite { bram, aw, dw, addr, val } = op.op {
+                    pending.brams.push((
+                        bram as usize,
+                        mask(va[addr as usize], aw),
+                        mask(va[val as usize], dw),
+                    ));
+                }
+            }
+            pending.commit(&mut state);
+        }
+    }
+
+    #[test]
+    fn optimized_folds_constant_guards_and_nodes() {
+        // A unit with an always-false guarded op and a chain of
+        // constant arithmetic: the op must be deleted and the constants
+        // hoisted out of the per-cycle sweep.
+        let mut u = UnitBuilder::new("Folds", 8, 8);
+        let r = u.reg("r", 8, 0);
+        let inp = u.input();
+        u.if_(lit(0, 1).eq_e(1u64), |u| u.set(r, inp.clone() + 1u64));
+        u.if_(lit(3, 4).eq_e(3u64), |u| u.emit(inp.clone() + (lit(2, 8) * lit(3, 8))));
+        let spec = u.build().unwrap();
+        let reference = SsaProg::build(&spec);
+        let opt = reference.optimized(&spec);
+        assert!(opt.ops.len() < reference.ops.len(), "never-firing op survives");
+        assert!(opt.slots() < reference.slots());
+        let tokens: Vec<u64> = (0..50).collect();
+        assert_eq!(
+            run_prog(&opt, &spec, &tokens),
+            run_prog(&reference, &spec, &tokens)
+        );
+    }
+
+    #[test]
+    fn optimized_combines_multi_guard_ops() {
+        // Nested data-dependent ifs: guards collapse to one slot each.
+        let mut u = UnitBuilder::new("Guards", 8, 8);
+        let inp = u.input();
+        u.if_(inp.slice(0, 0).eq_e(1u64), |u| {
+            u.if_(inp.slice(1, 1).eq_e(1u64), |u| {
+                u.if_(inp.slice(2, 2).eq_e(1u64), |u| u.emit(inp.clone()));
+            });
+        });
+        let spec = u.build().unwrap();
+        let reference = SsaProg::build(&spec);
+        let opt = reference.optimized(&spec);
+        assert!(opt.ops.iter().all(|g| g.guards.len() <= 1));
+        let tokens: Vec<u64> = (0..256).collect();
+        assert_eq!(
+            run_prog(&opt, &spec, &tokens),
+            run_prog(&reference, &spec, &tokens)
+        );
     }
 
     #[test]

@@ -15,11 +15,27 @@
 //!
 //! Channels are fully independent (no cross-channel coordination), as in
 //! the paper.
+//!
+//! ## Simulation fast path
+//!
+//! [`ChannelEngine::tick`] evaluates only an *active worklist* of units:
+//! a unit whose executor proves it cannot change state until an external
+//! pin changes ([`StreamUnit::quiescence`]) is put to sleep and skipped
+//! until the input controller buffers a whole token for it (wakes an
+//! input-stalled sleeper) or the output controller drains a token's
+//! worth of space (wakes an output-stalled sleeper). Finished units
+//! sleep until the end of the run. Skipped cycles are accounted exactly
+//! — the engine records the sleep start and classifies the whole span in
+//! bulk on wake-up or at [`ChannelEngine::flush_trace`], so cycle
+//! counts, outputs, throughput statistics, and per-PU cycle classes are
+//! identical to evaluating every unit every cycle. The pre-optimization
+//! behaviour is kept as [`ChannelEngine::tick_naive`] so equivalence is
+//! testable and benchmarkable.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use fleet_axi::{ChannelStats, DramChannel, BEAT_BYTES};
-use fleet_compiler::PuIn;
+use fleet_compiler::{PuIn, Quiescence};
 use fleet_trace::{
     ChannelTrace, CounterSink, CycleClass, DramCounters, EventKind, NullSink, Probe, QueueKind,
     SignalId, TraceSink,
@@ -59,18 +75,107 @@ pub struct StreamAssignment {
     pub out_capacity: usize,
 }
 
+/// A contiguous byte FIFO: a `Vec` plus a head index, so bulk pushes and
+/// pops are slice copies instead of per-byte `VecDeque` operations, and
+/// the front of the queue is always a contiguous slice for whole-token
+/// loads.
+#[derive(Debug)]
+struct ByteFifo {
+    buf: Vec<u8>,
+    head: usize,
+}
+
+impl ByteFifo {
+    fn with_capacity(cap: usize) -> ByteFifo {
+        ByteFifo { buf: Vec::with_capacity(cap), head: 0 }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.head == self.buf.len()
+    }
+
+    #[inline]
+    fn push_slice(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    #[inline]
+    fn push_byte(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    /// Appends the low `bytes` bytes of `token` (little-endian).
+    #[inline]
+    fn push_token(&mut self, token: u64, bytes: usize) {
+        self.buf.extend_from_slice(&token.to_le_bytes()[..bytes]);
+    }
+
+    /// Reads the front `bytes` bytes as a little-endian token.
+    #[inline]
+    fn peek_token(&self, bytes: usize) -> u64 {
+        debug_assert!(bytes <= 8 && self.len() >= bytes);
+        let mut raw = [0u8; 8];
+        raw[..bytes].copy_from_slice(&self.buf[self.head..self.head + bytes]);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Drops `n` bytes from the front, compacting the backing storage
+    /// once the dead prefix dominates so memory stays bounded by the
+    /// live contents.
+    #[inline]
+    fn pop_front_bytes(&mut self, n: usize) {
+        self.head += n;
+        debug_assert!(self.head <= self.buf.len());
+        if self.head == self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+        } else if self.head >= 1024 && self.head * 2 >= self.buf.len() {
+            self.buf.copy_within(self.head.., 0);
+            let live = self.buf.len() - self.head;
+            self.buf.truncate(live);
+            self.head = 0;
+        }
+    }
+
+    #[inline]
+    fn pop_byte(&mut self) -> u8 {
+        let b = self.buf[self.head];
+        self.pop_front_bytes(1);
+        b
+    }
+
+    /// Moves `n` front bytes into `out` as one slice copy.
+    #[inline]
+    fn pop_slice_into(&mut self, n: usize, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.buf[self.head..self.head + n]);
+        self.pop_front_bytes(n);
+    }
+}
+
 #[derive(Debug)]
 struct PuState {
     assign: StreamAssignment,
     in_fetched: usize,
     in_flight: usize,
-    in_buffer: VecDeque<u8>,
-    out_buffer: VecDeque<u8>,
+    in_buffer: ByteFifo,
+    out_buffer: ByteFifo,
     out_written: usize,
     finished: bool,
     /// Set when the unit overflowed its output region (reported, not
     /// silently dropped).
     overflowed: bool,
+    /// While the unit is off the active worklist: the first engine cycle
+    /// not yet accounted, and the class every skipped cycle belongs to.
+    sleep: Option<(u64, CycleClass)>,
+    /// Set once the unit's output side is complete (counted out of
+    /// `pending_outputs`, making [`ChannelEngine::done`] O(1)).
+    output_done: bool,
 }
 
 #[derive(Debug)]
@@ -96,7 +201,7 @@ enum OutRegState {
 }
 
 /// Aggregate throughput counters for one channel engine.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Input bytes delivered into unit buffers.
     pub input_bytes: u64,
@@ -135,6 +240,16 @@ pub struct ChannelEngine<U, S: TraceSink = NullSink> {
     // Output controller.
     out_rr: usize,
     out_regs: Vec<OutRegState>,
+
+    // Quiescence-skipping worklist (kept sorted so units are evaluated
+    // in index order, like the naive all-units loop).
+    active: Vec<usize>,
+    woken: Vec<usize>,
+    /// Units whose output side is not yet complete (see
+    /// [`ChannelEngine::done`]).
+    pending_outputs: usize,
+    /// First unit observed overflowing its output region.
+    first_overflow: Option<usize>,
 
     stats: EngineStats,
     probe: Probe<S>,
@@ -188,20 +303,23 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
                 "input stream must be a whole number of tokens"
             );
         }
-        let pus = assigns
+        let pus: Vec<PuState> = assigns
             .into_iter()
             .map(|assign| PuState {
                 assign,
                 in_fetched: 0,
                 in_flight: 0,
-                in_buffer: VecDeque::with_capacity(cfg.input_buffer_bytes),
-                out_buffer: VecDeque::with_capacity(cfg.output_buffer_bytes),
+                in_buffer: ByteFifo::with_capacity(cfg.input_buffer_bytes),
+                out_buffer: ByteFifo::with_capacity(cfg.output_buffer_bytes),
                 out_written: 0,
                 finished: false,
                 overflowed: false,
+                sleep: None,
+                output_done: false,
             })
             .collect();
         let n_regs = cfg.burst_registers;
+        let n_pus = pus.len();
         let mut engine = ChannelEngine {
             cfg,
             dram,
@@ -216,6 +334,10 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
             next_seq: 0,
             out_rr: 0,
             out_regs: (0..n_regs).map(|_| OutRegState::Free).collect(),
+            active: (0..n_pus).collect(),
+            woken: Vec::new(),
+            pending_outputs: n_pus,
+            first_overflow: None,
             stats: EngineStats::default(),
             probe: Probe::new(sink),
         };
@@ -237,18 +359,29 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
     }
 
     /// The trace sink (read collected counters after or during a run).
+    ///
+    /// Per-PU cycle classes for sleeping units are accounted lazily;
+    /// call [`ChannelEngine::flush_trace`] first when reading counters
+    /// mid-run. [`ChannelEngine::run_to_completion`] and
+    /// [`ChannelEngine::into_sink`] flush for you.
     pub fn sink(&self) -> &S {
         self.probe.sink()
     }
 
-    /// Consumes the engine, returning its sink.
-    pub fn into_sink(self) -> S {
+    /// Consumes the engine, returning its sink (flushed).
+    pub fn into_sink(mut self) -> S {
+        self.flush_trace();
         self.probe.into_sink()
     }
 
     /// Per-unit virtual-cycle counts, where units report them.
     pub fn unit_vcycles(&self) -> Vec<Option<u64>> {
         self.units.iter().map(|u| u.vcycles()).collect()
+    }
+
+    /// The units themselves (for reading per-unit counters after a run).
+    pub fn units(&self) -> &[U] {
+        &self.units
     }
 
     /// Number of units.
@@ -276,9 +409,22 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
         &mut self.dram
     }
 
+    /// Number of units currently on the active worklist (not sleeping).
+    /// Diagnostic for how much work quiescence skipping is saving.
+    pub fn active_units(&self) -> usize {
+        self.active.len()
+    }
+
     /// Whether any unit overflowed its output region.
     pub fn any_overflow(&self) -> bool {
-        self.pus.iter().any(|p| p.overflowed)
+        self.first_overflow.is_some()
+    }
+
+    /// The first unit that overflowed its output region, if any — the
+    /// actual culprit, so callers can attribute the failure to the right
+    /// stream instead of guessing.
+    pub fn overflowed_unit(&self) -> Option<usize> {
+        self.first_overflow
     }
 
     /// Output bytes committed for unit `p` (excluding beat padding).
@@ -295,26 +441,13 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
         self.dram.mem()[start..start + st.out_written].to_vec()
     }
 
-    fn peek_token(buf: &VecDeque<u8>, bytes: usize) -> u64 {
-        debug_assert!(buf.len() >= bytes);
-        let mut v = 0u64;
-        for (k, &b) in buf.iter().take(bytes).enumerate() {
-            v |= (b as u64) << (8 * k);
-        }
-        v
-    }
-
     fn pu_pins(&self, p: usize) -> PuIn {
         let st = &self.pus[p];
         let have = st.in_buffer.len() >= self.in_token_bytes;
         let exhausted =
             st.in_fetched >= st.assign.in_len && st.in_flight == 0 && st.in_buffer.is_empty();
         PuIn {
-            input_token: if have {
-                Self::peek_token(&st.in_buffer, self.in_token_bytes)
-            } else {
-                0
-            },
+            input_token: if have { st.in_buffer.peek_token(self.in_token_bytes) } else { 0 },
             input_valid: have,
             input_finished: exhausted,
             output_ready: st.out_buffer.len() + self.out_token_bytes
@@ -322,12 +455,171 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
         }
     }
 
-    /// Ticks every processing unit one cycle (handshakes with the
-    /// controller buffers), then the controllers, then DRAM.
+    /// Accounts the skipped span of every sleeping unit up to the
+    /// current cycle, without waking anyone. Idempotent; call before
+    /// reading per-PU counters mid-run.
+    pub fn flush_trace(&mut self) {
+        for p in 0..self.pus.len() {
+            if let Some((since, class)) = self.pus[p].sleep {
+                let skipped = self.stats.cycles - since;
+                if skipped > 0 {
+                    self.probe.pu_cycles(p as u32, class, skipped);
+                    if class != CycleClass::Drained {
+                        // The naive engine would have clocked a stalled
+                        // unit every cycle; finished units were never
+                        // ticked, so Drained spans touch the sink only.
+                        self.units[p].skip_cycles(skipped);
+                    }
+                    self.pus[p].sleep = Some((self.stats.cycles, class));
+                }
+            }
+        }
+    }
+
+    /// Accounts and ends unit `p`'s sleep; it rejoins the worklist next
+    /// cycle. Only called for input/output-stalled sleepers — finished
+    /// units sleep until the end of the run.
+    fn wake(&mut self, p: usize) {
+        if let Some((since, class)) = self.pus[p].sleep.take() {
+            // The PU phase of the current cycle already ran, so the
+            // current cycle is part of the skipped span.
+            let skipped = self.stats.cycles + 1 - since;
+            if skipped > 0 {
+                self.probe.pu_cycles(p as u32, class, skipped);
+                self.units[p].skip_cycles(skipped);
+            }
+            self.woken.push(p);
+        }
+    }
+
+    fn note_maybe_output_done(&mut self, p: usize) {
+        if !self.pus[p].output_done && (self.pus[p].overflowed || self.output_done_for(p)) {
+            self.pus[p].output_done = true;
+            self.pending_outputs -= 1;
+        }
+    }
+
+    /// Evaluates one non-finished unit for this cycle. With
+    /// `allow_sleep`, returns false (and parks the unit) when it
+    /// finished or proved itself quiescent; the naive path passes false
+    /// and always keeps the unit live.
+    fn eval_pu(&mut self, p: usize, allow_sleep: bool) -> bool {
+        // The fast tick (allow_sleep) runs units on their optimized
+        // evaluation path; the naive tick keeps the seed-faithful
+        // reference path so throughput comparisons are honest. Both are
+        // cycle-exact.
+        self.units[p].set_reference_eval(!allow_sleep);
+        let pins = self.pu_pins(p);
+        let out = self.units[p].comb(&pins);
+        if self.probe.enabled() {
+            // Exactly one class per PU per cycle (conservation):
+            // back-pressured emission is an output stall, an idle
+            // unit whose buffer has no token is an input stall,
+            // everything else (including cleanup execution after
+            // `input_finished`) counts as busy.
+            let class = if out.output_valid && !pins.output_ready {
+                CycleClass::StallOut
+            } else if !pins.input_valid && !pins.input_finished && out.input_ready {
+                CycleClass::StallIn
+            } else {
+                CycleClass::Busy
+            };
+            self.probe.pu_cycle(p as u32, class);
+            let base = p as u32 * 4;
+            self.probe.signal(SignalId(base), pins.input_valid as u64);
+            self.probe.signal(SignalId(base + 1), out.input_ready as u64);
+            self.probe.signal(SignalId(base + 2), out.output_valid as u64);
+            self.probe.signal(SignalId(base + 3), pins.output_ready as u64);
+        }
+        if pins.input_valid && out.input_ready {
+            self.pus[p].in_buffer.pop_front_bytes(self.in_token_bytes);
+        }
+        if out.output_valid && pins.output_ready {
+            self.pus[p].out_buffer.push_token(out.output_token, self.out_token_bytes);
+            self.stats.output_tokens += 1;
+        }
+        if out.output_finished {
+            self.pus[p].finished = true;
+            self.probe.event(self.stats.cycles, EventKind::UnitFinished { pu: p as u32 });
+            self.note_maybe_output_done(p);
+        }
+        self.units[p].clock(&pins);
+        if !allow_sleep {
+            return true;
+        }
+        if self.pus[p].finished {
+            // The naive engine never ticks finished units either; park
+            // it with Drained accounting from the next cycle on.
+            self.pus[p].sleep = Some((self.stats.cycles + 1, CycleClass::Drained));
+            return false;
+        }
+        match self.units[p].quiescence() {
+            Quiescence::None => true,
+            Quiescence::UntilInput => {
+                // Pins seen above were !input_valid && !input_finished
+                // (the unit idled), and nothing a skipped unit does can
+                // change them — only the input controller can, and it
+                // wakes the unit when a whole token is buffered.
+                self.pus[p].sleep = Some((self.stats.cycles + 1, CycleClass::StallIn));
+                false
+            }
+            Quiescence::UntilOutput => {
+                // Emission back-pressured: out_buffer only drains via
+                // the output controller, which wakes the unit when a
+                // token's worth of space opens.
+                self.pus[p].sleep = Some((self.stats.cycles + 1, CycleClass::StallOut));
+                false
+            }
+        }
+    }
+
+    /// Ticks the active processing units one cycle (handshakes with the
+    /// controller buffers), then the controllers, then DRAM. Quiescent
+    /// units are skipped and accounted in bulk; results are identical to
+    /// [`ChannelEngine::tick_naive`].
     pub fn tick(&mut self) {
         self.probe.cycle_start(self.stats.cycles);
 
-        // --- Processing units. ---
+        // --- Processing units (active worklist, index order). ---
+        let mut active = std::mem::take(&mut self.active);
+        active.retain(|&p| {
+            if self.pus[p].finished {
+                // Finished during a naive tick; park it now.
+                self.pus[p].sleep = Some((self.stats.cycles, CycleClass::Drained));
+                false
+            } else {
+                self.eval_pu(p, true)
+            }
+        });
+        self.active = active;
+
+        self.input_controller_tick(false);
+        self.output_controller_tick(false);
+        self.channel_probes();
+
+        self.dram.tick();
+        self.stats.cycles += 1;
+
+        if !self.woken.is_empty() {
+            let mut woken = std::mem::take(&mut self.woken);
+            self.active.append(&mut woken);
+            self.active.sort_unstable();
+            self.woken = woken; // keep the (now empty) allocation
+        }
+    }
+
+    /// Reference tick: evaluates **every** unit every cycle with the
+    /// pre-optimization per-byte controller loops — the engine as it
+    /// was before quiescence skipping. Kept so the equivalence tests
+    /// and the `simperf --compare-naive` benchmark can hold the fast
+    /// path to cycle-exactness.
+    ///
+    /// Naive and fast ticks can be interleaved on one engine: this
+    /// flushes and wakes everything first, so state stays exact.
+    pub fn tick_naive(&mut self) {
+        self.flush_and_wake_all();
+        self.probe.cycle_start(self.stats.cycles);
+
         for p in 0..self.units.len() {
             // Skip fully finished units cheaply.
             if self.pus[p].finished {
@@ -340,51 +632,34 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
                 }
                 continue;
             }
-            let pins = self.pu_pins(p);
-            let out = self.units[p].comb(&pins);
-            if self.probe.enabled() {
-                // Exactly one class per PU per cycle (conservation):
-                // back-pressured emission is an output stall, an idle
-                // unit whose buffer has no token is an input stall,
-                // everything else (including cleanup execution after
-                // `input_finished`) counts as busy.
-                let class = if out.output_valid && !pins.output_ready {
-                    CycleClass::StallOut
-                } else if !pins.input_valid && !pins.input_finished && out.input_ready {
-                    CycleClass::StallIn
-                } else {
-                    CycleClass::Busy
-                };
-                self.probe.pu_cycle(p as u32, class);
-                let base = p as u32 * 4;
-                self.probe.signal(SignalId(base), pins.input_valid as u64);
-                self.probe.signal(SignalId(base + 1), out.input_ready as u64);
-                self.probe.signal(SignalId(base + 2), out.output_valid as u64);
-                self.probe.signal(SignalId(base + 3), pins.output_ready as u64);
-            }
-            if pins.input_valid && out.input_ready {
-                let st = &mut self.pus[p];
-                for _ in 0..self.in_token_bytes {
-                    st.in_buffer.pop_front();
-                }
-            }
-            if out.output_valid && pins.output_ready {
-                let st = &mut self.pus[p];
-                for k in 0..self.out_token_bytes {
-                    st.out_buffer.push_back((out.output_token >> (8 * k)) as u8);
-                }
-                self.stats.output_tokens += 1;
-            }
-            if out.output_finished {
-                self.pus[p].finished = true;
-                self.probe.event(self.stats.cycles, EventKind::UnitFinished { pu: p as u32 });
-            }
-            self.units[p].clock(&pins);
+            self.eval_pu(p, false);
         }
 
-        self.input_controller_tick();
-        self.output_controller_tick();
+        self.input_controller_tick(true);
+        self.output_controller_tick(true);
+        self.channel_probes();
 
+        self.dram.tick();
+        self.stats.cycles += 1;
+    }
+
+    /// Flushes deferred accounting and returns every sleeper to the
+    /// active worklist (finished units stay off it — the naive loop
+    /// handles them with its own per-cycle branch).
+    fn flush_and_wake_all(&mut self) {
+        self.flush_trace();
+        self.woken.clear();
+        self.active.clear();
+        for p in 0..self.pus.len() {
+            self.pus[p].sleep = None;
+            if !self.pus[p].finished {
+                self.active.push(p);
+            }
+        }
+    }
+
+    /// Channel-level per-cycle probes (queue depths, bus occupancy).
+    fn channel_probes(&mut self) {
         if self.probe.enabled() {
             let in_active =
                 self.in_regs.iter().filter(|r| !matches!(r, InRegState::Free)).count();
@@ -403,9 +678,6 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
             self.probe.signal(SignalId(base + 2), in_active as u64);
             self.probe.signal(SignalId(base + 3), out_active as u64);
         }
-
-        self.dram.tick();
-        self.stats.cycles += 1;
     }
 
     // ------------------------------------------------------------------
@@ -430,7 +702,7 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
         st.in_buffer.len() + st.in_flight + chunk <= self.cfg.input_buffer_bytes
     }
 
-    fn input_controller_tick(&mut self) {
+    fn input_controller_tick(&mut self, naive: bool) {
         // 1. Addressing unit: issue at most one read address per cycle.
         let can_issue = if self.cfg.async_addr {
             self.pending_reads.len() < self.cfg.addr_lookahead
@@ -555,43 +827,74 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
         // except that bursts for the *same* unit drain strictly in
         // request order (one buffer write port per unit).
         let port = self.cfg.port_bytes();
-        // Oldest in-flight sequence number per unit.
-        let mut oldest: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
-        for reg in &self.in_regs {
-            let (pu, seq) = match reg {
-                InRegState::Filling { pu, seq, .. } => (*pu, *seq),
+        // Oldest in-flight sequence number per unit. The naive path
+        // keeps the original per-tick hash map; the fast path scans the
+        // handful of registers directly.
+        let oldest: Option<HashMap<usize, u64>> = if naive {
+            let mut m = HashMap::new();
+            for reg in &self.in_regs {
+                let (pu, seq) = match reg {
+                    InRegState::Filling { pu, seq, .. } => (*pu, *seq),
+                    InRegState::Draining { pu, seq, .. } => (*pu, *seq),
+                    InRegState::Free => continue,
+                };
+                let e = m.entry(pu).or_insert(seq);
+                *e = (*e).min(seq);
+            }
+            Some(m)
+        } else {
+            None
+        };
+        for i in 0..self.in_regs.len() {
+            let (pu, seq) = match &self.in_regs[i] {
                 InRegState::Draining { pu, seq, .. } => (*pu, *seq),
-                InRegState::Free => continue,
+                _ => continue,
             };
-            let e = oldest.entry(pu).or_insert(seq);
-            *e = (*e).min(seq);
-        }
-        // Bursts that finish draining this cycle (probe events are
-        // emitted after the loop; the Vec never allocates untraced).
-        let mut delivered: Vec<(u32, u32)> = Vec::new();
-        for reg in &mut self.in_regs {
-            if let InRegState::Draining { pu, data, pos, seq } = reg {
-                if oldest.get(pu) != Some(seq) {
-                    continue; // an earlier burst for this unit goes first
-                }
-                let st = &mut self.pus[*pu];
+            let is_oldest = match &oldest {
+                Some(m) => m.get(&pu) == Some(&seq),
+                None => self.in_regs.iter().all(|r| match r {
+                    InRegState::Filling { pu: q, seq: s, .. }
+                    | InRegState::Draining { pu: q, seq: s, .. } => *q != pu || *s >= seq,
+                    InRegState::Free => true,
+                }),
+            };
+            if !is_oldest {
+                continue; // an earlier burst for this unit goes first
+            }
+            let finished_burst = {
+                let InRegState::Draining { data, pos, .. } = &mut self.in_regs[i] else {
+                    unreachable!("matched above")
+                };
+                let st = &mut self.pus[pu];
                 let n = port.min(data.len() - *pos);
-                for k in 0..n {
-                    st.in_buffer.push_back(data[*pos + k]);
+                if naive {
+                    for k in 0..n {
+                        st.in_buffer.push_byte(data[*pos + k]);
+                    }
+                } else {
+                    st.in_buffer.push_slice(&data[*pos..*pos + n]);
                 }
                 *pos += n;
                 st.in_flight -= n;
                 self.stats.input_bytes += n as u64;
-                if *pos == data.len() {
-                    if self.probe.enabled() {
-                        delivered.push((*pu as u32, data.len() as u32));
-                    }
-                    *reg = InRegState::Free;
-                }
+                *pos == data.len()
+            };
+            if finished_burst {
+                let bytes = match &self.in_regs[i] {
+                    InRegState::Draining { data, .. } => data.len() as u32,
+                    _ => unreachable!(),
+                };
+                self.in_regs[i] = InRegState::Free;
+                self.probe
+                    .event(self.stats.cycles, EventKind::BurstDelivered { pu: pu as u32, bytes });
             }
-        }
-        for (pu, bytes) in delivered {
-            self.probe.event(self.stats.cycles, EventKind::BurstDelivered { pu, bytes });
+            // Wake an input-stalled sleeper once a whole token is
+            // buffered for it.
+            if matches!(self.pus[pu].sleep, Some((_, CycleClass::StallIn)))
+                && self.pus[pu].in_buffer.len() >= self.in_token_bytes
+            {
+                self.wake(pu);
+            }
         }
     }
 
@@ -627,7 +930,7 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
             })
     }
 
-    fn output_controller_tick(&mut self) {
+    fn output_controller_tick(&mut self, naive: bool) {
         // 1. Allocate at most one burst register per cycle to a unit with
         // output ready (the addressing step).
         if let Some(reg_idx) = self.out_regs.iter().position(|r| matches!(r, OutRegState::Free)) {
@@ -653,8 +956,12 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
                 let padded = target.div_ceil(BEAT_BYTES) * BEAT_BYTES;
                 if st.out_written + padded > st.assign.out_capacity {
                     st.overflowed = true;
+                    if self.first_overflow.is_none() {
+                        self.first_overflow = Some(p);
+                    }
                     self.probe
                         .event(self.stats.cycles, EventKind::OutputOverflow { pu: p as u32 });
+                    self.note_maybe_output_done(p);
                 } else {
                     let addr = st.assign.out_start + st.out_written;
                     self.out_regs[reg_idx] = OutRegState::Filling {
@@ -671,52 +978,77 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
         // 2. Fill every filling register in parallel at `w` bits/cycle;
         // send completed bursts to the channel.
         let port = self.cfg.port_bytes();
-        // Bursts committed to the write queue this cycle (probe events
-        // emitted after the loop; never allocates untraced).
-        let mut written: Vec<(u32, u64, u32)> = Vec::new();
-        for reg in &mut self.out_regs {
-            match reg {
-                OutRegState::Filling { pu, addr, data, target } => {
-                    let st = &mut self.pus[*pu];
+        for i in 0..self.out_regs.len() {
+            let filling_pu = match &self.out_regs[i] {
+                OutRegState::Filling { pu, .. } => Some(*pu),
+                _ => None,
+            };
+            if let Some(pu) = filling_pu {
+                let complete = {
+                    let OutRegState::Filling { data, target, .. } = &mut self.out_regs[i] else {
+                        unreachable!("matched above")
+                    };
+                    let st = &mut self.pus[pu];
                     let n = port.min(*target - data.len()).min(st.out_buffer.len());
-                    for _ in 0..n {
-                        data.push(st.out_buffer.pop_front().expect("len checked"));
+                    if naive {
+                        for _ in 0..n {
+                            data.push(st.out_buffer.pop_byte());
+                        }
+                    } else {
+                        st.out_buffer.pop_slice_into(n, data);
                     }
-                    if data.len() == *target {
-                        st.out_written += *target;
-                        self.stats.output_bytes += *target as u64;
-                        let mut payload = std::mem::take(data);
-                        let padded = payload.len().div_ceil(BEAT_BYTES) * BEAT_BYTES;
-                        payload.resize(padded, 0);
-                        *reg = OutRegState::Sending { pu: *pu, addr: *addr, data: payload };
-                    }
+                    data.len() == *target
+                };
+                if complete {
+                    let OutRegState::Filling { pu, addr, data, target } =
+                        std::mem::replace(&mut self.out_regs[i], OutRegState::Free)
+                    else {
+                        unreachable!("matched above")
+                    };
+                    self.pus[pu].out_written += target;
+                    self.stats.output_bytes += target as u64;
+                    let mut payload = data;
+                    let padded = payload.len().div_ceil(BEAT_BYTES) * BEAT_BYTES;
+                    payload.resize(padded, 0);
+                    self.out_regs[i] = OutRegState::Sending { pu, addr, data: payload };
                 }
-                OutRegState::Sending { .. } | OutRegState::Free => {}
-            }
-            if let OutRegState::Sending { pu, addr, data } = reg {
-                if self.dram.can_accept_write() {
-                    if S::ENABLED {
-                        written.push((*pu as u32, *addr as u64, data.len() as u32));
-                    }
-                    let ok = self.dram.push_write(*addr, std::mem::take(data));
-                    debug_assert!(ok);
-                    *reg = OutRegState::Free;
+                // Wake an output-stalled sleeper once a token's worth of
+                // space has opened in its buffer.
+                if matches!(self.pus[pu].sleep, Some((_, CycleClass::StallOut)))
+                    && self.pus[pu].out_buffer.len() + self.out_token_bytes
+                        <= self.cfg.output_buffer_bytes
+                {
+                    self.wake(pu);
                 }
             }
-        }
-        for (pu, addr, bytes) in written {
-            self.probe.event(self.stats.cycles, EventKind::WriteIssued { pu, addr, bytes });
+            if matches!(&self.out_regs[i], OutRegState::Sending { .. })
+                && self.dram.can_accept_write()
+            {
+                let OutRegState::Sending { pu, addr, data } =
+                    std::mem::replace(&mut self.out_regs[i], OutRegState::Free)
+                else {
+                    unreachable!("matched above")
+                };
+                self.probe.event(
+                    self.stats.cycles,
+                    EventKind::WriteIssued { pu: pu as u32, addr: addr as u64, bytes: data.len() as u32 },
+                );
+                let ok = self.dram.push_write(addr, data);
+                debug_assert!(ok);
+                self.note_maybe_output_done(pu);
+            }
         }
     }
 
     /// Whether every unit has finished, all output has been committed to
-    /// DRAM, and the write queue has drained.
+    /// DRAM, and the write queue has drained. O(1): unit completions are
+    /// counted as they happen.
     pub fn done(&self) -> bool {
-        (0..self.pus.len()).all(|p| self.output_done_for(p) || self.pus[p].overflowed)
-            && self.dram.write_queue_len() == 0
+        self.pending_outputs == 0 && self.dram.write_queue_len() == 0
     }
 
-    /// Runs until [`ChannelEngine::done`] or `max_cycles`.
+    /// Runs until [`ChannelEngine::done`] or `max_cycles`, then flushes
+    /// deferred trace accounting.
     ///
     /// Returns the cycle count.
     ///
@@ -732,6 +1064,7 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
                 "channel engine did not finish within {max_cycles} cycles"
             );
         }
+        self.flush_trace();
         self.stats.cycles - start
     }
 }
@@ -740,7 +1073,9 @@ impl<U: StreamUnit> ChannelEngine<U, CounterSink> {
     /// Assembles this channel's [`ChannelTrace`] from the counter sink,
     /// the units' virtual-cycle counts, and the DRAM counters.
     ///
-    /// `streams[p]` is the global stream index unit `p` processed.
+    /// `streams[p]` is the global stream index unit `p` processed. Call
+    /// [`ChannelEngine::flush_trace`] first if the engine was ticked
+    /// manually (rather than via [`ChannelEngine::run_to_completion`]).
     pub fn channel_trace(&self, streams: &[usize]) -> ChannelTrace {
         ChannelTrace::new(
             self.probe.sink(),

@@ -32,7 +32,7 @@ pub use unit::StreamUnit;
 mod tests {
     use super::*;
     use fleet_axi::{DramChannel, DramConfig, BEAT_BYTES};
-    use fleet_compiler::PuExec;
+    use fleet_compiler::{CompiledUnit, PuExec};
     use fleet_isim::Interpreter;
     use fleet_lang::{lit, UnitBuilder, UnitSpec};
 
@@ -80,7 +80,10 @@ mod tests {
                 out_capacity: out_alloc,
             });
         }
-        let units = (0..n).map(|_| PuExec::new(spec)).collect();
+        // Compile once, replicate n times (the fast path every caller
+        // above this crate uses too).
+        let unit = CompiledUnit::new(spec);
+        let units = (0..n).map(|_| unit.replicate()).collect();
         ChannelEngine::with_sink(cfg, dram, units, assigns, 1, 1, sink)
     }
 
@@ -273,6 +276,75 @@ mod tests {
     }
 
     #[test]
+    fn skipping_and_naive_ticks_agree_exactly() {
+        use fleet_trace::CounterSink;
+
+        // Same engine config, one driven by the quiescence-skipping
+        // tick, one by the naive all-units reference tick: every
+        // observable must match bit-for-bit.
+        let spec = identity_spec();
+        let stream: Vec<u8> = (0..900u32).map(|x| (x * 5 + 2) as u8).collect();
+        let n = 6;
+
+        let mut fast =
+            build_engine_with(&spec, MemCtlConfig::default(), n, &stream, stream.len(), CounterSink::new());
+        let fast_cycles = fast.run_to_completion(1_000_000);
+
+        let mut naive =
+            build_engine_with(&spec, MemCtlConfig::default(), n, &stream, stream.len(), CounterSink::new());
+        let mut guard = 0u64;
+        while !naive.done() {
+            naive.tick_naive();
+            guard += 1;
+            assert!(guard < 1_000_000);
+        }
+
+        assert_eq!(fast_cycles, guard, "cycle counts diverged");
+        assert_eq!(fast.stats().input_bytes, naive.stats().input_bytes);
+        assert_eq!(fast.stats().output_bytes, naive.stats().output_bytes);
+        assert_eq!(fast.stats().output_tokens, naive.stats().output_tokens);
+        for p in 0..n {
+            assert_eq!(fast.output_bytes(p), naive.output_bytes(p), "unit {p} output diverged");
+        }
+        assert_eq!(fast.unit_vcycles(), naive.unit_vcycles());
+        let (fs, ns) = (fast.into_sink(), naive.into_sink());
+        assert_eq!(fs.cycles(), ns.cycles());
+        for p in 0..n {
+            assert_eq!(fs.pu_counters(p), ns.pu_counters(p), "PU {p} cycle classes diverged");
+        }
+    }
+
+    #[test]
+    fn interleaved_naive_and_fast_ticks_stay_exact() {
+        // Alternating tick()/tick_naive() on one engine must agree with
+        // a pure naive run — the flush-and-wake handoff is exact.
+        let spec = identity_spec();
+        let stream: Vec<u8> = (0..640u32).map(|x| (x * 11 + 7) as u8).collect();
+        let n = 4;
+
+        let mut mixed = build_engine(&spec, MemCtlConfig::default(), n, &stream, stream.len());
+        let mut naive = build_engine(&spec, MemCtlConfig::default(), n, &stream, stream.len());
+        let mut c = 0u64;
+        while !mixed.done() {
+            // Bursts of fast ticks separated by naive ticks.
+            if (c / 64).is_multiple_of(2) {
+                mixed.tick();
+            } else {
+                mixed.tick_naive();
+            }
+            naive.tick_naive();
+            c += 1;
+            assert!(c < 1_000_000);
+        }
+        assert!(naive.done(), "mixed engine finished early");
+        assert_eq!(mixed.stats().cycles, naive.stats().cycles);
+        for p in 0..n {
+            assert_eq!(mixed.output_bytes(p), naive.output_bytes(p));
+        }
+        assert_eq!(mixed.unit_vcycles(), naive.unit_vcycles());
+    }
+
+    #[test]
     fn output_overflow_is_reported() {
         let spec = identity_spec();
         let stream = vec![9u8; 4096];
@@ -292,6 +364,7 @@ mod tests {
         for _ in 0..200_000 {
             eng.tick();
             if eng.any_overflow() {
+                assert_eq!(eng.overflowed_unit(), Some(0), "culprit unit misattributed");
                 return;
             }
         }

@@ -1,7 +1,7 @@
 //! The [`StreamUnit`] trait: anything with the §4 processing-unit
 //! interface can be fed by the memory controller.
 
-use fleet_compiler::{NetDriver, PuExec, PuIn, PuOut};
+use fleet_compiler::{NetDriver, PuExec, PuIn, PuOut, Quiescence};
 
 /// A clocked component with the Fleet processing-unit interface.
 ///
@@ -19,6 +19,31 @@ pub trait StreamUnit {
     fn vcycles(&self) -> Option<u64> {
         None
     }
+    /// What this unit is provably waiting on after the last clock edge.
+    ///
+    /// Implementations that can prove their pins are constant until an
+    /// external event (input arriving, output drained) return
+    /// `UntilInput`/`UntilOutput`, letting the channel engine skip their
+    /// ticks; the default `None` keeps every unit on the per-cycle path
+    /// ([`NetDriver`] stays exact this way).
+    fn quiescence(&self) -> Quiescence {
+        Quiescence::None
+    }
+    /// Accounts `n` skipped cycles in bulk, as if the unit had been
+    /// clocked `n` times under its reported quiescent condition. Only
+    /// called when [`StreamUnit::quiescence`] returned non-`None`.
+    fn skip_cycles(&mut self, n: u64) {
+        let _ = n;
+    }
+    /// Selects the unit's evaluation cost profile when it has more than
+    /// one cycle-exact implementation: `true` asks for the seed-faithful
+    /// reference path, `false` for the optimized one. The naive engine
+    /// tick requests the reference path so speedup measurements compare
+    /// real cost profiles; implementations with a single path (like
+    /// [`NetDriver`]) ignore this.
+    fn set_reference_eval(&mut self, reference: bool) {
+        let _ = reference;
+    }
 }
 
 impl StreamUnit for PuExec {
@@ -30,6 +55,15 @@ impl StreamUnit for PuExec {
     }
     fn vcycles(&self) -> Option<u64> {
         Some(PuExec::vcycles(self))
+    }
+    fn quiescence(&self) -> Quiescence {
+        PuExec::quiescence(self)
+    }
+    fn skip_cycles(&mut self, n: u64) {
+        PuExec::skip_cycles(self, n)
+    }
+    fn set_reference_eval(&mut self, reference: bool) {
+        PuExec::set_reference_eval(self, reference)
     }
 }
 

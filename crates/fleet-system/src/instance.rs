@@ -7,9 +7,12 @@
 //! utilization statistics across runs, which is what capacity planning
 //! and the service report need.
 
+use fleet_compiler::CompiledUnit;
 use fleet_lang::UnitSpec;
 
-use crate::system::{run_system, run_system_traced, RunReport, SystemConfig, SystemError};
+use crate::system::{
+    run_system, run_system_compiled, run_system_traced, RunReport, SystemConfig, SystemError,
+};
 
 /// Lifetime statistics of one instance, accumulated across runs.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -89,6 +92,29 @@ impl Instance {
         self.record(run_system(spec, streams, &cfg))
     }
 
+    /// Like [`Instance::run`], but takes a pre-compiled unit and
+    /// borrowed streams — the hot path for serving runtimes that run the
+    /// same spec batch after batch and should not re-validate, rebuild,
+    /// or copy anything per batch.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Instance::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stream is not a whole number of input tokens.
+    pub fn run_compiled(
+        &mut self,
+        unit: &CompiledUnit,
+        streams: &[&[u8]],
+        out_capacity: usize,
+    ) -> Result<RunReport, SystemError> {
+        let mut cfg = self.cfg;
+        cfg.out_capacity = out_capacity;
+        self.record(run_system_compiled(unit, streams, &cfg))
+    }
+
     /// Like [`Instance::run`], but with cycle-level tracing enabled;
     /// the report carries `trace: Some(..)`.
     ///
@@ -157,6 +183,22 @@ mod tests {
         assert_eq!(s.output_bytes, 256 + 128 + 64);
         assert_eq!(s.units_run, 3);
         assert_eq!(s.busy_cycles, a.cycles + b.cycles);
+    }
+
+    #[test]
+    fn run_compiled_matches_run_and_accumulates_stats() {
+        let spec = identity_spec();
+        let unit = CompiledUnit::new(&spec);
+        let streams = [vec![1u8; 256], vec![2u8; 128]];
+        let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+
+        let mut a = Instance::new(0, SystemConfig::f1(1024));
+        let mut b = Instance::new(1, SystemConfig::f1(1024));
+        let ra = a.run(&spec, &streams, 512).unwrap();
+        let rb = b.run_compiled(&unit, &refs, 512).unwrap();
+        assert_eq!(ra.cycles, rb.cycles);
+        assert_eq!(ra.outputs, rb.outputs);
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

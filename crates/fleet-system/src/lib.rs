@@ -43,8 +43,28 @@ pub use area::{controller_area, design_area, max_units, unit_area};
 pub use instance::{Instance, InstanceStats};
 pub use platform::{CpuPlatform, GpuPlatform, Platform};
 pub use system::{
-    run_replicated, run_system, run_system_traced, RunReport, SystemConfig, SystemError,
+    run_replicated, run_system, run_system_compiled, run_system_traced, RunReport, SystemConfig,
+    SystemError,
 };
+
+/// Builds the per-channel simulation engines and stream index maps for
+/// `streams`, each unit replicated from the pre-compiled `unit`, without
+/// running a single cycle.
+///
+/// `maps[c][k]` is the submission-order stream index processed by unit
+/// `k` of channel `c`. This is the entry point for harnesses that need
+/// to drive the simulation tick by tick (e.g. the `simperf` benchmark)
+/// rather than through [`run_system_compiled`].
+pub fn build_system_engines(
+    unit: &fleet_compiler::CompiledUnit,
+    streams: &[&[u8]],
+    cfg: &SystemConfig,
+) -> (
+    Vec<fleet_memctl::ChannelEngine<fleet_compiler::PuExec>>,
+    Vec<Vec<usize>>,
+) {
+    system::build_engines_with(unit, streams, cfg, || fleet_trace::NullSink)
+}
 
 /// Splits one large input into `n` roughly equal streams at token-aligned
 /// boundaries — the host-side splitting step of §2 (newline splitting for

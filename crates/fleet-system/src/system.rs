@@ -5,7 +5,7 @@ use std::error::Error;
 use std::fmt;
 
 use fleet_axi::{DramChannel, BEAT_BYTES};
-use fleet_compiler::PuExec;
+use fleet_compiler::{CompiledUnit, PuExec};
 use fleet_lang::UnitSpec;
 use fleet_memctl::{ChannelEngine, EngineStats, MemCtlConfig, StreamAssignment, StreamUnit};
 use fleet_trace::{CounterSink, NullSink, TraceReport, TraceSink};
@@ -129,7 +129,31 @@ pub fn run_system(
     streams: &[Vec<u8>],
     cfg: &SystemConfig,
 ) -> Result<RunReport, SystemError> {
-    let (report, _engines, _maps) = run_system_inner(spec, streams, cfg, || NullSink)?;
+    let unit = CompiledUnit::new(spec);
+    let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+    let (report, _engines, _maps) = run_system_inner(&unit, &refs, cfg, || NullSink)?;
+    Ok(report)
+}
+
+/// Like [`run_system`], but takes a pre-compiled unit and borrowed
+/// streams: the program is validated and compiled exactly once no
+/// matter how many replicas run, and no stream bytes are copied into
+/// the call. This is the hot path for batch serving, where the same
+/// spec runs back to back against many stream sets.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_system`].
+///
+/// # Panics
+///
+/// Panics if a stream is not a whole number of input tokens.
+pub fn run_system_compiled(
+    unit: &CompiledUnit,
+    streams: &[&[u8]],
+    cfg: &SystemConfig,
+) -> Result<RunReport, SystemError> {
+    let (report, _engines, _maps) = run_system_inner(unit, streams, cfg, || NullSink)?;
     Ok(report)
 }
 
@@ -150,8 +174,10 @@ pub fn run_system_traced(
     streams: &[Vec<u8>],
     cfg: &SystemConfig,
 ) -> Result<RunReport, SystemError> {
+    let unit = CompiledUnit::new(spec);
+    let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
     let (mut report, engines, index_maps) =
-        run_system_inner(spec, streams, cfg, CounterSink::new)?;
+        run_system_inner(&unit, &refs, cfg, CounterSink::new)?;
     let channels = engines
         .iter()
         .zip(&index_maps)
@@ -161,25 +187,27 @@ pub fn run_system_traced(
     Ok(report)
 }
 
-/// Shared runner: builds one engine per channel (tracing into a sink
-/// from `make_sink`), drives them in parallel, and assembles the
-/// report. Returns the engines and stream index maps so traced callers
-/// can extract sink data.
-type InnerRun<S> = (RunReport, Vec<ChannelEngine<PuExec, S>>, Vec<Vec<usize>>);
-
-fn run_system_inner<S: TraceSink + Send>(
-    spec: &UnitSpec,
-    streams: &[Vec<u8>],
+/// Builds the per-channel engines and stream index maps for `streams`,
+/// replicated from `unit`, without running anything.
+///
+/// `maps[c][k]` is the submission-order stream index that unit `k` of
+/// channel `c` processes. Exposed (via
+/// [`build_system_engines`](crate::build_system_engines)) so benchmark
+/// harnesses can drive the engines tick by tick.
+pub(crate) fn build_engines_with<S: TraceSink>(
+    unit: &CompiledUnit,
+    streams: &[&[u8]],
     cfg: &SystemConfig,
     mut make_sink: impl FnMut() -> S,
-) -> Result<InnerRun<S>, SystemError> {
+) -> (Vec<ChannelEngine<PuExec, S>>, Vec<Vec<usize>>) {
     assert!(!streams.is_empty(), "need at least one stream");
+    let spec = unit.spec();
     let in_tok = (spec.input_token_bits as usize).div_ceil(8);
     let out_tok = (spec.output_token_bits as usize).div_ceil(8);
 
     // Partition streams round-robin across channels.
     let channels = cfg.platform.channels.min(streams.len());
-    let mut per_channel: Vec<Vec<(usize, &Vec<u8>)>> = vec![Vec::new(); channels];
+    let mut per_channel: Vec<Vec<(usize, &[u8])>> = vec![Vec::new(); channels];
     for (i, s) in streams.iter().enumerate() {
         per_channel[i % channels].push((i, s));
     }
@@ -210,7 +238,9 @@ fn run_system_inner<S: TraceSink + Send>(
                 out_capacity: out_alloc,
             });
         }
-        let units: Vec<PuExec> = group.iter().map(|_| PuExec::new(spec)).collect();
+        // Replicate the shared compiled program — no per-replica
+        // validation or SSA rebuild.
+        let units: Vec<PuExec> = group.iter().map(|_| unit.replicate()).collect();
         engines.push(ChannelEngine::with_sink(
             cfg.memctl,
             dram,
@@ -222,6 +252,22 @@ fn run_system_inner<S: TraceSink + Send>(
         ));
         index_maps.push(group.iter().map(|(i, _)| *i).collect::<Vec<_>>());
     }
+    (engines, index_maps)
+}
+
+/// Shared runner: builds one engine per channel (tracing into a sink
+/// from `make_sink`), drives them in parallel, and assembles the
+/// report. Returns the engines and stream index maps so traced callers
+/// can extract sink data.
+type InnerRun<S> = (RunReport, Vec<ChannelEngine<PuExec, S>>, Vec<Vec<usize>>);
+
+fn run_system_inner<S: TraceSink + Send>(
+    unit: &CompiledUnit,
+    streams: &[&[u8]],
+    cfg: &SystemConfig,
+    make_sink: impl FnMut() -> S,
+) -> Result<InnerRun<S>, SystemError> {
+    let (mut engines, index_maps) = build_engines_with(unit, streams, cfg, make_sink);
 
     // Run every channel to completion, in parallel.
     let results = drive_channels(&mut engines, cfg.max_cycles);
@@ -230,9 +276,10 @@ fn run_system_inner<S: TraceSink + Send>(
     for (c, r) in results.into_iter().enumerate() {
         match r {
             Ok(n) => cycles = cycles.max(n),
-            Err(SystemError::OutputOverflow { .. }) => {
-                // Find the overflowing stream for a useful error.
-                let stream = index_maps[c].first().copied().unwrap_or(0);
+            Err(SystemError::OutputOverflow { stream: unit_idx }) => {
+                // The channel reports which of its units overflowed; map
+                // the channel-local index back to the submitted stream.
+                let stream = index_maps[c].get(unit_idx).copied().unwrap_or(0);
                 return Err(SystemError::OutputOverflow { stream });
             }
             Err(e) => return Err(e),
@@ -248,8 +295,8 @@ fn run_system_inner<S: TraceSink + Send>(
         for (k, &orig) in index_maps[c].iter().enumerate() {
             outputs[orig] = eng.output_bytes(k);
             output_bytes += outputs[orig].len() as u64;
+            input_bytes += streams[orig].len() as u64;
         }
-        input_bytes += per_channel[c].iter().map(|(_, s)| s.len() as u64).sum::<u64>();
         channel_stats.push(eng.stats());
     }
 
@@ -295,17 +342,24 @@ where
             .map(|eng| {
                 scope.spawn(move || {
                     let start = eng.stats().cycles;
-                    while !eng.done() {
+                    let result = loop {
+                        if eng.done() {
+                            break Ok(eng.stats().cycles - start);
+                        }
                         eng.tick();
-                        if eng.any_overflow() {
-                            // The caller maps this back to a stream id.
-                            return Err(SystemError::OutputOverflow { stream: usize::MAX });
+                        if let Some(unit) = eng.overflowed_unit() {
+                            // The caller maps the channel-local unit
+                            // index back to a stream id.
+                            break Err(SystemError::OutputOverflow { stream: unit });
                         }
                         if eng.stats().cycles - start > max_cycles {
-                            return Err(SystemError::Timeout { max_cycles });
+                            break Err(SystemError::Timeout { max_cycles });
                         }
-                    }
-                    Ok(eng.stats().cycles - start)
+                    };
+                    // Account sleeping units before anyone reads the
+                    // sink (quiescence skipping defers their classes).
+                    eng.flush_trace();
+                    result
                 })
             })
             .collect();
@@ -331,8 +385,11 @@ pub fn run_replicated(
     n: usize,
     cfg: &SystemConfig,
 ) -> Result<RunReport, SystemError> {
-    let streams: Vec<Vec<u8>> = (0..n).map(|_| stream.to_vec()).collect();
-    run_system(spec, &streams, cfg)
+    // Borrow the one stream n times — a 512-replica run used to copy
+    // the stream bytes 512 times before simulating a single cycle.
+    let unit = CompiledUnit::new(spec);
+    let refs: Vec<&[u8]> = (0..n).map(|_| stream).collect();
+    run_system_compiled(&unit, &refs, cfg)
 }
 
 #[cfg(test)]
@@ -455,6 +512,43 @@ mod tests {
         cfg.max_cycles = 10_000_000;
         let err = run_system(&spec, &streams, &cfg).unwrap_err();
         assert!(matches!(err, SystemError::OutputOverflow { .. }));
+    }
+
+    #[test]
+    fn overflow_error_names_the_actual_stream() {
+        // Two streams on one channel; only the *second* overflows. The
+        // old path reported the channel's first stream, misdirecting
+        // the user at a healthy stream.
+        let spec = identity_spec();
+        let streams = vec![vec![1u8; 64], vec![2u8; 8192]];
+        let mut cfg = SystemConfig::f1(256);
+        cfg.platform.channels = 1;
+        cfg.max_cycles = 10_000_000;
+        match run_system(&spec, &streams, &cfg).unwrap_err() {
+            SystemError::OutputOverflow { stream } => {
+                assert_eq!(stream, 1, "overflow attributed to the wrong stream");
+            }
+            other => panic!("expected OutputOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compiled_run_matches_spec_run() {
+        let spec = identity_spec();
+        let streams: Vec<Vec<u8>> = (0..7)
+            .map(|s| (0..300u32).map(|x| ((x * 13 + s * 29) % 256) as u8).collect())
+            .collect();
+        let cfg = SystemConfig::f1(512);
+        let by_spec = run_system(&spec, &streams, &cfg).unwrap();
+
+        let unit = CompiledUnit::new(&spec);
+        let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+        let by_unit = run_system_compiled(&unit, &refs, &cfg).unwrap();
+
+        assert_eq!(by_spec.cycles, by_unit.cycles);
+        assert_eq!(by_spec.outputs, by_unit.outputs);
+        assert_eq!(by_spec.input_bytes, by_unit.input_bytes);
+        assert_eq!(by_spec.output_bytes, by_unit.output_bytes);
     }
 
     #[test]

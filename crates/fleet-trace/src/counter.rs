@@ -27,11 +27,18 @@ impl PuCycleCounters {
     /// Adds one cycle of `class`.
     #[inline]
     pub fn add(&mut self, class: CycleClass) {
+        self.add_n(class, 1);
+    }
+
+    /// Adds `n` cycles of `class` in one step (bulk accounting for the
+    /// quiescence-skipping engine).
+    #[inline]
+    pub fn add_n(&mut self, class: CycleClass, n: u64) {
         match class {
-            CycleClass::Busy => self.busy += 1,
-            CycleClass::StallIn => self.stall_in += 1,
-            CycleClass::StallOut => self.stall_out += 1,
-            CycleClass::Drained => self.drained += 1,
+            CycleClass::Busy => self.busy += n,
+            CycleClass::StallIn => self.stall_in += n,
+            CycleClass::StallOut => self.stall_out += n,
+            CycleClass::Drained => self.drained += n,
         }
     }
 
@@ -167,11 +174,15 @@ impl TraceSink for CounterSink {
     }
 
     fn pu_cycle(&mut self, pu: u32, class: CycleClass) {
+        self.pu_cycles(pu, class, 1);
+    }
+
+    fn pu_cycles(&mut self, pu: u32, class: CycleClass, n: u64) {
         let pu = pu as usize;
         if pu >= self.per_pu.len() {
             self.per_pu.resize(pu + 1, PuCycleCounters::default());
         }
-        self.per_pu[pu].add(class);
+        self.per_pu[pu].add_n(class, n);
     }
 
     fn queue_depth(&mut self, queue: QueueKind, depth: u32) {
@@ -220,6 +231,19 @@ mod tests {
         for pu in 0..4 {
             assert_eq!(s.pu_counters(pu).total(), s.cycles());
         }
+    }
+
+    #[test]
+    fn bulk_pu_cycles_matches_repeated_single_cycles() {
+        let mut one = CounterSink::new();
+        let mut bulk = CounterSink::new();
+        for _ in 0..137 {
+            one.pu_cycle(3, CycleClass::StallIn);
+        }
+        bulk.pu_cycles(3, CycleClass::StallIn, 137);
+        bulk.pu_cycles(3, CycleClass::Busy, 0); // zero-length bulk is a no-op
+        assert_eq!(one.pu_counters(3), bulk.pu_counters(3));
+        assert_eq!(one.n_pus(), bulk.n_pus());
     }
 
     #[test]

@@ -222,6 +222,18 @@ pub trait TraceSink {
         let _ = (pu, class);
     }
 
+    /// Classifies `n` consecutive cycles of PU `pu` at once.
+    ///
+    /// The skipping channel engine uses this to account a quiescent
+    /// unit's sleep in bulk on wake-up; the default forwards to
+    /// [`TraceSink::pu_cycle`] once per cycle so any sink stays exact,
+    /// and aggregate sinks override it with a single addition.
+    fn pu_cycles(&mut self, pu: u32, class: CycleClass, n: u64) {
+        for _ in 0..n {
+            self.pu_cycle(pu, class);
+        }
+    }
+
     /// Samples a queue depth for this cycle.
     fn queue_depth(&mut self, queue: QueueKind, depth: u32) {
         let _ = (queue, depth);
@@ -268,6 +280,10 @@ impl<A: TraceSink, B: TraceSink> TraceSink for (A, B) {
     fn pu_cycle(&mut self, pu: u32, class: CycleClass) {
         self.0.pu_cycle(pu, class);
         self.1.pu_cycle(pu, class);
+    }
+    fn pu_cycles(&mut self, pu: u32, class: CycleClass, n: u64) {
+        self.0.pu_cycles(pu, class, n);
+        self.1.pu_cycles(pu, class, n);
     }
     fn queue_depth(&mut self, queue: QueueKind, depth: u32) {
         self.0.queue_depth(queue, depth);
@@ -351,6 +367,14 @@ impl<S: TraceSink> Probe<S> {
     pub fn pu_cycle(&mut self, pu: u32, class: CycleClass) {
         if S::ENABLED {
             self.sink.pu_cycle(pu, class);
+        }
+    }
+
+    /// See [`TraceSink::pu_cycles`].
+    #[inline(always)]
+    pub fn pu_cycles(&mut self, pu: u32, class: CycleClass, n: u64) {
+        if S::ENABLED {
+            self.sink.pu_cycles(pu, class, n);
         }
     }
 

@@ -1,0 +1,113 @@
+//! Cycle-exactness of the simulator fast path, per `DESIGN.md`.
+//!
+//! The quiescence-skipping [`ChannelEngine::tick`] and the naive
+//! reference [`ChannelEngine::tick_naive`] (every unit evaluated every
+//! cycle through the seed-faithful reference program) must be
+//! indistinguishable in everything except wall-clock cost: same cycle
+//! count, same output bytes, same aggregate stats, same per-PU cycle
+//! classification, same virtual-cycle counts. `simperf`'s speedup
+//! claims rest on this equivalence, so it is property-tested across
+//! all six paper apps with randomized streams and unit counts.
+
+use fleet_apps::{App, AppKind};
+use fleet_compiler::CompiledUnit;
+use fleet_memctl::ChannelEngine;
+use fleet_system::{build_system_engines, SystemConfig};
+use proptest::prelude::*;
+
+/// Safety cap: every randomized configuration must converge far below
+/// this many cycles per channel.
+const MAX_CYCLES: u64 = 50_000_000;
+
+/// Drives every channel to completion with the selected tick.
+fn drive(
+    engines: &mut [ChannelEngine<fleet_compiler::PuExec>],
+    naive: bool,
+) {
+    for eng in engines.iter_mut() {
+        while !eng.done() {
+            if naive {
+                eng.tick_naive();
+            } else {
+                eng.tick();
+            }
+            assert!(eng.stats().cycles < MAX_CYCLES, "engine did not converge");
+        }
+    }
+}
+
+/// Builds two identical engine sets for the app, drives one fast and
+/// one naive, and asserts every observable matches.
+fn assert_tick_equivalence(kind: AppKind, seed: u64, pus: usize, approx_bytes: usize) {
+    let app = App::new(kind);
+    let streams: Vec<Vec<u8>> =
+        (0..pus).map(|p| app.gen_stream(seed ^ p as u64, approx_bytes)).collect();
+    let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+    let out_cap = app.out_capacity(streams.iter().map(|s| s.len()).max().unwrap());
+    let cfg = SystemConfig::f1(out_cap);
+    let unit = CompiledUnit::new(&app.spec());
+
+    let (mut fast, _) = build_system_engines(&unit, &refs, &cfg);
+    let (mut naive, _) = build_system_engines(&unit, &refs, &cfg);
+    drive(&mut fast, false);
+    drive(&mut naive, true);
+
+    assert_eq!(fast.len(), naive.len());
+    for (c, (f, n)) in fast.iter().zip(naive.iter()).enumerate() {
+        let name = app.name();
+        assert_eq!(
+            f.stats(),
+            n.stats(),
+            "{name}: channel {c} stats diverge (cycles, bytes, tokens)"
+        );
+        assert_eq!(
+            f.unit_vcycles(),
+            n.unit_vcycles(),
+            "{name}: channel {c} virtual-cycle counts diverge"
+        );
+        assert_eq!(
+            f.overflowed_unit(),
+            n.overflowed_unit(),
+            "{name}: channel {c} overflow attribution diverges"
+        );
+        for p in 0..f.len() {
+            assert_eq!(
+                f.output_bytes(p),
+                n.output_bytes(p),
+                "{name}: channel {c} unit {p} output bytes diverge"
+            );
+            assert_eq!(
+                f.units()[p].counters(),
+                n.units()[p].counters(),
+                "{name}: channel {c} unit {p} cycle classification diverges"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Fast and naive engine ticks are observably identical on all six
+    /// paper apps for randomized streams, unit counts, and sizes.
+    #[test]
+    fn fast_tick_equals_naive_tick(
+        seed in any::<u64>(),
+        pus in 2usize..=5,
+        size_class in 0usize..3,
+    ) {
+        let approx_bytes = [512, 1024, 2048][size_class];
+        for kind in AppKind::all() {
+            assert_tick_equivalence(kind, seed, pus, approx_bytes);
+        }
+    }
+}
+
+/// A fixed-seed spot check that runs under plain `cargo test` filters
+/// too (proptest shrinks obscure failures; this one fails readably).
+#[test]
+fn fast_tick_equals_naive_tick_fixed() {
+    for kind in AppKind::all() {
+        assert_tick_equivalence(kind, 0xF1EE7, 3, 1024);
+    }
+}
