@@ -4,9 +4,9 @@
 //!
 //! This tracks the *simulator's* performance, not the modelled FPGA's:
 //! every optimization to the channel-engine hot path (shared compiled
-//! programs, quiescent-PU skipping, slice-copy burst delivery) shows up
-//! here, and the cycle-exactness tests guarantee none of them change a
-//! single simulated cycle.
+//! programs, quiescent-PU skipping, slice-copy burst delivery, sharded
+//! parallel PU evaluation) shows up here, and the cycle-exactness tests
+//! guarantee none of them change a single simulated cycle.
 //!
 //! Each app runs at its paper PU count with `FLEET_BYTES_PER_PU` input
 //! bytes per unit (default 4096 × `FLEET_SCALE`; the decision tree gets
@@ -21,6 +21,12 @@
 //!   reference tick (every PU evaluated every cycle, per-byte copies)
 //!   and report the speedup; asserts both paths simulate the same
 //!   number of cycles.
+//! - `--threads <N|auto>`: size of the shared simulation worker pool
+//!   (default `auto` = host parallelism). With more than one thread the
+//!   headline numbers come from the pooled sharded drive, a serial
+//!   baseline is also timed, and the run *asserts* that both drives
+//!   simulate identical cycles and produce byte-identical outputs (via
+//!   an output fingerprint) — the determinism check CI leans on.
 //!
 //! Writes `BENCH_simperf.json` via `write_bench_json`.
 
@@ -29,18 +35,29 @@ use std::time::Instant;
 use fleet_apps::{App, AppKind};
 use fleet_bench::{print_table, scale, write_bench_json};
 use fleet_compiler::CompiledUnit;
-use fleet_system::{build_system_engines, SystemConfig};
+use fleet_system::{build_system_engines, SimPool, SimThreads, SystemConfig};
 
 /// Hard cap on simulated cycles per channel; experiment inputs are sized
 /// so hitting it is a bug, not an expected outcome.
 const MAX_CYCLES: u64 = 500_000_000;
 
+#[derive(Clone, Copy)]
+enum DriveMode<'p> {
+    Serial,
+    Naive,
+    Pooled(&'p SimPool),
+}
+
 struct AppRun {
     name: &'static str,
     pus: usize,
     input_bytes: u64,
+    /// Headline drive: pooled when the pool has >1 worker, else serial.
     sim_cycles: u64,
     wall_seconds: f64,
+    /// Serial-baseline (cycles, wall) — present only when the headline
+    /// drive was pooled, for the thread-speedup column.
+    serial: Option<(u64, f64)>,
     naive: Option<(u64, f64)>,
 }
 
@@ -48,8 +65,17 @@ impl AppRun {
     fn mcycles_per_sec(&self) -> f64 {
         self.sim_cycles as f64 / self.wall_seconds / 1e6
     }
+    fn kcycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / self.wall_seconds / 1e3
+    }
     fn gb_per_wall_sec(&self) -> f64 {
         self.input_bytes as f64 / self.wall_seconds / 1e9
+    }
+    fn serial_mcycles_per_sec(&self) -> Option<f64> {
+        self.serial.map(|(c, w)| c as f64 / w / 1e6)
+    }
+    fn thread_speedup(&self) -> Option<f64> {
+        self.serial_mcycles_per_sec().map(|s| self.mcycles_per_sec() / s)
     }
     fn naive_mcycles_per_sec(&self) -> Option<f64> {
         self.naive.map(|(c, w)| c as f64 / w / 1e6)
@@ -60,41 +86,83 @@ impl AppRun {
 }
 
 /// Builds fresh engines for the app's streams and drives every channel
-/// to completion, returning (total simulated cycles, wall seconds).
+/// to completion, returning (total simulated cycles, wall seconds,
+/// output fingerprint). The fingerprint is FNV-1a over every unit's
+/// committed output bytes in unit order — computed after the clock
+/// stops, so hashing never pollutes the throughput number.
 fn drive(
     unit: &CompiledUnit,
     streams: &[&[u8]],
     cfg: &SystemConfig,
-    naive: bool,
-) -> (u64, f64) {
-    let (mut engines, _maps) = build_system_engines(unit, streams, cfg);
+    mode: DriveMode<'_>,
+) -> (u64, f64, u64) {
+    let (mut engines, maps) = build_system_engines(unit, streams, cfg);
     let start = Instant::now();
     let mut sim_cycles = 0u64;
     for eng in engines.iter_mut() {
-        while !eng.done() {
-            if naive {
-                eng.tick_naive();
-            } else {
-                eng.tick();
+        match mode {
+            DriveMode::Pooled(pool) => {
+                // Channels run one after another here, so each gets the
+                // whole pool's worth of shards.
+                eng.run_channel(MAX_CYCLES, Some(pool), pool.workers())
+                    .expect("simperf pooled run failed");
             }
-            assert!(eng.overflowed_unit().is_none(), "output overflow in simperf run");
-            assert!(eng.stats().cycles < MAX_CYCLES, "simperf run did not converge");
+            DriveMode::Serial | DriveMode::Naive => {
+                while !eng.done() {
+                    if matches!(mode, DriveMode::Naive) {
+                        eng.tick_naive();
+                    } else {
+                        eng.tick();
+                    }
+                    assert!(eng.overflowed_unit().is_none(), "output overflow in simperf run");
+                    assert!(eng.stats().cycles < MAX_CYCLES, "simperf run did not converge");
+                }
+            }
         }
         sim_cycles += eng.stats().cycles;
     }
-    (sim_cycles, start.elapsed().as_secs_f64().max(1e-9))
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    let mut fp = 0xcbf2_9ce4_8422_2325u64;
+    for (eng, map) in engines.iter().zip(&maps) {
+        for p in 0..map.len() {
+            for &b in &eng.output_bytes(p) {
+                fp = (fp ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    (sim_cycles, wall, fp)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let compare_naive = args.iter().any(|a| a == "--compare-naive");
-    for a in &args {
-        assert!(
-            a == "--smoke" || a == "--compare-naive",
-            "unknown flag {a}; simperf takes --smoke and/or --compare-naive"
-        );
+    let mut smoke = false;
+    let mut compare_naive = false;
+    let mut threads_cfg = SimThreads::Auto;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--compare-naive" => compare_naive = true,
+            "--threads" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .unwrap_or_else(|| panic!("--threads needs a value: a count or `auto`"));
+                threads_cfg = SimThreads::parse(v)
+                    .unwrap_or_else(|| panic!("bad --threads value {v:?}: want a count or `auto`"));
+            }
+            other => panic!(
+                "unknown flag {other}; simperf takes --smoke, --compare-naive \
+                 and/or --threads <N|auto>"
+            ),
+        }
+        i += 1;
     }
+
+    let threads = threads_cfg.resolve();
+    let host_parallelism =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let pool = (threads > 1).then(|| SimPool::new(SimThreads::Fixed(threads)));
 
     let bytes_per_pu: usize = std::env::var("FLEET_BYTES_PER_PU")
         .ok()
@@ -107,8 +175,10 @@ fn main() {
             }
         });
     println!(
-        "# simperf: simulator throughput — {} B per unit{}{}\n",
+        "# simperf: simulator throughput — {} B per unit, {} sim thread{}{}{}\n",
         bytes_per_pu,
+        threads,
+        if threads == 1 { "" } else { "s" },
         if smoke { ", smoke configuration" } else { "" },
         if compare_naive { ", vs naive reference tick" } else { "" },
     );
@@ -129,23 +199,44 @@ fn main() {
         let cfg = SystemConfig::f1(out_cap);
         let unit = CompiledUnit::new(&app.spec());
 
-        let (sim_cycles, wall_seconds) = drive(&unit, &refs, &cfg, false);
-        let naive = compare_naive.then(|| {
-            let (naive_cycles, naive_wall) = drive(&unit, &refs, &cfg, true);
+        let (serial_cycles, serial_wall, serial_fp) = drive(&unit, &refs, &cfg, DriveMode::Serial);
+        let pooled = pool.as_ref().map(|pool| {
+            let (c, w, fp) = drive(&unit, &refs, &cfg, DriveMode::Pooled(pool));
             assert_eq!(
-                sim_cycles, naive_cycles,
+                serial_cycles, c,
+                "{}: pooled and serial engines must simulate identical cycles",
+                app.name()
+            );
+            assert_eq!(
+                serial_fp, fp,
+                "{}: pooled output fingerprint must match the serial drive",
+                app.name()
+            );
+            (c, w)
+        });
+        let naive = compare_naive.then(|| {
+            let (naive_cycles, naive_wall, naive_fp) = drive(&unit, &refs, &cfg, DriveMode::Naive);
+            assert_eq!(
+                serial_cycles, naive_cycles,
                 "{}: naive and optimized engines must simulate identical cycles",
+                app.name()
+            );
+            assert_eq!(
+                serial_fp, naive_fp,
+                "{}: naive output fingerprint must match the optimized drive",
                 app.name()
             );
             (naive_cycles, naive_wall)
         });
 
+        let (sim_cycles, wall_seconds) = pooled.unwrap_or((serial_cycles, serial_wall));
         runs.push(AppRun {
             name: app.name(),
             pus,
             input_bytes,
             sim_cycles,
             wall_seconds,
+            serial: pooled.is_some().then_some((serial_cycles, serial_wall)),
             naive,
         });
     }
@@ -160,6 +251,7 @@ fn main() {
                 format!("{:.2}", r.sim_cycles as f64 / 1e6),
                 format!("{:.2}", r.mcycles_per_sec()),
                 format!("{:.3}", r.gb_per_wall_sec()),
+                r.thread_speedup().map_or("-".into(), |s| format!("{s:.2}x")),
                 r.naive_mcycles_per_sec().map_or("-".into(), |n| format!("{n:.2}")),
                 r.speedup().map_or("-".into(), |s| format!("{s:.2}x")),
             ]
@@ -173,6 +265,7 @@ fn main() {
             "Sim Mcycles",
             "Mcycles/s",
             "GB/wall-s",
+            "Pool speedup",
             "Naive Mcycles/s",
             "Speedup",
         ],
@@ -185,7 +278,9 @@ fn main() {
             format!(
                 "    {{\"app\": \"{}\", \"pus\": {}, \"input_bytes\": {}, \
                  \"sim_cycles\": {}, \"wall_seconds\": {:.6}, \
-                 \"mcycles_per_sec\": {:.3}, \"gb_per_wall_sec\": {:.6}, \
+                 \"mcycles_per_sec\": {:.6}, \"kcycles_per_sec\": {:.3}, \
+                 \"gb_per_wall_sec\": {:.6}, \
+                 \"serial_mcycles_per_sec\": {}, \"thread_speedup\": {}, \
                  \"naive_mcycles_per_sec\": {}, \"speedup\": {}}}",
                 r.name,
                 r.pus,
@@ -193,8 +288,11 @@ fn main() {
                 r.sim_cycles,
                 r.wall_seconds,
                 r.mcycles_per_sec(),
+                r.kcycles_per_sec(),
                 r.gb_per_wall_sec(),
-                r.naive_mcycles_per_sec().map_or("null".into(), |n| format!("{n:.3}")),
+                r.serial_mcycles_per_sec().map_or("null".into(), |s| format!("{s:.6}")),
+                r.thread_speedup().map_or("null".into(), |s| format!("{s:.3}")),
+                r.naive_mcycles_per_sec().map_or("null".into(), |n| format!("{n:.6}")),
                 r.speedup().map_or("null".into(), |s| format!("{s:.3}")),
             )
         })
@@ -203,6 +301,7 @@ fn main() {
         "simperf",
         &format!(
             "{{\n  \"bytes_per_pu\": {bytes_per_pu},\n  \"smoke\": {smoke},\n  \
+             \"threads\": {threads},\n  \"host_parallelism\": {host_parallelism},\n  \
              \"apps\": [\n{}\n  ]\n}}\n",
             json_rows.join(",\n")
         ),

@@ -15,9 +15,10 @@
 //! order) → advance the clock to the next arrival or batch completion.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use fleet_compiler::CompiledUnit;
-use fleet_system::{max_units, Instance, RunReport, SystemConfig, SystemError};
+use fleet_system::{max_units, Instance, RunReport, SimPool, SystemConfig, SystemError};
 use fleet_trace::SchedCounters;
 
 use crate::job::{CompletedJob, FailedJob, Job, JobLatency, RejectedJob, TenantId};
@@ -81,12 +82,20 @@ pub struct Host {
     /// once per spec on the scheduler thread, and every batch replicates
     /// executors from the shared program instead of recompiling.
     compiled_cache: BTreeMap<String, CompiledUnit>,
+    /// One process-wide simulation worker pool, sized by
+    /// [`SystemConfig::sim_threads`] and shared by every instance: the
+    /// per-batch scoped coordinators submit their PU-evaluation shards
+    /// here, so concurrent batches never stack nested compute threads
+    /// and the evaluation work in flight is bounded by the pool no
+    /// matter how many instances run at once.
+    pool: Arc<SimPool>,
 }
 
 impl Host {
     /// Creates a host with the given configuration.
     pub fn new(cfg: HostConfig) -> Host {
-        Host { cfg, slot_cache: BTreeMap::new(), compiled_cache: BTreeMap::new() }
+        let pool = Arc::new(SimPool::new(cfg.system.sim_threads));
+        Host { cfg, slot_cache: BTreeMap::new(), compiled_cache: BTreeMap::new(), pool }
     }
 
     /// The configuration the host was built with.
@@ -132,8 +141,9 @@ impl Host {
         let mut rejected: Vec<RejectedJob> = Vec::new();
         let mut failed: Vec<FailedJob> = Vec::new();
 
-        let mut instances: Vec<Instance> =
-            (0..self.cfg.instances).map(|i| Instance::new(i, self.cfg.system)).collect();
+        let mut instances: Vec<Instance> = (0..self.cfg.instances)
+            .map(|i| Instance::new(i, self.cfg.system).with_pool(self.pool.clone()))
+            .collect();
         let n = instances.len();
         let mut busy_until: Vec<Option<u64>> = vec![None; n];
 
@@ -365,6 +375,27 @@ mod tests {
         // Completion order is sorted.
         for w in report.completed.windows(2) {
             assert!(w[0].completed_us <= w[1].completed_us);
+        }
+    }
+
+    #[test]
+    fn serve_is_bit_identical_across_sim_thread_counts() {
+        // The shared shard pool must never leak wall-clock scheduling
+        // into the report: any thread budget gives the same bytes.
+        let spec = identity_spec();
+        let serve_with = |threads| {
+            let mut cfg = HostConfig::new(2);
+            cfg.system.sim_threads = fleet_system::SimThreads::Fixed(threads);
+            let mut host = Host::new(cfg);
+            host.serve(workload(&spec, 16, 3))
+        };
+        let one = serve_with(1);
+        for threads in [2usize, 4] {
+            assert_eq!(
+                one.to_json(),
+                serve_with(threads).to_json(),
+                "{threads}-thread serve diverged from serial"
+            );
         }
     }
 

@@ -31,6 +31,27 @@
 //! identical to evaluating every unit every cycle. The pre-optimization
 //! behaviour is kept as [`ChannelEngine::tick_naive`] so equivalence is
 //! testable and benchmarkable.
+//!
+//! ## Parallel evaluation (deterministic)
+//!
+//! Each cycle splits into two phases:
+//!
+//! 1. **Evaluate** ([`eval_unit`]): runs one unit's combinational +
+//!    clocked step against an immutable snapshot of its own
+//!    [`PuState`], mutating only the unit itself, and returns a compact
+//!    [`PuEffect`] record. A unit's evaluation reads nothing but its
+//!    own state, so any partition of the worklist evaluates
+//!    independently.
+//! 2. **Merge** ([`Ctl::apply_effect`]): applies effects *in ascending
+//!    unit index order* — buffer pops/pushes, stats, trace probes,
+//!    finish/sleep transitions — exactly the order the serial loop
+//!    interleaves them.
+//!
+//! The serial [`ChannelEngine::tick`] fuses the two phases per unit
+//! (zero overhead); [`ChannelEngine::run_channel`] with a
+//! [`SimPool`](crate::pool::SimPool) runs phase 1 on sharded worker
+//! threads (see `par.rs`) and phase 2 serially, producing bit-identical
+//! cycles, outputs, stats, and trace counters at every thread count.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -80,7 +101,7 @@ pub struct StreamAssignment {
 /// the front of the queue is always a contiguous slice for whole-token
 /// loads.
 #[derive(Debug)]
-struct ByteFifo {
+pub(crate) struct ByteFifo {
     buf: Vec<u8>,
     head: usize,
 }
@@ -91,7 +112,7 @@ impl ByteFifo {
     }
 
     #[inline]
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.buf.len() - self.head
     }
 
@@ -158,24 +179,28 @@ impl ByteFifo {
     }
 }
 
+/// Per-unit controller-side state. During a pooled run the whole vector
+/// lives in an `Arc` that alternates between the shard workers (shared,
+/// read-only) and the serial merge phase (exclusively reclaimed via
+/// `Arc::get_mut` once every worker has replied).
 #[derive(Debug)]
-struct PuState {
-    assign: StreamAssignment,
-    in_fetched: usize,
-    in_flight: usize,
-    in_buffer: ByteFifo,
-    out_buffer: ByteFifo,
-    out_written: usize,
-    finished: bool,
+pub(crate) struct PuState {
+    pub(crate) assign: StreamAssignment,
+    pub(crate) in_fetched: usize,
+    pub(crate) in_flight: usize,
+    pub(crate) in_buffer: ByteFifo,
+    pub(crate) out_buffer: ByteFifo,
+    pub(crate) out_written: usize,
+    pub(crate) finished: bool,
     /// Set when the unit overflowed its output region (reported, not
     /// silently dropped).
-    overflowed: bool,
+    pub(crate) overflowed: bool,
     /// While the unit is off the active worklist: the first engine cycle
     /// not yet accounted, and the class every skipped cycle belongs to.
-    sleep: Option<(u64, CycleClass)>,
+    pub(crate) sleep: Option<(u64, CycleClass)>,
     /// Set once the unit's output side is complete (counted out of
     /// `pending_outputs`, making [`ChannelEngine::done`] O(1)).
-    output_done: bool,
+    pub(crate) output_done: bool,
 }
 
 #[derive(Debug)]
@@ -213,20 +238,172 @@ pub struct EngineStats {
     pub cycles: u64,
 }
 
-/// One channel: processing units + input/output controllers + DRAM.
+/// Token geometry a unit evaluation needs — `Copy`, so shard workers
+/// carry it by value.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EvalParams {
+    pub(crate) in_token_bytes: usize,
+    pub(crate) out_token_bytes: usize,
+    pub(crate) output_buffer_bytes: usize,
+}
+
+/// The compact record of one unit's evaluation for one cycle: everything
+/// the serial merge phase needs to replay the unit's shared-state
+/// mutations in index order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PuEffect {
+    pub(crate) pu: u32,
+    /// Output token value (meaningful when `emitted`).
+    pub(crate) token: u64,
+    /// This cycle's class for the unit (Busy / StallIn / StallOut).
+    pub(crate) class: CycleClass,
+    /// `Some(class)` when the unit parked itself (finished → Drained,
+    /// quiescent → StallIn/StallOut); `None` keeps it on the worklist.
+    pub(crate) sleep: Option<CycleClass>,
+    /// Popped one input token.
+    pub(crate) consumed: bool,
+    /// Pushed one output token.
+    pub(crate) emitted: bool,
+    /// Raised `output_finished` this cycle.
+    pub(crate) finished: bool,
+    /// Handshake pins for waveform probes:
+    /// `[in_valid, in_ready, out_valid, out_ready]`.
+    pub(crate) signals: [bool; 4],
+}
+
+/// The unit's input pins, derived purely from its own [`PuState`].
+#[inline]
+pub(crate) fn pins_of(st: &PuState, params: &EvalParams) -> PuIn {
+    let have = st.in_buffer.len() >= params.in_token_bytes;
+    let exhausted =
+        st.in_fetched >= st.assign.in_len && st.in_flight == 0 && st.in_buffer.is_empty();
+    PuIn {
+        input_token: if have { st.in_buffer.peek_token(params.in_token_bytes) } else { 0 },
+        input_valid: have,
+        input_finished: exhausted,
+        output_ready: st.out_buffer.len() + params.out_token_bytes
+            <= params.output_buffer_bytes,
+    }
+}
+
+/// Phase 1 of a cycle for one unit: combinational evaluation + clock,
+/// touching only `unit` itself and reading `st` immutably. Returns the
+/// effect record for the serial merge.
 ///
-/// The second type parameter selects the [`TraceSink`] the engine's
-/// instrumentation probes feed; the default [`NullSink`] compiles every
-/// probe call away, so untraced engines are unchanged. Build traced
-/// engines with [`ChannelEngine::with_sink`].
+/// `reference` selects the seed-faithful reference program (the naive
+/// tick) and disables sleeping; the fast paths pass `false`.
+#[inline]
+pub(crate) fn eval_unit<U: StreamUnit>(
+    p: usize,
+    unit: &mut U,
+    st: &PuState,
+    params: &EvalParams,
+    reference: bool,
+) -> PuEffect {
+    // The fast paths run units on their optimized evaluation path; the
+    // naive tick keeps the seed-faithful reference path so throughput
+    // comparisons are honest. Both are cycle-exact.
+    unit.set_reference_eval(reference);
+    let pins = pins_of(st, params);
+    let out = unit.comb(&pins);
+    // Exactly one class per PU per cycle (conservation):
+    // back-pressured emission is an output stall, an idle unit whose
+    // buffer has no token is an input stall, everything else (including
+    // cleanup execution after `input_finished`) counts as busy.
+    let class = if out.output_valid && !pins.output_ready {
+        CycleClass::StallOut
+    } else if !pins.input_valid && !pins.input_finished && out.input_ready {
+        CycleClass::StallIn
+    } else {
+        CycleClass::Busy
+    };
+    let consumed = pins.input_valid && out.input_ready;
+    let emitted = out.output_valid && pins.output_ready;
+    let finished = out.output_finished;
+    unit.clock(&pins);
+    let sleep = if reference {
+        None
+    } else if finished {
+        // The naive engine never ticks finished units either; park it
+        // with Drained accounting from the next cycle on.
+        Some(CycleClass::Drained)
+    } else {
+        match unit.quiescence() {
+            Quiescence::None => None,
+            // Pins seen above were !input_valid && !input_finished (the
+            // unit idled), and nothing a skipped unit does can change
+            // them — only the input controller can, and it wakes the
+            // unit when a whole token is buffered.
+            Quiescence::UntilInput => Some(CycleClass::StallIn),
+            // Emission back-pressured: out_buffer only drains via the
+            // output controller, which wakes the unit when a token's
+            // worth of space opens.
+            Quiescence::UntilOutput => Some(CycleClass::StallOut),
+        }
+    };
+    PuEffect {
+        pu: p as u32,
+        token: out.output_token,
+        class,
+        sleep,
+        consumed,
+        emitted,
+        finished,
+        signals: [pins.input_valid, out.input_ready, out.output_valid, pins.output_ready],
+    }
+}
+
+/// Merges the sorted `src` list into the sorted `dst` list in place
+/// (classic backward merge: `dst` is grown once, elements are placed
+/// from the tail, no scratch allocation). Replaces the former
+/// `append + sort_unstable` over the whole worklist — a wake storm of
+/// `k` units costs `O(n + k)` instead of `O((n + k) log (n + k))`.
+pub(crate) fn merge_sorted_slice(dst: &mut Vec<usize>, src: &[usize]) {
+    debug_assert!(dst.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(src.windows(2).all(|w| w[0] < w[1]));
+    if src.is_empty() {
+        return;
+    }
+    if dst.is_empty() {
+        dst.extend_from_slice(src);
+        return;
+    }
+    // Common case: everything woken sits past the current tail.
+    if src[0] > *dst.last().unwrap() {
+        dst.extend_from_slice(src);
+        return;
+    }
+    let old = dst.len();
+    dst.resize(old + src.len(), 0);
+    let mut i = old; // unmerged prefix of the original dst
+    let mut j = src.len();
+    let mut w = dst.len();
+    while j > 0 {
+        w -= 1;
+        if i > 0 && dst[i - 1] > src[j - 1] {
+            i -= 1;
+            dst[w] = dst[i];
+        } else {
+            j -= 1;
+            dst[w] = src[j];
+        }
+    }
+    debug_assert!(dst.windows(2).all(|x| x[0] < x[1]));
+}
+
+/// Everything in a channel *except* the units, the per-unit state, and
+/// the active worklist: the controllers, DRAM, stats, and trace probe.
+///
+/// Controller methods take `pus` as a parameter instead of owning it so
+/// the serial tick can split-borrow the engine while the pooled run
+/// (see `par.rs`) works with the unit state living outside the engine
+/// for the duration of the run.
 #[derive(Debug)]
-pub struct ChannelEngine<U, S: TraceSink = NullSink> {
-    cfg: MemCtlConfig,
-    dram: DramChannel,
-    units: Vec<U>,
-    pus: Vec<PuState>,
-    in_token_bytes: usize,
-    out_token_bytes: usize,
+pub(crate) struct Ctl<S: TraceSink> {
+    pub(crate) cfg: MemCtlConfig,
+    pub(crate) dram: DramChannel,
+    pub(crate) params: EvalParams,
+    n_pus: usize,
 
     // Input controller.
     in_rr: usize,
@@ -241,18 +418,58 @@ pub struct ChannelEngine<U, S: TraceSink = NullSink> {
     out_rr: usize,
     out_regs: Vec<OutRegState>,
 
-    // Quiescence-skipping worklist (kept sorted so units are evaluated
-    // in index order, like the naive all-units loop).
-    active: Vec<usize>,
-    woken: Vec<usize>,
+    /// Units woken this cycle, maintained sorted (wakes arrive in
+    /// controller scan order; each insert is a binary search over a
+    /// handful of entries).
+    pub(crate) woken: Vec<usize>,
+    /// Diagnostic high-water mark: the most units ever woken in one
+    /// cycle (a "wake storm"). Lets tests prove a workload actually
+    /// exercised multi-wake merges.
+    pub(crate) woken_peak: usize,
+    /// Pooled mode only: `skip_cycles` spans owed to units whose state
+    /// currently lives with a shard worker, `(unit, span)`. Applied by
+    /// the owning worker just before the unit's next evaluation, or
+    /// drained onto the units at run teardown.
+    pub(crate) pending_skips: Vec<(usize, u64)>,
     /// Units whose output side is not yet complete (see
     /// [`ChannelEngine::done`]).
-    pending_outputs: usize,
+    pub(crate) pending_outputs: usize,
     /// First unit observed overflowing its output region.
-    first_overflow: Option<usize>,
+    pub(crate) first_overflow: Option<usize>,
 
-    stats: EngineStats,
-    probe: Probe<S>,
+    pub(crate) stats: EngineStats,
+    pub(crate) probe: Probe<S>,
+}
+
+/// How an error ended a [`ChannelEngine::run_channel`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineRunError {
+    /// A unit overflowed its output region (channel-local unit index).
+    Overflow {
+        /// Channel-local index of the overflowing unit.
+        unit: usize,
+    },
+    /// The engine did not finish within the cycle budget.
+    Timeout {
+        /// The budget that was exceeded.
+        max_cycles: u64,
+    },
+}
+
+/// One channel: processing units + input/output controllers + DRAM.
+///
+/// The second type parameter selects the [`TraceSink`] the engine's
+/// instrumentation probes feed; the default [`NullSink`] compiles every
+/// probe call away, so untraced engines are unchanged. Build traced
+/// engines with [`ChannelEngine::with_sink`].
+#[derive(Debug)]
+pub struct ChannelEngine<U, S: TraceSink = NullSink> {
+    pub(crate) units: Vec<U>,
+    pub(crate) pus: Vec<PuState>,
+    /// Quiescence-skipping worklist (kept sorted so units are evaluated
+    /// in index order, like the naive all-units loop).
+    pub(crate) active: Vec<usize>,
+    pub(crate) ctl: Ctl<S>,
 }
 
 impl<U: StreamUnit> ChannelEngine<U> {
@@ -321,39 +538,47 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
         let n_regs = cfg.burst_registers;
         let n_pus = pus.len();
         let mut engine = ChannelEngine {
-            cfg,
-            dram,
             units,
             pus,
-            in_token_bytes,
-            out_token_bytes,
-            in_rr: 0,
-            in_regs: (0..n_regs).map(|_| InRegState::Free).collect(),
-            pending_reads: VecDeque::new(),
-            next_tag: 0,
-            next_seq: 0,
-            out_rr: 0,
-            out_regs: (0..n_regs).map(|_| OutRegState::Free).collect(),
             active: (0..n_pus).collect(),
-            woken: Vec::new(),
-            pending_outputs: n_pus,
-            first_overflow: None,
-            stats: EngineStats::default(),
-            probe: Probe::new(sink),
+            ctl: Ctl {
+                cfg,
+                dram,
+                params: EvalParams {
+                    in_token_bytes,
+                    out_token_bytes,
+                    output_buffer_bytes: cfg.output_buffer_bytes,
+                },
+                n_pus,
+                in_rr: 0,
+                in_regs: (0..n_regs).map(|_| InRegState::Free).collect(),
+                pending_reads: VecDeque::new(),
+                next_tag: 0,
+                next_seq: 0,
+                out_rr: 0,
+                out_regs: (0..n_regs).map(|_| OutRegState::Free).collect(),
+                woken: Vec::new(),
+                woken_peak: 0,
+                pending_skips: Vec::new(),
+                pending_outputs: n_pus,
+                first_overflow: None,
+                stats: EngineStats::default(),
+                probe: Probe::new(sink),
+            },
         };
-        if engine.probe.enabled() {
+        if engine.ctl.probe.enabled() {
             for p in 0..engine.pus.len() {
                 let base = p as u32 * 4;
-                engine.probe.declare_signal(SignalId(base), &format!("pu{p}_in_valid"), 1);
-                engine.probe.declare_signal(SignalId(base + 1), &format!("pu{p}_in_ready"), 1);
-                engine.probe.declare_signal(SignalId(base + 2), &format!("pu{p}_out_valid"), 1);
-                engine.probe.declare_signal(SignalId(base + 3), &format!("pu{p}_out_ready"), 1);
+                engine.ctl.probe.declare_signal(SignalId(base), &format!("pu{p}_in_valid"), 1);
+                engine.ctl.probe.declare_signal(SignalId(base + 1), &format!("pu{p}_in_ready"), 1);
+                engine.ctl.probe.declare_signal(SignalId(base + 2), &format!("pu{p}_out_valid"), 1);
+                engine.ctl.probe.declare_signal(SignalId(base + 3), &format!("pu{p}_out_ready"), 1);
             }
             let base = engine.pus.len() as u32 * 4;
-            engine.probe.declare_signal(SignalId(base), "bus_busy", 1);
-            engine.probe.declare_signal(SignalId(base + 1), "pending_reads", 16);
-            engine.probe.declare_signal(SignalId(base + 2), "in_regs_active", 8);
-            engine.probe.declare_signal(SignalId(base + 3), "out_regs_active", 8);
+            engine.ctl.probe.declare_signal(SignalId(base), "bus_busy", 1);
+            engine.ctl.probe.declare_signal(SignalId(base + 1), "pending_reads", 16);
+            engine.ctl.probe.declare_signal(SignalId(base + 2), "in_regs_active", 8);
+            engine.ctl.probe.declare_signal(SignalId(base + 3), "out_regs_active", 8);
         }
         engine
     }
@@ -365,13 +590,13 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
     /// mid-run. [`ChannelEngine::run_to_completion`] and
     /// [`ChannelEngine::into_sink`] flush for you.
     pub fn sink(&self) -> &S {
-        self.probe.sink()
+        self.ctl.probe.sink()
     }
 
     /// Consumes the engine, returning its sink (flushed).
     pub fn into_sink(mut self) -> S {
         self.flush_trace();
-        self.probe.into_sink()
+        self.ctl.probe.into_sink()
     }
 
     /// Per-unit virtual-cycle counts, where units report them.
@@ -396,17 +621,17 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
 
     /// Throughput counters.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        self.ctl.stats
     }
 
     /// DRAM channel (for host-side load/readback).
     pub fn dram(&self) -> &DramChannel {
-        &self.dram
+        &self.ctl.dram
     }
 
     /// DRAM channel, mutable (host-side loading).
     pub fn dram_mut(&mut self) -> &mut DramChannel {
-        &mut self.dram
+        &mut self.ctl.dram
     }
 
     /// Number of units currently on the active worklist (not sleeping).
@@ -417,14 +642,14 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
 
     /// Whether any unit overflowed its output region.
     pub fn any_overflow(&self) -> bool {
-        self.first_overflow.is_some()
+        self.ctl.first_overflow.is_some()
     }
 
     /// The first unit that overflowed its output region, if any — the
     /// actual culprit, so callers can attribute the failure to the right
     /// stream instead of guessing.
     pub fn overflowed_unit(&self) -> Option<usize> {
-        self.first_overflow
+        self.ctl.first_overflow
     }
 
     /// Output bytes committed for unit `p` (excluding beat padding).
@@ -438,137 +663,27 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
     pub fn output_bytes(&self, p: usize) -> Vec<u8> {
         let st = &self.pus[p];
         let start = st.assign.out_start;
-        self.dram.mem()[start..start + st.out_written].to_vec()
-    }
-
-    fn pu_pins(&self, p: usize) -> PuIn {
-        let st = &self.pus[p];
-        let have = st.in_buffer.len() >= self.in_token_bytes;
-        let exhausted =
-            st.in_fetched >= st.assign.in_len && st.in_flight == 0 && st.in_buffer.is_empty();
-        PuIn {
-            input_token: if have { st.in_buffer.peek_token(self.in_token_bytes) } else { 0 },
-            input_valid: have,
-            input_finished: exhausted,
-            output_ready: st.out_buffer.len() + self.out_token_bytes
-                <= self.cfg.output_buffer_bytes,
-        }
+        self.ctl.dram.mem()[start..start + st.out_written].to_vec()
     }
 
     /// Accounts the skipped span of every sleeping unit up to the
     /// current cycle, without waking anyone. Idempotent; call before
     /// reading per-PU counters mid-run.
     pub fn flush_trace(&mut self) {
-        for p in 0..self.pus.len() {
-            if let Some((since, class)) = self.pus[p].sleep {
-                let skipped = self.stats.cycles - since;
+        let Self { units, pus, ctl, .. } = self;
+        for p in 0..pus.len() {
+            if let Some((since, class)) = pus[p].sleep {
+                let skipped = ctl.stats.cycles - since;
                 if skipped > 0 {
-                    self.probe.pu_cycles(p as u32, class, skipped);
+                    ctl.probe.pu_cycles(p as u32, class, skipped);
                     if class != CycleClass::Drained {
                         // The naive engine would have clocked a stalled
                         // unit every cycle; finished units were never
                         // ticked, so Drained spans touch the sink only.
-                        self.units[p].skip_cycles(skipped);
+                        units[p].skip_cycles(skipped);
                     }
-                    self.pus[p].sleep = Some((self.stats.cycles, class));
+                    pus[p].sleep = Some((ctl.stats.cycles, class));
                 }
-            }
-        }
-    }
-
-    /// Accounts and ends unit `p`'s sleep; it rejoins the worklist next
-    /// cycle. Only called for input/output-stalled sleepers — finished
-    /// units sleep until the end of the run.
-    fn wake(&mut self, p: usize) {
-        if let Some((since, class)) = self.pus[p].sleep.take() {
-            // The PU phase of the current cycle already ran, so the
-            // current cycle is part of the skipped span.
-            let skipped = self.stats.cycles + 1 - since;
-            if skipped > 0 {
-                self.probe.pu_cycles(p as u32, class, skipped);
-                self.units[p].skip_cycles(skipped);
-            }
-            self.woken.push(p);
-        }
-    }
-
-    fn note_maybe_output_done(&mut self, p: usize) {
-        if !self.pus[p].output_done && (self.pus[p].overflowed || self.output_done_for(p)) {
-            self.pus[p].output_done = true;
-            self.pending_outputs -= 1;
-        }
-    }
-
-    /// Evaluates one non-finished unit for this cycle. With
-    /// `allow_sleep`, returns false (and parks the unit) when it
-    /// finished or proved itself quiescent; the naive path passes false
-    /// and always keeps the unit live.
-    fn eval_pu(&mut self, p: usize, allow_sleep: bool) -> bool {
-        // The fast tick (allow_sleep) runs units on their optimized
-        // evaluation path; the naive tick keeps the seed-faithful
-        // reference path so throughput comparisons are honest. Both are
-        // cycle-exact.
-        self.units[p].set_reference_eval(!allow_sleep);
-        let pins = self.pu_pins(p);
-        let out = self.units[p].comb(&pins);
-        if self.probe.enabled() {
-            // Exactly one class per PU per cycle (conservation):
-            // back-pressured emission is an output stall, an idle
-            // unit whose buffer has no token is an input stall,
-            // everything else (including cleanup execution after
-            // `input_finished`) counts as busy.
-            let class = if out.output_valid && !pins.output_ready {
-                CycleClass::StallOut
-            } else if !pins.input_valid && !pins.input_finished && out.input_ready {
-                CycleClass::StallIn
-            } else {
-                CycleClass::Busy
-            };
-            self.probe.pu_cycle(p as u32, class);
-            let base = p as u32 * 4;
-            self.probe.signal(SignalId(base), pins.input_valid as u64);
-            self.probe.signal(SignalId(base + 1), out.input_ready as u64);
-            self.probe.signal(SignalId(base + 2), out.output_valid as u64);
-            self.probe.signal(SignalId(base + 3), pins.output_ready as u64);
-        }
-        if pins.input_valid && out.input_ready {
-            self.pus[p].in_buffer.pop_front_bytes(self.in_token_bytes);
-        }
-        if out.output_valid && pins.output_ready {
-            self.pus[p].out_buffer.push_token(out.output_token, self.out_token_bytes);
-            self.stats.output_tokens += 1;
-        }
-        if out.output_finished {
-            self.pus[p].finished = true;
-            self.probe.event(self.stats.cycles, EventKind::UnitFinished { pu: p as u32 });
-            self.note_maybe_output_done(p);
-        }
-        self.units[p].clock(&pins);
-        if !allow_sleep {
-            return true;
-        }
-        if self.pus[p].finished {
-            // The naive engine never ticks finished units either; park
-            // it with Drained accounting from the next cycle on.
-            self.pus[p].sleep = Some((self.stats.cycles + 1, CycleClass::Drained));
-            return false;
-        }
-        match self.units[p].quiescence() {
-            Quiescence::None => true,
-            Quiescence::UntilInput => {
-                // Pins seen above were !input_valid && !input_finished
-                // (the unit idled), and nothing a skipped unit does can
-                // change them — only the input controller can, and it
-                // wakes the unit when a whole token is buffered.
-                self.pus[p].sleep = Some((self.stats.cycles + 1, CycleClass::StallIn));
-                false
-            }
-            Quiescence::UntilOutput => {
-                // Emission back-pressured: out_buffer only drains via
-                // the output controller, which wakes the unit when a
-                // token's worth of space opens.
-                self.pus[p].sleep = Some((self.stats.cycles + 1, CycleClass::StallOut));
-                false
             }
         }
     }
@@ -578,33 +693,34 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
     /// units are skipped and accounted in bulk; results are identical to
     /// [`ChannelEngine::tick_naive`].
     pub fn tick(&mut self) {
-        self.probe.cycle_start(self.stats.cycles);
+        let Self { units, pus, active, ctl } = self;
+        ctl.probe.cycle_start(ctl.stats.cycles);
 
-        // --- Processing units (active worklist, index order). ---
-        let mut active = std::mem::take(&mut self.active);
+        // --- Processing units (active worklist, index order): evaluate
+        // and merge fused per unit. ---
         active.retain(|&p| {
-            if self.pus[p].finished {
+            if pus[p].finished {
                 // Finished during a naive tick; park it now.
-                self.pus[p].sleep = Some((self.stats.cycles, CycleClass::Drained));
+                pus[p].sleep = Some((ctl.stats.cycles, CycleClass::Drained));
                 false
             } else {
-                self.eval_pu(p, true)
+                let eff = eval_unit(p, &mut units[p], &pus[p], &ctl.params, false);
+                ctl.apply_effect(&eff, pus)
             }
         });
-        self.active = active;
 
-        self.input_controller_tick(false);
-        self.output_controller_tick(false);
-        self.channel_probes();
+        let mut direct = Some(units.as_mut_slice());
+        ctl.input_controller_tick(pus, &mut direct, false);
+        ctl.output_controller_tick(pus, &mut direct, false);
+        ctl.channel_probes();
 
-        self.dram.tick();
-        self.stats.cycles += 1;
+        ctl.dram.tick();
+        ctl.stats.cycles += 1;
 
-        if !self.woken.is_empty() {
-            let mut woken = std::mem::take(&mut self.woken);
-            self.active.append(&mut woken);
-            self.active.sort_unstable();
-            self.woken = woken; // keep the (now empty) allocation
+        if !ctl.woken.is_empty() {
+            ctl.woken_peak = ctl.woken_peak.max(ctl.woken.len());
+            merge_sorted_slice(active, &ctl.woken);
+            ctl.woken.clear();
         }
     }
 
@@ -618,29 +734,33 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
     /// flushes and wakes everything first, so state stays exact.
     pub fn tick_naive(&mut self) {
         self.flush_and_wake_all();
-        self.probe.cycle_start(self.stats.cycles);
+        let Self { units, pus, ctl, .. } = self;
+        ctl.probe.cycle_start(ctl.stats.cycles);
 
-        for p in 0..self.units.len() {
+        for p in 0..units.len() {
             // Skip fully finished units cheaply.
-            if self.pus[p].finished {
-                if self.probe.enabled() {
-                    self.probe.pu_cycle(p as u32, CycleClass::Drained);
+            if pus[p].finished {
+                if ctl.probe.enabled() {
+                    ctl.probe.pu_cycle(p as u32, CycleClass::Drained);
                     let base = p as u32 * 4;
                     for off in 0..4 {
-                        self.probe.signal(SignalId(base + off), 0);
+                        ctl.probe.signal(SignalId(base + off), 0);
                     }
                 }
                 continue;
             }
-            self.eval_pu(p, false);
+            let eff = eval_unit(p, &mut units[p], &pus[p], &ctl.params, true);
+            let keep = ctl.apply_effect(&eff, pus);
+            debug_assert!(keep, "reference evaluation never parks a unit");
         }
 
-        self.input_controller_tick(true);
-        self.output_controller_tick(true);
-        self.channel_probes();
+        let mut direct = Some(units.as_mut_slice());
+        ctl.input_controller_tick(pus, &mut direct, true);
+        ctl.output_controller_tick(pus, &mut direct, true);
+        ctl.channel_probes();
 
-        self.dram.tick();
-        self.stats.cycles += 1;
+        ctl.dram.tick();
+        ctl.stats.cycles += 1;
     }
 
     /// Flushes deferred accounting and returns every sleeper to the
@@ -648,7 +768,8 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
     /// handles them with its own per-cycle branch).
     fn flush_and_wake_all(&mut self) {
         self.flush_trace();
-        self.woken.clear();
+        debug_assert!(self.ctl.pending_skips.is_empty(), "skips drained at pooled teardown");
+        self.ctl.woken.clear();
         self.active.clear();
         for p in 0..self.pus.len() {
             self.pus[p].sleep = None;
@@ -658,8 +779,137 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
         }
     }
 
+    /// Whether every unit has finished, all output has been committed to
+    /// DRAM, and the write queue has drained. O(1): unit completions are
+    /// counted as they happen.
+    pub fn done(&self) -> bool {
+        self.ctl.pending_outputs == 0 && self.ctl.dram.write_queue_len() == 0
+    }
+
+    /// Runs until [`ChannelEngine::done`] or `max_cycles`, then flushes
+    /// deferred trace accounting.
+    ///
+    /// Returns the cycle count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine does not finish within `max_cycles`.
+    pub fn run_to_completion(&mut self, max_cycles: u64) -> u64 {
+        let start = self.ctl.stats.cycles;
+        while !self.done() {
+            self.tick();
+            assert!(
+                self.ctl.stats.cycles - start < max_cycles,
+                "channel engine did not finish within {max_cycles} cycles"
+            );
+        }
+        self.flush_trace();
+        self.ctl.stats.cycles - start
+    }
+
+    /// Drives the channel to completion on the serial fast path,
+    /// checking for output overflow and the cycle budget after every
+    /// cycle (the behaviour channel worker threads had when they owned
+    /// this loop). Returns the cycles this run took; the trace is
+    /// flushed on every exit path.
+    pub(crate) fn run_channel_serial(&mut self, max_cycles: u64) -> Result<u64, EngineRunError> {
+        let start = self.ctl.stats.cycles;
+        let result = loop {
+            if self.done() {
+                break Ok(self.ctl.stats.cycles - start);
+            }
+            self.tick();
+            if let Some(unit) = self.ctl.first_overflow {
+                break Err(EngineRunError::Overflow { unit });
+            }
+            if self.ctl.stats.cycles - start > max_cycles {
+                break Err(EngineRunError::Timeout { max_cycles });
+            }
+        };
+        self.flush_trace();
+        result
+    }
+}
+
+impl<S: TraceSink> Ctl<S> {
+    /// Phase 2 of a cycle for one unit: applies its effect record to the
+    /// shared state — probes, buffer pops/pushes, stats, finish
+    /// bookkeeping, and the sleep transition. Returns whether the unit
+    /// stays on the active worklist. Must be called in ascending unit
+    /// index order within a cycle.
+    pub(crate) fn apply_effect(&mut self, eff: &PuEffect, pus: &mut [PuState]) -> bool {
+        let p = eff.pu as usize;
+        if self.probe.enabled() {
+            self.probe.pu_cycle(eff.pu, eff.class);
+            let base = eff.pu * 4;
+            self.probe.signal(SignalId(base), eff.signals[0] as u64);
+            self.probe.signal(SignalId(base + 1), eff.signals[1] as u64);
+            self.probe.signal(SignalId(base + 2), eff.signals[2] as u64);
+            self.probe.signal(SignalId(base + 3), eff.signals[3] as u64);
+        }
+        if eff.consumed {
+            pus[p].in_buffer.pop_front_bytes(self.params.in_token_bytes);
+        }
+        if eff.emitted {
+            pus[p].out_buffer.push_token(eff.token, self.params.out_token_bytes);
+            self.stats.output_tokens += 1;
+        }
+        if eff.finished {
+            pus[p].finished = true;
+            self.probe.event(self.stats.cycles, EventKind::UnitFinished { pu: eff.pu });
+            self.note_maybe_output_done(p, pus);
+        }
+        match eff.sleep {
+            Some(class) => {
+                pus[p].sleep = Some((self.stats.cycles + 1, class));
+                false
+            }
+            None => true,
+        }
+    }
+
+    /// Accounts and ends unit `p`'s sleep; it rejoins the worklist next
+    /// cycle. Only called for input/output-stalled sleepers — finished
+    /// units sleep until the end of the run.
+    ///
+    /// With `units` present (serial mode) the skipped span is applied to
+    /// the unit immediately; in pooled mode (`None`) the unit lives with
+    /// a shard worker, so the span is parked in `pending_skips` for the
+    /// worker to apply before the unit's next evaluation.
+    fn wake<U: StreamUnit>(
+        &mut self,
+        p: usize,
+        pus: &mut [PuState],
+        units: &mut Option<&mut [U]>,
+    ) {
+        if let Some((since, class)) = pus[p].sleep.take() {
+            // The PU phase of the current cycle already ran, so the
+            // current cycle is part of the skipped span.
+            let skipped = self.stats.cycles + 1 - since;
+            if skipped > 0 {
+                self.probe.pu_cycles(p as u32, class, skipped);
+                match units {
+                    Some(us) => us[p].skip_cycles(skipped),
+                    None => self.pending_skips.push((p, skipped)),
+                }
+            }
+            // Keep `woken` sorted: at most a handful of wakes per cycle,
+            // in controller scan order rather than index order.
+            if let Err(i) = self.woken.binary_search(&p) {
+                self.woken.insert(i, p);
+            }
+        }
+    }
+
+    fn note_maybe_output_done(&mut self, p: usize, pus: &mut [PuState]) {
+        if !pus[p].output_done && (pus[p].overflowed || self.output_done_for(p, pus)) {
+            pus[p].output_done = true;
+            self.pending_outputs -= 1;
+        }
+    }
+
     /// Channel-level per-cycle probes (queue depths, bus occupancy).
-    fn channel_probes(&mut self) {
+    pub(crate) fn channel_probes(&mut self) {
         if self.probe.enabled() {
             let in_active =
                 self.in_regs.iter().filter(|r| !matches!(r, InRegState::Free)).count();
@@ -672,7 +922,7 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
             self.probe.queue_depth(QueueKind::OutRegsBusy, out_active as u32);
             let busy = self.dram.bus_busy();
             self.probe.bus_cycle(busy);
-            let base = self.pus.len() as u32 * 4;
+            let base = self.n_pus as u32 * 4;
             self.probe.signal(SignalId(base), busy as u64);
             self.probe.signal(SignalId(base + 1), self.pending_reads.len() as u64);
             self.probe.signal(SignalId(base + 2), in_active as u64);
@@ -693,8 +943,8 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
                 .count()
     }
 
-    fn input_eligible(&self, p: usize) -> bool {
-        let st = &self.pus[p];
+    fn input_eligible(&self, p: usize, pus: &[PuState]) -> bool {
+        let st = &pus[p];
         if st.in_fetched >= st.assign.in_len {
             return false;
         }
@@ -702,7 +952,12 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
         st.in_buffer.len() + st.in_flight + chunk <= self.cfg.input_buffer_bytes
     }
 
-    fn input_controller_tick(&mut self, naive: bool) {
+    pub(crate) fn input_controller_tick<U: StreamUnit>(
+        &mut self,
+        pus: &mut [PuState],
+        units: &mut Option<&mut [U]>,
+        naive: bool,
+    ) {
         // 1. Addressing unit: issue at most one read address per cycle.
         let can_issue = if self.cfg.async_addr {
             self.pending_reads.len() < self.cfg.addr_lookahead
@@ -712,13 +967,13 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
             self.input_outstanding() == 0
         };
         if can_issue && self.dram.can_accept_read() {
-            let n = self.pus.len();
+            let n = pus.len();
             let mut chosen = None;
             for step in 0..n {
                 let p = (self.in_rr + step) % n;
-                let st = &self.pus[p];
+                let st = &pus[p];
                 let exhausted = st.in_fetched >= st.assign.in_len;
-                if self.input_eligible(p) {
+                if self.input_eligible(p, pus) {
                     chosen = Some(p);
                     break;
                 }
@@ -740,7 +995,7 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
                 }
             }
             if let Some(p) = chosen {
-                let st = &mut self.pus[p];
+                let st = &mut pus[p];
                 let chunk = (st.assign.in_len - st.in_fetched).min(self.cfg.burst_bytes);
                 let beats = chunk.div_ceil(BEAT_BYTES) as u32;
                 let addr = st.assign.in_start + st.in_fetched;
@@ -754,7 +1009,7 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
                 st.in_fetched += chunk;
                 st.in_flight += chunk;
                 self.pending_reads.push_back((p, chunk, beats));
-                self.in_rr = (p + 1) % self.pus.len();
+                self.in_rr = (p + 1) % pus.len();
                 self.probe.event(
                     self.stats.cycles,
                     EventKind::ReadIssued { pu: p as u32, addr: addr as u64, beats },
@@ -825,11 +1080,16 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
 
         // 3. Drain draining registers in parallel, `w` bits/cycle —
         // except that bursts for the *same* unit drain strictly in
-        // request order (one buffer write port per unit).
+        // request order (one buffer write port per unit). Eligibility is
+        // decided from the *cycle-start* snapshot: when a unit's older
+        // burst frees its register this cycle, the younger burst may not
+        // also drain this cycle — that would push two port-widths
+        // through the unit's single buffer write port in one cycle.
         let port = self.cfg.port_bytes();
         // Oldest in-flight sequence number per unit. The naive path
-        // keeps the original per-tick hash map; the fast path scans the
-        // handful of registers directly.
+        // keeps the original per-tick hash map; the fast path snapshots
+        // the same decision into a per-register bitmask (registers are
+        // few, so the O(R²) scan beats allocating).
         let oldest: Option<HashMap<usize, u64>> = if naive {
             let mut m = HashMap::new();
             for reg in &self.in_regs {
@@ -845,6 +1105,21 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
         } else {
             None
         };
+        debug_assert!(naive || self.in_regs.len() <= 128, "oldest-burst mask capacity");
+        let mut oldest_mask: u128 = 0;
+        if oldest.is_none() {
+            for (i, r) in self.in_regs.iter().enumerate() {
+                let InRegState::Draining { pu, seq, .. } = r else { continue };
+                let is_oldest = self.in_regs.iter().all(|q| match q {
+                    InRegState::Filling { pu: w, seq: s, .. }
+                    | InRegState::Draining { pu: w, seq: s, .. } => w != pu || s >= seq,
+                    InRegState::Free => true,
+                });
+                if is_oldest {
+                    oldest_mask |= 1 << i;
+                }
+            }
+        }
         for i in 0..self.in_regs.len() {
             let (pu, seq) = match &self.in_regs[i] {
                 InRegState::Draining { pu, seq, .. } => (*pu, *seq),
@@ -852,11 +1127,7 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
             };
             let is_oldest = match &oldest {
                 Some(m) => m.get(&pu) == Some(&seq),
-                None => self.in_regs.iter().all(|r| match r {
-                    InRegState::Filling { pu: q, seq: s, .. }
-                    | InRegState::Draining { pu: q, seq: s, .. } => *q != pu || *s >= seq,
-                    InRegState::Free => true,
-                }),
+                None => oldest_mask & (1 << i) != 0,
             };
             if !is_oldest {
                 continue; // an earlier burst for this unit goes first
@@ -865,7 +1136,7 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
                 let InRegState::Draining { data, pos, .. } = &mut self.in_regs[i] else {
                     unreachable!("matched above")
                 };
-                let st = &mut self.pus[pu];
+                let st = &mut pus[pu];
                 let n = port.min(data.len() - *pos);
                 if naive {
                     for k in 0..n {
@@ -890,10 +1161,10 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
             }
             // Wake an input-stalled sleeper once a whole token is
             // buffered for it.
-            if matches!(self.pus[pu].sleep, Some((_, CycleClass::StallIn)))
-                && self.pus[pu].in_buffer.len() >= self.in_token_bytes
+            if matches!(pus[pu].sleep, Some((_, CycleClass::StallIn)))
+                && pus[pu].in_buffer.len() >= self.params.in_token_bytes
             {
-                self.wake(pu);
+                self.wake(pu, pus, units);
             }
         }
     }
@@ -903,8 +1174,8 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
     // default since filters emit at very different rates.
     // ------------------------------------------------------------------
 
-    fn output_eligible(&self, p: usize) -> bool {
-        let st = &self.pus[p];
+    fn output_eligible(&self, p: usize, pus: &[PuState]) -> bool {
+        let st = &pus[p];
         if st.overflowed {
             return false;
         }
@@ -921,8 +1192,8 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
         has_full || has_tail
     }
 
-    fn output_done_for(&self, p: usize) -> bool {
-        let st = &self.pus[p];
+    fn output_done_for(&self, p: usize, pus: &[PuState]) -> bool {
+        let st = &pus[p];
         st.finished
             && st.out_buffer.is_empty()
             && !self.out_regs.iter().any(|r| {
@@ -930,20 +1201,25 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
             })
     }
 
-    fn output_controller_tick(&mut self, naive: bool) {
+    pub(crate) fn output_controller_tick<U: StreamUnit>(
+        &mut self,
+        pus: &mut [PuState],
+        units: &mut Option<&mut [U]>,
+        naive: bool,
+    ) {
         // 1. Allocate at most one burst register per cycle to a unit with
         // output ready (the addressing step).
         if let Some(reg_idx) = self.out_regs.iter().position(|r| matches!(r, OutRegState::Free)) {
-            let n = self.pus.len();
+            let n = pus.len();
             let mut chosen = None;
             for step in 0..n {
                 let p = (self.out_rr + step) % n;
-                if self.output_eligible(p) {
+                if self.output_eligible(p, pus) {
                     chosen = Some(p);
                     break;
                 }
-                let st = &self.pus[p];
-                let done = self.output_done_for(p);
+                let st = &pus[p];
+                let done = self.output_done_for(p, pus);
                 if !done && self.cfg.output_addressing == Addressing::Blocking && !st.overflowed {
                     // Blocking: wait at this unit until it can supply an
                     // address.
@@ -951,7 +1227,7 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
                 }
             }
             if let Some(p) = chosen {
-                let st = &mut self.pus[p];
+                let st = &mut pus[p];
                 let target = st.out_buffer.len().min(self.cfg.burst_bytes);
                 let padded = target.div_ceil(BEAT_BYTES) * BEAT_BYTES;
                 if st.out_written + padded > st.assign.out_capacity {
@@ -961,7 +1237,7 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
                     }
                     self.probe
                         .event(self.stats.cycles, EventKind::OutputOverflow { pu: p as u32 });
-                    self.note_maybe_output_done(p);
+                    self.note_maybe_output_done(p, pus);
                 } else {
                     let addr = st.assign.out_start + st.out_written;
                     self.out_regs[reg_idx] = OutRegState::Filling {
@@ -970,7 +1246,7 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
                         data: Vec::with_capacity(padded),
                         target,
                     };
-                    self.out_rr = (p + 1) % self.pus.len();
+                    self.out_rr = (p + 1) % pus.len();
                 }
             }
         }
@@ -988,7 +1264,7 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
                     let OutRegState::Filling { data, target, .. } = &mut self.out_regs[i] else {
                         unreachable!("matched above")
                     };
-                    let st = &mut self.pus[pu];
+                    let st = &mut pus[pu];
                     let n = port.min(*target - data.len()).min(st.out_buffer.len());
                     if naive {
                         for _ in 0..n {
@@ -1005,7 +1281,7 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
                     else {
                         unreachable!("matched above")
                     };
-                    self.pus[pu].out_written += target;
+                    pus[pu].out_written += target;
                     self.stats.output_bytes += target as u64;
                     let mut payload = data;
                     let padded = payload.len().div_ceil(BEAT_BYTES) * BEAT_BYTES;
@@ -1014,11 +1290,11 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
                 }
                 // Wake an output-stalled sleeper once a token's worth of
                 // space has opened in its buffer.
-                if matches!(self.pus[pu].sleep, Some((_, CycleClass::StallOut)))
-                    && self.pus[pu].out_buffer.len() + self.out_token_bytes
+                if matches!(pus[pu].sleep, Some((_, CycleClass::StallOut)))
+                    && pus[pu].out_buffer.len() + self.params.out_token_bytes
                         <= self.cfg.output_buffer_bytes
                 {
-                    self.wake(pu);
+                    self.wake(pu, pus, units);
                 }
             }
             if matches!(&self.out_regs[i], OutRegState::Sending { .. })
@@ -1035,37 +1311,9 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
                 );
                 let ok = self.dram.push_write(addr, data);
                 debug_assert!(ok);
-                self.note_maybe_output_done(pu);
+                self.note_maybe_output_done(pu, pus);
             }
         }
-    }
-
-    /// Whether every unit has finished, all output has been committed to
-    /// DRAM, and the write queue has drained. O(1): unit completions are
-    /// counted as they happen.
-    pub fn done(&self) -> bool {
-        self.pending_outputs == 0 && self.dram.write_queue_len() == 0
-    }
-
-    /// Runs until [`ChannelEngine::done`] or `max_cycles`, then flushes
-    /// deferred trace accounting.
-    ///
-    /// Returns the cycle count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the engine does not finish within `max_cycles`.
-    pub fn run_to_completion(&mut self, max_cycles: u64) -> u64 {
-        let start = self.stats.cycles;
-        while !self.done() {
-            self.tick();
-            assert!(
-                self.stats.cycles - start < max_cycles,
-                "channel engine did not finish within {max_cycles} cycles"
-            );
-        }
-        self.flush_trace();
-        self.stats.cycles - start
     }
 }
 
@@ -1078,10 +1326,10 @@ impl<U: StreamUnit> ChannelEngine<U, CounterSink> {
     /// manually (rather than via [`ChannelEngine::run_to_completion`]).
     pub fn channel_trace(&self, streams: &[usize]) -> ChannelTrace {
         ChannelTrace::new(
-            self.probe.sink(),
+            self.ctl.probe.sink(),
             streams,
             &self.unit_vcycles(),
-            dram_counters(self.dram.stats()),
+            dram_counters(self.ctl.dram.stats()),
         )
     }
 }

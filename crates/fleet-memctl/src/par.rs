@@ -1,0 +1,392 @@
+//! Deterministic intra-channel parallel evaluation: the pooled run loop
+//! behind [`ChannelEngine::run_channel`].
+//!
+//! The sorted active worklist is partitioned into contiguous shards of
+//! unit indices. Every cycle, each shard with work is submitted to the
+//! shared [`SimPool`] as one job that evaluates its units against a
+//! frozen `Arc<Vec<PuState>>` snapshot ([`eval_unit`] mutates only the
+//! unit itself) and records a compact [`PuEffect`] per unit. Once all
+//! shards reply, the engine thread reclaims the PU state exclusively
+//! (`Arc::get_mut` — the strong count is back to 1, and the reply
+//! channel's happens-before edge makes every worker write visible) and
+//! applies the effects in ascending unit index order, then runs the
+//! controllers, DRAM, and wake routing serially.
+//!
+//! **Determinism argument.** A unit's evaluation reads only its own
+//! `PuState` (frozen for the cycle), its own executor state, and the
+//! `Copy` config — never another unit or any controller state — so the
+//! evaluation phase commutes. Every shared mutation (buffer pops and
+//! pushes, `output_tokens`, trace probes, finish bookkeeping, worklist
+//! edits, round-robin pointers) happens in the serial merge phase in
+//! exactly the order the serial [`ChannelEngine::tick`] performs it:
+//! ascending unit index, then input controller, then output controller.
+//! Hence every simulated cycle, output byte, stat, and trace counter is
+//! bit-identical to the serial fast path (and, transitively, to
+//! `tick_naive`) at every thread and shard count.
+//!
+//! Ownership moves through channels — no `unsafe`, no scoped spawns per
+//! tick: shard unit vectors are moved into `'static` jobs (`O(1)` per
+//! dispatch) and returned through the engine's reply channel; the units
+//! are moved out of the engine once per *run*, not per cycle.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+
+use fleet_trace::{CycleClass, TraceSink};
+
+use crate::engine::{
+    eval_unit, merge_sorted_slice, ChannelEngine, Ctl, EngineRunError, EvalParams, PuEffect,
+    PuState,
+};
+use crate::pool::SimPool;
+use crate::unit::StreamUnit;
+
+/// One shard of a pooled run: a contiguous range of unit indices
+/// starting at `base`, owning those units, the shard-local (sorted,
+/// global-index) slice of the active worklist, skip spans owed to units
+/// woken while their state was in flight, and the effect records of the
+/// last evaluation.
+struct ShardCtx<U> {
+    base: usize,
+    units: Vec<U>,
+    active: Vec<usize>,
+    wakes: Vec<(usize, u64)>,
+    effects: Vec<PuEffect>,
+}
+
+type ShardReply<U> = (usize, ShardCtx<U>, Result<(), String>);
+
+fn panic_text(e: Box<dyn Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "shard evaluation panicked".to_string()
+    }
+}
+
+/// Phase 1 for one shard: apply owed skip spans, evaluate every active
+/// unit, record effects, and drop units that parked themselves (the
+/// merge phase learns that from `PuEffect::sleep`, keeping the shard's
+/// view and the engine's view of the worklist identical).
+fn run_shard<U: StreamUnit>(
+    ctx: &mut ShardCtx<U>,
+    pus: &[PuState],
+    params: &EvalParams,
+    trace: bool,
+) {
+    let ShardCtx { base, units, active, wakes, effects } = ctx;
+    let base = *base;
+    let mut wi = 0usize;
+    active.retain(|&p| {
+        let unit = &mut units[p - base];
+        if wi < wakes.len() && wakes[wi].0 == p {
+            unit.skip_cycles(wakes[wi].1);
+            wi += 1;
+        }
+        let eff = eval_unit(p, unit, &pus[p], params, false);
+        let keep = eff.sleep.is_none();
+        // Skip inert records (nothing for the merge to do) unless a
+        // sink is attached — probes need every class, every cycle.
+        if trace || eff.consumed || eff.emitted || eff.finished || !keep {
+            effects.push(eff);
+        }
+        keep
+    });
+    debug_assert_eq!(wi, wakes.len(), "every owed skip span belongs to an active unit");
+    wakes.clear();
+}
+
+/// Splits `units` into contiguous shards whose boundaries equalize the
+/// *active* count (not the raw unit count), distributing the sorted
+/// `active` and `wakes` lists along the same boundaries. Every unit —
+/// sleeping or not — lands in exactly one shard, so later wakes always
+/// have a home.
+fn partition<U>(
+    units: Vec<U>,
+    active: Vec<usize>,
+    wakes: Vec<(usize, u64)>,
+    k: usize,
+) -> Vec<ShardCtx<U>> {
+    let n = units.len();
+    let k = k.min(active.len()).max(1);
+    let mut bounds = Vec::with_capacity(k + 1);
+    bounds.push(0usize);
+    if k > 1 {
+        let per = active.len().div_ceil(k);
+        let mut j = per;
+        while j < active.len() && bounds.len() < k {
+            bounds.push(active[j]);
+            j += per;
+        }
+    }
+    bounds.push(n);
+    debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+
+    // Split the unit vector back-to-front so each split moves only its
+    // own tail.
+    let m = bounds.len() - 1;
+    let mut parts: Vec<Vec<U>> = Vec::with_capacity(m);
+    let mut rest = units;
+    for i in (1..m).rev() {
+        parts.push(rest.split_off(bounds[i]));
+    }
+    parts.push(rest);
+    parts.reverse();
+
+    parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, part)| {
+            let (base, end) = (bounds[i], bounds[i + 1]);
+            let a_lo = active.partition_point(|&p| p < base);
+            let a_hi = active.partition_point(|&p| p < end);
+            let w_lo = wakes.partition_point(|&(p, _)| p < base);
+            let w_hi = wakes.partition_point(|&(p, _)| p < end);
+            ShardCtx {
+                base,
+                units: part,
+                active: active[a_lo..a_hi].to_vec(),
+                wakes: wakes[w_lo..w_hi].to_vec(),
+                effects: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+/// Re-splits the shards when the active worklist has drifted far enough
+/// that one shard dominates the cycle's critical path. The trigger and
+/// the new boundaries depend only on simulation state, so the schedule
+/// stays deterministic (and irrelevant to results regardless).
+fn maybe_rebalance<U>(slots: &mut Vec<Option<ShardCtx<U>>>, k: usize) {
+    if k <= 1 {
+        return;
+    }
+    let total: usize = slots.iter().map(|s| s.as_ref().unwrap().active.len()).sum();
+    if total == 0 {
+        return;
+    }
+    let max = slots.iter().map(|s| s.as_ref().unwrap().active.len()).max().unwrap();
+    let target = total.div_ceil(slots.len());
+    if max <= target + target / 2 + 8 {
+        return;
+    }
+    let mut units = Vec::new();
+    let mut active = Vec::with_capacity(total);
+    let mut wakes = Vec::new();
+    for slot in slots.drain(..) {
+        let ctx = slot.unwrap();
+        units.extend(ctx.units);
+        active.extend_from_slice(&ctx.active);
+        wakes.extend_from_slice(&ctx.wakes);
+    }
+    *slots = partition(units, active, wakes, k).into_iter().map(Some).collect();
+}
+
+/// One pooled cycle: dispatch, collect, merge, controllers, route wakes.
+#[allow(clippy::too_many_arguments)]
+fn pooled_cycle<U, S>(
+    ctl: &mut Ctl<S>,
+    shared: &mut Arc<Vec<PuState>>,
+    slots: &mut Vec<Option<ShardCtx<U>>>,
+    k: usize,
+    pool: &SimPool,
+    reply_tx: &Sender<ShardReply<U>>,
+    reply_rx: &Receiver<ShardReply<U>>,
+) where
+    U: StreamUnit + Send + 'static,
+    S: TraceSink,
+{
+    ctl.probe.cycle_start(ctl.stats.cycles);
+
+    // --- Dispatch: one job per shard with work. ---
+    let params = ctl.params;
+    let trace = ctl.probe.enabled();
+    let mut outstanding = 0usize;
+    for (i, slot) in slots.iter_mut().enumerate() {
+        if slot.as_ref().expect("shard at home between cycles").active.is_empty() {
+            continue;
+        }
+        let mut ctx = slot.take().unwrap();
+        let pus = Arc::clone(shared);
+        let tx = reply_tx.clone();
+        pool.submit(Box::new(move || {
+            let r = catch_unwind(AssertUnwindSafe(|| run_shard(&mut ctx, &pus, &params, trace)));
+            drop(pus); // release the snapshot before signalling completion
+            let _ = tx.send((i, ctx, r.map_err(panic_text)));
+        }));
+        outstanding += 1;
+    }
+
+    // --- Collect (replies arrive in any order; `slots` keeps shard
+    // order for the merge). ---
+    let mut failure: Option<String> = None;
+    for _ in 0..outstanding {
+        let (i, ctx, r) = reply_rx.recv().expect("pool worker alive");
+        slots[i] = Some(ctx);
+        if let Err(msg) = r {
+            failure.get_or_insert(msg);
+        }
+    }
+    if let Some(msg) = failure {
+        // Re-raise on the engine's thread with the original payload so
+        // the system layer reports it as a WorkerPanic verbatim.
+        panic!("{msg}");
+    }
+
+    // --- Serial merge, ascending unit index (= shard order × sorted
+    // shard-local order). ---
+    let pus = Arc::get_mut(shared).expect("all shard workers replied").as_mut_slice();
+    for slot in slots.iter_mut() {
+        let ctx = slot.as_mut().unwrap();
+        for i in 0..ctx.effects.len() {
+            let eff = ctx.effects[i];
+            ctl.apply_effect(&eff, pus);
+        }
+        ctx.effects.clear();
+    }
+
+    // --- Controllers and DRAM, exactly as the serial tick; skip spans
+    // are deferred because the units live with the shards. ---
+    let mut no_units: Option<&mut [U]> = None;
+    ctl.input_controller_tick(pus, &mut no_units, false);
+    ctl.output_controller_tick(pus, &mut no_units, false);
+    ctl.channel_probes();
+    ctl.dram.tick();
+    ctl.stats.cycles += 1;
+
+    // --- Route woken units and their owed skip spans back to their
+    // owning shards (everything stays sorted). ---
+    if !ctl.woken.is_empty() {
+        ctl.woken_peak = ctl.woken_peak.max(ctl.woken.len());
+        ctl.pending_skips.sort_unstable();
+        let (mut wi, mut si) = (0usize, 0usize);
+        for slot in slots.iter_mut() {
+            let ctx = slot.as_mut().unwrap();
+            let end = ctx.base + ctx.units.len();
+            let ws = wi;
+            while wi < ctl.woken.len() && ctl.woken[wi] < end {
+                wi += 1;
+            }
+            if wi > ws {
+                debug_assert!(ctx.wakes.is_empty(), "a woken shard ran and drained its wakes");
+                merge_sorted_slice(&mut ctx.active, &ctl.woken[ws..wi]);
+            }
+            let ss = si;
+            while si < ctl.pending_skips.len() && ctl.pending_skips[si].0 < end {
+                si += 1;
+            }
+            ctx.wakes.extend_from_slice(&ctl.pending_skips[ss..si]);
+        }
+        debug_assert_eq!(wi, ctl.woken.len());
+        debug_assert_eq!(si, ctl.pending_skips.len());
+        ctl.woken.clear();
+        ctl.pending_skips.clear();
+    } else {
+        debug_assert!(ctl.pending_skips.is_empty(), "skips only arise from wakes");
+    }
+
+    maybe_rebalance(slots, k);
+}
+
+impl<U, S> ChannelEngine<U, S>
+where
+    U: StreamUnit + Send + 'static,
+    S: TraceSink,
+{
+    /// Drives the channel to completion like the serial fast path, but
+    /// with the PU-evaluation phase of every cycle sharded across
+    /// `pool`'s workers (up to `shards` shards). Results are
+    /// bit-identical to [`ChannelEngine::tick`] and
+    /// [`ChannelEngine::tick_naive`] at every thread/shard count; with
+    /// no pool, one worker, or one shard this *is* the serial path.
+    ///
+    /// Checks output overflow and the `max_cycles` budget after every
+    /// cycle and flushes trace accounting on every exit path, like the
+    /// per-channel driver loop in `fleet-system`.
+    pub fn run_channel(
+        &mut self,
+        max_cycles: u64,
+        pool: Option<&SimPool>,
+        shards: usize,
+    ) -> Result<u64, EngineRunError> {
+        match pool {
+            Some(pool) if pool.workers() > 1 && shards > 1 && self.units.len() > 1 => {
+                self.run_channel_pooled(max_cycles, pool, shards)
+            }
+            _ => self.run_channel_serial(max_cycles),
+        }
+    }
+
+    fn run_channel_pooled(
+        &mut self,
+        max_cycles: u64,
+        pool: &SimPool,
+        shards: usize,
+    ) -> Result<u64, EngineRunError> {
+        let start = self.ctl.stats.cycles;
+        // Park already-finished active units now, exactly as the serial
+        // tick's pre-check would on their next cycle (covers naive →
+        // pooled interleavings across runs).
+        {
+            let cycles = self.ctl.stats.cycles;
+            let pus = &mut self.pus;
+            self.active.retain(|&p| {
+                if pus[p].finished {
+                    pus[p].sleep = Some((cycles, CycleClass::Drained));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+
+        let k = shards.min(pool.workers()).min(self.units.len()).max(1);
+        // Move the mutable-per-worker state out of the engine for the
+        // run: units into per-shard vectors, controller-side PU state
+        // into the shared snapshot Arc. O(n) once per run; per cycle
+        // everything moves by handle.
+        let units = std::mem::take(&mut self.units);
+        let active = std::mem::take(&mut self.active);
+        let mut shared: Arc<Vec<PuState>> = Arc::new(std::mem::take(&mut self.pus));
+        let mut slots: Vec<Option<ShardCtx<U>>> =
+            partition(units, active, Vec::new(), k).into_iter().map(Some).collect();
+        let (reply_tx, reply_rx) = channel::<ShardReply<U>>();
+
+        let result = loop {
+            if self.done() {
+                break Ok(self.ctl.stats.cycles - start);
+            }
+            pooled_cycle(&mut self.ctl, &mut shared, &mut slots, k, pool, &reply_tx, &reply_rx);
+            if let Some(unit) = self.ctl.first_overflow {
+                break Err(EngineRunError::Overflow { unit });
+            }
+            if self.ctl.stats.cycles - start > max_cycles {
+                break Err(EngineRunError::Timeout { max_cycles });
+            }
+        };
+
+        // Teardown: reassemble the engine (shards are contiguous and in
+        // order), apply skip spans still owed to woken units, flush.
+        let mut deferred: Vec<(usize, u64)> = Vec::new();
+        self.units = Vec::with_capacity(shared.len());
+        for slot in slots {
+            let ctx = slot.expect("all shards home after the run");
+            deferred.extend_from_slice(&ctx.wakes);
+            self.active.extend_from_slice(&ctx.active);
+            self.units.extend(ctx.units);
+        }
+        let Ok(pus) = Arc::try_unwrap(shared) else {
+            unreachable!("no worker holds PU state after the run");
+        };
+        self.pus = pus;
+        for (p, span) in deferred {
+            self.units[p].skip_cycles(span);
+        }
+        self.flush_trace();
+        result
+    }
+}

@@ -7,11 +7,14 @@
 //! utilization statistics across runs, which is what capacity planning
 //! and the service report need.
 
+use std::sync::Arc;
+
 use fleet_compiler::CompiledUnit;
 use fleet_lang::UnitSpec;
+use fleet_memctl::SimPool;
 
 use crate::system::{
-    run_system, run_system_compiled, run_system_traced, RunReport, SystemConfig, SystemError,
+    run_system_compiled_with, run_system_traced_with, RunReport, SystemConfig, SystemError,
 };
 
 /// Lifetime statistics of one instance, accumulated across runs.
@@ -43,12 +46,31 @@ pub struct Instance {
     id: usize,
     cfg: SystemConfig,
     stats: InstanceStats,
+    /// Shared simulation worker pool. When set, every run evaluates its
+    /// PU shards on this pool; when absent, each run provisions its own
+    /// per [`SystemConfig::sim_threads`] (serial on a one-core host).
+    pool: Option<Arc<SimPool>>,
 }
 
 impl Instance {
     /// Creates an instance with the given id and configuration.
     pub fn new(id: usize, cfg: SystemConfig) -> Instance {
-        Instance { id, cfg, stats: InstanceStats::default() }
+        Instance { id, cfg, stats: InstanceStats::default(), pool: None }
+    }
+
+    /// Builder form of [`Instance::set_pool`].
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<SimPool>) -> Instance {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Routes this instance's simulation work through `pool`, a pool
+    /// shared across instances so concurrent batches never oversubscribe
+    /// the host's cores. Thread count never changes results — only
+    /// wall-clock time.
+    pub fn set_pool(&mut self, pool: Arc<SimPool>) {
+        self.pool = Some(pool);
     }
 
     /// The instance id (its index in the host's pool).
@@ -89,7 +111,10 @@ impl Instance {
     ) -> Result<RunReport, SystemError> {
         let mut cfg = self.cfg;
         cfg.out_capacity = out_capacity;
-        self.record(run_system(spec, streams, &cfg))
+        let unit = CompiledUnit::new(spec);
+        let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+        let result = run_system_compiled_with(&unit, &refs, &cfg, self.pool.as_deref());
+        self.record(result)
     }
 
     /// Like [`Instance::run`], but takes a pre-compiled unit and
@@ -112,7 +137,8 @@ impl Instance {
     ) -> Result<RunReport, SystemError> {
         let mut cfg = self.cfg;
         cfg.out_capacity = out_capacity;
-        self.record(run_system_compiled(unit, streams, &cfg))
+        let result = run_system_compiled_with(unit, streams, &cfg, self.pool.as_deref());
+        self.record(result)
     }
 
     /// Like [`Instance::run`], but with cycle-level tracing enabled;
@@ -133,7 +159,8 @@ impl Instance {
     ) -> Result<RunReport, SystemError> {
         let mut cfg = self.cfg;
         cfg.out_capacity = out_capacity;
-        self.record(run_system_traced(spec, streams, &cfg))
+        let result = run_system_traced_with(spec, streams, &cfg, self.pool.as_deref());
+        self.record(result)
     }
 
     fn record(&mut self, result: Result<RunReport, SystemError>) -> Result<RunReport, SystemError> {

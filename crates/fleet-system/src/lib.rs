@@ -42,9 +42,10 @@ pub mod system;
 pub use area::{controller_area, design_area, max_units, unit_area};
 pub use instance::{Instance, InstanceStats};
 pub use platform::{CpuPlatform, GpuPlatform, Platform};
+pub use fleet_memctl::{SimPool, SimThreads};
 pub use system::{
-    run_replicated, run_system, run_system_compiled, run_system_traced, RunReport, SystemConfig,
-    SystemError,
+    run_replicated, run_system, run_system_compiled, run_system_pooled, run_system_traced,
+    RunReport, SystemConfig, SystemError,
 };
 
 /// Builds the per-channel simulation engines and stream index maps for
@@ -64,6 +65,21 @@ pub fn build_system_engines(
     Vec<Vec<usize>>,
 ) {
     system::build_engines_with(unit, streams, cfg, || fleet_trace::NullSink)
+}
+
+/// Like [`build_system_engines`], but every engine traces into its own
+/// [`fleet_trace::CounterSink`] — for equivalence tests that must
+/// compare full trace totals (per-PU cycle classes, queue statistics,
+/// event counts) across serial, pooled, and naive drives.
+pub fn build_system_engines_traced(
+    unit: &fleet_compiler::CompiledUnit,
+    streams: &[&[u8]],
+    cfg: &SystemConfig,
+) -> (
+    Vec<fleet_memctl::ChannelEngine<fleet_compiler::PuExec, fleet_trace::CounterSink>>,
+    Vec<Vec<usize>>,
+) {
+    system::build_engines_with(unit, streams, cfg, fleet_trace::CounterSink::new)
 }
 
 /// Splits one large input into `n` roughly equal streams at token-aligned

@@ -7,7 +7,10 @@ use std::fmt;
 use fleet_axi::{DramChannel, BEAT_BYTES};
 use fleet_compiler::{CompiledUnit, PuExec};
 use fleet_lang::UnitSpec;
-use fleet_memctl::{ChannelEngine, EngineStats, MemCtlConfig, StreamAssignment, StreamUnit};
+use fleet_memctl::{
+    ChannelEngine, EngineRunError, EngineStats, MemCtlConfig, SimPool, SimThreads,
+    StreamAssignment, StreamUnit,
+};
 use fleet_trace::{CounterSink, NullSink, TraceReport, TraceSink};
 
 use crate::platform::Platform;
@@ -23,6 +26,11 @@ pub struct SystemConfig {
     pub out_capacity: usize,
     /// Hang guard per channel.
     pub max_cycles: u64,
+    /// Simulation thread budget. `Auto` uses the host's available
+    /// parallelism; `Fixed(1)` selects the exact serial path. Every
+    /// setting produces bit-identical results — threads only change
+    /// wall-clock time.
+    pub sim_threads: SimThreads,
 }
 
 impl SystemConfig {
@@ -33,6 +41,7 @@ impl SystemConfig {
             memctl: MemCtlConfig::default(),
             out_capacity,
             max_cycles: 2_000_000_000,
+            sim_threads: SimThreads::Auto,
         }
     }
 }
@@ -131,7 +140,51 @@ pub fn run_system(
 ) -> Result<RunReport, SystemError> {
     let unit = CompiledUnit::new(spec);
     let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
-    let (report, _engines, _maps) = run_system_inner(&unit, &refs, cfg, || NullSink)?;
+    run_system_compiled_with(&unit, &refs, cfg, None)
+}
+
+/// Builds a pool for one run when `cfg.sim_threads` resolves to more
+/// than one worker (and no shared pool was supplied).
+fn auto_pool(cfg: &SystemConfig) -> Option<SimPool> {
+    if cfg.sim_threads.resolve() > 1 {
+        Some(SimPool::new(cfg.sim_threads))
+    } else {
+        None
+    }
+}
+
+/// Like [`run_system_compiled`], but simulating on an existing shared
+/// [`SimPool`] instead of spawning one per run — the hot path for
+/// serving runtimes that keep one process-wide pool so concurrent
+/// batches never oversubscribe the host's cores.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_system`].
+///
+/// # Panics
+///
+/// Panics if a stream is not a whole number of input tokens.
+pub fn run_system_pooled(
+    unit: &CompiledUnit,
+    streams: &[&[u8]],
+    cfg: &SystemConfig,
+    pool: &SimPool,
+) -> Result<RunReport, SystemError> {
+    run_system_compiled_with(unit, streams, cfg, Some(pool))
+}
+
+/// Shared untraced entry: uses `pool` when given, otherwise spawns one
+/// per [`SystemConfig::sim_threads`] for the duration of the run.
+pub(crate) fn run_system_compiled_with(
+    unit: &CompiledUnit,
+    streams: &[&[u8]],
+    cfg: &SystemConfig,
+    pool: Option<&SimPool>,
+) -> Result<RunReport, SystemError> {
+    let owned = if pool.is_none() { auto_pool(cfg) } else { None };
+    let pool = pool.or(owned.as_ref());
+    let (report, _engines, _maps) = run_system_inner(unit, streams, cfg, pool, || NullSink)?;
     Ok(report)
 }
 
@@ -153,8 +206,7 @@ pub fn run_system_compiled(
     streams: &[&[u8]],
     cfg: &SystemConfig,
 ) -> Result<RunReport, SystemError> {
-    let (report, _engines, _maps) = run_system_inner(unit, streams, cfg, || NullSink)?;
-    Ok(report)
+    run_system_compiled_with(unit, streams, cfg, None)
 }
 
 /// Like [`run_system`], but every channel engine records into a
@@ -174,10 +226,23 @@ pub fn run_system_traced(
     streams: &[Vec<u8>],
     cfg: &SystemConfig,
 ) -> Result<RunReport, SystemError> {
+    run_system_traced_with(spec, streams, cfg, None)
+}
+
+/// Traced entry with an optional shared pool (see
+/// [`run_system_pooled`]).
+pub(crate) fn run_system_traced_with(
+    spec: &UnitSpec,
+    streams: &[Vec<u8>],
+    cfg: &SystemConfig,
+    pool: Option<&SimPool>,
+) -> Result<RunReport, SystemError> {
     let unit = CompiledUnit::new(spec);
     let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+    let owned = if pool.is_none() { auto_pool(cfg) } else { None };
+    let pool = pool.or(owned.as_ref());
     let (mut report, engines, index_maps) =
-        run_system_inner(&unit, &refs, cfg, CounterSink::new)?;
+        run_system_inner(&unit, &refs, cfg, pool, CounterSink::new)?;
     let channels = engines
         .iter()
         .zip(&index_maps)
@@ -265,12 +330,13 @@ fn run_system_inner<S: TraceSink + Send>(
     unit: &CompiledUnit,
     streams: &[&[u8]],
     cfg: &SystemConfig,
+    pool: Option<&SimPool>,
     make_sink: impl FnMut() -> S,
 ) -> Result<InnerRun<S>, SystemError> {
     let (mut engines, index_maps) = build_engines_with(unit, streams, cfg, make_sink);
 
     // Run every channel to completion, in parallel.
-    let results = drive_channels(&mut engines, cfg.max_cycles);
+    let results = drive_channels(&mut engines, cfg.max_cycles, pool);
 
     let mut cycles = 0u64;
     for (c, r) in results.into_iter().enumerate() {
@@ -324,42 +390,56 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Drives every engine to completion on its own thread and collects one
-/// result per channel. A panic on a channel thread is caught at the
-/// join and surfaced as [`SystemError::WorkerPanic`] for that channel
-/// instead of propagating and aborting the caller.
+/// Maps a channel-level run error to a [`SystemError`]. Overflow keeps
+/// the channel-local unit index; the caller maps it back to a stream id
+/// via its index maps.
+fn engine_err(e: EngineRunError) -> SystemError {
+    match e {
+        EngineRunError::Overflow { unit } => SystemError::OutputOverflow { stream: unit },
+        EngineRunError::Timeout { max_cycles } => SystemError::Timeout { max_cycles },
+    }
+}
+
+/// Drives every engine to completion in parallel and collects one
+/// result per channel. A panic on a channel coordinator thread (or in a
+/// shard job it dispatched) is caught at the join and surfaced as
+/// [`SystemError::WorkerPanic`] for that channel instead of propagating
+/// and aborting the caller.
+///
+/// Two layers of parallelism compose here without ever nesting blocking
+/// work inside the pool:
+///
+/// - one scoped *coordinator* thread per channel (exactly the seed
+///   behaviour — and all there is when `pool` is absent or serial);
+/// - when a multi-worker `pool` is supplied, each coordinator splits its
+///   cycle's PU-evaluation phase into shards and submits them as pure
+///   compute jobs to the shared pool
+///   ([`ChannelEngine::run_channel`]), so total evaluation work in
+///   flight is bounded by the pool regardless of channel count.
 fn drive_channels<U, S>(
     engines: &mut [ChannelEngine<U, S>],
     max_cycles: u64,
+    pool: Option<&SimPool>,
 ) -> Vec<Result<u64, SystemError>>
 where
-    U: StreamUnit + Send,
+    U: StreamUnit + Send + 'static,
     S: TraceSink + Send,
 {
+    // Spread pool workers over the channels; each channel gets at least
+    // one shard (= the serial fast path). `run_channel` further clamps
+    // shard count to its unit count.
+    let shards_per = match pool {
+        Some(pool) if pool.workers() > 1 => {
+            pool.workers().div_ceil(engines.len().max(1)).max(1)
+        }
+        _ => 1,
+    };
     std::thread::scope(|scope| {
         let handles: Vec<_> = engines
             .iter_mut()
             .map(|eng| {
                 scope.spawn(move || {
-                    let start = eng.stats().cycles;
-                    let result = loop {
-                        if eng.done() {
-                            break Ok(eng.stats().cycles - start);
-                        }
-                        eng.tick();
-                        if let Some(unit) = eng.overflowed_unit() {
-                            // The caller maps the channel-local unit
-                            // index back to a stream id.
-                            break Err(SystemError::OutputOverflow { stream: unit });
-                        }
-                        if eng.stats().cycles - start > max_cycles {
-                            break Err(SystemError::Timeout { max_cycles });
-                        }
-                    };
-                    // Account sleeping units before anyone reads the
-                    // sink (quiescence skipping defers their classes).
-                    eng.flush_trace();
-                    result
+                    eng.run_channel(max_cycles, pool, shards_per).map_err(engine_err)
                 })
             })
             .collect();
@@ -460,6 +540,29 @@ mod tests {
     }
 
     #[test]
+    fn pooled_system_run_is_bit_identical_to_serial() {
+        // The tentpole determinism claim at the system layer: the same
+        // batch through 1 thread and through forced multi-worker pools
+        // produces identical cycles, outputs, and per-channel stats.
+        let spec = identity_spec();
+        let streams: Vec<Vec<u8>> = (0..11)
+            .map(|s| (0..600u32).map(|x| ((x * 11 + s * 37) % 256) as u8).collect())
+            .collect();
+        let mut cfg = SystemConfig::f1(1024);
+        cfg.sim_threads = SimThreads::Fixed(1);
+        let unit = CompiledUnit::new(&spec);
+        let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+        let serial = run_system_compiled(&unit, &refs, &cfg).unwrap();
+        for threads in [2usize, 3, 8] {
+            let pool = SimPool::new(SimThreads::Fixed(threads));
+            let pooled = run_system_pooled(&unit, &refs, &cfg, &pool).unwrap();
+            assert_eq!(serial.cycles, pooled.cycles, "{threads} threads");
+            assert_eq!(serial.outputs, pooled.outputs, "{threads} threads");
+            assert_eq!(serial.channel_stats, pooled.channel_stats, "{threads} threads");
+        }
+    }
+
+    #[test]
     fn channel_thread_panic_surfaces_as_worker_panic() {
         // A PU exec stub that panics on its first combinational
         // evaluation — the regression case for the old behaviour, where
@@ -473,28 +576,49 @@ mod tests {
             fn clock(&mut self, _pins: &fleet_compiler::PuIn) {}
         }
 
-        let dram = DramChannel::new(fleet_axi::DramConfig::default(), 4096);
-        let assigns = vec![StreamAssignment {
-            in_start: 0,
-            in_len: 64,
-            out_start: 2048,
-            out_capacity: 1024,
-        }];
-        let mut engines = vec![ChannelEngine::new(
-            MemCtlConfig::default(),
-            dram,
-            vec![PoisonedUnit],
-            assigns,
-            1,
-            1,
-        )];
-        let results = drive_channels(&mut engines, 1_000_000);
+        // Two poisoned units, so the pooled variant below genuinely
+        // shards the worklist across workers.
+        let build = || {
+            let dram = DramChannel::new(fleet_axi::DramConfig::default(), 8192);
+            let assigns = vec![
+                StreamAssignment { in_start: 0, in_len: 64, out_start: 4096, out_capacity: 1024 },
+                StreamAssignment { in_start: 2048, in_len: 64, out_start: 6144, out_capacity: 1024 },
+            ];
+            vec![ChannelEngine::new(
+                MemCtlConfig::default(),
+                dram,
+                vec![PoisonedUnit, PoisonedUnit],
+                assigns,
+                1,
+                1,
+            )]
+        };
+
+        let mut engines = build();
+        let results = drive_channels(&mut engines, 1_000_000, None);
         match &results[0] {
             Err(SystemError::WorkerPanic { message }) => {
                 assert!(message.contains("injected PU panic"), "message: {message}");
             }
             other => panic!("expected WorkerPanic, got {other:?}"),
         }
+
+        // Same failure through the worker pool: a panic inside a shard
+        // job must cross the reply channel with its message intact and
+        // poison only this channel's result — the pool itself survives.
+        let pool = SimPool::new(SimThreads::Fixed(2));
+        let mut engines = build();
+        let results = drive_channels(&mut engines, 1_000_000, Some(&pool));
+        match &results[0] {
+            Err(SystemError::WorkerPanic { message }) => {
+                assert!(message.contains("injected PU panic"), "pooled message: {message}");
+            }
+            other => panic!("expected pooled WorkerPanic, got {other:?}"),
+        }
+        // The pool remains usable after absorbing the panic.
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.submit(Box::new(move || tx.send(7u32).unwrap()));
+        assert_eq!(rx.recv().unwrap(), 7);
     }
 
     #[test]

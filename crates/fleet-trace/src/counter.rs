@@ -84,7 +84,10 @@ impl QueueStats {
 /// windowed bus-utilization histogram, and per-kind event counts.
 ///
 /// Memory is O(PUs), independent of run length.
-#[derive(Debug, Clone, Default)]
+///
+/// Compares by value (`PartialEq`), so cycle-exactness tests can assert
+/// that two runs produced identical trace totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CounterSink {
     cycles: u64,
     per_pu: Vec<PuCycleCounters>,

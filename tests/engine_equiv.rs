@@ -1,43 +1,107 @@
 //! Cycle-exactness of the simulator fast path, per `DESIGN.md`.
 //!
-//! The quiescence-skipping [`ChannelEngine::tick`] and the naive
-//! reference [`ChannelEngine::tick_naive`] (every unit evaluated every
-//! cycle through the seed-faithful reference program) must be
+//! The quiescence-skipping [`ChannelEngine::tick`], the sharded pooled
+//! drive ([`ChannelEngine::run_channel`] with a worker pool), and the
+//! naive reference [`ChannelEngine::tick_naive`] (every unit evaluated
+//! every cycle through the seed-faithful reference program) must be
 //! indistinguishable in everything except wall-clock cost: same cycle
 //! count, same output bytes, same aggregate stats, same per-PU cycle
-//! classification, same virtual-cycle counts. `simperf`'s speedup
-//! claims rest on this equivalence, so it is property-tested across
-//! all six paper apps with randomized streams and unit counts.
+//! classification, same virtual-cycle counts, same trace-sink totals.
+//! `simperf`'s speedup claims rest on this equivalence, so it is
+//! property-tested across all six paper apps with randomized streams
+//! and unit counts, and every case runs at pool sizes {1, 2, 3, 8}.
 
 use fleet_apps::{App, AppKind};
-use fleet_compiler::CompiledUnit;
-use fleet_memctl::ChannelEngine;
-use fleet_system::{build_system_engines, SystemConfig};
+use fleet_compiler::{CompiledUnit, PuExec};
+use fleet_memctl::{ChannelEngine, EngineStats, SimPool, SimThreads};
+use fleet_system::{build_system_engines_traced, SystemConfig};
+use fleet_trace::{CounterSink, PuCycleCounters};
 use proptest::prelude::*;
 
 /// Safety cap: every randomized configuration must converge far below
 /// this many cycles per channel.
 const MAX_CYCLES: u64 = 50_000_000;
 
-/// Drives every channel to completion with the selected tick.
-fn drive(
-    engines: &mut [ChannelEngine<fleet_compiler::PuExec>],
-    naive: bool,
-) {
+/// Pool sizes every case runs at, beyond the naive reference: the exact
+/// serial path (1) and pooled sharded evaluation at small, odd, and
+/// larger-than-any-shard-count budgets.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+type TracedEngine = ChannelEngine<PuExec, CounterSink>;
+
+/// Everything observable about one channel after a completed run.
+struct ChannelObs {
+    stats: EngineStats,
+    vcycles: Vec<Option<u64>>,
+    overflow: Option<usize>,
+    outputs: Vec<Vec<u8>>,
+    counters: Vec<PuCycleCounters>,
+    trace: CounterSink,
+}
+
+/// Drives every channel to completion with the naive reference tick.
+fn drive_naive(engines: &mut [TracedEngine]) {
     for eng in engines.iter_mut() {
         while !eng.done() {
-            if naive {
-                eng.tick_naive();
-            } else {
-                eng.tick();
-            }
+            eng.tick_naive();
             assert!(eng.stats().cycles < MAX_CYCLES, "engine did not converge");
         }
     }
 }
 
-/// Builds two identical engine sets for the app, drives one fast and
-/// one naive, and asserts every observable matches.
+/// Drives every channel to completion through `run_channel`, pooled
+/// when `pool` has more than one worker.
+fn drive_pooled(engines: &mut [TracedEngine], pool: &SimPool) {
+    for eng in engines.iter_mut() {
+        eng.run_channel(MAX_CYCLES, Some(pool), pool.workers())
+            .expect("engine run failed");
+    }
+}
+
+/// Snapshots every observable of every channel (flushing lazy trace
+/// accounting first).
+fn observe(engines: &mut [TracedEngine]) -> Vec<ChannelObs> {
+    engines
+        .iter_mut()
+        .map(|eng| {
+            eng.flush_trace();
+            ChannelObs {
+                stats: eng.stats(),
+                vcycles: eng.unit_vcycles(),
+                overflow: eng.overflowed_unit(),
+                outputs: (0..eng.len()).map(|p| eng.output_bytes(p)).collect(),
+                counters: eng.units().iter().map(|u| u.counters()).collect(),
+                trace: eng.sink().clone(),
+            }
+        })
+        .collect()
+}
+
+/// Asserts two observation sets are identical, naming the first
+/// observable that diverges.
+fn assert_obs_eq(label: &str, want: &[ChannelObs], got: &[ChannelObs]) {
+    assert_eq!(want.len(), got.len(), "{label}: channel count diverges");
+    for (c, (w, g)) in want.iter().zip(got.iter()).enumerate() {
+        assert_eq!(w.stats, g.stats, "{label}: channel {c} stats diverge");
+        assert_eq!(w.vcycles, g.vcycles, "{label}: channel {c} virtual-cycle counts diverge");
+        assert_eq!(w.overflow, g.overflow, "{label}: channel {c} overflow attribution diverges");
+        for p in 0..w.outputs.len() {
+            assert_eq!(
+                w.outputs[p], g.outputs[p],
+                "{label}: channel {c} unit {p} output bytes diverge"
+            );
+            assert_eq!(
+                w.counters[p], g.counters[p],
+                "{label}: channel {c} unit {p} cycle classification diverges"
+            );
+        }
+        assert_eq!(w.trace, g.trace, "{label}: channel {c} trace-sink totals diverge");
+    }
+}
+
+/// Builds identical engine sets for the app and asserts the naive
+/// reference, the serial fast path, and the pooled sharded drive at
+/// every thread count are observably identical.
 fn assert_tick_equivalence(kind: AppKind, seed: u64, pus: usize, approx_bytes: usize) {
     let app = App::new(kind);
     let streams: Vec<Vec<u8>> =
@@ -46,50 +110,27 @@ fn assert_tick_equivalence(kind: AppKind, seed: u64, pus: usize, approx_bytes: u
     let out_cap = app.out_capacity(streams.iter().map(|s| s.len()).max().unwrap());
     let cfg = SystemConfig::f1(out_cap);
     let unit = CompiledUnit::new(&app.spec());
+    let name = app.name();
 
-    let (mut fast, _) = build_system_engines(&unit, &refs, &cfg);
-    let (mut naive, _) = build_system_engines(&unit, &refs, &cfg);
-    drive(&mut fast, false);
-    drive(&mut naive, true);
+    let (mut naive, _) = build_system_engines_traced(&unit, &refs, &cfg);
+    drive_naive(&mut naive);
+    let reference = observe(&mut naive);
 
-    assert_eq!(fast.len(), naive.len());
-    for (c, (f, n)) in fast.iter().zip(naive.iter()).enumerate() {
-        let name = app.name();
-        assert_eq!(
-            f.stats(),
-            n.stats(),
-            "{name}: channel {c} stats diverge (cycles, bytes, tokens)"
-        );
-        assert_eq!(
-            f.unit_vcycles(),
-            n.unit_vcycles(),
-            "{name}: channel {c} virtual-cycle counts diverge"
-        );
-        assert_eq!(
-            f.overflowed_unit(),
-            n.overflowed_unit(),
-            "{name}: channel {c} overflow attribution diverges"
-        );
-        for p in 0..f.len() {
-            assert_eq!(
-                f.output_bytes(p),
-                n.output_bytes(p),
-                "{name}: channel {c} unit {p} output bytes diverge"
-            );
-            assert_eq!(
-                f.units()[p].counters(),
-                n.units()[p].counters(),
-                "{name}: channel {c} unit {p} cycle classification diverges"
-            );
-        }
+    for threads in THREAD_COUNTS {
+        let pool = SimPool::new(SimThreads::Fixed(threads));
+        let (mut engines, _) = build_system_engines_traced(&unit, &refs, &cfg);
+        drive_pooled(&mut engines, &pool);
+        let got = observe(&mut engines);
+        assert_obs_eq(&format!("{name} @ {threads} threads vs naive"), &reference, &got);
     }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// Fast and naive engine ticks are observably identical on all six
-    /// paper apps for randomized streams, unit counts, and sizes.
+    /// Naive, serial-fast, and pooled engine drives are observably
+    /// identical on all six paper apps for randomized streams, unit
+    /// counts, and sizes, at every pool size.
     #[test]
     fn fast_tick_equals_naive_tick(
         seed in any::<u64>(),
@@ -109,5 +150,15 @@ proptest! {
 fn fast_tick_equals_naive_tick_fixed() {
     for kind in AppKind::all() {
         assert_tick_equivalence(kind, 0xF1EE7, 3, 1024);
+    }
+}
+
+/// Enough units that every DRAM channel holds several — the pooled
+/// drive actually partitions multi-unit shards on every channel instead
+/// of degenerating to the serial path.
+#[test]
+fn fast_tick_equals_naive_tick_many_units() {
+    for kind in AppKind::all() {
+        assert_tick_equivalence(kind, 0x5AADED, 12, 512);
     }
 }
