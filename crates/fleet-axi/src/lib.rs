@@ -26,6 +26,8 @@
 
 use std::collections::VecDeque;
 
+use fleet_fault::DramFaults;
+
 /// Width of one data-bus beat in bytes (512 bits).
 pub const BEAT_BYTES: usize = 64;
 
@@ -127,6 +129,13 @@ pub struct ChannelStats {
     pub turnaround_cycles: u64,
     /// Cycles lost to per-request command/row-activation gaps.
     pub gap_cycles: u64,
+    /// Injected single-bit errors corrected by the modelled SEC-DED
+    /// decode (delivered data is unaffected).
+    pub ecc_corrected: u64,
+    /// Extra latency cycles added by injected DRAM stalls.
+    pub fault_stall_cycles: u64,
+    /// Total fault events injected on this channel (stalls + flips).
+    pub faults_injected: u64,
 }
 
 /// One DRAM channel with backing memory.
@@ -146,6 +155,9 @@ pub struct DramChannel {
     writes: VecDeque<InFlightWrite>,
     delivered_this_cycle: bool,
     stats: ChannelStats,
+    /// Seeded fault decisions for this channel; `None` disables the
+    /// injection hooks entirely (the fault-free fast path).
+    faults: Option<DramFaults>,
 }
 
 impl DramChannel {
@@ -163,7 +175,16 @@ impl DramChannel {
             writes: VecDeque::new(),
             delivered_this_cycle: false,
             stats: ChannelStats::default(),
+            faults: None,
         }
+    }
+
+    /// Arms seeded fault injection on this channel. Decisions are keyed
+    /// by the channel's own deterministic request/beat counters, so the
+    /// injected sites are identical at every sim-thread count. An inert
+    /// plan (`is_none`) leaves the hooks disabled.
+    pub fn set_faults(&mut self, faults: DramFaults) {
+        self.faults = if faults.is_none() { None } else { Some(faults) };
     }
 
     /// Backing memory (for host-side loading of input streams).
@@ -270,7 +291,18 @@ impl DramChannel {
             "read beyond end of channel memory"
         );
         self.note_row(addr);
-        let first = self.schedule(Dir::Read, beats as u64, self.now + self.cfg.read_latency);
+        let mut earliest = self.now + self.cfg.read_latency;
+        if let Some(f) = self.faults {
+            // Latency spike / transient stall: this request's first beat
+            // is pushed back by a hashed number of extra cycles.
+            let extra = f.read_stall(self.stats.read_reqs);
+            if extra > 0 {
+                earliest += extra;
+                self.stats.fault_stall_cycles += extra;
+                self.stats.faults_injected += 1;
+            }
+        }
+        let first = self.schedule(Dir::Read, beats as u64, earliest);
         self.reads.push_back(InFlightRead {
             tag,
             addr,
@@ -321,6 +353,19 @@ impl DramChannel {
         let off = front.addr + beat_idx as usize * BEAT_BYTES;
         let mut data = [0u8; BEAT_BYTES];
         data.copy_from_slice(&self.mem[off..off + BEAT_BYTES]);
+        if let Some(f) = self.faults {
+            if let Some(bit) = f.ecc_flip(self.stats.read_beats) {
+                // Single-bit corruption on the bus, then SEC-DED decode:
+                // the syndrome locates the flipped bit and the decoder
+                // restores it, so the delivered beat is bit-identical to
+                // memory; only the counters observe the event.
+                let (byte, mask) = ((bit / 8) as usize, 1u8 << (bit % 8));
+                data[byte] ^= mask; // corruption
+                data[byte] ^= mask; // correction at the decoder
+                self.stats.ecc_corrected += 1;
+                self.stats.faults_injected += 1;
+            }
+        }
         let tag = front.tag;
         front.beats_left -= 1;
         front.next_beat_ready = self.now + 1;
@@ -508,6 +553,58 @@ mod tests {
         // its 4 data cycles.
         assert!(busy_cycles >= 4, "busy_cycles = {busy_cycles}");
         assert_eq!(ch.read_queue_len(), 0);
+    }
+
+    #[test]
+    fn injected_faults_slow_the_channel_but_never_corrupt_data() {
+        use fleet_fault::FaultPlan;
+
+        let run = |faults: Option<DramFaults>| {
+            let mut ch = DramChannel::new(cfg_no_refresh(), 1 << 16);
+            for (i, b) in ch.mem_mut().iter_mut().enumerate() {
+                *b = (i % 251) as u8;
+            }
+            if let Some(f) = faults {
+                ch.set_faults(f);
+            }
+            let mut addr = 0usize;
+            let mut tag = 0u32;
+            let mut out = Vec::new();
+            for _ in 0..30_000u64 {
+                if ch.can_accept_read() && addr + 128 <= 1 << 16 {
+                    ch.push_read(tag, addr, 2);
+                    tag += 1;
+                    addr += 128;
+                }
+                if let Some((_, _, data)) = ch.pop_read_beat() {
+                    out.extend_from_slice(&data);
+                }
+                ch.tick();
+                if addr + 128 > 1 << 16 && ch.read_queue_len() == 0 {
+                    break;
+                }
+            }
+            (out, ch.now(), ch.stats())
+        };
+
+        let plan = FaultPlan::with_seed(11).dram_stalls(100_000, 200).ecc_flips(50_000);
+        let (clean, clean_cycles, clean_stats) = run(None);
+        let (faulty, faulty_cycles, s) = run(Some(plan.dram(0)));
+        // Faults are injected and slow the channel down...
+        assert!(s.faults_injected > 0, "no faults injected");
+        assert!(s.ecc_corrected > 0, "no ECC events");
+        assert!(s.fault_stall_cycles > 0, "no stall cycles");
+        assert!(faulty_cycles > clean_cycles, "stalls must cost cycles");
+        assert_eq!(clean_stats.faults_injected, 0);
+        // ...but every delivered byte is still correct (SEC-DED corrects
+        // the single-bit flips).
+        assert_eq!(clean, faulty, "corrected data must be bit-identical");
+
+        // And the injection sites are deterministic.
+        let (again, again_cycles, s2) = run(Some(plan.dram(0)));
+        assert_eq!(faulty, again);
+        assert_eq!(faulty_cycles, again_cycles);
+        assert_eq!(s.faults_injected, s2.faults_injected);
     }
 
     #[test]

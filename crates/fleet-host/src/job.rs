@@ -37,6 +37,10 @@ pub struct Job {
     /// Completion deadline on the virtual clock; jobs the packer
     /// reaches after this instant are rejected instead of run.
     pub deadline_us: Option<u64>,
+    /// Failed runs this job has already been through (retry
+    /// bookkeeping; starts at 0 and is bumped by the scheduler each
+    /// time the job is re-queued after a batch failure).
+    pub attempts: u32,
 }
 
 impl Job {
@@ -59,6 +63,7 @@ impl Job {
             out_capacity,
             arrival_us: 0,
             deadline_us: None,
+            attempts: 0,
         }
     }
 
@@ -69,6 +74,12 @@ impl Job {
     }
 
     /// Sets a completion deadline on the virtual clock.
+    ///
+    /// The boundary is *exclusive of now*: a job whose deadline equals
+    /// the instant the packer reaches it is already unmeetable (its
+    /// completion would land strictly later, after the run and drain),
+    /// so the packer rejects `deadline_us <= now` rather than launching
+    /// a batch that can only miss.
     pub fn with_deadline(mut self, deadline_us: u64) -> Job {
         self.deadline_us = Some(deadline_us);
         self

@@ -31,6 +31,7 @@ pub mod queue;
 pub mod report;
 pub mod scheduler;
 
+pub use fleet_fault::FaultPlan;
 pub use job::{
     CompletedJob, FailedJob, Job, JobId, JobLatency, RejectReason, RejectedJob, TenantId,
 };

@@ -80,7 +80,10 @@ pub fn pack_batch(
     while jobs.len() < max_jobs.max(1) {
         let Some(head) = queue.peek(key.as_deref()) else { break };
 
-        if head.deadline_us.is_some_and(|d| d < now_us) {
+        // `<=`: a deadline equal to now can never be met — the run and
+        // drain land strictly after now — so it is as dead as one
+        // already in the past (see [`Job::with_deadline`]).
+        if head.deadline_us.is_some_and(|d| d <= now_us) {
             let job = queue.pop(key.as_deref()).expect("peeked job pops");
             counters.rejected_deadline += 1;
             rejected.push(RejectedJob {
@@ -192,6 +195,28 @@ mod tests {
             pack_batch(&mut q, 50, &mut |_| 8, 8, &mut counters, &mut rejected).unwrap();
         assert_eq!(batch.jobs.len(), 1);
         assert_eq!(batch.jobs[0].id, 2);
+        assert_eq!(counters.rejected_deadline, 1);
+        assert_eq!(rejected[0].id, 1);
+        assert_eq!(rejected[0].reason, RejectReason::DeadlineExpired);
+    }
+
+    #[test]
+    fn deadline_equal_to_now_is_already_unmeetable() {
+        // The boundary case: completion always lands strictly after
+        // now, so `deadline == now` must reject exactly like
+        // `deadline < now` — it used to slip through and launch a
+        // batch that could only miss.
+        let spec = byte_spec();
+        let mut q = SubmitQueue::new(8);
+        q.submit(job_streams(1, 0, &[8], &spec).with_deadline(50), 0).unwrap();
+        q.submit(job_streams(2, 0, &[8], &spec).with_deadline(51), 0).unwrap();
+
+        let mut counters = SchedCounters::default();
+        let mut rejected = Vec::new();
+        let batch =
+            pack_batch(&mut q, 50, &mut |_| 8, 8, &mut counters, &mut rejected).unwrap();
+        assert_eq!(batch.jobs.len(), 1);
+        assert_eq!(batch.jobs[0].id, 2, "a deadline still one µs out may run");
         assert_eq!(counters.rejected_deadline, 1);
         assert_eq!(rejected[0].id, 1);
         assert_eq!(rejected[0].reason, RejectReason::DeadlineExpired);

@@ -130,6 +130,30 @@ impl SubmitQueue {
         self.tenants[&tenant].jobs.front().map(|(_, j)| j)
     }
 
+    /// Removes every queued job for which `pred` returns true,
+    /// preserving order (and WFQ stamps) among the survivors. The host
+    /// uses this to time out jobs that have waited past their budget
+    /// and to drain the queue when no healthy instance remains; removed
+    /// jobs come back sorted by id so downstream reporting is
+    /// deterministic.
+    pub fn drain_matching(&mut self, pred: &mut dyn FnMut(&Job) -> bool) -> Vec<Job> {
+        let mut out = Vec::new();
+        for tq in self.tenants.values_mut() {
+            let mut kept = VecDeque::with_capacity(tq.jobs.len());
+            for (vft, job) in tq.jobs.drain(..) {
+                if pred(&job) {
+                    out.push(job);
+                } else {
+                    kept.push_back((vft, job));
+                }
+            }
+            tq.jobs = kept;
+        }
+        self.len -= out.len();
+        out.sort_by_key(|j| j.id);
+        out
+    }
+
     /// Pops the job WFQ would release next, optionally restricted to a
     /// batching-compatibility key, advancing the virtual clock.
     pub fn pop(&mut self, key: Option<&str>) -> Option<Job> {
@@ -252,6 +276,22 @@ mod tests {
         assert!(q.pop(Some("Byte:8x8")).is_none(), "job 3 is head-of-line blocked");
         assert_eq!(q.pop(None).unwrap().id, 2);
         assert_eq!(q.pop(Some("Byte:8x8")).unwrap().id, 3);
+    }
+
+    #[test]
+    fn drain_matching_removes_only_matches_and_keeps_wfq_order() {
+        let spec = byte_spec();
+        let mut q = SubmitQueue::new(16);
+        for id in 0..6 {
+            q.submit(job(id, (id % 2) as TenantId, 64, &spec), 0).unwrap();
+        }
+        let drained = q.drain_matching(&mut |j| j.id >= 4);
+        assert_eq!(drained.iter().map(|j| j.id).collect::<Vec<_>>(), vec![4, 5]);
+        assert_eq!(q.len(), 4);
+        let rest: Vec<u64> = std::iter::from_fn(|| q.pop(None).map(|j| j.id)).collect();
+        assert_eq!(rest.len(), 4);
+        assert!(rest.iter().all(|&id| id < 4));
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -3,9 +3,9 @@
 use std::collections::BTreeMap;
 
 use fleet_system::InstanceStats;
-use fleet_trace::{LatencyStats, SchedCounters};
+use fleet_trace::{escape_json, LatencyStats, SchedCounters};
 
-use crate::job::{CompletedJob, FailedJob, RejectedJob, TenantId};
+use crate::job::{CompletedJob, FailedJob, RejectReason, RejectedJob, TenantId};
 
 /// One tenant's slice of the service: completions, rejections, byte
 /// conservation, and per-phase latency distributions.
@@ -172,6 +172,40 @@ impl ServiceReport {
             s.push_str(&format!("    }}{}\n", if i + 1 < n_tenants { "," } else { "" }));
         }
         s.push_str("  },\n");
+        s.push_str("  \"rejections\": [\n");
+        let n_rej = self.rejected.len();
+        for (i, r) in self.rejected.iter().enumerate() {
+            let detail = match &r.reason {
+                RejectReason::Malformed(msg) => msg.clone(),
+                RejectReason::TooLarge { streams, slots } => {
+                    format!("{streams} streams for {slots} slots")
+                }
+                _ => String::new(),
+            };
+            s.push_str(&format!(
+                "    {{\"id\": {}, \"tenant\": {}, \"reason\": \"{}\", \"detail\": \"{}\", \
+                 \"at_us\": {}}}{}\n",
+                r.id,
+                r.tenant,
+                escape_json(r.reason.tag()),
+                escape_json(&detail),
+                r.rejected_at_us,
+                if i + 1 < n_rej { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"failures\": [\n");
+        let n_fail = self.failed.len();
+        for (i, f) in self.failed.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": {}, \"tenant\": {}, \"error\": \"{}\"}}{}\n",
+                f.id,
+                f.tenant,
+                escape_json(&f.error),
+                if i + 1 < n_fail { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
         s.push_str("  \"instances\": [\n");
         let n_inst = self.instances.len();
         for (i, inst) in self.instances.iter().enumerate() {
@@ -249,6 +283,34 @@ mod tests {
         for key in ["\"jobs_per_sec\"", "\"counters\"", "\"tenants\"", "\"3\"", "\"p99_us\""] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
+    }
+
+    #[test]
+    fn hostile_error_strings_cannot_break_the_json() {
+        use crate::job::{FailedJob, RejectReason, RejectedJob};
+        let r = ServiceReport::build(
+            SchedCounters::default(),
+            vec![],
+            vec![RejectedJob {
+                id: 1,
+                tenant: 0,
+                reason: RejectReason::Malformed("bad \"stream\"\nwith\\escapes".to_string()),
+                rejected_at_us: 5,
+            }],
+            vec![FailedJob {
+                id: 2,
+                tenant: 1,
+                error: "spec:8x8\"},{\"inject\":\"attempt".to_string(),
+            }],
+            vec![],
+            0,
+        );
+        let json = r.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+        assert!(!json.contains("bad \"stream\""), "raw quote survived escaping");
+        assert!(json.contains("\\\"inject\\\""), "{json}");
+        assert!(json.contains("\"rejections\""));
+        assert!(json.contains("\"failures\""));
     }
 
     #[test]

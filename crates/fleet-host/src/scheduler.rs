@@ -18,7 +18,10 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use fleet_compiler::CompiledUnit;
-use fleet_system::{max_units, Instance, RunReport, SimPool, SystemConfig, SystemError};
+use fleet_fault::FaultPlan;
+use fleet_system::{
+    max_units, Instance, RunFailure, RunReport, SimPool, SystemConfig, SystemError,
+};
 use fleet_trace::SchedCounters;
 
 use crate::job::{CompletedJob, FailedJob, Job, JobLatency, RejectedJob, TenantId};
@@ -50,6 +53,30 @@ pub struct HostConfig {
     pub drain_us_per_kib: u64,
     /// Per-tenant WFQ weights; unlisted tenants weigh 1.
     pub weights: Vec<(TenantId, u32)>,
+    /// Per-job service budget on the virtual clock: a job still waiting
+    /// (queued or in retry backoff) this long after its arrival fails
+    /// with a timeout instead of waiting forever. `None` disables.
+    pub job_timeout_us: Option<u64>,
+    /// Times a job whose batch failed retryably is re-queued before the
+    /// host gives up on it (the retry budget).
+    pub retry_limit: u32,
+    /// Base backoff before a retried job re-enters the queue, in
+    /// virtual µs; doubles per attempt up to
+    /// [`HostConfig::retry_backoff_cap_us`].
+    pub retry_backoff_us: u64,
+    /// Cap on the exponential retry backoff, in virtual µs.
+    pub retry_backoff_cap_us: u64,
+    /// Consecutive batch failures on one instance before it is pulled
+    /// from the pool (quarantined) and its work re-queued onto healthy
+    /// instances. 0 disables quarantine.
+    pub quarantine_after: u32,
+    /// Fault-injection plan. Each launched batch runs under a plan
+    /// derived from this one by a deterministic batch counter, so a
+    /// serve is reproducible for a fixed seed no matter how batches
+    /// land on instances. The default ([`FaultPlan::none`]) injects
+    /// nothing and leaves the simulation bit-identical to a host
+    /// without fault support.
+    pub fault: FaultPlan,
 }
 
 impl HostConfig {
@@ -67,8 +94,22 @@ impl HostConfig {
             pack_us_per_stream: 1,
             drain_us_per_kib: 1,
             weights: Vec::new(),
+            job_timeout_us: None,
+            retry_limit: 2,
+            retry_backoff_us: 200,
+            retry_backoff_cap_us: 10_000,
+            quarantine_after: 3,
+            fault: FaultPlan::none(),
         }
     }
+}
+
+/// Whether a failed batch is worth retrying. Output overflow is a
+/// property of the job itself (its capacity ask), so re-running can
+/// only reproduce it; everything else — wedge, stall, cycle timeout,
+/// worker panic — may be fault-induced and transient.
+fn retryable(error: &SystemError) -> bool {
+    !matches!(error, SystemError::OutputOverflow { .. })
 }
 
 /// The multi-tenant job scheduler and its instance pool.
@@ -146,6 +187,15 @@ impl Host {
             .collect();
         let n = instances.len();
         let mut busy_until: Vec<Option<u64>> = vec![None; n];
+        let mut quarantined: Vec<bool> = vec![false; n];
+        let mut consec_failures: Vec<u32> = vec![0; n];
+        // Failed jobs waiting out their retry backoff, as
+        // (ready_at_us, job), kept sorted by (ready_at_us, id).
+        let mut retries: Vec<(u64, Job)> = Vec::new();
+        // Deterministic per-batch fault-plan derivation counter: batches
+        // are numbered in (loop-iteration, instance-index) order, which
+        // never depends on wall-clock thread interleaving.
+        let mut batch_uid: u64 = 0;
 
         let mut arrivals = jobs.into_iter().peekable();
         let mut now = first_arrival;
@@ -170,26 +220,67 @@ impl Host {
                 }
             }
 
-            // One batch per idle instance.
-            let mut batch_for: Vec<Option<PackedBatch>> = (0..n).map(|_| None).collect();
+            // Release retried jobs whose backoff has elapsed back into
+            // the queue (no re-count of submitted/admitted — a retry is
+            // the same job, and every job resolves exactly once).
+            let mut i = 0;
+            while i < retries.len() {
+                if retries[i].0 <= now {
+                    let (_, job) = retries.remove(i);
+                    if let Err(r) = queue.submit(job, now) {
+                        counters.failed += 1;
+                        failed.push(FailedJob {
+                            id: r.id,
+                            tenant: r.tenant,
+                            error: "retry dropped: submission queue full".to_string(),
+                        });
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+
+            // Enforce the per-job service budget: jobs that have waited
+            // past it fail with a timeout instead of queuing forever.
+            if let Some(to) = self.cfg.job_timeout_us {
+                for job in
+                    queue.drain_matching(&mut |j| j.arrival_us.saturating_add(to) <= now)
+                {
+                    counters.timeouts += 1;
+                    counters.failed += 1;
+                    failed.push(FailedJob {
+                        id: job.id,
+                        tenant: job.tenant,
+                        error: format!("timed out after {to} µs without service"),
+                    });
+                }
+            }
+
+            // One batch per idle, healthy instance, each under a fault
+            // plan derived from the deterministic batch counter.
+            let mut batch_for: Vec<Option<(PackedBatch, FaultPlan)>> =
+                (0..n).map(|_| None).collect();
             for (i, slot) in batch_for.iter_mut().enumerate() {
-                if busy_until[i].is_none() {
+                if busy_until[i].is_none() && !quarantined[i] {
                     let cache = &mut self.slot_cache;
                     let cfg = &self.cfg;
-                    *slot = pack_batch(
+                    if let Some(batch) = pack_batch(
                         &mut queue,
                         now,
                         &mut |job| Host::slots_for(cache, cfg, job),
                         cfg.max_jobs_per_batch,
                         &mut counters,
                         &mut rejected,
-                    );
+                    ) {
+                        *slot = Some((batch, cfg.fault.derive(batch_uid)));
+                        batch_uid += 1;
+                    }
                 }
             }
 
             // Compile each launched spec once on the scheduler thread;
             // workers replicate executors from the shared program.
-            for batch in batch_for.iter().flatten() {
+            for (batch, _) in batch_for.iter().flatten() {
                 self.compiled_cache
                     .entry(batch.spec_key.clone())
                     .or_insert_with(|| CompiledUnit::from_arc(batch.spec.clone()));
@@ -199,19 +290,26 @@ impl Host {
             // Run every launched batch concurrently on the worker pool.
             // Results come back keyed by instance index, so wall-clock
             // completion order cannot perturb the virtual timeline.
-            let launched: Vec<(usize, PackedBatch, Result<RunReport, SystemError>)> =
+            let launched: Vec<(usize, PackedBatch, Result<RunReport, Box<RunFailure>>)> =
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = instances
                         .iter_mut()
                         .zip(batch_for.iter_mut())
                         .enumerate()
-                        .filter_map(|(i, (inst, slot))| slot.take().map(|b| (i, inst, b)))
-                        .map(|(i, inst, batch)| {
+                        .filter_map(|(i, (inst, slot))| {
+                            slot.take().map(|(b, plan)| (i, inst, b, plan))
+                        })
+                        .map(|(i, inst, batch, plan)| {
                             scope.spawn(move || {
                                 let res = {
                                     let unit = &compiled[&batch.spec_key];
                                     let streams = batch.stream_refs();
-                                    inst.run_compiled(unit, &streams, batch.out_capacity)
+                                    inst.run_compiled_faulted(
+                                        unit,
+                                        &streams,
+                                        batch.out_capacity,
+                                        plan,
+                                    )
                                 };
                                 (i, batch, res)
                             })
@@ -228,6 +326,8 @@ impl Host {
                     + self.cfg.pack_us_per_stream * batch.slots_used as u64;
                 match result {
                     Ok(report) => {
+                        consec_failures[i] = 0;
+                        counters.faults_injected += report.faults_injected;
                         let run_us = (report.seconds * 1e6).ceil() as u64;
                         let batch_done = now + pack_us + run_us;
                         // Outputs drain job by job over the host link,
@@ -270,37 +370,173 @@ impl Host {
                         }
                         busy_until[i] = Some(t);
                     }
-                    Err(e) => {
-                        // The batch died (overflow, timeout, or a
-                        // poisoned channel thread surfaced as
-                        // WorkerPanic); its jobs fail, the instance
-                        // stays in the pool.
-                        counters.failed += batch.jobs.len() as u64;
-                        let message = e.to_string();
+                    Err(failure) => {
+                        // The batch died (overflow, wedge, stall, cycle
+                        // timeout, or a poisoned channel thread surfaced
+                        // as WorkerPanic). Jobs whose streams all
+                        // finished before the failure are salvaged as
+                        // completions; the rest retry with backoff if
+                        // the cause may be transient, or fail with the
+                        // rendered cause. The instance stays occupied
+                        // for the cycles the failed run actually burned.
+                        let RunFailure {
+                            error,
+                            partial_outputs,
+                            cycles: _,
+                            seconds,
+                            faults_injected,
+                        } = *failure;
+                        counters.faults_injected += faults_injected;
+                        let run_us = (seconds * 1e6).ceil() as u64;
+                        let batch_done = now + pack_us + run_us;
+                        let message = error.to_string();
+                        let can_retry = retryable(&error);
+
+                        let mut t = batch_done;
+                        let mut off = 0usize;
                         for job in &batch.jobs {
-                            failed.push(FailedJob {
-                                id: job.id,
-                                tenant: job.tenant,
-                                error: message.clone(),
-                            });
+                            let parts = &partial_outputs[off..off + job.streams.len()];
+                            off += job.streams.len();
+
+                            if parts.iter().all(|p| p.is_some()) {
+                                // Salvaged: every stream of this job
+                                // finished and drained; it completes
+                                // with normal timing despite the batch
+                                // failure.
+                                let outs: Vec<Vec<u8>> = parts
+                                    .iter()
+                                    .map(|p| p.clone().expect("checked Some"))
+                                    .collect();
+                                let output_bytes: u64 =
+                                    outs.iter().map(|o| o.len() as u64).sum();
+                                t += 1 + output_bytes.div_ceil(1024) * self.cfg.drain_us_per_kib;
+                                let drain_us = t - batch_done;
+                                let deadline_met = job.deadline_us.map(|d| t <= d);
+                                if deadline_met == Some(false) {
+                                    counters.deadline_misses += 1;
+                                }
+                                counters.completed += 1;
+                                completed.push(CompletedJob {
+                                    id: job.id,
+                                    tenant: job.tenant,
+                                    instance: i,
+                                    arrival_us: job.arrival_us,
+                                    started_us: now,
+                                    completed_us: t,
+                                    latency: JobLatency {
+                                        queue_us: now - job.arrival_us,
+                                        pack_us,
+                                        run_us,
+                                        drain_us,
+                                    },
+                                    input_bytes: job.input_bytes(),
+                                    output_bytes,
+                                    outputs: outs,
+                                    deadline_met,
+                                });
+                                continue;
+                            }
+
+                            let attempts = job.attempts + 1;
+                            if can_retry && attempts <= self.cfg.retry_limit {
+                                let backoff = self
+                                    .cfg
+                                    .retry_backoff_us
+                                    .saturating_mul(1u64 << (attempts - 1).min(32))
+                                    .min(self.cfg.retry_backoff_cap_us);
+                                let ready =
+                                    now.saturating_add(pack_us).saturating_add(backoff);
+                                let overruns_budget =
+                                    self.cfg.job_timeout_us.is_some_and(|to| {
+                                        job.arrival_us.saturating_add(to) <= ready
+                                    });
+                                if !overruns_budget {
+                                    counters.retries += 1;
+                                    let mut retry = job.clone();
+                                    retry.attempts = attempts;
+                                    retries.push((ready, retry));
+                                    continue;
+                                }
+                                counters.timeouts += 1;
+                                counters.failed += 1;
+                                failed.push(FailedJob {
+                                    id: job.id,
+                                    tenant: job.tenant,
+                                    error: format!(
+                                        "{message}; retry backoff would overrun the job timeout"
+                                    ),
+                                });
+                                continue;
+                            }
+
+                            counters.failed += 1;
+                            let error = if can_retry {
+                                format!("{message} (after {attempts} attempts)")
+                            } else {
+                                message.clone()
+                            };
+                            failed.push(FailedJob { id: job.id, tenant: job.tenant, error });
                         }
-                        busy_until[i] = Some(now + pack_us);
+
+                        busy_until[i] = Some(t.max(batch_done));
+                        consec_failures[i] += 1;
+                        if self.cfg.quarantine_after > 0
+                            && consec_failures[i] >= self.cfg.quarantine_after
+                            && !quarantined[i]
+                        {
+                            quarantined[i] = true;
+                            counters.quarantines += 1;
+                        }
                     }
                 }
             }
+            retries.sort_by_key(|(ready, job)| (*ready, job.id));
 
-            // Advance the virtual clock to the next event.
+            // No healthy capacity left: every instance is quarantined,
+            // so nothing queued, backing off, or yet to arrive can ever
+            // run. Fail it all explicitly — graceful degradation means
+            // every job still ends in exactly one reported state — and
+            // stop instead of spinning on a clock with no events.
+            if quarantined.iter().all(|&q| q) {
+                for job in queue.drain_matching(&mut |_| true) {
+                    counters.failed += 1;
+                    failed.push(FailedJob {
+                        id: job.id,
+                        tenant: job.tenant,
+                        error: "all instances quarantined".to_string(),
+                    });
+                }
+                for (_, job) in retries.drain(..) {
+                    counters.failed += 1;
+                    failed.push(FailedJob {
+                        id: job.id,
+                        tenant: job.tenant,
+                        error: "all instances quarantined".to_string(),
+                    });
+                }
+                for job in arrivals.by_ref() {
+                    counters.submitted += 1;
+                    counters.failed += 1;
+                    failed.push(FailedJob {
+                        id: job.id,
+                        tenant: job.tenant,
+                        error: "all instances quarantined".to_string(),
+                    });
+                }
+                break;
+            }
+
+            // Advance the virtual clock to the next event: an arrival,
+            // a batch completion, or a retry backoff expiring.
             let next_arrival = arrivals.peek().map(|j| j.arrival_us);
             let next_done = busy_until.iter().flatten().min().copied();
-            now = match (next_arrival, next_done) {
-                (None, None) => {
-                    debug_assert!(queue.is_empty(), "idle host with a non-empty queue");
-                    break;
-                }
-                (Some(a), None) => a,
-                (None, Some(d)) => d,
-                (Some(a), Some(d)) => a.min(d),
+            let next_retry = retries.first().map(|(ready, _)| *ready);
+            let Some(next) = [next_arrival, next_done, next_retry].into_iter().flatten().min()
+            else {
+                debug_assert!(queue.is_empty(), "idle host with a non-empty queue");
+                break;
             };
+            now = next;
             for b in busy_until.iter_mut() {
                 if b.is_some_and(|t| t <= now) {
                     *b = None;
@@ -484,6 +720,80 @@ mod tests {
                 + report.completed.len(),
             12
         );
+    }
+
+    #[test]
+    fn faulty_serve_retries_and_never_loses_a_job() {
+        let spec = identity_spec();
+        let base = || {
+            let mut cfg = HostConfig::new(2);
+            cfg.system.watchdog_cycles = 20_000;
+            cfg.fault = FaultPlan::with_seed(7).wedges(250_000, 8);
+            cfg.max_jobs_per_batch = 4;
+            cfg
+        };
+        let mut host = Host::new(base());
+        let report = host.serve(workload(&spec, 16, 3));
+        let accounted =
+            report.completed.len() + report.rejected.len() + report.failed.len();
+        assert_eq!(
+            accounted as u64, report.counters.submitted,
+            "every job must end in exactly one reported state"
+        );
+        assert!(report.counters.faults_injected > 0, "plan injected nothing");
+        assert!(report.counters.retries > 0, "wedges should trigger retries");
+        assert!(!report.completed.is_empty(), "healthy work still completes");
+        for done in &report.completed {
+            let inputs: u64 = done.input_bytes;
+            assert_eq!(done.output_bytes, inputs, "identity outputs stay intact");
+        }
+        // Identical faults, identical report — at any sim-thread count.
+        let serve_with = |threads| {
+            let mut cfg = base();
+            cfg.system.sim_threads = fleet_system::SimThreads::Fixed(threads);
+            Host::new(cfg).serve(workload(&spec, 16, 3))
+        };
+        assert_eq!(serve_with(1).to_json(), serve_with(8).to_json());
+    }
+
+    #[test]
+    fn queued_jobs_time_out_instead_of_waiting_forever() {
+        let spec = identity_spec();
+        let mut cfg = HostConfig::new(1);
+        cfg.max_jobs_per_batch = 1;
+        cfg.job_timeout_us = Some(20);
+        let jobs = vec![
+            Job::new(0, 0, spec.clone(), vec![vec![1u8; 16384]]),
+            Job::new(1, 1, spec.clone(), vec![vec![2u8; 16384]]),
+        ];
+        let mut host = Host::new(cfg);
+        let report = host.serve(jobs);
+        // Job 0 runs; job 1 waits behind it past its 20 µs budget.
+        assert!(report.completed.iter().any(|c| c.id == 0));
+        assert_eq!(report.counters.timeouts, 1);
+        let f = report.failed.iter().find(|f| f.id == 1).expect("job 1 times out");
+        assert!(f.error.contains("timed out"), "{}", f.error);
+    }
+
+    #[test]
+    fn always_wedging_pool_quarantines_and_terminates() {
+        let spec = identity_spec();
+        let mut cfg = HostConfig::new(1);
+        cfg.system.watchdog_cycles = 10_000;
+        cfg.fault = FaultPlan::with_seed(3).wedges(1_000_000, 4);
+        cfg.retry_limit = 1;
+        cfg.quarantine_after = 2;
+        let mut host = Host::new(cfg);
+        // Every batch wedges: the lone instance must be quarantined and
+        // the serve must still terminate with every job accounted for.
+        let report = host.serve(workload(&spec, 4, 2));
+        assert_eq!(report.counters.quarantines, 1);
+        assert!(report.completed.is_empty());
+        let accounted =
+            report.completed.len() + report.rejected.len() + report.failed.len();
+        assert_eq!(accounted as u64, report.counters.submitted);
+        assert!(report.failed.iter().any(|f| f.error.contains("quarantined")));
+        assert!(report.counters.retries > 0);
     }
 
     #[test]

@@ -201,6 +201,15 @@ pub(crate) struct PuState {
     /// Set once the unit's output side is complete (counted out of
     /// `pending_outputs`, making [`ChannelEngine::done`] O(1)).
     pub(crate) output_done: bool,
+    /// Fault injection: wedge this unit after it consumes this many
+    /// input tokens (`None` = healthy unit).
+    pub(crate) wedge_at: Option<u64>,
+    /// Input tokens consumed so far (only maintained while `wedge_at`
+    /// is armed — healthy engines skip the bookkeeping).
+    pub(crate) tokens_consumed: u64,
+    /// The unit has wedged: its pins read dead and it will never make
+    /// progress again. Detected by the run-loop watchdog.
+    pub(crate) wedged: bool,
 }
 
 #[derive(Debug)]
@@ -274,6 +283,18 @@ pub(crate) struct PuEffect {
 /// The unit's input pins, derived purely from its own [`PuState`].
 #[inline]
 pub(crate) fn pins_of(st: &PuState, params: &EvalParams) -> PuIn {
+    if st.wedged {
+        // A wedged unit's interface goes dead: no valid input, no
+        // end-of-stream, no output acceptance. The unit quiesces and the
+        // engine stops making progress — which is exactly what the
+        // watchdog exists to detect.
+        return PuIn {
+            input_token: 0,
+            input_valid: false,
+            input_finished: false,
+            output_ready: false,
+        };
+    }
     let have = st.in_buffer.len() >= params.in_token_bytes;
     let exhausted =
         st.in_fetched >= st.assign.in_len && st.in_flight == 0 && st.in_buffer.is_empty();
@@ -436,6 +457,9 @@ pub(crate) struct Ctl<S: TraceSink> {
     pub(crate) pending_outputs: usize,
     /// First unit observed overflowing its output region.
     pub(crate) first_overflow: Option<usize>,
+    /// Watchdog window: declare the run stuck after this many
+    /// consecutive cycles without forward progress (0 = disabled).
+    pub(crate) watchdog_cycles: u64,
 
     pub(crate) stats: EngineStats,
     pub(crate) probe: Probe<S>,
@@ -454,6 +478,27 @@ pub enum EngineRunError {
         /// The budget that was exceeded.
         max_cycles: u64,
     },
+    /// The watchdog saw no forward progress for its full window and a
+    /// wedged unit explains why (channel-local unit index).
+    Wedged {
+        /// Channel-local index of the wedged unit.
+        unit: usize,
+    },
+    /// The watchdog saw no forward progress for its full window with no
+    /// wedged unit to blame (e.g. a pathological stall).
+    Stalled {
+        /// Cycles the channel went without any forward progress.
+        idle_cycles: u64,
+    },
+}
+
+/// Attributes a watchdog trip: a wedged unit if one exists, otherwise a
+/// generic stall.
+pub(crate) fn stall_error(pus: &[PuState], idle_cycles: u64) -> EngineRunError {
+    match pus.iter().position(|st| st.wedged) {
+        Some(unit) => EngineRunError::Wedged { unit },
+        None => EngineRunError::Stalled { idle_cycles },
+    }
 }
 
 /// One channel: processing units + input/output controllers + DRAM.
@@ -533,6 +578,9 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
                 overflowed: false,
                 sleep: None,
                 output_done: false,
+                wedge_at: None,
+                tokens_consumed: 0,
+                wedged: false,
             })
             .collect();
         let n_regs = cfg.burst_registers;
@@ -562,6 +610,7 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
                 pending_skips: Vec::new(),
                 pending_outputs: n_pus,
                 first_overflow: None,
+                watchdog_cycles: 0,
                 stats: EngineStats::default(),
                 probe: Probe::new(sink),
             },
@@ -643,6 +692,37 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
     /// Whether any unit overflowed its output region.
     pub fn any_overflow(&self) -> bool {
         self.ctl.first_overflow.is_some()
+    }
+
+    /// Arms fault injection on unit `p`: it wedges (permanently stops
+    /// making progress) after consuming `after_tokens` input tokens.
+    pub fn set_wedge(&mut self, p: usize, after_tokens: u64) {
+        self.pus[p].wedge_at = Some(after_tokens.max(1));
+    }
+
+    /// Arms the no-forward-progress watchdog: `run_channel` (serial or
+    /// pooled) ends with [`EngineRunError::Wedged`] /
+    /// [`EngineRunError::Stalled`] after `cycles` consecutive cycles in
+    /// which no byte moved, no token retired, and no DRAM request
+    /// advanced. `0` (the default) disables the watchdog. The watchdog
+    /// only observes — it never changes simulated state — so arming it
+    /// on a healthy run costs a tuple compare per cycle and nothing
+    /// else.
+    pub fn set_watchdog(&mut self, cycles: u64) {
+        self.ctl.watchdog_cycles = cycles;
+    }
+
+    /// Number of units that have wedged (fault injection).
+    pub fn wedged_units(&self) -> usize {
+        self.pus.iter().filter(|st| st.wedged).count()
+    }
+
+    /// Whether unit `p` ran to completion: stream fully consumed, all
+    /// output committed, no overflow. Used to salvage per-stream partial
+    /// results from a channel whose run failed.
+    pub fn unit_finished(&self, p: usize) -> bool {
+        let st = &self.pus[p];
+        st.finished && st.output_done && !st.overflowed
     }
 
     /// The first unit that overflowed its output region, if any — the
@@ -814,6 +894,7 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
     /// flushed on every exit path.
     pub(crate) fn run_channel_serial(&mut self, max_cycles: u64) -> Result<u64, EngineRunError> {
         let start = self.ctl.stats.cycles;
+        let mut watchdog = Watchdog::new(self.ctl.watchdog_cycles, self.ctl.progress_sig());
         let result = loop {
             if self.done() {
                 break Ok(self.ctl.stats.cycles - start);
@@ -825,13 +906,67 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
             if self.ctl.stats.cycles - start > max_cycles {
                 break Err(EngineRunError::Timeout { max_cycles });
             }
+            if watchdog.stuck(self.ctl.progress_sig()) {
+                break Err(stall_error(&self.pus, watchdog.idle));
+            }
         };
         self.flush_trace();
         result
     }
 }
 
+/// The channel-wide forward-progress signature the watchdog samples
+/// once per cycle: if none of these move, nothing observable is
+/// happening — no byte crossed a buffer, no token retired, no unit
+/// completed, and no DRAM request advanced.
+pub(crate) type ProgressSig = (u64, u64, u64, usize, u64, u64, usize, usize);
+
+/// Per-run no-forward-progress detector shared by the serial and pooled
+/// run loops (identical placement keeps the paths bit-identical).
+pub(crate) struct Watchdog {
+    window: u64,
+    sig: ProgressSig,
+    pub(crate) idle: u64,
+}
+
+impl Watchdog {
+    pub(crate) fn new(window: u64, sig: ProgressSig) -> Watchdog {
+        Watchdog { window, sig, idle: 0 }
+    }
+
+    /// Feed one post-tick signature; true once `window` consecutive
+    /// cycles produced no change (never for a disabled watchdog).
+    pub(crate) fn stuck(&mut self, sig: ProgressSig) -> bool {
+        if self.window == 0 {
+            return false;
+        }
+        if sig == self.sig {
+            self.idle += 1;
+            self.idle >= self.window
+        } else {
+            self.sig = sig;
+            self.idle = 0;
+            false
+        }
+    }
+}
+
 impl<S: TraceSink> Ctl<S> {
+    /// See [`ProgressSig`].
+    pub(crate) fn progress_sig(&self) -> ProgressSig {
+        let d = self.dram.stats();
+        (
+            self.stats.input_bytes,
+            self.stats.output_bytes,
+            self.stats.output_tokens,
+            self.pending_outputs,
+            d.read_beats,
+            d.write_beats,
+            self.dram.read_queue_len(),
+            self.dram.write_queue_len(),
+        )
+    }
+
     /// Phase 2 of a cycle for one unit: applies its effect record to the
     /// shared state — probes, buffer pops/pushes, stats, finish
     /// bookkeeping, and the sleep transition. Returns whether the unit
@@ -849,6 +984,14 @@ impl<S: TraceSink> Ctl<S> {
         }
         if eff.consumed {
             pus[p].in_buffer.pop_front_bytes(self.params.in_token_bytes);
+            if let Some(at) = pus[p].wedge_at {
+                // Wedge enforcement lives in the serial merge phase, so
+                // it is identical on the serial, pooled, and naive paths.
+                pus[p].tokens_consumed += 1;
+                if pus[p].tokens_consumed >= at {
+                    pus[p].wedged = true;
+                }
+            }
         }
         if eff.emitted {
             pus[p].out_buffer.push_token(eff.token, self.params.out_token_bytes);

@@ -37,8 +37,8 @@ use std::sync::Arc;
 use fleet_trace::{CycleClass, TraceSink};
 
 use crate::engine::{
-    eval_unit, merge_sorted_slice, ChannelEngine, Ctl, EngineRunError, EvalParams, PuEffect,
-    PuState,
+    eval_unit, merge_sorted_slice, stall_error, ChannelEngine, Ctl, EngineRunError, EvalParams,
+    PuEffect, PuState, Watchdog,
 };
 use crate::pool::SimPool;
 use crate::unit::StreamUnit;
@@ -356,6 +356,7 @@ where
             partition(units, active, Vec::new(), k).into_iter().map(Some).collect();
         let (reply_tx, reply_rx) = channel::<ShardReply<U>>();
 
+        let mut watchdog = Watchdog::new(self.ctl.watchdog_cycles, self.ctl.progress_sig());
         let result = loop {
             if self.done() {
                 break Ok(self.ctl.stats.cycles - start);
@@ -366,6 +367,11 @@ where
             }
             if self.ctl.stats.cycles - start > max_cycles {
                 break Err(EngineRunError::Timeout { max_cycles });
+            }
+            if watchdog.stuck(self.ctl.progress_sig()) {
+                // Between cycles no worker holds the snapshot, so the
+                // wedge attribution can read it directly.
+                break Err(stall_error(&shared, watchdog.idle));
             }
         };
 

@@ -13,8 +13,11 @@ use fleet_compiler::CompiledUnit;
 use fleet_lang::UnitSpec;
 use fleet_memctl::SimPool;
 
+use fleet_fault::FaultPlan;
+
 use crate::system::{
-    run_system_compiled_with, run_system_traced_with, RunReport, SystemConfig, SystemError,
+    run_system_compiled_with, run_system_faulted, run_system_traced_with, RunFailure, RunReport,
+    SystemConfig, SystemError,
 };
 
 /// Lifetime statistics of one instance, accumulated across runs.
@@ -141,6 +144,34 @@ impl Instance {
         self.record(result)
     }
 
+    /// Like [`Instance::run_compiled`], but with a per-batch
+    /// [`FaultPlan`] override and the full [`RunFailure`] on error —
+    /// typed cause, per-stream partial results, cycles burned. The
+    /// serving layer's entry point for retry/salvage/quarantine logic.
+    /// An inert plan makes this identical to [`Instance::run_compiled`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the boxed [`RunFailure`] on overflow, timeout, wedge,
+    /// stall, or worker panic; the instance stays reusable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stream is not a whole number of input tokens.
+    pub fn run_compiled_faulted(
+        &mut self,
+        unit: &CompiledUnit,
+        streams: &[&[u8]],
+        out_capacity: usize,
+        fault: FaultPlan,
+    ) -> Result<RunReport, Box<RunFailure>> {
+        let mut cfg = self.cfg;
+        cfg.out_capacity = out_capacity;
+        cfg.fault = fault;
+        let result = run_system_faulted(unit, streams, &cfg, self.pool.as_deref());
+        self.record(result)
+    }
+
     /// Like [`Instance::run`], but with cycle-level tracing enabled;
     /// the report carries `trace: Some(..)`.
     ///
@@ -163,7 +194,7 @@ impl Instance {
         self.record(result)
     }
 
-    fn record(&mut self, result: Result<RunReport, SystemError>) -> Result<RunReport, SystemError> {
+    fn record<E>(&mut self, result: Result<RunReport, E>) -> Result<RunReport, E> {
         match &result {
             Ok(report) => {
                 self.stats.runs += 1;

@@ -6,6 +6,7 @@ use std::fmt;
 
 use fleet_axi::{DramChannel, BEAT_BYTES};
 use fleet_compiler::{CompiledUnit, PuExec};
+use fleet_fault::FaultPlan;
 use fleet_lang::UnitSpec;
 use fleet_memctl::{
     ChannelEngine, EngineRunError, EngineStats, MemCtlConfig, SimPool, SimThreads,
@@ -31,6 +32,18 @@ pub struct SystemConfig {
     /// setting produces bit-identical results — threads only change
     /// wall-clock time.
     pub sim_threads: SimThreads,
+    /// Seeded fault-injection plan. The default ([`FaultPlan::none`])
+    /// is inert: the injection hooks stay disabled and the run is
+    /// bit-identical to a build without fault support.
+    pub fault: FaultPlan,
+    /// Per-channel watchdog window: a channel that makes no forward
+    /// progress (no byte moved, no token retired, no DRAM request
+    /// advanced) for this many consecutive cycles fails with
+    /// [`SystemError::UnitWedged`] / [`SystemError::ChannelStalled`]
+    /// instead of burning the whole `max_cycles` budget. `0` disables
+    /// the watchdog. The watchdog only observes; it never changes
+    /// simulated state.
+    pub watchdog_cycles: u64,
 }
 
 impl SystemConfig {
@@ -42,6 +55,11 @@ impl SystemConfig {
             out_capacity,
             max_cycles: 2_000_000_000,
             sim_threads: SimThreads::Auto,
+            fault: FaultPlan::none(),
+            // 1M cycles = 8 ms at the F1 clock: orders of magnitude
+            // above any legitimate stall (refresh blackouts are tens of
+            // cycles, read latency ~31), tiny next to `max_cycles`.
+            watchdog_cycles: 1_000_000,
         }
     }
 }
@@ -66,6 +84,18 @@ pub enum SystemError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// The watchdog declared a unit wedged: its channel made no forward
+    /// progress for the full watchdog window and the unit had stopped.
+    UnitWedged {
+        /// Index of the stream whose unit wedged.
+        stream: usize,
+    },
+    /// The watchdog declared a channel stalled with no wedged unit to
+    /// blame.
+    ChannelStalled {
+        /// Cycles the channel went without forward progress.
+        idle_cycles: u64,
+    },
 }
 
 impl fmt::Display for SystemError {
@@ -80,11 +110,47 @@ impl fmt::Display for SystemError {
             SystemError::WorkerPanic { message } => {
                 write!(f, "channel simulation thread panicked: {message}")
             }
+            SystemError::UnitWedged { stream } => {
+                write!(f, "stream {stream} wedged: its unit stopped making progress")
+            }
+            SystemError::ChannelStalled { idle_cycles } => {
+                write!(f, "channel made no forward progress for {idle_cycles} cycles")
+            }
         }
     }
 }
 
 impl Error for SystemError {}
+
+/// A failed full-system run, with everything the serving layer needs to
+/// recover gracefully: the typed error, per-stream partial results, and
+/// how long the run burned before failing. Boxed by the faulted entry
+/// points to keep `Result` small.
+#[derive(Debug, Clone)]
+pub struct RunFailure {
+    /// Why the run failed (stream indices are in submission order).
+    pub error: SystemError,
+    /// Per-stream partial results in submission order: `Some(bytes)`
+    /// for streams whose unit ran to completion (its whole output is
+    /// committed to DRAM) — healthy channels contribute all their
+    /// streams; a failed channel contributes only units that finished
+    /// before the failure, and only once its write queue drained.
+    pub partial_outputs: Vec<Option<Vec<u8>>>,
+    /// Cycles the slowest channel ran before the failure surfaced.
+    pub cycles: u64,
+    /// Wall-clock seconds at the platform clock for `cycles`.
+    pub seconds: f64,
+    /// Fault events injected before the failure.
+    pub faults_injected: u64,
+}
+
+impl fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.error.fmt(f)
+    }
+}
+
+impl Error for RunFailure {}
 
 /// Result of a full-system run.
 #[derive(Debug, Clone)]
@@ -106,6 +172,9 @@ pub struct RunReport {
     /// Cycle-level trace with stall attribution; `Some` only for
     /// [`run_system_traced`] runs (plain runs pay zero tracing cost).
     pub trace: Option<TraceReport>,
+    /// Fault events injected during the run (DRAM stalls, corrected ECC
+    /// flips, wedges). Always 0 with an inert [`FaultPlan`].
+    pub faults_injected: u64,
 }
 
 impl RunReport {
@@ -184,6 +253,33 @@ pub(crate) fn run_system_compiled_with(
 ) -> Result<RunReport, SystemError> {
     let owned = if pool.is_none() { auto_pool(cfg) } else { None };
     let pool = pool.or(owned.as_ref());
+    let (report, _engines, _maps) =
+        run_system_inner(unit, streams, cfg, pool, || NullSink).map_err(|f| f.error)?;
+    Ok(report)
+}
+
+/// Like [`run_system_compiled`] (with an optional shared pool), but a
+/// failure returns the full [`RunFailure`] — typed error, per-stream
+/// partial results, cycles burned — instead of collapsing to a bare
+/// [`SystemError`]. The entry point for serving layers that retry,
+/// salvage, and quarantine.
+///
+/// # Errors
+///
+/// Returns the boxed [`RunFailure`] on overflow, timeout, wedge, stall,
+/// or worker panic.
+///
+/// # Panics
+///
+/// Panics if a stream is not a whole number of input tokens.
+pub fn run_system_faulted(
+    unit: &CompiledUnit,
+    streams: &[&[u8]],
+    cfg: &SystemConfig,
+    pool: Option<&SimPool>,
+) -> Result<RunReport, Box<RunFailure>> {
+    let owned = if pool.is_none() { auto_pool(cfg) } else { None };
+    let pool = pool.or(owned.as_ref());
     let (report, _engines, _maps) = run_system_inner(unit, streams, cfg, pool, || NullSink)?;
     Ok(report)
 }
@@ -242,7 +338,7 @@ pub(crate) fn run_system_traced_with(
     let owned = if pool.is_none() { auto_pool(cfg) } else { None };
     let pool = pool.or(owned.as_ref());
     let (mut report, engines, index_maps) =
-        run_system_inner(&unit, &refs, cfg, pool, CounterSink::new)?;
+        run_system_inner(&unit, &refs, cfg, pool, CounterSink::new).map_err(|f| f.error)?;
     let channels = engines
         .iter()
         .zip(&index_maps)
@@ -294,6 +390,12 @@ pub(crate) fn build_engines_with<S: TraceSink>(
         let out_base = offset;
         let total = out_base + group.len() * out_alloc;
         let mut dram = DramChannel::new(cfg.platform.dram, total);
+        if !cfg.fault.is_none() {
+            // Channel faults are keyed by channel index; wedges (below)
+            // by submission-order stream index, so the same plan faults
+            // the same streams no matter how they partition.
+            dram.set_faults(cfg.fault.dram(engines.len() as u64));
+        }
         for (k, (_, s)) in group.iter().enumerate() {
             dram.mem_mut()[in_starts[k]..in_starts[k] + s.len()].copy_from_slice(s);
             assigns.push(StreamAssignment {
@@ -306,7 +408,7 @@ pub(crate) fn build_engines_with<S: TraceSink>(
         // Replicate the shared compiled program — no per-replica
         // validation or SSA rebuild.
         let units: Vec<PuExec> = group.iter().map(|_| unit.replicate()).collect();
-        engines.push(ChannelEngine::with_sink(
+        let mut engine = ChannelEngine::with_sink(
             cfg.memctl,
             dram,
             units,
@@ -314,7 +416,16 @@ pub(crate) fn build_engines_with<S: TraceSink>(
             in_tok,
             out_tok,
             make_sink(),
-        ));
+        );
+        engine.set_watchdog(cfg.watchdog_cycles);
+        if !cfg.fault.is_none() {
+            for (k, (orig, _)) in group.iter().enumerate() {
+                if let Some(tokens) = cfg.fault.wedge_threshold(*orig as u64) {
+                    engine.set_wedge(k, tokens);
+                }
+            }
+        }
+        engines.push(engine);
         index_maps.push(group.iter().map(|(i, _)| *i).collect::<Vec<_>>());
     }
     (engines, index_maps)
@@ -332,24 +443,67 @@ fn run_system_inner<S: TraceSink + Send>(
     cfg: &SystemConfig,
     pool: Option<&SimPool>,
     make_sink: impl FnMut() -> S,
-) -> Result<InnerRun<S>, SystemError> {
+) -> Result<InnerRun<S>, Box<RunFailure>> {
     let (mut engines, index_maps) = build_engines_with(unit, streams, cfg, make_sink);
 
     // Run every channel to completion, in parallel.
     let results = drive_channels(&mut engines, cfg.max_cycles, pool);
 
+    // First failure in channel index order (deterministic), with
+    // channel-local unit indices mapped back to submitted streams.
     let mut cycles = 0u64;
-    for (c, r) in results.into_iter().enumerate() {
+    let mut first_err: Option<SystemError> = None;
+    for (c, r) in results.iter().enumerate() {
         match r {
-            Ok(n) => cycles = cycles.max(n),
-            Err(SystemError::OutputOverflow { stream: unit_idx }) => {
-                // The channel reports which of its units overflowed; map
-                // the channel-local index back to the submitted stream.
-                let stream = index_maps[c].get(unit_idx).copied().unwrap_or(0);
-                return Err(SystemError::OutputOverflow { stream });
+            Ok(n) => cycles = cycles.max(*n),
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(match e {
+                        SystemError::OutputOverflow { stream: unit_idx } => {
+                            SystemError::OutputOverflow {
+                                stream: index_maps[c].get(*unit_idx).copied().unwrap_or(0),
+                            }
+                        }
+                        SystemError::UnitWedged { stream: unit_idx } => {
+                            SystemError::UnitWedged {
+                                stream: index_maps[c].get(*unit_idx).copied().unwrap_or(0),
+                            }
+                        }
+                        other => other.clone(),
+                    });
+                }
             }
-            Err(e) => return Err(e),
         }
+    }
+
+    let faults_injected: u64 = engines
+        .iter()
+        .map(|e| e.dram().stats().faults_injected + e.wedged_units() as u64)
+        .sum();
+
+    if let Some(error) = first_err {
+        // Salvage partial per-stream results: every stream on a healthy
+        // channel, plus streams on failed channels whose unit finished
+        // cleanly (output fully committed — the write queue must have
+        // drained for the readback to be trustworthy).
+        let run_cycles = engines.iter().map(|e| e.stats().cycles).max().unwrap_or(0);
+        let mut partial_outputs: Vec<Option<Vec<u8>>> = vec![None; streams.len()];
+        for (c, eng) in engines.iter().enumerate() {
+            let channel_ok = results[c].is_ok();
+            let drained = eng.dram().write_queue_len() == 0;
+            for (k, &orig) in index_maps[c].iter().enumerate() {
+                if channel_ok || (drained && eng.unit_finished(k)) {
+                    partial_outputs[orig] = Some(eng.output_bytes(k));
+                }
+            }
+        }
+        return Err(Box::new(RunFailure {
+            error,
+            partial_outputs,
+            cycles: run_cycles,
+            seconds: cfg.platform.seconds(run_cycles),
+            faults_injected,
+        }));
     }
 
     // Collect outputs in submission order.
@@ -375,6 +529,7 @@ fn run_system_inner<S: TraceSink + Send>(
         outputs,
         seconds: cfg.platform.seconds(cycles),
         trace: None,
+        faults_injected,
     };
     Ok((report, engines, index_maps))
 }
@@ -397,6 +552,8 @@ fn engine_err(e: EngineRunError) -> SystemError {
     match e {
         EngineRunError::Overflow { unit } => SystemError::OutputOverflow { stream: unit },
         EngineRunError::Timeout { max_cycles } => SystemError::Timeout { max_cycles },
+        EngineRunError::Wedged { unit } => SystemError::UnitWedged { stream: unit },
+        EngineRunError::Stalled { idle_cycles } => SystemError::ChannelStalled { idle_cycles },
     }
 }
 
@@ -673,6 +830,78 @@ mod tests {
         assert_eq!(by_spec.outputs, by_unit.outputs);
         assert_eq!(by_spec.input_bytes, by_unit.input_bytes);
         assert_eq!(by_spec.output_bytes, by_unit.output_bytes);
+    }
+
+    #[test]
+    fn dram_faults_slow_the_run_but_outputs_stay_correct() {
+        let spec = identity_spec();
+        let streams: Vec<Vec<u8>> = (0..6)
+            .map(|s| (0..800u32).map(|x| ((x * 5 + s * 41) % 256) as u8).collect())
+            .collect();
+        let unit = CompiledUnit::new(&spec);
+        let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+        let cfg = SystemConfig::f1(1024);
+        let clean = run_system_faulted(&unit, &refs, &cfg, None).unwrap();
+        assert_eq!(clean.faults_injected, 0);
+
+        let mut faulty_cfg = cfg;
+        faulty_cfg.fault =
+            FaultPlan::with_seed(21).dram_stalls(100_000, 300).ecc_flips(50_000);
+        let faulty = run_system_faulted(&unit, &refs, &faulty_cfg, None).unwrap();
+        assert!(faulty.faults_injected > 0, "no faults injected");
+        assert!(faulty.cycles > clean.cycles, "stalls must cost cycles");
+        // ECC-corrected data and stretched timing never corrupt results.
+        assert_eq!(faulty.outputs, clean.outputs);
+
+        // Identical fault seed at 1 vs 8 sim threads: identical run.
+        let mut serial_cfg = faulty_cfg;
+        serial_cfg.sim_threads = SimThreads::Fixed(1);
+        let serial = run_system_faulted(&unit, &refs, &serial_cfg, None).unwrap();
+        let pool = SimPool::new(SimThreads::Fixed(8));
+        let pooled = run_system_faulted(&unit, &refs, &faulty_cfg, Some(&pool)).unwrap();
+        assert_eq!(serial.cycles, pooled.cycles);
+        assert_eq!(serial.outputs, pooled.outputs);
+        assert_eq!(serial.faults_injected, pooled.faults_injected);
+    }
+
+    #[test]
+    fn wedged_unit_is_detected_and_partials_are_salvaged() {
+        let spec = identity_spec();
+        let plan = FaultPlan::with_seed(5).wedges(400_000, 4);
+        let n = 8usize;
+        let wedged: Vec<bool> =
+            (0..n as u64).map(|i| plan.wedge_threshold(i).is_some()).collect();
+        assert!(wedged.iter().any(|&w| w), "seed must wedge at least one stream");
+        assert!(wedged.iter().any(|&w| !w), "seed must leave at least one stream healthy");
+
+        let streams: Vec<Vec<u8>> = (0..n).map(|s| vec![s as u8 + 1; 512]).collect();
+        let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+        let unit = CompiledUnit::new(&spec);
+        let mut cfg = SystemConfig::f1(1024);
+        cfg.fault = plan;
+        cfg.watchdog_cycles = 20_000; // keep detection latency test-sized
+
+        let failure = run_system_faulted(&unit, &refs, &cfg, None).unwrap_err();
+        match failure.error {
+            SystemError::UnitWedged { stream } => {
+                assert!(wedged[stream], "blamed stream {stream} was healthy");
+            }
+            ref other => panic!("expected UnitWedged, got {other}"),
+        }
+        assert_eq!(failure.partial_outputs.len(), n);
+        for (i, p) in failure.partial_outputs.iter().enumerate() {
+            if wedged[i] {
+                assert!(p.is_none(), "wedged stream {i} cannot have completed");
+            } else if let Some(bytes) = p {
+                assert_eq!(bytes, &streams[i], "salvaged output for stream {i} is wrong");
+            }
+        }
+        assert!(
+            failure.partial_outputs.iter().any(|p| p.is_some()),
+            "healthy channels must contribute salvaged results"
+        );
+        assert!(failure.faults_injected >= 1);
+        assert!(failure.cycles >= 20_000, "run must include the watchdog window");
     }
 
     #[test]

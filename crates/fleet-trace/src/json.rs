@@ -1,0 +1,129 @@
+//! Shared helpers for the workspace's hand-rolled JSON emitters.
+//!
+//! No `serde` is vendored, so every report in the stack formats JSON by
+//! hand. Interpolating raw strings (app names, reject reasons, error
+//! messages from fault paths) broke the moment one contained `"` or
+//! `\`; every emitter now routes strings through [`escape_json`].
+
+/// Escapes `s` for embedding inside a JSON string literal (RFC 8259):
+/// `"` and `\` are backslash-escaped, control characters become their
+/// short escapes (`\n`, `\t`, …) or `\u00XX`.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal JSON string-literal parser: the inverse of
+    /// [`escape_json`], for the roundtrip test (no serde offline).
+    fn unescape_json(s: &str) -> String {
+        let mut out = String::new();
+        let mut it = s.chars();
+        while let Some(c) = it.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match it.next().expect("dangling escape") {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'b' => out.push('\u{08}'),
+                'f' => out.push('\u{0c}'),
+                'u' => {
+                    let hex: String = (0..4).map(|_| it.next().expect("4 hex digits")).collect();
+                    let code = u32::from_str_radix(&hex, 16).expect("hex escape");
+                    out.push(char::from_u32(code).expect("valid scalar"));
+                }
+                other => panic!("unknown escape \\{other}"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hostile_strings_roundtrip() {
+        let hostile = [
+            "plain",
+            "quote\" in the middle",
+            "back\\slash",
+            "newline\nand\ttab",
+            "\"\\\"\\",
+            "control\u{01}\u{1f}chars",
+            "bell\u{08}feed\u{0c}return\r",
+            "unicode — ✓ 🚀 über",
+            "spec:8x8\"},{\"inject\":\"attempt",
+            "",
+        ];
+        for s in hostile {
+            let escaped = escape_json(s);
+            // The escaped form contains no raw quote, backslash-invalid
+            // sequences, or control characters...
+            assert!(!escaped.contains('\n'), "raw newline survives: {escaped:?}");
+            assert!(escaped.chars().all(|c| (c as u32) >= 0x20), "raw control: {escaped:?}");
+            let mut bare = escaped.replace("\\\\", "").replace("\\\"", "");
+            for e in ["\\n", "\\r", "\\t", "\\b", "\\f"] {
+                bare = bare.replace(e, "");
+            }
+            while let Some(i) = bare.find("\\u") {
+                bare.replace_range(i..i + 6, "");
+            }
+            assert!(!bare.contains('"'), "unescaped quote in {escaped:?}");
+            assert!(!bare.contains('\\'), "unescaped backslash in {escaped:?}");
+            // ...and decodes back to exactly the original.
+            assert_eq!(unescape_json(&escaped), s, "roundtrip failed for {s:?}");
+        }
+    }
+
+    #[test]
+    fn embedding_in_a_json_document_stays_balanced() {
+        let name = "evil\"name\\with{braces}";
+        let doc = format!("{{\"name\": \"{}\", \"n\": 1}}", escape_json(name));
+        // Braces inside the string literal must not unbalance a naive
+        // structural scan once quotes are honored.
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut prev_escape = false;
+        for c in doc.chars() {
+            if in_str {
+                if prev_escape {
+                    prev_escape = false;
+                } else if c == '\\' {
+                    prev_escape = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+}

@@ -42,11 +42,13 @@
 #![warn(missing_docs)]
 
 pub mod counter;
+pub mod json;
 pub mod event;
 pub mod report;
 pub mod sched;
 pub mod vcd;
 
+pub use json::escape_json;
 pub use counter::{CounterSink, PuCycleCounters, QueueStats, BUS_WINDOW_CYCLES};
 pub use event::{EventSink, TraceEvent};
 pub use report::{ChannelTrace, DramCounters, PuTrace, StallAttribution, TraceReport};

@@ -16,9 +16,13 @@
 /// A latency sample distribution in virtual microseconds.
 ///
 /// Samples are kept raw (serving simulations record thousands of jobs,
-/// not millions), so any percentile is exact.
+/// not millions), so any percentile is exact. The vector is maintained
+/// sorted at insertion, so percentile reads are O(1) — `to_json` and
+/// report printing take several percentiles per tenant per report, and
+/// used to clone + re-sort the whole vector for each one.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LatencyStats {
+    /// Invariant: always sorted ascending.
     samples: Vec<u64>,
 }
 
@@ -28,14 +32,30 @@ impl LatencyStats {
         LatencyStats::default()
     }
 
-    /// Records one sample.
+    /// Records one sample (sorted insert; serving samples arrive in
+    /// roughly increasing completion time, so the common case is an
+    /// append).
     pub fn record(&mut self, us: u64) {
-        self.samples.push(us);
+        match self.samples.last() {
+            Some(&last) if last > us => {
+                let i = self.samples.partition_point(|&s| s <= us);
+                self.samples.insert(i, us);
+            }
+            _ => self.samples.push(us),
+        }
     }
 
-    /// Absorbs every sample of `other`.
+    /// Absorbs every sample of `other` (one merge, not per-sample
+    /// inserts).
     pub fn merge(&mut self, other: &LatencyStats) {
+        if other.samples.is_empty() {
+            return;
+        }
+        let keep_tail = self.samples.last().is_none_or(|&l| l <= other.samples[0]);
         self.samples.extend_from_slice(&other.samples);
+        if !keep_tail {
+            self.samples.sort_unstable();
+        }
     }
 
     /// Number of samples recorded.
@@ -53,20 +73,18 @@ impl LatencyStats {
 
     /// Largest sample, or 0 when empty.
     pub fn max(&self) -> u64 {
-        self.samples.iter().copied().max().unwrap_or(0)
+        self.samples.last().copied().unwrap_or(0)
     }
 
     /// Exact nearest-rank percentile (`p` in [0, 100]), or 0 when
     /// empty: `percentile(50.0)` is the median, `percentile(100.0)` the
-    /// max.
+    /// max. O(1): the samples are already sorted.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.samples.is_empty() {
             return 0;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-        sorted[rank.clamp(1, sorted.len()) - 1]
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.clamp(1, self.samples.len()) - 1]
     }
 
     /// Median shorthand.
@@ -123,6 +141,15 @@ pub struct SchedCounters {
     pub failed: u64,
     /// Jobs that completed after their deadline.
     pub deadline_misses: u64,
+    /// Failed jobs re-queued for another attempt.
+    pub retries: u64,
+    /// Jobs failed because they exceeded the per-job timeout.
+    pub timeouts: u64,
+    /// Instances quarantined after consecutive batch failures.
+    pub quarantines: u64,
+    /// Fault events injected by the simulation substrate (DRAM stalls,
+    /// corrected ECC flips, wedges), summed over all runs.
+    pub faults_injected: u64,
 }
 
 impl SchedCounters {
@@ -148,6 +175,10 @@ impl SchedCounters {
         self.completed += other.completed;
         self.failed += other.failed;
         self.deadline_misses += other.deadline_misses;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.quarantines += other.quarantines;
+        self.faults_injected += other.faults_injected;
     }
 
     /// One JSON object with every counter plus the derived slot-fill
@@ -157,7 +188,8 @@ impl SchedCounters {
             "{{\"submitted\": {}, \"admitted\": {}, \"rejected_queue_full\": {}, \
              \"rejected_malformed\": {}, \"rejected_deadline\": {}, \"batches_packed\": {}, \
              \"jobs_packed\": {}, \"slots_packed\": {}, \"slots_offered\": {}, \
-             \"slot_fill\": {:.4}, \"completed\": {}, \"failed\": {}, \"deadline_misses\": {}}}",
+             \"slot_fill\": {:.4}, \"completed\": {}, \"failed\": {}, \"deadline_misses\": {}, \
+             \"retries\": {}, \"timeouts\": {}, \"quarantines\": {}, \"faults_injected\": {}}}",
             self.submitted,
             self.admitted,
             self.rejected_queue_full,
@@ -170,7 +202,11 @@ impl SchedCounters {
             self.slot_fill(),
             self.completed,
             self.failed,
-            self.deadline_misses
+            self.deadline_misses,
+            self.retries,
+            self.timeouts,
+            self.quarantines,
+            self.faults_injected
         )
     }
 }
@@ -192,6 +228,48 @@ mod tests {
         assert_eq!(l.percentile(100.0), 100);
         assert_eq!(l.max(), 100);
         assert!((l.mean() - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hundred_sample_percentiles_use_nearest_rank_not_max() {
+        // 1..=100: nearest-rank p99 = sample at rank ceil(0.99*100) = 99
+        // — NOT the max. Recorded shuffled to prove order-independence
+        // of the sorted-at-insert representation.
+        let mut l = LatencyStats::new();
+        for v in (0..100u64).map(|i| (i * 37) % 100 + 1) {
+            l.record(v);
+        }
+        assert_eq!(l.count(), 100);
+        assert_eq!(l.p50(), 50);
+        assert_eq!(l.percentile(90.0), 90);
+        assert_eq!(l.p99(), 99, "p99 of 1..=100 must be the 99th-rank sample");
+        assert_eq!(l.percentile(100.0), 100);
+        assert_eq!(l.percentile(1.0), 1);
+        assert_eq!(l.max(), 100);
+    }
+
+    #[test]
+    fn out_of_order_records_and_merges_stay_sorted() {
+        let mut a = LatencyStats::new();
+        for v in [50u64, 10, 90, 30, 70] {
+            a.record(v);
+        }
+        let mut b = LatencyStats::new();
+        for v in [80u64, 20, 60] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 8);
+        assert_eq!(a.percentile(100.0), 90);
+        assert_eq!(a.p50(), 50);
+        assert_eq!(a.max(), 90);
+        // Merging an all-larger distribution takes the append fast path.
+        let mut c = LatencyStats::new();
+        c.record(95);
+        c.record(99);
+        a.merge(&c);
+        assert_eq!(a.max(), 99);
+        assert_eq!(a.p50(), 60);
     }
 
     #[test]
