@@ -382,6 +382,14 @@ impl DramChannel {
         self.writes.len()
     }
 
+    /// Whether any accepted-but-unapplied write burst overlaps the byte
+    /// range `[lo, hi)`. Lets a controller decide which regions of
+    /// memory are safe to read back mid-run (e.g. windowed partial
+    /// output delivery) without waiting for the whole queue to drain.
+    pub fn has_pending_write_in(&self, lo: usize, hi: usize) -> bool {
+        self.writes.iter().any(|w| w.addr < hi && w.addr + w.data.len() > lo)
+    }
+
     /// Advances the channel one cycle: applies completed writes.
     pub fn tick(&mut self) {
         self.now += 1;

@@ -21,14 +21,11 @@
 //! cargo run -p fleet-bench --bin chaos --release -- --smoke
 //! ```
 
-use std::sync::Arc;
-
 use fleet_apps::{App, AppKind};
+use fleet_bench::workload::{self, fingerprint};
 use fleet_bench::{print_table, write_bench_json};
 use fleet_host::{Host, HostConfig, Job, ServiceReport};
 use fleet_system::{FaultPlan, SimThreads};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 #[derive(Debug, Clone)]
 struct Args {
@@ -105,25 +102,23 @@ fn plan_at(fault_seed: u64, rate_ppm: u32) -> FaultPlan {
 }
 
 /// Same skewed open-loop workload as the serve bench, over the Bloom
-/// app (fixed-size tokens keep stream generation cheap).
+/// app (fixed-size tokens keep stream generation cheap). A zero
+/// deadline fraction consumes no extra randomness, so the draw order
+/// matches the historical deadline-free generator exactly.
 fn build_workload(args: &Args) -> Vec<Job> {
-    let app = App::new(AppKind::Bloom);
-    let spec = Arc::new(app.spec());
-    let mut rng = StdRng::seed_from_u64(args.seed);
-    let mut arrival = 0.0f64;
-    (0..args.jobs)
-        .map(|i| {
-            let u: f64 = rng.gen();
-            arrival += -(1.0 - u).ln() / args.rate * 1e6;
-            let tenant: u32 = rng.gen_range(0..args.tenants);
-            let frac: f64 = rng.gen::<f64>().powi(2);
-            let bytes = args.min_bytes
-                + ((args.max_bytes - args.min_bytes) as f64 * frac) as usize;
-            let stream = app.gen_stream(args.seed ^ i as u64, bytes.max(1));
-            Job::new(i as u64, tenant, spec.clone(), vec![stream])
-                .with_arrival(arrival as u64)
-        })
-        .collect()
+    workload::poisson_jobs(
+        &workload::OpenLoop {
+            jobs: args.jobs,
+            tenants: args.tenants,
+            seed: args.seed,
+            rate: args.rate,
+            min_bytes: args.min_bytes,
+            max_bytes: args.max_bytes,
+            deadline_frac: 0.0,
+            deadline_slack_us: 200_000,
+        },
+        &App::new(AppKind::Bloom),
+    )
 }
 
 fn config(args: &Args, rate_ppm: u32, threads: Option<usize>) -> HostConfig {
@@ -141,16 +136,6 @@ fn config(args: &Args, rate_ppm: u32, threads: Option<usize>) -> HostConfig {
 
 fn serve(args: &Args, rate_ppm: u32, threads: Option<usize>, jobs: &[Job]) -> ServiceReport {
     Host::new(config(args, rate_ppm, threads)).serve(jobs.to_vec())
-}
-
-/// FNV-1a over the report JSON — a cheap determinism fingerprint.
-fn fingerprint(s: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 fn main() {

@@ -15,13 +15,10 @@
 //!     --jobs 200 --tenants 8 --instances 2
 //! ```
 
-use std::sync::Arc;
-
 use fleet_apps::{App, AppKind};
+use fleet_bench::workload::{self, fingerprint};
 use fleet_bench::{print_table, write_bench_json};
 use fleet_host::{Host, HostConfig, Job, ServiceReport};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 #[derive(Debug, Clone)]
 struct Args {
@@ -84,29 +81,19 @@ impl Args {
 /// inter-arrival draws) with skewed stream lengths, all from one seeded
 /// generator.
 fn build_workload(args: &Args) -> Vec<Job> {
-    let app = App::new(AppKind::Bloom);
-    let spec = Arc::new(app.spec());
-    let mut rng = StdRng::seed_from_u64(args.seed);
-    let mut arrival = 0.0f64;
-    (0..args.jobs)
-        .map(|i| {
-            let u: f64 = rng.gen();
-            arrival += -(1.0 - u).ln() / args.rate * 1e6;
-            let tenant: u32 = rng.gen_range(0..args.tenants);
-            // Skew: most streams near the minimum, a heavy tail near
-            // the maximum (square of a uniform draw).
-            let frac: f64 = rng.gen::<f64>().powi(2);
-            let bytes = args.min_bytes
-                + ((args.max_bytes - args.min_bytes) as f64 * frac) as usize;
-            let stream = app.gen_stream(args.seed ^ i as u64, bytes.max(1));
-            let mut job =
-                Job::new(i as u64, tenant, spec.clone(), vec![stream]).with_arrival(arrival as u64);
-            if args.deadline_frac > 0.0 && rng.gen_bool(args.deadline_frac) {
-                job = job.with_deadline(arrival as u64 + 200_000);
-            }
-            job
-        })
-        .collect()
+    workload::poisson_jobs(
+        &workload::OpenLoop {
+            jobs: args.jobs,
+            tenants: args.tenants,
+            seed: args.seed,
+            rate: args.rate,
+            min_bytes: args.min_bytes,
+            max_bytes: args.max_bytes,
+            deadline_frac: args.deadline_frac,
+            deadline_slack_us: 200_000,
+        },
+        &App::new(AppKind::Bloom),
+    )
 }
 
 fn serve_on(instances: usize, args: &Args, jobs: Vec<Job>) -> ServiceReport {
@@ -116,16 +103,6 @@ fn serve_on(instances: usize, args: &Args, jobs: Vec<Job>) -> ServiceReport {
         cfg.weights.push((t, 1 + t % 3));
     }
     Host::new(cfg).serve(jobs)
-}
-
-/// FNV-1a over the report JSON — a cheap determinism fingerprint.
-fn fingerprint(s: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 fn main() {

@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod workload;
+
 use fleet_apps::{App, AppKind};
 use fleet_baselines::cpu::{self, CpuModel};
 use fleet_baselines::kernel::Kernel;

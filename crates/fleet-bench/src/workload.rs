@@ -1,0 +1,266 @@
+//! Shared workload generation for the serving benches.
+//!
+//! The `serve`, `chaos`, and `sessions` binaries all drive the host
+//! with seeded open-loop arrivals. The generators live here so the
+//! benches measure the *scheduler* under one workload model instead of
+//! three near-copies drifting apart: Poisson arrivals (exponential
+//! inter-arrival draws), skewed stream lengths, and tenant assignment,
+//! all from a single seeded PRNG so a fixed seed reproduces every run
+//! bit-for-bit.
+
+use std::sync::Arc;
+
+use fleet_apps::App;
+use fleet_host::arrival::{Arrival, SessionOpen};
+use fleet_host::{Job, SessionConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the open-loop Poisson job workload shared by the
+/// `serve` and `chaos` benches.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoop {
+    /// Jobs to generate.
+    pub jobs: usize,
+    /// Tenants to spread them across.
+    pub tenants: u32,
+    /// Workload seed.
+    pub seed: u64,
+    /// Offered load in jobs per virtual second.
+    pub rate: f64,
+    /// Smallest stream, in bytes.
+    pub min_bytes: usize,
+    /// Largest stream, in bytes.
+    pub max_bytes: usize,
+    /// Fraction of jobs submitted with a deadline (0 disables; the
+    /// deadline draw consumes no randomness when disabled, so a
+    /// zero-fraction workload is byte-identical to one generated
+    /// without deadline support at all).
+    pub deadline_frac: f64,
+    /// Deadline slack past the arrival, in virtual µs.
+    pub deadline_slack_us: u64,
+}
+
+/// Builds the open-loop workload over `app`: Poisson arrivals with
+/// skewed stream lengths (square of a uniform draw — most streams near
+/// the minimum, a heavy tail near the maximum), all from one seeded
+/// generator.
+pub fn poisson_jobs(w: &OpenLoop, app: &App) -> Vec<Job> {
+    let spec = Arc::new(app.spec());
+    let mut rng = StdRng::seed_from_u64(w.seed);
+    let mut arrival = 0.0f64;
+    (0..w.jobs)
+        .map(|i| {
+            let u: f64 = rng.gen();
+            arrival += -(1.0 - u).ln() / w.rate * 1e6;
+            let tenant: u32 = rng.gen_range(0..w.tenants);
+            let frac: f64 = rng.gen::<f64>().powi(2);
+            let bytes = w.min_bytes + ((w.max_bytes - w.min_bytes) as f64 * frac) as usize;
+            let stream = app.gen_stream(w.seed ^ i as u64, bytes.max(1));
+            let mut job = Job::new(i as u64, tenant, spec.clone(), vec![stream])
+                .with_arrival(arrival as u64);
+            if w.deadline_frac > 0.0 && rng.gen_bool(w.deadline_frac) {
+                job = job.with_deadline(arrival as u64 + w.deadline_slack_us);
+            }
+            job
+        })
+        .collect()
+}
+
+/// Draws a heavy-tailed length in `[min_len, max_len]`, rounded down to
+/// a multiple of `align` (at least one `align`): the fourth power of a
+/// uniform draw keeps most chunks tiny with a long tail of large ones —
+/// the chunk-size profile of real streaming ingestion.
+pub fn heavy_tailed_len(rng: &mut StdRng, min_len: usize, max_len: usize, align: usize) -> usize {
+    let frac: f64 = rng.gen::<f64>().powi(4);
+    let raw = min_len + ((max_len - min_len) as f64 * frac) as usize;
+    let align = align.max(1);
+    (raw / align).max(1) * align
+}
+
+/// Parameters of the session-ingestion workload for the `sessions`
+/// bench.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionLoad {
+    /// Sessions to open.
+    pub sessions: usize,
+    /// Tenants to spread them across.
+    pub tenants: u32,
+    /// Workload seed.
+    pub seed: u64,
+    /// Chunks appended per session.
+    pub chunks_per_session: usize,
+    /// Smallest chunk, in bytes (token-aligned internally).
+    pub min_chunk: usize,
+    /// Largest chunk, in bytes.
+    pub max_chunk: usize,
+    /// Virtual µs between consecutive session opens.
+    pub open_gap_us: u64,
+    /// Virtual µs between a session's consecutive chunks.
+    pub chunk_gap_us: u64,
+    /// Per-session credit (staged-byte bound). Every `starve_every`-th
+    /// session instead gets a single-chunk credit, so heavy appends
+    /// bounce with backpressure.
+    pub credit_bytes: usize,
+    /// Give every n-th session a starved credit window (0 disables).
+    pub starve_every: usize,
+}
+
+/// Builds the session timeline: every session opens before any closes
+/// (the opens all land in an initial burst, the closes only after every
+/// session has appended all its chunks), so the peak number of
+/// concurrently open sessions equals the session count. Chunk sizes are
+/// heavy-tailed and token-aligned for `app`.
+pub fn session_arrivals(w: &SessionLoad, app: &App) -> Vec<Arrival> {
+    let spec = Arc::new(app.spec());
+    let token = (spec.input_token_bits as usize / 8).max(1);
+    let mut rng = StdRng::seed_from_u64(w.seed ^ 0x5e55_1011);
+    let mut events = Vec::new();
+    let mut close_after = 0u64;
+    let mut chunks: Vec<Vec<(u64, Vec<u8>)>> = Vec::with_capacity(w.sessions);
+    for s in 0..w.sessions {
+        let opened = s as u64 * w.open_gap_us;
+        let mut total = 0usize;
+        let mut per_session = Vec::with_capacity(w.chunks_per_session);
+        let mut t = opened;
+        for c in 0..w.chunks_per_session {
+            t += 1 + w.chunk_gap_us + (rng.gen::<u64>() % (w.chunk_gap_us.max(1)));
+            let len = heavy_tailed_len(&mut rng, w.min_chunk, w.max_chunk, token);
+            let bytes = app.gen_stream(w.seed ^ (s as u64) << 8 ^ c as u64, len);
+            total += bytes.len();
+            per_session.push((t, bytes));
+        }
+        close_after = close_after.max(t);
+        let starved = w.starve_every > 0 && s % w.starve_every == 0;
+        let credit = if starved {
+            // Room for one median chunk only: bursts must bounce.
+            (w.min_chunk.max(token) * 2).min(w.credit_bytes)
+        } else {
+            w.credit_bytes
+        };
+        events.push(Arrival::Open(SessionOpen {
+            id: s as u64,
+            tenant: s as u32 % w.tenants.max(1),
+            spec: spec.clone(),
+            cfg: SessionConfig {
+                streams: 1,
+                stream_capacity: (total.div_ceil(token)).max(1) * token,
+                credit_bytes: credit.max(token),
+                out_capacity: 2 * total.max(512),
+            },
+            at_us: opened,
+        }));
+        chunks.push(per_session);
+    }
+    for (s, per_session) in chunks.into_iter().enumerate() {
+        for (t, bytes) in per_session {
+            events.push(Arrival::Append { session: s as u64, stream: 0, bytes, at_us: t });
+        }
+    }
+    // Closes land strictly after the last append of any session, so the
+    // whole population is open at once: peak_open == sessions.
+    for s in 0..w.sessions {
+        events.push(Arrival::Close {
+            session: s as u64,
+            at_us: close_after + 1 + s as u64,
+        });
+    }
+    events
+}
+
+/// FNV-1a over a report JSON — the cheap determinism fingerprint every
+/// serving bench prints.
+pub fn fingerprint(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet_apps::AppKind;
+
+    #[test]
+    fn poisson_jobs_are_reproducible_and_sorted_enough() {
+        let w = OpenLoop {
+            jobs: 50,
+            tenants: 4,
+            seed: 9,
+            rate: 1_000_000.0,
+            min_bytes: 64,
+            max_bytes: 2048,
+            deadline_frac: 0.0,
+            deadline_slack_us: 200_000,
+        };
+        let app = App::new(AppKind::Bloom);
+        let a = poisson_jobs(&w, &app);
+        let b = poisson_jobs(&w, &app);
+        assert_eq!(a.len(), 50);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival_us, y.arrival_us);
+            assert_eq!(x.streams, y.streams);
+            assert_eq!(x.tenant, y.tenant);
+        }
+        // Arrivals are non-decreasing by construction.
+        for w in a.windows(2) {
+            assert!(w[0].arrival_us <= w[1].arrival_us);
+        }
+    }
+
+    #[test]
+    fn heavy_tail_respects_bounds_and_alignment() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen_small = false;
+        for _ in 0..500 {
+            let len = heavy_tailed_len(&mut rng, 16, 4096, 4);
+            assert!(len.is_multiple_of(4) && (4..=4096).contains(&len));
+            seen_small |= len < 256;
+        }
+        assert!(seen_small, "the tail should mostly be small");
+    }
+
+    #[test]
+    fn session_arrivals_open_everything_before_any_close() {
+        let w = SessionLoad {
+            sessions: 20,
+            tenants: 3,
+            seed: 5,
+            chunks_per_session: 4,
+            min_chunk: 16,
+            max_chunk: 512,
+            open_gap_us: 3,
+            chunk_gap_us: 10,
+            credit_bytes: 1 << 16,
+            starve_every: 7,
+        };
+        let events = session_arrivals(&w, &App::new(AppKind::Bloom));
+        let last_open = events
+            .iter()
+            .filter(|e| matches!(e, Arrival::Open(_)))
+            .map(|e| e.at_us())
+            .max()
+            .unwrap();
+        let first_close = events
+            .iter()
+            .filter(|e| matches!(e, Arrival::Close { .. }))
+            .map(|e| e.at_us())
+            .min()
+            .unwrap();
+        assert!(
+            last_open < first_close,
+            "every session must be open before any closes"
+        );
+        assert_eq!(
+            events.iter().filter(|e| matches!(e, Arrival::Open(_))).count(),
+            20
+        );
+        assert_eq!(
+            events.iter().filter(|e| matches!(e, Arrival::Append { .. })).count(),
+            80
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Arrival timelines: what the serving loop consumes.
+//!
+//! [`Host::serve`](crate::Host::serve) historically took a `Vec<Job>`.
+//! Long-lived sessions need a richer timeline — opens, chunk appends,
+//! and closes interleaved with one-shot jobs — so the scheduler now
+//! drains an [`ArrivalSource`] and `serve(Vec<Job>)` is a thin adapter
+//! ([`VecArrivals`]) over it. Workload generators that mix jobs and
+//! sessions build a [`MixedArrivals`].
+
+use std::sync::Arc;
+
+use fleet_lang::UnitSpec;
+use fleet_session::{SessionConfig, SessionId};
+
+use crate::job::{Job, TenantId};
+
+/// A session-open event: everything the host needs to admit a new
+/// [`Session`](fleet_session::Session).
+#[derive(Debug, Clone)]
+pub struct SessionOpen {
+    /// Session id, unique within the workload.
+    pub id: SessionId,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Unit spec every stream of the session runs through.
+    pub spec: Arc<UnitSpec>,
+    /// Shape and flow-control parameters.
+    pub cfg: SessionConfig,
+    /// Virtual arrival time (µs).
+    pub at_us: u64,
+}
+
+/// One event on the serving timeline.
+#[derive(Debug, Clone)]
+pub enum Arrival {
+    /// A one-shot job submission.
+    Job(Job),
+    /// A session opens.
+    Open(SessionOpen),
+    /// A chunk lands on an open session stream.
+    Append {
+        /// Target session.
+        session: SessionId,
+        /// Stream index within the session.
+        stream: usize,
+        /// Chunk payload.
+        bytes: Vec<u8>,
+        /// Virtual arrival time (µs).
+        at_us: u64,
+    },
+    /// A session's client closes all its streams.
+    Close {
+        /// Target session.
+        session: SessionId,
+        /// Virtual arrival time (µs).
+        at_us: u64,
+    },
+}
+
+impl Arrival {
+    /// The event's virtual timestamp.
+    pub fn at_us(&self) -> u64 {
+        match self {
+            Arrival::Job(j) => j.arrival_us,
+            Arrival::Open(o) => o.at_us,
+            Arrival::Append { at_us, .. } | Arrival::Close { at_us, .. } => *at_us,
+        }
+    }
+}
+
+/// A time-ordered stream of arrivals for the serving loop.
+///
+/// Implementations must yield events in non-decreasing `at_us` order;
+/// ties resolve in yield order (which the scheduler preserves), so a
+/// source is fully deterministic.
+pub trait ArrivalSource {
+    /// Timestamp of the next event, if any, without consuming it.
+    fn peek_us(&mut self) -> Option<u64>;
+    /// Consumes and returns the next event.
+    fn next_arrival(&mut self) -> Option<Arrival>;
+}
+
+/// The classic job-set timeline: sorts by `(arrival_us, id)` exactly
+/// like the pre-session scheduler did, so `serve(Vec<Job>)` through
+/// this adapter is bit-identical to the historical behavior.
+#[derive(Debug)]
+pub struct VecArrivals {
+    jobs: std::iter::Peekable<std::vec::IntoIter<Job>>,
+}
+
+impl VecArrivals {
+    /// Builds the timeline from an unordered job set.
+    pub fn new(mut jobs: Vec<Job>) -> VecArrivals {
+        jobs.sort_by_key(|j| (j.arrival_us, j.id));
+        VecArrivals { jobs: jobs.into_iter().peekable() }
+    }
+}
+
+impl ArrivalSource for VecArrivals {
+    fn peek_us(&mut self) -> Option<u64> {
+        self.jobs.peek().map(|j| j.arrival_us)
+    }
+
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        self.jobs.next().map(Arrival::Job)
+    }
+}
+
+/// A mixed timeline of jobs and session events, stably sorted by
+/// timestamp (ties keep construction order).
+#[derive(Debug)]
+pub struct MixedArrivals {
+    events: std::iter::Peekable<std::vec::IntoIter<Arrival>>,
+}
+
+impl MixedArrivals {
+    /// Builds the timeline from an event set in any order.
+    pub fn new(mut events: Vec<Arrival>) -> MixedArrivals {
+        events.sort_by_key(Arrival::at_us);
+        MixedArrivals { events: events.into_iter().peekable() }
+    }
+}
+
+impl ArrivalSource for MixedArrivals {
+    fn peek_us(&mut self) -> Option<u64> {
+        self.events.peek().map(Arrival::at_us)
+    }
+
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        self.events.next()
+    }
+}

@@ -22,16 +22,28 @@
 //! Scheduler decisions and per-job latency land in
 //! [`fleet_trace::SchedCounters`] / [`fleet_trace::LatencyStats`] and
 //! are exported through a hand-rolled JSON [`ServiceReport`].
+//!
+//! Beyond one-shot jobs, the host serves long-lived
+//! [`fleet_session::Session`]s: clients open a session, append chunks
+//! against a credit-based backpressure window, and read output windows
+//! incrementally while the scheduler time-shares instances between
+//! session quanta and job batches (see [`Host::serve_arrivals`] and the
+//! [`arrival`] module).
 
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod job;
 pub mod pack;
 pub mod queue;
 pub mod report;
 pub mod scheduler;
 
+pub use arrival::{Arrival, ArrivalSource, MixedArrivals, SessionOpen, VecArrivals};
 pub use fleet_fault::FaultPlan;
+pub use fleet_session::{
+    AppendError, Session, SessionConfig, SessionId, SessionRecord, SessionState,
+};
 pub use job::{
     CompletedJob, FailedJob, Job, JobId, JobLatency, RejectReason, RejectedJob, TenantId,
 };

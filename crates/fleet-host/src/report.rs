@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use fleet_session::SessionRecord;
 use fleet_system::InstanceStats;
 use fleet_trace::{escape_json, LatencyStats, SchedCounters};
 
@@ -48,6 +49,9 @@ pub struct ServiceReport {
     pub rejected: Vec<RejectedJob>,
     /// Jobs whose batch failed.
     pub failed: Vec<FailedJob>,
+    /// Finished sessions (completed, force-closed, or failed), in
+    /// finish order. Empty for job-only workloads.
+    pub sessions: Vec<SessionRecord>,
     /// Per-tenant breakdown.
     pub tenants: BTreeMap<TenantId, TenantReport>,
     /// Lifetime statistics of every pool instance.
@@ -65,6 +69,7 @@ impl ServiceReport {
         completed: Vec<CompletedJob>,
         rejected: Vec<RejectedJob>,
         failed: Vec<FailedJob>,
+        sessions: Vec<SessionRecord>,
         instances: Vec<InstanceStats>,
         first_arrival_us: u64,
     ) -> ServiceReport {
@@ -89,15 +94,23 @@ impl ServiceReport {
         }
         let last_completion =
             completed.iter().map(|c| c.completed_us).max().unwrap_or(first_arrival_us);
+        // Sessions extend the makespan to their last finish; for
+        // job-only workloads this is exactly the historical value.
+        let last_session =
+            sessions.iter().map(|s| s.finished_us).max().unwrap_or(first_arrival_us);
         ServiceReport {
             counters,
             completed,
             rejected,
             failed,
+            sessions,
             tenants,
             instances,
             first_arrival_us,
-            makespan_us: last_completion.saturating_sub(first_arrival_us).max(1),
+            makespan_us: last_completion
+                .max(last_session)
+                .saturating_sub(first_arrival_us)
+                .max(1),
         }
     }
 
@@ -206,6 +219,38 @@ impl ServiceReport {
             ));
         }
         s.push_str("  ],\n");
+        // Session records appear only for workloads that opened
+        // sessions, keeping job-only reports byte-identical to the
+        // pre-session layout.
+        if !self.sessions.is_empty() {
+            s.push_str("  \"sessions\": [\n");
+            let n_sess = self.sessions.len();
+            for (i, sess) in self.sessions.iter().enumerate() {
+                s.push_str(&format!(
+                    "    {{\"id\": {}, \"tenant\": {}, \"opened_us\": {}, \
+                     \"finished_us\": {}, \"chunks\": {}, \"appended_bytes\": {}, \
+                     \"delivered_bytes\": {}, \"backpressure\": {}, \"evictions\": {}, \
+                     \"advances\": {}, \"outcome\": \"{}\", \"ingest\": {}, \"run\": {}, \
+                     \"drain\": {}}}{}\n",
+                    sess.id,
+                    sess.tenant,
+                    sess.opened_us,
+                    sess.finished_us,
+                    sess.chunks,
+                    sess.appended_bytes,
+                    sess.delivered_bytes,
+                    sess.backpressure,
+                    sess.evictions,
+                    sess.advances,
+                    escape_json(&sess.outcome),
+                    sess.ingest.to_json(),
+                    sess.run.to_json(),
+                    sess.drain.to_json(),
+                    if i + 1 < n_sess { "," } else { "" }
+                ));
+            }
+            s.push_str("  ],\n");
+        }
         s.push_str("  \"instances\": [\n");
         let n_inst = self.instances.len();
         for (i, inst) in self.instances.iter().enumerate() {
@@ -257,6 +302,7 @@ mod tests {
             completed,
             vec![],
             vec![],
+            vec![],
             vec![InstanceStats::default()],
             0,
         );
@@ -272,6 +318,7 @@ mod tests {
         let r = ServiceReport::build(
             SchedCounters::default(),
             vec![done(0, 3, 500, 32)],
+            vec![],
             vec![],
             vec![],
             vec![InstanceStats::default()],
@@ -303,6 +350,7 @@ mod tests {
                 error: "spec:8x8\"},{\"inject\":\"attempt".to_string(),
             }],
             vec![],
+            vec![],
             0,
         );
         let json = r.to_json();
@@ -317,6 +365,7 @@ mod tests {
     fn empty_report_is_safe() {
         let r = ServiceReport::build(
             SchedCounters::default(),
+            vec![],
             vec![],
             vec![],
             vec![],

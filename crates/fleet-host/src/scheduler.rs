@@ -14,16 +14,18 @@
 //! stamp completions (drains serialize per instance, in completion
 //! order) → advance the clock to the next arrival or batch completion.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use fleet_compiler::CompiledUnit;
 use fleet_fault::FaultPlan;
+use fleet_session::{Session, SessionId, SessionRecord, SessionState};
 use fleet_system::{
     max_units, Instance, RunFailure, RunReport, SimPool, SystemConfig, SystemError,
 };
 use fleet_trace::SchedCounters;
 
+use crate::arrival::{Arrival, ArrivalSource, VecArrivals};
 use crate::job::{CompletedJob, FailedJob, Job, JobLatency, RejectedJob, TenantId};
 use crate::pack::{pack_batch, PackedBatch};
 use crate::queue::SubmitQueue;
@@ -70,6 +72,11 @@ pub struct HostConfig {
     /// from the pool (quarantined) and its work re-queued onto healthy
     /// instances. 0 disables quarantine.
     pub quarantine_after: u32,
+    /// Virtual µs a resident session may sit with nothing staged before
+    /// its slot residency is evicted (the engine state is kept; the
+    /// session re-admits when its next chunk arrives). 0 disables
+    /// idle eviction.
+    pub session_idle_evict_us: u64,
     /// Fault-injection plan. Each launched batch runs under a plan
     /// derived from this one by a deterministic batch counter, so a
     /// serve is reproducible for a fixed seed no matter how batches
@@ -99,6 +106,7 @@ impl HostConfig {
             retry_backoff_us: 200,
             retry_backoff_cap_us: 10_000,
             quarantine_after: 3,
+            session_idle_evict_us: 10_000,
             fault: FaultPlan::none(),
         }
     }
@@ -168,9 +176,29 @@ impl Host {
     /// Deterministic: the same job set (same ids, arrivals, streams)
     /// produces an identical report, regardless of how the worker
     /// threads interleave in wall time.
-    pub fn serve(&mut self, mut jobs: Vec<Job>) -> ServiceReport {
-        jobs.sort_by_key(|a| (a.arrival_us, a.id));
-        let first_arrival = jobs.first().map_or(0, |j| j.arrival_us);
+    ///
+    /// Equivalent to [`Host::serve_arrivals`] over a [`VecArrivals`]
+    /// timeline.
+    pub fn serve(&mut self, jobs: Vec<Job>) -> ServiceReport {
+        self.serve_arrivals(VecArrivals::new(jobs))
+    }
+
+    /// Serves an arbitrary arrival timeline: one-shot jobs interleaved
+    /// with long-lived session opens, chunk appends, and closes.
+    ///
+    /// Jobs follow the batch path exactly as in [`Host::serve`].
+    /// Sessions coexist by time-sharing: each loop iteration an idle,
+    /// healthy instance either advances one ready resident session
+    /// (earliest `(ready_since, id)` wins) or packs one job batch.
+    /// Sessions hold slot residency (their stream count, bounded by
+    /// [`HostConfig::pu_slot_cap`] per instance); idle residents are
+    /// evicted after [`HostConfig::session_idle_evict_us`] and
+    /// re-admitted when their next chunk arrives. Once the timeline is
+    /// exhausted, sessions the client never closed are force-closed so
+    /// the serve terminates with every session in exactly one reported
+    /// state.
+    pub fn serve_arrivals<S: ArrivalSource>(&mut self, mut source: S) -> ServiceReport {
+        let first_arrival = source.peek_us().unwrap_or(0);
 
         let mut queue = SubmitQueue::new(self.cfg.queue_capacity);
         for &(tenant, weight) in &self.cfg.weights {
@@ -197,28 +225,189 @@ impl Host {
         // never depends on wall-clock thread interleaving.
         let mut batch_uid: u64 = 0;
 
-        let mut arrivals = jobs.into_iter().peekable();
+        // Live sessions and their scheduling state. Residency is the
+        // stream count a session reserves on its instance; sessions
+        // waiting for a residency slot queue in `pending_admit` (FIFO,
+        // mirrored by `pending_set` for O(log n) membership tests).
+        let mut sessions: BTreeMap<SessionId, Session> = BTreeMap::new();
+        let mut session_records: Vec<SessionRecord> = Vec::new();
+        let mut resident_on: BTreeMap<SessionId, usize> = BTreeMap::new();
+        let mut resident_streams: Vec<usize> = vec![0; n];
+        let mut pending_admit: VecDeque<SessionId> = VecDeque::new();
+        let mut pending_set: BTreeSet<SessionId> = BTreeSet::new();
+        let mut open_now: u64 = 0;
+        let mut force_closed_all = false;
+
         let mut now = first_arrival;
 
         loop {
             // Admit everything that has arrived by now, in arrival
-            // order; the queue backpressures past its bound.
-            while arrivals.peek().is_some_and(|j| j.arrival_us <= now) {
-                let job = arrivals.next().expect("peeked arrival");
-                counters.submitted += 1;
-                match queue.submit(job, now) {
-                    Ok(()) => counters.admitted += 1,
-                    Err(r) => {
-                        match r.reason {
-                            crate::job::RejectReason::QueueFull => {
-                                counters.rejected_queue_full += 1;
+            // order; the job queue backpressures past its bound, and
+            // session appends backpressure past their credit.
+            while source.peek_us().is_some_and(|t| t <= now) {
+                match source.next_arrival().expect("peeked arrival") {
+                    Arrival::Job(job) => {
+                        counters.submitted += 1;
+                        match queue.submit(job, now) {
+                            Ok(()) => counters.admitted += 1,
+                            Err(r) => {
+                                match r.reason {
+                                    crate::job::RejectReason::QueueFull => {
+                                        counters.rejected_queue_full += 1;
+                                    }
+                                    _ => counters.rejected_malformed += 1,
+                                }
+                                rejected.push(r);
                             }
-                            _ => counters.rejected_malformed += 1,
                         }
-                        rejected.push(r);
+                    }
+                    Arrival::Open(o) => {
+                        counters.sessions.opened += 1;
+                        let tok = (o.spec.input_token_bits as usize / 8).max(1);
+                        let malformed = if o.cfg.streams == 0 {
+                            Some("no streams")
+                        } else if o.cfg.streams > self.cfg.pu_slot_cap.max(1) {
+                            Some("streams exceed instance slot capacity")
+                        } else if o.cfg.stream_capacity % tok != 0 {
+                            Some("stream capacity is not a whole number of tokens")
+                        } else {
+                            None
+                        };
+                        if let Some(why) = malformed {
+                            counters.sessions.failed += 1;
+                            session_records.push(SessionRecord {
+                                id: o.id,
+                                tenant: o.tenant,
+                                opened_us: o.at_us,
+                                finished_us: o.at_us,
+                                outcome: format!("failed: rejected at open: {why}"),
+                                ..SessionRecord::default()
+                            });
+                        } else {
+                            let s = Session::new(o.id, o.tenant, o.spec, o.cfg, o.at_us);
+                            open_now += 1;
+                            counters.sessions.peak_open =
+                                counters.sessions.peak_open.max(open_now);
+                            sessions.insert(o.id, s);
+                            if pending_set.insert(o.id) {
+                                pending_admit.push_back(o.id);
+                            }
+                        }
+                    }
+                    Arrival::Append { session, stream, bytes, at_us } => {
+                        if let Some(s) = sessions.get_mut(&session) {
+                            if stream >= s.config().streams {
+                                continue;
+                            }
+                            let len = bytes.len() as u64;
+                            match s.append(stream, bytes, at_us) {
+                                Ok(()) => {
+                                    counters.sessions.appends += 1;
+                                    counters.sessions.append_bytes += len;
+                                    if !resident_on.contains_key(&session)
+                                        && pending_set.insert(session)
+                                    {
+                                        pending_admit.push_back(session);
+                                    }
+                                }
+                                Err(fleet_session::AppendError::Closed) => {}
+                                Err(_) => counters.sessions.backpressure += 1,
+                            }
+                        }
+                    }
+                    Arrival::Close { session, at_us } => {
+                        if let Some(s) = sessions.get_mut(&session) {
+                            if s.state() == SessionState::Open {
+                                counters.sessions.closes += 1;
+                                s.request_close(at_us);
+                                if !resident_on.contains_key(&session)
+                                    && pending_set.insert(session)
+                                {
+                                    pending_admit.push_back(session);
+                                }
+                            }
+                        }
                     }
                 }
             }
+
+            // The timeline is exhausted: no session can ever receive
+            // another chunk, so close whatever the clients left open
+            // (once — no new sessions can appear after this).
+            if !force_closed_all && source.peek_us().is_none() {
+                force_closed_all = true;
+                for (&sid, s) in sessions.iter_mut() {
+                    if s.state() == SessionState::Open {
+                        counters.sessions.force_closed += 1;
+                        s.force_closed = true;
+                        s.request_close(now);
+                        if !resident_on.contains_key(&sid) && pending_set.insert(sid) {
+                            pending_admit.push_back(sid);
+                        }
+                    }
+                }
+            }
+
+            // Evict residents that have sat idle past the budget: the
+            // reservation frees (and can be reused this very iteration),
+            // the engine state stays with the session.
+            if self.cfg.session_idle_evict_us > 0 {
+                let evicted: Vec<(SessionId, usize)> = resident_on
+                    .iter()
+                    .filter(|(sid, _)| {
+                        let s = &sessions[sid];
+                        !s.ready()
+                            && !s.finished()
+                            && s.last_event_us + self.cfg.session_idle_evict_us <= now
+                    })
+                    .map(|(&sid, &i)| (sid, i))
+                    .collect();
+                for (sid, i) in evicted {
+                    resident_on.remove(&sid);
+                    let s = sessions.get_mut(&sid).expect("evicting a live session");
+                    resident_streams[i] -= s.config().streams;
+                    s.evictions += 1;
+                    counters.sessions.evictions += 1;
+                }
+            }
+
+            // Admit pending sessions (FIFO) onto the least-loaded
+            // healthy instance with residency to spare. First admission
+            // builds and binds the resumable engine run; later ones are
+            // re-admissions of an evicted session whose state is kept.
+            let mut still_pending: VecDeque<SessionId> = VecDeque::new();
+            while let Some(sid) = pending_admit.pop_front() {
+                let Some(s) = sessions.get_mut(&sid) else {
+                    pending_set.remove(&sid);
+                    continue;
+                };
+                let streams = s.config().streams;
+                let slot = (0..n)
+                    .filter(|&i| {
+                        !quarantined[i]
+                            && resident_streams[i] + streams <= self.cfg.pu_slot_cap.max(1)
+                    })
+                    .min_by_key(|&i| (resident_streams[i], i));
+                match slot {
+                    Some(i) => {
+                        pending_set.remove(&sid);
+                        resident_streams[i] += streams;
+                        resident_on.insert(sid, i);
+                        if s.has_run() {
+                            counters.sessions.readmissions += 1;
+                        } else {
+                            let unit = self
+                                .compiled_cache
+                                .entry(s.spec_key.clone())
+                                .or_insert_with(|| CompiledUnit::from_arc(s.spec.clone()));
+                            let caps = vec![s.config().stream_capacity; streams];
+                            s.bind(instances[i].open_run(unit, &caps, s.config().out_capacity));
+                        }
+                    }
+                    None => still_pending.push_back(sid),
+                }
+            }
+            pending_admit = still_pending;
 
             // Release retried jobs whose backoff has elapsed back into
             // the queue (no re-count of submitted/admitted — a retry is
@@ -256,12 +445,32 @@ impl Host {
                 }
             }
 
-            // One batch per idle, healthy instance, each under a fault
-            // plan derived from the deterministic batch counter.
+            // Time-sharing: each idle, healthy instance either advances
+            // one ready resident session this busy period or packs one
+            // job batch. Among an instance's ready residents, the one
+            // waiting longest (earliest `(ready_since, id)`) wins.
+            let mut session_for: Vec<Option<((u64, SessionId), SessionId)>> = vec![None; n];
+            for (&sid, &i) in &resident_on {
+                if busy_until[i].is_some() || quarantined[i] {
+                    continue;
+                }
+                let s = &sessions[&sid];
+                if !s.ready() {
+                    continue;
+                }
+                let key = (s.ready_since.unwrap_or(0), sid);
+                if session_for[i].is_none_or(|(best, _)| key < best) {
+                    session_for[i] = Some((key, sid));
+                }
+            }
+
+            // One batch per idle, healthy instance not already claimed
+            // by a session, each under a fault plan derived from the
+            // deterministic batch counter.
             let mut batch_for: Vec<Option<(PackedBatch, FaultPlan)>> =
                 (0..n).map(|_| None).collect();
             for (i, slot) in batch_for.iter_mut().enumerate() {
-                if busy_until[i].is_none() && !quarantined[i] {
+                if busy_until[i].is_none() && !quarantined[i] && session_for[i].is_none() {
                     let cache = &mut self.slot_cache;
                     let cfg = &self.cfg;
                     if let Some(batch) = pack_batch(
@@ -492,6 +701,44 @@ impl Host {
             }
             retries.sort_by_key(|(ready, job)| (*ready, job.id));
 
+            // Advance the chosen sessions, serially on the scheduler
+            // thread (each engine still shards its PU evaluation across
+            // the shared pool). A quantum costs pack (ingest setup) +
+            // simulated run + output drain on the virtual clock, like a
+            // batch of the same shape.
+            for i in 0..n {
+                let Some((_, sid)) = session_for[i] else { continue };
+                let s = sessions.get_mut(&sid).expect("servicing a resident session");
+                counters.sessions.advances += 1;
+                let pack_us = self.cfg.pack_us_fixed
+                    + self.cfg.pack_us_per_stream * s.config().streams as u64;
+                let done = match s.service(now + pack_us, self.cfg.drain_us_per_kib) {
+                    Ok(step) => {
+                        busy_until[i] = Some(now + pack_us + step.run_us + step.drain_us);
+                        step.done
+                    }
+                    Err(_) => {
+                        busy_until[i] = Some(now + pack_us);
+                        true
+                    }
+                };
+                if done {
+                    if let Some(run) = s.run() {
+                        instances[i].record_open_run(run, s.state() == SessionState::Failed);
+                    }
+                    if s.state() == SessionState::Failed {
+                        counters.sessions.failed += 1;
+                    } else {
+                        counters.sessions.completed += 1;
+                    }
+                    open_now -= 1;
+                    resident_streams[i] -= s.config().streams;
+                    resident_on.remove(&sid);
+                    session_records.push(s.record());
+                    sessions.remove(&sid);
+                }
+            }
+
             // No healthy capacity left: every instance is quarantined,
             // so nothing queued, backing off, or yet to arrive can ever
             // run. Fail it all explicitly — graceful degradation means
@@ -514,26 +761,69 @@ impl Host {
                         error: "all instances quarantined".to_string(),
                     });
                 }
-                for job in arrivals.by_ref() {
-                    counters.submitted += 1;
-                    counters.failed += 1;
-                    failed.push(FailedJob {
-                        id: job.id,
-                        tenant: job.tenant,
-                        error: "all instances quarantined".to_string(),
-                    });
+                while let Some(arrival) = source.next_arrival() {
+                    match arrival {
+                        Arrival::Job(job) => {
+                            counters.submitted += 1;
+                            counters.failed += 1;
+                            failed.push(FailedJob {
+                                id: job.id,
+                                tenant: job.tenant,
+                                error: "all instances quarantined".to_string(),
+                            });
+                        }
+                        Arrival::Open(o) => {
+                            counters.sessions.opened += 1;
+                            counters.sessions.failed += 1;
+                            session_records.push(SessionRecord {
+                                id: o.id,
+                                tenant: o.tenant,
+                                opened_us: o.at_us,
+                                finished_us: o.at_us,
+                                outcome: "failed: all instances quarantined".to_string(),
+                                ..SessionRecord::default()
+                            });
+                        }
+                        Arrival::Append { .. } | Arrival::Close { .. } => {}
+                    }
                 }
+                for (&sid, s) in sessions.iter_mut() {
+                    s.fail_external(now, "all instances quarantined");
+                    if let (Some(run), Some(&i)) = (s.run(), resident_on.get(&sid)) {
+                        instances[i].record_open_run(run, true);
+                    }
+                    counters.sessions.failed += 1;
+                    session_records.push(s.record());
+                }
+                sessions.clear();
                 break;
             }
 
             // Advance the virtual clock to the next event: an arrival,
-            // a batch completion, or a retry backoff expiring.
-            let next_arrival = arrivals.peek().map(|j| j.arrival_us);
+            // a batch or session quantum completing, a retry backoff
+            // expiring, or an idle session's eviction deadline.
+            let next_arrival = source.peek_us();
             let next_done = busy_until.iter().flatten().min().copied();
             let next_retry = retries.first().map(|(ready, _)| *ready);
-            let Some(next) = [next_arrival, next_done, next_retry].into_iter().flatten().min()
+            let next_evict = if self.cfg.session_idle_evict_us > 0 {
+                resident_on
+                    .keys()
+                    .filter_map(|sid| {
+                        let s = &sessions[sid];
+                        (!s.ready() && !s.finished())
+                            .then(|| s.last_event_us + self.cfg.session_idle_evict_us)
+                    })
+                    .min()
+            } else {
+                None
+            };
+            let Some(next) = [next_arrival, next_done, next_retry, next_evict]
+                .into_iter()
+                .flatten()
+                .min()
             else {
                 debug_assert!(queue.is_empty(), "idle host with a non-empty queue");
+                debug_assert!(sessions.is_empty(), "idle host with live sessions");
                 break;
             };
             now = next;
@@ -545,11 +835,13 @@ impl Host {
         }
 
         completed.sort_by_key(|a| (a.completed_us, a.id));
+        session_records.sort_by_key(|r| (r.finished_us, r.id));
         ServiceReport::build(
             counters,
             completed,
             rejected,
             failed,
+            session_records,
             instances.iter().map(|i| i.stats()).collect(),
             first_arrival,
         )
@@ -794,6 +1086,196 @@ mod tests {
         assert_eq!(accounted as u64, report.counters.submitted);
         assert!(report.failed.iter().any(|f| f.error.contains("quarantined")));
         assert!(report.counters.retries > 0);
+    }
+
+    fn session_cfg(capacity: usize, credit: usize) -> fleet_session::SessionConfig {
+        fleet_session::SessionConfig {
+            streams: 1,
+            stream_capacity: capacity,
+            credit_bytes: credit,
+            out_capacity: 2 * capacity.max(512),
+        }
+    }
+
+    /// Chunks `data` into a session timeline: open at `t0`, one append
+    /// per piece every `gap_us`, then close.
+    #[allow(clippy::too_many_arguments)]
+    fn session_events(
+        id: u64,
+        tenant: TenantId,
+        spec: &Arc<UnitSpec>,
+        data: &[u8],
+        pieces: &[usize],
+        t0: u64,
+        gap_us: u64,
+        credit: usize,
+    ) -> Vec<crate::arrival::Arrival> {
+        use crate::arrival::{Arrival, SessionOpen};
+        let mut events = vec![Arrival::Open(SessionOpen {
+            id,
+            tenant,
+            spec: spec.clone(),
+            cfg: session_cfg(data.len(), credit),
+            at_us: t0,
+        })];
+        let mut off = 0usize;
+        let mut t = t0;
+        for &len in pieces {
+            t += gap_us;
+            events.push(Arrival::Append {
+                session: id,
+                stream: 0,
+                bytes: data[off..off + len].to_vec(),
+                at_us: t,
+            });
+            off += len;
+        }
+        assert_eq!(off, data.len());
+        events.push(Arrival::Close { session: id, at_us: t + gap_us });
+        events
+    }
+
+    #[test]
+    fn chunked_session_coexists_with_jobs_and_echoes_its_stream() {
+        use crate::arrival::{Arrival, MixedArrivals};
+        let spec = identity_spec();
+        let data: Vec<u8> = (0..1500u32).map(|x| (x * 13) as u8).collect();
+        let mut events: Vec<Arrival> =
+            workload(&spec, 12, 3).into_iter().map(Arrival::Job).collect();
+        events.extend(session_events(
+            900, 1, &spec, &data, &[100, 700, 44, 656], 5, 40, 4096,
+        ));
+        let mut host = Host::new(HostConfig::new(2));
+        let report = host.serve_arrivals(MixedArrivals::new(events));
+
+        assert_eq!(report.completed.len(), 12, "all jobs complete alongside the session");
+        assert_eq!(report.counters.sessions.opened, 1);
+        assert_eq!(report.counters.sessions.completed, 1);
+        assert_eq!(report.counters.sessions.closes, 1);
+        assert_eq!(report.counters.sessions.appends, 4);
+        assert_eq!(report.counters.sessions.append_bytes, 1500);
+        assert_eq!(report.sessions.len(), 1);
+        let rec = &report.sessions[0];
+        assert_eq!(rec.outcome, "completed");
+        assert_eq!(rec.outputs[0], data, "session output echoes the chunked stream");
+        assert!(rec.finished_us > rec.opened_us);
+        assert!(report.makespan_us >= rec.finished_us - report.first_arrival_us);
+        let json = report.to_json();
+        assert!(json.contains("\"sessions\""), "report JSON carries the sessions section");
+        assert!(json.contains("\"peak_open\": 1"), "{json}");
+    }
+
+    #[test]
+    fn session_serve_is_bit_identical_across_sim_thread_counts() {
+        use crate::arrival::{Arrival, MixedArrivals};
+        let spec = identity_spec();
+        let serve_with = |threads: usize| {
+            let mut cfg = HostConfig::new(2);
+            cfg.system.sim_threads = fleet_system::SimThreads::Fixed(threads);
+            let mut host = Host::new(cfg);
+            let mut events: Vec<Arrival> =
+                workload(&spec, 8, 2).into_iter().map(Arrival::Job).collect();
+            for sid in 0..6u64 {
+                let data: Vec<u8> =
+                    (0..600 + 37 * sid).map(|x| (x * 11 + sid) as u8).collect();
+                let third = data.len() / 3;
+                events.extend(session_events(
+                    1000 + sid,
+                    (sid % 3) as u32,
+                    &spec,
+                    &data,
+                    &[third, third, data.len() - 2 * third],
+                    sid * 7,
+                    25 + sid,
+                    8192,
+                ));
+            }
+            host.serve_arrivals(MixedArrivals::new(events))
+        };
+        let one = serve_with(1);
+        assert_eq!(one.counters.sessions.completed, 6);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                one.to_json(),
+                serve_with(threads).to_json(),
+                "{threads}-thread session serve diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn idle_sessions_evict_and_readmit_without_losing_state() {
+        use crate::arrival::MixedArrivals;
+        let spec = identity_spec();
+        let data: Vec<u8> = (0..800u32).map(|x| (x * 3) as u8).collect();
+        let mut cfg = HostConfig::new(1);
+        cfg.session_idle_evict_us = 50;
+        // Chunks spaced far past the idle budget: the session must be
+        // evicted between chunks and re-admitted when the next lands.
+        let events = session_events(1, 0, &spec, &data, &[200, 200, 400], 0, 5_000, 4096);
+        let mut host = Host::new(cfg);
+        let report = host.serve_arrivals(MixedArrivals::new(events));
+        assert_eq!(report.counters.sessions.completed, 1);
+        assert!(report.counters.sessions.evictions >= 2, "{:?}", report.counters.sessions);
+        assert!(
+            report.counters.sessions.readmissions >= 2,
+            "{:?}",
+            report.counters.sessions
+        );
+        let rec = &report.sessions[0];
+        assert_eq!(rec.evictions, report.counters.sessions.evictions);
+        assert_eq!(rec.outputs[0], data, "evictions must not perturb the output");
+    }
+
+    #[test]
+    fn session_credit_backpressure_drops_chunks_but_keeps_the_rest() {
+        use crate::arrival::{Arrival, MixedArrivals, SessionOpen};
+        let spec = identity_spec();
+        // Credit of 128 bytes; four 100-byte chunks land back-to-back
+        // before the host can service any of them, so at least one is
+        // refused and dropped.
+        let mut events = vec![Arrival::Open(SessionOpen {
+            id: 1,
+            tenant: 0,
+            spec: spec.clone(),
+            cfg: session_cfg(4096, 128),
+            at_us: 0,
+        })];
+        for c in 0..4u64 {
+            events.push(Arrival::Append {
+                session: 1,
+                stream: 0,
+                bytes: vec![c as u8 + 1; 100],
+                at_us: 1,
+            });
+        }
+        events.push(Arrival::Close { session: 1, at_us: 2 });
+        let mut host = Host::new(HostConfig::new(1));
+        let report = host.serve_arrivals(MixedArrivals::new(events));
+        let sess = report.counters.sessions;
+        assert!(sess.backpressure > 0, "{sess:?}");
+        assert_eq!(sess.appends + sess.backpressure, 4);
+        assert_eq!(sess.completed, 1);
+        let rec = &report.sessions[0];
+        assert_eq!(rec.appended_bytes, sess.append_bytes);
+        assert_eq!(rec.delivered_bytes, rec.appended_bytes, "accepted bytes all echo");
+    }
+
+    #[test]
+    fn unclosed_sessions_are_force_closed_at_end_of_timeline() {
+        use crate::arrival::MixedArrivals;
+        let spec = identity_spec();
+        let data = vec![9u8; 300];
+        let mut events = session_events(5, 2, &spec, &data, &[300], 0, 10, 1024);
+        events.pop(); // drop the client's close
+        let mut host = Host::new(HostConfig::new(1));
+        let report = host.serve_arrivals(MixedArrivals::new(events));
+        assert_eq!(report.counters.sessions.force_closed, 1);
+        assert_eq!(report.counters.sessions.closes, 0);
+        assert_eq!(report.counters.sessions.completed, 1);
+        let rec = &report.sessions[0];
+        assert_eq!(rec.outcome, "force_closed");
+        assert_eq!(rec.outputs[0], data, "force-close still drains and delivers");
     }
 
     #[test]

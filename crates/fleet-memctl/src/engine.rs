@@ -210,6 +210,14 @@ pub(crate) struct PuState {
     /// The unit has wedged: its pins read dead and it will never make
     /// progress again. Detected by the run-loop watchdog.
     pub(crate) wedged: bool,
+    /// Open-ended stream (session mode): more input may still be
+    /// appended, so the unit must never observe end-of-stream and the
+    /// run loop suspends instead of letting the controller fetch a
+    /// ragged tail burst. One-shot runs leave this false.
+    pub(crate) open: bool,
+    /// Exclusive end of the reserved input region for an open stream
+    /// (appends must stay below it). Unused while `open` is false.
+    pub(crate) in_region_end: usize,
 }
 
 #[derive(Debug)]
@@ -296,8 +304,12 @@ pub(crate) fn pins_of(st: &PuState, params: &EvalParams) -> PuIn {
         };
     }
     let have = st.in_buffer.len() >= params.in_token_bytes;
-    let exhausted =
-        st.in_fetched >= st.assign.in_len && st.in_flight == 0 && st.in_buffer.is_empty();
+    // An open-ended stream never reads as exhausted: more data may
+    // still be appended, so end-of-stream must wait for `close_stream`.
+    let exhausted = !st.open
+        && st.in_fetched >= st.assign.in_len
+        && st.in_flight == 0
+        && st.in_buffer.is_empty();
     PuIn {
         input_token: if have { st.in_buffer.peek_token(params.in_token_bytes) } else { 0 },
         input_valid: have,
@@ -455,6 +467,10 @@ pub(crate) struct Ctl<S: TraceSink> {
     /// Units whose output side is not yet complete (see
     /// [`ChannelEngine::done`]).
     pub(crate) pending_outputs: usize,
+    /// Units whose stream is currently open-ended (session mode), kept
+    /// sorted. Empty for one-shot runs, so the per-cycle starvation
+    /// check in the open run loops is a single branch.
+    pub(crate) open_units: Vec<usize>,
     /// First unit observed overflowing its output region.
     pub(crate) first_overflow: Option<usize>,
     /// Watchdog window: declare the run stuck after this many
@@ -490,6 +506,30 @@ pub enum EngineRunError {
         /// Cycles the channel went without any forward progress.
         idle_cycles: u64,
     },
+}
+
+/// How a successful quantum of an *open* run (streams may still be
+/// appended to) ended. Cycle counts are cycles advanced by this call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenStep {
+    /// Every unit finished and all output drained to memory.
+    Done(u64),
+    /// An open stream ran low on appended input: the engine suspended
+    /// between cycles with all state preserved. Append more bytes (or
+    /// close the stream) and call the run loop again to resume
+    /// cycle-exactly.
+    Suspended(u64),
+}
+
+/// Rejected [`ChannelEngine::close_stream`]: the stream's total
+/// appended bytes do not form a whole number of input tokens, so the
+/// unit could never consume the tail. The stream is left open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MisalignedClose {
+    /// Total appended bytes at the attempted close.
+    pub in_len: usize,
+    /// The unit's input token size.
+    pub token_bytes: usize,
 }
 
 /// Attributes a watchdog trip: a wedged unit if one exists, otherwise a
@@ -567,20 +607,25 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
         }
         let pus: Vec<PuState> = assigns
             .into_iter()
-            .map(|assign| PuState {
-                assign,
-                in_fetched: 0,
-                in_flight: 0,
-                in_buffer: ByteFifo::with_capacity(cfg.input_buffer_bytes),
-                out_buffer: ByteFifo::with_capacity(cfg.output_buffer_bytes),
-                out_written: 0,
-                finished: false,
-                overflowed: false,
-                sleep: None,
-                output_done: false,
-                wedge_at: None,
-                tokens_consumed: 0,
-                wedged: false,
+            .map(|assign| {
+                let in_region_end = assign.in_start + assign.in_len;
+                PuState {
+                    assign,
+                    in_fetched: 0,
+                    in_flight: 0,
+                    in_buffer: ByteFifo::with_capacity(cfg.input_buffer_bytes),
+                    out_buffer: ByteFifo::with_capacity(cfg.output_buffer_bytes),
+                    out_written: 0,
+                    finished: false,
+                    overflowed: false,
+                    sleep: None,
+                    output_done: false,
+                    wedge_at: None,
+                    tokens_consumed: 0,
+                    wedged: false,
+                    open: false,
+                    in_region_end,
+                }
             })
             .collect();
         let n_regs = cfg.burst_registers;
@@ -609,6 +654,7 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
                 woken_peak: 0,
                 pending_skips: Vec::new(),
                 pending_outputs: n_pus,
+                open_units: Vec::new(),
                 first_overflow: None,
                 watchdog_cycles: 0,
                 stats: EngineStats::default(),
@@ -744,6 +790,128 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
         let st = &self.pus[p];
         let start = st.assign.out_start;
         self.ctl.dram.mem()[start..start + st.out_written].to_vec()
+    }
+
+    /// Marks unit `p`'s stream as open-ended (session mode): its length
+    /// starts at whatever the assignment carried and grows via
+    /// [`ChannelEngine::append_stream`]; the unit will not observe
+    /// end-of-stream until [`ChannelEngine::close_stream`]. `region_end`
+    /// is the exclusive end of the reserved input region appends must
+    /// stay inside.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit already finished or the region bound is below
+    /// the current stream length.
+    pub fn set_stream_open(&mut self, p: usize, region_end: usize) {
+        let st = &mut self.pus[p];
+        assert!(!st.finished, "cannot re-open a finished stream");
+        assert!(region_end >= st.assign.in_start + st.assign.in_len, "region bound below current stream end");
+        st.open = true;
+        st.in_region_end = region_end;
+        if let Err(i) = self.ctl.open_units.binary_search(&p) {
+            self.ctl.open_units.insert(i, p);
+        }
+    }
+
+    /// Whether unit `p`'s stream is currently open-ended.
+    pub fn stream_open(&self, p: usize) -> bool {
+        self.pus[p].open
+    }
+
+    /// Current appended length of unit `p`'s stream in bytes.
+    pub fn stream_len(&self, p: usize) -> usize {
+        self.pus[p].assign.in_len
+    }
+
+    /// Appends `bytes` to open stream `p`: writes them into the
+    /// channel's backing memory directly after the stream's current end
+    /// and extends the stream length. Call only between run quanta
+    /// (the engine suspended or not yet started); the addressing unit
+    /// picks the new bytes up on the next [`ChannelEngine::run_channel_open`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is not open or the append overruns the
+    /// reserved input region.
+    pub fn append_stream(&mut self, p: usize, bytes: &[u8]) {
+        let st = &mut self.pus[p];
+        assert!(st.open, "append to a stream that is not open");
+        let start = st.assign.in_start + st.assign.in_len;
+        assert!(
+            start + bytes.len() <= st.in_region_end,
+            "append overruns the reserved input region"
+        );
+        self.ctl.dram.mem_mut()[start..start + bytes.len()].copy_from_slice(bytes);
+        st.assign.in_len += bytes.len();
+    }
+
+    /// Ends open stream `p`: no more appends; the unit will observe
+    /// end-of-stream once the remaining bytes drain, exactly like a
+    /// one-shot run of the full concatenated stream.
+    ///
+    /// # Errors
+    ///
+    /// Refuses (leaving the stream open) when the appended bytes do not
+    /// form a whole number of input tokens — the session-layer caller
+    /// turns that into a graceful session failure instead of wedging
+    /// the engine on a partial trailing token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is not open.
+    pub fn close_stream(&mut self, p: usize) -> Result<(), MisalignedClose> {
+        let st = &mut self.pus[p];
+        assert!(st.open, "close of a stream that is not open");
+        let token_bytes = self.ctl.params.in_token_bytes;
+        if !st.assign.in_len.is_multiple_of(token_bytes) {
+            return Err(MisalignedClose { in_len: st.assign.in_len, token_bytes });
+        }
+        st.open = false;
+        if let Ok(i) = self.ctl.open_units.binary_search(&p) {
+            self.ctl.open_units.remove(i);
+        }
+        Ok(())
+    }
+
+    /// Whether any open stream is currently starving the channel (see
+    /// [`Ctl::open_starved`]); such a channel's open run loop suspends
+    /// until an append or close changes the picture.
+    pub fn open_starved(&self) -> bool {
+        self.ctl.open_starved(&self.pus)
+    }
+
+    /// Bytes of unit `p`'s output that are fully committed to the
+    /// channel's backing memory — safe to read back mid-run. `None`
+    /// while a burst register still holds bytes for `p` or a queued
+    /// DRAM write overlapping `p`'s output region has not applied yet
+    /// (the window simply lags by at most one burst in that case).
+    pub fn committed_output_len(&self, p: usize) -> Option<usize> {
+        let busy = self.ctl.out_regs.iter().any(|r| {
+            matches!(
+                r,
+                OutRegState::Filling { pu, .. } | OutRegState::Sending { pu, .. } if *pu == p
+            )
+        });
+        if busy {
+            return None;
+        }
+        let st = &self.pus[p];
+        let lo = st.assign.out_start;
+        if self.ctl.dram.has_pending_write_in(lo, lo + st.out_written) {
+            return None;
+        }
+        Some(st.out_written)
+    }
+
+    /// Reads back unit `p`'s committed output bytes in `[from,
+    /// committed)` — the windowed partial-output delivery primitive.
+    /// `None` when the committed length cannot be established yet (see
+    /// [`ChannelEngine::committed_output_len`]).
+    pub fn committed_output_since(&self, p: usize, from: usize) -> Option<&[u8]> {
+        let committed = self.committed_output_len(p)?;
+        let start = self.pus[p].assign.out_start;
+        Some(&self.ctl.dram.mem()[start + from..start + committed])
     }
 
     /// Accounts the skipped span of every sleeping unit up to the
@@ -887,17 +1055,31 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
         self.ctl.stats.cycles - start
     }
 
-    /// Drives the channel to completion on the serial fast path,
-    /// checking for output overflow and the cycle budget after every
-    /// cycle (the behaviour channel worker threads had when they owned
-    /// this loop). Returns the cycles this run took; the trace is
-    /// flushed on every exit path.
-    pub(crate) fn run_channel_serial(&mut self, max_cycles: u64) -> Result<u64, EngineRunError> {
+    /// Serial fast-path run loop, checking for output overflow and the
+    /// cycle budget after every cycle (the behaviour channel worker
+    /// threads had when they owned this loop); the trace is flushed on
+    /// every exit path. With `stop_on_starved` clear this is the
+    /// one-shot loop and always ends [`OpenStep::Done`] (or an error);
+    /// with it set the loop suspends — between cycles, all state
+    /// preserved — as soon as any open stream has fewer un-fetched
+    /// bytes than one input burst. Up to that point the engine cannot
+    /// observe that the stream is shorter than its eventual total, so
+    /// every cycle it does execute is bit-identical to the
+    /// same-numbered cycle of a one-shot run over the full concatenated
+    /// input.
+    pub(crate) fn run_channel_serial_open(
+        &mut self,
+        max_cycles: u64,
+        stop_on_starved: bool,
+    ) -> Result<OpenStep, EngineRunError> {
         let start = self.ctl.stats.cycles;
         let mut watchdog = Watchdog::new(self.ctl.watchdog_cycles, self.ctl.progress_sig());
         let result = loop {
             if self.done() {
-                break Ok(self.ctl.stats.cycles - start);
+                break Ok(OpenStep::Done(self.ctl.stats.cycles - start));
+            }
+            if stop_on_starved && self.ctl.open_starved(&self.pus) {
+                break Ok(OpenStep::Suspended(self.ctl.stats.cycles - start));
             }
             self.tick();
             if let Some(unit) = self.ctl.first_overflow {
@@ -952,6 +1134,21 @@ impl Watchdog {
 }
 
 impl<S: TraceSink> Ctl<S> {
+    /// Whether any open-ended stream cannot supply one more full burst
+    /// beyond what the addressing unit has already fetched. The open run
+    /// loops suspend the channel *before* such a cycle would tick:
+    /// mid-stream fetches then always move whole bursts, exactly like
+    /// the equivalent one-shot run, which is what makes suspend/resume
+    /// cycle-exact. One-shot runs have no open units, so this is a
+    /// single branch per cycle.
+    pub(crate) fn open_starved(&self, pus: &[PuState]) -> bool {
+        !self.open_units.is_empty()
+            && self.open_units.iter().any(|&p| {
+                let st = &pus[p];
+                st.assign.in_len - st.in_fetched < self.cfg.burst_bytes
+            })
+    }
+
     /// See [`ProgressSig`].
     pub(crate) fn progress_sig(&self) -> ProgressSig {
         let d = self.dram.stats();

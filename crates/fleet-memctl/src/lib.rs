@@ -27,7 +27,10 @@ pub mod pool;
 pub mod unit;
 
 pub use config::{Addressing, MemCtlConfig};
-pub use engine::{dram_counters, ChannelEngine, EngineRunError, EngineStats, StreamAssignment};
+pub use engine::{
+    dram_counters, ChannelEngine, EngineRunError, EngineStats, MisalignedClose, OpenStep,
+    StreamAssignment,
+};
 pub use pool::{SimPool, SimThreads};
 pub use unit::StreamUnit;
 
@@ -508,6 +511,96 @@ mod tests {
                 "{threads} threads: trace counters diverged"
             );
         }
+    }
+
+    #[test]
+    fn open_stream_chunked_run_is_cycle_exact_vs_one_shot() {
+        // Feed the same stream in ragged chunks through an open stream
+        // (suspend/append/resume) and in one shot: every cycle the open
+        // engine executes must be bit-identical, so final cycle counts,
+        // stats, and output bytes all match exactly.
+        let spec = identity_spec();
+        let stream: Vec<u8> = (0..900u32).map(|x| (x * 7 + 3) as u8).collect();
+
+        let mut oneshot = build_engine(&spec, MemCtlConfig::default(), 1, &stream, stream.len());
+        let oneshot_cycles = oneshot.run_channel(1_000_000, None, 1).unwrap();
+
+        // Open engine: same geometry, but the input region starts empty.
+        let in_alloc = stream.len().div_ceil(BEAT_BYTES) * BEAT_BYTES;
+        let out_alloc = stream.len().div_ceil(BEAT_BYTES) * BEAT_BYTES
+            + MemCtlConfig::default().burst_bytes;
+        let dram = DramChannel::new(DramConfig::default(), in_alloc + out_alloc);
+        let assigns = vec![StreamAssignment {
+            in_start: 0,
+            in_len: 0,
+            out_start: in_alloc,
+            out_capacity: out_alloc,
+        }];
+        let units = vec![PuExec::new(&spec)];
+        let mut open = ChannelEngine::new(MemCtlConfig::default(), dram, units, assigns, 1, 1);
+        open.set_stream_open(0, in_alloc);
+
+        let mut fed = 0usize;
+        let mut delivered = 0usize;
+        for chunk in [1usize, 63, 64, 200, 17, 300, 255] {
+            let chunk = chunk.min(stream.len() - fed);
+            open.append_stream(0, &stream[fed..fed + chunk]);
+            fed += chunk;
+            match open.run_channel_open(1_000_000, None, 1).unwrap() {
+                OpenStep::Suspended(_) => {}
+                OpenStep::Done(_) => panic!("finished with the stream still open"),
+            }
+            // Windowed partial-output delivery: whatever is committed so
+            // far must be a prefix of the stream.
+            if let Some(part) = open.committed_output_since(0, delivered) {
+                let lo = delivered;
+                delivered += part.len();
+                assert_eq!(part, &stream[lo..delivered], "partial window diverged");
+            }
+        }
+        assert_eq!(fed, stream.len());
+        open.close_stream(0).unwrap();
+        match open.run_channel_open(1_000_000, None, 1).unwrap() {
+            OpenStep::Done(_) => {}
+            OpenStep::Suspended(_) => panic!("suspended after close with all input present"),
+        }
+        assert_eq!(open.stats().cycles, oneshot_cycles, "cycle counts diverged");
+        assert_eq!(open.stats(), oneshot.stats(), "stats diverged");
+        assert_eq!(open.output_bytes(0), stream);
+        assert_eq!(open.committed_output_len(0), Some(stream.len()));
+    }
+
+    #[test]
+    fn close_rejects_partial_trailing_token() {
+        // 8-bit tokens are always aligned; use a 64-bit unit so a
+        // misaligned close is possible.
+        let mut u = UnitBuilder::new("Identity64", 64, 64);
+        let inp = u.input();
+        let nf = u.stream_finished().not_b();
+        u.if_(nf, |u| u.emit(inp.clone()));
+        let spec = u.build().unwrap();
+
+        let dram = DramChannel::new(DramConfig::default(), 4096);
+        let assigns = vec![StreamAssignment {
+            in_start: 0,
+            in_len: 0,
+            out_start: 2048,
+            out_capacity: 2048,
+        }];
+        let units = vec![PuExec::new(&spec)];
+        let mut eng = ChannelEngine::new(MemCtlConfig::default(), dram, units, assigns, 8, 8);
+        eng.set_stream_open(0, 2048);
+        eng.append_stream(0, &[1, 2, 3]); // 3 bytes of an 8-byte token
+        let err = eng.close_stream(0).unwrap_err();
+        assert_eq!(err.in_len, 3);
+        assert_eq!(err.token_bytes, 8);
+        assert!(eng.stream_open(0), "failed close must leave the stream open");
+        // Topping the token up makes the close legal.
+        eng.append_stream(0, &[4, 5, 6, 7, 8]);
+        eng.close_stream(0).unwrap();
+        let step = eng.run_channel_open(1_000_000, None, 1).unwrap();
+        assert!(matches!(step, OpenStep::Done(_)));
+        assert_eq!(eng.output_bytes(0), vec![1, 2, 3, 4, 5, 6, 7, 8]);
     }
 
     #[test]

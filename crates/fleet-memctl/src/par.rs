@@ -38,7 +38,7 @@ use fleet_trace::{CycleClass, TraceSink};
 
 use crate::engine::{
     eval_unit, merge_sorted_slice, stall_error, ChannelEngine, Ctl, EngineRunError, EvalParams,
-    PuEffect, PuState, Watchdog,
+    OpenStep, PuEffect, PuState, Watchdog,
 };
 use crate::pool::SimPool;
 use crate::unit::StreamUnit;
@@ -313,11 +313,40 @@ where
         pool: Option<&SimPool>,
         shards: usize,
     ) -> Result<u64, EngineRunError> {
+        match self.run_channel_open_inner(max_cycles, pool, shards, false)? {
+            OpenStep::Done(cycles) | OpenStep::Suspended(cycles) => Ok(cycles),
+        }
+    }
+
+    /// [`ChannelEngine::run_channel`] for open (appendable) streams:
+    /// same pooled/serial dispatch, but suspends with [`OpenStep::Suspended`]
+    /// — between cycles, all state preserved — whenever an open stream
+    /// has fewer un-fetched bytes than one input burst. Suspension
+    /// happens on the engine thread while no worker holds the PU
+    /// snapshot, so appending and resuming later is race-free and the
+    /// resumed run is bit-identical to a one-shot run of the full
+    /// stream at every thread/shard count.
+    pub fn run_channel_open(
+        &mut self,
+        max_cycles: u64,
+        pool: Option<&SimPool>,
+        shards: usize,
+    ) -> Result<OpenStep, EngineRunError> {
+        self.run_channel_open_inner(max_cycles, pool, shards, true)
+    }
+
+    fn run_channel_open_inner(
+        &mut self,
+        max_cycles: u64,
+        pool: Option<&SimPool>,
+        shards: usize,
+        stop_on_starved: bool,
+    ) -> Result<OpenStep, EngineRunError> {
         match pool {
             Some(pool) if pool.workers() > 1 && shards > 1 && self.units.len() > 1 => {
-                self.run_channel_pooled(max_cycles, pool, shards)
+                self.run_channel_pooled(max_cycles, pool, shards, stop_on_starved)
             }
-            _ => self.run_channel_serial(max_cycles),
+            _ => self.run_channel_serial_open(max_cycles, stop_on_starved),
         }
     }
 
@@ -326,7 +355,8 @@ where
         max_cycles: u64,
         pool: &SimPool,
         shards: usize,
-    ) -> Result<u64, EngineRunError> {
+        stop_on_starved: bool,
+    ) -> Result<OpenStep, EngineRunError> {
         let start = self.ctl.stats.cycles;
         // Park already-finished active units now, exactly as the serial
         // tick's pre-check would on their next cycle (covers naive →
@@ -359,7 +389,12 @@ where
         let mut watchdog = Watchdog::new(self.ctl.watchdog_cycles, self.ctl.progress_sig());
         let result = loop {
             if self.done() {
-                break Ok(self.ctl.stats.cycles - start);
+                break Ok(OpenStep::Done(self.ctl.stats.cycles - start));
+            }
+            // Between cycles no worker holds the snapshot, so the
+            // starvation check can read it directly.
+            if stop_on_starved && self.ctl.open_starved(&shared) {
+                break Ok(OpenStep::Suspended(self.ctl.stats.cycles - start));
             }
             pooled_cycle(&mut self.ctl, &mut shared, &mut slots, k, pool, &reply_tx, &reply_rx);
             if let Some(unit) = self.ctl.first_overflow {

@@ -15,6 +15,7 @@ use fleet_memctl::SimPool;
 
 use fleet_fault::FaultPlan;
 
+use crate::open::OpenRun;
 use crate::system::{
     run_system_compiled_with, run_system_faulted, run_system_traced_with, RunFailure, RunReport,
     SystemConfig, SystemError,
@@ -192,6 +193,46 @@ impl Instance {
         cfg.out_capacity = out_capacity;
         let result = run_system_traced_with(spec, streams, &cfg, self.pool.as_deref());
         self.record(result)
+    }
+
+    /// Builds a resumable [`OpenRun`] of `caps.len()` replicated units
+    /// on this instance's platform, one open stream per entry with the
+    /// given reserved input capacity — the incremental-execution handle
+    /// behind `fleet-session`. The run shares this instance's
+    /// simulation pool; it does not touch the instance statistics until
+    /// the caller accounts it with [`Instance::record_open_run`] (open
+    /// runs span many scheduler events, so accrual happens once at
+    /// session end, like a one-shot batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caps` is empty.
+    pub fn open_run(
+        &self,
+        unit: &CompiledUnit,
+        caps: &[usize],
+        out_capacity: usize,
+    ) -> OpenRun {
+        let mut cfg = self.cfg;
+        cfg.out_capacity = out_capacity;
+        OpenRun::new(unit, caps, cfg, self.pool.clone())
+    }
+
+    /// Accounts one finished open (session) run into the lifetime
+    /// statistics, mirroring what [`Instance::run`] records for a
+    /// one-shot batch of the same shape.
+    pub fn record_open_run(&mut self, run: &OpenRun, failed: bool) {
+        if failed || run.is_failed() {
+            self.stats.failed_runs += 1;
+            return;
+        }
+        let cycles = run.cycles();
+        self.stats.runs += 1;
+        self.stats.busy_cycles += cycles;
+        self.stats.busy_seconds += self.cfg.platform.seconds(cycles);
+        self.stats.input_bytes += run.input_bytes();
+        self.stats.output_bytes += run.output_bytes();
+        self.stats.units_run += run.streams() as u64;
     }
 
     fn record<E>(&mut self, result: Result<RunReport, E>) -> Result<RunReport, E> {

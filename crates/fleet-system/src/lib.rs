@@ -36,14 +36,16 @@
 
 pub mod area;
 pub mod instance;
+pub mod open;
 pub mod platform;
 pub mod system;
 
 pub use area::{controller_area, design_area, max_units, unit_area};
 pub use instance::{Instance, InstanceStats};
+pub use open::{AdvanceReport, OpenRun, OpenStatus};
 pub use platform::{CpuPlatform, GpuPlatform, Platform};
 pub use fleet_fault::FaultPlan;
-pub use fleet_memctl::{SimPool, SimThreads};
+pub use fleet_memctl::{MisalignedClose, SimPool, SimThreads};
 pub use system::{
     run_replicated, run_system, run_system_compiled, run_system_faulted, run_system_pooled,
     run_system_traced, RunFailure, RunReport, SystemConfig, SystemError,

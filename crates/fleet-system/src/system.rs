@@ -548,7 +548,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Maps a channel-level run error to a [`SystemError`]. Overflow keeps
 /// the channel-local unit index; the caller maps it back to a stream id
 /// via its index maps.
-fn engine_err(e: EngineRunError) -> SystemError {
+pub(crate) fn engine_err(e: EngineRunError) -> SystemError {
     match e {
         EngineRunError::Overflow { unit } => SystemError::OutputOverflow { stream: unit },
         EngineRunError::Timeout { max_cycles } => SystemError::Timeout { max_cycles },

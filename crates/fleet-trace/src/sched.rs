@@ -13,17 +13,56 @@
 //! platform time), so identical seeds reproduce identical latency
 //! distributions bit-for-bit.
 
+/// Retained-sample cap of a [`LatencyStats`] buffer. Distributions
+/// below the cap are exact; beyond it the buffer is repeatedly halved
+/// by systematic decimation (stride doubles each time), bounding memory
+/// at ~64 KiB per distribution no matter how many samples a long-lived
+/// session records.
+const LATENCY_SAMPLE_CAP: usize = 8192;
+
 /// A latency sample distribution in virtual microseconds.
 ///
-/// Samples are kept raw (serving simulations record thousands of jobs,
-/// not millions), so any percentile is exact. The vector is maintained
-/// sorted at insertion, so percentile reads are O(1) — `to_json` and
-/// report printing take several percentiles per tenant per report, and
-/// used to clone + re-sort the whole vector for each one.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Count, sum (mean), and max are always exact. Percentiles are
+/// nearest-rank over a *bounded* sorted sample buffer: every sample is
+/// kept until [`LATENCY_SAMPLE_CAP`], so the serving benchmarks'
+/// thousands-of-jobs distributions stay bit-exact; past the cap the
+/// buffer keeps every `stride`-th arrival (stride doubling as needed),
+/// a systematic reservoir whose nearest-rank error is at most a few
+/// rank positions out of thousands. The buffer is maintained sorted, so
+/// percentile reads stay O(1).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyStats {
-    /// Invariant: always sorted ascending.
-    samples: Vec<u64>,
+    /// Invariant: always sorted ascending; at most
+    /// [`LATENCY_SAMPLE_CAP`] entries.
+    sorted: Vec<u64>,
+    /// Keep every `stride`-th arriving sample (power of two; 1 = exact).
+    stride: u64,
+    /// Arrivals since the last kept sample, in [0, stride).
+    phase: u64,
+    /// Exact number of samples recorded.
+    count: u64,
+    /// Exact sum of all samples (u128: u64 samples × u64 counts).
+    sum: u128,
+    /// Exact maximum sample.
+    max_us: u64,
+}
+
+impl Default for LatencyStats {
+    fn default() -> LatencyStats {
+        LatencyStats { sorted: Vec::new(), stride: 1, phase: 0, count: 0, sum: 0, max_us: 0 }
+    }
+}
+
+/// Keeps odd indices of a sorted buffer — a systematic half-sample of
+/// the order statistics (odd, not even, so a singleton buffer drops its
+/// sole entry only alongside doubling the stride that would re-add it).
+fn decimate(sorted: &mut Vec<u64>) {
+    let mut keep = 0usize;
+    for i in (1..sorted.len()).step_by(2) {
+        sorted[keep] = sorted[i];
+        keep += 1;
+    }
+    sorted.truncate(keep);
 }
 
 impl LatencyStats {
@@ -32,59 +71,96 @@ impl LatencyStats {
         LatencyStats::default()
     }
 
-    /// Records one sample (sorted insert; serving samples arrive in
-    /// roughly increasing completion time, so the common case is an
-    /// append).
+    /// Records one sample. Scalars (count, mean, max) are exact; the
+    /// percentile buffer keeps every `stride`-th arrival (sorted
+    /// insert; serving samples arrive in roughly increasing completion
+    /// time, so the common case is an append).
     pub fn record(&mut self, us: u64) {
-        match self.samples.last() {
+        self.count += 1;
+        self.sum += us as u128;
+        self.max_us = self.max_us.max(us);
+        self.phase += 1;
+        if self.phase < self.stride {
+            return;
+        }
+        self.phase = 0;
+        match self.sorted.last() {
             Some(&last) if last > us => {
-                let i = self.samples.partition_point(|&s| s <= us);
-                self.samples.insert(i, us);
+                let i = self.sorted.partition_point(|&s| s <= us);
+                self.sorted.insert(i, us);
             }
-            _ => self.samples.push(us),
+            _ => self.sorted.push(us),
+        }
+        if self.sorted.len() >= LATENCY_SAMPLE_CAP {
+            decimate(&mut self.sorted);
+            self.stride *= 2;
         }
     }
 
     /// Absorbs every sample of `other` (one merge, not per-sample
-    /// inserts).
+    /// inserts). Scalars stay exact; the buffers are aligned to a
+    /// common stride (the finer one decimated up) before combining.
     pub fn merge(&mut self, other: &LatencyStats) {
-        if other.samples.is_empty() {
+        if other.count == 0 {
             return;
         }
-        let keep_tail = self.samples.last().is_none_or(|&l| l <= other.samples[0]);
-        self.samples.extend_from_slice(&other.samples);
-        if !keep_tail {
-            self.samples.sort_unstable();
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max_us = self.max_us.max(other.max_us);
+        let mut theirs = other.sorted.clone();
+        let mut their_stride = other.stride;
+        while self.stride < their_stride {
+            decimate(&mut self.sorted);
+            self.stride *= 2;
         }
+        while their_stride < self.stride {
+            decimate(&mut theirs);
+            their_stride *= 2;
+        }
+        let keep_tail = self.sorted.last().is_none_or(|&l| theirs.first().is_none_or(|&f| l <= f));
+        self.sorted.extend_from_slice(&theirs);
+        if !keep_tail {
+            self.sorted.sort_unstable();
+        }
+        while self.sorted.len() >= LATENCY_SAMPLE_CAP {
+            decimate(&mut self.sorted);
+            self.stride *= 2;
+        }
+        self.phase = 0;
     }
 
-    /// Number of samples recorded.
+    /// Number of samples recorded (exact, not the retained-buffer
+    /// size).
     pub fn count(&self) -> usize {
-        self.samples.len()
+        self.count as usize
     }
 
-    /// Mean, or 0 for an empty distribution.
+    /// Mean, or 0 for an empty distribution (exact at any count).
     pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             return 0.0;
         }
-        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+        self.sum as f64 / self.count as f64
     }
 
-    /// Largest sample, or 0 when empty.
+    /// Largest sample, or 0 when empty (exact at any count).
     pub fn max(&self) -> u64 {
-        self.samples.last().copied().unwrap_or(0)
+        self.max_us
     }
 
-    /// Exact nearest-rank percentile (`p` in [0, 100]), or 0 when
-    /// empty: `percentile(50.0)` is the median, `percentile(100.0)` the
-    /// max. O(1): the samples are already sorted.
+    /// Nearest-rank percentile (`p` in [0, 100]), or 0 when empty:
+    /// `percentile(50.0)` is the median, `percentile(100.0)` the max.
+    /// Exact below the sample cap; within a few rank positions beyond
+    /// it. O(1): the retained samples are already sorted.
     pub fn percentile(&self, p: f64) -> u64 {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             return 0;
         }
-        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
-        self.samples[rank.clamp(1, self.samples.len()) - 1]
+        if p >= 100.0 || self.sorted.is_empty() {
+            return self.max_us;
+        }
+        let rank = ((p / 100.0) * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
     }
 
     /// Median shorthand.
@@ -108,6 +184,82 @@ impl LatencyStats {
             self.p50(),
             self.p99(),
             self.max()
+        )
+    }
+}
+
+/// Counters of every decision a serving runtime makes about long-lived
+/// sessions (chunked streaming ingestion), nested inside
+/// [`SchedCounters`]. All zeros for a pure one-shot-job workload, and
+/// omitted from the JSON in that case so pre-session reports are
+/// byte-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionCounters {
+    /// Sessions admitted (opened).
+    pub opened: u64,
+    /// Chunk appends accepted into session buffers.
+    pub appends: u64,
+    /// Bytes accepted across all appends.
+    pub append_bytes: u64,
+    /// Appends refused because the session's credit window was full
+    /// (credit-based backpressure).
+    pub backpressure: u64,
+    /// Session close requests observed.
+    pub closes: u64,
+    /// Incremental run quanta (suspend/resume advances) executed.
+    pub advances: u64,
+    /// Idle sessions evicted from slot residency (reservation freed).
+    pub evictions: u64,
+    /// Evicted sessions re-admitted when their next chunk arrived.
+    pub readmissions: u64,
+    /// Sessions force-closed at end of service (arrivals exhausted with
+    /// the session still open).
+    pub force_closed: u64,
+    /// Sessions that ran to completion and delivered all output.
+    pub completed: u64,
+    /// Sessions that failed (engine error or misaligned close).
+    pub failed: u64,
+    /// High-water mark of concurrently open sessions (gauge: merge
+    /// takes the max, not the sum).
+    pub peak_open: u64,
+}
+
+impl SessionCounters {
+    /// Adds every count of `other` into `self` (gauge fields take the
+    /// max).
+    pub fn merge(&mut self, other: &SessionCounters) {
+        self.opened += other.opened;
+        self.appends += other.appends;
+        self.append_bytes += other.append_bytes;
+        self.backpressure += other.backpressure;
+        self.closes += other.closes;
+        self.advances += other.advances;
+        self.evictions += other.evictions;
+        self.readmissions += other.readmissions;
+        self.force_closed += other.force_closed;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.peak_open = self.peak_open.max(other.peak_open);
+    }
+
+    /// One JSON object with every session counter.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"opened\": {}, \"appends\": {}, \"append_bytes\": {}, \"backpressure\": {}, \
+             \"closes\": {}, \"advances\": {}, \"evictions\": {}, \"readmissions\": {}, \
+             \"force_closed\": {}, \"completed\": {}, \"failed\": {}, \"peak_open\": {}}}",
+            self.opened,
+            self.appends,
+            self.append_bytes,
+            self.backpressure,
+            self.closes,
+            self.advances,
+            self.evictions,
+            self.readmissions,
+            self.force_closed,
+            self.completed,
+            self.failed,
+            self.peak_open
         )
     }
 }
@@ -150,6 +302,9 @@ pub struct SchedCounters {
     /// Fault events injected by the simulation substrate (DRAM stalls,
     /// corrected ECC flips, wedges), summed over all runs.
     pub faults_injected: u64,
+    /// Long-lived session decisions; all zeros (and omitted from the
+    /// JSON) for a pure one-shot-job workload.
+    pub sessions: SessionCounters,
 }
 
 impl SchedCounters {
@@ -179,17 +334,20 @@ impl SchedCounters {
         self.timeouts += other.timeouts;
         self.quarantines += other.quarantines;
         self.faults_injected += other.faults_injected;
+        self.sessions.merge(&other.sessions);
     }
 
     /// One JSON object with every counter plus the derived slot-fill
-    /// ratio.
+    /// ratio. The nested `"sessions"` object appears only when at least
+    /// one session was opened, keeping session-free reports
+    /// byte-identical to the pre-session format.
     pub fn to_json(&self) -> String {
-        format!(
+        let mut json = format!(
             "{{\"submitted\": {}, \"admitted\": {}, \"rejected_queue_full\": {}, \
              \"rejected_malformed\": {}, \"rejected_deadline\": {}, \"batches_packed\": {}, \
              \"jobs_packed\": {}, \"slots_packed\": {}, \"slots_offered\": {}, \
              \"slot_fill\": {:.4}, \"completed\": {}, \"failed\": {}, \"deadline_misses\": {}, \
-             \"retries\": {}, \"timeouts\": {}, \"quarantines\": {}, \"faults_injected\": {}}}",
+             \"retries\": {}, \"timeouts\": {}, \"quarantines\": {}, \"faults_injected\": {}",
             self.submitted,
             self.admitted,
             self.rejected_queue_full,
@@ -207,7 +365,13 @@ impl SchedCounters {
             self.timeouts,
             self.quarantines,
             self.faults_injected
-        )
+        );
+        if self.sessions.opened > 0 {
+            json.push_str(", \"sessions\": ");
+            json.push_str(&self.sessions.to_json());
+        }
+        json.push('}');
+        json
     }
 }
 
@@ -291,6 +455,121 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert_eq!(a.max(), 3);
+    }
+
+    #[test]
+    fn capped_buffer_stays_bounded_and_percentiles_stay_accurate() {
+        // 300k samples from a seeded LCG with a heavy upper tail —
+        // far past the cap, so the buffer has halved several times.
+        // Scalars must stay exact; nearest-rank percentiles must land
+        // within a small value band of the exact reference.
+        let mut l = LatencyStats::new();
+        let mut exact: Vec<u64> = Vec::new();
+        let mut x = 0x2545f4914f6cdd1du64;
+        for _ in 0..300_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = x >> 33;
+            // ~90% uniform in [0, 10_000), ~10% tail in [10_000, 110_000).
+            let v = if r % 10 == 9 { 10_000 + (r / 16) % 100_000 } else { r % 10_000 };
+            l.record(v);
+            exact.push(v);
+        }
+        exact.sort_unstable();
+        assert_eq!(l.count(), exact.len());
+        assert_eq!(l.max(), *exact.last().unwrap());
+        let exact_mean = exact.iter().map(|&v| v as u128).sum::<u128>() as f64 / exact.len() as f64;
+        assert!((l.mean() - exact_mean).abs() < 1e-6, "mean must stay exact");
+        // Retained buffer bounded regardless of sample count.
+        assert!(l.sorted.len() < LATENCY_SAMPLE_CAP, "buffer exceeded cap: {}", l.sorted.len());
+        assert!(l.stride > 1, "300k samples must have decimated the buffer");
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            let got = l.percentile(p);
+            // Accuracy is measured in *rank* space (a ~5k-point
+            // subsample has ~0.5% rank noise, which near a density
+            // cliff can be a large value gap): the reported value's
+            // rank in the exact distribution must sit within 2% of the
+            // requested percentile.
+            let lo = exact.partition_point(|&v| v < got);
+            let hi = exact.partition_point(|&v| v <= got);
+            let want_rank = (p / 100.0) * exact.len() as f64;
+            let err = if (lo as f64) > want_rank {
+                lo as f64 - want_rank
+            } else if (hi as f64) < want_rank {
+                want_rank - hi as f64
+            } else {
+                0.0
+            };
+            let tol = exact.len() as f64 * 0.02;
+            assert!(
+                err <= tol,
+                "p{p}: got value {got} at rank band [{lo}, {hi}], want rank {want_rank:.0} \
+                 (err {err:.0} > tol {tol:.0})"
+            );
+        }
+        assert_eq!(l.percentile(100.0), l.max());
+    }
+
+    #[test]
+    fn merge_aligns_buffers_of_different_strides() {
+        // One decimated distribution, one exact: the merge must align
+        // strides, stay bounded, and keep scalars exact.
+        let mut big = LatencyStats::new();
+        for i in 0..50_000u64 {
+            big.record(i % 1_000);
+        }
+        let mut small = LatencyStats::new();
+        for v in [5_000u64, 6_000, 7_000] {
+            small.record(v);
+        }
+        let (bc, sc) = (big.count(), small.count());
+        big.merge(&small);
+        assert_eq!(big.count(), bc + sc);
+        assert_eq!(big.max(), 7_000);
+        assert!(big.sorted.len() < LATENCY_SAMPLE_CAP);
+        // And the symmetric direction: exact absorbing decimated.
+        let mut small2 = LatencyStats::new();
+        small2.record(42);
+        let mut big2 = LatencyStats::new();
+        for i in 0..50_000u64 {
+            big2.record(i % 1_000);
+        }
+        small2.merge(&big2);
+        assert_eq!(small2.count(), 50_001);
+        assert_eq!(small2.max(), 999);
+        assert!(small2.sorted.len() < LATENCY_SAMPLE_CAP);
+        // Median of ~uniform 0..1000 stays near 500 through alignment.
+        let p50 = small2.p50();
+        assert!((450..=550).contains(&p50), "merged p50 {p50} drifted");
+    }
+
+    #[test]
+    fn session_counters_merge_and_conditional_json() {
+        // Session-free counters serialize exactly as before — no
+        // "sessions" key — so golden serving reports stay byte-stable.
+        let plain = SchedCounters { submitted: 3, ..Default::default() };
+        assert!(!plain.to_json().contains("sessions"));
+        assert_eq!(plain.to_json().matches('{').count(), 1);
+
+        let mut a = SchedCounters {
+            sessions: SessionCounters { opened: 2, peak_open: 5, ..Default::default() },
+            ..Default::default()
+        };
+        let b = SchedCounters {
+            sessions: SessionCounters {
+                opened: 1,
+                backpressure: 4,
+                peak_open: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.sessions.opened, 3);
+        assert_eq!(a.sessions.backpressure, 4);
+        assert_eq!(a.sessions.peak_open, 5, "gauge must merge by max");
+        let json = a.to_json();
+        assert!(json.contains("\"sessions\": {\"opened\": 3"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]
