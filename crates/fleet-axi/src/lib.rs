@@ -212,11 +212,33 @@ impl DramChannel {
     /// The per-cycle utilization signal `fleet-trace` samples (call
     /// after the cycle's `pop_read_beat`, before [`DramChannel::tick`]).
     pub fn bus_busy(&self) -> bool {
-        self.delivered_this_cycle
-            || self.writes.iter().any(|w| {
-                let beats = (w.data.len() / BEAT_BYTES) as u64;
-                w.apply_at.saturating_sub(beats) <= self.now && self.now < w.apply_at
-            })
+        self.delivered_this_cycle || self.write_bus_busy_at(self.now)
+    }
+
+    /// Whether a queued write transfer's bus-crossing window covers
+    /// cycle `at`. This is `bus_busy` minus the read-beat term — the
+    /// only component that varies over a span of cycles in which no
+    /// beats are popped and nothing is pushed, so an engine skipping
+    /// such a span can replay the exact per-cycle bus utilization.
+    pub fn write_bus_busy_at(&self, at: u64) -> bool {
+        self.writes.iter().any(|w| {
+            let beats = (w.data.len() / BEAT_BYTES) as u64;
+            w.apply_at.saturating_sub(beats) <= at && at < w.apply_at
+        })
+    }
+
+    /// The cycle at which the oldest in-flight read's next data beat
+    /// becomes deliverable (`pop_read_beat` succeeds once `now` reaches
+    /// it), if any read is in flight.
+    pub fn next_read_beat_at(&self) -> Option<u64> {
+        self.reads.front().map(|r| r.next_beat_ready)
+    }
+
+    /// The cycle at which the oldest queued write applies to memory
+    /// (during the [`DramChannel::tick`] that moves `now` to this
+    /// value), if any write is queued. Always greater than `now`.
+    pub fn next_write_apply_at(&self) -> Option<u64> {
+        self.writes.front().map(|w| w.apply_at)
     }
 
     /// Read requests accepted but not fully delivered.
@@ -394,6 +416,22 @@ impl DramChannel {
     pub fn tick(&mut self) {
         self.now += 1;
         self.delivered_this_cycle = false;
+        self.apply_due_writes();
+    }
+
+    /// Advances the channel `cycles` cycles at once — exactly
+    /// equivalent to that many [`DramChannel::tick`]s during which no
+    /// beat was popped and nothing was pushed (writes apply in FIFO
+    /// order the moment `now` passes their `apply_at`, and nothing else
+    /// in the channel is time-driven). The engine's cycle-skip uses
+    /// this to jump the virtual clock to the next event.
+    pub fn advance(&mut self, cycles: u64) {
+        self.now += cycles;
+        self.delivered_this_cycle = false;
+        self.apply_due_writes();
+    }
+
+    fn apply_due_writes(&mut self) {
         while let Some(wfront) = self.writes.front() {
             if wfront.apply_at <= self.now {
                 let wr = self.writes.pop_front().expect("front exists");

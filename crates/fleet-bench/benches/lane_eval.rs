@@ -1,0 +1,108 @@
+//! Criterion microbench of the SIMD evaluation plane: one
+//! `PackedProg::eval_lanes` sweep at lane widths 1/8/16 versus the
+//! equivalent scalar `PackedProg::eval` per lane, across all six paper
+//! apps. This is the kernel the engine's lane-batched pre-evaluation
+//! phase (`simperf`'s headline path) stands on; the differential tests
+//! in `fleet-isim`/`fleet-compiler` pin the two paths bit-equal, this
+//! bench tracks the throughput gap between them.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use fleet_apps::{App, AppKind};
+use fleet_isim::{bytes_to_tokens, PackedProg, SsaProg, UnitState};
+
+const WIDTHS: [usize; 5] = [1, 8, 16, 32, 64];
+
+/// Per-app fixture: the optimized packed program plus per-lane inputs
+/// drawn from distinct generated streams, so lane columns diverge.
+struct Fixture {
+    name: &'static str,
+    slots: usize,
+    seed: Vec<u64>,
+    packed: PackedProg,
+    states: Vec<UnitState>,
+    inputs: Vec<u64>,
+    finished: Vec<bool>,
+}
+
+fn fixture(kind: AppKind, lanes: usize) -> Fixture {
+    let app = App::new(kind);
+    let spec = app.spec();
+    let ssa = SsaProg::build(&spec);
+    let opt = ssa.optimized(&spec);
+    let packed = PackedProg::new(&opt);
+
+    let mut states = Vec::with_capacity(lanes);
+    let mut inputs = Vec::with_capacity(lanes);
+    for l in 0..lanes {
+        let stream = app.gen_stream(l as u64, 256);
+        let tokens = bytes_to_tokens(&stream, spec.input_token_bits).expect("whole tokens");
+        inputs.push(tokens.get(l).copied().unwrap_or(l as u64));
+        states.push(UnitState::reset(&spec));
+    }
+    Fixture {
+        name: app.name(),
+        slots: opt.slots(),
+        seed: opt.seed_vals(),
+        packed,
+        states,
+        inputs,
+        finished: vec![false; lanes],
+    }
+}
+
+fn bench_lane_eval(c: &mut Criterion) {
+    for kind in AppKind::all() {
+        let fx = fixture(kind, *WIDTHS.iter().max().unwrap());
+        let mut g = c.benchmark_group(format!("lane_eval/{}", fx.name));
+        for width in WIDTHS {
+            // One "iteration" = `width` virtual-cycle evaluations, so
+            // throughput is comparable across widths.
+            g.throughput(Throughput::Elements(width as u64));
+
+            // Scalar reference: the per-unit path, `width` times.
+            let mut vals = vec![0u64; fx.slots];
+            g.bench_function(&format!("scalar_x{width}"), |b| {
+                b.iter(|| {
+                    for l in 0..width {
+                        vals.copy_from_slice(&fx.seed);
+                        fx.packed.eval(
+                            std::hint::black_box(&fx.states[l]),
+                            fx.inputs[l],
+                            fx.finished[l],
+                            &mut vals,
+                        );
+                        std::hint::black_box(&vals);
+                    }
+                })
+            });
+
+            // SIMD plane: one sweep over `width` lanes.
+            let mut plane = vec![0u64; fx.slots * width];
+            for (s, &v) in fx.seed.iter().enumerate() {
+                plane[s * width..(s + 1) * width].fill(v);
+            }
+            let states: Vec<&UnitState> = fx.states[..width].iter().collect();
+            g.bench_function(&format!("lanes_x{width}"), |b| {
+                b.iter(|| {
+                    fx.packed.eval_lanes(
+                        std::hint::black_box(&states),
+                        &fx.inputs[..width],
+                        &fx.finished[..width],
+                        width,
+                        &mut plane,
+                    );
+                    std::hint::black_box(&plane);
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lane_eval
+}
+criterion_main!(benches);

@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use fleet_isim::{PackedProg, PendingWrites, SsaOp, SsaProg, UnitState};
+use fleet_isim::{PackedProg, PendingWrites, Slot, SsaOp, SsaProg, UnitState};
 use fleet_lang::{mask, UnitSpec};
 use fleet_trace::{CycleClass, PuCycleCounters};
 
@@ -97,6 +97,11 @@ pub struct CompiledUnit {
     /// instructions ([`PackedProg`]); shares `opt`'s slot numbering.
     packed: Arc<PackedProg>,
     reset: UnitState,
+    /// Whether every value that can ever enter a lane-batched
+    /// evaluation plane for this unit fits in 32 bits, making the
+    /// narrow ([`u32`]) plane bit-exact (see [`CompiledUnit::from_arc`]
+    /// for the proof obligations).
+    plane32: bool,
 }
 
 impl CompiledUnit {
@@ -122,7 +127,25 @@ impl CompiledUnit {
         let opt = Arc::new(ssa.optimized(&spec));
         let packed = Arc::new(PackedProg::new(&opt));
         let reset = UnitState::reset(&spec);
-        CompiledUnit { spec, ssa, opt, packed, reset }
+        // Narrow-plane admissibility. Combined with
+        // [`PackedProg::fits_u32`] (no instruction can *produce* a
+        // value above 32 bits), these checks close the loop on every
+        // other value source: input tokens (token width), committed
+        // state (write widths and reset values), and the seeded
+        // constant rows. Under them the u32 plane sweep is
+        // bit-identical to the u64 one for any reachable state.
+        let plane32 = packed.fits_u32()
+            && spec.input_token_bits <= 32
+            && spec.regs.iter().all(|r| r.width <= 32 && r.init <= u64::from(u32::MAX))
+            && spec.vec_regs.iter().all(|v| v.width <= 32 && v.init <= u64::from(u32::MAX))
+            && spec.brams.iter().all(|b| b.data_width <= 32)
+            && opt.seed_vals().iter().all(|&v| v <= u64::from(u32::MAX))
+            && opt.ops.iter().all(|op| match &op.op {
+                SsaOp::SetReg { width, .. } | SsaOp::SetVecReg { width, .. } => *width <= 32,
+                SsaOp::BramWrite { dw, .. } => *dw <= 32,
+                SsaOp::Emit { .. } => true,
+            });
+        CompiledUnit { spec, ssa, opt, packed, reset, plane32 }
     }
 
     /// The unit specification this program was compiled from.
@@ -172,6 +195,8 @@ pub struct PuExec {
     cycles: u64,
     vcycles: u64,
     counters: PuCycleCounters,
+    /// Inherited narrow-plane admissibility (see [`CompiledUnit`]).
+    plane32: bool,
 }
 
 impl PuExec {
@@ -206,6 +231,7 @@ impl PuExec {
             cycles: 0,
             vcycles: 0,
             counters: PuCycleCounters::default(),
+            plane32: unit.plane32,
         }
     }
 
@@ -270,63 +296,52 @@ impl PuExec {
             let loop_active = prog.any_loop(&self.vals);
             let vals = &self.vals;
             let mut pending = std::mem::take(&mut self.scratch);
-            let mut emit = None;
-            for op in &prog.ops {
-                if op.in_loop != loop_active
-                    || op.guards.iter().any(|&g| vals[g as usize] == 0)
-                {
-                    continue;
-                }
-                match &op.op {
-                    SsaOp::SetReg { reg, width, val } => {
-                        // Priority: the first active assignment wins, like
-                        // the compiled priority mux.
-                        let r = *reg as usize;
-                        if !pending.regs.iter().any(|(idx, _)| *idx == r) {
-                            pending.regs.push((r, mask(vals[*val as usize], *width)));
-                        }
-                    }
-                    SsaOp::SetVecReg { vr, width, idx, val } => {
-                        let v = *vr as usize;
-                        let elements = self.state.vec_regs[v].len();
-                        let i = vals[*idx as usize] as usize;
-                        if i >= elements {
-                            // Out-of-range index selects no element, like
-                            // the compiled per-element write decoders.
-                            continue;
-                        }
-                        if !pending
-                            .vec_regs
-                            .iter()
-                            .any(|(w, e, _)| *w == v && *e == i)
-                        {
-                            pending.vec_regs.push((v, i, mask(vals[*val as usize], *width)));
-                        }
-                    }
-                    SsaOp::BramWrite { bram, aw, dw, addr, val } => {
-                        let b = *bram as usize;
-                        if !pending.brams.iter().any(|(idx, _, _)| *idx == b) {
-                            pending.brams.push((
-                                b,
-                                mask(vals[*addr as usize], *aw),
-                                mask(vals[*val as usize], *dw),
-                            ));
-                        }
-                    }
-                    SsaOp::Emit { val, width } => {
-                        if emit.is_none() {
-                            emit = Some(mask(vals[*val as usize], *width));
-                        }
-                    }
-                }
-            }
+            let emit =
+                walk_ops(prog, &self.state, loop_active, |s| vals[s as usize], &mut pending);
             self.cached = Some(VcycleEval { loop_active, emit, pending });
         }
         self.cached.as_ref().expect("just filled")
     }
 
+    /// Whether this unit is waiting for exactly the work a lane-batched
+    /// sweep provides: a latched token (or cleanup execution) with no
+    /// cached evaluation yet, on the optimized/packed path.
+    ///
+    /// Such a unit's next [`PuExec::comb`]/[`PuExec::clock`] would run
+    /// the packed instruction sweep; pre-evaluating it through
+    /// [`PuExecBatch`] and [`PuExec::adopt_lane_eval`] installs the
+    /// identical cache, so batching is externally unobservable.
+    #[inline]
+    pub fn lane_pending(&self) -> bool {
+        self.v && self.cached.is_none() && !self.reference
+    }
+
+    /// Installs this unit's virtual-cycle evaluation from lane `lane`
+    /// of a swept [`PuExecBatch`], exactly as [`PuExec::comb`] would
+    /// have computed it. The batch must have been swept with this unit
+    /// enrolled at `lane` in the same engine cycle (no architectural
+    /// state change in between).
+    ///
+    /// The walk already ran inside [`PuExecBatch::sweep`]; this only
+    /// moves the lane's results into the unit's evaluation cache,
+    /// trading the unit's (empty) scratch buffer into the batch so the
+    /// pending-write allocations circulate instead of growing.
+    #[inline]
+    pub fn adopt_lane_eval(&mut self, batch: &mut PuExecBatch, lane: usize) {
+        debug_assert!(self.lane_pending(), "adopting unit is not awaiting evaluation");
+        debug_assert!(batch.matches(self), "batch swept a different program");
+        debug_assert!(lane < batch.width, "lane {lane} out of batch width {}", batch.width);
+        let pending = std::mem::replace(&mut batch.pending[lane], std::mem::take(&mut self.scratch));
+        self.cached = Some(VcycleEval {
+            loop_active: batch.loop_active[lane],
+            emit: batch.emits[lane],
+            pending,
+        });
+    }
+
     /// Combinational outputs for this cycle (no state change besides the
     /// internal evaluation cache).
+    #[inline]
     pub fn comb(&mut self, pins: &PuIn) -> PuOut {
         if !self.v {
             return PuOut {
@@ -351,6 +366,7 @@ impl PuExec {
 
     /// Clock edge: commits the virtual cycle when it finishes and latches
     /// a new token / the finish flag when `input_ready`.
+    #[inline]
     pub fn clock(&mut self, pins: &PuIn) {
         self.cycles += 1;
         if self.v {
@@ -420,6 +436,7 @@ impl PuExec {
     /// `output_valid` with the same token. Either way the pins the unit
     /// drives are constant, so a simulator may skip re-evaluation and
     /// account the skipped span with [`PuExec::skip_cycles`].
+    #[inline]
     pub fn quiescence(&self) -> Quiescence {
         if self.v {
             if self.cached.is_some() {
@@ -475,6 +492,454 @@ impl PuExec {
             assert!(guard < limit, "run_stream did not terminate");
         }
         (out, pu.cycles())
+    }
+}
+
+/// Walks the program's guarded operations for one virtual cycle,
+/// reading evaluated slot values through `get`, filling `pending` with
+/// the cycle's state writes and returning the emitted token (if any).
+///
+/// Shared by the per-unit path (reading the unit's own `vals` buffer)
+/// and the lane-batched path (reading one lane's column of a
+/// [`PuExecBatch`] plane), so both produce the same [`VcycleEval`] by
+/// construction.
+fn walk_ops(
+    prog: &SsaProg,
+    state: &UnitState,
+    loop_active: bool,
+    get: impl Fn(Slot) -> u64,
+    pending: &mut PendingWrites,
+) -> Option<u64> {
+    let mut emit = None;
+    for op in &prog.ops {
+        if op.in_loop != loop_active || op.guards.iter().any(|&g| get(g) == 0) {
+            continue;
+        }
+        match &op.op {
+            SsaOp::SetReg { reg, width, val } => {
+                // Priority: the first active assignment wins, like
+                // the compiled priority mux.
+                let r = *reg as usize;
+                if !pending.regs.iter().any(|(idx, _)| *idx == r) {
+                    pending.regs.push((r, mask(get(*val), *width)));
+                }
+            }
+            SsaOp::SetVecReg { vr, width, idx, val } => {
+                let v = *vr as usize;
+                let elements = state.vec_regs[v].len();
+                let i = get(*idx) as usize;
+                if i >= elements {
+                    // Out-of-range index selects no element, like
+                    // the compiled per-element write decoders.
+                    continue;
+                }
+                if !pending.vec_regs.iter().any(|(w, e, _)| *w == v && *e == i) {
+                    pending.vec_regs.push((v, i, mask(get(*val), *width)));
+                }
+            }
+            SsaOp::BramWrite { bram, aw, dw, addr, val } => {
+                let b = *bram as usize;
+                if !pending.brams.iter().any(|(idx, _, _)| *idx == b) {
+                    pending.brams.push((b, mask(get(*addr), *aw), mask(get(*val), *dw)));
+                }
+            }
+            SsaOp::Emit { val, width } => {
+                if emit.is_none() {
+                    emit = Some(mask(get(*val), *width));
+                }
+            }
+        }
+    }
+    emit
+}
+
+/// A lane-major evaluation plane shared by up to `width` replicas of
+/// one compiled program — the SIMD half of the simulator hot path.
+///
+/// All replicas of a [`CompiledUnit`] execute the *same*
+/// [`PackedProg`]; a batch sweeps one instruction across every enrolled
+/// lane before moving to the next ([`PackedProg::eval_lanes`]), turning
+/// the per-unit interpreter dispatch into dense per-row arithmetic the
+/// compiler vectorizes. Wedged/stalled/drained units are masked off by
+/// never enrolling them ([`PuExec::lane_pending`] is the gate);
+/// divergent guards cost nothing because each lane owns a full column
+/// of the plane and the guarded-op walk stays per-lane
+/// ([`PuExec::adopt_lane_eval`]).
+///
+/// The plane's constant rows (slots below the program's first written
+/// slot) are seeded once at construction and never rewritten, so a
+/// batch is reusable across engine cycles and lane-group compositions.
+#[derive(Debug)]
+pub struct PuExecBatch {
+    opt: Arc<SsaProg>,
+    packed: Arc<PackedProg>,
+    width: usize,
+    /// Lane-major values: slot `s`, lane `l` at `plane[s * width + l]`.
+    plane: LanePlane,
+    /// Reusable per-sweep gather buffers.
+    inputs: Vec<u64>,
+    finished: Vec<bool>,
+    /// Per-lane walk results of the last sweep, consumed by
+    /// [`PuExec::adopt_lane_eval`]. The pending-write buffers circulate
+    /// between the batch and the adopting units' scratch so neither
+    /// side reallocates in steady state.
+    loop_active: Vec<bool>,
+    emits: Vec<Option<u64>>,
+    pending: Vec<PendingWrites>,
+    /// Distinct guard slots referenced across `opt.ops`; each sweep
+    /// packs every distinct guard row into a lane bitmask exactly once,
+    /// however many ops it gates.
+    guard_slots: Vec<Slot>,
+    /// Per-op guard lists as indices into `guard_slots` (parallel to
+    /// `opt.ops`).
+    op_guards: Vec<Vec<u32>>,
+    /// Per-sweep packed lane bitmasks, parallel to `guard_slots`.
+    guard_masks: Vec<u64>,
+    /// Lanes that already wrote each register / BRAM this sweep — the
+    /// first-write-wins dedup transposed into one mask AND per op, so
+    /// repeat writers skip already-written lanes without visiting them.
+    reg_lanes: Vec<u64>,
+    bram_lanes: Vec<u64>,
+}
+
+/// Backing storage for a batch's lane-major value plane.
+///
+/// The narrow form is selected per compiled unit when
+/// [`CompiledUnit`]'s admissibility proof holds: it halves the plane's
+/// cache footprint (a 512-PU JSON channel's 32-lane plane drops from
+/// ~45 KB to ~22 KB, inside L1) and doubles the lanes per SIMD
+/// register in both the instruction sweep and the guarded-op walk.
+#[derive(Debug)]
+enum LanePlane {
+    /// Full-width `u64` columns — always valid.
+    Wide(Vec<u64>),
+    /// Narrow `u32` columns — bit-exact only under the unit's
+    /// narrow-plane proof.
+    Narrow(Vec<u32>),
+}
+
+/// Column element of a lane-major evaluation plane: lets the
+/// guarded-op walk run over either plane width from one body.
+trait LaneVal: Copy {
+    /// The value as the architectural `u64` it represents.
+    fn widen(self) -> u64;
+}
+
+impl LaneVal for u64 {
+    #[inline]
+    fn widen(self) -> u64 {
+        self
+    }
+}
+
+impl LaneVal for u32 {
+    #[inline]
+    fn widen(self) -> u64 {
+        u64::from(self)
+    }
+}
+
+/// Caller-owned scratch and precomputed tables for
+/// [`walk_lane_rows`], all recycled across sweeps (see the matching
+/// [`PuExecBatch`] fields for the invariants).
+struct WalkTables<'a> {
+    guard_slots: &'a [Slot],
+    op_guards: &'a [Vec<u32>],
+    guard_masks: &'a mut [u64],
+    reg_lanes: &'a mut [u64],
+    bram_lanes: &'a mut [u64],
+}
+
+/// The guarded-op walk of [`PuExecBatch::sweep`], op-major over the
+/// swept plane's rows: for each lane the produced results are
+/// identical to running [`walk_ops`] on that lane's column (same op
+/// order, same first-write-wins merges, same out-of-range vector-write
+/// skip), restructured around lane bitmasks. Each distinct guard row
+/// is packed into a 64-bit lane mask once per sweep; an op's firing
+/// set is then the AND of its guard masks with the loop-phase mask,
+/// and first-write-wins dedup is a transposed per-target
+/// "already-written lanes" mask — so ops that fire nowhere, lanes an
+/// op skips, and writes that lost the first-write race all cost no
+/// per-lane work at all.
+#[allow(clippy::too_many_arguments)]
+fn walk_lane_rows<T: LaneVal>(
+    opt: &SsaProg,
+    plane: &[T],
+    width: usize,
+    n: usize,
+    states: &[&UnitState],
+    loop_active: &mut [bool],
+    emits: &mut [Option<u64>],
+    pending: &mut [PendingWrites],
+    tables: WalkTables<'_>,
+) {
+    assert!(n <= 64, "lane group exceeds the walk's 64-lane bitmask");
+    let WalkTables { guard_slots, op_guards, guard_masks, reg_lanes, bram_lanes } = tables;
+    let row = |s: Slot| &plane[s as usize * width..s as usize * width + n];
+    let full: u64 = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+
+    loop_active[..n].fill(false);
+    for &s in &opt.loop_conds {
+        for (la, &v) in loop_active.iter_mut().zip(row(s)) {
+            *la |= v.widen() != 0;
+        }
+    }
+    let mut loop_mask = 0u64;
+    for (l, &la) in loop_active[..n].iter().enumerate() {
+        loop_mask |= u64::from(la) << l;
+    }
+    for l in 0..n {
+        pending[l].clear();
+        emits[l] = None;
+    }
+    for (gi, &g) in guard_slots.iter().enumerate() {
+        let rg = row(g);
+        let mut gm = 0u64;
+        for (l, &v) in rg.iter().enumerate() {
+            gm |= u64::from(v.widen() != 0) << l;
+        }
+        guard_masks[gi] = gm;
+    }
+    reg_lanes.fill(0);
+    bram_lanes.fill(0);
+    let mut emitted = 0u64;
+    for (op, gidx) in opt.ops.iter().zip(op_guards) {
+        let mut fm = if op.in_loop { loop_mask } else { !loop_mask & full };
+        for &gi in gidx {
+            fm &= guard_masks[gi as usize];
+        }
+        if fm == 0 {
+            continue;
+        }
+        match &op.op {
+            SsaOp::SetReg { reg, width: w, val } => {
+                let r = *reg as usize;
+                let wm = mask(u64::MAX, *w);
+                let vrow = row(*val);
+                let mut it = fm & !reg_lanes[r];
+                reg_lanes[r] |= it;
+                while it != 0 {
+                    let l = it.trailing_zeros() as usize;
+                    it &= it - 1;
+                    pending[l].regs.push((r, vrow[l].widen() & wm));
+                }
+            }
+            SsaOp::SetVecReg { vr, width: w, idx, val } => {
+                let v = *vr as usize;
+                let wm = mask(u64::MAX, *w);
+                let irow = row(*idx);
+                let vrow = row(*val);
+                let mut it = fm;
+                while it != 0 {
+                    let l = it.trailing_zeros() as usize;
+                    it &= it - 1;
+                    let elements = states[l].vec_regs[v].len();
+                    let i = irow[l].widen() as usize;
+                    if i >= elements {
+                        // Out-of-range index selects no element,
+                        // like the compiled write decoders.
+                        continue;
+                    }
+                    let p = &mut pending[l];
+                    if !p.vec_regs.iter().any(|(w2, e, _)| *w2 == v && *e == i) {
+                        p.vec_regs.push((v, i, vrow[l].widen() & wm));
+                    }
+                }
+            }
+            SsaOp::BramWrite { bram, aw, dw, addr, val } => {
+                let b = *bram as usize;
+                let am = mask(u64::MAX, *aw);
+                let wm = mask(u64::MAX, *dw);
+                let arow = row(*addr);
+                let vrow = row(*val);
+                let mut it = fm & !bram_lanes[b];
+                bram_lanes[b] |= it;
+                while it != 0 {
+                    let l = it.trailing_zeros() as usize;
+                    it &= it - 1;
+                    pending[l].brams.push((b, arow[l].widen() & am, vrow[l].widen() & wm));
+                }
+            }
+            SsaOp::Emit { val, width: w } => {
+                let wm = mask(u64::MAX, *w);
+                let vrow = row(*val);
+                let mut it = fm & !emitted;
+                emitted |= it;
+                while it != 0 {
+                    let l = it.trailing_zeros() as usize;
+                    it &= it - 1;
+                    emits[l] = Some(vrow[l].widen() & wm);
+                }
+            }
+        }
+    }
+}
+
+impl PuExecBatch {
+    /// Builds a `width`-lane plane for `pu`'s compiled program (widths
+    /// below 1 are clamped to 1). Any replica of the same
+    /// [`CompiledUnit`] can occupy any lane.
+    pub fn for_unit(pu: &PuExec, width: usize) -> PuExecBatch {
+        let width = width.clamp(1, 64);
+        let slots = pu.opt.slots();
+        let plane = if pu.plane32 {
+            let mut p = vec![0u32; slots * width];
+            for (s, &v) in pu.opt.seed_vals().iter().enumerate() {
+                p[s * width..(s + 1) * width].fill(v as u32);
+            }
+            LanePlane::Narrow(p)
+        } else {
+            let mut p = vec![0u64; slots * width];
+            for (s, &v) in pu.opt.seed_vals().iter().enumerate() {
+                p[s * width..(s + 1) * width].fill(v);
+            }
+            LanePlane::Wide(p)
+        };
+        let mut guard_slots: Vec<Slot> = Vec::new();
+        let op_guards: Vec<Vec<u32>> = pu
+            .opt
+            .ops
+            .iter()
+            .map(|op| {
+                op.guards
+                    .iter()
+                    .map(|&g| match guard_slots.iter().position(|&s| s == g) {
+                        Some(i) => i as u32,
+                        None => {
+                            guard_slots.push(g);
+                            (guard_slots.len() - 1) as u32
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let n_regs = pu
+            .opt
+            .ops
+            .iter()
+            .filter_map(|op| match &op.op {
+                SsaOp::SetReg { reg, .. } => Some(*reg as usize + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let n_brams = pu
+            .opt
+            .ops
+            .iter()
+            .filter_map(|op| match &op.op {
+                SsaOp::BramWrite { bram, .. } => Some(*bram as usize + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let guard_masks = vec![0u64; guard_slots.len()];
+        PuExecBatch {
+            opt: Arc::clone(&pu.opt),
+            packed: Arc::clone(&pu.packed),
+            width,
+            plane,
+            inputs: Vec::with_capacity(width),
+            finished: Vec::with_capacity(width),
+            loop_active: vec![false; width],
+            emits: vec![None; width],
+            pending: (0..width).map(|_| PendingWrites::default()).collect(),
+            guard_slots,
+            op_guards,
+            guard_masks,
+            reg_lanes: vec![0; n_regs],
+            bram_lanes: vec![0; n_brams],
+        }
+    }
+
+    /// Number of lanes in the plane.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Whether `pu` executes the exact program this plane was built
+    /// for (same `Arc`, optimized path selected).
+    pub fn matches(&self, pu: &PuExec) -> bool {
+        Arc::ptr_eq(&self.packed, &pu.packed) && !pu.reference
+    }
+
+    /// Sweeps one virtual-cycle evaluation for every unit in `lanes`
+    /// (unit `l` occupies lane `l`; at most [`PuExecBatch::width`]
+    /// units). Each unit must satisfy [`PuExec::lane_pending`] and
+    /// [`PuExecBatch::matches`]. Follow with
+    /// [`PuExec::adopt_lane_eval`] per unit to install the results.
+    ///
+    /// The sweep covers the whole virtual cycle: the SIMD instruction
+    /// sweep ([`PackedProg::eval_lanes`]) *and* the guarded-op walk,
+    /// run op-major so every plane access is a contiguous row instead
+    /// of the per-lane column walk's strided reads — the results are
+    /// identical to running [`walk_ops`] per lane by construction
+    /// (same op order, same first-write-wins merges, per lane).
+    pub fn sweep(&mut self, lanes: &[&PuExec]) {
+        let n = lanes.len();
+        assert!(n <= self.width, "lane group exceeds batch width");
+        assert!(!lanes.is_empty(), "empty lane group");
+        self.inputs.clear();
+        self.finished.clear();
+        // Stack-resident gather: a group never exceeds 64 lanes (the
+        // walk's firing-lane bitmask), so a fixed array avoids a heap
+        // allocation on every sweep of the hot loop.
+        let mut states: [&UnitState; 64] = [&lanes[0].state; 64];
+        for (slot, pu) in states.iter_mut().zip(lanes) {
+            debug_assert!(pu.lane_pending(), "swept unit is not awaiting evaluation");
+            debug_assert!(self.matches(pu), "swept unit runs a different program");
+            *slot = &pu.state;
+            self.inputs.push(pu.i);
+            self.finished.push(pu.f);
+        }
+        let states = &states[..n];
+        let Self {
+            opt,
+            packed,
+            width,
+            plane,
+            inputs,
+            finished,
+            loop_active,
+            emits,
+            pending,
+            guard_slots,
+            op_guards,
+            guard_masks,
+            reg_lanes,
+            bram_lanes,
+        } = self;
+        let width = *width;
+        match plane {
+            LanePlane::Wide(p) => {
+                packed.eval_lanes(states, inputs, finished, width, p);
+                walk_lane_rows(
+                    opt,
+                    p,
+                    width,
+                    n,
+                    states,
+                    loop_active,
+                    emits,
+                    pending,
+                    WalkTables { guard_slots, op_guards, guard_masks, reg_lanes, bram_lanes },
+                );
+            }
+            LanePlane::Narrow(p) => {
+                packed.eval_lanes32(states, inputs, finished, width, p);
+                walk_lane_rows(
+                    opt,
+                    p,
+                    width,
+                    n,
+                    states,
+                    loop_active,
+                    emits,
+                    pending,
+                    WalkTables { guard_slots, op_guards, guard_masks, reg_lanes, bram_lanes },
+                );
+            }
+        }
     }
 }
 
@@ -691,6 +1156,86 @@ mod tests {
         let isim = Interpreter::run_tokens(&spec, &tokens).unwrap();
         let (out, _) = PuExec::run_stream(&spec, &tokens);
         assert_eq!(out, isim.tokens);
+    }
+
+    /// Driving replicas through `PuExecBatch::sweep` +
+    /// `adopt_lane_eval` must be pin-for-pin identical to letting each
+    /// unit evaluate itself — with divergent streams, stall patterns,
+    /// and loop phases across the lanes, and some units masked off
+    /// (not lane-pending) on any given cycle.
+    #[test]
+    fn batched_lanes_match_individual_evaluation() {
+        let mut u = UnitBuilder::new("BlockFrequencies", 8, 8);
+        let item_counter = u.reg("itemCounter", 7, 0);
+        let frequencies = u.bram("frequencies", 256, 8);
+        let idx = u.reg("frequenciesIdx", 9, 0);
+        let input = u.input();
+        u.if_(item_counter.eq_e(20u64), |u| {
+            u.while_(idx.lt_e(256u64), |u| {
+                u.emit(frequencies.read(idx));
+                u.write(frequencies, idx, lit(0, 8));
+                u.set(idx, idx + 1u64);
+            });
+            u.set(idx, lit(0, 9));
+        });
+        u.write(frequencies, input.clone(), frequencies.read(input) + 1u64);
+        u.set(
+            item_counter,
+            item_counter.eq_e(20u64).mux(lit(1, 7), item_counter + 1u64),
+        );
+        let spec = u.build().unwrap();
+        let unit = CompiledUnit::new(&spec);
+
+        const LANES: usize = 4;
+        let streams: Vec<Vec<u64>> = (0..LANES as u64)
+            .map(|l| (0..60 + 10 * l).map(|x| (x * 13 + 7 * l) % 256).collect())
+            .collect();
+        let mut batched: Vec<PuExec> = (0..LANES).map(|_| unit.replicate()).collect();
+        let mut control: Vec<PuExec> = (0..LANES).map(|_| unit.replicate()).collect();
+        let mut batch = PuExecBatch::for_unit(&batched[0], LANES);
+        let mut pos = [0usize; LANES];
+        let mut cyc = 0u64;
+        while !(0..LANES).all(|l| batched[l].finished()) {
+            // Pre-evaluate every lane-pending unit through the batch;
+            // the rest (idle, back-pressured, drained) are masked off
+            // exactly as the engine masks them.
+            let group: Vec<usize> = (0..LANES).filter(|&l| batched[l].lane_pending()).collect();
+            if !group.is_empty() {
+                let lanes: Vec<&PuExec> = group.iter().map(|&l| &batched[l]).collect();
+                batch.sweep(&lanes);
+                for (lane, &l) in group.iter().enumerate() {
+                    batched[l].adopt_lane_eval(&mut batch, lane);
+                }
+            }
+            for l in 0..LANES {
+                let toks = &streams[l];
+                let starved = (cyc * 7 + l as u64 * 13) % 5 < 2;
+                let ready = (cyc + l as u64) % 4 != 3;
+                let have = pos[l] < toks.len() && !starved;
+                let pins = PuIn {
+                    input_token: if have { toks[pos[l]] } else { 0 },
+                    input_valid: have,
+                    input_finished: pos[l] >= toks.len(),
+                    output_ready: ready,
+                };
+                let ob = batched[l].comb(&pins);
+                let oc = control[l].comb(&pins);
+                assert_eq!(ob, oc, "lane {l} diverged at cycle {cyc}");
+                batched[l].clock(&pins);
+                control[l].clock(&pins);
+                if ob.input_ready && pins.input_valid {
+                    pos[l] += 1;
+                }
+            }
+            cyc += 1;
+            assert!(cyc < 100_000, "batched drive did not terminate");
+        }
+        for l in 0..LANES {
+            assert_eq!(batched[l].cycles(), control[l].cycles());
+            assert_eq!(batched[l].vcycles(), control[l].vcycles());
+            assert_eq!(batched[l].counters(), control[l].counters());
+            assert_eq!(batched[l].state().regs, control[l].state().regs);
+        }
     }
 
     #[test]

@@ -47,6 +47,6 @@ pub mod stream;
 pub use error::SimError;
 pub use eval::EvalCtx;
 pub use interp::{Interpreter, SimOutput, DEFAULT_LOOP_LIMIT};
-pub use ssa::{PackedProg, SsaGuardedOp, SsaOp, SsaProg};
+pub use ssa::{PackedProg, Slot, SsaGuardedOp, SsaOp, SsaProg};
 pub use state::{PendingWrites, UnitState};
 pub use stream::{bytes_to_tokens, tokens_to_bytes};

@@ -880,6 +880,200 @@ pub struct PackedProg {
     insts: Vec<PackedInst>,
 }
 
+/// Shared body of [`PackedProg::eval_lanes`] (wide, `u64` columns) and
+/// [`PackedProg::eval_lanes32`] (narrow, `u32` columns): one
+/// instruction sweep over a lane-major value plane of element type
+/// `$t`.
+///
+/// The narrow instantiation is bit-identical to the wide one whenever
+/// [`PackedProg::fits_u32`] holds and every value entering the plane
+/// (inputs, register/vector/BRAM state, seeded constant rows) fits in
+/// 32 bits: every arithmetic result is masked to at most 32 bits, so
+/// wrapping add/sub/mul agree on the retained low half; comparisons
+/// and reductions see identical operand values; and the
+/// shift-overflow cutoff moves from 64 to `u32::BITS` exactly where
+/// the wide result's surviving bits would have been masked to zero
+/// anyway (a `<< y` with `y in 32..64` leaves only bits the ≤32-bit
+/// mask discards).
+macro_rules! eval_lanes_body {
+    ($self:ident, $states:ident, $inputs:ident, $finished:ident, $width:ident, $vals:ident, $t:ty) => {{
+        let n = $states.len();
+        assert!(n <= $width, "lane count {n} exceeds plane width {}", $width);
+        assert_eq!($inputs.len(), n);
+        assert_eq!($finished.len(), n);
+        assert!($vals.len() >= ($self.base + $self.insts.len()) * $width);
+        for (j, inst) in $self.insts.iter().enumerate() {
+            // Operand rows all precede the output row, so splitting the
+            // plane at the output row proves disjointness to the
+            // borrow checker without any per-element aliasing checks.
+            let (lo, hi) = $vals.split_at_mut(($self.base + j) * $width);
+            let out = &mut hi[..n];
+            let a = inst.a as usize;
+            let b = inst.b as usize;
+            let m = inst.m as $t;
+            let row = |s: usize| &lo[s * $width..s * $width + n];
+            match inst.op {
+                PackedOp::Const => out.fill(m),
+                PackedOp::Input => {
+                    for (o, &v) in out.iter_mut().zip(&$inputs[..n]) {
+                        *o = v as $t;
+                    }
+                }
+                PackedOp::Finished => {
+                    for (o, &f) in out.iter_mut().zip($finished) {
+                        *o = f as $t;
+                    }
+                }
+                PackedOp::Reg => {
+                    for (o, st) in out.iter_mut().zip($states) {
+                        *o = st.regs[a] as $t;
+                    }
+                }
+                PackedOp::VecReg => {
+                    let ra = row(a);
+                    for l in 0..n {
+                        let elems = &$states[l].vec_regs[b];
+                        let j = ra[l] as usize;
+                        out[l] = if j < elems.len() { elems[j] as $t } else { elems[0] as $t };
+                    }
+                }
+                PackedOp::BramRead => {
+                    let ra = row(a);
+                    for l in 0..n {
+                        out[l] = $states[l].brams[b][(ra[l] & m) as usize] as $t;
+                    }
+                }
+                PackedOp::Not => {
+                    let ra = row(a);
+                    for l in 0..n {
+                        out[l] = !ra[l] & m;
+                    }
+                }
+                PackedOp::ReduceOr => {
+                    let ra = row(a);
+                    for l in 0..n {
+                        out[l] = (ra[l] != 0) as $t;
+                    }
+                }
+                PackedOp::ReduceAnd => {
+                    let ra = row(a);
+                    for l in 0..n {
+                        out[l] = (ra[l] == m) as $t;
+                    }
+                }
+                PackedOp::Add => {
+                    let (ra, rb) = (row(a), row(b));
+                    for l in 0..n {
+                        out[l] = ra[l].wrapping_add(rb[l]) & m;
+                    }
+                }
+                PackedOp::Sub => {
+                    let (ra, rb) = (row(a), row(b));
+                    for l in 0..n {
+                        out[l] = ra[l].wrapping_sub(rb[l]) & m;
+                    }
+                }
+                PackedOp::Mul => {
+                    let (ra, rb) = (row(a), row(b));
+                    for l in 0..n {
+                        out[l] = ra[l].wrapping_mul(rb[l]) & m;
+                    }
+                }
+                PackedOp::And => {
+                    let (ra, rb) = (row(a), row(b));
+                    for l in 0..n {
+                        out[l] = ra[l] & rb[l] & m;
+                    }
+                }
+                PackedOp::Or => {
+                    let (ra, rb) = (row(a), row(b));
+                    for l in 0..n {
+                        out[l] = (ra[l] | rb[l]) & m;
+                    }
+                }
+                PackedOp::Xor => {
+                    let (ra, rb) = (row(a), row(b));
+                    for l in 0..n {
+                        out[l] = (ra[l] ^ rb[l]) & m;
+                    }
+                }
+                PackedOp::Shl => {
+                    let (ra, rb) = (row(a), row(b));
+                    for l in 0..n {
+                        let y = rb[l];
+                        out[l] = if y >= <$t>::BITS as $t { 0 } else { (ra[l] << y) & m };
+                    }
+                }
+                PackedOp::Shr => {
+                    let (ra, rb) = (row(a), row(b));
+                    for l in 0..n {
+                        let y = rb[l];
+                        out[l] = if y >= <$t>::BITS as $t { 0 } else { (ra[l] >> y) & m };
+                    }
+                }
+                PackedOp::Eq => {
+                    let (ra, rb) = (row(a), row(b));
+                    for l in 0..n {
+                        out[l] = (ra[l] == rb[l]) as $t;
+                    }
+                }
+                PackedOp::Ne => {
+                    let (ra, rb) = (row(a), row(b));
+                    for l in 0..n {
+                        out[l] = (ra[l] != rb[l]) as $t;
+                    }
+                }
+                PackedOp::Lt => {
+                    let (ra, rb) = (row(a), row(b));
+                    for l in 0..n {
+                        out[l] = (ra[l] < rb[l]) as $t;
+                    }
+                }
+                PackedOp::Le => {
+                    let (ra, rb) = (row(a), row(b));
+                    for l in 0..n {
+                        out[l] = (ra[l] <= rb[l]) as $t;
+                    }
+                }
+                PackedOp::Gt => {
+                    let (ra, rb) = (row(a), row(b));
+                    for l in 0..n {
+                        out[l] = (ra[l] > rb[l]) as $t;
+                    }
+                }
+                PackedOp::Ge => {
+                    let (ra, rb) = (row(a), row(b));
+                    for l in 0..n {
+                        out[l] = (ra[l] >= rb[l]) as $t;
+                    }
+                }
+                PackedOp::Mux => {
+                    let (ra, rb) = (row(a), row(b));
+                    let rc = row(inst.c as usize);
+                    for l in 0..n {
+                        // Branch-free select: both arms are already
+                        // evaluated rows, exactly the masked-op/select
+                        // idiom for divergent lanes.
+                        out[l] = (if ra[l] != 0 { rb[l] } else { rc[l] }) & m;
+                    }
+                }
+                PackedOp::Slice => {
+                    let ra = row(a);
+                    for l in 0..n {
+                        out[l] = (ra[l] >> inst.c) & m;
+                    }
+                }
+                PackedOp::Concat => {
+                    let (ra, rb) = (row(a), row(b));
+                    for l in 0..n {
+                        out[l] = ((ra[l] << inst.c) | rb[l]) & m;
+                    }
+                }
+            }
+        }
+    }};
+}
+
 impl PackedProg {
     /// Re-encodes `prog`'s node sweep. The packed form evaluates the
     /// same slots to the same values as [`SsaProg::eval`] on `prog`.
@@ -1038,6 +1232,138 @@ impl PackedProg {
                 PackedOp::Concat => ((vals[a] << inst.c) | vals[b]) & m,
             };
         }
+    }
+
+    /// Evaluates one virtual cycle for up to `width` replica lanes in a
+    /// single instruction sweep, into a lane-major value plane.
+    ///
+    /// Lane `l` of slot `s` lives at `vals[s * width + l]`. Rows below
+    /// `base` hold build-time constants replicated across all lanes
+    /// (seed each row from [`SsaProg::seed_vals`]); instruction `j`
+    /// rewrites lanes `0..states.len()` of row `base + j`. For each lane
+    /// `l` the values written are bit-identical to
+    /// [`PackedProg::eval`] over `(states[l], inputs[l], finished[l])` —
+    /// divergence between lanes (guards, loop phases, BRAM addresses)
+    /// is free because every lane carries its own column; the engine's
+    /// masking happens by simply not enrolling wedged/stalled/drained
+    /// units into a lane group. Lanes `states.len()..width` are left
+    /// untouched (stale) and must not be read back.
+    ///
+    /// The per-instruction structure keeps each output row disjoint
+    /// from every operand row (operands precede their instruction in
+    /// topological order), so the inner per-lane loops are
+    /// straight-line, bounds-check-free slice arithmetic the compiler
+    /// can vectorize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input slices disagree on lane count, more than
+    /// `width` lanes are given, or `vals` is shorter than
+    /// `slots * width` for the source program's slot count.
+    #[allow(clippy::unnecessary_cast, trivial_numeric_casts)]
+    pub fn eval_lanes(
+        &self,
+        states: &[&UnitState],
+        inputs: &[u64],
+        finished: &[bool],
+        width: usize,
+        vals: &mut [u64],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: guarded by the runtime AVX2 probe above; the
+            // function body is the identical safe sweep, merely
+            // compiled with 256-bit vectors enabled. AVX2, not
+            // AVX-512: 512-bit license-based frequency throttling on
+            // server parts slows the scalar walk and controller code
+            // sharing the core more than the wider sweep saves.
+            unsafe { self.eval_lanes_avx2(states, inputs, finished, width, vals) };
+            return;
+        }
+        eval_lanes_body!(self, states, inputs, finished, width, vals, u64)
+    }
+
+    /// [`PackedProg::eval_lanes`] recompiled with AVX2 enabled. The
+    /// portable build targets baseline x86-64 (SSE2), which caps the
+    /// auto-vectorizer at two 64-bit lanes per register; this clone of
+    /// the exact same sweep body lets it use four. Bit-identical by
+    /// construction — same code, wider registers.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::unnecessary_cast, trivial_numeric_casts)]
+    unsafe fn eval_lanes_avx2(
+        &self,
+        states: &[&UnitState],
+        inputs: &[u64],
+        finished: &[bool],
+        width: usize,
+        vals: &mut [u64],
+    ) {
+        eval_lanes_body!(self, states, inputs, finished, width, vals, u64)
+    }
+
+    /// Narrow-plane variant of [`PackedProg::eval_lanes`] over `u32`
+    /// columns: half the memory traffic per sweep and twice the lanes
+    /// per SIMD register, for programs whose every value fits 32 bits.
+    ///
+    /// Only valid when [`PackedProg::fits_u32`] holds **and** every
+    /// value reaching the plane fits in 32 bits: input tokens,
+    /// register / vector-register / BRAM state, and the seeded
+    /// constant rows. The caller owns that precondition (the executor
+    /// layer derives it once per compiled unit from the spec's widths
+    /// and reset values); under it every lane is bit-identical to the
+    /// wide sweep — see [`eval_lanes_body!`]'s notes for the argument.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`PackedProg::eval_lanes`].
+    pub fn eval_lanes32(
+        &self,
+        states: &[&UnitState],
+        inputs: &[u64],
+        finished: &[bool],
+        width: usize,
+        vals: &mut [u32],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: guarded by the runtime AVX2 probe above; same
+            // safe body, wider registers (see `eval_lanes_avx2`).
+            unsafe { self.eval_lanes32_avx2(states, inputs, finished, width, vals) };
+            return;
+        }
+        eval_lanes_body!(self, states, inputs, finished, width, vals, u32)
+    }
+
+    /// AVX2 clone of [`PackedProg::eval_lanes32`]; eight 32-bit lanes
+    /// per register instead of SSE2's four. See
+    /// [`PackedProg::eval_lanes`]'s AVX2 clone for the rationale.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn eval_lanes32_avx2(
+        &self,
+        states: &[&UnitState],
+        inputs: &[u64],
+        finished: &[bool],
+        width: usize,
+        vals: &mut [u32],
+    ) {
+        eval_lanes_body!(self, states, inputs, finished, width, vals, u32)
+    }
+
+    /// Whether this instruction stream is admissible on the narrow
+    /// ([`u32`]) evaluation plane: every result mask fits in 32 bits
+    /// (so no instruction can *produce* a wide value) and every
+    /// constant shift amount stays below 32 (so `Slice`/`Concat`
+    /// shifts cannot overflow the narrow element). This is the
+    /// program-side half of the precondition for
+    /// [`PackedProg::eval_lanes32`]; the state/input side (register
+    /// widths, token width, reset values) lives with the caller.
+    pub fn fits_u32(&self) -> bool {
+        self.insts.iter().all(|inst| {
+            inst.m <= u64::from(u32::MAX)
+                && (inst.c < 32 || !matches!(inst.op, PackedOp::Slice | PackedOp::Concat))
+        })
     }
 }
 
@@ -1209,6 +1535,76 @@ mod tests {
                 }
             }
             pending.commit(&mut state);
+        }
+    }
+
+    /// [`PackedProg::eval_lanes`] must write, in every lane's column of
+    /// the plane, exactly the buffer [`PackedProg::eval`] writes for
+    /// that lane's `(state, input, finished)` — with lanes deliberately
+    /// divergent (different tokens, different register/BRAM states,
+    /// different loop phases) and partial groups leaving stale lanes
+    /// untouched.
+    #[test]
+    fn eval_lanes_matches_eval_per_lane() {
+        let spec = histogram_spec();
+        let opt = SsaProg::build(&spec).optimized(&spec);
+        let packed = PackedProg::new(&opt);
+        const WIDTH: usize = 8;
+        // 5 lanes in an 8-wide plane: partial groups are the common
+        // engine case and prove lanes n..width stay inert.
+        const LANES: usize = 5;
+        let mut states: Vec<UnitState> = (0..LANES).map(|_| UnitState::reset(&spec)).collect();
+        let mut plane = vec![0u64; opt.slots() * WIDTH];
+        let seed = opt.seed_vals();
+        for (s, &v) in seed.iter().enumerate() {
+            plane[s * WIDTH..(s + 1) * WIDTH].fill(v);
+        }
+        let mut scalar = vec![seed.clone(); LANES];
+        for step in 0..400u64 {
+            let inputs: Vec<u64> = (0..LANES as u64).map(|l| (step * 37 + 11 * l + l) % 256).collect();
+            let finished: Vec<bool> = (0..LANES as u64).map(|l| step > 300 + 13 * l).collect();
+            let refs: Vec<&UnitState> = states.iter().collect();
+            packed.eval_lanes(&refs, &inputs, &finished, WIDTH, &mut plane);
+            for l in 0..LANES {
+                packed.eval(&states[l], inputs[l], finished[l], &mut scalar[l]);
+                for s in 0..opt.slots() {
+                    assert_eq!(
+                        plane[s * WIDTH + l],
+                        scalar[l][s],
+                        "lane {l} slot {s} diverged at step {step}"
+                    );
+                }
+            }
+            // Advance each lane's architectural state independently so
+            // the lanes drift apart (different loop phases, counters,
+            // BRAM contents).
+            for l in 0..LANES {
+                let va = &scalar[l];
+                let mut pending = PendingWrites::default();
+                let in_loop = opt.any_loop(va);
+                for op in &opt.ops {
+                    if op.in_loop != in_loop
+                        || op.guards.iter().any(|&g| va[g as usize] == 0)
+                    {
+                        continue;
+                    }
+                    if let SsaOp::SetReg { reg, width, val } = op.op {
+                        if !pending.regs.iter().any(|(r, _)| *r == reg as usize) {
+                            pending.regs.push((reg as usize, mask(va[val as usize], width)));
+                        }
+                    }
+                    if let SsaOp::BramWrite { bram, aw, dw, addr, val } = op.op {
+                        if !pending.brams.iter().any(|(b, _, _)| *b == bram as usize) {
+                            pending.brams.push((
+                                bram as usize,
+                                mask(va[addr as usize], aw),
+                                mask(va[val as usize], dw),
+                            ));
+                        }
+                    }
+                }
+                pending.commit(&mut states[l]);
+            }
         }
     }
 

@@ -56,7 +56,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use fleet_axi::{ChannelStats, DramChannel, BEAT_BYTES};
-use fleet_compiler::{PuIn, Quiescence};
+use fleet_compiler::{PuExec, PuExecBatch, PuIn, Quiescence};
 use fleet_trace::{
     ChannelTrace, CounterSink, CycleClass, DramCounters, EventKind, NullSink, Probe, QueueKind,
     SignalId, TraceSink,
@@ -192,6 +192,11 @@ pub(crate) struct PuState {
     pub(crate) out_buffer: ByteFifo,
     pub(crate) out_written: usize,
     pub(crate) finished: bool,
+    /// Cached output-addressing readiness (a full burst buffered, or a
+    /// finished unit's tail), maintained by [`Ctl::update_out_ready`]
+    /// at every mutation of the state it derives from. Lets the output
+    /// chooser skip its whole-array scan when no unit can be eligible.
+    pub(crate) out_ready: bool,
     /// Set when the unit overflowed its output region (reported, not
     /// silently dropped).
     pub(crate) overflowed: bool,
@@ -262,6 +267,8 @@ pub(crate) struct EvalParams {
     pub(crate) in_token_bytes: usize,
     pub(crate) out_token_bytes: usize,
     pub(crate) output_buffer_bytes: usize,
+    /// SIMD lane width for batched PU evaluation (1 disables batching).
+    pub(crate) lane_width: usize,
 }
 
 /// The compact record of one unit's evaluation for one cycle: everything
@@ -286,6 +293,30 @@ pub(crate) struct PuEffect {
     /// Handshake pins for waveform probes:
     /// `[in_valid, in_ready, out_valid, out_ready]`.
     pub(crate) signals: [bool; 4],
+}
+
+/// First set bit at or (circularly) after `start`, over a bitset read
+/// word-wise through `word` (`nw` words). Bits past the logical length
+/// must never be set. Used by the round-robin choosers to find the next
+/// candidate in O(n/64) instead of walking every unit.
+fn first_set_circular(start: usize, word: impl Fn(usize) -> u64, nw: usize) -> Option<usize> {
+    if nw == 0 {
+        return None;
+    }
+    let w0 = start / 64;
+    let b0 = start % 64;
+    let head = word(w0) & (!0u64 << b0);
+    if head != 0 {
+        return Some(w0 * 64 + head.trailing_zeros() as usize);
+    }
+    for i in 1..=nw {
+        let w = (w0 + i) % nw;
+        let bits = if w == w0 { word(w) & !(!0u64 << b0) } else { word(w) };
+        if bits != 0 {
+            return Some(w * 64 + bits.trailing_zeros() as usize);
+        }
+    }
+    None
 }
 
 /// The unit's input pins, derived purely from its own [`PuState`].
@@ -386,6 +417,75 @@ pub(crate) fn eval_unit<U: StreamUnit>(
     }
 }
 
+/// Lane-batched pre-evaluation: sweeps groups of active units that run
+/// the *same* packed program through one SIMD instruction walk
+/// ([`PuExecBatch`]), installing each unit's virtual-cycle result so
+/// its per-unit [`eval_unit`] call finds the evaluation already cached.
+///
+/// Bit-exactness is structural: the vcycle evaluation reads only the
+/// unit's latched `(state, input token, finished)` triple — never its
+/// pins — and nothing between this pre-pass and the unit's own
+/// evaluation in the same cycle mutates that triple. Units whose
+/// program differs from the group anchor (or that have nothing pending)
+/// are simply left for the ordinary per-unit path, so serial and pooled
+/// drives may group differently and still agree on every bit.
+///
+/// `base` is the global index of `units[0]` (shards own a contiguous
+/// slice); `active` holds global indices. `batch` and `group` are
+/// caller-owned scratch recycled across cycles.
+pub(crate) fn lane_preeval<U: StreamUnit>(
+    units: &mut [U],
+    base: usize,
+    active: &[usize],
+    width: usize,
+    batch: &mut Option<PuExecBatch>,
+    group: &mut Vec<usize>,
+) {
+    // The walk's firing-lane bitmask caps a group at 64 lanes
+    // ([`PuExecBatch::for_unit`] clamps identically).
+    let width = width.min(64);
+    if width <= 1 || active.len() < 2 {
+        return;
+    }
+    group.clear();
+    for &p in active {
+        let Some(x) = units[p - base].lane_exec() else { continue };
+        if !x.lane_pending() {
+            continue;
+        }
+        if group.is_empty() {
+            // First pending unit anchors the group; reuse the existing
+            // batch when it already targets this program at this width.
+            let fits = batch.as_ref().is_some_and(|b| b.matches(x) && b.width() == width);
+            if !fits {
+                *batch = Some(PuExecBatch::for_unit(x, width));
+            }
+            group.push(p);
+        } else if batch.as_ref().expect("anchored above").matches(x) {
+            group.push(p);
+        }
+    }
+    let Some(b) = batch.as_mut() else { return };
+    for chunk in group.chunks(width) {
+        if chunk.len() < 2 {
+            continue; // a lone lane gains nothing over the scalar path
+        }
+        {
+            // Stack-resident lane list: chunks are capped at 64 lanes,
+            // so no heap allocation per sweep.
+            let anchor = units[chunk[0] - base].lane_exec().expect("grouped above");
+            let mut lanes: [&PuExec; 64] = [anchor; 64];
+            for (slot, &p) in lanes.iter_mut().zip(chunk) {
+                *slot = units[p - base].lane_exec().expect("grouped above");
+            }
+            b.sweep(&lanes[..chunk.len()]);
+        }
+        for (l, &p) in chunk.iter().enumerate() {
+            units[p - base].lane_exec_mut().expect("grouped above").adopt_lane_eval(b, l);
+        }
+    }
+}
+
 /// Merges the sorted `src` list into the sorted `dst` list in place
 /// (classic backward merge: `dst` is grown once, elements are placed
 /// from the tail, no scratch allocation). Replaces the former
@@ -437,6 +537,26 @@ pub(crate) struct Ctl<S: TraceSink> {
     pub(crate) dram: DramChannel,
     pub(crate) params: EvalParams,
     n_pus: usize,
+    /// Number of units whose cached [`PuState::out_ready`] flag is set.
+    /// Zero means the output chooser cannot pick anyone this cycle, so
+    /// its round-robin scan is skipped entirely.
+    out_ready_units: usize,
+    /// Bitset mirror of the per-unit [`PuState::out_ready`] flags, so
+    /// the nonblocking output chooser can jump straight to candidate
+    /// units with word-wide scans instead of walking every unit.
+    out_ready_bits: Vec<u64>,
+    /// Bitset (one bit per unit) of input-addressing-eligible units:
+    /// unfetched bytes remain and the unit buffer has room for the next
+    /// chunk. Maintained by [`Ctl::update_in_eligible`] at every
+    /// mutation of the state it derives from, so the input chooser can
+    /// find the next candidate with word-wide scans instead of walking
+    /// every unit's buffer accounting each cycle.
+    in_elig_bits: Vec<u64>,
+    /// Bitset of units the *blocking* addressing discipline must wait
+    /// for: not exhausted and actively requesting (buffered + in-flight
+    /// bytes below one burst). Maintained alongside `in_elig_bits`; the
+    /// blocking chooser stops at the first unit in either set.
+    in_block_bits: Vec<u64>,
 
     // Input controller.
     in_rr: usize,
@@ -476,6 +596,12 @@ pub(crate) struct Ctl<S: TraceSink> {
     /// Watchdog window: declare the run stuck after this many
     /// consecutive cycles without forward progress (0 = disabled).
     pub(crate) watchdog_cycles: u64,
+    /// Cycles advanced in bulk by the event-driven clock (cycle
+    /// skipping). Deliberately *not* part of [`EngineStats`]: the
+    /// equivalence tests compare stats between the skipping and naive
+    /// drives, and this counter is a property of the drive, not of the
+    /// simulated hardware.
+    pub(crate) cycles_skipped: u64,
 
     pub(crate) stats: EngineStats,
     pub(crate) probe: Probe<S>,
@@ -554,6 +680,11 @@ pub struct ChannelEngine<U, S: TraceSink = NullSink> {
     /// Quiescence-skipping worklist (kept sorted so units are evaluated
     /// in index order, like the naive all-units loop).
     pub(crate) active: Vec<usize>,
+    /// Lane-batched evaluation scratch for the serial tick (pooled runs
+    /// keep one per shard): the current program's SIMD batch and the
+    /// per-cycle group of units swept through it.
+    pub(crate) batch: Option<PuExecBatch>,
+    pub(crate) lane_group: Vec<usize>,
     pub(crate) ctl: Ctl<S>,
 }
 
@@ -617,6 +748,7 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
                     out_buffer: ByteFifo::with_capacity(cfg.output_buffer_bytes),
                     out_written: 0,
                     finished: false,
+                    out_ready: false,
                     overflowed: false,
                     sleep: None,
                     output_done: false,
@@ -634,6 +766,8 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
             units,
             pus,
             active: (0..n_pus).collect(),
+            batch: None,
+            lane_group: Vec::new(),
             ctl: Ctl {
                 cfg,
                 dram,
@@ -641,8 +775,13 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
                     in_token_bytes,
                     out_token_bytes,
                     output_buffer_bytes: cfg.output_buffer_bytes,
+                    lane_width: cfg.lane_width,
                 },
                 n_pus,
+                out_ready_units: 0,
+                out_ready_bits: vec![0u64; n_pus.div_ceil(64)],
+                in_elig_bits: vec![0u64; n_pus.div_ceil(64)],
+                in_block_bits: vec![0u64; n_pus.div_ceil(64)],
                 in_rr: 0,
                 in_regs: (0..n_regs).map(|_| InRegState::Free).collect(),
                 pending_reads: VecDeque::new(),
@@ -657,10 +796,14 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
                 open_units: Vec::new(),
                 first_overflow: None,
                 watchdog_cycles: 0,
+                cycles_skipped: 0,
                 stats: EngineStats::default(),
                 probe: Probe::new(sink),
             },
         };
+        for p in 0..n_pus {
+            engine.ctl.update_in_eligible(p, &mut engine.pus);
+        }
         if engine.ctl.probe.enabled() {
             for p in 0..engine.pus.len() {
                 let base = p as u32 * 4;
@@ -733,6 +876,16 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
     /// Diagnostic for how much work quiescence skipping is saving.
     pub fn active_units(&self) -> usize {
         self.active.len()
+    }
+
+    /// Cycles advanced in bulk by the event-driven clock: spans where
+    /// every unit was asleep and nothing could change until the next
+    /// DRAM event (read beat, write apply), watchdog boundary, or cycle
+    /// budget. A subset of `stats().cycles`; `0` on drives that never
+    /// skip (manual ticking, the naive reference). Diagnostic for how
+    /// much wall time cycle skipping is saving.
+    pub fn cycles_skipped(&self) -> u64 {
+        self.ctl.cycles_skipped
     }
 
     /// Whether any unit overflowed its output region.
@@ -844,6 +997,7 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
         );
         self.ctl.dram.mem_mut()[start..start + bytes.len()].copy_from_slice(bytes);
         st.assign.in_len += bytes.len();
+        self.ctl.update_in_eligible(p, &mut self.pus);
     }
 
     /// Ends open stream `p`: no more appends; the unit will observe
@@ -941,9 +1095,13 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
     /// units are skipped and accounted in bulk; results are identical to
     /// [`ChannelEngine::tick_naive`].
     pub fn tick(&mut self) {
-        let Self { units, pus, active, ctl } = self;
+        let Self { units, pus, active, batch, lane_group, ctl } = self;
         ctl.probe.cycle_start(ctl.stats.cycles);
-
+        // --- Lane-batched pre-evaluation: sweep same-program units
+        // awaiting a virtual-cycle evaluation through one SIMD
+        // instruction walk, so the per-unit loop below finds their
+        // evaluations cached. ---
+        lane_preeval(units, 0, active, ctl.cfg.lane_width, batch, lane_group);
         // --- Processing units (active worklist, index order): evaluate
         // and merge fused per unit. ---
         active.retain(|&p| {
@@ -961,7 +1119,6 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
         ctl.input_controller_tick(pus, &mut direct, false);
         ctl.output_controller_tick(pus, &mut direct, false);
         ctl.channel_probes();
-
         ctl.dram.tick();
         ctl.stats.cycles += 1;
 
@@ -1081,6 +1238,24 @@ impl<U: StreamUnit, S: TraceSink> ChannelEngine<U, S> {
             if stop_on_starved && self.ctl.open_starved(&self.pus) {
                 break Ok(OpenStep::Suspended(self.ctl.stats.cycles - start));
             }
+            // Event-driven clock: with every unit asleep and the
+            // controllers provably inert, jump straight to the next
+            // externally-timed event instead of ticking through the
+            // stall. Post-skip checks mirror the post-tick checks below
+            // (no overflow can arise inside a skipped span).
+            if self.active.is_empty() {
+                let n = self.ctl.skip_window(&self.pus, start, max_cycles, watchdog.idle);
+                if n > 0 {
+                    self.ctl.apply_skip(n);
+                    if self.ctl.stats.cycles - start > max_cycles {
+                        break Err(EngineRunError::Timeout { max_cycles });
+                    }
+                    if watchdog.skipped(n, self.ctl.progress_sig()) {
+                        break Err(stall_error(&self.pus, watchdog.idle));
+                    }
+                    continue;
+                }
+            }
             self.tick();
             if let Some(unit) = self.ctl.first_overflow {
                 break Err(EngineRunError::Overflow { unit });
@@ -1130,6 +1305,20 @@ impl Watchdog {
             self.idle = 0;
             false
         }
+    }
+
+    /// Accounts a skipped span of `n ≥ 1` cycles ending at one event:
+    /// the first `n - 1` cycles provably made no forward progress (skip
+    /// eligibility), and `sig` is the signature after the final cycle.
+    /// [`Ctl::skip_window`] caps spans at `window - idle`, so a trip
+    /// can only land on the final cycle — the exact cycle the per-tick
+    /// loop would have tripped on.
+    pub(crate) fn skipped(&mut self, n: u64, sig: ProgressSig) -> bool {
+        if self.window == 0 {
+            return false;
+        }
+        self.idle += n - 1;
+        self.stuck(sig)
     }
 }
 
@@ -1189,6 +1378,7 @@ impl<S: TraceSink> Ctl<S> {
                     pus[p].wedged = true;
                 }
             }
+            self.update_in_eligible(p, pus);
         }
         if eff.emitted {
             pus[p].out_buffer.push_token(eff.token, self.params.out_token_bytes);
@@ -1198,6 +1388,9 @@ impl<S: TraceSink> Ctl<S> {
             pus[p].finished = true;
             self.probe.event(self.stats.cycles, EventKind::UnitFinished { pu: eff.pu });
             self.note_maybe_output_done(p, pus);
+        }
+        if eff.emitted || eff.finished {
+            self.update_out_ready(p, pus);
         }
         match eff.sleep {
             Some(class) => {
@@ -1271,6 +1464,123 @@ impl<S: TraceSink> Ctl<S> {
     }
 
     // ------------------------------------------------------------------
+    // Event-driven clock (cycle skipping).
+    // ------------------------------------------------------------------
+
+    /// With every unit asleep (the caller checks the worklist), decides
+    /// whether the whole channel is provably inert — no controller can
+    /// move a byte, issue a request, allocate a register, or wake a
+    /// unit — until the next externally-timed event, and if so returns
+    /// how many cycles to skip to land exactly on that event's cycle
+    /// (`0` = tick normally).
+    ///
+    /// The events are: the next DRAM read beat becoming deliverable,
+    /// the next queued DRAM write applying (which also frees a write
+    /// queue slot), the watchdog completing its no-progress window
+    /// (capped at `window - wd_idle` so a trip lands on the same cycle
+    /// the per-tick loop would trip on), and the run's cycle budget
+    /// (which guarantees the window is finite even on a permanently
+    /// wedged channel).
+    pub(crate) fn skip_window(
+        &self,
+        pus: &[PuState],
+        start: u64,
+        max_cycles: u64,
+        wd_idle: u64,
+    ) -> u64 {
+        if !self.woken.is_empty() {
+            return 0;
+        }
+        // A draining input register pushes bytes into a unit buffer
+        // every cycle; a filling output register may pull bytes out of
+        // one. Either makes per-cycle progress on its own.
+        if self.in_regs.iter().any(|r| matches!(r, InRegState::Draining { .. })) {
+            return 0;
+        }
+        if self.out_regs.iter().any(|r| matches!(r, OutRegState::Filling { .. })) {
+            return 0;
+        }
+        // A completed burst waiting on the write queue sends as soon as
+        // the channel can accept it.
+        if self.out_regs.iter().any(|r| matches!(r, OutRegState::Sending { .. }))
+            && self.dram.can_accept_write()
+        {
+            return 0;
+        }
+        // Would either addressing unit act this cycle? Both choosers
+        // read only state that stays constant across the skipped span
+        // (unit buffers are frozen while every unit sleeps; registers
+        // and round-robin pointers only move on the events above).
+        if self.input_can_issue() && self.dram.can_accept_read() && self.input_choose(pus).is_some()
+        {
+            return 0;
+        }
+        if self.out_regs.iter().any(|r| matches!(r, OutRegState::Free))
+            && self.output_choose(pus).is_some()
+        {
+            return 0;
+        }
+        let now = self.stats.cycles;
+        // The cycle budget check trips after the cycle that exceeds it,
+        // so the budget event lands one past the boundary.
+        let mut t_end = start + max_cycles + 1;
+        if let Some(r) = self.dram.next_read_beat_at() {
+            // A deliverable beat is consumed by the intake step of the
+            // cycle it becomes ready in (skip eligibility implies an
+            // intake register is available whenever reads are in
+            // flight), so that cycle must run normally.
+            t_end = t_end.min(r);
+        }
+        if let Some(w) = self.dram.next_write_apply_at() {
+            // A write applies at the *end* of cycle `w - 1`; the first
+            // cycle that observes it (freed queue slot, committed
+            // bytes) is `w`.
+            t_end = t_end.min(w);
+        }
+        if self.watchdog_cycles > 0 {
+            t_end = t_end.min(now + (self.watchdog_cycles - wd_idle));
+        }
+        t_end.saturating_sub(now)
+    }
+
+    /// Advances the virtual clock by `n` cycles in one step, as decided
+    /// by [`Ctl::skip_window`]: replays the per-cycle channel probes
+    /// when a sink is attached (every sampled value is constant across
+    /// the span except bus occupancy, which follows the in-flight write
+    /// window), then advances DRAM time and the cycle counter in bulk.
+    /// Sleeping units need no attention here — their spans are
+    /// accounted lazily from `stats.cycles` at wake or flush.
+    pub(crate) fn apply_skip(&mut self, n: u64) {
+        if self.probe.enabled() {
+            let in_active =
+                self.in_regs.iter().filter(|r| !matches!(r, InRegState::Free)).count() as u32;
+            let out_active =
+                self.out_regs.iter().filter(|r| !matches!(r, OutRegState::Free)).count() as u32;
+            let pending = self.pending_reads.len() as u32;
+            let reads = self.dram.read_queue_len() as u32;
+            let writes = self.dram.write_queue_len() as u32;
+            let base = self.n_pus as u32 * 4;
+            for c in self.stats.cycles..self.stats.cycles + n {
+                self.probe.cycle_start(c);
+                self.probe.queue_depth(QueueKind::PendingReads, pending);
+                self.probe.queue_depth(QueueKind::DramReads, reads);
+                self.probe.queue_depth(QueueKind::DramWrites, writes);
+                self.probe.queue_depth(QueueKind::InRegsBusy, in_active);
+                self.probe.queue_depth(QueueKind::OutRegsBusy, out_active);
+                let busy = self.dram.write_bus_busy_at(c);
+                self.probe.bus_cycle(busy);
+                self.probe.signal(SignalId(base), busy as u64);
+                self.probe.signal(SignalId(base + 1), pending as u64);
+                self.probe.signal(SignalId(base + 2), in_active as u64);
+                self.probe.signal(SignalId(base + 3), out_active as u64);
+            }
+        }
+        self.dram.advance(n);
+        self.stats.cycles += n;
+        self.cycles_skipped += n;
+    }
+
+    // ------------------------------------------------------------------
     // Input controller (§5, Figure 6).
     // ------------------------------------------------------------------
 
@@ -1283,6 +1593,30 @@ impl<S: TraceSink> Ctl<S> {
                 .count()
     }
 
+    /// Recomputes unit `p`'s cached input-addressing eligibility and
+    /// keeps the channel-wide count in step. Must be called after every
+    /// mutation of [`Ctl::input_eligible`]'s inputs: read issue
+    /// (`in_fetched`/`in_flight`), burst drain into the unit buffer,
+    /// token consumption, and open-stream appends (`assign.in_len`).
+    pub(crate) fn update_in_eligible(&mut self, p: usize, pus: &mut [PuState]) {
+        let st = &pus[p];
+        let exhausted = st.in_fetched >= st.assign.in_len;
+        let requesting = st.in_buffer.len() + st.in_flight < self.cfg.burst_bytes;
+        let eligible = self.input_eligible(p, pus);
+        let blocker = !exhausted && requesting;
+        let (w, m) = (p / 64, 1u64 << (p % 64));
+        if eligible {
+            self.in_elig_bits[w] |= m;
+        } else {
+            self.in_elig_bits[w] &= !m;
+        }
+        if blocker {
+            self.in_block_bits[w] |= m;
+        } else {
+            self.in_block_bits[w] &= !m;
+        }
+    }
+
     fn input_eligible(&self, p: usize, pus: &[PuState]) -> bool {
         let st = &pus[p];
         if st.in_fetched >= st.assign.in_len {
@@ -1292,6 +1626,55 @@ impl<S: TraceSink> Ctl<S> {
         st.in_buffer.len() + st.in_flight + chunk <= self.cfg.input_buffer_bytes
     }
 
+    /// Whether the input addressing unit may issue a request this cycle
+    /// (independent of unit eligibility and channel backpressure).
+    fn input_can_issue(&self) -> bool {
+        if self.cfg.async_addr {
+            self.pending_reads.len() < self.cfg.addr_lookahead
+        } else {
+            // Synchronous: wait until the previous burst has fully
+            // drained into its unit buffer.
+            self.input_outstanding() == 0
+        }
+    }
+
+    /// The unit the input addressing unit would fetch for this cycle,
+    /// given the round-robin pointer and addressing mode. Shared by the
+    /// controller tick and the cycle-skip eligibility check so the two
+    /// can never disagree.
+    fn input_choose(&self, pus: &[PuState]) -> Option<usize> {
+        // Bitset form of the round-robin scan. Nonblocking addressing
+        // picks the first *eligible* unit at or after the round-robin
+        // pointer (circularly). Blocking addressing stops at the first
+        // unit that is eligible **or** a blocking waiter — a
+        // non-exhausted unit actively requesting data (close to
+        // starving) parks the addressing unit until it can be served;
+        // a unit whose buffers are full is not supplying an address and
+        // is skipped, otherwise a unit stalled on the output side would
+        // wedge the whole input round-robin (deadlock with a blocking
+        // output unit). Eligibility wins when both bits are set, which
+        // reproduces the element-wise scan order exactly.
+        let blocking = self.cfg.input_addressing == Addressing::Blocking;
+        let p = first_set_circular(self.in_rr, |w| {
+            if blocking {
+                self.in_elig_bits[w] | self.in_block_bits[w]
+            } else {
+                self.in_elig_bits[w]
+            }
+        }, self.in_elig_bits.len())?;
+        debug_assert_eq!(
+            self.in_elig_bits[p / 64] & (1 << (p % 64)) != 0,
+            self.input_eligible(p, pus),
+            "cached input eligibility drifted for unit {p}"
+        );
+        debug_assert!(p < pus.len());
+        if self.in_elig_bits[p / 64] & (1 << (p % 64)) != 0 {
+            Some(p)
+        } else {
+            None
+        }
+    }
+
     pub(crate) fn input_controller_tick<U: StreamUnit>(
         &mut self,
         pus: &mut [PuState],
@@ -1299,42 +1682,8 @@ impl<S: TraceSink> Ctl<S> {
         naive: bool,
     ) {
         // 1. Addressing unit: issue at most one read address per cycle.
-        let can_issue = if self.cfg.async_addr {
-            self.pending_reads.len() < self.cfg.addr_lookahead
-        } else {
-            // Synchronous: wait until the previous burst has fully
-            // drained into its unit buffer.
-            self.input_outstanding() == 0
-        };
-        if can_issue && self.dram.can_accept_read() {
-            let n = pus.len();
-            let mut chosen = None;
-            for step in 0..n {
-                let p = (self.in_rr + step) % n;
-                let st = &pus[p];
-                let exhausted = st.in_fetched >= st.assign.in_len;
-                if self.input_eligible(p, pus) {
-                    chosen = Some(p);
-                    break;
-                }
-                // The addressing unit always skips exhausted units. A
-                // blocking unit waits at the round-robin pointer, but
-                // only while the unit is actually *requesting* data
-                // (close to starving); a unit whose buffers are full is
-                // not supplying an address and is skipped — otherwise a
-                // unit stalled on the output side would wedge the whole
-                // input round-robin (deadlock with a blocking output
-                // unit).
-                let requesting =
-                    st.in_buffer.len() + st.in_flight < self.cfg.burst_bytes;
-                if !exhausted
-                    && requesting
-                    && self.cfg.input_addressing == Addressing::Blocking
-                {
-                    break;
-                }
-            }
-            if let Some(p) = chosen {
+        if self.input_can_issue() && self.dram.can_accept_read() {
+            if let Some(p) = self.input_choose(pus) {
                 let st = &mut pus[p];
                 let chunk = (st.assign.in_len - st.in_fetched).min(self.cfg.burst_bytes);
                 let beats = chunk.div_ceil(BEAT_BYTES) as u32;
@@ -1354,6 +1703,7 @@ impl<S: TraceSink> Ctl<S> {
                     self.stats.cycles,
                     EventKind::ReadIssued { pu: p as u32, addr: addr as u64, beats },
                 );
+                self.update_in_eligible(p, pus);
             }
         }
 
@@ -1490,6 +1840,7 @@ impl<S: TraceSink> Ctl<S> {
                 self.stats.input_bytes += n as u64;
                 *pos == data.len()
             };
+            self.update_in_eligible(pu, pus);
             if finished_burst {
                 let bytes = match &self.in_regs[i] {
                     InRegState::Draining { data, .. } => data.len() as u32,
@@ -1513,6 +1864,27 @@ impl<S: TraceSink> Ctl<S> {
     // Output controller (§5): symmetric, with nonblocking addressing by
     // default since filters emit at very different rates.
     // ------------------------------------------------------------------
+
+    /// Recomputes unit `p`'s cached output-readiness flag and keeps the
+    /// channel-wide count in step. Must be called after every mutation
+    /// of the flag's inputs: output-buffer pushes (emit) and pops
+    /// (burst fill), the finish transition, and the overflow latch.
+    pub(crate) fn update_out_ready(&mut self, p: usize, pus: &mut [PuState]) {
+        let st = &mut pus[p];
+        let now = !st.overflowed
+            && (st.out_buffer.len() >= self.cfg.burst_bytes
+                || (st.finished && !st.out_buffer.is_empty()));
+        if now != st.out_ready {
+            st.out_ready = now;
+            if now {
+                self.out_ready_units += 1;
+                self.out_ready_bits[p / 64] |= 1 << (p % 64);
+            } else {
+                self.out_ready_units -= 1;
+                self.out_ready_bits[p / 64] &= !(1 << (p % 64));
+            }
+        }
+    }
 
     fn output_eligible(&self, p: usize, pus: &[PuState]) -> bool {
         let st = &pus[p];
@@ -1541,6 +1913,74 @@ impl<S: TraceSink> Ctl<S> {
             })
     }
 
+    /// The unit the output addressing unit would allocate a register to
+    /// this cycle (or trip an overflow for). Shared by the controller
+    /// tick and the cycle-skip eligibility check so the two can never
+    /// disagree.
+    fn output_choose(&self, pus: &[PuState]) -> Option<usize> {
+        // Eligibility implies the cached per-unit readiness flag, so a
+        // zero count means the scan below cannot return a unit (in any
+        // addressing mode) — skip it. The count is maintained
+        // identically on the fast and naive paths, so the two stay
+        // cycle-equivalent.
+        if self.out_ready_units == 0 {
+            return None;
+        }
+        let n = pus.len();
+        if self.cfg.output_addressing == Addressing::Blocking {
+            for step in 0..n {
+                let p = (self.out_rr + step) % n;
+                if self.output_eligible(p, pus) {
+                    return Some(p);
+                }
+                let st = &pus[p];
+                let done = self.output_done_for(p, pus);
+                if !done && !st.overflowed {
+                    // Blocking: wait at this unit until it can supply
+                    // an address.
+                    return None;
+                }
+            }
+            return None;
+        }
+        // Nonblocking: eligibility is the cached readiness flag minus
+        // register-busy units, so only readiness-flagged candidates need
+        // the full check — found by word-wide bitset scans from the
+        // round-robin pointer instead of walking every unit.
+        let scan = |w: usize, mask: u64| -> Option<usize> {
+            let mut bits = self.out_ready_bits[w] & mask;
+            while bits != 0 {
+                let p = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                debug_assert_eq!(
+                    pus[p].out_ready,
+                    !pus[p].overflowed
+                        && (pus[p].out_buffer.len() >= self.cfg.burst_bytes
+                            || (pus[p].finished && !pus[p].out_buffer.is_empty())),
+                    "cached out_ready flag drifted for unit {p}"
+                );
+                if self.output_eligible(p, pus) {
+                    return Some(p);
+                }
+            }
+            None
+        };
+        let nw = self.out_ready_bits.len();
+        let w0 = self.out_rr / 64;
+        let b0 = self.out_rr % 64;
+        if let Some(p) = scan(w0, !0u64 << b0) {
+            return Some(p);
+        }
+        for i in 1..=nw {
+            let w = (w0 + i) % nw;
+            let mask = if w == w0 { !(!0u64 << b0) } else { !0u64 };
+            if let Some(p) = scan(w, mask) {
+                return Some(p);
+            }
+        }
+        None
+    }
+
     pub(crate) fn output_controller_tick<U: StreamUnit>(
         &mut self,
         pus: &mut [PuState],
@@ -1550,23 +1990,7 @@ impl<S: TraceSink> Ctl<S> {
         // 1. Allocate at most one burst register per cycle to a unit with
         // output ready (the addressing step).
         if let Some(reg_idx) = self.out_regs.iter().position(|r| matches!(r, OutRegState::Free)) {
-            let n = pus.len();
-            let mut chosen = None;
-            for step in 0..n {
-                let p = (self.out_rr + step) % n;
-                if self.output_eligible(p, pus) {
-                    chosen = Some(p);
-                    break;
-                }
-                let st = &pus[p];
-                let done = self.output_done_for(p, pus);
-                if !done && self.cfg.output_addressing == Addressing::Blocking && !st.overflowed {
-                    // Blocking: wait at this unit until it can supply an
-                    // address.
-                    break;
-                }
-            }
-            if let Some(p) = chosen {
+            if let Some(p) = self.output_choose(pus) {
                 let st = &mut pus[p];
                 let target = st.out_buffer.len().min(self.cfg.burst_bytes);
                 let padded = target.div_ceil(BEAT_BYTES) * BEAT_BYTES;
@@ -1578,6 +2002,7 @@ impl<S: TraceSink> Ctl<S> {
                     self.probe
                         .event(self.stats.cycles, EventKind::OutputOverflow { pu: p as u32 });
                     self.note_maybe_output_done(p, pus);
+                    self.update_out_ready(p, pus);
                 } else {
                     let addr = st.assign.out_start + st.out_written;
                     self.out_regs[reg_idx] = OutRegState::Filling {
@@ -1615,6 +2040,7 @@ impl<S: TraceSink> Ctl<S> {
                     }
                     data.len() == *target
                 };
+                self.update_out_ready(pu, pus);
                 if complete {
                     let OutRegState::Filling { pu, addr, data, target } =
                         std::mem::replace(&mut self.out_regs[i], OutRegState::Free)

@@ -34,11 +34,12 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
+use fleet_compiler::PuExecBatch;
 use fleet_trace::{CycleClass, TraceSink};
 
 use crate::engine::{
-    eval_unit, merge_sorted_slice, stall_error, ChannelEngine, Ctl, EngineRunError, EvalParams,
-    OpenStep, PuEffect, PuState, Watchdog,
+    eval_unit, lane_preeval, merge_sorted_slice, stall_error, ChannelEngine, Ctl, EngineRunError,
+    EvalParams, OpenStep, PuEffect, PuState, Watchdog,
 };
 use crate::pool::SimPool;
 use crate::unit::StreamUnit;
@@ -54,6 +55,12 @@ struct ShardCtx<U> {
     active: Vec<usize>,
     wakes: Vec<(usize, u64)>,
     effects: Vec<PuEffect>,
+    /// Lane-batched evaluation scratch, shard-local so workers need no
+    /// shared state (see [`lane_preeval`]). Shards may group units
+    /// differently than the serial tick would; results are identical
+    /// either way.
+    batch: Option<PuExecBatch>,
+    group: Vec<usize>,
 }
 
 type ShardReply<U> = (usize, ShardCtx<U>, Result<(), String>);
@@ -78,8 +85,12 @@ fn run_shard<U: StreamUnit>(
     params: &EvalParams,
     trace: bool,
 ) {
-    let ShardCtx { base, units, active, wakes, effects } = ctx;
+    let ShardCtx { base, units, active, wakes, effects, batch, group } = ctx;
     let base = *base;
+    // Lane-batched pre-evaluation over this shard's slice (woken units
+    // never have an evaluation pending — they were asleep last cycle —
+    // so the owed skip spans applied below cannot interact with it).
+    lane_preeval(units, base, active, params.lane_width, batch, group);
     let mut wi = 0usize;
     active.retain(|&p| {
         let unit = &mut units[p - base];
@@ -152,6 +163,8 @@ fn partition<U>(
                 active: active[a_lo..a_hi].to_vec(),
                 wakes: wakes[w_lo..w_hi].to_vec(),
                 effects: Vec::new(),
+                batch: None,
+                group: Vec::new(),
             }
         })
         .collect()
@@ -395,6 +408,24 @@ where
             // starvation check can read it directly.
             if stop_on_starved && self.ctl.open_starved(&shared) {
                 break Ok(OpenStep::Suspended(self.ctl.stats.cycles - start));
+            }
+            // Event-driven clock, exactly as the serial loop: with every
+            // shard's worklist empty and the controllers provably inert,
+            // jump to the next externally-timed event. The skip touches
+            // only controller/DRAM state, so the shard-held units need
+            // no attention (their sleep spans absorb the jump lazily).
+            if slots.iter().all(|s| s.as_ref().expect("shard at home").active.is_empty()) {
+                let n = self.ctl.skip_window(&shared, start, max_cycles, watchdog.idle);
+                if n > 0 {
+                    self.ctl.apply_skip(n);
+                    if self.ctl.stats.cycles - start > max_cycles {
+                        break Err(EngineRunError::Timeout { max_cycles });
+                    }
+                    if watchdog.skipped(n, self.ctl.progress_sig()) {
+                        break Err(stall_error(&shared, watchdog.idle));
+                    }
+                    continue;
+                }
             }
             pooled_cycle(&mut self.ctl, &mut shared, &mut slots, k, pool, &reply_tx, &reply_rx);
             if let Some(unit) = self.ctl.first_overflow {

@@ -44,6 +44,20 @@ pub trait StreamUnit {
     fn set_reference_eval(&mut self, reference: bool) {
         let _ = reference;
     }
+    /// The unit's [`PuExec`] core, when it has one — lets the engine
+    /// batch several replicas of the same program into one SIMD
+    /// instruction sweep (see `PuExecBatch`). Implementations without a
+    /// packed executor (like [`NetDriver`]) return `None` and stay on
+    /// the per-unit path.
+    fn lane_exec(&self) -> Option<&PuExec> {
+        None
+    }
+    /// Mutable access to the unit's [`PuExec`] core, for installing the
+    /// batched evaluation result. Must return `Some` iff
+    /// [`StreamUnit::lane_exec`] does.
+    fn lane_exec_mut(&mut self) -> Option<&mut PuExec> {
+        None
+    }
 }
 
 impl StreamUnit for PuExec {
@@ -64,6 +78,12 @@ impl StreamUnit for PuExec {
     }
     fn set_reference_eval(&mut self, reference: bool) {
         PuExec::set_reference_eval(self, reference)
+    }
+    fn lane_exec(&self) -> Option<&PuExec> {
+        Some(self)
+    }
+    fn lane_exec_mut(&mut self) -> Option<&mut PuExec> {
+        Some(self)
     }
 }
 

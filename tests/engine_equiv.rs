@@ -13,8 +13,8 @@
 
 use fleet_apps::{App, AppKind};
 use fleet_compiler::{CompiledUnit, PuExec};
-use fleet_memctl::{ChannelEngine, EngineStats, SimPool, SimThreads};
-use fleet_system::{build_system_engines_traced, SystemConfig};
+use fleet_memctl::{ChannelEngine, EngineRunError, EngineStats, SimPool, SimThreads};
+use fleet_system::{build_system_engines_traced, FaultPlan, SystemConfig};
 use fleet_trace::{CounterSink, PuCycleCounters};
 use proptest::prelude::*;
 
@@ -160,5 +160,200 @@ fn fast_tick_equals_naive_tick_fixed() {
 fn fast_tick_equals_naive_tick_many_units() {
     for kind in AppKind::all() {
         assert_tick_equivalence(kind, 0x5AADED, 12, 512);
+    }
+}
+
+/// Lane widths the SIMD evaluation grid sweeps: the degenerate
+/// one-lane batch, partial groups, the group-splitting width, and a
+/// width wider than any test group ever fills.
+const LANE_WIDTHS: [usize; 4] = [1, 4, 8, 16];
+
+/// Pool sizes the lane grid sweeps (serial, split, oversubscribed).
+const LANE_THREADS: [usize; 3] = [1, 2, 8];
+
+/// One naive reference vs the lane-batched fast path across the full
+/// lane width × pool size grid. `lane_width` is a pure wall-clock
+/// knob: every cell of the grid must be observably identical to the
+/// naive drive, which never batches at all.
+fn assert_lane_grid_equivalence(kind: AppKind, seed: u64, pus: usize, approx_bytes: usize) {
+    let app = App::new(kind);
+    let streams: Vec<Vec<u8>> =
+        (0..pus).map(|p| app.gen_stream(seed ^ p as u64, approx_bytes)).collect();
+    let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+    let out_cap = app.out_capacity(streams.iter().map(|s| s.len()).max().unwrap());
+    let cfg = SystemConfig::f1(out_cap);
+    let unit = CompiledUnit::new(&app.spec());
+    let name = app.name();
+
+    let (mut naive, _) = build_system_engines_traced(&unit, &refs, &cfg);
+    drive_naive(&mut naive);
+    let reference = observe(&mut naive);
+
+    for width in LANE_WIDTHS {
+        let mut wcfg = cfg;
+        wcfg.memctl.lane_width = width;
+        for threads in LANE_THREADS {
+            let pool = SimPool::new(SimThreads::Fixed(threads));
+            let (mut engines, _) = build_system_engines_traced(&unit, &refs, &wcfg);
+            drive_pooled(&mut engines, &pool);
+            let got = observe(&mut engines);
+            assert_obs_eq(
+                &format!("{name} @ lane width {width} x {threads} threads vs naive"),
+                &reference,
+                &got,
+            );
+        }
+    }
+}
+
+/// The full lane width × sim thread grid on all six apps: stats,
+/// outputs, virtual cycles, and per-PU counters all match the naive
+/// reference at every (width, threads) cell.
+#[test]
+fn lane_width_grid_equals_naive() {
+    for kind in AppKind::all() {
+        assert_lane_grid_equivalence(kind, 0xBA7C4ED, 6, 768);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Guard divergence inside one lane group: streams of deliberately
+    /// unequal lengths (and independently seeded content) share a lane
+    /// group, so some lanes drain and finish while their groupmates
+    /// are still streaming — the firing mask fractures mid-run and
+    /// data-dependent guards split within a single sweep. The masked
+    /// SIMD walk must still be observably identical to the naive
+    /// per-unit drive.
+    #[test]
+    fn divergent_lane_groups_equal_naive(seed in any::<u64>(), len_seed in any::<u64>()) {
+        for kind in AppKind::all() {
+            let app = App::new(kind);
+            // Six units whose stream sizes differ by up to 8x, derived
+            // deterministically from `len_seed`.
+            let streams: Vec<Vec<u8>> = (0..6u64)
+                .map(|p| {
+                    let class = (len_seed >> (8 * p)) % 4;
+                    app.gen_stream(seed ^ p, 128 << class)
+                })
+                .collect();
+            let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+            let out_cap = app.out_capacity(streams.iter().map(|s| s.len()).max().unwrap());
+            let cfg = SystemConfig::f1(out_cap);
+            let unit = CompiledUnit::new(&app.spec());
+
+            let (mut naive, _) = build_system_engines_traced(&unit, &refs, &cfg);
+            drive_naive(&mut naive);
+            let reference = observe(&mut naive);
+
+            for width in [4usize, 8] {
+                let mut wcfg = cfg;
+                wcfg.memctl.lane_width = width;
+                for threads in [1usize, 2] {
+                    let pool = SimPool::new(SimThreads::Fixed(threads));
+                    let (mut engines, _) = build_system_engines_traced(&unit, &refs, &wcfg);
+                    drive_pooled(&mut engines, &pool);
+                    let got = observe(&mut engines);
+                    assert_obs_eq(
+                        &format!(
+                            "{} divergent lanes @ width {width} x {threads} threads",
+                            app.name()
+                        ),
+                        &reference,
+                        &got,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Cycle skipping under fault injection: a plan that wedges some units
+/// a few tokens in leaves their channels with no active work once the
+/// healthy units drain, so the event-driven clock skips in bulk
+/// through the dead window up to the watchdog boundary. The skipping
+/// drive must (a) still detect the wedge, (b) agree exactly — error,
+/// cycle count, partial outputs, counters — across every lane width
+/// and pool size, and (c) land on the same state the naive per-cycle
+/// drive reaches at the same cycle horizon.
+#[test]
+fn cycle_skip_respects_wedged_units() {
+    let plan = FaultPlan::with_seed(5).wedges(400_000, 4);
+    let n = 6usize;
+    let wedged: Vec<bool> =
+        (0..n as u64).map(|i| plan.wedge_threshold(i).is_some()).collect();
+    assert!(wedged.iter().any(|&w| w), "seed must wedge at least one stream");
+    assert!(wedged.iter().any(|&w| !w), "seed must leave at least one stream healthy");
+
+    for kind in AppKind::all() {
+        let app = App::new(kind);
+        let streams: Vec<Vec<u8>> =
+            (0..n).map(|p| app.gen_stream(0x3ED6ED ^ p as u64, 512)).collect();
+        let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+        let out_cap = app.out_capacity(streams.iter().map(|s| s.len()).max().unwrap());
+        let mut cfg = SystemConfig::f1(out_cap);
+        cfg.fault = plan;
+        cfg.watchdog_cycles = 20_000; // keep the dead window test-sized
+        let unit = CompiledUnit::new(&app.spec());
+        let name = app.name();
+
+        // Reference: the serial fast path at the default lane width.
+        let pool1 = SimPool::new(SimThreads::Fixed(1));
+        let (mut fast, _) = build_system_engines_traced(&unit, &refs, &cfg);
+        let ref_results: Vec<Result<u64, EngineRunError>> = fast
+            .iter_mut()
+            .map(|eng| eng.run_channel(MAX_CYCLES, Some(&pool1), 1))
+            .collect();
+        assert!(
+            ref_results
+                .iter()
+                .any(|r| matches!(r, Err(EngineRunError::Wedged { .. }))),
+            "{name}: no channel reported the wedge"
+        );
+        assert!(
+            fast.iter().any(|eng| eng.cycles_skipped() > 0),
+            "{name}: the dead window was ticked through instead of skipped"
+        );
+        let ref_cycles: Vec<u64> = fast.iter().map(|eng| eng.stats().cycles).collect();
+        let reference = observe(&mut fast);
+
+        // Every (lane width, pool size) cell agrees with the serial
+        // reference bit for bit, error included.
+        for width in [1usize, 8, 16] {
+            let mut wcfg = cfg;
+            wcfg.memctl.lane_width = width;
+            for threads in LANE_THREADS {
+                let pool = SimPool::new(SimThreads::Fixed(threads));
+                let (mut engines, _) = build_system_engines_traced(&unit, &refs, &wcfg);
+                let results: Vec<Result<u64, EngineRunError>> = engines
+                    .iter_mut()
+                    .map(|eng| eng.run_channel(MAX_CYCLES, Some(&pool), threads))
+                    .collect();
+                assert_eq!(
+                    ref_results, results,
+                    "{name} @ lane width {width} x {threads} threads: run outcome diverges"
+                );
+                let got = observe(&mut engines);
+                assert_obs_eq(
+                    &format!("{name} wedged @ lane width {width} x {threads} threads"),
+                    &reference,
+                    &got,
+                );
+            }
+        }
+
+        // Naive horizon replay: tick the reference drive (no skipping,
+        // no batching) to the exact cycle each skipping channel ended
+        // on; the skipped spans must account identically.
+        let (mut naive, _) = build_system_engines_traced(&unit, &refs, &cfg);
+        for (eng, &end) in naive.iter_mut().zip(&ref_cycles) {
+            while eng.stats().cycles < end {
+                eng.tick_naive();
+            }
+            assert_eq!(eng.stats().cycles, end, "{name}: naive replay overshot the horizon");
+        }
+        let got = observe(&mut naive);
+        assert_obs_eq(&format!("{name} wedged naive horizon"), &reference, &got);
     }
 }
