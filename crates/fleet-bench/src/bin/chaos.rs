@@ -116,6 +116,7 @@ fn build_workload(args: &Args) -> Vec<Job> {
             max_bytes: args.max_bytes,
             deadline_frac: 0.0,
             deadline_slack_us: 200_000,
+            deadline_per_byte_ns: 0,
         },
         &App::new(AppKind::Bloom),
     )

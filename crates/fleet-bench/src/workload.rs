@@ -39,6 +39,20 @@ pub struct OpenLoop {
     pub deadline_frac: f64,
     /// Deadline slack past the arrival, in virtual µs.
     pub deadline_slack_us: u64,
+    /// Extra deadline slack per stream byte, in nanoseconds (0 keeps
+    /// flat slack and generation byte-identical to before the knob
+    /// existed). Size-proportional slack models SLOs scaled to request
+    /// size — big jobs get proportionally more room, so a policy is
+    /// judged on scheduling, not on the impossibility of large work.
+    pub deadline_per_byte_ns: u64,
+}
+
+impl OpenLoop {
+    /// The deadline for a job of `bytes` arriving at `arrival_us`:
+    /// flat slack plus the size-proportional component.
+    fn deadline_for(&self, arrival_us: u64, bytes: usize) -> u64 {
+        arrival_us + self.deadline_slack_us + bytes as u64 * self.deadline_per_byte_ns / 1000
+    }
 }
 
 /// Builds the open-loop workload over `app`: Poisson arrivals with
@@ -60,11 +74,65 @@ pub fn poisson_jobs(w: &OpenLoop, app: &App) -> Vec<Job> {
             let mut job = Job::new(i as u64, tenant, spec.clone(), vec![stream])
                 .with_arrival(arrival as u64);
             if w.deadline_frac > 0.0 && rng.gen_bool(w.deadline_frac) {
-                job = job.with_deadline(arrival as u64 + w.deadline_slack_us);
+                job = job.with_deadline(w.deadline_for(arrival as u64, bytes));
             }
             job
         })
         .collect()
+}
+
+/// Builds the *hostile* open-loop workload over `app`: heavy-tailed
+/// stream lengths (fourth-power draw — mostly tiny, a long tail of
+/// huge) on a Poisson base, punctuated by flash crowds: every
+/// `burst_every`-th arrival brings `burst_size` extra jobs at the same
+/// instant, all small and deadline-bearing — the pattern that makes
+/// first-fit packing mix one tail job into every batch and drag whole
+/// crowds of short jobs past their SLOs.
+///
+/// `w.jobs` counts *total* jobs including burst members, so workloads
+/// of equal `jobs` offer comparable totals regardless of burstiness.
+pub fn hostile_jobs(
+    w: &OpenLoop,
+    app: &App,
+    burst_every: usize,
+    burst_size: usize,
+) -> Vec<Job> {
+    let spec = Arc::new(app.spec());
+    let token = (spec.input_token_bits as usize / 8).max(1);
+    let mut rng = StdRng::seed_from_u64(w.seed ^ 0x0511_e0de);
+    let mut arrival = 0.0f64;
+    let mut jobs = Vec::with_capacity(w.jobs);
+    let mut base_i = 0usize;
+    while jobs.len() < w.jobs {
+        let u: f64 = rng.gen();
+        arrival += -(1.0 - u).ln() / w.rate * 1e6;
+        let at = arrival as u64;
+        base_i += 1;
+        let crowd = burst_every > 0 && base_i.is_multiple_of(burst_every);
+        let members = if crowd { 1 + burst_size } else { 1 };
+        for m in 0..members {
+            if jobs.len() >= w.jobs {
+                break;
+            }
+            let id = jobs.len() as u64;
+            let tenant: u32 = rng.gen_range(0..w.tenants.max(1));
+            // Burst members are all small (a flash crowd of cheap
+            // requests); the base process carries the heavy tail.
+            let bytes = if m > 0 {
+                heavy_tailed_len(&mut rng, w.min_bytes, (w.min_bytes * 4).min(w.max_bytes), token)
+            } else {
+                heavy_tailed_len(&mut rng, w.min_bytes, w.max_bytes, token)
+            };
+            let stream = app.gen_stream(w.seed ^ id, bytes.max(1));
+            let mut job =
+                Job::new(id, tenant, spec.clone(), vec![stream]).with_arrival(at);
+            if w.deadline_frac > 0.0 && rng.gen_bool(w.deadline_frac) {
+                job = job.with_deadline(w.deadline_for(at, bytes));
+            }
+            jobs.push(job);
+        }
+    }
+    jobs
 }
 
 /// Draws a heavy-tailed length in `[min_len, max_len]`, rounded down to
@@ -195,6 +263,7 @@ mod tests {
             max_bytes: 2048,
             deadline_frac: 0.0,
             deadline_slack_us: 200_000,
+            deadline_per_byte_ns: 0,
         };
         let app = App::new(AppKind::Bloom);
         let a = poisson_jobs(&w, &app);
@@ -209,6 +278,44 @@ mod tests {
         for w in a.windows(2) {
             assert!(w[0].arrival_us <= w[1].arrival_us);
         }
+    }
+
+    #[test]
+    fn hostile_jobs_are_reproducible_bursty_and_deadline_scaled() {
+        let w = OpenLoop {
+            jobs: 120,
+            tenants: 4,
+            seed: 11,
+            rate: 500_000.0,
+            min_bytes: 64,
+            max_bytes: 8192,
+            deadline_frac: 1.0,
+            deadline_slack_us: 500,
+            deadline_per_byte_ns: 100,
+        };
+        let app = App::new(AppKind::Bloom);
+        let a = hostile_jobs(&w, &app, 8, 6);
+        let b = hostile_jobs(&w, &app, 8, 6);
+        assert_eq!(a.len(), 120);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival_us, y.arrival_us);
+            assert_eq!(x.streams, y.streams);
+            assert_eq!(x.deadline_us, y.deadline_us);
+        }
+        // Flash crowds: some arrival instants carry many jobs at once.
+        let mut max_same = 1;
+        let mut run = 1;
+        for pair in a.windows(2) {
+            run = if pair[0].arrival_us == pair[1].arrival_us { run + 1 } else { 1 };
+            max_same = max_same.max(run);
+        }
+        assert!(max_same >= 5, "largest flash crowd only {max_same} jobs");
+        // Size-proportional slack: a job 100× bigger gets visibly more
+        // room past its arrival.
+        let slack = |j: &fleet_host::Job| j.deadline_us.unwrap() - j.arrival_us;
+        let small = a.iter().min_by_key(|j| j.input_bytes()).unwrap();
+        let big = a.iter().max_by_key(|j| j.input_bytes()).unwrap();
+        assert!(slack(big) > slack(small), "bigger job must get more slack");
     }
 
     #[test]

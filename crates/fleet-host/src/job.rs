@@ -27,7 +27,10 @@ pub struct Job {
     pub spec: Arc<UnitSpec>,
     /// Batching-compatibility key: jobs with equal keys may share an
     /// instance run. Defaults to the spec's name and token widths.
-    pub spec_key: String,
+    /// Interned as `Arc<str>` so the pack loop, queue peeks, and the
+    /// host's spec-keyed caches share one allocation per spec instead
+    /// of cloning a `String` per batch.
+    pub spec_key: Arc<str>,
     /// Input streams; each must be a whole number of input tokens.
     pub streams: Vec<Vec<u8>>,
     /// Per-stream output-region capacity in bytes.
@@ -48,10 +51,11 @@ impl Job {
     /// output capacity of twice the largest stream (at least 1 KB), and
     /// the spec-derived compatibility key.
     pub fn new(id: JobId, tenant: TenantId, spec: Arc<UnitSpec>, streams: Vec<Vec<u8>>) -> Job {
-        let spec_key = format!(
+        let spec_key: Arc<str> = format!(
             "{}:{}x{}",
             spec.name, spec.input_token_bits, spec.output_token_bits
-        );
+        )
+        .into();
         let out_capacity =
             streams.iter().map(|s| s.len() * 2).max().unwrap_or(0).max(1024);
         Job {
@@ -135,6 +139,15 @@ pub enum RejectReason {
         /// PU slots one instance offers for this spec.
         slots: usize,
     },
+    /// A predictive policy shed the job: even launched immediately, its
+    /// predicted completion lands past the deadline, so running it
+    /// would burn a slot to produce a guaranteed miss.
+    ShedPredicted {
+        /// Predicted completion on the virtual clock.
+        predicted_us: u64,
+        /// The deadline it cannot meet.
+        deadline_us: u64,
+    },
 }
 
 impl RejectReason {
@@ -145,6 +158,7 @@ impl RejectReason {
             RejectReason::Malformed(_) => "malformed",
             RejectReason::DeadlineExpired => "deadline_expired",
             RejectReason::TooLarge { .. } => "too_large",
+            RejectReason::ShedPredicted { .. } => "shed_predicted",
         }
     }
 }
@@ -238,7 +252,7 @@ mod tests {
         let j = Job::new(7, 2, spec32(), vec![vec![0u8; 64]])
             .with_arrival(100)
             .with_deadline(900);
-        assert_eq!(j.spec_key, "Wide:32x32");
+        assert_eq!(&*j.spec_key, "Wide:32x32");
         assert_eq!(j.out_capacity, 1024, "small streams get the 1 KB floor");
         assert_eq!(j.arrival_us, 100);
         assert_eq!(j.deadline_us, Some(900));

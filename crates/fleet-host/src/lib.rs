@@ -35,6 +35,8 @@
 pub mod arrival;
 pub mod job;
 pub mod pack;
+pub mod policy;
+pub mod predict;
 pub mod queue;
 pub mod report;
 pub mod scheduler;
@@ -47,7 +49,12 @@ pub use fleet_session::{
 pub use job::{
     CompletedJob, FailedJob, Job, JobId, JobLatency, RejectReason, RejectedJob, TenantId,
 };
-pub use pack::{pack_batch, PackedBatch};
+pub use pack::{pack_batch, pack_batch_policy, top_up_batch, PackedBatch};
+pub use policy::{
+    doomed, predicted_completion_us, slo_admits, CostModel, DeferFill, EdfPack, FirstFit,
+    PackPolicy, PolicyKind, ShortestJob, WeightedSlowdown,
+};
+pub use predict::{Predictor, SpecModel};
 pub use queue::SubmitQueue;
 pub use report::{ServiceReport, TenantReport};
 pub use scheduler::{Host, HostConfig};

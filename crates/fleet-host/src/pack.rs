@@ -15,6 +15,8 @@ use fleet_lang::UnitSpec;
 use fleet_trace::SchedCounters;
 
 use crate::job::{Job, RejectReason, RejectedJob};
+use crate::policy::{doomed, predicted_completion_us, CostModel, PackPolicy};
+use crate::predict::Predictor;
 use crate::queue::SubmitQueue;
 
 /// A set of jobs bound for one instance run.
@@ -22,8 +24,9 @@ use crate::queue::SubmitQueue;
 pub struct PackedBatch {
     /// The shared processing-unit definition.
     pub spec: Arc<UnitSpec>,
-    /// The compatibility key every member shares.
-    pub spec_key: String,
+    /// The compatibility key every member shares (interned; see
+    /// [`Job::spec_key`]).
+    pub spec_key: Arc<str>,
     /// Member jobs, in the order the packer released them; their
     /// streams are concatenated in this order for the run, so outputs
     /// slice back to jobs by position.
@@ -72,19 +75,116 @@ pub fn pack_batch(
     counters: &mut SchedCounters,
     rejected: &mut Vec<RejectedJob>,
 ) -> Option<PackedBatch> {
+    // First-fit needs neither predictions nor cost constants; the
+    // placeholder predictor/model are never consulted.
+    let pred = Predictor::new(1.0);
+    let model = CostModel {
+        pack_us_fixed: 0,
+        pack_us_per_stream: 0,
+        drain_us_per_kib: 0,
+        defer_cap_us: 0,
+    };
+    pack_batch_policy(
+        queue,
+        now_us,
+        slots_for,
+        max_jobs,
+        &crate::policy::FirstFit,
+        &pred,
+        &model,
+        counters,
+        rejected,
+    )
+}
+
+/// Peeks the job `policy` would release next at `now_us`: the WFQ head
+/// for unordered policies (identical to [`SubmitQueue::peek`]), or the
+/// global `(priority, vft, id)` minimum for ordered ones — which can
+/// reach compatible jobs parked *behind* incompatible tenant heads.
+fn peek_next<'q>(
+    queue: &'q SubmitQueue,
+    key: Option<&str>,
+    policy: &dyn PackPolicy,
+    pred: &Predictor,
+    now_us: u64,
+) -> Option<&'q Job> {
+    if policy.ordered() {
+        queue.peek_priority(key, &mut |j| policy.priority(j, pred, now_us).unwrap_or(u64::MAX))
+    } else {
+        queue.peek(key)
+    }
+}
+
+/// Pops the job [`peek_next`] returned (same release rule).
+fn pop_next(
+    queue: &mut SubmitQueue,
+    key: Option<&str>,
+    policy: &dyn PackPolicy,
+    pred: &Predictor,
+    now_us: u64,
+) -> Option<Job> {
+    if policy.ordered() {
+        queue.pop_priority(key, &mut |j| policy.priority(j, pred, now_us).unwrap_or(u64::MAX))
+    } else {
+        queue.pop(key)
+    }
+}
+
+/// Rejects `job` as predictively shed, with the prediction recorded in
+/// the reason so reports can show how doomed it was.
+fn shed(
+    job: Job,
+    now_us: u64,
+    pred: &Predictor,
+    model: &CostModel,
+    counters: &mut SchedCounters,
+    rejected: &mut Vec<RejectedJob>,
+) {
+    counters.shed_predicted += 1;
+    let predicted_us = predicted_completion_us(&job, pred, now_us, model);
+    rejected.push(RejectedJob {
+        id: job.id,
+        tenant: job.tenant,
+        reason: RejectReason::ShedPredicted {
+            predicted_us,
+            deadline_us: job.deadline_us.unwrap_or(0),
+        },
+        rejected_at_us: now_us,
+    });
+}
+
+/// The policy-aware packer: [`pack_batch`] with the release order,
+/// proactive shedding, and prediction hooks of a [`PackPolicy`].
+///
+/// Under [`crate::policy::FirstFit`] every decision reduces to the
+/// original first-fit loop — same peeks, same pops, same counters — so
+/// the serving report stays byte-identical to the pre-policy host.
+#[allow(clippy::too_many_arguments)]
+pub fn pack_batch_policy(
+    queue: &mut SubmitQueue,
+    now_us: u64,
+    slots_for: &mut dyn FnMut(&Job) -> usize,
+    max_jobs: usize,
+    policy: &dyn PackPolicy,
+    pred: &Predictor,
+    model: &CostModel,
+    counters: &mut SchedCounters,
+    rejected: &mut Vec<RejectedJob>,
+) -> Option<PackedBatch> {
     let mut jobs: Vec<Job> = Vec::new();
-    let mut key: Option<String> = None;
+    let mut key: Option<Arc<str>> = None;
     let mut slots = 0usize;
     let mut used = 0usize;
 
     while jobs.len() < max_jobs.max(1) {
-        let Some(head) = queue.peek(key.as_deref()) else { break };
+        let Some(head) = peek_next(queue, key.as_deref(), policy, pred, now_us) else { break };
 
         // `<=`: a deadline equal to now can never be met — the run and
         // drain land strictly after now — so it is as dead as one
         // already in the past (see [`Job::with_deadline`]).
         if head.deadline_us.is_some_and(|d| d <= now_us) {
-            let job = queue.pop(key.as_deref()).expect("peeked job pops");
+            let job =
+                pop_next(queue, key.as_deref(), policy, pred, now_us).expect("peeked job pops");
             counters.rejected_deadline += 1;
             rejected.push(RejectedJob {
                 id: job.id,
@@ -95,11 +195,20 @@ pub fn pack_batch(
             continue;
         }
 
+        // Proactive shed: the deadline is still ahead, but prediction
+        // says completion cannot beat it even launching right now.
+        if policy.sheds() && doomed(head, pred, now_us, model) {
+            let job =
+                pop_next(queue, key.as_deref(), policy, pred, now_us).expect("peeked job pops");
+            shed(job, now_us, pred, model, counters, rejected);
+            continue;
+        }
+
         if jobs.is_empty() {
             // First member: fix the batch's key and slot budget.
             let budget = slots_for(head).max(1);
             if head.streams.len() > budget {
-                let job = queue.pop(None).expect("peeked job pops");
+                let job = pop_next(queue, None, policy, pred, now_us).expect("peeked job pops");
                 counters.rejected_malformed += 1;
                 rejected.push(RejectedJob {
                     id: job.id,
@@ -110,11 +219,15 @@ pub fn pack_batch(
                 continue;
             }
             slots = budget;
-        } else if head.streams.len() > slots - used {
+        } else if head.streams.len() > slots - used
+            || !policy.admits(&jobs, head, pred, now_us, model)
+        {
+            // A non-fitting or deadline-hostile head closes the batch;
+            // released in policy order, it simply opens the next one.
             break;
         }
 
-        let job = queue.pop(key.as_deref()).expect("peeked job pops");
+        let job = pop_next(queue, key.as_deref(), policy, pred, now_us).expect("peeked job pops");
         used += job.streams.len();
         if key.is_none() {
             key = Some(job.spec_key.clone());
@@ -138,6 +251,59 @@ pub fn pack_batch(
         slots_used: used,
         out_capacity,
     })
+}
+
+/// Tops up a held (under-filled, not yet launched) batch with newly
+/// arrived compatible jobs at `now_us`. Members added here extend the
+/// `jobs_packed`/`slots_packed` counters of the batch's original pack
+/// (the batch and its slot offer were already counted), so `slot_fill`
+/// reflects the launch-time fill. Returns how many jobs were added.
+#[allow(clippy::too_many_arguments)]
+pub fn top_up_batch(
+    queue: &mut SubmitQueue,
+    now_us: u64,
+    batch: &mut PackedBatch,
+    max_jobs: usize,
+    policy: &dyn PackPolicy,
+    pred: &Predictor,
+    model: &CostModel,
+    counters: &mut SchedCounters,
+    rejected: &mut Vec<RejectedJob>,
+) -> usize {
+    let key = batch.spec_key.clone();
+    let mut added = 0usize;
+    while batch.jobs.len() < max_jobs.max(1) && batch.slots_used < batch.slots {
+        let Some(head) = peek_next(queue, Some(&key), policy, pred, now_us) else { break };
+        if head.deadline_us.is_some_and(|d| d <= now_us) {
+            let job = pop_next(queue, Some(&key), policy, pred, now_us).expect("peeked job pops");
+            counters.rejected_deadline += 1;
+            rejected.push(RejectedJob {
+                id: job.id,
+                tenant: job.tenant,
+                reason: RejectReason::DeadlineExpired,
+                rejected_at_us: now_us,
+            });
+            continue;
+        }
+        if policy.sheds() && doomed(head, pred, now_us, model) {
+            let job = pop_next(queue, Some(&key), policy, pred, now_us).expect("peeked job pops");
+            shed(job, now_us, pred, model, counters, rejected);
+            continue;
+        }
+        if head.streams.len() > batch.slots - batch.slots_used
+            || !policy.admits(&batch.jobs, head, pred, now_us, model)
+        {
+            break;
+        }
+        let job = pop_next(queue, Some(&key), policy, pred, now_us).expect("peeked job pops");
+        batch.slots_used += job.streams.len();
+        batch.out_capacity = batch.out_capacity.max(job.out_capacity);
+        counters.jobs_packed += 1;
+        counters.slots_packed += job.streams.len() as u64;
+        batch.jobs.push(job);
+        added += 1;
+    }
+    added
 }
 
 #[cfg(test)]

@@ -112,7 +112,7 @@ impl SubmitQueue {
         let mut best: Option<(u64, TenantId)> = None;
         for (&tenant, tq) in &self.tenants {
             if let Some((vft, job)) = tq.jobs.front() {
-                if key.is_some_and(|k| job.spec_key != k) {
+                if key.is_some_and(|k| &*job.spec_key != k) {
                     continue;
                 }
                 if best.is_none_or(|(bv, _)| *vft < bv) {
@@ -121,6 +121,62 @@ impl SubmitQueue {
             }
         }
         best.map(|(_, t)| t)
+    }
+
+    /// The position of the queued job minimizing `(prio(job), vft, id)`
+    /// among *all* queued jobs matching `key` — not just tenant heads.
+    /// Priority release deliberately breaks per-tenant FIFO (an EDF or
+    /// SJF policy must be able to jump a tight job over its tenant's
+    /// earlier submissions); the `(vft, id)` tie-break keeps the order
+    /// total and deterministic.
+    fn best_priority(
+        &self,
+        key: Option<&str>,
+        prio: &mut dyn FnMut(&Job) -> u64,
+    ) -> Option<(TenantId, usize)> {
+        let mut best: Option<(u64, u64, u64, TenantId, usize)> = None;
+        for (&tenant, tq) in &self.tenants {
+            for (idx, (vft, job)) in tq.jobs.iter().enumerate() {
+                if key.is_some_and(|k| &*job.spec_key != k) {
+                    continue;
+                }
+                let p = prio(job);
+                if best.is_none_or(|(bp, bv, bi, _, _)| (p, *vft, job.id) < (bp, bv, bi)) {
+                    best = Some((p, *vft, job.id, tenant, idx));
+                }
+            }
+        }
+        best.map(|(_, _, _, t, i)| (t, i))
+    }
+
+    /// Peeks the job a priority policy would release next: the queued
+    /// job minimizing `(prio, WFQ stamp, id)`, optionally restricted to
+    /// a batching-compatibility key. Unlike [`SubmitQueue::peek`] this
+    /// scans *all* queued jobs, so a high-priority job is reachable even
+    /// behind its tenant's earlier submissions.
+    pub fn peek_priority(
+        &self,
+        key: Option<&str>,
+        prio: &mut dyn FnMut(&Job) -> u64,
+    ) -> Option<&Job> {
+        let (tenant, idx) = self.best_priority(key, prio)?;
+        self.tenants[&tenant].jobs.get(idx).map(|(_, j)| j)
+    }
+
+    /// Pops the job [`SubmitQueue::peek_priority`] would return,
+    /// advancing the virtual clock past its WFQ stamp (so tenants still
+    /// pay for bytes released out of order).
+    pub fn pop_priority(
+        &mut self,
+        key: Option<&str>,
+        prio: &mut dyn FnMut(&Job) -> u64,
+    ) -> Option<Job> {
+        let (tenant, idx) = self.best_priority(key, prio)?;
+        let tq = self.tenants.get_mut(&tenant).expect("best tenant exists");
+        let (vft, job) = tq.jobs.remove(idx).expect("best index exists");
+        self.vnow = self.vnow.max(vft);
+        self.len -= 1;
+        Some(job)
     }
 
     /// Peeks the job WFQ would release next, optionally restricted to a
@@ -292,6 +348,49 @@ mod tests {
         assert_eq!(rest.len(), 4);
         assert!(rest.iter().all(|&id| id < 4));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn priority_release_reaches_past_tenant_heads() {
+        let spec = byte_spec();
+        let mut q = SubmitQueue::new(8);
+        // Tenant 0 queues a loose-deadline job ahead of a tight one;
+        // plain WFQ releases in FIFO order, priority release jumps the
+        // tight job over its own tenant's head.
+        q.submit(job(1, 0, 64, &spec).with_deadline(9_000), 0).unwrap();
+        q.submit(job(2, 0, 64, &spec).with_deadline(100), 0).unwrap();
+        let mut by_deadline = |j: &Job| j.deadline_us.unwrap_or(u64::MAX);
+        assert_eq!(q.peek_priority(None, &mut by_deadline).unwrap().id, 2);
+        assert_eq!(q.pop_priority(None, &mut by_deadline).unwrap().id, 2);
+        assert_eq!(q.pop_priority(None, &mut by_deadline).unwrap().id, 1);
+        assert!(q.is_empty());
+
+        // Equal priorities fall back to WFQ stamps: identical to pop().
+        for id in 10..14 {
+            q.submit(job(id, (id % 2) as TenantId, 64, &spec), 0).unwrap();
+        }
+        let mut flat = |_: &Job| 0u64;
+        let order: Vec<u64> =
+            std::iter::from_fn(|| q.pop_priority(None, &mut flat).map(|j| j.id)).collect();
+        assert_eq!(order, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn priority_release_respects_the_key_filter() {
+        let byte = byte_spec();
+        let mut wide = UnitBuilder::new("Wide", 32, 32);
+        let acc = wide.reg("acc", 32, 0);
+        let inp = wide.input();
+        wide.set(acc, acc ^ inp);
+        let wide = Arc::new(wide.build().unwrap());
+
+        let mut q = SubmitQueue::new(8);
+        q.submit(Job::new(1, 0, wide, vec![vec![0u8; 64]]).with_deadline(10), 0).unwrap();
+        q.submit(job(2, 0, 64, &byte).with_deadline(500), 0).unwrap();
+        let mut by_deadline = |j: &Job| j.deadline_us.unwrap_or(u64::MAX);
+        // The tightest job is Wide, but a Byte-locked batch must skip it.
+        assert_eq!(q.pop_priority(Some("Byte:8x8"), &mut by_deadline).unwrap().id, 2);
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

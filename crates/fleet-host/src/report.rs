@@ -120,6 +120,20 @@ impl ServiceReport {
         self.completed.len() as f64 / (self.makespan_us as f64 / 1e6)
     }
 
+    /// Completed jobs that met their deadline (deadline-free jobs
+    /// count — completing them is always useful work).
+    pub fn deadline_met_jobs(&self) -> u64 {
+        self.completed.iter().filter(|c| c.deadline_met != Some(false)).count() as u64
+    }
+
+    /// Goodput: deadline-meeting completions per virtual second over
+    /// the makespan — the SLO-aware counterpart of
+    /// [`ServiceReport::jobs_per_sec`]. A completion past its deadline
+    /// is work the client no longer wants, so it does not count.
+    pub fn goodput_jobs_per_sec(&self) -> f64 {
+        self.deadline_met_jobs() as f64 / (self.makespan_us as f64 / 1e6)
+    }
+
     /// End-to-end latency distribution across all tenants.
     pub fn total_latency(&self) -> LatencyStats {
         let mut all = LatencyStats::new();
@@ -192,6 +206,9 @@ impl ServiceReport {
                 RejectReason::Malformed(msg) => msg.clone(),
                 RejectReason::TooLarge { streams, slots } => {
                     format!("{streams} streams for {slots} slots")
+                }
+                RejectReason::ShedPredicted { predicted_us, deadline_us } => {
+                    format!("predicted done {predicted_us} µs, deadline {deadline_us} µs")
                 }
                 _ => String::new(),
             };

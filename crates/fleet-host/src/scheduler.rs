@@ -27,7 +27,9 @@ use fleet_trace::SchedCounters;
 
 use crate::arrival::{Arrival, ArrivalSource, VecArrivals};
 use crate::job::{CompletedJob, FailedJob, Job, JobLatency, RejectedJob, TenantId};
-use crate::pack::{pack_batch, PackedBatch};
+use crate::pack::{pack_batch_policy, top_up_batch, PackedBatch};
+use crate::policy::{CostModel, PackPolicy, PolicyKind};
+use crate::predict::Predictor;
 use crate::queue::SubmitQueue;
 use crate::report::ServiceReport;
 
@@ -84,6 +86,14 @@ pub struct HostConfig {
     /// nothing and leaves the simulation bit-identical to a host
     /// without fault support.
     pub fault: FaultPlan,
+    /// The pack policy: release order, batch-close deferral, and
+    /// proactive shedding. The default ([`PolicyKind::FirstFit`])
+    /// reproduces the pre-policy host byte-for-byte.
+    pub policy: PolicyKind,
+    /// Longest a deferring policy may hold an under-filled batch past
+    /// its oldest member's arrival, in virtual µs (see
+    /// [`crate::policy::DeferFill`]).
+    pub defer_cap_us: u64,
 }
 
 impl HostConfig {
@@ -108,6 +118,8 @@ impl HostConfig {
             quarantine_after: 3,
             session_idle_evict_us: 10_000,
             fault: FaultPlan::none(),
+            policy: PolicyKind::FirstFit,
+            defer_cap_us: 300,
         }
     }
 }
@@ -124,13 +136,18 @@ fn retryable(error: &SystemError) -> bool {
 #[derive(Debug)]
 pub struct Host {
     cfg: HostConfig,
+    /// The instantiated pack policy (from [`HostConfig::policy`]).
+    policy: Box<dyn PackPolicy>,
+    /// Per-spec online run-time models feeding the policy's
+    /// predictions; mutates only in virtual-clock order.
+    predictor: Predictor,
     /// Area-fit results per spec key (compiling a unit for the area
     /// model is expensive; every batch of the same spec reuses it).
-    slot_cache: BTreeMap<String, usize>,
+    slot_cache: BTreeMap<Arc<str>, usize>,
     /// Compiled programs per spec key: validation and SSA lowering run
     /// once per spec on the scheduler thread, and every batch replicates
     /// executors from the shared program instead of recompiling.
-    compiled_cache: BTreeMap<String, CompiledUnit>,
+    compiled_cache: BTreeMap<Arc<str>, CompiledUnit>,
     /// One process-wide simulation worker pool, sized by
     /// [`SystemConfig::sim_threads`] and shared by every instance: the
     /// per-batch scoped coordinators submit their PU-evaluation shards
@@ -144,7 +161,23 @@ impl Host {
     /// Creates a host with the given configuration.
     pub fn new(cfg: HostConfig) -> Host {
         let pool = Arc::new(SimPool::new(cfg.system.sim_threads));
-        Host { cfg, slot_cache: BTreeMap::new(), compiled_cache: BTreeMap::new(), pool }
+        let policy = cfg.policy.build();
+        let predictor = Predictor::new(cfg.system.platform.clock_hz);
+        Host {
+            cfg,
+            policy,
+            predictor,
+            slot_cache: BTreeMap::new(),
+            compiled_cache: BTreeMap::new(),
+            pool,
+        }
+    }
+
+    /// Predicted run time of a job on this host's current models, in
+    /// virtual µs (the quantity predictive policies schedule on).
+    pub fn predict_run_us(&self, job: &Job) -> u64 {
+        let max_bytes = job.streams.iter().map(|s| s.len() as u64).max().unwrap_or(0);
+        self.predictor.predict_run_us(&job.spec_key, &job.spec, max_bytes)
     }
 
     /// The configuration the host was built with.
@@ -156,7 +189,7 @@ impl Host {
     /// unit count, capped by [`HostConfig::pu_slot_cap`], memoized per
     /// spec key.
     fn slots_for(
-        cache: &mut BTreeMap<String, usize>,
+        cache: &mut BTreeMap<Arc<str>, usize>,
         cfg: &HostConfig,
         job: &Job,
     ) -> usize {
@@ -221,9 +254,16 @@ impl Host {
         // (ready_at_us, job), kept sorted by (ready_at_us, id).
         let mut retries: Vec<(u64, Job)> = Vec::new();
         // Deterministic per-batch fault-plan derivation counter: batches
-        // are numbered in (loop-iteration, instance-index) order, which
-        // never depends on wall-clock thread interleaving.
+        // are numbered in (loop-iteration, instance-index) order at
+        // *launch*, which never depends on wall-clock thread
+        // interleaving (a deferred batch draws its plan when it finally
+        // launches, like any other).
         let mut batch_uid: u64 = 0;
+        // Under-filled batches a deferring policy is holding open, as
+        // (batch, hold-deadline) per instance. The instance stays
+        // reserved; the batch is topped up with compatible arrivals and
+        // launches when full or when the hold expires.
+        let mut held: Vec<Option<(PackedBatch, u64)>> = (0..n).map(|_| None).collect();
 
         // Live sessions and their scheduling state. Residency is the
         // stream count a session reserves on its instance; sessions
@@ -451,7 +491,7 @@ impl Host {
             // waiting longest (earliest `(ready_since, id)`) wins.
             let mut session_for: Vec<Option<((u64, SessionId), SessionId)>> = vec![None; n];
             for (&sid, &i) in &resident_on {
-                if busy_until[i].is_some() || quarantined[i] {
+                if busy_until[i].is_some() || quarantined[i] || held[i].is_some() {
                     continue;
                 }
                 let s = &sessions[&sid];
@@ -464,25 +504,89 @@ impl Host {
                 }
             }
 
+            // Absorb completed-run observations the virtual clock has
+            // reached, so this iteration's predictions (and every
+            // policy decision built on them) see exactly the history a
+            // real host would at this instant.
+            self.predictor.apply_due(now);
+
             // One batch per idle, healthy instance not already claimed
-            // by a session, each under a fault plan derived from the
-            // deterministic batch counter.
+            // by a session. A policy may defer an under-filled batch —
+            // the instance holds it, tops it up with compatible
+            // arrivals, and launches when full or when the hold
+            // expires. Each launched batch draws a fault plan derived
+            // from the deterministic batch counter.
+            let model = CostModel {
+                pack_us_fixed: self.cfg.pack_us_fixed,
+                pack_us_per_stream: self.cfg.pack_us_per_stream,
+                drain_us_per_kib: self.cfg.drain_us_per_kib,
+                defer_cap_us: self.cfg.defer_cap_us,
+            };
             let mut batch_for: Vec<Option<(PackedBatch, FaultPlan)>> =
                 (0..n).map(|_| None).collect();
             for (i, slot) in batch_for.iter_mut().enumerate() {
-                if busy_until[i].is_none() && !quarantined[i] && session_for[i].is_none() {
-                    let cache = &mut self.slot_cache;
-                    let cfg = &self.cfg;
-                    if let Some(batch) = pack_batch(
+                if busy_until[i].is_some() || quarantined[i] || session_for[i].is_some() {
+                    continue;
+                }
+                let cache = &mut self.slot_cache;
+                let cfg = &self.cfg;
+                let policy = &*self.policy;
+                let pred = &self.predictor;
+                if let Some((mut batch, hold)) = held[i].take() {
+                    // Top up the held batch, then launch it if it is
+                    // now full or its hold has run out; the hold never
+                    // extends (new members can only tighten it).
+                    top_up_batch(
                         &mut queue,
                         now,
-                        &mut |job| Host::slots_for(cache, cfg, job),
+                        &mut batch,
                         cfg.max_jobs_per_batch,
+                        policy,
+                        pred,
+                        &model,
                         &mut counters,
                         &mut rejected,
-                    ) {
-                        *slot = Some((batch, cfg.fault.derive(batch_uid)));
-                        batch_uid += 1;
+                    );
+                    let full = batch.slots_used >= batch.slots
+                        || batch.jobs.len() >= cfg.max_jobs_per_batch.max(1);
+                    let keep = (!full && hold > now)
+                        .then(|| policy.hold_until(&batch, pred, now, &model))
+                        .flatten()
+                        .filter(|&h| h > now)
+                        .map(|h| h.min(hold));
+                    match keep {
+                        Some(h) => held[i] = Some((batch, h)),
+                        None => {
+                            *slot = Some((batch, cfg.fault.derive(batch_uid)));
+                            batch_uid += 1;
+                        }
+                    }
+                } else if let Some(batch) = pack_batch_policy(
+                    &mut queue,
+                    now,
+                    &mut |job| Host::slots_for(cache, cfg, job),
+                    cfg.max_jobs_per_batch,
+                    policy,
+                    pred,
+                    &model,
+                    &mut counters,
+                    &mut rejected,
+                ) {
+                    let under_filled = batch.slots_used < batch.slots
+                        && batch.jobs.len() < cfg.max_jobs_per_batch.max(1);
+                    let hold = under_filled
+                        .then(|| policy.hold_until(&batch, pred, now, &model))
+                        .flatten()
+                        .filter(|&h| h > now);
+                    match hold {
+                        Some(h) => {
+                            counters.deferred += 1;
+                            held[i] = Some((batch, h));
+                        }
+                        None => {
+                            *slot = Some((batch, cfg.fault.derive(batch_uid)));
+                            batch_uid += 1;
+                        }
                     }
                 }
             }
@@ -539,6 +643,25 @@ impl Host {
                         counters.faults_injected += report.faults_injected;
                         let run_us = (report.seconds * 1e6).ceil() as u64;
                         let batch_done = now + pack_us + run_us;
+                        // Feed the predictor: the observation becomes
+                        // visible to scheduling once the virtual clock
+                        // reaches the batch's completion, never before.
+                        let max_bytes = batch
+                            .jobs
+                            .iter()
+                            .flat_map(|j| j.streams.iter().map(|s| s.len() as u64))
+                            .max()
+                            .unwrap_or(0);
+                        self.predictor.observe(
+                            batch_done,
+                            i,
+                            &batch.spec_key,
+                            &batch.spec,
+                            max_bytes,
+                            run_us,
+                            report.input_bytes,
+                            report.output_bytes,
+                        );
                         // Outputs drain job by job over the host link,
                         // so completion times serialize within the
                         // batch — that order is the completion order.
@@ -745,6 +868,19 @@ impl Host {
             // every job still ends in exactly one reported state — and
             // stop instead of spinning on a clock with no events.
             if quarantined.iter().all(|&q| q) {
+                // Held batches can only sit on healthy instances, so
+                // this is normally empty — but fail their members too
+                // rather than ever losing a job.
+                for (batch, _) in held.iter_mut().filter_map(|h| h.take()) {
+                    for job in batch.jobs {
+                        counters.failed += 1;
+                        failed.push(FailedJob {
+                            id: job.id,
+                            tenant: job.tenant,
+                            error: "all instances quarantined".to_string(),
+                        });
+                    }
+                }
                 for job in queue.drain_matching(&mut |_| true) {
                     counters.failed += 1;
                     failed.push(FailedJob {
@@ -801,10 +937,12 @@ impl Host {
 
             // Advance the virtual clock to the next event: an arrival,
             // a batch or session quantum completing, a retry backoff
-            // expiring, or an idle session's eviction deadline.
+            // expiring, a held batch's launch deadline, or an idle
+            // session's eviction deadline.
             let next_arrival = source.peek_us();
             let next_done = busy_until.iter().flatten().min().copied();
             let next_retry = retries.first().map(|(ready, _)| *ready);
+            let next_hold = held.iter().flatten().map(|(_, h)| *h).min();
             let next_evict = if self.cfg.session_idle_evict_us > 0 {
                 resident_on
                     .keys()
@@ -817,13 +955,17 @@ impl Host {
             } else {
                 None
             };
-            let Some(next) = [next_arrival, next_done, next_retry, next_evict]
+            let Some(next) = [next_arrival, next_done, next_retry, next_hold, next_evict]
                 .into_iter()
                 .flatten()
                 .min()
             else {
                 debug_assert!(queue.is_empty(), "idle host with a non-empty queue");
                 debug_assert!(sessions.is_empty(), "idle host with live sessions");
+                debug_assert!(
+                    held.iter().all(|h| h.is_none()),
+                    "idle host with a held batch"
+                );
                 break;
             };
             now = next;

@@ -145,8 +145,9 @@ pub struct Session {
     pub tenant: u32,
     /// Unit spec each stream runs through.
     pub spec: Arc<UnitSpec>,
-    /// Spec cache key, same format as `Job::spec_key`.
-    pub spec_key: String,
+    /// Spec cache key, same format as `Job::spec_key` (interned so the
+    /// host's spec-keyed caches share the allocation).
+    pub spec_key: Arc<str>,
     cfg: SessionConfig,
     state: SessionState,
     run: Option<OpenRun>,
@@ -212,10 +213,11 @@ impl Session {
             cfg.stream_capacity.is_multiple_of(tok.max(1)),
             "stream_capacity must be a whole number of input tokens"
         );
-        let spec_key = format!(
+        let spec_key: Arc<str> = format!(
             "{}:{}x{}",
             spec.name, spec.input_token_bits, spec.output_token_bits
-        );
+        )
+        .into();
         Session {
             id,
             tenant,

@@ -302,6 +302,16 @@ pub struct SchedCounters {
     /// Fault events injected by the simulation substrate (DRAM stalls,
     /// corrected ECC flips, wedges), summed over all runs.
     pub faults_injected: u64,
+    /// Under-filled batches a deferring pack policy held open waiting
+    /// for more work instead of launching first. Always 0 under the
+    /// first-fit policy (and omitted from the JSON then, so first-fit
+    /// reports stay byte-identical to the pre-policy format).
+    pub deferred: u64,
+    /// Jobs proactively rejected because the run-time predictor said
+    /// their completion would land past their deadline — shedding them
+    /// before they burn a slot they can only miss in. Always 0 under
+    /// the first-fit policy (and omitted from the JSON then).
+    pub shed_predicted: u64,
     /// Long-lived session decisions; all zeros (and omitted from the
     /// JSON) for a pure one-shot-job workload.
     pub sessions: SessionCounters,
@@ -334,6 +344,8 @@ impl SchedCounters {
         self.timeouts += other.timeouts;
         self.quarantines += other.quarantines;
         self.faults_injected += other.faults_injected;
+        self.deferred += other.deferred;
+        self.shed_predicted += other.shed_predicted;
         self.sessions.merge(&other.sessions);
     }
 
@@ -366,6 +378,15 @@ impl SchedCounters {
             self.quarantines,
             self.faults_injected
         );
+        // Policy counters appear only when a non-inert policy used
+        // them, keeping first-fit reports byte-identical to the
+        // pre-policy layout.
+        if self.deferred > 0 {
+            json.push_str(&format!(", \"deferred\": {}", self.deferred));
+        }
+        if self.shed_predicted > 0 {
+            json.push_str(&format!(", \"shed_predicted\": {}", self.shed_predicted));
+        }
         if self.sessions.opened > 0 {
             json.push_str(", \"sessions\": ");
             json.push_str(&self.sessions.to_json());
@@ -569,6 +590,27 @@ mod tests {
         assert_eq!(a.sessions.peak_open, 5, "gauge must merge by max");
         let json = a.to_json();
         assert!(json.contains("\"sessions\": {\"opened\": 3"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn policy_counters_are_conditional_and_merge() {
+        // Zero policy counters serialize exactly as before — no
+        // "deferred"/"shed_predicted" keys — so first-fit serving
+        // reports stay byte-stable against the pre-policy format.
+        let plain = SchedCounters { submitted: 2, ..Default::default() };
+        let json = plain.to_json();
+        assert!(!json.contains("deferred"), "{json}");
+        assert!(!json.contains("shed_predicted"), "{json}");
+
+        let mut a = SchedCounters { deferred: 3, shed_predicted: 1, ..Default::default() };
+        let b = SchedCounters { deferred: 2, shed_predicted: 4, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.deferred, 5);
+        assert_eq!(a.shed_predicted, 5);
+        let json = a.to_json();
+        assert!(json.contains("\"deferred\": 5"), "{json}");
+        assert!(json.contains("\"shed_predicted\": 5"), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
