@@ -1,0 +1,169 @@
+//! The cluster-wide service report: job accounting, availability,
+//! utilization, latency, and every router/autoscaler decision — in the
+//! same hand-rolled JSON idiom as [`fleet_host::ServiceReport`]
+//! (nothing in the workspace vendors `serde`).
+
+use fleet_trace::{ClusterCounters, LatencyStats, SchedCounters};
+
+/// Per-host roll-up inside a [`ClusterReport`].
+#[derive(Debug, Clone)]
+pub struct HostSummary {
+    /// Host id (stable routing identity).
+    pub host: usize,
+    /// Provisioned (non-retired) instances at end of service.
+    pub instances: usize,
+    /// Instances sitting quarantined at end of service.
+    pub quarantined: usize,
+    /// This host's scheduler counters.
+    pub sched: SchedCounters,
+}
+
+/// Everything one cluster service run produced.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Hosts in the cluster.
+    pub hosts: usize,
+    /// Jobs offered by the arrival source.
+    pub offered: u64,
+    /// Jobs that ran to completion (exactly once each).
+    pub completed: u64,
+    /// Jobs that terminally failed after exhausting retries.
+    pub failed: u64,
+    /// Jobs refused at cluster ingest or during failover replay.
+    pub rejected: u64,
+    /// Virtual time at end of service, in µs.
+    pub virtual_us: u64,
+    /// Busy-instance virtual µs (utilization numerator).
+    pub busy_instance_us: u128,
+    /// Provisioned-instance virtual µs (utilization denominator).
+    pub provisioned_instance_us: u128,
+    /// End-to-end job latency distribution (arrival → completion).
+    pub latency: LatencyStats,
+    /// Router/autoscaler/failover decisions.
+    pub cluster: ClusterCounters,
+    /// Scheduler counters merged across all hosts.
+    pub sched: SchedCounters,
+    /// Per-host roll-ups, in host-id order.
+    pub per_host: Vec<HostSummary>,
+}
+
+impl ClusterReport {
+    /// Fraction of offered jobs that completed, in [0, 1] — the
+    /// availability headline (1.0 when nothing was offered).
+    pub fn availability(&self) -> f64 {
+        if self.offered == 0 {
+            return 1.0;
+        }
+        self.completed as f64 / self.offered as f64
+    }
+
+    /// Fraction of provisioned instance-time spent running batches, in
+    /// [0, 1].
+    pub fn utilization(&self) -> f64 {
+        if self.provisioned_instance_us == 0 {
+            return 0.0;
+        }
+        self.busy_instance_us as f64 / self.provisioned_instance_us as f64
+    }
+
+    /// One JSON object with job accounting, derived ratios, the latency
+    /// distribution, cluster decisions, merged scheduler counters, and
+    /// per-host roll-ups. Purely a function of the virtual timeline, so
+    /// two identical serves yield byte-identical strings.
+    pub fn to_json(&self) -> String {
+        let mut json = format!(
+            "{{\"hosts\": {}, \"jobs\": {{\"offered\": {}, \"completed\": {}, \
+             \"failed\": {}, \"rejected\": {}}}, \"availability\": {:.6}, \
+             \"utilization\": {:.4}, \"virtual_us\": {}, \"latency\": {}, \
+             \"cluster\": {}, \"sched\": {}, \"per_host\": [",
+            self.hosts,
+            self.offered,
+            self.completed,
+            self.failed,
+            self.rejected,
+            self.availability(),
+            self.utilization(),
+            self.virtual_us,
+            self.latency.to_json(),
+            self.cluster.to_json(),
+            self.sched.to_json(),
+        );
+        for (i, h) in self.per_host.iter().enumerate() {
+            if i > 0 {
+                json.push_str(", ");
+            }
+            json.push_str(&format!(
+                "{{\"host\": {}, \"instances\": {}, \"quarantined\": {}, \"sched\": {}}}",
+                h.host,
+                h.instances,
+                h.quarantined,
+                h.sched.to_json()
+            ));
+        }
+        json.push_str("]}");
+        json
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_and_json_shape() {
+        let report = ClusterReport {
+            hosts: 2,
+            offered: 1000,
+            completed: 999,
+            failed: 1,
+            rejected: 0,
+            virtual_us: 5000,
+            busy_instance_us: 740,
+            provisioned_instance_us: 1000,
+            latency: LatencyStats::new(),
+            cluster: ClusterCounters::default(),
+            sched: SchedCounters::default(),
+            per_host: vec![
+                HostSummary {
+                    host: 0,
+                    instances: 8,
+                    quarantined: 0,
+                    sched: SchedCounters::default(),
+                },
+                HostSummary {
+                    host: 1,
+                    instances: 9,
+                    quarantined: 2,
+                    sched: SchedCounters::default(),
+                },
+            ],
+        };
+        assert!((report.availability() - 0.999).abs() < 1e-9);
+        assert!((report.utilization() - 0.74).abs() < 1e-9);
+        let json = report.to_json();
+        assert!(json.contains("\"availability\": 0.999000"), "{json}");
+        assert!(json.contains("\"utilization\": 0.7400"), "{json}");
+        assert!(json.contains("\"per_host\": [{\"host\": 0"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn empty_service_is_fully_available() {
+        let report = ClusterReport {
+            hosts: 1,
+            offered: 0,
+            completed: 0,
+            failed: 0,
+            rejected: 0,
+            virtual_us: 0,
+            busy_instance_us: 0,
+            provisioned_instance_us: 0,
+            latency: LatencyStats::new(),
+            cluster: ClusterCounters::default(),
+            sched: SchedCounters::default(),
+            per_host: Vec::new(),
+        };
+        assert_eq!(report.availability(), 1.0);
+        assert_eq!(report.utilization(), 0.0);
+    }
+}

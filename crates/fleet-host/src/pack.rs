@@ -77,7 +77,7 @@ pub fn pack_batch(
 ) -> Option<PackedBatch> {
     // First-fit needs neither predictions nor cost constants; the
     // placeholder predictor/model are never consulted.
-    let pred = Predictor::new(1.0);
+    let pred = Predictor::new(1);
     let model = CostModel {
         pack_us_fixed: 0,
         pack_us_per_stream: 0,

@@ -478,7 +478,7 @@ mod tests {
     #[test]
     fn first_fit_is_inert() {
         let p = FirstFit;
-        let pred = Predictor::new(125.0e6);
+        let pred = Predictor::new(125_000_000);
         let job = Job::new(1, 0, spec8(), vec![vec![0u8; 64]]);
         assert_eq!(p.priority(&job, &pred, 0), None);
         assert!(!p.sheds());
@@ -497,7 +497,7 @@ mod tests {
     #[test]
     fn edf_orders_by_deadline_and_sheds_doomed() {
         let p = EdfPack;
-        let pred = Predictor::new(125.0e6);
+        let pred = Predictor::new(125_000_000);
         let tight = Job::new(1, 0, spec8(), vec![vec![0u8; 64]]).with_deadline(100);
         let loose = Job::new(2, 0, spec8(), vec![vec![0u8; 64]]).with_deadline(900);
         let none = Job::new(3, 0, spec8(), vec![vec![0u8; 64]]);
@@ -515,7 +515,7 @@ mod tests {
     #[test]
     fn defer_fill_holds_within_slack_and_caps_the_wait() {
         let p = DeferFill;
-        let pred = Predictor::new(125.0e6);
+        let pred = Predictor::new(125_000_000);
         let job = Job::new(1, 0, spec8(), vec![vec![0u8; 1024]]).with_deadline(100_000);
         let batch = crate::pack::PackedBatch {
             spec: job.spec.clone(),
@@ -543,7 +543,7 @@ mod tests {
 
     #[test]
     fn slo_admission_closes_the_batch_before_a_long_job_busts_a_deadline() {
-        let pred = Predictor::new(125.0e6);
+        let pred = Predictor::new(125_000_000);
         let m = model();
         // A short member with a 100 µs deadline; run ≈ 1 µs at the
         // seed, so another short fits easily.
@@ -565,7 +565,7 @@ mod tests {
 
     #[test]
     fn sjf_and_wslow_prefer_short_jobs_but_wslow_ages() {
-        let pred = Predictor::new(125.0e6);
+        let pred = Predictor::new(125_000_000);
         let short = Job::new(1, 0, spec8(), vec![vec![0u8; 256]]);
         let long = Job::new(2, 0, spec8(), vec![vec![0u8; 65536]]).with_arrival(0);
         let sjf = ShortestJob;

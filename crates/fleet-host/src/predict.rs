@@ -82,8 +82,11 @@ struct Observation {
 /// and friends.
 #[derive(Debug)]
 pub struct Predictor {
-    /// Platform logic clock — the static seed's cycle→time conversion.
-    clock_hz: f64,
+    /// Platform logic clock in integer Hz — the static seed's
+    /// cycle→time conversion. Integer on purpose: every quantity the
+    /// predictor stores or derives is fixed-point, so no float ever
+    /// touches model state and seeds are bit-identical everywhere.
+    clock_hz: u64,
     models: BTreeMap<Arc<str>, SpecModel>,
     /// Observations not yet virtual-clock-due, unsorted; `apply_due`
     /// orders them.
@@ -91,19 +94,34 @@ pub struct Predictor {
 }
 
 impl Predictor {
-    /// A predictor seeding unlearned specs against `clock_hz`.
-    pub fn new(clock_hz: f64) -> Predictor {
-        Predictor { clock_hz, models: BTreeMap::new(), pending: Vec::new() }
+    /// A predictor seeding unlearned specs against `clock_hz` (integer
+    /// hertz; fractional platform clocks round toward zero).
+    pub fn new(clock_hz: u64) -> Predictor {
+        Predictor { clock_hz: clock_hz.max(1), models: BTreeMap::new(), pending: Vec::new() }
     }
 
     /// The static DSL-derived seed for `spec`: one input token per
     /// cycle at the platform clock (the structural best case — a PU
     /// that consumes a token every cycle and emits byte-for-byte).
+    ///
+    /// Computed in *bits*: a token is `input_token_bits / 8` bytes,
+    /// which need not be whole (a 12-bit token is 1.5 bytes/cycle), so
+    /// ns/byte = 8e9 / (clock_hz × token_bits). Rounding the token to
+    /// whole bytes first — the historical defect — inflated the seed by
+    /// up to 1.5× for non-byte-aligned widths. For byte-aligned tokens
+    /// this integer form reproduces the old seeds exactly.
     pub fn seed(&self, spec: &UnitSpec) -> SpecModel {
-        let token_bytes = ((spec.input_token_bits as u64) / 8).max(1);
-        // ns/byte = 1e9 / (clock_hz × token_bytes), in ×1024 fixed point.
-        let npb_x1024 = ((1e9 * FP as f64) / (self.clock_hz * token_bytes as f64)) as u64;
+        let token_bits = (spec.input_token_bits as u128).max(1);
+        let npb_x1024 =
+            (8_000_000_000u128 * FP as u128 / (self.clock_hz as u128 * token_bits)) as u64;
         SpecModel { npb_x1024: npb_x1024.max(1), out_ratio_x1024: FP, observations: 0 }
+    }
+
+    /// Immutable snapshot of every learned model, in key order — the
+    /// predictor-state export cluster routers feed their placement and
+    /// pressure decisions from.
+    pub fn snapshot(&self) -> Vec<(Arc<str>, SpecModel)> {
+        self.models.iter().map(|(k, m)| (k.clone(), *m)).collect()
     }
 
     /// The model for `key`, or the static seed when unlearned.
@@ -211,9 +229,19 @@ mod tests {
         Arc::new(u.build().unwrap())
     }
 
+    fn spec12() -> Arc<UnitSpec> {
+        // A 12-bit input token: 1.5 bytes per cycle, the non-byte-
+        // aligned case the truncating seed got wrong.
+        let mut u = UnitBuilder::new("Odd", 12, 8);
+        let acc = u.reg("acc", 12, 0);
+        let inp = u.input();
+        u.set(acc, acc ^ inp);
+        Arc::new(u.build().unwrap())
+    }
+
     #[test]
     fn seed_is_one_token_per_cycle() {
-        let p = Predictor::new(125.0e6);
+        let p = Predictor::new(125_000_000);
         let spec = spec8();
         // 1-byte tokens at 125 MHz: 8 ns/byte → 4096 bytes ≈ 33 µs.
         let us = p.predict_run_us("Byte:8x8", &spec, 4096);
@@ -223,8 +251,45 @@ mod tests {
     }
 
     #[test]
+    fn seed_counts_bits_not_truncated_bytes() {
+        // 12-bit tokens move 1.5 bytes per cycle. The truncating seed
+        // treated them as 1 byte/cycle and predicted 1.5× too slow.
+        let p = Predictor::new(125_000_000);
+        let spec = spec12();
+        let seed = p.seed(&spec);
+        assert_eq!(
+            seed.npb_x1024,
+            8_000_000_000 * 1024 / (125_000_000 * 12),
+            "seed must divide by token bits, not whole bytes"
+        );
+        // 1.5× faster than the byte-truncated model (8192 ×1024).
+        assert_eq!(seed.npb_x1024, 5461);
+        // Byte-aligned widths are unchanged by the fix: 8-bit tokens at
+        // 125 MHz still seed at exactly 8 ns/byte.
+        assert_eq!(p.seed(&spec8()).npb_x1024, 8 * 1024);
+    }
+
+    #[test]
+    fn seeds_are_bit_identical_and_float_free() {
+        // Integer-Hz seeding: any two predictors over the same clock
+        // produce byte-for-byte equal models for every width, including
+        // clocks that are not exactly representable as small floats.
+        for hz in [125_000_000u64, 250_000_000, 333_333_333, 1] {
+            let a = Predictor::new(hz);
+            let b = Predictor::new(hz);
+            for spec in [spec8(), spec12()] {
+                assert_eq!(a.seed(&spec), b.seed(&spec), "clock {hz} Hz");
+                // The exact integer the seed must land on.
+                let bits = spec.input_token_bits as u128;
+                let want = (8_000_000_000u128 * 1024 / (hz as u128 * bits)).max(1) as u64;
+                assert_eq!(a.seed(&spec).npb_x1024, want);
+            }
+        }
+    }
+
+    #[test]
     fn observations_move_the_model_and_respect_the_clock() {
-        let mut p = Predictor::new(125.0e6);
+        let mut p = Predictor::new(125_000_000);
         let spec = spec8();
         let key: Arc<str> = "Byte:8x8".into();
         // A run 4× slower than the seed, completing at t=100.
@@ -249,11 +314,11 @@ mod tests {
         // sort by (at_us, instance) is the canonical order.
         let spec = spec8();
         let key: Arc<str> = "Byte:8x8".into();
-        let mut a = Predictor::new(125.0e6);
+        let mut a = Predictor::new(125_000_000);
         a.observe(10, 0, &key, &spec, 1000, 50, 1000, 1000);
         a.observe(20, 1, &key, &spec, 1000, 90, 1000, 1000);
         a.apply_due(100);
-        let mut b = Predictor::new(125.0e6);
+        let mut b = Predictor::new(125_000_000);
         b.observe(20, 1, &key, &spec, 1000, 90, 1000, 1000);
         b.observe(10, 0, &key, &spec, 1000, 50, 1000, 1000);
         b.apply_due(100);

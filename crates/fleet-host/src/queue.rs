@@ -31,6 +31,7 @@ pub struct SubmitQueue {
     capacity: usize,
     default_weight: u32,
     len: usize,
+    bytes: u64,
     vnow: u64,
     tenants: BTreeMap<TenantId, TenantQueue>,
 }
@@ -43,6 +44,7 @@ impl SubmitQueue {
             capacity,
             default_weight: 1,
             len: 0,
+            bytes: 0,
             vnow: 0,
             tenants: BTreeMap::new(),
         }
@@ -62,6 +64,30 @@ impl SubmitQueue {
     /// Whether no jobs are queued.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Total input bytes across all queued jobs, tracked incrementally
+    /// so cluster routers can read queue pressure in O(1) per probe.
+    pub fn queued_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Visits every queued job in deterministic `(tenant id, FIFO)`
+    /// order — the hook a router uses to compute predicted backlog
+    /// without disturbing WFQ state.
+    pub fn for_each_job(&self, f: &mut dyn FnMut(&Job)) {
+        for tq in self.tenants.values() {
+            for (_, job) in &tq.jobs {
+                f(job);
+            }
+        }
+    }
+
+    /// Removes every queued job (sorted by id, like
+    /// [`SubmitQueue::drain_matching`]) — the drain-to-sibling hook a
+    /// cluster uses when a host loses its last healthy instance.
+    pub fn drain_all(&mut self) -> Vec<Job> {
+        self.drain_matching(&mut |_| true)
     }
 
     /// Offers a job. Admission control validates the streams and
@@ -100,6 +126,7 @@ impl SubmitQueue {
         let cost = job.input_bytes().max(1) * VT_SCALE / t.weight as u64;
         let vft = self.vnow.max(t.last_vft) + cost;
         t.last_vft = vft;
+        self.bytes += job.input_bytes();
         t.jobs.push_back((vft, job));
         self.len += 1;
         Ok(())
@@ -176,6 +203,7 @@ impl SubmitQueue {
         let (vft, job) = tq.jobs.remove(idx).expect("best index exists");
         self.vnow = self.vnow.max(vft);
         self.len -= 1;
+        self.bytes -= job.input_bytes();
         Some(job)
     }
 
@@ -206,6 +234,7 @@ impl SubmitQueue {
             tq.jobs = kept;
         }
         self.len -= out.len();
+        self.bytes -= out.iter().map(|j| j.input_bytes()).sum::<u64>();
         out.sort_by_key(|j| j.id);
         out
     }
@@ -218,6 +247,7 @@ impl SubmitQueue {
         let (vft, job) = tq.jobs.pop_front().expect("best tenant has a head job");
         self.vnow = self.vnow.max(vft);
         self.len -= 1;
+        self.bytes -= job.input_bytes();
         Some(job)
     }
 }
@@ -391,6 +421,32 @@ mod tests {
         // The tightest job is Wide, but a Byte-locked batch must skip it.
         assert_eq!(q.pop_priority(Some("Byte:8x8"), &mut by_deadline).unwrap().id, 2);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pressure_hooks_track_bytes_and_drain_everything() {
+        let spec = byte_spec();
+        let mut q = SubmitQueue::new(16);
+        assert_eq!(q.queued_bytes(), 0);
+        for id in 0..4 {
+            q.submit(job(id, (id % 2) as TenantId, 64, &spec), 0).unwrap();
+        }
+        assert_eq!(q.queued_bytes(), 4 * 64);
+        let mut seen = 0u64;
+        q.for_each_job(&mut |j| seen += j.input_bytes());
+        assert_eq!(seen, 4 * 64);
+
+        q.pop(None).unwrap();
+        assert_eq!(q.queued_bytes(), 3 * 64);
+        let mut tight = |j: &Job| j.id;
+        q.pop_priority(None, &mut tight).unwrap();
+        assert_eq!(q.queued_bytes(), 2 * 64);
+
+        let drained = q.drain_all();
+        assert_eq!(drained.len(), 2);
+        assert!(drained.windows(2).all(|w| w[0].id < w[1].id));
+        assert!(q.is_empty());
+        assert_eq!(q.queued_bytes(), 0);
     }
 
     #[test]

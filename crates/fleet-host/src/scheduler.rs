@@ -162,7 +162,7 @@ impl Host {
     pub fn new(cfg: HostConfig) -> Host {
         let pool = Arc::new(SimPool::new(cfg.system.sim_threads));
         let policy = cfg.policy.build();
-        let predictor = Predictor::new(cfg.system.platform.clock_hz);
+        let predictor = Predictor::new(cfg.system.platform.clock_hz as u64);
         Host {
             cfg,
             policy,

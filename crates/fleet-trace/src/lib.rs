@@ -52,7 +52,7 @@ pub use json::escape_json;
 pub use counter::{CounterSink, PuCycleCounters, QueueStats, BUS_WINDOW_CYCLES};
 pub use event::{EventSink, TraceEvent};
 pub use report::{ChannelTrace, DramCounters, PuTrace, StallAttribution, TraceReport};
-pub use sched::{LatencyStats, SchedCounters, SessionCounters};
+pub use sched::{ClusterCounters, LatencyStats, SchedCounters, SessionCounters};
 pub use vcd::VcdSink;
 
 /// What one processing unit did in one real cycle, from the

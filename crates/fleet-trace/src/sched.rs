@@ -264,6 +264,71 @@ impl SessionCounters {
     }
 }
 
+/// Counters of every decision a fleet-of-fleets router makes above the
+/// single-host scheduler: placement, rerouting, failover drains, and
+/// autoscaling. One struct per host plus a cluster-wide roll-up; gauge
+/// fields merge by max, everything else sums.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterCounters {
+    /// Jobs routed to a host by the cluster ingest tier.
+    pub routed: u64,
+    /// Routed jobs placed on a host that already held the job's spec in
+    /// its compile cache (spec-affinity hit).
+    pub warm_hits: u64,
+    /// Jobs re-routed to a sibling host after their first placement
+    /// failed or the host quarantined.
+    pub reroutes: u64,
+    /// Jobs drained out of a dead host's queue and replayed on
+    /// siblings.
+    pub drained_jobs: u64,
+    /// Instances added by the autoscaler under sustained queue
+    /// pressure.
+    pub scale_ups: u64,
+    /// Instances retired by the autoscaler after sustained idleness.
+    pub scale_downs: u64,
+    /// Quarantined instances replaced (modelled board swap).
+    pub replacements: u64,
+    /// Hosts that entered the all-instances-quarantined state.
+    pub host_quarantines: u64,
+    /// High-water mark of concurrently provisioned instances
+    /// cluster-wide (gauge: merge takes the max, not the sum).
+    pub peak_instances: u64,
+}
+
+impl ClusterCounters {
+    /// Adds every count of `other` into `self` (gauge fields take the
+    /// max).
+    pub fn merge(&mut self, other: &ClusterCounters) {
+        self.routed += other.routed;
+        self.warm_hits += other.warm_hits;
+        self.reroutes += other.reroutes;
+        self.drained_jobs += other.drained_jobs;
+        self.scale_ups += other.scale_ups;
+        self.scale_downs += other.scale_downs;
+        self.replacements += other.replacements;
+        self.host_quarantines += other.host_quarantines;
+        self.peak_instances = self.peak_instances.max(other.peak_instances);
+    }
+
+    /// One JSON object with every cluster counter.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"routed\": {}, \"warm_hits\": {}, \"reroutes\": {}, \"drained_jobs\": {}, \
+             \"scale_ups\": {}, \"scale_downs\": {}, \"replacements\": {}, \
+             \"host_quarantines\": {}, \"peak_instances\": {}}}",
+            self.routed,
+            self.warm_hits,
+            self.reroutes,
+            self.drained_jobs,
+            self.scale_ups,
+            self.scale_downs,
+            self.replacements,
+            self.host_quarantines,
+            self.peak_instances
+        )
+    }
+}
+
 /// Counters of every decision a job scheduler makes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SchedCounters {
@@ -611,6 +676,37 @@ mod tests {
         let json = a.to_json();
         assert!(json.contains("\"deferred\": 5"), "{json}");
         assert!(json.contains("\"shed_predicted\": 5"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn cluster_counters_merge_and_serialize() {
+        let mut a = ClusterCounters {
+            routed: 100,
+            warm_hits: 80,
+            reroutes: 3,
+            peak_instances: 64,
+            ..Default::default()
+        };
+        let b = ClusterCounters {
+            routed: 50,
+            drained_jobs: 7,
+            scale_ups: 2,
+            scale_downs: 1,
+            replacements: 4,
+            host_quarantines: 1,
+            peak_instances: 60,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.routed, 150);
+        assert_eq!(a.warm_hits, 80);
+        assert_eq!(a.drained_jobs, 7);
+        assert_eq!(a.replacements, 4);
+        assert_eq!(a.peak_instances, 64, "gauge must merge by max");
+        let json = a.to_json();
+        assert!(json.contains("\"routed\": 150"), "{json}");
+        assert!(json.contains("\"peak_instances\": 64"), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Every machine-readable bench artifact tracked in git must be
+# regenerable from the tree: a tracked BENCH_<name>.json requires an
+# in-tree generator binary at crates/fleet-bench/src/bin/<name>.rs.
+# Run from anywhere; CI fails if an artifact has lost its generator.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+count=0
+while IFS= read -r artifact; do
+  count=$((count + 1))
+  name="${artifact#BENCH_}"
+  name="${name%.json}"
+  gen="crates/fleet-bench/src/bin/${name}.rs"
+  if [ ! -f "$gen" ]; then
+    echo "error: $artifact is tracked but has no generator at $gen" >&2
+    status=1
+  fi
+done < <(git ls-files 'BENCH_*.json')
+
+if [ "$status" -eq 0 ]; then
+  echo "all $count tracked bench artifacts have in-tree generators"
+fi
+exit "$status"
